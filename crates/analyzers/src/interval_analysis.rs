@@ -1,0 +1,376 @@
+//! The interval-arithmetic baseline (Gappa stand-in).
+//!
+//! Classic forward abstract interpretation. Each node carries its ideal
+//! range `I`, a worst-case **absolute** error `E`, and — on strictly
+//! positive ranges — a worst-case **relative** error `R` between the
+//! floating-point and ideal values. Each rounded operation applies the
+//! standard model (paper eq. 2): `E += u·sup|Ĩ|` and `R += u·(1+R)`.
+//! Propagating the relative form directly is what lets interval tools
+//! report usable relative bounds over wide ranges like `[0.1, 1000]`
+//! (dividing a global absolute bound by the smallest result magnitude
+//! would be off by orders of magnitude); it is also why the technique is
+//! compositional but conservative under error-amplifying composition, the
+//! behaviour the paper's Table 3 exercises.
+
+use crate::ir::{Expr, Kernel};
+use numfuzz_exact::{funcs::sqrt_enclosure, RatInterval, Rational};
+use numfuzz_softfloat::{Format, RoundingMode};
+
+/// The result of a baseline analysis.
+#[derive(Clone, Debug)]
+pub struct ErrorBound {
+    /// Ideal range of the result.
+    pub range: RatInterval,
+    /// Worst-case absolute error (`None` when a side condition — e.g. a
+    /// sqrt radicand smaller than its own accumulated error bound — makes
+    /// the absolute form uninformative).
+    pub abs: Option<Rational>,
+    /// Worst-case relative error (`None` when it cannot be established,
+    /// e.g. ranges admitting zero or subtraction cancellation).
+    pub rel: Option<Rational>,
+}
+
+/// Analyzer failure: empty/invalid ranges for the kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalysisError(pub String);
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analysis failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[derive(Clone)]
+pub(crate) struct State {
+    pub(crate) range: RatInterval,
+    /// Absolute error; `None` once a side condition failed.
+    pub(crate) abs: Option<Rational>,
+    /// Relative error; `None` once positivity is lost.
+    pub(crate) rel: Option<Rational>,
+}
+
+impl State {
+    pub(crate) fn finish(self) -> ErrorBound {
+        // The relative bound can also be recovered from the absolute one
+        // when the range stays away from zero; report the tighter. The
+        // absolute bound can likewise be recovered from the relative one.
+        let rel_from_abs = match (&self.abs, self.range.contains_zero()) {
+            (Some(a), false) => Some(a.div(&self.range.abs_inf())),
+            _ => None,
+        };
+        let abs_from_rel = self.rel.as_ref().map(|r| r.mul(&self.range.abs_sup()));
+        let rel = match (self.rel.clone(), rel_from_abs) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let abs = match (self.abs, abs_from_rel) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        ErrorBound { range: self.range, abs, rel }
+    }
+}
+
+pub(crate) const SQRT_BITS: u32 = 96;
+
+/// Runs the interval analysis on a kernel for a given format and mode.
+///
+/// # Errors
+///
+/// [`AnalysisError`] when a division/sqrt domain side condition cannot be
+/// established from the ranges.
+pub fn analyze_interval(kernel: &Kernel, format: Format, mode: RoundingMode) -> Result<ErrorBound, AnalysisError> {
+    let u = format.unit_roundoff(mode);
+    let ranges = kernel.ranges();
+    let cx = Ctx { input_rel: Rational::from_int(kernel.input_rel_ulps as i64).mul(&u) };
+    Ok(go(&kernel.expr, &ranges, &u, &cx)?.finish())
+}
+
+struct Ctx {
+    input_rel: Rational,
+}
+
+fn pos(r: &RatInterval) -> bool {
+    r.is_strictly_positive()
+}
+
+/// Fresh rounding: `E += u·(sup|I| + E)`, `R += u·(1 + R)`.
+fn rounded(range: RatInterval, abs: Option<Rational>, rel: Option<Rational>, u: &Rational) -> State {
+    let abs = abs.map(|a| {
+        let fresh = u.mul(&range.abs_sup().add(&a));
+        a.add(&fresh)
+    });
+    let rel = rel.map(|r| r.add(&u.mul(&Rational::one().add(&r))));
+    State { range, abs, rel }
+}
+
+/// Combines two optional errors with a binary bound.
+fn zip(a: &Option<Rational>, b: &Option<Rational>, f: impl FnOnce(&Rational, &Rational) -> Rational) -> Option<Rational> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(f(x, y)),
+        _ => None,
+    }
+}
+
+fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<State, AnalysisError> {
+    match e {
+        Expr::Const(c) => Ok(State {
+            range: RatInterval::point(c.clone()),
+            abs: Some(Rational::zero()),
+            rel: Some(Rational::zero()),
+        }),
+        Expr::Var(i) => {
+            let range = inputs
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| AnalysisError("missing input range".into()))?;
+            // Inputs may carry relative error (the *_with_error rows).
+            let rel = cx.input_rel.clone();
+            let abs = range.abs_sup().mul(&rel);
+            Ok(State { range, abs: Some(abs), rel: Some(rel) })
+        }
+        Expr::Add(a, b) => {
+            let (sa, sb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            let range = sa.range.add(&sb.range);
+            // Positive operands: the relative error of a sum is a convex
+            // combination, bounded by the max.
+            let rel = match (&sa.rel, &sb.rel) {
+                (Some(ra), Some(rb)) if pos(&sa.range) && pos(&sb.range) => {
+                    Some(ra.clone().max(rb.clone()))
+                }
+                _ => None,
+            };
+            let abs = zip(&sa.abs, &sb.abs, |x, y| x.add(y));
+            Ok(rounded(range, abs, rel, u))
+        }
+        Expr::Sub(a, b) => {
+            let (sa, sb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            let range = sa.range.sub(&sb.range);
+            // Cancellation: no useful relative form.
+            let abs = zip(&sa.abs, &sb.abs, |x, y| x.add(y));
+            Ok(rounded(range, abs, None, u))
+        }
+        Expr::Mul(a, b) => {
+            let (sa, sb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            let range = sa.range.mul(&sb.range);
+            let abs = zip(&sa.abs, &sb.abs, |ea, eb| {
+                sa.range
+                    .abs_sup()
+                    .mul(eb)
+                    .add(&sb.range.abs_sup().mul(ea))
+                    .add(&ea.mul(eb))
+            });
+            // (1+ra)(1+rb) - 1 = ra + rb + ra·rb.
+            let rel = match (&sa.rel, &sb.rel) {
+                (Some(ra), Some(rb)) => Some(ra.add(rb).add(&ra.mul(rb))),
+                _ => None,
+            };
+            Ok(rounded(range, abs, rel, u))
+        }
+        Expr::Div(a, b) => {
+            let (sa, sb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            if sb.range.contains_zero() {
+                return Err(AnalysisError("division by a range containing zero".into()));
+            }
+            let b_inf = sb.range.abs_inf();
+            let range = sa
+                .range
+                .div(&sb.range)
+                .ok_or_else(|| AnalysisError("division by a range containing zero".into()))?;
+            let abs = match zip(&sa.abs, &sb.abs, |_, eb| b_inf.sub(eb)) {
+                Some(b_fp_inf) if b_fp_inf.is_positive() => {
+                    let (ea, eb) = (sa.abs.as_ref().expect("zipped"), sb.abs.as_ref().expect("zipped"));
+                    let num = ea.mul(&sb.range.abs_sup()).add(&eb.mul(&sa.range.abs_sup()));
+                    Some(num.div(&b_inf.mul(&b_fp_inf)))
+                }
+                _ => None,
+            };
+            // (1+ra)/(1-rb) - 1 <= (ra + rb)/(1 - rb), for rb < 1.
+            let rel = match (&sa.rel, &sb.rel) {
+                (Some(ra), Some(rb)) if rb < &Rational::one() => {
+                    Some(ra.add(rb).div(&Rational::one().sub(rb)))
+                }
+                _ => None,
+            };
+            Ok(rounded(range, abs, rel, u))
+        }
+        Expr::Fma(a, b, c) => {
+            let (sa, sb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            let sc = go(c, inputs, u, cx)?;
+            let prod = sa.range.mul(&sb.range);
+            let range = prod.add(&sc.range);
+            let abs_prod = zip(&sa.abs, &sb.abs, |ea, eb| {
+                sa.range
+                    .abs_sup()
+                    .mul(eb)
+                    .add(&sb.range.abs_sup().mul(ea))
+                    .add(&ea.mul(eb))
+            });
+            let abs = zip(&abs_prod, &sc.abs, |x, y| x.add(y));
+            let rel_prod = match (&sa.rel, &sb.rel) {
+                (Some(ra), Some(rb)) => Some(ra.add(rb).add(&ra.mul(rb))),
+                _ => None,
+            };
+            let rel = match (&rel_prod, &sc.rel) {
+                (Some(rp), Some(rc)) if pos(&prod) && pos(&sc.range) => Some(rp.clone().max(rc.clone())),
+                _ => None,
+            };
+            // Single rounding for the whole fused operation.
+            Ok(rounded(range, abs, rel, u))
+        }
+        Expr::Sqrt(a) => {
+            let sa = go(a, inputs, u, cx)?;
+            if sa.range.lo().is_negative() {
+                return Err(AnalysisError("sqrt of a possibly-negative range".into()));
+            }
+            let range = sa.range.sqrt(SQRT_BITS);
+            // |√ã - √a| = |ã - a| / (√ã + √a) <= Ea / √(inf a - Ea),
+            // available only while the radicand clears its error bound.
+            let abs = sa.abs.as_ref().and_then(|ea| {
+                if ea.is_zero() {
+                    return Some(Rational::zero());
+                }
+                let base = sa.range.lo().sub(ea);
+                if base.is_positive() {
+                    Some(ea.div(sqrt_enclosure(&base, SQRT_BITS).lo()))
+                } else {
+                    None
+                }
+            });
+            // |√(1±r) - 1| <= 1 - √(1-r), for r < 1.
+            let rel = match &sa.rel {
+                Some(r) if r < &Rational::one() => {
+                    let s = sqrt_enclosure(&Rational::one().sub(r), SQRT_BITS);
+                    Some(Rational::one().sub(s.lo()))
+                }
+                _ => None,
+            };
+            Ok(rounded(range, abs, rel, u))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Expr;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    fn iv(lo: &str, hi: &str) -> RatInterval {
+        RatInterval::new(rat(lo), rat(hi))
+    }
+
+    fn b64() -> (Format, RoundingMode) {
+        (Format::BINARY64, RoundingMode::TowardPositive)
+    }
+
+    #[test]
+    fn single_multiplication_is_one_ulp() {
+        let k = Kernel::new(
+            "square",
+            vec![("x", iv("0.1", "1000"))],
+            Expr::mul(Expr::Var(0), Expr::Var(0)),
+        );
+        let (f, m) = b64();
+        let r = analyze_interval(&k, f, m).unwrap();
+        // One rounding: relative error exactly u.
+        assert_eq!(r.rel.unwrap(), f.unit_roundoff(m));
+    }
+
+    #[test]
+    fn sum_accumulates_linearly() {
+        // ((x+x)+x)+x: 3 roundings; relative error 3u + O(u²).
+        let x = || Expr::Var(0);
+        let e = Expr::add(Expr::add(Expr::add(x(), x()), x()), x());
+        let k = Kernel::new("sum4", vec![("x", iv("0.1", "1000"))], e);
+        let (f, m) = b64();
+        let r = analyze_interval(&k, f, m).unwrap();
+        let rel = r.rel.unwrap();
+        let u = f.unit_roundoff(m);
+        assert!(rel >= u.mul(&rat("3")));
+        assert!(rel <= u.mul(&rat("3.001")));
+    }
+
+    #[test]
+    fn balanced_sum_is_tighter_than_serial() {
+        // Gappa's 2u for (x0+x1)+(x2+x3) vs Λnum's 3u (Table 3,
+        // test06_sums4_sum2): the max-rule sees the balance.
+        let x = |i| Expr::Var(i);
+        let balanced = Expr::add(Expr::add(x(0), x(1)), Expr::add(x(2), x(3)));
+        let inputs = vec![
+            ("a", iv("0.1", "1000")),
+            ("b", iv("0.1", "1000")),
+            ("c", iv("0.1", "1000")),
+            ("d", iv("0.1", "1000")),
+        ];
+        let k = Kernel::new("sum2", inputs, balanced);
+        let (f, m) = b64();
+        let rel = analyze_interval(&k, f, m).unwrap().rel.unwrap();
+        let u = f.unit_roundoff(m);
+        assert!(rel >= u.mul(&rat("2")));
+        assert!(rel <= u.mul(&rat("2.001")));
+    }
+
+    #[test]
+    fn subtraction_loses_relative_form() {
+        let e = Expr::sub(Expr::Var(0), Expr::Var(1));
+        let k = Kernel::new("sub", vec![("x", iv("1", "2")), ("y", iv("1", "2"))], e);
+        let (f, m) = b64();
+        let r = analyze_interval(&k, f, m).unwrap();
+        // Range contains zero: no relative bound at all, abs still fine.
+        assert!(r.rel.is_none());
+        assert!(r.abs.unwrap().is_positive());
+    }
+
+    #[test]
+    fn soundness_against_actual_evaluation() {
+        // Evaluate hypot at concrete points in the softfloat simulator and
+        // check the analyzer's relative bound dominates the true error.
+        use numfuzz_softfloat::Fp;
+        let e = Expr::sqrt(Expr::add(
+            Expr::mul(Expr::Var(0), Expr::Var(0)),
+            Expr::mul(Expr::Var(1), Expr::Var(1)),
+        ));
+        let k = Kernel::new("hypot", vec![("x", iv("0.1", "1000")), ("y", iv("0.1", "1000"))], e);
+        let format = Format::new(12, 80); // small format -> visible error
+        let mode = RoundingMode::TowardPositive;
+        let r = analyze_interval(&k, format, mode).unwrap();
+        let rel_bound = r.rel.unwrap();
+        for (xs, ys) in [("0.1", "0.1"), ("3.5", "997"), ("500", "500"), ("1000", "1000")] {
+            // Inputs assumed representable: round them first (as the
+            // analyzers do).
+            let x = Fp::round(&rat(xs), format, mode).to_rational().unwrap();
+            let y = Fp::round(&rat(ys), format, mode).to_rational().unwrap();
+            let m1 = Fp::round(&x.mul(&x), format, mode).to_rational().unwrap();
+            let m2 = Fp::round(&y.mul(&y), format, mode).to_rational().unwrap();
+            let s = Fp::round(&m1.add(&m2), format, mode).to_rational().unwrap();
+            let sq = sqrt_enclosure(&s, 160);
+            let fp_val = Fp::round(sq.hi(), format, mode).to_rational().unwrap();
+            let ideal = sqrt_enclosure(&x.mul(&x).add(&y.mul(&y)), 160);
+            let true_rel = fp_val
+                .sub(ideal.lo())
+                .abs()
+                .max(fp_val.sub(ideal.hi()).abs())
+                .div(ideal.lo());
+            assert!(
+                true_rel <= rel_bound,
+                "true rel error {} exceeds bound {} at ({xs},{ys})",
+                true_rel.to_sci_string(3),
+                rel_bound.to_sci_string(3)
+            );
+        }
+    }
+
+    #[test]
+    fn division_near_zero_rejected() {
+        let e = Expr::div(Expr::Const(rat("1")), Expr::sub(Expr::Var(0), Expr::Var(1)));
+        let k = Kernel::new("bad", vec![("x", iv("0.1", "1")), ("y", iv("0.1", "1"))], e);
+        let (f, m) = b64();
+        assert!(analyze_interval(&k, f, m).is_err());
+    }
+}

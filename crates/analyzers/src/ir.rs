@@ -1,0 +1,209 @@
+//! A straight-line expression IR for floating-point kernels.
+//!
+//! This is the common input format of the baseline analyzers (the Gappa-
+//! and FPTaylor-style tools of the paper's Table 3 comparison) and of the
+//! translation into Λnum. It mirrors the FPBench core fragment the paper
+//! can handle: `+ − × ÷ √` over real constants and range-bounded inputs
+//! (subtraction appears only in baseline-only kernels; the RP
+//! instantiation of Λnum does not type it).
+
+use numfuzz_exact::{RatInterval, Rational};
+
+/// A real-valued expression over indexed inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A real constant.
+    Const(Rational),
+    /// The `i`-th input.
+    Var(usize),
+    /// `a + b`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `a - b`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `a * b`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `a / b`.
+    Div(Box<Expr>, Box<Expr>),
+    /// `sqrt(a)`.
+    Sqrt(Box<Expr>),
+    /// Fused multiply-add `a*b + c` with a **single** rounding — the
+    /// operation behind the paper's Horner benchmarks (Fig. 8).
+    Fma(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Constant from a decimal literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid literal (kernel definitions are static).
+    pub fn num(s: &str) -> Expr {
+        Expr::Const(Rational::from_decimal_str(s).expect("valid kernel literal"))
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// `sqrt(a)`.
+    pub fn sqrt(a: Expr) -> Expr {
+        Expr::Sqrt(Box::new(a))
+    }
+
+    /// `fma(a, b, c) = a*b + c`, rounded once.
+    pub fn fma(a: Expr, b: Expr, c: Expr) -> Expr {
+        Expr::Fma(Box::new(a), Box::new(b), Box::new(c))
+    }
+
+    /// Number of rounded floating-point operations.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.op_count() + b.op_count()
+            }
+            Expr::Sqrt(a) => 1 + a.op_count(),
+            // Counted as two arithmetic operations (mul + add), matching
+            // the paper's Ops column, despite the single rounding.
+            Expr::Fma(a, b, c) => 2 + a.op_count() + b.op_count() + c.op_count(),
+        }
+    }
+
+    /// Interval evaluation over input ranges (`None` on division by an
+    /// interval containing zero or sqrt of a negative range).
+    pub fn eval_interval(&self, inputs: &[RatInterval], sqrt_bits: u32) -> Option<RatInterval> {
+        match self {
+            Expr::Const(c) => Some(RatInterval::point(c.clone())),
+            Expr::Var(i) => inputs.get(*i).cloned(),
+            Expr::Add(a, b) => {
+                Some(a.eval_interval(inputs, sqrt_bits)?.add(&b.eval_interval(inputs, sqrt_bits)?))
+            }
+            Expr::Sub(a, b) => {
+                Some(a.eval_interval(inputs, sqrt_bits)?.sub(&b.eval_interval(inputs, sqrt_bits)?))
+            }
+            Expr::Mul(a, b) => {
+                Some(a.eval_interval(inputs, sqrt_bits)?.mul(&b.eval_interval(inputs, sqrt_bits)?))
+            }
+            Expr::Div(a, b) => {
+                a.eval_interval(inputs, sqrt_bits)?.div(&b.eval_interval(inputs, sqrt_bits)?)
+            }
+            Expr::Sqrt(a) => {
+                let i = a.eval_interval(inputs, sqrt_bits)?;
+                if i.lo().is_negative() {
+                    None
+                } else {
+                    Some(i.sqrt(sqrt_bits))
+                }
+            }
+            Expr::Fma(a, b, c) => Some(
+                a.eval_interval(inputs, sqrt_bits)?
+                    .mul(&b.eval_interval(inputs, sqrt_bits)?)
+                    .add(&c.eval_interval(inputs, sqrt_bits)?),
+            ),
+        }
+    }
+}
+
+/// A named kernel: an expression plus input names and ranges.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    /// Kernel name (FPBench name where applicable).
+    pub name: String,
+    /// Input names and ranges.
+    pub inputs: Vec<(String, RatInterval)>,
+    /// The body.
+    pub expr: Expr,
+    /// Relative error already present on every input, in units of the
+    /// rounding unit `u` (0 for exact inputs; the `*_with_error`
+    /// benchmarks use 1).
+    pub input_rel_ulps: u32,
+}
+
+impl Kernel {
+    /// Builds a kernel with exact inputs.
+    pub fn new(name: &str, inputs: Vec<(&str, RatInterval)>, expr: Expr) -> Self {
+        Kernel {
+            name: name.to_string(),
+            inputs: inputs.into_iter().map(|(n, r)| (n.to_string(), r)).collect(),
+            expr,
+            input_rel_ulps: 0,
+        }
+    }
+
+    /// Marks every input as carrying `k·u` of relative error.
+    pub fn with_input_error(mut self, k: u32) -> Self {
+        self.input_rel_ulps = k;
+        self
+    }
+
+    /// The input ranges, in order.
+    pub fn ranges(&self) -> Vec<RatInterval> {
+        self.inputs.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Number of rounded operations.
+    pub fn op_count(&self) -> usize {
+        self.expr.op_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    fn iv(lo: &str, hi: &str) -> RatInterval {
+        RatInterval::new(rat(lo), rat(hi))
+    }
+
+    #[test]
+    fn op_count_counts_roundings() {
+        // hypot: sqrt(x*x + y*y) = 4 ops.
+        let e = Expr::sqrt(Expr::add(
+            Expr::mul(Expr::Var(0), Expr::Var(0)),
+            Expr::mul(Expr::Var(1), Expr::Var(1)),
+        ));
+        assert_eq!(e.op_count(), 4);
+        assert_eq!(Expr::Var(0).op_count(), 0);
+    }
+
+    #[test]
+    fn interval_eval() {
+        let e = Expr::div(Expr::Var(0), Expr::add(Expr::Var(0), Expr::Var(1)));
+        let ranges = vec![iv("0.1", "1000"), iv("0.1", "1000")];
+        let i = e.eval_interval(&ranges, 64).unwrap();
+        // x/(x+y) over [0.1,1000]^2 is within [0.1/2000, 1000/0.2].
+        assert!(i.lo() >= &rat("0.00005"));
+        assert!(i.hi() <= &rat("5000"));
+        // Division by a zero-containing range fails.
+        let bad = Expr::div(Expr::Var(0), Expr::sub(Expr::Var(0), Expr::Var(1)));
+        assert_eq!(bad.eval_interval(&ranges, 64), None);
+    }
+
+    #[test]
+    fn sqrt_eval_rigor() {
+        let e = Expr::sqrt(Expr::Var(0));
+        let i = e.eval_interval(&[iv("2", "2")], 100).unwrap();
+        assert!(i.lo().mul(i.lo()) <= rat("2"));
+        assert!(i.hi().mul(i.hi()) >= rat("2"));
+    }
+}

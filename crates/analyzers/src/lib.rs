@@ -1,0 +1,39 @@
+//! # numfuzz-analyzers
+//!
+//! Baseline roundoff-error analyzers for the `numfuzz` reproduction of
+//! *Numerical Fuzz* (PLDI 2024). The paper's Table 3 compares Λnum
+//! against Gappa and FPTaylor; this crate provides faithful stand-ins for
+//! the *techniques* those tools implement (see DESIGN.md §1 for the
+//! substitution argument):
+//!
+//! * [`ir`] — a straight-line kernel IR with input ranges (the FPBench
+//!   fragment the paper supports);
+//! * [`analyze_interval`] — forward interval propagation of (range,
+//!   absolute error) pairs, à la Gappa;
+//! * [`analyze_taylor`] — first-order symbolic Taylor forms with interval
+//!   coefficient bounds and a rigorous second-order remainder, à la
+//!   FPTaylor;
+//! * [`std_bounds`] — the γ_n textbook bounds quoted in Table 4's "Std."
+//!   column;
+//! * [`kernel_to_core`] — the translation of kernels into Λnum terms used
+//!   to produce the Λnum column.
+//!
+//! Both analyzers are *sound* (each carries tests comparing against
+//! ground-truth softfloat executions) and both work over exact rationals,
+//! so reported bounds are never polluted by the analyzer's own rounding.
+
+#![forbid(unsafe_code)]
+// Expr::add/sub/mul/div are static constructors (no receiver), mirroring the IR node names.
+#![allow(clippy::should_implement_trait)]
+#![warn(missing_docs)]
+
+pub mod interval_analysis;
+pub mod ir;
+pub mod std_bounds;
+pub mod taylor;
+pub mod to_core;
+
+pub use interval_analysis::{analyze_interval, AnalysisError, ErrorBound};
+pub use ir::{Expr, Kernel};
+pub use taylor::analyze_taylor;
+pub use to_core::{kernel_to_core, CoreKernel, TranslateError};

@@ -1,0 +1,74 @@
+//! Textbook worst-case relative error bounds ("Std." column of the
+//! paper's Table 4), after Higham, *Accuracy and Stability of Numerical
+//! Algorithms*, and Boldo et al.
+//!
+//! All bounds are stated through the classic constant
+//! `γ_n = n·u / (1 − n·u)`, valid for `n·u < 1`.
+
+use numfuzz_exact::Rational;
+
+/// `γ_n = n·u / (1 − n·u)`; `None` when `n·u >= 1`.
+pub fn gamma(n: u64, u: &Rational) -> Option<Rational> {
+    let nu = Rational::from_int(n as i64).mul(u);
+    if nu >= Rational::one() {
+        return None;
+    }
+    Some(nu.div(&Rational::one().sub(&nu)))
+}
+
+/// Horner evaluation of a degree-`n` polynomial with fused multiply-adds:
+/// one rounding per step gives `γ_n` (for positive coefficients and
+/// arguments the condition number is 1). [Higham, §5.1 / paper p. 95]
+pub fn horner_fma(degree: u64, u: &Rational) -> Option<Rational> {
+    gamma(degree, u)
+}
+
+/// Recursive (serial) summation of `n` positive terms: `γ_{n-1}`.
+/// [Boldo et al. 2023, p. 260]
+pub fn serial_sum(terms: u64, u: &Rational) -> Option<Rational> {
+    gamma(terms.saturating_sub(1), u)
+}
+
+/// Element-wise bound for an `n`-long inner product (and hence for each
+/// entry of an `n×n` matrix multiply) with positive entries: `γ_n`.
+/// [Higham, §3.5 / paper p. 63]
+pub fn inner_product(n: u64, u: &Rational) -> Option<Rational> {
+    gamma(n, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u64_roundoff() -> Rational {
+        Rational::pow2(-52)
+    }
+
+    #[test]
+    fn gamma_matches_table4_std_column() {
+        let u = u64_roundoff();
+        // Horner50: 1.11e-14; Horner75: 1.66e-14; Horner100: 2.22e-14.
+        assert_eq!(horner_fma(50, &u).unwrap().to_sci_string(3), "1.11e-14");
+        // γ_75 = 1.6653e-14: the paper displays 1.66e-14 (truncating); our
+        // round-to-nearest rendering gives 1.67e-14. Same quantity.
+        assert_eq!(horner_fma(75, &u).unwrap().to_sci_string(3), "1.67e-14");
+        assert_eq!(horner_fma(100, &u).unwrap().to_sci_string(3), "2.22e-14");
+        // SerialSum (1024 terms): 2.27e-13.
+        assert_eq!(serial_sum(1024, &u).unwrap().to_sci_string(3), "2.27e-13");
+        // MatrixMultiply 4/16/64/128: 8.88e-16 / 3.55e-15 / 1.42e-14 / 2.84e-14.
+        assert_eq!(inner_product(4, &u).unwrap().to_sci_string(3), "8.88e-16");
+        assert_eq!(inner_product(16, &u).unwrap().to_sci_string(3), "3.55e-15");
+        assert_eq!(inner_product(64, &u).unwrap().to_sci_string(3), "1.42e-14");
+        assert_eq!(inner_product(128, &u).unwrap().to_sci_string(3), "2.84e-14");
+    }
+
+    #[test]
+    fn gamma_domain() {
+        let u = Rational::ratio(1, 4);
+        assert!(gamma(4, &u).is_none());
+        assert!(gamma(5, &u).is_none());
+        assert_eq!(gamma(2, &u).unwrap(), Rational::one());
+        assert_eq!(gamma(3, &u).unwrap(), Rational::from_int(3));
+        assert_eq!(gamma(0, &u).unwrap(), Rational::zero());
+    }
+}

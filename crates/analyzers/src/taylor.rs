@@ -1,0 +1,358 @@
+//! The symbolic Taylor-form baseline (FPTaylor stand-in).
+//!
+//! Following Solovyev et al., every floating-point operation introduces an
+//! error variable `δ` with `|δ| <= u`, and the computed value is expanded
+//! to first order around the ideal one:
+//!
+//! ```text
+//!   ṽ = v · (1 + Σ_k c_k δ_k + h.o.t.)        (relative form)
+//! ```
+//!
+//! The analyzer propagates, per node, the ideal range plus **first-order /
+//! higher-order splits** of both the absolute and (on positive ranges)
+//! relative error. The first-order part composes by derivative bounds on
+//! *ideal* ranges; everything quadratic-and-above is tracked separately
+//! with rigorous over-approximations. The separation is the source of
+//! FPTaylor's tightness relative to plain interval propagation under
+//! error-amplifying composition.
+
+use crate::interval_analysis::{AnalysisError, ErrorBound, State, SQRT_BITS};
+use crate::ir::{Expr, Kernel};
+use numfuzz_exact::{funcs::sqrt_enclosure, RatInterval, Rational};
+use numfuzz_softfloat::{Format, RoundingMode};
+
+#[derive(Clone)]
+struct Form {
+    /// Ideal range.
+    range: RatInterval,
+    /// First/higher-order absolute error (`None` once a side condition
+    /// failed, e.g. a sqrt radicand below its accumulated error).
+    abs: Option<(Rational, Rational)>,
+    /// First/higher-order relative error (on strictly positive ranges).
+    rel: Option<(Rational, Rational)>,
+}
+
+impl Form {
+    fn abs_total(&self) -> Option<Rational> {
+        self.abs.as_ref().map(|(a1, a2)| a1.add(a2))
+    }
+
+    fn rel_total(&self) -> Option<Rational> {
+        self.rel.as_ref().map(|(r1, r2)| r1.add(r2))
+    }
+}
+
+/// Runs the Taylor-form analysis on a kernel for a given format and mode.
+///
+/// # Errors
+///
+/// [`AnalysisError`] when a division/sqrt side condition cannot be
+/// established.
+pub fn analyze_taylor(kernel: &Kernel, format: Format, mode: RoundingMode) -> Result<ErrorBound, AnalysisError> {
+    let u = format.unit_roundoff(mode);
+    let ranges = kernel.ranges();
+    let cx = Ctx { input_rel: Rational::from_int(kernel.input_rel_ulps as i64).mul(&u) };
+    let f = go(&kernel.expr, &ranges, &u, &cx)?;
+    Ok(State { range: f.range.clone(), abs: f.abs_total(), rel: f.rel_total() }.finish())
+}
+
+/// Fresh rounding `(1+δ)`: `u·sup|I|` (abs) and `u` (rel) to first order;
+/// `δ·error` is quadratic and goes to the remainders.
+fn rounded(range: RatInterval, abs: Option<(Rational, Rational)>, rel: Option<(Rational, Rational)>, u: &Rational) -> Form {
+    let abs = abs.map(|(a1, a2)| {
+        let fresh = u.mul(&a1.add(&a2));
+        (a1.add(&u.mul(&range.abs_sup())), a2.add(&fresh))
+    });
+    let rel = rel.map(|(r1, r2)| {
+        let fresh_r2 = u.mul(&r1.add(&r2));
+        (r1.add(u), r2.add(&fresh_r2))
+    });
+    Form { range, abs, rel }
+}
+
+/// Combines two optional split errors with a binary rule.
+fn zip2(
+    a: &Option<(Rational, Rational)>,
+    b: &Option<(Rational, Rational)>,
+    f: impl FnOnce(&(Rational, Rational), &(Rational, Rational)) -> (Rational, Rational),
+) -> Option<(Rational, Rational)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(f(x, y)),
+        _ => None,
+    }
+}
+
+fn pos(r: &RatInterval) -> bool {
+    r.is_strictly_positive()
+}
+
+struct Ctx {
+    input_rel: Rational,
+}
+
+fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<Form, AnalysisError> {
+    let zero = Rational::zero;
+    match e {
+        Expr::Const(c) => Ok(Form {
+            range: RatInterval::point(c.clone()),
+            abs: Some((zero(), zero())),
+            rel: Some((zero(), zero())),
+        }),
+        Expr::Var(i) => {
+            let range = inputs
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| AnalysisError("missing input range".into()))?;
+            // Input error (the *_with_error rows) enters at first order.
+            let rel = cx.input_rel.clone();
+            let abs = range.abs_sup().mul(&rel);
+            Ok(Form { range, abs: Some((abs, zero())), rel: Some((rel, zero())) })
+        }
+        Expr::Add(a, b) => {
+            let (fa, fb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            let range = fa.range.add(&fb.range);
+            // Convex combination on positive operands: componentwise max.
+            let rel = match (&fa.rel, &fb.rel) {
+                (Some((ra1, ra2)), Some((rb1, rb2))) if pos(&fa.range) && pos(&fb.range) => {
+                    Some((ra1.clone().max(rb1.clone()), ra2.clone().max(rb2.clone())))
+                }
+                _ => None,
+            };
+            let abs = zip2(&fa.abs, &fb.abs, |(a1, a2), (b1, b2)| (a1.add(b1), a2.add(b2)));
+            Ok(rounded(range, abs, rel, u))
+        }
+        Expr::Sub(a, b) => {
+            let (fa, fb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            let range = fa.range.sub(&fb.range);
+            let abs = zip2(&fa.abs, &fb.abs, |(a1, a2), (b1, b2)| (a1.add(b1), a2.add(b2)));
+            Ok(rounded(range, abs, None, u))
+        }
+        Expr::Mul(a, b) => {
+            let (fa, fb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            let range = fa.range.mul(&fb.range);
+            let abs = zip2(&fa.abs, &fb.abs, |(a1, a2), (b1, b2)| {
+                let first = a1.mul(&fb.range.abs_sup()).add(&b1.mul(&fa.range.abs_sup()));
+                let cross = a1.add(a2).mul(&b1.add(b2));
+                let second = a2
+                    .mul(&fb.range.abs_sup())
+                    .add(&b2.mul(&fa.range.abs_sup()))
+                    .add(&cross);
+                (first, second)
+            });
+            // (1+ea)(1+eb) - 1 = ea + eb + ea·eb.
+            let rel = match (&fa.rel, &fb.rel) {
+                (Some((ra1, ra2)), Some((rb1, rb2))) => {
+                    let cross = fa.rel_total().expect("some").mul(&fb.rel_total().expect("some"));
+                    Some((ra1.add(rb1), ra2.add(rb2).add(&cross)))
+                }
+                _ => None,
+            };
+            Ok(rounded(range, abs, rel, u))
+        }
+        Expr::Div(a, b) => {
+            let (fa, fb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            if fb.range.contains_zero() {
+                return Err(AnalysisError("division by a range containing zero".into()));
+            }
+            let b_inf = fb.range.abs_inf();
+            let range = fa
+                .range
+                .div(&fb.range)
+                .ok_or_else(|| AnalysisError("division by a range containing zero".into()))?;
+            // |∂(a/b)/∂a| = 1/|b|, |∂(a/b)/∂b| = |a|/b² on ideal ranges;
+            // quadratic pieces use the error-shrunk FP divisor.
+            let abs = match (&fa.abs, &fb.abs) {
+                (Some((a1s, a2s)), Some((b1s, b2s))) => (|| {
+                let ta = a1s.add(a2s);
+                let tb = b1s.add(b2s);
+                let b_fp_inf = b_inf.sub(&tb);
+                if !b_fp_inf.is_positive() {
+                    return None;
+                }
+                let first = a1s
+                    .div(&b_inf)
+                    .add(&b1s.mul(&fa.range.abs_sup()).div(&b_inf.mul(&b_inf)));
+                let quad = ta.mul(&tb).div(&b_inf.mul(&b_fp_inf)).add(
+                    &tb.mul(&tb)
+                        .mul(&fa.range.abs_sup())
+                        .div(&b_inf.mul(&b_inf).mul(&b_fp_inf)),
+                );
+                let second = a2s
+                    .div(&b_inf)
+                    .add(&b2s.mul(&fa.range.abs_sup()).div(&b_inf.mul(&b_inf)))
+                    .add(&quad);
+                Some((first, second))
+                })(),
+                _ => None,
+            };
+            // (1+ea)/(1+eb) - 1: first order ea + eb; exact bound
+            // (Ea + Eb)/(1 - Eb); the difference is the remainder.
+            let rel = match (fa.rel_total(), fb.rel_total(), &fa.rel, &fb.rel) {
+                (Some(ta), Some(tb), Some((ra1, _)), Some((rb1, _))) if tb < Rational::one() => {
+                    let first = ra1.add(rb1);
+                    let exact = ta.add(&tb).div(&Rational::one().sub(&tb));
+                    let second = if exact > first { exact.sub(&first) } else { zero() };
+                    Some((first, second))
+                }
+                _ => None,
+            };
+            Ok(rounded(range, abs, rel, u))
+        }
+        Expr::Fma(a, b, c) => {
+            let (fa, fb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
+            let fc = go(c, inputs, u, cx)?;
+            let prod = fa.range.mul(&fb.range);
+            let range = prod.add(&fc.range);
+            let abs_prod = zip2(&fa.abs, &fb.abs, |(a1, a2), (b1, b2)| {
+                let first = a1.mul(&fb.range.abs_sup()).add(&b1.mul(&fa.range.abs_sup()));
+                let cross = a1.add(a2).mul(&b1.add(b2));
+                let second = a2
+                    .mul(&fb.range.abs_sup())
+                    .add(&b2.mul(&fa.range.abs_sup()))
+                    .add(&cross);
+                (first, second)
+            });
+            let abs = zip2(&abs_prod, &fc.abs, |(p1, p2), (c1, c2)| (p1.add(c1), p2.add(c2)));
+            let rel_prod = match (&fa.rel, &fb.rel) {
+                (Some((ra1, ra2)), Some((rb1, rb2))) => {
+                    let cross = fa.rel_total().expect("some").mul(&fb.rel_total().expect("some"));
+                    Some((ra1.add(rb1), ra2.add(rb2).add(&cross)))
+                }
+                _ => None,
+            };
+            let rel = match (&rel_prod, &fc.rel) {
+                (Some((rp1, rp2)), Some((rc1, rc2))) if pos(&prod) && pos(&fc.range) => {
+                    Some((rp1.clone().max(rc1.clone()), rp2.clone().max(rc2.clone())))
+                }
+                _ => None,
+            };
+            // Single rounding for the fused operation.
+            Ok(rounded(range, abs, rel, u))
+        }
+        Expr::Sqrt(a) => {
+            let fa = go(a, inputs, u, cx)?;
+            if fa.range.lo().is_negative() {
+                return Err(AnalysisError("sqrt of a possibly-negative range".into()));
+            }
+            let range = fa.range.sqrt(SQRT_BITS);
+            let abs = fa.abs.as_ref().and_then(|(a1s, a2s)| {
+                let total = a1s.add(a2s);
+                if total.is_zero() {
+                    return Some((zero(), zero()));
+                }
+                let lo = fa.range.lo().clone();
+                let lo_fp = lo.sub(&total);
+                if !lo_fp.is_positive() {
+                    return None;
+                }
+                let two_sqrt = Rational::from_int(2).mul(sqrt_enclosure(&lo, SQRT_BITS).lo());
+                let first = a1s.div(&two_sqrt);
+                let exact = total.div(
+                    &sqrt_enclosure(&lo_fp, SQRT_BITS)
+                        .lo()
+                        .add(sqrt_enclosure(&lo, SQRT_BITS).lo()),
+                );
+                let second = if exact > first { exact.sub(&first) } else { zero() };
+                Some((first, second))
+            });
+            // √(1+e) - 1: first order e/2; exact bound 1 - √(1-E).
+            let rel = match (&fa.rel, fa.rel_total()) {
+                (Some((r1, _)), Some(total)) if total < Rational::one() => {
+                    let first = r1.div(&Rational::from_int(2));
+                    let exact = Rational::one().sub(sqrt_enclosure(&Rational::one().sub(&total), SQRT_BITS).lo());
+                    let second = if exact > first { exact.sub(&first) } else { zero() };
+                    Some((first, second))
+                }
+                _ => None,
+            };
+            Ok(rounded(range, abs, rel, u))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval_analysis::analyze_interval;
+    use crate::ir::Expr;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    fn iv(lo: &str, hi: &str) -> RatInterval {
+        RatInterval::new(rat(lo), rat(hi))
+    }
+
+    fn verhulst() -> Kernel {
+        // r*x / (1 + x/K), r = 4.0, K = 1.11 (FPBench).
+        let e = Expr::div(
+            Expr::mul(Expr::num("4.0"), Expr::Var(0)),
+            Expr::add(Expr::num("1.0"), Expr::div(Expr::Var(0), Expr::num("1.11"))),
+        );
+        Kernel::new("verhulst", vec![("x", iv("0.1", "0.3"))], e)
+    }
+
+    #[test]
+    fn taylor_is_sound_and_comparable_to_interval() {
+        let k = verhulst();
+        let (f, m) = (Format::BINARY64, RoundingMode::TowardPositive);
+        let t = analyze_taylor(&k, f, m).unwrap();
+        let i = analyze_interval(&k, f, m).unwrap();
+        let u = f.unit_roundoff(m);
+        // 4 roundings in the few-u regime.
+        let rel_t = t.rel.unwrap();
+        let rel_i = i.rel.unwrap();
+        assert!(rel_t >= u.mul(&rat("2")), "taylor too optimistic: {}", rel_t.to_sci_string(3));
+        assert!(rel_t <= u.mul(&rat("10")));
+        // Taylor is not worse than interval (up to second-order noise).
+        assert!(rel_t <= rel_i.mul(&rat("1.0001")));
+    }
+
+    #[test]
+    fn taylor_not_worse_on_composed_division() {
+        let e = Expr::div(Expr::Var(0), Expr::add(Expr::Var(0), Expr::Var(1)));
+        let k = Kernel::new(
+            "x_by_xy",
+            vec![("x", iv("0.1", "1000")), ("y", iv("0.1", "1000"))],
+            e,
+        );
+        let (f, m) = (Format::BINARY64, RoundingMode::TowardPositive);
+        let t = analyze_taylor(&k, f, m).unwrap().rel.unwrap();
+        let i = analyze_interval(&k, f, m).unwrap().rel.unwrap();
+        assert!(
+            t <= i.mul(&rat("1.0001")),
+            "taylor {} vs interval {}",
+            t.to_sci_string(3),
+            i.to_sci_string(3)
+        );
+    }
+
+    #[test]
+    fn taylor_soundness_against_simulation() {
+        use numfuzz_softfloat::Fp;
+        let k = verhulst();
+        let format = Format::new(12, 60);
+        let mode = RoundingMode::TowardPositive;
+        let bound = analyze_taylor(&k, format, mode).unwrap();
+        let rel_bound = bound.rel.unwrap();
+        for xs in ["0.1", "0.17", "0.25", "0.3"] {
+            let x = Fp::round(&rat(xs), format, mode).to_rational().unwrap();
+            // FP execution: round each operation. Constants are exact real
+            // constants (the convention shared by the analyzers and the
+            // Λnum translation; see DESIGN.md).
+            let t1 = Fp::round(&rat("4.0").mul(&x), format, mode).to_rational().unwrap();
+            let t2 = Fp::round(&x.div(&rat("1.11")), format, mode).to_rational().unwrap();
+            let t3 = Fp::round(&Rational::one().add(&t2), format, mode).to_rational().unwrap();
+            let fp = Fp::round(&t1.div(&t3), format, mode).to_rational().unwrap();
+            let ideal = rat("4.0").mul(&x).div(&Rational::one().add(&x.div(&rat("1.11"))));
+            let rel = fp.sub(&ideal).abs().div(&ideal);
+            assert!(
+                rel <= rel_bound,
+                "true rel error {} exceeds Taylor bound {} at x={xs}",
+                rel.to_sci_string(3),
+                rel_bound.to_sci_string(3)
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Criterion benches for the baseline analyzers (the Table 3 timing
+//! comparison): interval vs Taylor-form on representative kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numfuzz_analyzers::{analyze_interval, analyze_taylor};
+use numfuzz_benchsuite::table3;
+use numfuzz_softfloat::{Format, RoundingMode};
+
+fn bench_baselines(c: &mut Criterion) {
+    let format = Format::BINARY64;
+    let mode = RoundingMode::TowardPositive;
+    for b in table3() {
+        if !matches!(b.kernel.name.as_str(), "hypot" | "predatorPrey" | "Horner20") {
+            continue;
+        }
+        c.bench_function(&format!("interval/{}", b.kernel.name), |bench| {
+            bench.iter(|| analyze_interval(&b.kernel, format, mode).expect("analyzes"))
+        });
+        c.bench_function(&format!("taylor/{}", b.kernel.name), |bench| {
+            bench.iter(|| analyze_taylor(&b.kernel, format, mode).expect("analyzes"))
+        });
+    }
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

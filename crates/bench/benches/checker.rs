@@ -1,0 +1,41 @@
+//! Criterion benches behind the paper's timing columns: Λnum type
+//! inference across program scales (Tables 3 and 4).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use numfuzz_analyzers::kernel_to_core;
+use numfuzz_benchsuite::{horner, matrix_multiply, serial_sum, table3};
+use numfuzz_core::{infer, Signature};
+
+fn bench_small(c: &mut Criterion) {
+    let sig = Signature::relative_precision();
+    let mut group = c.benchmark_group("check/table3");
+    for b in table3() {
+        if !matches!(b.kernel.name.as_str(), "hypot" | "test02_sum8" | "Horner20") {
+            continue;
+        }
+        let ck = kernel_to_core(&b.kernel).expect("translatable");
+        group.bench_function(&b.kernel.name, |bench| {
+            bench.iter(|| infer(&ck.store, &sig, ck.root, &ck.free).expect("checks"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_large(c: &mut Criterion) {
+    let sig = Signature::relative_precision();
+    let mut group = c.benchmark_group("check/table4");
+    group.sample_size(10);
+    for g in [horner(100), serial_sum(1024), matrix_multiply(4), matrix_multiply(16)] {
+        group.bench_function(&g.name, |bench| {
+            bench.iter_batched(
+                || (),
+                |_| infer(&g.store, &sig, g.root, &g.free).expect("checks"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small, bench_large);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches for the softfloat substrate: rounding and the
+//! correctly-rounded operations in binary64.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numfuzz_exact::Rational;
+use numfuzz_softfloat::{Format, Fp, RoundingMode};
+
+fn bench_softfloat(c: &mut Criterion) {
+    let f = Format::BINARY64;
+    let q = Rational::from_decimal_str("3.14159265358979").expect("valid");
+    c.bench_function("softfloat/round_rn", |b| {
+        b.iter(|| Fp::round(&q, f, RoundingMode::NearestEven))
+    });
+    let x = Fp::from_f64(0.1);
+    let y = Fp::from_f64(0.7);
+    c.bench_function("softfloat/add", |b| {
+        b.iter(|| x.add_fp(&y, RoundingMode::NearestEven))
+    });
+    c.bench_function("softfloat/mul", |b| {
+        b.iter(|| x.mul_fp(&y, RoundingMode::NearestEven))
+    });
+    c.bench_function("softfloat/div", |b| {
+        b.iter(|| x.div_fp(&y, RoundingMode::NearestEven))
+    });
+    let two = Fp::from_f64(2.0);
+    c.bench_function("softfloat/sqrt", |b| {
+        b.iter(|| two.sqrt_fp(RoundingMode::NearestEven))
+    });
+}
+
+criterion_group!(benches, bench_softfloat);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates the paper's Table 1: IEEE 754-2008 binary format
+//! parameters, straight from the softfloat substrate.
+
+use numfuzz_softfloat::Format;
+
+fn main() {
+    println!("Table 1: Parameters for floating-point number sets in IEEE 754-2008");
+    println!("(emin = 1 - emax for each format)\n");
+    println!("{:<12} {:>10} {:>10} {:>10}", "Parameter", "binary32", "binary64", "binary128");
+    let formats = [Format::BINARY32, Format::BINARY64, Format::BINARY128];
+    print!("{:<12}", "p");
+    for f in &formats {
+        print!(" {:>10}", f.precision());
+    }
+    println!();
+    print!("{:<12}", "emax");
+    for f in &formats {
+        print!(" {:>10}", format!("+{}", f.emax()));
+    }
+    println!();
+    print!("{:<12}", "emin");
+    for f in &formats {
+        print!(" {:>10}", f.emin());
+    }
+    println!();
+    println!("\nDerived extremes (exact, from the simulator):");
+    for f in &formats {
+        println!(
+            "  {}: max finite = {}, min normal = 2^{}, min subnormal = 2^{}",
+            f,
+            f.max_finite_value().to_sci_string(5),
+            f.emin(),
+            f.emin() - f.precision() as i64 + 1,
+        );
+    }
+}

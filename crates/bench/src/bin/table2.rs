@@ -1,0 +1,31 @@
+//! Regenerates the paper's Table 2: the four rounding modes, their
+//! behaviour (demonstrated on an unrepresentable value), and their unit
+//! roundoffs.
+
+use numfuzz_exact::Rational;
+use numfuzz_softfloat::{Format, Fp, RoundingMode};
+
+fn main() {
+    println!("Table 2: Common rounding functions (modes)\n");
+    let f = Format::BINARY64;
+    let sample = Rational::from_decimal_str("0.1").expect("valid");
+    println!("Demonstration on x = 0.1 (not representable in binary64):\n");
+    println!(
+        "{:<28} {:>8} {:>14} {:>24}",
+        "Rounding mode", "notation", "unit roundoff", "round(0.1) - 0.1"
+    );
+    for mode in RoundingMode::ALL {
+        let rounded = Fp::round(&sample, f, mode).to_rational().expect("finite");
+        let delta = rounded.sub(&sample);
+        println!(
+            "{:<28} {:>8} {:>14} {:>24}",
+            mode.name(),
+            mode.notation(),
+            f.unit_roundoff(mode).to_sci_string(3),
+            delta.to_sci_string(3),
+        );
+    }
+    println!("\nDefining properties (verified exhaustively in the test suite):");
+    println!("  RU(x) = min {{ y in F | y >= x }}     RD(x) = max {{ y in F | y <= x }}");
+    println!("  RZ(x) = RU(x) if x < 0 else RD(x)   RN(x) = nearest, ties to even");
+}

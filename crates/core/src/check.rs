@@ -1,0 +1,611 @@
+//! Algorithmic sensitivity inference (paper Fig. 10).
+//!
+//! The checker is bottom-up: it computes, for every subterm, the *minimal*
+//! environment of variable sensitivities and the most precise type, and
+//! compares against annotations using the subtype relation (Fig. 12). The
+//! traversal is iterative (explicit stack) so million-node Table 4
+//! programs check without recursion, and child results are consumed as
+//! they are merged so peak memory stays proportional to the tree depth
+//! frontier rather than the whole program.
+//!
+//! Deviations from the published figure (see DESIGN.md §3 for rationale):
+//!
+//! * (⊸I) enforces `s <= 1` on the λ-bound variable (the figure prints
+//!   `s >= 1`, which would reject `λx. x` bodies that *under*-use `x` and
+//!   accept 2-sensitive bodies — the opposite of Fig. 2's declarative
+//!   rule);
+//! * (+E) and (Let) replace a zero scaling by the signature's positive
+//!   `rnd` grade, the figure's "`ε` otherwise";
+//! * (Op) allows non-`num` result types so `is_pos : !∞ num ⊸ bool` is an
+//!   ordinary signature entry.
+
+use crate::env::Env;
+use crate::grade::Grade;
+use crate::sig::Signature;
+use crate::term::{Node, TermId, TermStore, VarId};
+use crate::ty::Ty;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The result of inferring one (sub)term: a minimal environment and type.
+#[derive(Clone, Debug)]
+pub struct Inferred {
+    /// Minimal sensitivities of the free variables.
+    pub env: Env,
+    /// The inferred (most precise) type.
+    pub ty: Ty,
+}
+
+/// Report for a top-level `function` definition.
+#[derive(Clone, Debug)]
+pub struct FnReport {
+    /// The function's name.
+    pub name: String,
+    /// The type inference produced for its body.
+    pub inferred: Ty,
+    /// The type assigned in the context (the declaration if present,
+    /// otherwise the inferred type).
+    pub assigned: Ty,
+}
+
+/// Result of checking a whole program term.
+#[derive(Clone, Debug)]
+pub struct CheckResult {
+    /// Environment and type of the root term.
+    pub root: Inferred,
+    /// One report per `function` definition, in source order.
+    pub fns: Vec<FnReport>,
+}
+
+impl CheckResult {
+    /// Looks up a function report by name (the last definition wins, as in
+    /// nested lets).
+    pub fn fn_report(&self, name: &str) -> Option<&FnReport> {
+        self.fns.iter().rev().find(|f| f.name == name)
+    }
+}
+
+/// Type-checking errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckError {
+    /// A variable was used without a binding.
+    UnboundVar(String),
+    /// An operation name is not in the signature.
+    UnknownOp(String),
+    /// A term's type had the wrong shape for its context.
+    Expected {
+        /// What the context needed (human-readable).
+        what: &'static str,
+        /// The type that was found.
+        found: Ty,
+    },
+    /// A function argument does not match the domain type.
+    ArgMismatch {
+        /// The function's declared domain.
+        expected: Ty,
+        /// The argument's inferred type.
+        found: Ty,
+    },
+    /// An operation argument does not match the signature.
+    OpArgMismatch {
+        /// Operation name.
+        op: String,
+        /// Signature argument type.
+        expected: Ty,
+        /// Inferred argument type.
+        found: Ty,
+    },
+    /// A λ-bound variable is used at sensitivity above 1 (the body is not
+    /// non-expansive; box the parameter instead).
+    LambdaSensitivity {
+        /// The parameter name.
+        var: String,
+        /// The inferred sensitivity.
+        got: Grade,
+    },
+    /// A grade product of two symbolic quantities arose (not representable
+    /// as a linear expression).
+    NonlinearGrade,
+    /// `let [x] = v in e` where `v : !_0 σ` but `x` is used.
+    BoxZeroGrade {
+        /// The bound variable's name.
+        var: String,
+    },
+    /// `case` branches have incompatible types.
+    BranchTypeMismatch {
+        /// Left branch type.
+        left: Ty,
+        /// Right branch type.
+        right: Ty,
+    },
+    /// A declared function type is not a supertype of the inferred one.
+    DeclaredMismatch {
+        /// Function name.
+        name: String,
+        /// The declaration.
+        declared: Ty,
+        /// What inference produced.
+        inferred: Ty,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UnboundVar(x) => write!(f, "unbound variable `{x}`"),
+            CheckError::UnknownOp(op) => write!(f, "unknown operation `{op}`"),
+            CheckError::Expected { what, found } => write!(f, "expected {what}, found `{found}`"),
+            CheckError::ArgMismatch { expected, found } => {
+                write!(f, "argument type `{found}` is not a subtype of `{expected}`")
+            }
+            CheckError::OpArgMismatch { op, expected, found } => {
+                write!(f, "operation `{op}` expects `{expected}`, got `{found}`")
+            }
+            CheckError::LambdaSensitivity { var, got } => write!(
+                f,
+                "parameter `{var}` is used at sensitivity {got} > 1; give it a ![{got}] type"
+            ),
+            CheckError::NonlinearGrade => {
+                write!(f, "a product of two symbolic grades arose; annotate with constants")
+            }
+            CheckError::BoxZeroGrade { var } => {
+                write!(f, "`{var}` was boxed at grade 0 but is used")
+            }
+            CheckError::BranchTypeMismatch { left, right } => {
+                write!(f, "case branches have incompatible types `{left}` and `{right}`")
+            }
+            CheckError::DeclaredMismatch { name, declared, inferred } => write!(
+                f,
+                "function `{name}`: inferred type `{inferred}` is not a subtype of declared `{declared}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Infers the minimal environment and type of `root`, with `free` giving
+/// types for free variables.
+///
+/// # Errors
+///
+/// Any [`CheckError`]; inference is complete for this algorithmic system,
+/// so an error means the term is ill-typed (up to the documented
+/// incompleteness of coefficient-wise grade comparison).
+pub fn infer(
+    store: &TermStore,
+    sig: &Signature,
+    root: TermId,
+    free: &[(VarId, Ty)],
+) -> Result<CheckResult, CheckError> {
+    let mut ck = Checker {
+        store,
+        sig,
+        var_tys: free.iter().map(|(v, t)| (*v, t.clone())).collect(),
+        results: HashMap::new(),
+        remaining: count_parent_edges(store),
+        fns: Vec::new(),
+    };
+    ck.run(root)?;
+    let root_res = ck.results.remove(&root).expect("root inferred");
+    Ok(CheckResult { root: root_res, fns: ck.fns })
+}
+
+/// How many parent edges reference each node, across the whole store.
+///
+/// Results are dropped once every referencing parent has consumed them, so
+/// peak memory tracks the live frontier on trees while node *sharing*
+/// (which substitution in the small-step semantics creates) still works:
+/// a shared child's result survives until its last parent takes it.
+fn count_parent_edges(store: &TermStore) -> Vec<u32> {
+    let mut uses = vec![0u32; store.len()];
+    let mut bump = |t: TermId| uses[t.0 as usize] = uses[t.0 as usize].saturating_add(1);
+    for i in 0..store.len() {
+        match store.node(TermId(i as u32)) {
+            Node::Var(_) | Node::UnitVal | Node::Const(_) | Node::Err(..) => {}
+            Node::PairW(a, b) | Node::PairT(a, b) | Node::App(a, b) => {
+                bump(*a);
+                bump(*b);
+            }
+            Node::Inl(v, _) | Node::Inr(v, _) | Node::BoxIntro(_, v) | Node::Rnd(v)
+            | Node::Ret(v) | Node::Proj(_, v) | Node::Op(_, v) => bump(*v),
+            Node::Lam(_, _, body) => bump(*body),
+            Node::LetTensor(_, _, v, e)
+            | Node::LetBox(_, v, e)
+            | Node::LetBind(_, v, e)
+            | Node::Let(_, v, e)
+            | Node::LetFun(_, _, v, e) => {
+                bump(*v);
+                bump(*e);
+            }
+            Node::Case(v, _, e1, _, e2) => {
+                bump(*v);
+                bump(*e1);
+                bump(*e2);
+            }
+        }
+    }
+    uses
+}
+
+struct Checker<'a> {
+    store: &'a TermStore,
+    sig: &'a Signature,
+    var_tys: HashMap<VarId, Ty>,
+    results: HashMap<TermId, Inferred>,
+    /// Outstanding parent edges per node (see [`count_parent_edges`]).
+    remaining: Vec<u32>,
+    fns: Vec<FnReport>,
+}
+
+#[derive(Clone, Copy)]
+struct Frame {
+    id: TermId,
+    stage: u8,
+}
+
+impl<'a> Checker<'a> {
+    fn var_ty(&self, v: VarId) -> Result<Ty, CheckError> {
+        self.var_tys
+            .get(&v)
+            .cloned()
+            .ok_or_else(|| CheckError::UnboundVar(self.store.var_name(v).to_string()))
+    }
+
+    /// Consumes one parent edge's view of a child result; the stored
+    /// result is freed when the last edge has consumed it.
+    fn take(&mut self, id: TermId) -> Option<Inferred> {
+        let slot = &mut self.remaining[id.0 as usize];
+        if *slot > 1 {
+            *slot -= 1;
+            self.results.get(&id).cloned()
+        } else {
+            *slot = 0;
+            self.results.remove(&id)
+        }
+    }
+
+    fn done(&mut self, id: TermId, env: Env, ty: Ty) {
+        self.results.insert(id, Inferred { env, ty });
+    }
+
+    /// The positive stand-in for a zero scaling in (Let)/(+E) — the
+    /// figure's `ε`.
+    fn epsilon(&self) -> Grade {
+        self.sig.rnd_grade().clone()
+    }
+
+    fn run(&mut self, root: TermId) -> Result<(), CheckError> {
+        let mut stack = vec![Frame { id: root, stage: 0 }];
+        while let Some(Frame { id, stage }) = stack.pop() {
+            if stage == 0 && self.results.contains_key(&id) {
+                continue;
+            }
+            match (self.store.node(id).clone(), stage) {
+                // ----- leaves -----
+                (Node::Var(v), _) => {
+                    let ty = self.var_ty(v)?;
+                    self.done(id, Env::singleton(v, Grade::one()), ty);
+                }
+                (Node::UnitVal, _) => self.done(id, Env::empty(), Ty::Unit),
+                (Node::Const(_), _) => self.done(id, Env::empty(), Ty::Num),
+                (Node::Err(g, t), _) => {
+                    let ty = Ty::monad(self.store.grade(g).clone(), self.store.ty(t).clone());
+                    self.done(id, Env::empty(), ty);
+                }
+
+                // ----- single-child nodes -----
+                (Node::Inl(v, _), 0)
+                | (Node::Inr(v, _), 0)
+                | (Node::BoxIntro(_, v), 0)
+                | (Node::Rnd(v), 0)
+                | (Node::Ret(v), 0)
+                | (Node::Proj(_, v), 0)
+                | (Node::Op(_, v), 0) => {
+                    stack.push(Frame { id, stage: 1 });
+                    stack.push(Frame { id: v, stage: 0 });
+                }
+                (Node::Inl(v, rt), 1) => {
+                    let r = self.take(v).expect("child done");
+                    let ty = Ty::sum(r.ty, self.store.ty(rt).clone());
+                    self.done(id, r.env, ty);
+                }
+                (Node::Inr(v, lt), 1) => {
+                    let r = self.take(v).expect("child done");
+                    let ty = Ty::sum(self.store.ty(lt).clone(), r.ty);
+                    self.done(id, r.env, ty);
+                }
+                (Node::BoxIntro(g, v), 1) => {
+                    let r = self.take(v).expect("child done");
+                    let s = self.store.grade(g).clone();
+                    let env = r.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
+                    self.done(id, env, Ty::bang(s, r.ty));
+                }
+                (Node::Rnd(v), 1) => {
+                    let r = self.take(v).expect("child done");
+                    if r.ty != Ty::Num {
+                        return Err(CheckError::Expected { what: "a numeric argument to rnd", found: r.ty });
+                    }
+                    self.done(id, r.env, Ty::monad(self.sig.rnd_grade().clone(), Ty::Num));
+                }
+                (Node::Ret(v), 1) => {
+                    let r = self.take(v).expect("child done");
+                    self.done(id, r.env, Ty::monad(Grade::zero(), r.ty));
+                }
+                (Node::Proj(first, v), 1) => {
+                    let r = self.take(v).expect("child done");
+                    match r.ty {
+                        Ty::With(a, b) => {
+                            let ty = if first { *a } else { *b };
+                            self.done(id, r.env, ty);
+                        }
+                        other => {
+                            return Err(CheckError::Expected { what: "a cartesian pair", found: other })
+                        }
+                    }
+                }
+                (Node::Op(op_idx, v), 1) => {
+                    let r = self.take(v).expect("child done");
+                    let name = self.store.op_name(op_idx);
+                    let op = self
+                        .sig
+                        .op(name)
+                        .ok_or_else(|| CheckError::UnknownOp(name.to_string()))?;
+                    let env = if r.ty.subtype(&op.arg) {
+                        r.env
+                    } else if let Ty::Bang(g, inner) = &op.arg {
+                        // Implicit boxing: `sqrt x` elaborates as
+                        // `sqrt [x]{g}`, scaling the environment by the
+                        // domain's grade (the (!I) rule applied on the fly).
+                        if r.ty.subtype(inner) {
+                            r.env.scale(g).ok_or(CheckError::NonlinearGrade)?
+                        } else {
+                            return Err(CheckError::OpArgMismatch {
+                                op: name.to_string(),
+                                expected: op.arg.clone(),
+                                found: r.ty,
+                            });
+                        }
+                    } else {
+                        return Err(CheckError::OpArgMismatch {
+                            op: name.to_string(),
+                            expected: op.arg.clone(),
+                            found: r.ty,
+                        });
+                    };
+                    self.done(id, env, op.ret.clone());
+                }
+
+                // ----- pairs and application: two independent children -----
+                (Node::PairW(a, b), 0) | (Node::PairT(a, b), 0) | (Node::App(a, b), 0) => {
+                    stack.push(Frame { id, stage: 1 });
+                    stack.push(Frame { id: a, stage: 0 });
+                    stack.push(Frame { id: b, stage: 0 });
+                }
+                (Node::PairW(a, b), 1) => {
+                    let ra = self.take(a).expect("child done");
+                    let rb = self.take(b).expect("child done");
+                    self.done(id, ra.env.sup(rb.env), Ty::with(ra.ty, rb.ty));
+                }
+                (Node::PairT(a, b), 1) => {
+                    let ra = self.take(a).expect("child done");
+                    let rb = self.take(b).expect("child done");
+                    self.done(id, ra.env.add(rb.env), Ty::tensor(ra.ty, rb.ty));
+                }
+                (Node::App(a, b), 1) => {
+                    let ra = self.take(a).expect("child done");
+                    let rb = self.take(b).expect("child done");
+                    match ra.ty {
+                        Ty::Lolli(dom, cod) => {
+                            if !rb.ty.subtype(&dom) {
+                                return Err(CheckError::ArgMismatch { expected: *dom, found: rb.ty });
+                            }
+                            self.done(id, ra.env.add(rb.env), *cod);
+                        }
+                        other => return Err(CheckError::Expected { what: "a function", found: other }),
+                    }
+                }
+
+                // ----- λ: register the parameter, then check the body -----
+                (Node::Lam(x, ty_idx, body), 0) => {
+                    let ty = self.store.ty(ty_idx).clone();
+                    self.var_tys.insert(x, ty);
+                    stack.push(Frame { id, stage: 1 });
+                    stack.push(Frame { id: body, stage: 0 });
+                }
+                (Node::Lam(x, ty_idx, body), 1) => {
+                    let mut r = self.take(body).expect("child done");
+                    let s = r.env.remove(x);
+                    if !s.le(&Grade::one()) {
+                        return Err(CheckError::LambdaSensitivity {
+                            var: self.store.var_name(x).to_string(),
+                            got: s,
+                        });
+                    }
+                    let dom = self.store.ty(ty_idx).clone();
+                    self.done(id, r.env, Ty::lolli(dom, r.ty));
+                }
+
+                // ----- binders that need the scrutinee's type first -----
+                (Node::LetTensor(_, _, v, _), 0)
+                | (Node::Case(v, ..), 0)
+                | (Node::LetBox(_, v, _), 0)
+                | (Node::LetBind(_, v, _), 0) => {
+                    stack.push(Frame { id, stage: 1 });
+                    stack.push(Frame { id: v, stage: 0 });
+                }
+                (Node::Let(_, e, _), 0) | (Node::LetFun(_, _, e, _), 0) => {
+                    stack.push(Frame { id, stage: 1 });
+                    stack.push(Frame { id: e, stage: 0 });
+                }
+
+                (Node::LetTensor(x, y, v, e), 1) => {
+                    let rv = self.results.get(&v).expect("scrutinee done");
+                    match rv.ty.clone() {
+                        Ty::Tensor(a, b) => {
+                            self.var_tys.insert(x, *a);
+                            self.var_tys.insert(y, *b);
+                            stack.push(Frame { id, stage: 2 });
+                            stack.push(Frame { id: e, stage: 0 });
+                        }
+                        other => return Err(CheckError::Expected { what: "a tensor pair", found: other }),
+                    }
+                }
+                (Node::LetTensor(x, y, v, e), 2) => {
+                    let rv = self.take(v).expect("scrutinee done");
+                    let mut re = self.take(e).expect("body done");
+                    let sx = re.env.remove(x);
+                    let sy = re.env.remove(y);
+                    let s = sx.sup(&sy);
+                    let scaled = rv.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
+                    self.done(id, re.env.add(scaled), re.ty);
+                }
+
+                (Node::Case(v, x, e1, y, e2), 1) => {
+                    let rv = self.results.get(&v).expect("scrutinee done");
+                    match rv.ty.clone() {
+                        Ty::Sum(a, b) => {
+                            self.var_tys.insert(x, *a);
+                            self.var_tys.insert(y, *b);
+                            stack.push(Frame { id, stage: 2 });
+                            stack.push(Frame { id: e1, stage: 0 });
+                            stack.push(Frame { id: e2, stage: 0 });
+                        }
+                        other => return Err(CheckError::Expected { what: "a sum", found: other }),
+                    }
+                }
+                (Node::Case(v, x, e1, y, e2), 2) => {
+                    let rv = self.take(v).expect("scrutinee done");
+                    let mut r1 = self.take(e1).expect("left branch done");
+                    let mut r2 = self.take(e2).expect("right branch done");
+                    let s = r1.env.remove(x).sup(&r2.env.remove(y));
+                    // (+E) side condition s > 0: keep a positive dependence
+                    // on the guard (the figure's s̄).
+                    let s_bar = if s.is_zero() { self.epsilon() } else { s };
+                    let ty = r1.ty.sup(&r2.ty).ok_or(CheckError::BranchTypeMismatch {
+                        left: r1.ty.clone(),
+                        right: r2.ty.clone(),
+                    })?;
+                    let theta = r1.env.sup(r2.env);
+                    let scaled = rv.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
+                    self.done(id, theta.add(scaled), ty);
+                }
+
+                (Node::LetBox(x, v, e), 1) => {
+                    let rv = self.results.get(&v).expect("scrutinee done");
+                    match rv.ty.clone() {
+                        Ty::Bang(_, inner) => {
+                            self.var_tys.insert(x, *inner);
+                            stack.push(Frame { id, stage: 2 });
+                            stack.push(Frame { id: e, stage: 0 });
+                        }
+                        other => return Err(CheckError::Expected { what: "a boxed value", found: other }),
+                    }
+                }
+                (Node::LetBox(x, v, e), 2) => {
+                    let rv = self.take(v).expect("scrutinee done");
+                    let mut re = self.take(e).expect("body done");
+                    let s = match &rv.ty {
+                        Ty::Bang(s, _) => s.clone(),
+                        _ => unreachable!("checked at stage 1"),
+                    };
+                    let r = re.env.remove(x);
+                    let t = r.div_min(&s).ok_or_else(|| CheckError::BoxZeroGrade {
+                        var: self.store.var_name(x).to_string(),
+                    })?;
+                    let scaled = rv.env.scale(&t).ok_or(CheckError::NonlinearGrade)?;
+                    self.done(id, re.env.add(scaled), re.ty);
+                }
+
+                (Node::LetBind(x, v, f), 1) => {
+                    let rv = self.results.get(&v).expect("scrutinee done");
+                    match rv.ty.clone() {
+                        Ty::Monad(_, inner) => {
+                            self.var_tys.insert(x, *inner);
+                            stack.push(Frame { id, stage: 2 });
+                            stack.push(Frame { id: f, stage: 0 });
+                        }
+                        other => {
+                            return Err(CheckError::Expected { what: "a monadic computation", found: other })
+                        }
+                    }
+                }
+                (Node::LetBind(x, v, f), 2) => {
+                    let rv = self.take(v).expect("scrutinee done");
+                    let mut rf = self.take(f).expect("body done");
+                    let r = match &rv.ty {
+                        Ty::Monad(r, _) => r.clone(),
+                        _ => unreachable!("checked at stage 1"),
+                    };
+                    let (q, tau) = match rf.ty {
+                        Ty::Monad(q, tau) => (q, *tau),
+                        other => {
+                            return Err(CheckError::Expected {
+                                what: "a monadic body in let-bind",
+                                found: other,
+                            })
+                        }
+                    };
+                    let s = rf.env.remove(x);
+                    let sr = s.checked_mul(&r).ok_or(CheckError::NonlinearGrade)?;
+                    let grade = sr.add(&q);
+                    let scaled = rv.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
+                    self.done(id, rf.env.add(scaled), Ty::monad(grade, tau));
+                }
+
+                (Node::Let(x, e, f), 1) => {
+                    let re = self.results.get(&e).expect("bound term done");
+                    self.var_tys.insert(x, re.ty.clone());
+                    stack.push(Frame { id, stage: 2 });
+                    stack.push(Frame { id: f, stage: 0 });
+                }
+                (Node::Let(x, e, f), 2) => {
+                    let re = self.take(e).expect("bound term done");
+                    let mut rf = self.take(f).expect("body done");
+                    let s = rf.env.remove(x);
+                    // (Let) side condition s > 0.
+                    let s_bar = if s.is_zero() { self.epsilon() } else { s };
+                    let scaled = re.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
+                    self.done(id, rf.env.add(scaled), rf.ty);
+                }
+
+                (Node::LetFun(x, decl_idx, body, rest), 1) => {
+                    let rb = self.results.get(&body).expect("function body done");
+                    let inferred = rb.ty.clone();
+                    let assigned = if decl_idx == u32::MAX {
+                        inferred.clone()
+                    } else {
+                        let declared = self.store.ty(decl_idx).clone();
+                        if !inferred.subtype(&declared) {
+                            return Err(CheckError::DeclaredMismatch {
+                                name: self.store.var_name(x).to_string(),
+                                declared,
+                                inferred,
+                            });
+                        }
+                        declared
+                    };
+                    self.fns.push(FnReport {
+                        name: self.store.var_name(x).to_string(),
+                        inferred,
+                        assigned: assigned.clone(),
+                    });
+                    self.var_tys.insert(x, assigned);
+                    stack.push(Frame { id, stage: 2 });
+                    stack.push(Frame { id: rest, stage: 0 });
+                }
+                (Node::LetFun(x, _, body, rest), 2) => {
+                    let rb = self.take(body).expect("function body done");
+                    let mut rr = self.take(rest).expect("rest done");
+                    let s = rr.env.remove(x);
+                    let s_bar = if s.is_zero() { self.epsilon() } else { s };
+                    let scaled = rb.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
+                    self.done(id, rr.env.add(scaled), rr.ty);
+                }
+
+                (node, stage) => unreachable!("invalid checker state: {node:?} at stage {stage}"),
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,189 @@
+//! Typing environments: finite maps from variables to sensitivity grades.
+//!
+//! The checker manipulates environments constantly (every rule of Fig. 10
+//! sums, scales, or joins them), and Table 4 programs have hundreds of
+//! thousands of live variables, so [`Env`] merges use the classic
+//! smaller-into-larger trick to keep a whole-program check quasi-linear.
+//! Absent variables implicitly carry grade `0`; zero entries are not
+//! stored.
+
+use crate::grade::Grade;
+use crate::term::VarId;
+use std::collections::HashMap;
+
+/// A sensitivity environment `Γ` (variable types are tracked separately by
+/// the checker; two environments over the same program always agree on
+/// types because binders are alpha-renamed).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Env {
+    entries: HashMap<VarId, Grade>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Self {
+        Env::default()
+    }
+
+    /// `{ x :_g }`.
+    pub fn singleton(x: VarId, g: Grade) -> Self {
+        let mut entries = HashMap::new();
+        if !g.is_zero() {
+            entries.insert(x, g);
+        }
+        Env { entries }
+    }
+
+    /// The sensitivity of `x` (zero when absent).
+    pub fn get(&self, x: VarId) -> Grade {
+        self.entries.get(&x).cloned().unwrap_or_else(Grade::zero)
+    }
+
+    /// Removes `x`, returning its sensitivity (zero when absent).
+    pub fn remove(&mut self, x: VarId) -> Grade {
+        self.entries.remove(&x).unwrap_or_else(Grade::zero)
+    }
+
+    /// Number of variables with nonzero sensitivity.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no variable has nonzero sensitivity.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(variable, grade)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&VarId, &Grade)> {
+        self.entries.iter()
+    }
+
+    /// Environment sum `Γ + Δ` (pointwise grade addition), consuming both
+    /// and merging the smaller into the larger.
+    pub fn add(mut self, mut other: Env) -> Env {
+        if self.entries.len() < other.entries.len() {
+            std::mem::swap(&mut self, &mut other);
+        }
+        for (x, g) in other.entries {
+            match self.entries.entry(x) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let sum = e.get().add(&g);
+                    *e.get_mut() = sum;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(g);
+                }
+            }
+        }
+        self
+    }
+
+    /// Environment scaling `s * Γ`. Returns `None` when a product of two
+    /// genuinely symbolic grades would be required.
+    pub fn scale(self, s: &Grade) -> Option<Env> {
+        if let Some(c) = s.as_constant() {
+            if c == &numfuzz_exact::Rational::one() {
+                return Some(self);
+            }
+        }
+        if s.is_zero() {
+            return Some(Env::empty()); // 0 · ∞ = 0: everything drops out
+        }
+        let mut entries = HashMap::with_capacity(self.entries.len());
+        for (x, g) in self.entries {
+            let scaled = s.checked_mul(&g)?;
+            if !scaled.is_zero() {
+                entries.insert(x, scaled);
+            }
+        }
+        Some(Env { entries })
+    }
+
+    /// Pointwise least upper bound `max(Γ, Δ)` (absent = 0).
+    pub fn sup(mut self, mut other: Env) -> Env {
+        if self.entries.len() < other.entries.len() {
+            std::mem::swap(&mut self, &mut other);
+        }
+        for (x, g) in other.entries {
+            match self.entries.entry(x) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let s = e.get().sup(&g);
+                    *e.get_mut() = s;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(g);
+                }
+            }
+        }
+        self
+    }
+
+    /// Pointwise comparison: `self(x) <= other(x)` for every variable.
+    pub fn le(&self, other: &Env) -> bool {
+        self.entries.iter().all(|(x, g)| g.le(&other.get(*x)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numfuzz_exact::Rational;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn g(n: i64) -> Grade {
+        Grade::constant(Rational::from_int(n))
+    }
+
+    #[test]
+    fn add_sums_grades() {
+        let a = Env::singleton(v(0), g(1)).add(Env::singleton(v(1), g(2)));
+        let b = Env::singleton(v(0), g(3));
+        let sum = a.add(b);
+        assert_eq!(sum.get(v(0)), g(4));
+        assert_eq!(sum.get(v(1)), g(2));
+        assert_eq!(sum.get(v(2)), Grade::zero());
+        assert_eq!(sum.len(), 2);
+    }
+
+    #[test]
+    fn scale_zero_and_one() {
+        let e = Env::singleton(v(0), Grade::infinite());
+        assert_eq!(e.clone().scale(&Grade::zero()).unwrap(), Env::empty());
+        assert_eq!(e.clone().scale(&Grade::one()).unwrap(), e);
+        let doubled = Env::singleton(v(0), g(3)).scale(&g(2)).unwrap();
+        assert_eq!(doubled.get(v(0)), g(6));
+        // Symbolic * symbolic is rejected.
+        let sym = Env::singleton(v(0), Grade::symbol("eps"));
+        assert!(sym.scale(&Grade::symbol("u")).is_none());
+    }
+
+    #[test]
+    fn sup_pointwise() {
+        let a = Env::singleton(v(0), g(1)).add(Env::singleton(v(1), g(5)));
+        let b = Env::singleton(v(0), g(3));
+        let s = a.sup(b);
+        assert_eq!(s.get(v(0)), g(3));
+        assert_eq!(s.get(v(1)), g(5));
+    }
+
+    #[test]
+    fn le_pointwise() {
+        let a = Env::singleton(v(0), g(1));
+        let b = Env::singleton(v(0), g(2)).add(Env::singleton(v(1), g(1)));
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(Env::empty().le(&a));
+    }
+
+    #[test]
+    fn remove_returns_grade() {
+        let mut e = Env::singleton(v(0), g(7));
+        assert_eq!(e.remove(v(0)), g(7));
+        assert_eq!(e.remove(v(0)), Grade::zero());
+        assert!(e.is_empty());
+    }
+}

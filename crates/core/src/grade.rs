@@ -1,0 +1,455 @@
+//! Grades: the quantities that annotate Λnum types.
+//!
+//! Both sensitivities (`!_s`) and rounding-error indices (`M_u`) are drawn
+//! from the pre-ordered semiring `R≥0 ∪ {∞}` (paper Definitions 4.2/4.3,
+//! with `0·∞ = ∞·0 = 0`). This implementation represents finite grades as
+//! **symbolic linear expressions** `c₀ + Σ cᵢ·symᵢ` with exact non-negative
+//! rational coefficients, so inferred bounds come out as closed forms like
+//! `3*eps + 4*u'` — exactly the shapes the paper's Section 2.3 reports —
+//! and only turn into numbers when a value such as `eps = 2⁻⁵²` is
+//! substituted.
+//!
+//! Order, `max` and `min` are coefficient-wise. Because every symbol ranges
+//! over `R≥0`, coefficient-wise comparisons are *sound* for the pointwise
+//! order (they may be incomplete: `eps` vs `2⁻⁵²` is unrelated symbolically,
+//! which is the conservative answer a checker wants).
+
+use numfuzz_exact::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A grade: a finite symbolic linear expression or `∞`.
+///
+/// # Examples
+///
+/// ```
+/// use numfuzz_core::Grade;
+/// use numfuzz_exact::Rational;
+///
+/// let eps = Grade::symbol("eps");
+/// let g = eps.scale(&Rational::from_int(2)).add(&eps); // 3*eps
+/// assert_eq!(g.to_string(), "3*eps");
+/// assert!(eps.le(&g));
+/// assert!(!g.le(&eps));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Grade {
+    /// A finite linear expression over non-negative symbols.
+    Finite(LinExpr),
+    /// The top element `∞`.
+    Infinite,
+}
+
+/// A linear expression `c₀ + Σ cᵢ·symᵢ` with non-negative rational
+/// coefficients and sorted, deduplicated symbols.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LinExpr {
+    constant: Rational,
+    /// Sorted by symbol name; no zero coefficients stored.
+    terms: Vec<(String, Rational)>,
+}
+
+impl Default for LinExpr {
+    fn default() -> Self {
+        LinExpr { constant: Rational::zero(), terms: Vec::new() }
+    }
+}
+
+impl LinExpr {
+    fn normalize(mut self) -> Self {
+        self.terms.retain(|(_, c)| !c.is_zero());
+        self
+    }
+
+    /// The constant component.
+    pub fn constant(&self) -> &Rational {
+        &self.constant
+    }
+
+    /// The symbolic terms (sorted by symbol).
+    pub fn terms(&self) -> &[(String, Rational)] {
+        &self.terms
+    }
+
+    fn coeff(&self, sym: &str) -> Rational {
+        self.terms
+            .iter()
+            .find(|(s, _)| s == sym)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_else(Rational::zero)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.constant.is_zero() && self.terms.is_empty()
+    }
+
+    fn merge(a: &LinExpr, b: &LinExpr, f: impl Fn(&Rational, &Rational) -> Rational) -> LinExpr {
+        let mut map: BTreeMap<&str, (Rational, Rational)> = BTreeMap::new();
+        for (s, c) in &a.terms {
+            map.entry(s).or_insert_with(|| (Rational::zero(), Rational::zero())).0 = c.clone();
+        }
+        for (s, c) in &b.terms {
+            map.entry(s).or_insert_with(|| (Rational::zero(), Rational::zero())).1 = c.clone();
+        }
+        LinExpr {
+            constant: f(&a.constant, &b.constant),
+            terms: map.into_iter().map(|(s, (ca, cb))| (s.to_string(), f(&ca, &cb))).collect(),
+        }
+        .normalize()
+    }
+}
+
+impl Grade {
+    /// The zero grade.
+    pub fn zero() -> Self {
+        Grade::Finite(LinExpr::default())
+    }
+
+    /// The grade `1`.
+    pub fn one() -> Self {
+        Grade::constant(Rational::one())
+    }
+
+    /// The grade `∞`.
+    pub fn infinite() -> Self {
+        Grade::Infinite
+    }
+
+    /// A constant grade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is negative (grades live in `R≥0 ∪ {∞}`).
+    pub fn constant(c: Rational) -> Self {
+        assert!(!c.is_negative(), "grades must be non-negative");
+        Grade::Finite(LinExpr { constant: c, terms: Vec::new() })
+    }
+
+    /// The grade `1·sym` for a fresh symbolic quantity (e.g. `eps`).
+    pub fn symbol(name: &str) -> Self {
+        Grade::Finite(LinExpr {
+            constant: Rational::zero(),
+            terms: vec![(name.to_string(), Rational::one())],
+        })
+    }
+
+    /// Whether this is the zero grade.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Grade::Finite(e) if e.is_zero())
+    }
+
+    /// Whether this grade is `∞`.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, Grade::Infinite)
+    }
+
+    /// The constant value, if the grade has no symbolic part.
+    pub fn as_constant(&self) -> Option<&Rational> {
+        match self {
+            Grade::Finite(e) if e.terms.is_empty() => Some(&e.constant),
+            _ => None,
+        }
+    }
+
+    /// Grade addition (`∞` absorbs).
+    pub fn add(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Grade::Infinite, _) | (_, Grade::Infinite) => Grade::Infinite,
+            (Grade::Finite(a), Grade::Finite(b)) => Grade::Finite(LinExpr::merge(a, b, |x, y| x.add(y))),
+        }
+    }
+
+    /// Scales by a non-negative rational constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is negative.
+    pub fn scale(&self, c: &Rational) -> Self {
+        assert!(!c.is_negative(), "grades must be non-negative");
+        if c.is_zero() {
+            return Grade::zero(); // 0 · ∞ = 0 (paper convention)
+        }
+        match self {
+            Grade::Infinite => Grade::Infinite,
+            Grade::Finite(e) => Grade::Finite(LinExpr {
+                constant: e.constant.mul(c),
+                terms: e.terms.iter().map(|(s, k)| (s.clone(), k.mul(c))).collect(),
+            }),
+        }
+    }
+
+    /// Grade multiplication. Defined when at least one side is constant (or
+    /// zero/infinite); the product of two genuinely symbolic grades is not
+    /// linear, so `None` is returned and the checker reports an error.
+    ///
+    /// Follows the paper's convention `0 · ∞ = ∞ · 0 = 0`.
+    pub fn checked_mul(&self, other: &Self) -> Option<Self> {
+        if self.is_zero() || other.is_zero() {
+            return Some(Grade::zero());
+        }
+        match (self, other) {
+            (Grade::Infinite, _) | (_, Grade::Infinite) => Some(Grade::Infinite),
+            (Grade::Finite(_), Grade::Finite(_)) => {
+                if let Some(c) = self.as_constant() {
+                    Some(other.scale(c))
+                } else { other.as_constant().map(|c| self.scale(c)) }
+            }
+        }
+    }
+
+    /// The sound coefficient-wise partial order: `self <= other` pointwise
+    /// for every assignment of non-negative values to the symbols.
+    pub fn le(&self, other: &Self) -> bool {
+        match (self, other) {
+            (_, Grade::Infinite) => true,
+            (Grade::Infinite, Grade::Finite(_)) => false,
+            (Grade::Finite(a), Grade::Finite(b)) => {
+                if a.constant > b.constant {
+                    return false;
+                }
+                // Every coefficient of `a` must be covered by `b`.
+                a.terms.iter().all(|(s, c)| c <= &b.coeff(s))
+            }
+        }
+    }
+
+    /// Coefficient-wise least upper bound (sound for the pointwise order).
+    pub fn sup(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Grade::Infinite, _) | (_, Grade::Infinite) => Grade::Infinite,
+            (Grade::Finite(a), Grade::Finite(b)) => {
+                Grade::Finite(LinExpr::merge(a, b, |x, y| x.clone().max(y.clone())))
+            }
+        }
+    }
+
+    /// Coefficient-wise greatest lower bound (sound for the pointwise order).
+    pub fn inf(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Grade::Infinite, g) | (g, Grade::Infinite) => g.clone(),
+            (Grade::Finite(a), Grade::Finite(b)) => {
+                Grade::Finite(LinExpr::merge(a, b, |x, y| x.clone().min(y.clone())))
+            }
+        }
+    }
+
+    /// The least grade `t` with `r <= t * s` (`r = self`), used by the
+    /// algorithmic (!E) rule to split a use at sensitivity `r` through a box
+    /// of grade `s`.
+    ///
+    /// Returns `None` when no such `t` exists (`s = 0` but `r > 0`: the
+    /// variable was boxed away at grade zero yet used).
+    pub fn div_min(&self, s: &Self) -> Option<Self> {
+        if self.is_zero() {
+            return Some(Grade::zero());
+        }
+        if s.is_zero() {
+            return None; // t*0 = 0 < r for every t (0·∞ = 0 too)
+        }
+        match (self, s) {
+            // Any positive t gives t·∞ = ∞ >= r; there is no least one, so
+            // take t = 1 (sound; only the scaling of an env that is usually
+            // already ∞-graded is affected).
+            (_, Grade::Infinite) => Some(Grade::one()),
+            (Grade::Infinite, Grade::Finite(_)) => Some(Grade::Infinite),
+            (Grade::Finite(r), Grade::Finite(se)) => {
+                if let Some(c) = s.as_constant() {
+                    // Exact coefficient-wise division by a positive constant.
+                    let inv = c.recip();
+                    return Some(self.scale(&inv));
+                }
+                // Symbolic divisor: find the least constant t with
+                // r_i <= t * s_i for every component.
+                let mut t = if se.constant.is_zero() {
+                    if r.constant.is_zero() {
+                        Rational::zero()
+                    } else {
+                        return Some(Grade::Infinite);
+                    }
+                } else {
+                    r.constant.div(&se.constant)
+                };
+                for (sym, rc) in &r.terms {
+                    let sc = se.coeff(sym);
+                    if sc.is_zero() {
+                        return Some(Grade::Infinite);
+                    }
+                    t = t.max(rc.div(&sc));
+                }
+                Some(Grade::constant(t))
+            }
+        }
+    }
+
+    /// Evaluates the grade with concrete values for the symbols.
+    ///
+    /// Returns `None` for `∞` or when a symbol is missing from `env`.
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<Rational>) -> Option<Rational> {
+        match self {
+            Grade::Infinite => None,
+            Grade::Finite(e) => {
+                let mut acc = e.constant.clone();
+                for (s, c) in &e.terms {
+                    acc = acc.add(&c.mul(&env(s)?));
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    /// Substitutes `eps ↦ value` and evaluates; the common case for turning
+    /// an inferred error grade into a numeric bound.
+    pub fn eval_eps(&self, eps: &Rational) -> Option<Rational> {
+        self.eval(&|s| if s == "eps" { Some(eps.clone()) } else { None })
+    }
+}
+
+impl fmt::Display for Grade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Grade::Infinite => write!(f, "inf"),
+            Grade::Finite(e) => {
+                if e.is_zero() {
+                    return write!(f, "0");
+                }
+                let mut first = true;
+                if !e.constant.is_zero() {
+                    write!(f, "{}", e.constant)?;
+                    first = false;
+                }
+                for (s, c) in &e.terms {
+                    if !first {
+                        write!(f, " + ")?;
+                    }
+                    first = false;
+                    if c == &Rational::one() {
+                        write!(f, "{s}")?;
+                    } else {
+                        write!(f, "{c}*{s}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: i64, d: i64) -> Grade {
+        Grade::constant(Rational::ratio(n, d))
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Grade::zero().to_string(), "0");
+        assert_eq!(Grade::one().to_string(), "1");
+        assert_eq!(Grade::infinite().to_string(), "inf");
+        assert_eq!(Grade::symbol("eps").to_string(), "eps");
+        let g = Grade::symbol("eps").scale(&Rational::from_int(3)).add(&c(1, 2));
+        assert_eq!(g.to_string(), "1/2 + 3*eps");
+        let two_syms = Grade::symbol("eps").add(&Grade::symbol("u").scale(&Rational::from_int(4)));
+        assert_eq!(two_syms.to_string(), "eps + 4*u");
+    }
+
+    #[test]
+    fn semiring_laws() {
+        let eps = Grade::symbol("eps");
+        let u = Grade::symbol("u");
+        assert_eq!(eps.add(&u), u.add(&eps));
+        assert_eq!(eps.add(&Grade::zero()), eps);
+        assert_eq!(eps.checked_mul(&Grade::one()), Some(eps.clone()));
+        assert_eq!(eps.checked_mul(&Grade::zero()), Some(Grade::zero()));
+        // 0 · ∞ = 0, the paper's convention.
+        assert_eq!(Grade::zero().checked_mul(&Grade::infinite()), Some(Grade::zero()));
+        assert_eq!(Grade::infinite().checked_mul(&Grade::zero()), Some(Grade::zero()));
+        assert_eq!(Grade::infinite().checked_mul(&eps), Some(Grade::Infinite));
+        // symbolic × symbolic is rejected.
+        assert_eq!(eps.checked_mul(&u), None);
+    }
+
+    #[test]
+    fn order_is_coefficientwise() {
+        let eps = Grade::symbol("eps");
+        let two_eps = eps.scale(&Rational::from_int(2));
+        assert!(eps.le(&two_eps));
+        assert!(!two_eps.le(&eps));
+        assert!(eps.le(&Grade::infinite()));
+        assert!(!Grade::infinite().le(&eps));
+        // Incomparable: eps vs constant.
+        assert!(!eps.le(&c(1, 1)));
+        assert!(!c(1, 1).le(&eps));
+        // Mixed: 1 + eps vs 2 + 3eps.
+        let a = c(1, 1).add(&eps);
+        let b = c(2, 1).add(&two_eps.add(&eps));
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn sup_inf_bound() {
+        let eps = Grade::symbol("eps");
+        let a = c(1, 1).add(&eps);
+        let b = c(1, 2).add(&eps.scale(&Rational::from_int(3)));
+        let s = a.sup(&b);
+        let i = a.inf(&b);
+        assert!(a.le(&s) && b.le(&s));
+        assert!(i.le(&a) && i.le(&b));
+        assert_eq!(s.to_string(), "1 + 3*eps");
+        assert_eq!(i.to_string(), "1/2 + eps");
+        assert_eq!(a.sup(&Grade::infinite()), Grade::Infinite);
+        assert_eq!(a.inf(&Grade::infinite()), a);
+    }
+
+    #[test]
+    fn div_min_cases() {
+        let eps = Grade::symbol("eps");
+        let two = c(2, 1);
+        // r = 2eps, s = 2  =>  t = eps.
+        assert_eq!(eps.scale(&Rational::from_int(2)).div_min(&two), Some(eps.clone()));
+        // r = 2, s = 2  =>  t = 1.
+        assert_eq!(two.div_min(&two), Some(Grade::one()));
+        // r = 0 => 0 regardless.
+        assert_eq!(Grade::zero().div_min(&Grade::zero()), Some(Grade::zero()));
+        // r > 0, s = 0 => impossible.
+        assert_eq!(two.div_min(&Grade::zero()), None);
+        // s = ∞ => t = 1 (sound choice).
+        assert_eq!(two.div_min(&Grade::infinite()), Some(Grade::one()));
+        // r = ∞, s finite nonzero => ∞.
+        assert_eq!(Grade::infinite().div_min(&two), Some(Grade::Infinite));
+        // Symbolic divisor: r = 3*eps, s = eps => t = 3; verify r <= t*s.
+        let t = eps.scale(&Rational::from_int(3)).div_min(&eps).unwrap();
+        assert_eq!(t, c(3, 1));
+        // r has a symbol missing from s => ∞.
+        let u = Grade::symbol("u");
+        assert_eq!(u.div_min(&eps), Some(Grade::Infinite));
+        // Mixed: r = 2 + 4*eps, s = 1 + eps => t = max(2, 4) = 4.
+        let r = c(2, 1).add(&eps.scale(&Rational::from_int(4)));
+        let s = c(1, 1).add(&eps);
+        let t = r.div_min(&s).unwrap();
+        assert_eq!(t, c(4, 1));
+        assert!(r.le(&t.checked_mul(&s).unwrap()));
+    }
+
+    #[test]
+    fn eval_substitutes() {
+        let g = Grade::symbol("eps").scale(&Rational::from_int(7));
+        let u = Rational::pow2(-52);
+        assert_eq!(g.eval_eps(&u), Some(Rational::from_int(7).mul(&u)));
+        assert_eq!(Grade::infinite().eval_eps(&u), None);
+        let h = Grade::symbol("other");
+        assert_eq!(h.eval_eps(&u), None);
+        let mixed = g.add(&c(1, 4));
+        assert_eq!(
+            mixed.eval_eps(&u),
+            Some(Rational::from_int(7).mul(&u).add(&Rational::ratio(1, 4)))
+        );
+    }
+
+    #[test]
+    fn scale_zero_kills_infinity() {
+        assert_eq!(Grade::infinite().scale(&Rational::zero()), Grade::zero());
+    }
+}

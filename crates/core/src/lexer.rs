@@ -1,0 +1,353 @@
+//! Lexer for the Λnum surface syntax (the notation of the paper's Figs.
+//! 7–9: `function` definitions, `(|a, b|)` cartesian pairs, `M[2*eps]num`
+//! types, and so on).
+
+use std::fmt;
+
+/// A token with its source position (1-based line/column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier (primes allowed: `x'`).
+    Ident(String),
+    /// Numeric literal (decimal, optional fraction/exponent).
+    Number(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `(|`
+    LPairW,
+    /// `|)`
+    RPairW,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `-o`
+    Lolli,
+    /// `|`
+    Pipe,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Number(s) => write!(f, "number `{s}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LPairW => write!(f, "`(|`"),
+            Tok::RPairW => write!(f, "`|)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Lolli => write!(f, "`-o`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A syntax error with position information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntaxError {
+    /// Human-readable description.
+    pub msg: String,
+    /// 1-based line (0 when unknown).
+    pub line: u32,
+    /// 1-based column (0 when unknown).
+    pub col: u32,
+}
+
+impl SyntaxError {
+    pub(crate) fn new(msg: impl Into<String>, line: u32, col: u32) -> Self {
+        SyntaxError { msg: msg.into(), line, col }
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Tokenizes a source string. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] on any character that cannot begin a token.
+pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            out.push(Token { kind: $kind, line, col });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' if bytes.get(i + 1) == Some(&b'|') => push!(Tok::LPairW, 2),
+            '|' if bytes.get(i + 1) == Some(&b')') => push!(Tok::RPairW, 2),
+            '-' if bytes.get(i + 1) == Some(&b'o') => push!(Tok::Lolli, 2),
+            '-' if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit() || *b == b'.') => {
+                // Negative numeric literal.
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                out.push(Token { kind: Tok::Number(text.to_string()), line, col });
+                col += (i - start) as u32;
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '[' => push!(Tok::LBracket, 1),
+            ']' => push!(Tok::RBracket, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            '<' => push!(Tok::Lt, 1),
+            '>' => push!(Tok::Gt, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semi, 1),
+            ':' => push!(Tok::Colon, 1),
+            '=' => push!(Tok::Eq, 1),
+            '.' if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => push!(Tok::Dot, 1),
+            '+' => push!(Tok::Plus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '|' => push!(Tok::Pipe, 1),
+            '!' => push!(Tok::Bang, 1),
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                // Exponent part: e or E followed by optional sign.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                out.push(Token { kind: Tok::Number(text.to_string()), line, col });
+                col += (i - start) as u32;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                out.push(Token { kind: Tok::Ident(text.to_string()), line, col });
+                col += (i - start) as u32;
+            }
+            _ => {
+                return Err(SyntaxError::new(format!("unexpected character `{c}`"), line, col));
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("function f (x: num) : M[eps]num { rnd x }"),
+            vec![
+                Tok::Ident("function".into()),
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Colon,
+                Tok::Ident("num".into()),
+                Tok::RParen,
+                Tok::Colon,
+                Tok::Ident("M".into()),
+                Tok::LBracket,
+                Tok::Ident("eps".into()),
+                Tok::RBracket,
+                Tok::Ident("num".into()),
+                Tok::LBrace,
+                Tok::Ident("rnd".into()),
+                Tok::Ident("x".into()),
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn pair_delimiters_and_lolli() {
+        assert_eq!(
+            kinds("(|a,z|) (x,y) -o"),
+            vec![
+                Tok::LPairW,
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Ident("z".into()),
+                Tok::RPairW,
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Comma,
+                Tok::Ident("y".into()),
+                Tok::RParen,
+                Tok::Lolli,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_primes() {
+        assert_eq!(
+            kinds("2*eps x' 0.5 1e-5 2.5E+3"),
+            vec![
+                Tok::Number("2".into()),
+                Tok::Star,
+                Tok::Ident("eps".into()),
+                Tok::Ident("x'".into()),
+                Tok::Number("0.5".into()),
+                Tok::Number("1e-5".into()),
+                Tok::Number("2.5E+3".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("x // comment\ny").unwrap();
+        assert_eq!(toks[0].kind, Tok::Ident("x".into()));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!(toks[1].kind, Tok::Ident("y".into()));
+        assert_eq!((toks[1].line, toks[1].col), (2, 1));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("x # y").is_err());
+    }
+
+    #[test]
+    fn dot_vs_decimal() {
+        // `.` before a digit is part of a number; standalone `.` is Dot.
+        assert_eq!(
+            kinds("inl x . e"),
+            vec![
+                Tok::Ident("inl".into()),
+                Tok::Ident("x".into()),
+                Tok::Dot,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

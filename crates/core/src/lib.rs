@@ -1,0 +1,68 @@
+//! # numfuzz-core
+//!
+//! The Λnum language of *Numerical Fuzz: A Type System for Rounding Error
+//! Analysis* (PLDI 2024): a linear call-by-value λ-calculus whose type
+//! system combines a Fuzz-style sensitivity analysis with a graded monad
+//! `M_u τ` that tracks accumulated rounding error.
+//!
+//! * [`Grade`] — sensitivities and error indices as exact symbolic linear
+//!   expressions over `R≥0 ∪ {∞}`;
+//! * [`Ty`] — types (Fig. 1) with subtyping (Fig. 12) and the `max`/`min`
+//!   lattice (Fig. 11);
+//! * [`TermStore`] — arena-based terms (Fig. 1) scaling to the paper's
+//!   4.2-million-operation benchmarks;
+//! * [`Signature`] — the primitive-operation signatures of the Section 5
+//!   instantiations (relative precision and absolute error);
+//! * [`infer`] — algorithmic sensitivity inference (Fig. 10);
+//! * [`parser`] / [`lower`] — the surface syntax of the paper's Figs. 7–9
+//!   and its elaboration (ANF + scope resolution) into the arena.
+//!
+//! ## Example: the paper's `pow2'` (Section 2.3)
+//!
+//! ```
+//! use numfuzz_core::{compile, infer, Signature};
+//!
+//! let sig = Signature::relative_precision();
+//! let src = r#"
+//!     function pow2' (x: ![2.0]num) : M[eps]num {
+//!         let [x1] = x;
+//!         s = mul (x1, x1);
+//!         rnd s
+//!     }
+//! "#;
+//! let lowered = compile(src, &sig)?;
+//! let result = infer(&lowered.store, &sig, lowered.root, &[])?;
+//! // The checker reproduces the paper's type: !2 num ⊸ M_eps num.
+//! assert_eq!(result.fn_report("pow2'").unwrap().inferred.to_string(),
+//!            "![2]num -o M[eps]num");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// Grade::add takes references (see numfuzz-exact); CheckError carries full types for messages and checking is not a hot error path.
+#![allow(clippy::should_implement_trait)]
+#![allow(clippy::result_large_err)]
+#![warn(missing_docs)]
+
+mod check;
+mod env;
+mod grade;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+mod pretty;
+mod sig;
+mod term;
+mod ty;
+pub mod validate;
+
+pub use check::{infer, CheckError, CheckResult, FnReport, Inferred};
+pub use env::Env;
+pub use grade::{Grade, LinExpr};
+pub use lexer::SyntaxError;
+pub use lower::{compile, lower_program, Lowered};
+pub use parser::{parse_expr, parse_program, parse_ty, SExpr, SFnDef, SProgram};
+pub use pretty::pretty_term;
+pub use sig::{Instantiation, OpSig, Signature};
+pub use term::{Node, TermId, TermStore, VarId};
+pub use ty::Ty;

@@ -1,0 +1,471 @@
+//! Lowering from the surface syntax to arena terms.
+//!
+//! Two things happen here:
+//!
+//! 1. **ANF-ization.** Fig. 1 restricts constructors and eliminators to
+//!    *value* operands; the surface syntax is free-form, so non-value
+//!    operands are let-bound (`addfp (mul (x,y), z)` becomes
+//!    `let t = mul (x,y) in addfp (t, z)` — exactly the explicit
+//!    sequencing style of the paper's examples).
+//! 2. **Scope resolution.** Names are resolved to fresh [`VarId`]s
+//!    (alpha-renaming); unbound names that match signature operations
+//!    become [`Node::Op`] applications, with automatic boxing of the
+//!    argument when the operation's domain is a `!`-type (so `sqrt x`
+//!    elaborates to `sqrt ([x]{1/2})`).
+
+use crate::grade::Grade;
+use crate::lexer::SyntaxError;
+use crate::parser::{SExpr, SProgram};
+use crate::sig::Signature;
+use crate::term::{TermId, TermStore, VarId};
+use crate::ty::Ty;
+use std::collections::HashMap;
+
+/// A lowered program: the arena plus the root term.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// The term arena.
+    pub store: TermStore,
+    /// The root term (function definitions nested as `LetFun`s; the final
+    /// body is the main expression, or the last function's variable).
+    pub root: TermId,
+}
+
+/// Lowers a parsed program against a signature.
+///
+/// # Errors
+///
+/// [`SyntaxError`] (without position) for unbound names or misused
+/// operations.
+pub fn lower_program(prog: &SProgram, sig: &Signature) -> Result<Lowered, SyntaxError> {
+    let mut cx = Lowerer { store: TermStore::new(), sig, scope: HashMap::new() };
+    let root = cx.program(prog)?;
+    Ok(Lowered { store: cx.store, root })
+}
+
+/// Lowers a single expression with the given free variables in scope.
+///
+/// # Errors
+///
+/// [`SyntaxError`] for unbound names or misused operations.
+pub fn lower_expr_with(
+    expr: &SExpr,
+    sig: &Signature,
+    free: &[(String, Ty)],
+) -> Result<(Lowered, Vec<(VarId, Ty)>), SyntaxError> {
+    let mut cx = Lowerer { store: TermStore::new(), sig, scope: HashMap::new() };
+    let mut frees = Vec::new();
+    for (name, ty) in free {
+        let v = cx.store.fresh_var(name);
+        cx.scope.insert(name.clone(), vec![v]);
+        frees.push((v, ty.clone()));
+    }
+    let root = cx.expr(expr)?;
+    Ok((Lowered { store: cx.store, root }, frees))
+}
+
+struct Lowerer<'a> {
+    store: TermStore,
+    sig: &'a Signature,
+    /// Name -> stack of bindings (innermost last), for shadowing.
+    scope: HashMap<String, Vec<VarId>>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn err<T>(msg: impl Into<String>) -> Result<T, SyntaxError> {
+        Err(SyntaxError::new(msg, 0, 0))
+    }
+
+    fn bind(&mut self, name: &str) -> VarId {
+        let v = self.store.fresh_var(name);
+        self.scope.entry(name.to_string()).or_default().push(v);
+        v
+    }
+
+    fn unbind(&mut self, name: &str) {
+        if let Some(stack) = self.scope.get_mut(name) {
+            stack.pop();
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarId> {
+        self.scope.get(name).and_then(|s| s.last().copied())
+    }
+
+    fn program(&mut self, prog: &SProgram) -> Result<TermId, SyntaxError> {
+        self.defs_then(&prog.defs, prog.main.as_ref())
+    }
+
+    fn defs_then(&mut self, defs: &[crate::parser::SFnDef], main: Option<&SExpr>) -> Result<TermId, SyntaxError> {
+        match defs.split_first() {
+            None => match main {
+                Some(e) => self.expr(e),
+                None => Self::err("program has no definitions or main expression"),
+            },
+            Some((def, rest)) => {
+                // Body: curried lambdas over the params.
+                let mut param_vars = Vec::new();
+                for (p, t) in &def.params {
+                    param_vars.push((self.bind(p), t.clone()));
+                }
+                let mut body = self.expr(&def.body)?;
+                for (v, t) in param_vars.iter().rev() {
+                    body = self.store.lam(*v, t.clone(), body);
+                }
+                for (p, _) in &def.params {
+                    self.unbind(p);
+                }
+                // Declared type: params chained onto the result type.
+                let mut declared = def.ret.clone();
+                for (_, t) in def.params.iter().rev() {
+                    declared = Ty::lolli(t.clone(), declared);
+                }
+                let fvar = self.bind(&def.name);
+                let rest_term = if rest.is_empty() && main.is_none() {
+                    // No main: the program's value is the last function.
+                    self.store.var(fvar)
+                } else {
+                    self.defs_then(rest, main)?
+                };
+                self.unbind(&def.name);
+                Ok(self.store.let_fun(fvar, Some(declared), body, rest_term))
+            }
+        }
+    }
+
+    /// Lowers to a term (any shape). Statement chains are handled in a
+    /// loop (not recursion): Table 4-scale blocks have hundreds of
+    /// thousands of sequential statements.
+    fn expr(&mut self, e: &SExpr) -> Result<TermId, SyntaxError> {
+        match e {
+            SExpr::Let(..) | SExpr::LetBind(..) | SExpr::LetBox(..) => {
+                enum Kind {
+                    Let,
+                    Bind,
+                    Boxed,
+                }
+                type Frame = (Kind, String, VarId, TermId, Vec<(VarId, TermId)>);
+                let mut frames: Vec<Frame> = Vec::new();
+                let mut cur = e;
+                loop {
+                    match cur {
+                        SExpr::Let(x, v, rest) => {
+                            let tv = self.expr(v)?;
+                            let xv = self.bind(x);
+                            frames.push((Kind::Let, x.clone(), xv, tv, Vec::new()));
+                            cur = rest;
+                        }
+                        SExpr::LetBind(x, v, rest) => {
+                            let mut binds = Vec::new();
+                            let tv = self.value(v, &mut binds)?;
+                            let xv = self.bind(x);
+                            frames.push((Kind::Bind, x.clone(), xv, tv, binds));
+                            cur = rest;
+                        }
+                        SExpr::LetBox(x, v, rest) => {
+                            let mut binds = Vec::new();
+                            let tv = self.value(v, &mut binds)?;
+                            let xv = self.bind(x);
+                            frames.push((Kind::Boxed, x.clone(), xv, tv, binds));
+                            cur = rest;
+                        }
+                        _ => break,
+                    }
+                }
+                let mut acc = self.expr(cur)?;
+                for (kind, name, xv, tv, binds) in frames.into_iter().rev() {
+                    self.unbind(&name);
+                    acc = match kind {
+                        Kind::Let => self.store.let_in(xv, tv, acc),
+                        Kind::Bind => self.store.let_bind(xv, tv, acc),
+                        Kind::Boxed => self.store.let_box(xv, tv, acc),
+                    };
+                    acc = self.wrap(binds, acc);
+                }
+                Ok(acc)
+            }
+            SExpr::If(c, e1, e2) => {
+                let mut binds = Vec::new();
+                let tc = self.value(c, &mut binds)?;
+                let x = self.store.fresh_var("_tt");
+                let y = self.store.fresh_var("_ff");
+                let t1 = self.expr(e1)?;
+                let t2 = self.expr(e2)?;
+                let node = self.store.case(tc, x, t1, y, t2);
+                Ok(self.wrap(binds, node))
+            }
+            SExpr::Case(v, x, e1, y, e2) => {
+                let mut binds = Vec::new();
+                let tv = self.value(v, &mut binds)?;
+                let xv = self.bind(x);
+                let t1 = self.expr(e1)?;
+                self.unbind(x);
+                let yv = self.bind(y);
+                let t2 = self.expr(e2)?;
+                self.unbind(y);
+                let node = self.store.case(tv, xv, t1, yv, t2);
+                Ok(self.wrap(binds, node))
+            }
+            SExpr::App(f, a) => {
+                // Operation application: unbound head that names an op.
+                // (Implicit boxing of `!`-typed operation domains happens in
+                // the checker, which knows the argument's type.)
+                if let SExpr::Var(name) = &**f {
+                    if self.lookup(name).is_none() {
+                        if let Some(op) = self.sig.op(name) {
+                            let op_name = op.name.clone();
+                            let mut binds = Vec::new();
+                            let ta = self.value(a, &mut binds)?;
+                            let node = self.store.op(&op_name, ta);
+                            return Ok(self.wrap(binds, node));
+                        }
+                    }
+                }
+                let mut binds = Vec::new();
+                let tf = self.value(f, &mut binds)?;
+                let ta = self.value(a, &mut binds)?;
+                let node = self.store.app(tf, ta);
+                Ok(self.wrap(binds, node))
+            }
+            SExpr::Fst(v) | SExpr::Snd(v) => {
+                let mut binds = Vec::new();
+                let tv = self.value(v, &mut binds)?;
+                let node = self.store.proj(matches!(e, SExpr::Fst(_)), tv);
+                Ok(self.wrap(binds, node))
+            }
+            // Value shapes: lower through `value` (which may emit lets).
+            _ => {
+                let mut binds = Vec::new();
+                let v = self.value(e, &mut binds)?;
+                Ok(self.wrap(binds, v))
+            }
+        }
+    }
+
+    /// Lowers to a *value* term, pushing any needed let-bindings.
+    fn value(&mut self, e: &SExpr, binds: &mut Vec<(VarId, TermId)>) -> Result<TermId, SyntaxError> {
+        let t = match e {
+            SExpr::Num(q) => self.store.num(q.clone()),
+            SExpr::Var(name) => match self.lookup(name) {
+                Some(v) => self.store.var(v),
+                None => {
+                    if self.sig.op(name).is_some() {
+                        return Self::err(format!(
+                            "operation `{name}` must be applied to an argument"
+                        ));
+                    }
+                    return Self::err(format!("unbound name `{name}`"));
+                }
+            },
+            SExpr::True => self.store.bool_true(),
+            SExpr::False => self.store.bool_false(),
+            SExpr::Unit => self.store.unit(),
+            SExpr::PairT(a, b) => {
+                let ta = self.value(a, binds)?;
+                let tb = self.value(b, binds)?;
+                self.store.pair_tensor(ta, tb)
+            }
+            SExpr::PairW(a, b) => {
+                let ta = self.value(a, binds)?;
+                let tb = self.value(b, binds)?;
+                self.store.pair_with(ta, tb)
+            }
+            SExpr::Inl(ann, v) => {
+                let tv = self.value(v, binds)?;
+                let other = ann.clone().ok_or_else(|| {
+                    SyntaxError::new("`inl` needs a type annotation: inl {T} v", 0, 0)
+                })?;
+                self.store.inl(tv, other)
+            }
+            SExpr::Inr(ann, v) => {
+                let tv = self.value(v, binds)?;
+                let other = ann.clone().ok_or_else(|| {
+                    SyntaxError::new("`inr` needs a type annotation: inr {T} v", 0, 0)
+                })?;
+                self.store.inr(tv, other)
+            }
+            SExpr::Rnd(v) => {
+                let tv = self.value(v, binds)?;
+                self.store.rnd(tv)
+            }
+            SExpr::Ret(v) => {
+                let tv = self.value(v, binds)?;
+                self.store.ret(tv)
+            }
+            SExpr::BoxI(g, v) => {
+                let tv = self.value(v, binds)?;
+                self.store.box_intro(g.clone(), tv)
+            }
+            // Not value-shaped: lower as a term and let-bind it.
+            _ => {
+                let t = self.expr(e)?;
+                let v = self.store.fresh_var("_t");
+                binds.push((v, t));
+                return Ok(self.store.var(v));
+            }
+        };
+        Ok(t)
+    }
+
+    /// Wraps pending bindings (innermost last) around a node.
+    fn wrap(&mut self, binds: Vec<(VarId, TermId)>, node: TermId) -> TermId {
+        let mut acc = node;
+        for (v, t) in binds.into_iter().rev() {
+            acc = self.store.let_in(v, t, acc);
+        }
+        acc
+    }
+}
+
+/// Convenience: parse and lower a program in one call.
+///
+/// # Errors
+///
+/// [`SyntaxError`] from parsing or lowering.
+pub fn compile(src: &str, sig: &Signature) -> Result<Lowered, SyntaxError> {
+    let prog = crate::parser::parse_program(src)?;
+    lower_program(&prog, sig)
+}
+
+/// The `eps` grade helper used throughout examples.
+pub fn eps() -> Grade {
+    Grade::symbol("eps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Node;
+
+    fn rp() -> Signature {
+        Signature::relative_precision()
+    }
+
+    #[test]
+    fn lowers_mulfp_like_fig7() {
+        // function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+        let src = r#"
+            function mulfp (xy: (num, num)) : M[eps]num {
+                s = mul xy;
+                rnd s
+            }
+        "#;
+        let lowered = compile(src, &rp()).unwrap();
+        assert!(lowered.store.conforms_to_value_restriction(lowered.root));
+        // Root is LetFun(mulfp, lam, var mulfp).
+        match lowered.store.node(lowered.root) {
+            Node::LetFun(_, _, body, rest) => {
+                assert!(matches!(lowered.store.node(*body), Node::Lam(..)));
+                assert!(matches!(lowered.store.node(*rest), Node::Var(_)));
+            }
+            other => panic!("expected LetFun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anf_inserts_lets() {
+        // rnd (mul (x, x)) is not value-applied: a let must appear.
+        let src = r#"
+            function pow2' (x: ![2.0]num) : M[eps]num {
+                let [x1] = x;
+                rnd (mul (x1, x1))
+            }
+        "#;
+        let lowered = compile(src, &rp()).unwrap();
+        // Walk: LetFun -> Lam -> LetBox -> Let(_t = mul(..)) -> Rnd(var).
+        let mut id = lowered.root;
+        let store = &lowered.store;
+        let body = match store.node(id) {
+            Node::LetFun(_, _, b, _) => *b,
+            other => panic!("{other:?}"),
+        };
+        id = match store.node(body) {
+            Node::Lam(_, _, b) => *b,
+            other => panic!("{other:?}"),
+        };
+        id = match store.node(id) {
+            Node::LetBox(_, _, e) => *e,
+            other => panic!("{other:?}"),
+        };
+        let (bound, rest) = match store.node(id) {
+            Node::Let(_, e, f) => (*e, *f),
+            other => panic!("expected ANF let, got {other:?}"),
+        };
+        assert!(matches!(store.node(bound), Node::Op(..)));
+        match store.node(rest) {
+            Node::Rnd(v) => assert!(matches!(store.node(*v), Node::Var(_))),
+            other => panic!("expected rnd of var, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sqrt_lowers_to_op_on_bare_var() {
+        // Implicit boxing of the `![1/2]` domain happens in the checker,
+        // not here: the lowered term applies the op to the raw variable.
+        let src = r#"
+            function f (x: num) : num {
+                sqrt x
+            }
+        "#;
+        let lowered = compile(src, &rp()).unwrap();
+        let store = &lowered.store;
+        let body = match store.node(lowered.root) {
+            Node::LetFun(_, _, b, _) => *b,
+            other => panic!("{other:?}"),
+        };
+        let inner = match store.node(body) {
+            Node::Lam(_, _, b) => *b,
+            other => panic!("{other:?}"),
+        };
+        match store.node(inner) {
+            Node::Op(op, arg) => {
+                assert_eq!(store.op_name(*op), "sqrt");
+                assert!(matches!(store.node(*arg), Node::Var(_)));
+            }
+            other => panic!("expected sqrt op, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_names_error() {
+        assert!(compile("function f (x: num) : num { y }", &rp()).is_err());
+        // `mul` alone (unapplied) is an error.
+        assert!(compile("function f (x: num) : num { mul }", &rp()).is_err());
+    }
+
+    #[test]
+    fn shadowing_resolves_innermost() {
+        let src = r#"
+            function f (x: num) : num {
+                x = mul (x, x);
+                x
+            }
+        "#;
+        let lowered = compile(src, &rp()).unwrap();
+        let store = &lowered.store;
+        let body = match store.node(lowered.root) {
+            Node::LetFun(_, _, b, _) => *b,
+            other => panic!("{other:?}"),
+        };
+        let inner = match store.node(body) {
+            Node::Lam(param, _, b) => (*param, *b),
+            other => panic!("{other:?}"),
+        };
+        match store.node(inner.1) {
+            Node::Let(bound_var, _, rest) => match store.node(*rest) {
+                Node::Var(v) => {
+                    assert_eq!(v, bound_var, "inner x refers to the let-bound x");
+                    assert_ne!(*v, inner.0, "not the parameter");
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn booleans_lower_to_injections() {
+        let (lowered, _) = lower_expr_with(&crate::parser::parse_expr("true").unwrap(), &rp(), &[]).unwrap();
+        assert!(matches!(lowered.store.node(lowered.root), Node::Inl(..)));
+    }
+}

@@ -1,0 +1,778 @@
+//! Parser for the Λnum surface syntax.
+//!
+//! The grammar follows the paper's implementation notation (Section 5):
+//!
+//! ```text
+//! program := fndef* block?
+//! fndef   := "function" ID param* ":" ty "{" block "}"
+//! param   := "(" ID ":" ty ")"
+//! block   := stmt* expr
+//! stmt    := ID "=" expr ";"              -- let x = v in e
+//!          | "let" "[" ID "]" "=" expr ";"-- let [x] = v in e
+//!          | "let" ID "=" expr ";"        -- let-bind(v, x. e)
+//! expr    := unary+                       -- application by juxtaposition
+//! unary   := ("rnd"|"ret"|"fst"|"snd") unary
+//!          | ("inl"|"inr") ("{" ty "}")? unary
+//!          | "if" expr "then" arm "else" arm
+//!          | "case" expr "of" "(" "inl" ID "." block "|" "inr" ID "." block ")"
+//!          | atom
+//! arm     := "{" block "}" | unary
+//! atom    := NUMBER | ID | "true" | "false" | "()"
+//!          | "(" expr ")" | "(" expr "," expr ")" | "(|" expr "," expr "|)"
+//!          | "[" expr "]" "{" grade "}"
+//! ty      := sumty ("-o" ty)?
+//! sumty   := atomty ("+" atomty)*
+//! atomty  := "num" | "unit" | "bool" | "M" "[" grade "]" atomty
+//!          | "!" "[" grade "]" atomty | "<" ty "," ty ">"
+//!          | "(" ty ")" | "(" ty "," ty ")"
+//! grade   := gterm ("+" gterm)*
+//! gterm   := gfactor ("*" gfactor)*
+//! gfactor := NUMBER ("/" NUMBER)? | ID | "inf"
+//! ```
+
+use crate::grade::Grade;
+use crate::lexer::{lex, SyntaxError, Tok, Token};
+use crate::ty::Ty;
+use numfuzz_exact::Rational;
+
+/// Surface expression tree (pre-lowering).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SExpr {
+    /// Numeric literal.
+    Num(Rational),
+    /// Variable or function reference.
+    Var(String),
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `()`.
+    Unit,
+    /// Tensor pair `(a, b)`.
+    PairT(Box<SExpr>, Box<SExpr>),
+    /// Cartesian pair `(|a, b|)`.
+    PairW(Box<SExpr>, Box<SExpr>),
+    /// `inl {τ}? v` (annotation = the absent right type).
+    Inl(Option<Ty>, Box<SExpr>),
+    /// `inr {σ}? v` (annotation = the absent left type).
+    Inr(Option<Ty>, Box<SExpr>),
+    /// Application `f a`.
+    App(Box<SExpr>, Box<SExpr>),
+    /// `rnd e`.
+    Rnd(Box<SExpr>),
+    /// `ret e`.
+    Ret(Box<SExpr>),
+    /// `[e]{s}`.
+    BoxI(Grade, Box<SExpr>),
+    /// `fst e`.
+    Fst(Box<SExpr>),
+    /// `snd e`.
+    Snd(Box<SExpr>),
+    /// `if c then e1 else e2`.
+    If(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    /// `case v of (inl x. e | inr y. f)`.
+    Case(Box<SExpr>, String, Box<SExpr>, String, Box<SExpr>),
+    /// `x = e; rest`.
+    Let(String, Box<SExpr>, Box<SExpr>),
+    /// `let x = e; rest` (monadic bind).
+    LetBind(String, Box<SExpr>, Box<SExpr>),
+    /// `let [x] = e; rest`.
+    LetBox(String, Box<SExpr>, Box<SExpr>),
+}
+
+impl Drop for SExpr {
+    /// Iterative drop: statement chains can be tens of thousands of nodes
+    /// deep, and the default recursive drop glue would overflow the stack.
+    fn drop(&mut self) {
+        fn take_children(e: &mut SExpr, work: &mut Vec<SExpr>) {
+            let mut grab = |b: &mut Box<SExpr>| work.push(std::mem::replace(&mut **b, SExpr::Unit));
+            match e {
+                SExpr::Num(_) | SExpr::Var(_) | SExpr::True | SExpr::False | SExpr::Unit => {}
+                SExpr::PairT(a, b) | SExpr::PairW(a, b) | SExpr::App(a, b) => {
+                    grab(a);
+                    grab(b);
+                }
+                SExpr::Inl(_, v)
+                | SExpr::Inr(_, v)
+                | SExpr::Rnd(v)
+                | SExpr::Ret(v)
+                | SExpr::BoxI(_, v)
+                | SExpr::Fst(v)
+                | SExpr::Snd(v) => grab(v),
+                SExpr::If(a, b, c) => {
+                    grab(a);
+                    grab(b);
+                    grab(c);
+                }
+                SExpr::Case(v, _, a, _, b) => {
+                    grab(v);
+                    grab(a);
+                    grab(b);
+                }
+                SExpr::Let(_, a, b) | SExpr::LetBind(_, a, b) | SExpr::LetBox(_, a, b) => {
+                    grab(a);
+                    grab(b);
+                }
+            }
+        }
+        let mut work = Vec::new();
+        take_children(self, &mut work);
+        while let Some(mut e) = work.pop() {
+            take_children(&mut e, &mut work);
+        }
+    }
+}
+
+/// A surface `function` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SFnDef {
+    /// Function name.
+    pub name: String,
+    /// Curried parameters.
+    pub params: Vec<(String, Ty)>,
+    /// Declared result type (of the body, after all parameters).
+    pub ret: Ty,
+    /// The body block.
+    pub body: SExpr,
+}
+
+/// A parsed program: definitions plus an optional main expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SProgram {
+    /// `function` definitions, in source order.
+    pub defs: Vec<SFnDef>,
+    /// The trailing expression, if any.
+    pub main: Option<SExpr>,
+}
+
+/// Parses a full program.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] with source position on malformed input.
+pub fn parse_program(src: &str) -> Result<SProgram, SyntaxError> {
+    let mut p = Parser::new(src)?;
+    let prog = p.program()?;
+    p.expect_eof()?;
+    Ok(prog)
+}
+
+/// Parses a single expression (block form: statements allowed).
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] with source position on malformed input.
+pub fn parse_expr(src: &str) -> Result<SExpr, SyntaxError> {
+    let mut p = Parser::new(src)?;
+    let e = p.block()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parses a type (useful for tests and tools).
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] with source position on malformed input.
+pub fn parse_ty(src: &str) -> Result<Ty, SyntaxError> {
+    let mut p = Parser::new(src)?;
+    let t = p.ty()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, SyntaxError> {
+        Ok(Parser { toks: lex(src)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, SyntaxError> {
+        let (line, col) = self.here();
+        Err(SyntaxError::new(msg, line, col))
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), SyntaxError> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SyntaxError> {
+        if self.peek() == &Tok::Eof {
+            Ok(())
+        } else {
+            self.err(format!("expected end of input, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected an identifier, found {other}")),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ----- program -----
+
+    fn program(&mut self) -> Result<SProgram, SyntaxError> {
+        let mut defs = Vec::new();
+        while self.is_kw("function") {
+            defs.push(self.fndef()?);
+        }
+        let main = if self.peek() == &Tok::Eof {
+            None
+        } else {
+            Some(self.block()?)
+        };
+        Ok(SProgram { defs, main })
+    }
+
+    fn fndef(&mut self) -> Result<SFnDef, SyntaxError> {
+        assert!(self.eat_kw("function"));
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        while self.peek() == &Tok::LParen {
+            self.bump();
+            let p = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let t = self.ty()?;
+            self.expect(Tok::RParen)?;
+            params.push((p, t));
+        }
+        self.expect(Tok::Colon)?;
+        let ret = self.ty()?;
+        self.expect(Tok::LBrace)?;
+        let body = self.block()?;
+        self.expect(Tok::RBrace)?;
+        Ok(SFnDef { name, params, ret, body })
+    }
+
+    // ----- expressions -----
+
+    /// `stmt* expr`. Iterative: statements are collected in a loop and the
+    /// nest is folded at the end, so blocks with tens of thousands of
+    /// statements (Table 4 scale) parse without deep recursion.
+    fn block(&mut self) -> Result<SExpr, SyntaxError> {
+        enum StmtKind {
+            Let,
+            LetBind,
+            LetBox,
+        }
+        let mut stmts: Vec<(StmtKind, String, SExpr)> = Vec::new();
+        let tail = loop {
+            if self.is_kw("let") {
+                self.bump();
+                if self.peek() == &Tok::LBracket {
+                    self.bump();
+                    let x = self.ident()?;
+                    self.expect(Tok::RBracket)?;
+                    self.expect(Tok::Eq)?;
+                    let e = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    stmts.push((StmtKind::LetBox, x, e));
+                } else {
+                    let x = self.ident()?;
+                    self.expect(Tok::Eq)?;
+                    let e = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    stmts.push((StmtKind::LetBind, x, e));
+                }
+                continue;
+            }
+            // x = e;  (plain let) — lookahead for `ident =`.
+            if let Tok::Ident(_) = self.peek() {
+                if self.peek2() == &Tok::Eq && !self.is_kw("true") && !self.is_kw("false") {
+                    let x = self.ident()?;
+                    self.expect(Tok::Eq)?;
+                    let e = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    stmts.push((StmtKind::Let, x, e));
+                    continue;
+                }
+            }
+            break self.expr()?;
+        };
+        let mut acc = tail;
+        for (kind, x, e) in stmts.into_iter().rev() {
+            acc = match kind {
+                StmtKind::Let => SExpr::Let(x, Box::new(e), Box::new(acc)),
+                StmtKind::LetBind => SExpr::LetBind(x, Box::new(e), Box::new(acc)),
+                StmtKind::LetBox => SExpr::LetBox(x, Box::new(e), Box::new(acc)),
+            };
+        }
+        Ok(acc)
+    }
+
+    fn expr(&mut self) -> Result<SExpr, SyntaxError> {
+        let mut head = self.unary()?;
+        while self.starts_atom() {
+            let arg = self.unary()?;
+            head = SExpr::App(Box::new(head), Box::new(arg));
+        }
+        Ok(head)
+    }
+
+    fn starts_atom(&self) -> bool {
+        match self.peek() {
+            Tok::Number(_) | Tok::LParen | Tok::LPairW | Tok::LBracket => true,
+            Tok::Ident(s) => !matches!(
+                s.as_str(),
+                "then" | "else" | "of" | "function" | "let" | "in"
+            ),
+            _ => false,
+        }
+    }
+
+    fn unary(&mut self) -> Result<SExpr, SyntaxError> {
+        if self.eat_kw("rnd") {
+            return Ok(SExpr::Rnd(Box::new(self.unary()?)));
+        }
+        if self.eat_kw("ret") {
+            return Ok(SExpr::Ret(Box::new(self.unary()?)));
+        }
+        if self.eat_kw("fst") {
+            return Ok(SExpr::Fst(Box::new(self.unary()?)));
+        }
+        if self.eat_kw("snd") {
+            return Ok(SExpr::Snd(Box::new(self.unary()?)));
+        }
+        if self.eat_kw("inl") {
+            let ann = self.injection_annotation()?;
+            return Ok(SExpr::Inl(ann, Box::new(self.unary()?)));
+        }
+        if self.eat_kw("inr") {
+            let ann = self.injection_annotation()?;
+            return Ok(SExpr::Inr(ann, Box::new(self.unary()?)));
+        }
+        if self.eat_kw("if") {
+            let c = self.expr()?;
+            if !self.eat_kw("then") {
+                return self.err(format!("expected `then`, found {}", self.peek()));
+            }
+            let e1 = self.arm()?;
+            if !self.eat_kw("else") {
+                return self.err(format!("expected `else`, found {}", self.peek()));
+            }
+            let e2 = self.arm()?;
+            return Ok(SExpr::If(Box::new(c), Box::new(e1), Box::new(e2)));
+        }
+        if self.eat_kw("case") {
+            let v = self.expr()?;
+            if !self.eat_kw("of") {
+                return self.err(format!("expected `of`, found {}", self.peek()));
+            }
+            self.expect(Tok::LParen)?;
+            if !self.eat_kw("inl") {
+                return self.err(format!("expected `inl`, found {}", self.peek()));
+            }
+            let x = self.ident()?;
+            self.expect(Tok::Dot)?;
+            let e1 = self.block()?;
+            self.expect(Tok::Pipe)?;
+            if !self.eat_kw("inr") {
+                return self.err(format!("expected `inr`, found {}", self.peek()));
+            }
+            let y = self.ident()?;
+            self.expect(Tok::Dot)?;
+            let e2 = self.block()?;
+            self.expect(Tok::RParen)?;
+            return Ok(SExpr::Case(Box::new(v), x, Box::new(e1), y, Box::new(e2)));
+        }
+        self.atom()
+    }
+
+    fn injection_annotation(&mut self) -> Result<Option<Ty>, SyntaxError> {
+        if self.peek() == &Tok::LBrace {
+            self.bump();
+            let t = self.ty()?;
+            self.expect(Tok::RBrace)?;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn arm(&mut self) -> Result<SExpr, SyntaxError> {
+        if self.peek() == &Tok::LBrace {
+            self.bump();
+            let e = self.block()?;
+            self.expect(Tok::RBrace)?;
+            Ok(e)
+        } else {
+            // Unbraced arms span a full application; `else` terminates the
+            // `then` arm because keywords never start an atom.
+            self.expr()
+        }
+    }
+
+    fn atom(&mut self) -> Result<SExpr, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                let q = Rational::from_decimal_str(&n)
+                    .map_err(|e| SyntaxError::new(e.to_string(), 0, 0))?;
+                Ok(SExpr::Num(q))
+            }
+            Tok::Ident(s) => match s.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(SExpr::True)
+                }
+                "false" => {
+                    self.bump();
+                    Ok(SExpr::False)
+                }
+                _ => {
+                    self.bump();
+                    Ok(SExpr::Var(s))
+                }
+            },
+            Tok::LPairW => {
+                self.bump();
+                let a = self.expr()?;
+                self.expect(Tok::Comma)?;
+                let b = self.expr()?;
+                self.expect(Tok::RPairW)?;
+                Ok(SExpr::PairW(Box::new(a), Box::new(b)))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.peek() == &Tok::RParen {
+                    self.bump();
+                    return Ok(SExpr::Unit);
+                }
+                let a = self.expr()?;
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                    let b = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(SExpr::PairT(Box::new(a), Box::new(b)))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(a)
+                }
+            }
+            Tok::LBracket => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                self.expect(Tok::LBrace)?;
+                let g = self.grade()?;
+                self.expect(Tok::RBrace)?;
+                Ok(SExpr::BoxI(g, Box::new(e)))
+            }
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+
+    // ----- types -----
+
+    fn ty(&mut self) -> Result<Ty, SyntaxError> {
+        let lhs = self.sum_ty()?;
+        if self.peek() == &Tok::Lolli {
+            self.bump();
+            let rhs = self.ty()?;
+            Ok(Ty::lolli(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn sum_ty(&mut self) -> Result<Ty, SyntaxError> {
+        let mut t = self.atom_ty()?;
+        while self.peek() == &Tok::Plus {
+            self.bump();
+            let r = self.atom_ty()?;
+            t = Ty::sum(t, r);
+        }
+        Ok(t)
+    }
+
+    fn atom_ty(&mut self) -> Result<Ty, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => match s.as_str() {
+                "num" => {
+                    self.bump();
+                    Ok(Ty::Num)
+                }
+                "unit" => {
+                    self.bump();
+                    Ok(Ty::Unit)
+                }
+                "bool" => {
+                    self.bump();
+                    Ok(Ty::bool())
+                }
+                "M" => {
+                    self.bump();
+                    self.expect(Tok::LBracket)?;
+                    let g = self.grade()?;
+                    self.expect(Tok::RBracket)?;
+                    let t = self.atom_ty()?;
+                    Ok(Ty::monad(g, t))
+                }
+                _ => self.err(format!("expected a type, found identifier `{s}`")),
+            },
+            Tok::Bang => {
+                self.bump();
+                self.expect(Tok::LBracket)?;
+                let g = self.grade()?;
+                self.expect(Tok::RBracket)?;
+                let t = self.atom_ty()?;
+                Ok(Ty::bang(g, t))
+            }
+            Tok::Lt => {
+                self.bump();
+                let a = self.ty()?;
+                self.expect(Tok::Comma)?;
+                let b = self.ty()?;
+                self.expect(Tok::Gt)?;
+                Ok(Ty::with(a, b))
+            }
+            Tok::LParen => {
+                self.bump();
+                let a = self.ty()?;
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                    let b = self.ty()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(Ty::tensor(a, b))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(a)
+                }
+            }
+            other => self.err(format!("expected a type, found {other}")),
+        }
+    }
+
+    // ----- grades -----
+
+    fn grade(&mut self) -> Result<Grade, SyntaxError> {
+        let mut g = self.grade_term()?;
+        while self.peek() == &Tok::Plus {
+            self.bump();
+            let t = self.grade_term()?;
+            g = g.add(&t);
+        }
+        Ok(g)
+    }
+
+    fn grade_term(&mut self) -> Result<Grade, SyntaxError> {
+        let mut g = self.grade_factor()?;
+        while self.peek() == &Tok::Star {
+            self.bump();
+            let f = self.grade_factor()?;
+            g = match g.checked_mul(&f) {
+                Some(p) => p,
+                None => return self.err("grades must be linear: cannot multiply two symbols"),
+            };
+        }
+        Ok(g)
+    }
+
+    fn grade_factor(&mut self) -> Result<Grade, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                let mut q = Rational::from_decimal_str(&n)
+                    .map_err(|e| SyntaxError::new(e.to_string(), 0, 0))?;
+                // Optional exact fraction: `1/2`.
+                if self.peek() == &Tok::Slash {
+                    self.bump();
+                    match self.peek().clone() {
+                        Tok::Number(d) => {
+                            self.bump();
+                            let den = Rational::from_decimal_str(&d)
+                                .map_err(|e| SyntaxError::new(e.to_string(), 0, 0))?;
+                            if den.is_zero() {
+                                return self.err("zero denominator in grade");
+                            }
+                            q = q.div(&den);
+                        }
+                        other => return self.err(format!("expected a denominator, found {other}")),
+                    }
+                }
+                if q.is_negative() {
+                    return self.err("grades must be non-negative");
+                }
+                Ok(Grade::constant(q))
+            }
+            Tok::Ident(s) if s == "inf" => {
+                self.bump();
+                Ok(Grade::infinite())
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Grade::symbol(&s))
+            }
+            other => self.err(format!("expected a grade, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_types() {
+        assert_eq!(parse_ty("num").unwrap(), Ty::Num);
+        assert_eq!(
+            parse_ty("![2.0]num -o M[2*eps]num").unwrap().to_string(),
+            "![2]num -o M[2*eps]num"
+        );
+        assert_eq!(parse_ty("(num, num)").unwrap().to_string(), "(num, num)");
+        assert_eq!(parse_ty("<num, num>").unwrap().to_string(), "<num, num>");
+        assert_eq!(parse_ty("bool").unwrap(), Ty::bool());
+        assert_eq!(parse_ty("unit + num").unwrap().to_string(), "unit + num");
+        assert_eq!(
+            parse_ty("M[1/2 + eps]num").unwrap().to_string(),
+            "M[1/2 + eps]num"
+        );
+        assert_eq!(parse_ty("![inf]num").unwrap().to_string(), "![inf]num");
+        // -o is right-associative.
+        assert_eq!(
+            parse_ty("num -o num -o num").unwrap(),
+            Ty::lolli(Ty::Num, Ty::lolli(Ty::Num, Ty::Num))
+        );
+    }
+
+    #[test]
+    fn parses_ma_from_fig8() {
+        let src = r#"
+            function MA (x: num) (y: num) (z: num) : M[2*eps]num {
+                s = mulfp (x,y);
+                let a = s;
+                addfp (|a,z|)
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.defs.len(), 1);
+        let ma = &prog.defs[0];
+        assert_eq!(ma.name, "MA");
+        assert_eq!(ma.params.len(), 3);
+        assert_eq!(ma.ret.to_string(), "M[2*eps]num");
+        match &ma.body {
+            SExpr::Let(s, v, rest) => {
+                assert_eq!(s, "s");
+                assert!(matches!(**v, SExpr::App(..)));
+                match &**rest {
+                    SExpr::LetBind(a, _, rest2) => {
+                        assert_eq!(a, "a");
+                        assert!(matches!(**rest2, SExpr::App(..)));
+                    }
+                    other => panic!("expected let-bind, got {other:?}"),
+                }
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_case_and_if() {
+        let e = parse_expr("case c of (inl x . ret 0.5 | inr y . ret 1)").unwrap();
+        assert!(matches!(e, SExpr::Case(..)));
+        let e = parse_expr("if c then ret x else ret y").unwrap();
+        assert!(matches!(e, SExpr::If(..)));
+        let e = parse_expr("if c then { a = mul (x, x); rnd a } else ret y").unwrap();
+        assert!(matches!(e, SExpr::If(..)));
+    }
+
+    #[test]
+    fn parses_box_and_letbox() {
+        let e = parse_expr("let [x1] = x; mul (x1, x1)").unwrap();
+        assert!(matches!(e, SExpr::LetBox(..)));
+        let e = parse_expr("[x]{2.0}").unwrap();
+        match &e {
+            SExpr::BoxI(g, _) => assert_eq!(g.to_string(), "2"),
+            other => panic!("expected box, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn application_is_left_associative() {
+        let e = parse_expr("f a b").unwrap();
+        match &e {
+            SExpr::App(fa, b) => {
+                assert!(matches!(**fa, SExpr::App(..)));
+                assert_eq!(**b, SExpr::Var("b".into()));
+            }
+            other => panic!("expected application, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_with_main() {
+        let src = r#"
+            function pow2 (x: ![2.0]num) : num {
+                let [x1] = x;
+                mul (x1, x1)
+            }
+            pow2 [3]{2.0}
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.defs.len(), 1);
+        assert!(prog.main.is_some());
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_program("function f (x: num) : num { ) }").unwrap_err();
+        assert!(e.line >= 1 && e.col > 1, "error has a position: {e}");
+        assert!(parse_expr("(a,").is_err());
+        assert!(parse_ty("M[").is_err());
+        assert!(parse_expr("").is_err());
+    }
+
+    #[test]
+    fn rejects_nonlinear_grades() {
+        assert!(parse_ty("M[eps*eps]num").is_err());
+        assert!(parse_ty("M[2*eps + u]num").is_ok());
+    }
+}

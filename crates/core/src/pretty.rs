@@ -1,0 +1,165 @@
+//! A compact pretty-printer for arena terms, used in error messages,
+//! examples and debugging. Output follows the surface syntax; it is
+//! re-parsable for programs that avoid exotic nesting, but its contract is
+//! readability, not round-tripping.
+
+use crate::term::{Node, TermId, TermStore};
+
+/// Renders a term. Iterative in spirit but recursion-bounded by
+/// `max_depth`: deeper structure prints as `...` (benchmark terms are
+/// millions of nodes deep; printing them fully is never what you want).
+pub fn pretty_term(store: &TermStore, id: TermId, max_depth: u32) -> String {
+    let mut out = String::new();
+    go(store, id, max_depth, &mut out);
+    out
+}
+
+fn go(store: &TermStore, id: TermId, depth: u32, out: &mut String) {
+    if depth == 0 {
+        out.push_str("...");
+        return;
+    }
+    let d = depth - 1;
+    match store.node(id) {
+        Node::Var(v) => out.push_str(store.var_name(*v)),
+        Node::UnitVal => out.push_str("()"),
+        Node::Const(k) => out.push_str(&store.constant(*k).to_string()),
+        Node::PairW(a, b) => {
+            out.push_str("(|");
+            go(store, *a, d, out);
+            out.push_str(", ");
+            go(store, *b, d, out);
+            out.push_str("|)");
+        }
+        Node::PairT(a, b) => {
+            out.push('(');
+            go(store, *a, d, out);
+            out.push_str(", ");
+            go(store, *b, d, out);
+            out.push(')');
+        }
+        Node::Inl(v, _) => {
+            out.push_str("inl ");
+            go(store, *v, d, out);
+        }
+        Node::Inr(v, _) => {
+            out.push_str("inr ");
+            go(store, *v, d, out);
+        }
+        Node::Lam(x, ty, body) => {
+            out.push_str("\\(");
+            out.push_str(store.var_name(*x));
+            out.push_str(": ");
+            out.push_str(&store.ty(*ty).to_string());
+            out.push_str("). ");
+            go(store, *body, d, out);
+        }
+        Node::BoxIntro(g, v) => {
+            out.push('[');
+            go(store, *v, d, out);
+            out.push_str("]{");
+            out.push_str(&store.grade(*g).to_string());
+            out.push('}');
+        }
+        Node::Rnd(v) => {
+            out.push_str("rnd ");
+            go(store, *v, d, out);
+        }
+        Node::Ret(v) => {
+            out.push_str("ret ");
+            go(store, *v, d, out);
+        }
+        Node::Err(g, t) => {
+            out.push_str(&format!("err[{}]{{{}}}", store.grade(*g), store.ty(*t)));
+        }
+        Node::App(f, a) => {
+            go(store, *f, d, out);
+            out.push(' ');
+            let needs_paren = !matches!(
+                store.node(*a),
+                Node::Var(_) | Node::Const(_) | Node::UnitVal | Node::PairT(..) | Node::PairW(..)
+            );
+            if needs_paren {
+                out.push('(');
+            }
+            go(store, *a, d, out);
+            if needs_paren {
+                out.push(')');
+            }
+        }
+        Node::Proj(first, v) => {
+            out.push_str(if *first { "fst " } else { "snd " });
+            go(store, *v, d, out);
+        }
+        Node::LetTensor(x, y, v, e) => {
+            out.push_str(&format!("let ({}, {}) = ", store.var_name(*x), store.var_name(*y)));
+            go(store, *v, d, out);
+            out.push_str("; ");
+            go(store, *e, d, out);
+        }
+        Node::Case(v, x, e1, y, e2) => {
+            out.push_str("case ");
+            go(store, *v, d, out);
+            out.push_str(&format!(" of (inl {} . ", store.var_name(*x)));
+            go(store, *e1, d, out);
+            out.push_str(&format!(" | inr {} . ", store.var_name(*y)));
+            go(store, *e2, d, out);
+            out.push(')');
+        }
+        Node::LetBox(x, v, e) => {
+            out.push_str(&format!("let [{}] = ", store.var_name(*x)));
+            go(store, *v, d, out);
+            out.push_str("; ");
+            go(store, *e, d, out);
+        }
+        Node::LetBind(x, v, e) => {
+            out.push_str(&format!("let {} = ", store.var_name(*x)));
+            go(store, *v, d, out);
+            out.push_str("; ");
+            go(store, *e, d, out);
+        }
+        Node::Let(x, e, f) => {
+            out.push_str(&format!("{} = ", store.var_name(*x)));
+            go(store, *e, d, out);
+            out.push_str("; ");
+            go(store, *f, d, out);
+        }
+        Node::LetFun(x, _, body, rest) => {
+            out.push_str(&format!("function {} = ", store.var_name(*x)));
+            go(store, *body, d, out);
+            out.push_str("; ");
+            go(store, *rest, d, out);
+        }
+        Node::Op(op, v) => {
+            out.push_str(store.op_name(*op));
+            out.push(' ');
+            go(store, *v, d, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::Signature;
+
+    #[test]
+    fn prints_paper_style() {
+        let sig = Signature::relative_precision();
+        let src = "function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }";
+        let lowered = crate::lower::compile(src, &sig).unwrap();
+        let text = pretty_term(&lowered.store, lowered.root, 16);
+        assert!(text.contains("function mulfp"), "{text}");
+        assert!(text.contains("mul xy"), "{text}");
+        assert!(text.contains("rnd s"), "{text}");
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let sig = Signature::relative_precision();
+        let src = "function f (x: num) : num { a = mul (x, x); b = mul (a, a); mul (b, b) }";
+        let lowered = crate::lower::compile(src, &sig).unwrap();
+        let text = pretty_term(&lowered.store, lowered.root, 3);
+        assert!(text.contains("..."));
+    }
+}

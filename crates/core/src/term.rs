@@ -1,0 +1,443 @@
+//! Arena-based Λnum terms (paper Fig. 1).
+//!
+//! Table 4 of the paper type-checks programs with up to 4.2 million
+//! floating-point operations — tens of millions of AST nodes. To make that
+//! feasible (and to avoid recursive `Drop` on million-deep let chains),
+//! terms live in a [`TermStore`] arena and are referenced by compact
+//! [`TermId`]s. Variables are alpha-renamed at construction time: every
+//! binder introduces a fresh [`VarId`], so checking and evaluation never
+//! deal with shadowing.
+
+use crate::grade::Grade;
+use crate::ty::Ty;
+use numfuzz_exact::Rational;
+
+/// Index of a term node in a [`TermStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TermId(pub(crate) u32);
+
+/// A unique variable (fresh per binder).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub(crate) u32);
+
+/// Interned index of a constant, type, or grade annotation.
+type Idx = u32;
+
+/// A term node. Constructors and eliminators take *value* operands
+/// (Fig. 1's refinement of Fuzz); the surface-syntax lowering inserts lets
+/// to enforce this, and [`TermStore::is_value`] checks it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// Variable reference.
+    Var(VarId),
+    /// The unit value `⟨⟩`.
+    UnitVal,
+    /// A numeric constant `k ∈ R`.
+    Const(Idx),
+    /// Cartesian pair `⟨v, w⟩` (max metric).
+    PairW(TermId, TermId),
+    /// Tensor pair `(v, w)` (sum metric).
+    PairT(TermId, TermId),
+    /// Left injection; carries the annotation for the *right* type.
+    Inl(TermId, Idx),
+    /// Right injection; carries the annotation for the *left* type.
+    Inr(TermId, Idx),
+    /// `λ(x : σ). e`.
+    Lam(VarId, Idx, TermId),
+    /// `[v]` with scaling annotation `s` — introduces `!_s`.
+    BoxIntro(Idx, TermId),
+    /// `rnd v`: the effectful rounding operation.
+    Rnd(TermId),
+    /// `ret v`: the monadic unit.
+    Ret(TermId),
+    /// The error value of the exceptional extension (Section 7.1), with
+    /// its monadic grade and result-type annotations.
+    Err(Idx, Idx),
+    /// Application `v w`.
+    App(TermId, TermId),
+    /// Projection `π₁/π₂ v` from a Cartesian pair.
+    Proj(bool, TermId),
+    /// `let (x, y) = v in e`.
+    LetTensor(VarId, VarId, TermId, TermId),
+    /// `case v of (inl x. e | inr y. f)`.
+    Case(TermId, VarId, TermId, VarId, TermId),
+    /// `let [x] = v in e`.
+    LetBox(VarId, TermId, TermId),
+    /// `let-bind(v, x. f)`: monadic sequencing.
+    LetBind(VarId, TermId, TermId),
+    /// `let x = e in f`: call-by-value sequencing.
+    Let(VarId, TermId, TermId),
+    /// Top-level `function` definition: like `Let`, but with an optional
+    /// declared type that checking validates and then assigns to the
+    /// variable (`u32::MAX` when absent).
+    LetFun(VarId, Idx, TermId, TermId),
+    /// Primitive operation application `op(v)`.
+    Op(Idx, TermId),
+}
+
+/// The arena holding every node of a program, plus interning tables for
+/// constants, type/grade annotations, operation names, and variable names.
+#[derive(Clone, Debug, Default)]
+pub struct TermStore {
+    nodes: Vec<Node>,
+    consts: Vec<Rational>,
+    types: Vec<Ty>,
+    grades: Vec<Grade>,
+    ops: Vec<String>,
+    var_names: Vec<String>,
+}
+
+impl TermStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TermStore::default()
+    }
+
+    /// Number of nodes allocated.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: TermId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// The constant behind a [`Node::Const`] index.
+    pub fn constant(&self, idx: Idx) -> &Rational {
+        &self.consts[idx as usize]
+    }
+
+    /// The type annotation behind an index.
+    pub fn ty(&self, idx: Idx) -> &Ty {
+        &self.types[idx as usize]
+    }
+
+    /// The grade annotation behind an index.
+    pub fn grade(&self, idx: Idx) -> &Grade {
+        &self.grades[idx as usize]
+    }
+
+    /// The operation name behind an index.
+    pub fn op_name(&self, idx: Idx) -> &str {
+        &self.ops[idx as usize]
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.0 as usize]
+    }
+
+    /// Allocates a fresh variable with a display name.
+    pub fn fresh_var(&mut self, name: &str) -> VarId {
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        id
+    }
+
+    fn push(&mut self, node: Node) -> TermId {
+        let id = TermId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Interns a type annotation.
+    pub fn intern_ty(&mut self, t: Ty) -> Idx {
+        // Program type annotations are few; linear search keeps ids stable.
+        if let Some(i) = self.types.iter().position(|x| x == &t) {
+            return i as Idx;
+        }
+        self.types.push(t);
+        (self.types.len() - 1) as Idx
+    }
+
+    /// Interns a grade annotation.
+    pub fn intern_grade(&mut self, g: Grade) -> Idx {
+        if let Some(i) = self.grades.iter().position(|x| x == &g) {
+            return i as Idx;
+        }
+        self.grades.push(g);
+        (self.grades.len() - 1) as Idx
+    }
+
+    /// Interns an operation name.
+    pub fn intern_op(&mut self, name: &str) -> Idx {
+        if let Some(i) = self.ops.iter().position(|x| x == name) {
+            return i as Idx;
+        }
+        self.ops.push(name.to_string());
+        (self.ops.len() - 1) as Idx
+    }
+
+    // ----- node constructors (the programmatic building API) -----
+
+    /// `x`.
+    pub fn var(&mut self, v: VarId) -> TermId {
+        self.push(Node::Var(v))
+    }
+
+    /// `⟨⟩`.
+    pub fn unit(&mut self) -> TermId {
+        self.push(Node::UnitVal)
+    }
+
+    /// Numeric constant.
+    pub fn num(&mut self, k: Rational) -> TermId {
+        let idx = self.consts.len() as Idx;
+        self.consts.push(k);
+        self.push(Node::Const(idx))
+    }
+
+    /// Cartesian pair `⟨a, b⟩` (written `(|a, b|)` in the surface syntax).
+    pub fn pair_with(&mut self, a: TermId, b: TermId) -> TermId {
+        self.push(Node::PairW(a, b))
+    }
+
+    /// Tensor pair `(a, b)`.
+    pub fn pair_tensor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.push(Node::PairT(a, b))
+    }
+
+    /// `inl v` with the right-hand type annotation.
+    pub fn inl(&mut self, v: TermId, right: Ty) -> TermId {
+        let idx = self.intern_ty(right);
+        self.push(Node::Inl(v, idx))
+    }
+
+    /// `inr v` with the left-hand type annotation.
+    pub fn inr(&mut self, v: TermId, left: Ty) -> TermId {
+        let idx = self.intern_ty(left);
+        self.push(Node::Inr(v, idx))
+    }
+
+    /// `true = inl ⟨⟩ : bool`.
+    pub fn bool_true(&mut self) -> TermId {
+        let u = self.unit();
+        self.inl(u, Ty::Unit)
+    }
+
+    /// `false = inr ⟨⟩ : bool`.
+    pub fn bool_false(&mut self) -> TermId {
+        let u = self.unit();
+        self.inr(u, Ty::Unit)
+    }
+
+    /// `λ(x : σ). e`.
+    pub fn lam(&mut self, x: VarId, ty: Ty, body: TermId) -> TermId {
+        let idx = self.intern_ty(ty);
+        self.push(Node::Lam(x, idx, body))
+    }
+
+    /// `[v]{s}`.
+    pub fn box_intro(&mut self, s: Grade, v: TermId) -> TermId {
+        let idx = self.intern_grade(s);
+        self.push(Node::BoxIntro(idx, v))
+    }
+
+    /// `rnd v`.
+    pub fn rnd(&mut self, v: TermId) -> TermId {
+        self.push(Node::Rnd(v))
+    }
+
+    /// `ret v`.
+    pub fn ret(&mut self, v: TermId) -> TermId {
+        self.push(Node::Ret(v))
+    }
+
+    /// `err : M_u τ` (Section 7.1).
+    pub fn err(&mut self, u: Grade, ty: Ty) -> TermId {
+        let g = self.intern_grade(u);
+        let t = self.intern_ty(ty);
+        self.push(Node::Err(g, t))
+    }
+
+    /// `v w`.
+    pub fn app(&mut self, v: TermId, w: TermId) -> TermId {
+        self.push(Node::App(v, w))
+    }
+
+    /// `π₁ v` (`first = true`) or `π₂ v`.
+    pub fn proj(&mut self, first: bool, v: TermId) -> TermId {
+        self.push(Node::Proj(first, v))
+    }
+
+    /// `let (x, y) = v in e`.
+    pub fn let_tensor(&mut self, x: VarId, y: VarId, v: TermId, e: TermId) -> TermId {
+        self.push(Node::LetTensor(x, y, v, e))
+    }
+
+    /// `case v of (inl x. e | inr y. f)`.
+    pub fn case(&mut self, v: TermId, x: VarId, e: TermId, y: VarId, f: TermId) -> TermId {
+        self.push(Node::Case(v, x, e, y, f))
+    }
+
+    /// `let [x] = v in e`.
+    pub fn let_box(&mut self, x: VarId, v: TermId, e: TermId) -> TermId {
+        self.push(Node::LetBox(x, v, e))
+    }
+
+    /// `let-bind(v, x. f)`.
+    pub fn let_bind(&mut self, x: VarId, v: TermId, f: TermId) -> TermId {
+        self.push(Node::LetBind(x, v, f))
+    }
+
+    /// `let x = e in f`.
+    pub fn let_in(&mut self, x: VarId, e: TermId, f: TermId) -> TermId {
+        self.push(Node::Let(x, e, f))
+    }
+
+    /// Top-level function definition (`Let` plus a declared type to check
+    /// against and assign).
+    pub fn let_fun(&mut self, x: VarId, declared: Option<Ty>, body: TermId, rest: TermId) -> TermId {
+        let idx = match declared {
+            Some(t) => self.intern_ty(t),
+            None => u32::MAX,
+        };
+        self.push(Node::LetFun(x, idx, body, rest))
+    }
+
+    /// `op(v)`.
+    pub fn op(&mut self, name: &str, v: TermId) -> TermId {
+        let idx = self.intern_op(name);
+        self.push(Node::Op(idx, v))
+    }
+
+    /// Whether every node under `root` respects Fig. 1's syntactic
+    /// restriction: constructors and eliminators take *value* operands
+    /// (terms appear only as `let`-style bodies and bound computations).
+    ///
+    /// The checker is deliberately more liberal (it types any well-scoped
+    /// tree), but all surface-lowered and generated programs conform;
+    /// tests enforce this so the small-step reference semantics always
+    /// applies to them.
+    pub fn conforms_to_value_restriction(&self, root: TermId) -> bool {
+        let mut stack = vec![root];
+        while let Some(t) = stack.pop() {
+            let ok = match self.node(t) {
+                Node::Var(_) | Node::UnitVal | Node::Const(_) | Node::Err(..) => true,
+                Node::PairW(a, b) | Node::PairT(a, b) | Node::App(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                    self.is_value(*a) && self.is_value(*b)
+                }
+                Node::Inl(v, _) | Node::Inr(v, _) | Node::BoxIntro(_, v) | Node::Rnd(v)
+                | Node::Ret(v) | Node::Proj(_, v) | Node::Op(_, v) => {
+                    stack.push(*v);
+                    self.is_value(*v)
+                }
+                Node::Lam(_, _, body) => {
+                    stack.push(*body);
+                    true
+                }
+                Node::LetTensor(_, _, v, e) | Node::LetBox(_, v, e) | Node::LetBind(_, v, e) => {
+                    stack.push(*v);
+                    stack.push(*e);
+                    self.is_value(*v)
+                }
+                Node::Case(v, _, e1, _, e2) => {
+                    stack.push(*v);
+                    stack.push(*e1);
+                    stack.push(*e2);
+                    self.is_value(*v)
+                }
+                // `let x = e in f` sequences arbitrary terms.
+                Node::Let(_, e, f) | Node::LetFun(_, _, e, f) => {
+                    stack.push(*e);
+                    stack.push(*f);
+                    true
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether a term is a *value* per Fig. 1 (iterative, no recursion).
+    pub fn is_value(&self, id: TermId) -> bool {
+        let mut stack = vec![id];
+        while let Some(t) = stack.pop() {
+            match self.node(t) {
+                Node::Var(_) | Node::UnitVal | Node::Const(_) | Node::Lam(..) => {}
+                Node::PairW(a, b) | Node::PairT(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Node::Inl(v, _) | Node::Inr(v, _) | Node::BoxIntro(_, v) | Node::Rnd(v) | Node::Ret(v) => {
+                    stack.push(*v)
+                }
+                // Fig. 1: let-bind(rnd v, x. f) is a value for value v.
+                Node::LetBind(_, v, _) => match self.node(*v) {
+                    Node::Rnd(w) => stack.push(*w),
+                    _ => return false,
+                },
+                Node::Err(..) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_per_fig1() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var("x");
+        let vx = s.var(x);
+        assert!(s.is_value(vx));
+        let k = s.num(Rational::from_int(3));
+        let pair = s.pair_tensor(vx, k);
+        assert!(s.is_value(pair));
+        let rnd = s.rnd(pair);
+        assert!(s.is_value(rnd));
+        // Applications are not values...
+        let app = s.app(vx, k);
+        assert!(!s.is_value(app));
+        // ...nor are pairs containing them.
+        let bad_pair = s.pair_with(app, k);
+        assert!(!s.is_value(bad_pair));
+        // let-bind(rnd v, x.f) is a value; let-bind(ret v, x.f) is not.
+        let y = s.fresh_var("y");
+        let body = s.var(y);
+        let lb = s.let_bind(y, rnd, body);
+        assert!(s.is_value(lb));
+        let r = s.ret(k);
+        let lb2 = s.let_bind(y, r, body);
+        assert!(!s.is_value(lb2));
+    }
+
+    #[test]
+    fn interning_dedupes() {
+        let mut s = TermStore::new();
+        let a = s.intern_ty(Ty::Num);
+        let b = s.intern_ty(Ty::Num);
+        assert_eq!(a, b);
+        let g1 = s.intern_grade(Grade::one());
+        let g2 = s.intern_grade(Grade::one());
+        assert_eq!(g1, g2);
+        let o1 = s.intern_op("mul");
+        let o2 = s.intern_op("mul");
+        assert_eq!(o1, o2);
+        assert_eq!(s.op_name(o1), "mul");
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut s = TermStore::new();
+        let a = s.fresh_var("x");
+        let b = s.fresh_var("x");
+        assert_ne!(a, b);
+        assert_eq!(s.var_name(a), "x");
+        assert_eq!(s.var_name(b), "x");
+    }
+}

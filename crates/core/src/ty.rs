@@ -1,0 +1,264 @@
+//! Λnum types (paper Fig. 1), the subtype relation (Fig. 12), and the
+//! supertype/subtype lattice operations `max`/`min` (Fig. 11).
+
+use crate::grade::Grade;
+use std::fmt;
+
+/// A Λnum type.
+///
+/// The two product types carry different metrics (Section 4.1): the
+/// Cartesian product `×` takes the **max** of component distances, the
+/// tensor product `⊗` their **sum** — which is exactly why `add` can be
+/// typed over `×` while `mul` needs `⊗` in the RP instantiation (Fig. 5).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    /// The unit type.
+    Unit,
+    /// The numeric base type; its interpretation (carrier and metric) is
+    /// fixed by the instantiation (Section 5).
+    Num,
+    /// Tensor product `σ ⊗ τ` (sum metric).
+    Tensor(Box<Ty>, Box<Ty>),
+    /// Cartesian product `σ × τ` (max metric).
+    With(Box<Ty>, Box<Ty>),
+    /// Sum `σ + τ` (distance ∞ across injections).
+    Sum(Box<Ty>, Box<Ty>),
+    /// Linear (1-sensitive) functions `σ ⊸ τ`.
+    Lolli(Box<Ty>, Box<Ty>),
+    /// Metric scaling `!_s σ`.
+    Bang(Grade, Box<Ty>),
+    /// The graded monad `M_u τ` of rounded computations (Section 4.2).
+    Monad(Grade, Box<Ty>),
+}
+
+impl Ty {
+    /// The booleans, encoded as `unit + unit` as in Section 5.1.
+    pub fn bool() -> Ty {
+        Ty::Sum(Box::new(Ty::Unit), Box::new(Ty::Unit))
+    }
+
+    /// `σ ⊗ τ`.
+    pub fn tensor(a: Ty, b: Ty) -> Ty {
+        Ty::Tensor(Box::new(a), Box::new(b))
+    }
+
+    /// `σ × τ`.
+    pub fn with(a: Ty, b: Ty) -> Ty {
+        Ty::With(Box::new(a), Box::new(b))
+    }
+
+    /// `σ + τ`.
+    pub fn sum(a: Ty, b: Ty) -> Ty {
+        Ty::Sum(Box::new(a), Box::new(b))
+    }
+
+    /// `σ ⊸ τ`.
+    pub fn lolli(a: Ty, b: Ty) -> Ty {
+        Ty::Lolli(Box::new(a), Box::new(b))
+    }
+
+    /// `!_s σ`.
+    pub fn bang(s: Grade, t: Ty) -> Ty {
+        Ty::Bang(s, Box::new(t))
+    }
+
+    /// `M_u τ`.
+    pub fn monad(u: Grade, t: Ty) -> Ty {
+        Ty::Monad(u, Box::new(t))
+    }
+
+    /// The subtype relation of Fig. 12. `σ ⊑ τ` means a value of type `σ`
+    /// can be used where `τ` is expected: monadic grades may grow
+    /// (subsumption loosens error bounds), bang grades may shrink on the
+    /// right (`!_{s'} σ ⊑ !_s σ'` needs `s <= s'`), and `⊸` is
+    /// contravariant on the left.
+    pub fn subtype(&self, other: &Ty) -> bool {
+        match (self, other) {
+            (Ty::Unit, Ty::Unit) | (Ty::Num, Ty::Num) => true,
+            (Ty::Tensor(a1, b1), Ty::Tensor(a2, b2))
+            | (Ty::With(a1, b1), Ty::With(a2, b2))
+            | (Ty::Sum(a1, b1), Ty::Sum(a2, b2)) => a1.subtype(a2) && b1.subtype(b2),
+            (Ty::Lolli(a1, b1), Ty::Lolli(a2, b2)) => a2.subtype(a1) && b1.subtype(b2),
+            (Ty::Monad(u1, t1), Ty::Monad(u2, t2)) => u1.le(u2) && t1.subtype(t2),
+            (Ty::Bang(s1, t1), Ty::Bang(s2, t2)) => s2.le(s1) && t1.subtype(t2),
+            _ => false,
+        }
+    }
+
+    /// The supertype operation `max` of Fig. 11 — the least type (in the
+    /// coefficient-wise grade order) that both arguments are subtypes of.
+    ///
+    /// Returns `None` when the two types have different shapes.
+    pub fn sup(&self, other: &Ty) -> Option<Ty> {
+        match (self, other) {
+            (Ty::Unit, Ty::Unit) => Some(Ty::Unit),
+            (Ty::Num, Ty::Num) => Some(Ty::Num),
+            (Ty::Tensor(a1, b1), Ty::Tensor(a2, b2)) => Some(Ty::tensor(a1.sup(a2)?, b1.sup(b2)?)),
+            (Ty::With(a1, b1), Ty::With(a2, b2)) => Some(Ty::with(a1.sup(a2)?, b1.sup(b2)?)),
+            (Ty::Sum(a1, b1), Ty::Sum(a2, b2)) => Some(Ty::sum(a1.sup(a2)?, b1.sup(b2)?)),
+            (Ty::Lolli(a1, b1), Ty::Lolli(a2, b2)) => Some(Ty::lolli(a1.inf(a2)?, b1.sup(b2)?)),
+            (Ty::Monad(u1, t1), Ty::Monad(u2, t2)) => Some(Ty::monad(u1.sup(u2), t1.sup(t2)?)),
+            (Ty::Bang(s1, t1), Ty::Bang(s2, t2)) => Some(Ty::bang(s1.inf(s2), t1.sup(t2)?)),
+            _ => None,
+        }
+    }
+
+    /// The subtype operation `min` of Fig. 11 (dual of [`Ty::sup`]).
+    pub fn inf(&self, other: &Ty) -> Option<Ty> {
+        match (self, other) {
+            (Ty::Unit, Ty::Unit) => Some(Ty::Unit),
+            (Ty::Num, Ty::Num) => Some(Ty::Num),
+            (Ty::Tensor(a1, b1), Ty::Tensor(a2, b2)) => Some(Ty::tensor(a1.inf(a2)?, b1.inf(b2)?)),
+            (Ty::With(a1, b1), Ty::With(a2, b2)) => Some(Ty::with(a1.inf(a2)?, b1.inf(b2)?)),
+            (Ty::Sum(a1, b1), Ty::Sum(a2, b2)) => Some(Ty::sum(a1.inf(a2)?, b1.inf(b2)?)),
+            (Ty::Lolli(a1, b1), Ty::Lolli(a2, b2)) => Some(Ty::lolli(a1.sup(a2)?, b1.inf(b2)?)),
+            (Ty::Monad(u1, t1), Ty::Monad(u2, t2)) => Some(Ty::monad(u1.inf(u2), t1.inf(t2)?)),
+            (Ty::Bang(s1, t1), Ty::Bang(s2, t2)) => Some(Ty::bang(s1.sup(s2), t1.inf(t2)?)),
+            _ => None,
+        }
+    }
+
+    fn is_atom(&self) -> bool {
+        matches!(
+            self,
+            Ty::Unit | Ty::Num | Ty::Tensor(..) | Ty::With(..) | Ty::Bang(..) | Ty::Monad(..)
+        )
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let wrap = |t: &Ty, f: &mut fmt::Formatter<'_>| {
+            if t.is_atom() {
+                write!(f, "{t}")
+            } else {
+                write!(f, "({t})")
+            }
+        };
+        match self {
+            Ty::Unit => write!(f, "unit"),
+            Ty::Num => write!(f, "num"),
+            Ty::Tensor(a, b) => write!(f, "({a}, {b})"),
+            Ty::With(a, b) => write!(f, "<{a}, {b}>"),
+            Ty::Sum(a, b) => {
+                if **a == Ty::Unit && **b == Ty::Unit {
+                    write!(f, "bool")
+                } else {
+                    wrap(a, f)?;
+                    write!(f, " + ")?;
+                    wrap(b, f)
+                }
+            }
+            Ty::Lolli(a, b) => {
+                wrap(a, f)?;
+                write!(f, " -o {b}")
+            }
+            Ty::Bang(s, t) => {
+                write!(f, "![{s}]")?;
+                wrap(t, f)
+            }
+            Ty::Monad(u, t) => {
+                write!(f, "M[{u}]")?;
+                wrap(t, f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numfuzz_exact::Rational;
+
+    fn eps() -> Grade {
+        Grade::symbol("eps")
+    }
+
+    fn two() -> Grade {
+        Grade::constant(Rational::from_int(2))
+    }
+
+    #[test]
+    fn display_matches_surface_syntax() {
+        let t = Ty::lolli(
+            Ty::bang(two(), Ty::Num),
+            Ty::monad(eps(), Ty::Num),
+        );
+        assert_eq!(t.to_string(), "![2]num -o M[eps]num");
+        assert_eq!(Ty::bool().to_string(), "bool");
+        assert_eq!(Ty::tensor(Ty::Num, Ty::Num).to_string(), "(num, num)");
+        assert_eq!(Ty::with(Ty::Num, Ty::Num).to_string(), "<num, num>");
+        assert_eq!(
+            Ty::lolli(Ty::lolli(Ty::Num, Ty::Num), Ty::Num).to_string(),
+            "(num -o num) -o num"
+        );
+        assert_eq!(Ty::sum(Ty::Num, Ty::Unit).to_string(), "num + unit");
+    }
+
+    #[test]
+    fn subtype_monad_grades_grow() {
+        // M[eps]num ⊑ M[2*eps]num (subsumption loosens bounds).
+        let a = Ty::monad(eps(), Ty::Num);
+        let b = Ty::monad(eps().scale(&Rational::from_int(2)), Ty::Num);
+        assert!(a.subtype(&b));
+        assert!(!b.subtype(&a));
+        assert!(a.subtype(&a));
+    }
+
+    #[test]
+    fn subtype_bang_grades_shrink() {
+        // ![2]num ⊑ ![1]num: a value usable at sensitivity 2 is usable at 1.
+        let a = Ty::bang(two(), Ty::Num);
+        let b = Ty::bang(Grade::one(), Ty::Num);
+        assert!(a.subtype(&b));
+        assert!(!b.subtype(&a));
+    }
+
+    #[test]
+    fn subtype_lolli_contravariant() {
+        // (![1]num ⊸ M[2eps]num) accepts ![2]num arguments:
+        // ![2]num -o M[eps]num ⊑ ![1]num -o M[2*eps]num.
+        let f1 = Ty::lolli(Ty::bang(Grade::one(), Ty::Num), Ty::monad(eps(), Ty::Num));
+        let f2 = Ty::lolli(
+            Ty::bang(two(), Ty::Num),
+            Ty::monad(eps().scale(&Rational::from_int(2)), Ty::Num),
+        );
+        // f1 : takes stronger (less-scaled) arg... direction check:
+        // arg of f2 (![2]) ⊑ arg of f1 (![1]), result of f1 ⊑ result of f2,
+        // hence f1 ⊑ f2? No: contravariance needs arg_f2 ⊑ arg_f1 for f1 ⊑ f2.
+        assert!(f1.subtype(&f2) == (Ty::bang(two(), Ty::Num).subtype(&Ty::bang(Grade::one(), Ty::Num))));
+        assert!(f1.subtype(&f2));
+    }
+
+    #[test]
+    fn sup_inf_duality() {
+        let a = Ty::monad(eps(), Ty::bang(two(), Ty::Num));
+        let b = Ty::monad(two(), Ty::bang(eps(), Ty::Num));
+        let s = a.sup(&b).unwrap();
+        let i = a.inf(&b).unwrap();
+        assert!(a.subtype(&s) && b.subtype(&s));
+        assert!(i.subtype(&a) && i.subtype(&b));
+        // Shape mismatch is rejected.
+        assert_eq!(Ty::Num.sup(&Ty::Unit), None);
+        assert_eq!(Ty::tensor(Ty::Num, Ty::Num).inf(&Ty::with(Ty::Num, Ty::Num)), None);
+    }
+
+    #[test]
+    fn sup_of_lolli_narrows_domain() {
+        let f1 = Ty::lolli(Ty::bang(two(), Ty::Num), Ty::Num);
+        let f2 = Ty::lolli(Ty::bang(eps(), Ty::Num), Ty::Num);
+        // sup takes inf of domains = ![max(2,eps) coeffwise] = ![2 + eps]...
+        // coefficient-wise sup of grades 2 and eps is 2 + eps? No: sup is
+        // coefficient-wise max: constant 2, eps-coeff 1 -> "2 + eps".
+        let s = f1.sup(&f2).unwrap();
+        match s {
+            Ty::Lolli(dom, _) => match *dom {
+                Ty::Bang(g, _) => assert_eq!(g.to_string(), "2 + eps"),
+                other => panic!("unexpected domain {other}"),
+            },
+            other => panic!("unexpected sup {other}"),
+        }
+        assert!(f1.subtype(&f1.sup(&f2).unwrap()));
+        assert!(f2.subtype(&f1.sup(&f2).unwrap()));
+    }
+}

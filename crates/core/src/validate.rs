@@ -1,0 +1,332 @@
+//! An independent *reference* checker, used as a differential oracle.
+//!
+//! [`infer_reference`] implements exactly the same algorithmic rules
+//! (Fig. 10) as [`crate::infer`], but written the obvious way: direct
+//! recursion, no explicit stack, no result-map bookkeeping, no
+//! memoization. The production checker is cross-checked against it on the
+//! whole paper corpus and on randomly generated programs; any divergence
+//! would expose a staging bug in the iterative machine.
+//!
+//! Because it recurses, it is only suitable for modest terms (roughly
+//! depth < 10⁴); the production checker has no such limit.
+
+use crate::check::{CheckError, Inferred};
+use crate::env::Env;
+use crate::grade::Grade;
+use crate::sig::Signature;
+use crate::term::{Node, TermId, TermStore, VarId};
+use crate::ty::Ty;
+use std::collections::HashMap;
+
+/// Reference (recursive) re-implementation of [`crate::infer`] for the
+/// root judgment only (no function reports).
+///
+/// # Errors
+///
+/// The same [`CheckError`]s as the production checker, on the same terms.
+pub fn infer_reference(
+    store: &TermStore,
+    sig: &Signature,
+    root: TermId,
+    free: &[(VarId, Ty)],
+) -> Result<Inferred, CheckError> {
+    let mut cx = Ref {
+        store,
+        sig,
+        var_tys: free.iter().map(|(v, t)| (*v, t.clone())).collect(),
+    };
+    cx.go(root)
+}
+
+struct Ref<'a> {
+    store: &'a TermStore,
+    sig: &'a Signature,
+    var_tys: HashMap<VarId, Ty>,
+}
+
+impl<'a> Ref<'a> {
+    fn epsilon(&self) -> Grade {
+        self.sig.rnd_grade().clone()
+    }
+
+    fn go(&mut self, t: TermId) -> Result<Inferred, CheckError> {
+        match self.store.node(t).clone() {
+            Node::Var(x) => {
+                let ty = self
+                    .var_tys
+                    .get(&x)
+                    .cloned()
+                    .ok_or_else(|| CheckError::UnboundVar(self.store.var_name(x).to_string()))?;
+                Ok(Inferred { env: Env::singleton(x, Grade::one()), ty })
+            }
+            Node::UnitVal => Ok(Inferred { env: Env::empty(), ty: Ty::Unit }),
+            Node::Const(_) => Ok(Inferred { env: Env::empty(), ty: Ty::Num }),
+            Node::Err(g, ty) => Ok(Inferred {
+                env: Env::empty(),
+                ty: Ty::monad(self.store.grade(g).clone(), self.store.ty(ty).clone()),
+            }),
+            Node::PairW(a, b) => {
+                let (ra, rb) = (self.go(a)?, self.go(b)?);
+                Ok(Inferred { env: ra.env.sup(rb.env), ty: Ty::with(ra.ty, rb.ty) })
+            }
+            Node::PairT(a, b) => {
+                let (ra, rb) = (self.go(a)?, self.go(b)?);
+                Ok(Inferred { env: ra.env.add(rb.env), ty: Ty::tensor(ra.ty, rb.ty) })
+            }
+            Node::Inl(v, rt) => {
+                let r = self.go(v)?;
+                Ok(Inferred { env: r.env, ty: Ty::sum(r.ty, self.store.ty(rt).clone()) })
+            }
+            Node::Inr(v, lt) => {
+                let r = self.go(v)?;
+                Ok(Inferred { env: r.env, ty: Ty::sum(self.store.ty(lt).clone(), r.ty) })
+            }
+            Node::Lam(x, ann, body) => {
+                let dom = self.store.ty(ann).clone();
+                self.var_tys.insert(x, dom.clone());
+                let mut r = self.go(body)?;
+                let s = r.env.remove(x);
+                if !s.le(&Grade::one()) {
+                    return Err(CheckError::LambdaSensitivity {
+                        var: self.store.var_name(x).to_string(),
+                        got: s,
+                    });
+                }
+                Ok(Inferred { env: r.env, ty: Ty::lolli(dom, r.ty) })
+            }
+            Node::BoxIntro(g, v) => {
+                let r = self.go(v)?;
+                let s = self.store.grade(g).clone();
+                let env = r.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
+                Ok(Inferred { env, ty: Ty::bang(s, r.ty) })
+            }
+            Node::Rnd(v) => {
+                let r = self.go(v)?;
+                if r.ty != Ty::Num {
+                    return Err(CheckError::Expected { what: "a numeric argument to rnd", found: r.ty });
+                }
+                Ok(Inferred { env: r.env, ty: Ty::monad(self.sig.rnd_grade().clone(), Ty::Num) })
+            }
+            Node::Ret(v) => {
+                let r = self.go(v)?;
+                Ok(Inferred { env: r.env, ty: Ty::monad(Grade::zero(), r.ty) })
+            }
+            Node::App(f, a) => {
+                let (rf, ra) = (self.go(f)?, self.go(a)?);
+                match rf.ty {
+                    Ty::Lolli(dom, cod) => {
+                        if !ra.ty.subtype(&dom) {
+                            return Err(CheckError::ArgMismatch { expected: *dom, found: ra.ty });
+                        }
+                        Ok(Inferred { env: rf.env.add(ra.env), ty: *cod })
+                    }
+                    other => Err(CheckError::Expected { what: "a function", found: other }),
+                }
+            }
+            Node::Proj(first, v) => {
+                let r = self.go(v)?;
+                match r.ty {
+                    Ty::With(a, b) => Ok(Inferred { env: r.env, ty: if first { *a } else { *b } }),
+                    other => Err(CheckError::Expected { what: "a cartesian pair", found: other }),
+                }
+            }
+            Node::LetTensor(x, y, v, e) => {
+                let rv = self.go(v)?;
+                let (ta, tb) = match rv.ty.clone() {
+                    Ty::Tensor(a, b) => (*a, *b),
+                    other => return Err(CheckError::Expected { what: "a tensor pair", found: other }),
+                };
+                self.var_tys.insert(x, ta);
+                self.var_tys.insert(y, tb);
+                let mut re = self.go(e)?;
+                let s = re.env.remove(x).sup(&re.env.remove(y));
+                let scaled = rv.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
+                Ok(Inferred { env: re.env.add(scaled), ty: re.ty })
+            }
+            Node::Case(v, x, e1, y, e2) => {
+                let rv = self.go(v)?;
+                let (ta, tb) = match rv.ty.clone() {
+                    Ty::Sum(a, b) => (*a, *b),
+                    other => return Err(CheckError::Expected { what: "a sum", found: other }),
+                };
+                self.var_tys.insert(x, ta);
+                self.var_tys.insert(y, tb);
+                let mut r1 = self.go(e1)?;
+                let mut r2 = self.go(e2)?;
+                let s = r1.env.remove(x).sup(&r2.env.remove(y));
+                let s_bar = if s.is_zero() { self.epsilon() } else { s };
+                let ty = r1.ty.sup(&r2.ty).ok_or(CheckError::BranchTypeMismatch {
+                    left: r1.ty.clone(),
+                    right: r2.ty.clone(),
+                })?;
+                let scaled = rv.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
+                Ok(Inferred { env: r1.env.sup(r2.env).add(scaled), ty })
+            }
+            Node::LetBox(x, v, e) => {
+                let rv = self.go(v)?;
+                let (s, inner) = match rv.ty.clone() {
+                    Ty::Bang(s, inner) => (s, *inner),
+                    other => return Err(CheckError::Expected { what: "a boxed value", found: other }),
+                };
+                self.var_tys.insert(x, inner);
+                let mut re = self.go(e)?;
+                let r = re.env.remove(x);
+                let tmul = r.div_min(&s).ok_or_else(|| CheckError::BoxZeroGrade {
+                    var: self.store.var_name(x).to_string(),
+                })?;
+                let scaled = rv.env.scale(&tmul).ok_or(CheckError::NonlinearGrade)?;
+                Ok(Inferred { env: re.env.add(scaled), ty: re.ty })
+            }
+            Node::LetBind(x, v, f) => {
+                let rv = self.go(v)?;
+                let (r, inner) = match rv.ty.clone() {
+                    Ty::Monad(r, inner) => (r, *inner),
+                    other => {
+                        return Err(CheckError::Expected { what: "a monadic computation", found: other })
+                    }
+                };
+                self.var_tys.insert(x, inner);
+                let mut rf = self.go(f)?;
+                let (q, tau) = match rf.ty {
+                    Ty::Monad(q, tau) => (q, *tau),
+                    other => {
+                        return Err(CheckError::Expected { what: "a monadic body in let-bind", found: other })
+                    }
+                };
+                let s = rf.env.remove(x);
+                let grade = s.checked_mul(&r).ok_or(CheckError::NonlinearGrade)?.add(&q);
+                let scaled = rv.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
+                Ok(Inferred { env: rf.env.add(scaled), ty: Ty::monad(grade, tau) })
+            }
+            Node::Let(x, e, f) | Node::LetFun(x, _, e, f) => {
+                // LetFun's declared type also gets validated here, keeping
+                // the oracle's behaviour aligned with the production rule.
+                if let Node::LetFun(_, decl, _, _) = self.store.node(t) {
+                    if *decl != u32::MAX {
+                        let re = self.go(e)?;
+                        let declared = self.store.ty(*decl).clone();
+                        if !re.ty.subtype(&declared) {
+                            return Err(CheckError::DeclaredMismatch {
+                                name: self.store.var_name(x).to_string(),
+                                declared,
+                                inferred: re.ty,
+                            });
+                        }
+                        self.var_tys.insert(x, declared);
+                        let mut rf = self.go(f)?;
+                        let s = rf.env.remove(x);
+                        let s_bar = if s.is_zero() { self.epsilon() } else { s };
+                        let scaled = re.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
+                        return Ok(Inferred { env: rf.env.add(scaled), ty: rf.ty });
+                    }
+                }
+                let re = self.go(e)?;
+                self.var_tys.insert(x, re.ty.clone());
+                let mut rf = self.go(f)?;
+                let s = rf.env.remove(x);
+                let s_bar = if s.is_zero() { self.epsilon() } else { s };
+                let scaled = re.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
+                Ok(Inferred { env: rf.env.add(scaled), ty: rf.ty })
+            }
+            Node::Op(op_idx, v) => {
+                let r = self.go(v)?;
+                let name = self.store.op_name(op_idx);
+                let op = self
+                    .sig
+                    .op(name)
+                    .ok_or_else(|| CheckError::UnknownOp(name.to_string()))?;
+                let env = if r.ty.subtype(&op.arg) {
+                    r.env
+                } else if let Ty::Bang(g, inner) = &op.arg {
+                    if r.ty.subtype(inner) {
+                        r.env.scale(g).ok_or(CheckError::NonlinearGrade)?
+                    } else {
+                        return Err(CheckError::OpArgMismatch {
+                            op: name.to_string(),
+                            expected: op.arg.clone(),
+                            found: r.ty,
+                        });
+                    }
+                } else {
+                    return Err(CheckError::OpArgMismatch {
+                        op: name.to_string(),
+                        expected: op.arg.clone(),
+                        found: r.ty,
+                    });
+                };
+                Ok(Inferred { env, ty: op.ret.clone() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::compile;
+
+    /// The production (iterative) checker and this reference agree on a
+    /// corpus of paper programs — environment and type, exactly.
+    #[test]
+    fn reference_agrees_with_production_checker() {
+        let sig = Signature::relative_precision();
+        let corpus = [
+            "function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }",
+            r#"
+            function pow2' (x: ![2.0]num) : M[eps]num {
+                let [x1] = x;
+                s = mul (x1, x1);
+                rnd s
+            }
+            function pow4 (x: ![4.0]num) : M[3*eps]num {
+                let [x1] = x;
+                let y = pow2' [x1]{2.0};
+                pow2' [y]{2.0}
+            }
+            "#,
+            r#"
+            function case1 (x: ![inf]num) : M[eps]num {
+                let [x1] = x;
+                c = is_pos x1;
+                if c then { s = mul (x1, x1); rnd s } else ret 1
+            }
+            case1 [2]{inf}
+            "#,
+            r#"
+            function f (p: <num, num>) : M[eps]num {
+                a = fst p;
+                s = mul (a, 2);
+                rnd s
+            }
+            f (|3, 4|)
+            "#,
+        ];
+        for src in corpus {
+            let lowered = compile(src, &sig).expect("compiles");
+            let fast = crate::check::infer(&lowered.store, &sig, lowered.root, &[]).expect("fast checks");
+            let slow = infer_reference(&lowered.store, &sig, lowered.root, &[]).expect("slow checks");
+            assert_eq!(fast.root.ty, slow.ty, "types diverge on {src}");
+            assert!(
+                fast.root.env.le(&slow.env) && slow.env.le(&fast.root.env),
+                "envs diverge on {src}"
+            );
+        }
+    }
+
+    /// Both checkers reject ill-typed programs with the same error class.
+    #[test]
+    fn reference_rejects_like_production() {
+        let sig = Signature::relative_precision();
+        let bad = [
+            "function bad (x: num) : num { mul (x, x) }",
+            "function bad (x: num) : M[eps]num { rnd x; }",
+            "function bad (x: num) : num { y }",
+        ];
+        for src in bad {
+            let Ok(lowered) = compile(src, &sig) else { continue };
+            let fast = crate::check::infer(&lowered.store, &sig, lowered.root, &[]);
+            let slow = infer_reference(&lowered.store, &sig, lowered.root, &[]);
+            assert_eq!(fast.is_err(), slow.is_err(), "{src}");
+        }
+    }
+}

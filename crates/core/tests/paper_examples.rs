@@ -1,0 +1,347 @@
+//! Golden tests: the checker must reproduce the paper's inferred types and
+//! error grades for every worked example, with *exact* symbolic grades.
+//!
+//! Sources: Section 2.2–2.3 (pow2, pow2', pow4), Fig. 7 (mulfp/addfp),
+//! Fig. 8 (MA, FMA), Fig. 9 (Horner2, Horner2_with_error), Section 5.1
+//! (case1), and the Table 3 `hypot` kernel whose 2.5·eps bound the paper
+//! reports as 5.55e-16.
+
+use numfuzz_core::{compile, infer, CheckError, CheckResult, Signature};
+
+fn check(src: &str) -> CheckResult {
+    let sig = Signature::relative_precision();
+    let lowered = compile(src, &sig).unwrap_or_else(|e| panic!("compile failed: {e}"));
+    infer(&lowered.store, &sig, lowered.root, &[]).unwrap_or_else(|e| panic!("check failed: {e}"))
+}
+
+fn check_err(src: &str) -> CheckError {
+    let sig = Signature::relative_precision();
+    let lowered = compile(src, &sig).unwrap_or_else(|e| panic!("compile failed: {e}"));
+    infer(&lowered.store, &sig, lowered.root, &[]).expect_err("expected a type error")
+}
+
+/// Fig. 7: defined rounding operations.
+const FIG7: &str = r#"
+function mulfp (xy: (num, num)) : M[eps]num {
+    s = mul xy;
+    rnd s
+}
+function addfp (xy: <num, num>) : M[eps]num {
+    s = add xy;
+    rnd s
+}
+function divfp (xy: (num, num)) : M[eps]num {
+    s = div xy;
+    rnd s
+}
+function sqrtfp (x: ![1/2]num) : M[eps]num {
+    s = sqrt x;
+    rnd s
+}
+"#;
+
+#[test]
+fn fig7_rounded_operations() {
+    let r = check(FIG7);
+    assert_eq!(r.fn_report("mulfp").unwrap().inferred.to_string(), "(num, num) -o M[eps]num");
+    assert_eq!(r.fn_report("addfp").unwrap().inferred.to_string(), "<num, num> -o M[eps]num");
+    assert_eq!(r.fn_report("divfp").unwrap().inferred.to_string(), "(num, num) -o M[eps]num");
+    assert_eq!(r.fn_report("sqrtfp").unwrap().inferred.to_string(), "![1/2]num -o M[eps]num");
+}
+
+#[test]
+fn pow2_is_2_sensitive() {
+    // Section 2.2: pow2 ≜ λx. mul (x, x) : !2 num ⊸ num.
+    let r = check(
+        r#"
+        function pow2 (x: ![2.0]num) : num {
+            let [x1] = x;
+            mul (x1, x1)
+        }
+        "#,
+    );
+    assert_eq!(r.fn_report("pow2").unwrap().inferred.to_string(), "![2]num -o num");
+}
+
+#[test]
+fn pow2_prime_rounds_once() {
+    // Section 2.3: pow2' : !2 num ⊸ M_u num.
+    let r = check(
+        r#"
+        function pow2' (x: ![2.0]num) : M[eps]num {
+            let [x1] = x;
+            s = mul (x1, x1);
+            rnd s
+        }
+        "#,
+    );
+    assert_eq!(r.fn_report("pow2'").unwrap().inferred.to_string(), "![2]num -o M[eps]num");
+}
+
+#[test]
+fn pow4_accumulates_3u() {
+    // Section 2.3: pow4 = pow2' ∘ pow2' : !4 num ⊸ M_{3u} num, the
+    // motivating 2u + u composition example.
+    let r = check(
+        r#"
+        function pow2' (x: ![2.0]num) : M[eps]num {
+            let [x1] = x;
+            s = mul (x1, x1);
+            rnd s
+        }
+        function pow4 (x: ![4.0]num) : M[3*eps]num {
+            let [x1] = x;
+            let y = pow2' [x1]{2.0};
+            pow2' [y]{2.0}
+        }
+        "#,
+    );
+    assert_eq!(r.fn_report("pow4").unwrap().inferred.to_string(), "![4]num -o M[3*eps]num");
+}
+
+#[test]
+fn fig8_ma_and_fma() {
+    // Fig. 8: MA incurs 2·eps (two roundings), FMA a single eps.
+    let src = format!(
+        "{FIG7}
+        function MA (x: num) (y: num) (z: num) : M[2*eps]num {{
+            s = mulfp (x,y);
+            let a = s;
+            addfp (|a,z|)
+        }}
+        function FMA (x: num) (y: num) (z: num) : M[eps]num {{
+            a = mul (x,y);
+            b = add (|a,z|);
+            rnd b
+        }}
+        "
+    );
+    let r = check(&src);
+    assert_eq!(
+        r.fn_report("MA").unwrap().inferred.to_string(),
+        "num -o num -o num -o M[2*eps]num"
+    );
+    assert_eq!(
+        r.fn_report("FMA").unwrap().inferred.to_string(),
+        "num -o num -o num -o M[eps]num"
+    );
+}
+
+const FMA_DEF: &str = r#"
+function FMA (x: num) (y: num) (z: num) : M[eps]num {
+    a = mul (x,y);
+    b = add (|a,z|);
+    rnd b
+}
+"#;
+
+#[test]
+fn fig9_horner2() {
+    // Fig. 9: Horner2 evaluates a2 x² + a1 x + a0 with two FMAs: 2·eps,
+    // and is 2-sensitive in x.
+    let src = format!(
+        "{FMA_DEF}
+        function Horner2 (a0: num) (a1: num) (a2: num) (x: ![2.0]num) : M[2*eps]num {{
+            let [x1] = x;
+            s1 = FMA a2 x1 a1;
+            let z = s1;
+            FMA z x1 a0
+        }}
+        "
+    );
+    let r = check(&src);
+    assert_eq!(
+        r.fn_report("Horner2").unwrap().inferred.to_string(),
+        "num -o num -o num -o ![2]num -o M[2*eps]num"
+    );
+}
+
+#[test]
+fn fig9_horner2_with_error() {
+    // Fig. 9: with eps-grade error on every input, the total is 7·eps
+    // (5·eps from sensitivity-amplified input error + 2·eps fresh).
+    let src = format!(
+        "{FMA_DEF}
+        function Horner2we (a0: M[eps]num) (a1: M[eps]num) (a2: M[eps]num) (x: ![2.0]M[eps]num) : M[7*eps]num {{
+            let [x1] = x;
+            let a0' = a0; let a1' = a1;
+            let a2' = a2; let x' = x1;
+            s1 = FMA a2' x' a1';
+            let z = s1;
+            FMA z x' a0'
+        }}
+        "
+    );
+    let r = check(&src);
+    assert_eq!(
+        r.fn_report("Horner2we").unwrap().inferred.to_string(),
+        "M[eps]num -o M[eps]num -o M[eps]num -o ![2]M[eps]num -o M[7*eps]num"
+    );
+}
+
+#[test]
+fn pow4_with_input_error_matches_eq11() {
+    // Eq. (11): error u' in the input gives 3·eps + 4·u' out. The paper
+    // displays pow4' : M[u']num ⊸ M[3·eps + 4·u']num, eliding the `!4`
+    // that its own (MuE) rule requires on the argument (pow4 is
+    // 4-sensitive, so the monadic input must be boxed at 4, exactly as
+    // Fig. 9 boxes Horner2_with_error's x at 2). We infer the sound type.
+    let r = check(
+        r#"
+        function pow2' (x: ![2.0]num) : M[eps]num {
+            let [x1] = x;
+            s = mul (x1, x1);
+            rnd s
+        }
+        function pow4' (mx: ![4.0]M[u']num) : M[3*eps + 4*u']num {
+            let [m] = mx;
+            let x = m;
+            let y = pow2' [x]{2.0};
+            pow2' [y]{2.0}
+        }
+        "#,
+    );
+    assert_eq!(
+        r.fn_report("pow4'").unwrap().inferred.to_string(),
+        "![4]M[u']num -o M[3*eps + 4*u']num"
+    );
+}
+
+#[test]
+fn section51_case1_conditional() {
+    // Section 5.1: case1 squares positives, else returns 0; one rounding.
+    // The guard forces infinite sensitivity: !∞ num ⊸ M_eps num.
+    let r = check(
+        r#"
+        function case1 (x: ![inf]num) : M[eps]num {
+            let [x1] = x;
+            c = is_pos x1;
+            if c then {
+                s = mul (x1, x1);
+                rnd s
+            } else ret 1
+        }
+        "#,
+    );
+    assert_eq!(
+        r.fn_report("case1").unwrap().inferred.to_string(),
+        "![inf]num -o M[eps]num"
+    );
+}
+
+#[test]
+fn hypot_is_2_5_eps() {
+    // Table 3 `hypot`: sqrt(x² + y²) with four roundings infers 5/2·eps;
+    // via eq. (8), 2.5 · 2⁻⁵² / (1 − ·) ≈ 5.55e-16 as the paper reports.
+    let src = format!(
+        "{FIG7}
+        function hypot (x: num) (y: num) : M[5/2*eps]num {{
+            let a = mulfp (x,x);
+            let b = mulfp (y,y);
+            let c = addfp (|a,b|);
+            sqrtfp [c]{{1/2}}
+        }}
+        "
+    );
+    let r = check(&src);
+    assert_eq!(
+        r.fn_report("hypot").unwrap().inferred.to_string(),
+        "num -o num -o M[5/2*eps]num"
+    );
+}
+
+#[test]
+fn lambda_overuse_is_rejected() {
+    // λx. mul (x, x) at type num ⊸ num is exactly what (⊸I) must reject:
+    // the body is 2-sensitive.
+    let err = check_err("function bad (x: num) : num { mul (x, x) }");
+    match err {
+        CheckError::LambdaSensitivity { var, got } => {
+            assert_eq!(var, "x");
+            assert_eq!(got.to_string(), "2");
+        }
+        other => panic!("expected LambdaSensitivity, got {other}"),
+    }
+}
+
+#[test]
+fn declared_bound_too_tight_is_rejected() {
+    // Claiming a single eps for two roundings must fail.
+    let err = check_err(
+        r#"
+        function f (x: num) : M[eps]num {
+            a = mul (x, 2);
+            b = rnd a;
+            let c = b;
+            d = mul (c, 3);
+            rnd d
+        }
+        "#,
+    );
+    match err {
+        CheckError::DeclaredMismatch { name, .. } => assert_eq!(name, "f"),
+        other => panic!("expected DeclaredMismatch, got {other}"),
+    }
+}
+
+#[test]
+fn subsumption_allows_looser_declaration() {
+    // Declaring 10*eps for a 2*eps function is fine (Subsumption).
+    let r = check(
+        r#"
+        function f (x: num) : M[10*eps]num {
+            a = mul (x, 2);
+            b = rnd a;
+            let c = b;
+            d = mul (c, 3);
+            rnd d
+        }
+        "#,
+    );
+    let rep = r.fn_report("f").unwrap();
+    assert_eq!(rep.inferred.to_string(), "num -o M[2*eps]num");
+    assert_eq!(rep.assigned.to_string(), "num -o M[10*eps]num");
+}
+
+#[test]
+fn tensor_pair_double_use_rejected_with_pair_ok() {
+    // Using a variable twice through ⊗ costs sensitivity 1+1 = 2; through
+    // × it costs max = 1. This is the (⊗I)/(×I) distinction of Fig. 10.
+    let err = check_err("function t (x: num) : (num, num) { (x, x) }");
+    assert!(matches!(err, CheckError::LambdaSensitivity { .. }));
+    let r = check("function w (x: num) : <num, num> { (|x, x|) }");
+    assert_eq!(r.fn_report("w").unwrap().inferred.to_string(), "num -o <num, num>");
+}
+
+#[test]
+fn sqrt_halves_sensitivity() {
+    // x through sqrt alone is 1/2-sensitive; boxed at 1/2 the λ sees 1/2 <= 1.
+    let r = check("function s (x: num) : num { sqrt x }");
+    assert_eq!(r.fn_report("s").unwrap().inferred.to_string(), "num -o num");
+}
+
+#[test]
+fn serial_sum_grades_accumulate_linearly() {
+    // Four adds rounded in sequence: 3·eps… no wait, x0+x1, +x2, +x3 is
+    // three rounded additions: 3·eps (the test02_sum8 pattern of Table 3).
+    let src = format!(
+        "{FIG7}
+        function sum4 (x0: num) (x1: num) (x2: num) (x3: num) : M[3*eps]num {{
+            let s1 = addfp (|x0, x1|);
+            let s2 = addfp (|s1, x2|);
+            addfp (|s2, x3|)
+        }}
+        "
+    );
+    let r = check(&src);
+    assert_eq!(
+        r.fn_report("sum4").unwrap().inferred.to_string(),
+        "num -o num -o num -o num -o M[3*eps]num"
+    );
+}
+
+#[test]
+fn ret_costs_nothing() {
+    let r = check("function r (x: num) : M[0]num { ret x }");
+    assert_eq!(r.fn_report("r").unwrap().inferred.to_string(), "num -o M[0]num");
+}

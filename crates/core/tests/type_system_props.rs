@@ -1,0 +1,159 @@
+//! Property tests for the type-system algebra: the grade semiring, the
+//! subtype relation (Fig. 12), and the `max`/`min` lattice (Fig. 11).
+
+use numfuzz_core::{Grade, Ty};
+use numfuzz_exact::Rational;
+use proptest::prelude::*;
+
+fn grade() -> impl Strategy<Value = Grade> {
+    prop_oneof![
+        8 => (0i64..64, 1i64..8, 0i64..64, 0i64..64).prop_map(|(c, d, e, u)| {
+            Grade::constant(Rational::ratio(c, d))
+                .add(&Grade::symbol("eps").scale(&Rational::from_int(e)))
+                .add(&Grade::symbol("u").scale(&Rational::from_int(u)))
+        }),
+        1 => Just(Grade::infinite()),
+        1 => Just(Grade::zero()),
+    ]
+}
+
+/// Small random types over a fixed shape alphabet.
+fn ty() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![Just(Ty::Num), Just(Ty::Unit)];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::tensor(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::with(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::sum(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::lolli(a, b)),
+            (grade(), inner.clone()).prop_map(|(g, t)| Ty::bang(g, t)),
+            (grade(), inner).prop_map(|(g, t)| Ty::monad(g, t)),
+        ]
+    })
+}
+
+/// A pair of types with the same shape (so sup/inf are defined): derive
+/// the second by perturbing the grades of the first.
+fn same_shape_pair() -> impl Strategy<Value = (Ty, Ty)> {
+    (ty(), grade(), grade()).prop_map(|(t, g1, g2)| {
+        let t2 = regrade(&t, &g1, &g2);
+        (t, t2)
+    })
+}
+
+fn regrade(t: &Ty, g1: &Grade, g2: &Grade) -> Ty {
+    match t {
+        Ty::Unit => Ty::Unit,
+        Ty::Num => Ty::Num,
+        Ty::Tensor(a, b) => Ty::tensor(regrade(a, g1, g2), regrade(b, g1, g2)),
+        Ty::With(a, b) => Ty::with(regrade(a, g1, g2), regrade(b, g1, g2)),
+        Ty::Sum(a, b) => Ty::sum(regrade(a, g1, g2), regrade(b, g1, g2)),
+        Ty::Lolli(a, b) => Ty::lolli(regrade(a, g1, g2), regrade(b, g1, g2)),
+        Ty::Bang(_, inner) => Ty::bang(g1.clone(), regrade(inner, g1, g2)),
+        Ty::Monad(_, inner) => Ty::monad(g2.clone(), regrade(inner, g1, g2)),
+    }
+}
+
+proptest! {
+    // ----- grade semiring -----
+
+    #[test]
+    fn grade_add_commutative_associative(a in grade(), b in grade(), c in grade()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        prop_assert_eq!(a.add(&Grade::zero()), a);
+    }
+
+    #[test]
+    fn grade_mul_laws(a in grade(), c1 in 0i64..32, c2 in 1i64..8) {
+        let k = Grade::constant(Rational::ratio(c1, c2));
+        // Multiplication by a constant distributes over addition.
+        let b = Grade::symbol("eps");
+        let lhs = k.checked_mul(&a.add(&b)).expect("const times linear");
+        let rhs = k.checked_mul(&a).expect("ok").add(&k.checked_mul(&b).expect("ok"));
+        prop_assert_eq!(lhs, rhs);
+        // 1 is a unit, 0 annihilates (including 0·∞ = 0).
+        prop_assert_eq!(Grade::one().checked_mul(&a), Some(a.clone()));
+        prop_assert_eq!(Grade::zero().checked_mul(&a), Some(Grade::zero()));
+    }
+
+    #[test]
+    fn grade_order_compatible(a in grade(), b in grade(), c in grade()) {
+        // Reflexive; ≤ is preserved by +.
+        prop_assert!(a.le(&a));
+        if a.le(&b) {
+            prop_assert!(a.add(&c).le(&b.add(&c)));
+        }
+        // sup is an upper bound, inf a lower bound, and they sandwich.
+        let s = a.sup(&b);
+        let i = a.inf(&b);
+        prop_assert!(a.le(&s) && b.le(&s));
+        prop_assert!(i.le(&a) && i.le(&b));
+        prop_assert!(i.le(&s));
+    }
+
+    #[test]
+    fn grade_div_min_is_least(r in grade(), s in grade()) {
+        if let Some(t) = r.div_min(&s) {
+            // Soundness: r <= t*s whenever the product is linear.
+            if let Some(ts) = t.checked_mul(&s) {
+                prop_assert!(r.le(&ts), "r={r} t={t} s={s}");
+            }
+        } else {
+            // Failure only in the documented case.
+            prop_assert!(s.is_zero() && !r.is_zero());
+        }
+    }
+
+    // ----- subtyping -----
+
+    #[test]
+    fn subtype_reflexive(t in ty()) {
+        prop_assert!(t.subtype(&t));
+    }
+
+    #[test]
+    fn subtype_antisymmetric_up_to_eq(p in same_shape_pair()) {
+        let (a, b) = p;
+        if a.subtype(&b) && b.subtype(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sup_inf_are_bounds(p in same_shape_pair()) {
+        let (a, b) = p;
+        let s = a.sup(&b).expect("same shape");
+        let i = a.inf(&b).expect("same shape");
+        prop_assert!(a.subtype(&s), "{a} not ⊑ sup {s}");
+        prop_assert!(b.subtype(&s), "{b} not ⊑ sup {s}");
+        prop_assert!(i.subtype(&a), "inf {i} not ⊑ {a}");
+        prop_assert!(i.subtype(&b), "inf {i} not ⊑ {b}");
+        // And sup/inf agree with subtyping when one side dominates.
+        if a.subtype(&b) {
+            prop_assert_eq!(s, b);
+            prop_assert_eq!(i, a);
+        }
+    }
+
+    #[test]
+    fn subtype_transitive(t in ty(), g1 in grade(), g2 in grade(), g3 in grade(), g4 in grade()) {
+        // Build a ⊑-chain by repeated regrading and check transitivity on
+        // the instances where the first two links hold.
+        let a = regrade(&t, &g1, &g2);
+        let b = regrade(&t, &g1.sup(&g3), &g2.sup(&g3));
+        let c = regrade(&t, &g1.sup(&g3).sup(&g4), &g2.sup(&g3).sup(&g4));
+        if a.subtype(&b) && b.subtype(&c) {
+            prop_assert!(a.subtype(&c));
+        }
+    }
+
+    // ----- display/parse round-trip for types -----
+
+    #[test]
+    fn type_display_reparses(t in ty()) {
+        let s = t.to_string();
+        let back = numfuzz_core::parse_ty(&s).unwrap_or_else(|e| panic!("reparse `{s}`: {e}"));
+        prop_assert_eq!(back, t);
+    }
+}

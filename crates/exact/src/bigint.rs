@@ -1,0 +1,407 @@
+//! Arbitrary-precision signed integers built on [`BigUint`].
+
+use crate::biguint::{BigUint, ParseBigUintError};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use numfuzz_exact::BigInt;
+///
+/// let a: BigInt = "-123456789123456789".parse()?;
+/// assert_eq!((&a * &a).to_string(), "15241578780673678515622620750190521");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The canonical zero.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The canonical one.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Plus, mag: BigUint::one() }
+    }
+
+    /// Builds from a sign and magnitude, normalizing zero.
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with zero sign");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consumes `self` and returns the magnitude.
+    pub fn into_magnitude(self) -> BigUint {
+        self.mag
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        match self.sign {
+            Sign::Minus => BigInt { sign: Sign::Plus, mag: self.mag.clone() },
+            _ => self.clone(),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        BigInt { sign: self.sign.flip(), mag: self.mag.clone() }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt { sign: a, mag: self.mag.add(&other.mag) },
+            _ => match self.mag.cmp(&other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt { sign: self.sign, mag: self.mag.sub(&other.mag) },
+                Ordering::Less => BigInt { sign: other.sign, mag: other.mag.sub(&self.mag) },
+            },
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &Self) -> Self {
+        let sign = self.sign.mul(other.sign);
+        if sign == Sign::Zero {
+            return BigInt::zero();
+        }
+        BigInt { sign, mag: self.mag.mul(&other.mag) }
+    }
+
+    /// Truncated division with remainder: `self = q*d + r`, `|r| < |d|`,
+    /// and `r` has the sign of `self` (C-style truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_rem(&self, d: &Self) -> (Self, Self) {
+        assert!(!d.is_zero(), "division by zero");
+        let (q, r) = self.mag.div_rem(&d.mag);
+        let q_sign = self.sign.mul(d.sign);
+        let q = if q.is_zero() { BigInt::zero() } else { BigInt { sign: q_sign, mag: q } };
+        let r = if r.is_zero() { BigInt::zero() } else { BigInt { sign: self.sign, mag: r } };
+        (q, r)
+    }
+
+    /// `self^exp`.
+    pub fn pow(&self, exp: u64) -> Self {
+        let mag = self.mag.pow(exp);
+        let sign = if self.sign == Sign::Minus && exp % 2 == 1 {
+            Sign::Minus
+        } else if mag.is_zero() {
+            Sign::Zero
+        } else if self.sign == Sign::Zero {
+            if exp == 0 { Sign::Plus } else { Sign::Zero }
+        } else {
+            Sign::Plus
+        };
+        BigInt::from_sign_mag(if mag.is_zero() { Sign::Zero } else { sign }, mag)
+    }
+
+    /// `self << bits`.
+    pub fn shl_bits(&self, bits: u64) -> Self {
+        BigInt { sign: self.sign, mag: self.mag.shl_bits(bits) }
+    }
+
+    /// Converts to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let mag = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => i64::try_from(mag).ok(),
+            Sign::Minus => {
+                if mag <= i64::MAX as u64 + 1 {
+                    Some((mag as i64).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Approximate conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        match self.sign {
+            Sign::Minus => -m,
+            _ => m,
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt { sign: Sign::Plus, mag: BigUint::from(v as u64) },
+            Ordering::Less => BigInt { sign: Sign::Minus, mag: BigUint::from(v.unsigned_abs()) },
+        }
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt { sign: Sign::Plus, mag: BigUint::from(v) }
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign: Sign::Plus, mag }
+        }
+    }
+}
+
+impl std::str::FromStr for BigInt {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mag = BigUint::from_decimal_str(digits)?;
+        Ok(if mag.is_zero() { BigInt::zero() } else { BigInt { sign, mag } })
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Minus => other.mag.cmp(&self.mag),
+                Sign::Zero => Ordering::Equal,
+                Sign::Plus => self.mag.cmp(&other.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(self.sign != Sign::Minus, "", &self.mag.to_decimal_string())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+macro_rules! forward_binop_int {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl std::ops::$trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                BigInt::$inner(self, rhs)
+            }
+        }
+        impl std::ops::$trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                BigInt::$inner(&self, &rhs)
+            }
+        }
+        impl std::ops::$trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                BigInt::$inner(&self, rhs)
+            }
+        }
+    };
+}
+
+forward_binop_int!(Add, add, add);
+forward_binop_int!(Sub, sub, sub);
+forward_binop_int!(Mul, mul, mul);
+
+impl std::ops::Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt::neg(self)
+    }
+}
+
+impl std::ops::Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt::neg(&self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(s: &str) -> BigInt {
+        s.parse().expect("valid test literal")
+    }
+
+    #[test]
+    fn signs_normalize() {
+        assert_eq!(int("0"), BigInt::zero());
+        assert_eq!(int("-0"), BigInt::zero());
+        assert!(int("-5").is_negative());
+        assert!(int("5").is_positive());
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        assert_eq!(int("5").add(&int("-3")), int("2"));
+        assert_eq!(int("3").add(&int("-5")), int("-2"));
+        assert_eq!(int("-3").add(&int("-5")), int("-8"));
+        assert_eq!(int("5").add(&int("-5")), BigInt::zero());
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(int("5").sub(&int("7")), int("-2"));
+        assert_eq!(int("-5").neg(), int("5"));
+        assert_eq!((-int("5")).to_string(), "-5");
+    }
+
+    #[test]
+    fn mul_signs() {
+        assert_eq!(int("-4").mul(&int("6")), int("-24"));
+        assert_eq!(int("-4").mul(&int("-6")), int("24"));
+        assert_eq!(int("-4").mul(&BigInt::zero()), BigInt::zero());
+    }
+
+    #[test]
+    fn div_rem_truncates_toward_zero() {
+        let (q, r) = int("7").div_rem(&int("2"));
+        assert_eq!((q, r), (int("3"), int("1")));
+        let (q, r) = int("-7").div_rem(&int("2"));
+        assert_eq!((q, r), (int("-3"), int("-1")));
+        let (q, r) = int("7").div_rem(&int("-2"));
+        assert_eq!((q, r), (int("-3"), int("1")));
+        let (q, r) = int("-7").div_rem(&int("-2"));
+        assert_eq!((q, r), (int("3"), int("-1")));
+    }
+
+    #[test]
+    fn ordering_mixed() {
+        assert!(int("-10") < int("-2"));
+        assert!(int("-2") < int("0"));
+        assert!(int("0") < int("3"));
+        assert!(int("3") < int("10"));
+    }
+
+    #[test]
+    fn pow_signs() {
+        assert_eq!(int("-2").pow(3), int("-8"));
+        assert_eq!(int("-2").pow(4), int("16"));
+        assert_eq!(int("0").pow(0), int("1"));
+        assert_eq!(int("0").pow(5), BigInt::zero());
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -42] {
+            assert_eq!(BigInt::from(v).to_i64(), Some(v));
+        }
+        assert_eq!(int("9223372036854775808").to_i64(), None);
+        assert_eq!(int("-9223372036854775808").to_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(int("-123").to_string(), "-123");
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+}

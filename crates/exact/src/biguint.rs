@@ -1,0 +1,773 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! [`BigUint`] stores magnitudes as little-endian `u32` limbs with no
+//! trailing zero limbs (so the empty limb vector is the canonical zero).
+//! The `u32` limb size keeps schoolbook multiplication and Knuth division
+//! simple and fast enough for the grade arithmetic performed by the Λnum
+//! checker, where numerators stay small and denominators are powers of two.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use numfuzz_exact::BigUint;
+///
+/// let a = BigUint::from(10u64).pow(30);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), format!("1{}", "0".repeat(60)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: no trailing zeros.
+    limbs: Vec<u32>,
+}
+
+const BASE_BITS: u32 = 32;
+
+impl BigUint {
+    /// The canonical zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The canonical one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from raw little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Returns the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Whether the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * BASE_BITS as u64 + (BASE_BITS - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / BASE_BITS as u64) as usize;
+        let off = (i % BASE_BITS as u64) as u32;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Number of trailing zero bits; `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u64 * BASE_BITS as u64 + l.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u32` if the value fits.
+    pub fn to_u32(&self) -> Option<u32> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Approximate conversion to `f64` (round-to-nearest on the top bits).
+    ///
+    /// Values above `f64::MAX` become `f64::INFINITY`.
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            return self.to_u64().expect("fits in u64") as f64;
+        }
+        // Take the top 64 bits and scale.
+        let shift = bits - 64;
+        let top = self.shr_bits(shift).to_u64().expect("top bits fit");
+        // Round based on the bit below the kept window (cheap midpoint handling
+        // is fine here: this conversion is for display/estimates only).
+        let round_up = self.bit(shift - 1);
+        let mantissa = if round_up { top.saturating_add(1) } else { top };
+        let m = mantissa as f64;
+        if shift > 1023 {
+            f64::INFINITY
+        } else {
+            m * 2f64.powi(shift as i32)
+        }
+    }
+
+    fn cmp_mag(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let s = l as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - other`, or `None` when `other > self`.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self.cmp_mag(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.checked_sub(other).expect("BigUint subtraction underflow")
+    }
+
+    /// `self * other` (schoolbook; operands in this codebase stay small).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self * m` for a single-limb multiplier.
+    pub fn mul_u32(&self, m: u32) -> Self {
+        if m == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let t = l as u64 * m as u64 + carry;
+            out.push(t as u32);
+            carry = t >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self << bits`.
+    pub fn shl_bits(&self, bits: u64) -> Self {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / BASE_BITS as u64) as usize;
+        let bit_shift = (bits % BASE_BITS as u64) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (BASE_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self >> bits` (floor).
+    pub fn shr_bits(&self, bits: u64) -> Self {
+        let limb_shift = (bits / BASE_BITS as u64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (bits % BASE_BITS as u64) as u32;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return BigUint::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let lo = src[i] >> bit_shift;
+            let hi = src.get(i + 1).copied().unwrap_or(0) << (BASE_BITS - bit_shift);
+            out.push(lo | hi);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Divides by a single limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u32(&self, d: u32) -> (Self, u32) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | self.limbs[i] as u64;
+            out[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        (BigUint::from_limbs(out), rem as u32)
+    }
+
+    /// Euclidean division, returning `(quotient, remainder)` with
+    /// `self = q * d + r` and `r < d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_rem(&self, d: &Self) -> (Self, Self) {
+        assert!(!d.is_zero(), "division by zero");
+        match self.cmp_mag(d) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if d.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u32(d.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        self.div_rem_knuth(d)
+    }
+
+    /// Knuth Algorithm D (base 2^32); requires `d.limbs.len() >= 2` and `self > d`.
+    fn div_rem_knuth(&self, d: &Self) -> (Self, Self) {
+        let n = d.limbs.len();
+        let m = self.limbs.len() - n;
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let s = d.limbs[n - 1].leading_zeros();
+        let vn = d.shl_bits(s as u64).limbs;
+        let mut un = self.shl_bits(s as u64).limbs;
+        un.resize(self.limbs.len() + 1, 0);
+        debug_assert_eq!(vn.len(), n);
+
+        let mut q = vec![0u32; m + 1];
+        let b: u64 = 1 << 32;
+        for j in (0..=m).rev() {
+            // D3: estimate the quotient digit.
+            let top2 = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut qhat = top2 / vn[n - 1] as u64;
+            let mut rhat = top2 % vn[n - 1] as u64;
+            while qhat >= b || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64) {
+                qhat -= 1;
+                rhat += vn[n - 1] as u64;
+                if rhat >= b {
+                    break;
+                }
+            }
+            // D4: multiply and subtract.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[i + j] as i64 - (p as u32) as i64 - borrow;
+                if t < 0 {
+                    un[i + j] = (t + b as i64) as u32;
+                    borrow = 1;
+                } else {
+                    un[i + j] = t as u32;
+                    borrow = 0;
+                }
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            if t < 0 {
+                // D6: the estimate was one too large; add the divisor back.
+                un[j + n] = (t + b as i64) as u32;
+                qhat -= 1;
+                let mut c = 0u64;
+                for i in 0..n {
+                    let t = un[i + j] as u64 + vn[i] as u64 + c;
+                    un[i + j] = t as u32;
+                    c = t >> 32;
+                }
+                un[j + n] = un[j + n].wrapping_add(c as u32);
+            } else {
+                un[j + n] = t as u32;
+            }
+            q[j] = qhat as u32;
+        }
+        un.truncate(n);
+        let rem = BigUint::from_limbs(un).shr_bits(s as u64);
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// Whether the value is a power of two.
+    pub fn is_power_of_two(&self) -> bool {
+        !self.is_zero() && self.trailing_zeros() == Some(self.bit_len() - 1)
+    }
+
+    /// Greatest common divisor.
+    ///
+    /// Strategy: an O(1) fast path when either operand is a power of two
+    /// (the common case here — denominators are overwhelmingly dyadic),
+    /// one Euclidean division step whenever the operands are badly
+    /// unbalanced (binary GCD would degenerate to O(bits) subtractions),
+    /// and binary GCD steps otherwise.
+    pub fn gcd(&self, other: &Self) -> Self {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        if self.is_power_of_two() || other.is_power_of_two() {
+            let k = self
+                .trailing_zeros()
+                .expect("nonzero")
+                .min(other.trailing_zeros().expect("nonzero"));
+            return BigUint::one().shl_bits(k);
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let za = a.trailing_zeros().expect("nonzero");
+        let zb = b.trailing_zeros().expect("nonzero");
+        let common = za.min(zb);
+        a = a.shr_bits(za);
+        b = b.shr_bits(zb);
+        loop {
+            debug_assert!(!a.is_even() && !b.is_even());
+            if a.cmp_mag(&b) == Ordering::Less {
+                std::mem::swap(&mut a, &mut b);
+            }
+            // Unbalanced operands: one division collapses the gap.
+            if a.bit_len() > b.bit_len() + 32 {
+                let (_, r) = a.div_rem(&b);
+                if r.is_zero() {
+                    return b.shl_bits(common);
+                }
+                a = r.shr_bits(r.trailing_zeros().expect("nonzero"));
+                continue;
+            }
+            a = a.sub(&b);
+            if a.is_zero() {
+                return b.shl_bits(common);
+            }
+            a = a.shr_bits(a.trailing_zeros().expect("nonzero"));
+        }
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, exp: u64) -> Self {
+        let mut base = self.clone();
+        let mut result = BigUint::one();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul(&base);
+            }
+        }
+        result
+    }
+
+    /// Integer square root with remainder: returns `(s, r)` with
+    /// `s*s + r == self` and `s*s <= self < (s+1)*(s+1)`.
+    pub fn isqrt_rem(&self) -> (Self, Self) {
+        if self.is_zero() {
+            return (BigUint::zero(), BigUint::zero());
+        }
+        if let Some(v) = self.to_u64() {
+            let mut s = (v as f64).sqrt() as u64;
+            // Fix up the float estimate at the boundaries.
+            while s.checked_mul(s).is_none_or(|sq| sq > v) {
+                s -= 1;
+            }
+            while (s + 1).checked_mul(s + 1).is_some_and(|sq| sq <= v) {
+                s += 1;
+            }
+            return (BigUint::from(s), BigUint::from(v - s * s));
+        }
+        // Newton's method on integers: x_{k+1} = (x_k + n / x_k) / 2,
+        // starting from a power-of-two overestimate, converges from above.
+        let bits = self.bit_len();
+        let mut x = BigUint::one().shl_bits(bits / 2 + 1);
+        loop {
+            let (q, _) = self.div_rem(&x);
+            let next = x.add(&q).shr_bits(1);
+            if next.cmp_mag(&x) != Ordering::Less {
+                break;
+            }
+            x = next;
+        }
+        // x is now floor(sqrt(self)) (Newton from above lands on it).
+        let r = self.sub(&x.mul(&x));
+        debug_assert!(r.cmp_mag(&x.mul_u32(2).add(&BigUint::one())) == Ordering::Less);
+        (x, r)
+    }
+
+    /// Parses a decimal string of ASCII digits.
+    pub fn from_decimal_str(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError);
+        }
+        let mut acc = BigUint::zero();
+        for chunk in s.as_bytes().chunks(9) {
+            let mut part: u32 = 0;
+            for &c in chunk {
+                if !c.is_ascii_digit() {
+                    return Err(ParseBigUintError);
+                }
+                part = part * 10 + (c - b'0') as u32;
+            }
+            acc = acc.mul_u32(10u32.pow(chunk.len() as u32)).add(&BigUint::from(part));
+        }
+        Ok(acc)
+    }
+
+    /// Renders as a decimal string.
+    pub fn to_decimal_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u32(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = chunks.pop().expect("nonzero").to_string();
+        for c in chunks.into_iter().rev() {
+            out.push_str(&format!("{c:09}"));
+        }
+        out
+    }
+}
+
+/// Error returned when parsing a [`BigUint`] from an invalid string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal digit string")
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_limbs(vec![v])
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_limbs(vec![v as u32, (v >> 32) as u32])
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u32, (v >> 32) as u32, (v >> 64) as u32, (v >> 96) as u32])
+    }
+}
+
+impl std::str::FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigUint::from_decimal_str(s)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_mag(other)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal_string())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl std::ops::$trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                BigUint::$inner(self, rhs)
+            }
+        }
+        impl std::ops::$trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                BigUint::$inner(&self, &rhs)
+            }
+        }
+        impl std::ops::$trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                BigUint::$inner(&self, rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add);
+forward_binop!(Sub, sub, sub);
+forward_binop!(Mul, mul, mul);
+
+impl std::ops::Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl std::ops::Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        BigUint::from_decimal_str(s).expect("valid test literal")
+    }
+
+    #[test]
+    fn zero_and_one_are_canonical() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::from(0u32), BigUint::zero());
+        assert_eq!(BigUint::from_limbs(vec![0, 0, 0]), BigUint::zero());
+        assert_eq!(BigUint::from_limbs(vec![1, 0]), BigUint::one());
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::one();
+        assert_eq!(a.add(&b), BigUint::from(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = BigUint::from(1u128 << 64);
+        assert_eq!(a.sub(&BigUint::one()), BigUint::from(u64::MAX));
+        assert_eq!(BigUint::one().checked_sub(&a), None);
+    }
+
+    #[test]
+    fn mul_matches_decimal() {
+        let a = big("123456789012345678901234567890");
+        let b = big("987654321098765432109876543210");
+        assert_eq!(
+            a.mul(&b).to_decimal_string(),
+            "121932631137021795226185032733622923332237463801111263526900"
+        );
+    }
+
+    #[test]
+    fn div_rem_invariant_large() {
+        let a = big("340282366920938463463374607431768211457");
+        let d = big("18446744073709551629");
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(q.mul(&d).add(&r), a);
+    }
+
+    #[test]
+    fn div_rem_needs_addback_case() {
+        // Exercises the rare "add back" step (D6) of Knuth's algorithm:
+        // dividend = base^2 * (base/2) and divisor slightly above base/2 * base.
+        let b32 = BigUint::one().shl_bits(32);
+        let u = b32.pow(3).mul_u32(0x8000_0000);
+        let v = b32.mul_u32(0x8000_0001);
+        let (q, r) = u.div_rem(&v);
+        assert!(r < v);
+        assert_eq!(q.mul(&v).add(&r), u);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = big("123456789012345678901234567890");
+        for bits in [1u64, 31, 32, 33, 64, 95] {
+            assert_eq!(a.shl_bits(bits).shr_bits(bits), a);
+        }
+        assert_eq!(a.shr_bits(1000), BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_examples() {
+        assert_eq!(BigUint::from(12u32).gcd(&BigUint::from(18u32)), BigUint::from(6u32));
+        assert_eq!(BigUint::zero().gcd(&BigUint::from(5u32)), BigUint::from(5u32));
+        let a = big("123456789012345678901234567890");
+        assert_eq!(a.gcd(&a), a);
+        // gcd(2^100 * 3, 2^50 * 9) = 2^50 * 3
+        let x = BigUint::one().shl_bits(100).mul_u32(3);
+        let y = BigUint::one().shl_bits(50).mul_u32(9);
+        assert_eq!(x.gcd(&y), BigUint::one().shl_bits(50).mul_u32(3));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(BigUint::from(2u32).pow(10), BigUint::from(1024u32));
+        assert_eq!(BigUint::from(10u32).pow(0), BigUint::one());
+        assert_eq!(BigUint::from(3u32).pow(40).to_decimal_string(), "12157665459056928801");
+    }
+
+    #[test]
+    fn isqrt_exact_and_inexact() {
+        let (s, r) = BigUint::from(144u32).isqrt_rem();
+        assert_eq!((s, r), (BigUint::from(12u32), BigUint::zero()));
+        let (s, r) = BigUint::from(145u32).isqrt_rem();
+        assert_eq!((s, r), (BigUint::from(12u32), BigUint::one()));
+        let n = big("123456789012345678901234567890123456789");
+        let (s, r) = n.isqrt_rem();
+        assert_eq!(s.mul(&s).add(&r), n);
+        let s1 = s.add(&BigUint::one());
+        assert!(s1.mul(&s1) > n);
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in ["0", "1", "999999999", "1000000000", "123456789012345678901234567890"] {
+            assert_eq!(big(s).to_decimal_string(), s);
+        }
+        assert!(BigUint::from_decimal_str("12a").is_err());
+        assert!(BigUint::from_decimal_str("").is_err());
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        assert_eq!(BigUint::from(12345u32).to_f64(), 12345.0);
+        let big_val = BigUint::one().shl_bits(100);
+        assert_eq!(big_val.to_f64(), 2f64.powi(100));
+        let huge = BigUint::one().shl_bits(2000);
+        assert!(huge.to_f64().is_infinite());
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let a = BigUint::from(0b1010u32);
+        assert!(!a.bit(0));
+        assert!(a.bit(1));
+        assert!(a.bit(3));
+        assert!(!a.bit(64));
+        assert_eq!(a.bit_len(), 4);
+        assert_eq!(a.trailing_zeros(), Some(1));
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+    }
+}

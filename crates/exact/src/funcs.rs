@@ -1,0 +1,270 @@
+//! Rigorous rational enclosures of irrational functions: `sqrt`, `exp`, `ln`.
+//!
+//! Every function here returns an interval that *provably* contains the true
+//! real value, with width controlled by a `bits` parameter. These are the
+//! only places in the workspace where irrational values appear; everything
+//! downstream (metric checks, the ideal semantics) manipulates the
+//! enclosures, so soundness never rests on host floating point.
+
+use crate::interval::RatInterval;
+use crate::rational::Rational;
+
+/// Encloses `sqrt(q)` within `2^-bits` (and exactly, when `q` is a perfect
+/// square of a dyadic-compatible rational).
+///
+/// # Panics
+///
+/// Panics if `q` is negative.
+pub fn sqrt_enclosure(q: &Rational, bits: u32) -> RatInterval {
+    assert!(!q.is_negative(), "sqrt of a negative rational");
+    if q.is_zero() {
+        return RatInterval::point(Rational::zero());
+    }
+    // Exact case: sqrt(n/d) is rational iff n and d are perfect squares.
+    let (sn, rn) = q.numer().magnitude().isqrt_rem();
+    if rn.is_zero() {
+        let (sd, rd) = q.denom().isqrt_rem();
+        if rd.is_zero() {
+            let exact = Rational::new(
+                crate::bigint::BigInt::from(sn),
+                crate::bigint::BigInt::from(crate::biguint::BigUint::from(1u32).mul(&sd)),
+            );
+            return RatInterval::point(exact);
+        }
+    }
+    // t = floor(q * 4^bits); s = isqrt(t) gives s/2^bits <= sqrt(q) < (s+1)/2^bits.
+    let t = q.floor_mul_pow2(2 * bits as i64);
+    let (s, _) = t.magnitude().isqrt_rem();
+    let scale = Rational::pow2(-(bits as i64));
+    let lo = Rational::from(crate::bigint::BigInt::from(s.clone())).mul(&scale);
+    let hi = Rational::from(crate::bigint::BigInt::from(s.add(&crate::biguint::BigUint::one()))).mul(&scale);
+    RatInterval::new(lo, hi)
+}
+
+/// Encloses `e^x` for rational `x`, with relative width roughly `2^-bits`.
+pub fn exp_enclosure(x: &Rational, bits: u32) -> RatInterval {
+    if x.is_zero() {
+        return RatInterval::point(Rational::one());
+    }
+    if x.is_negative() {
+        // e^x = 1 / e^{-x}; the reciprocal of a positive interval flips ends.
+        let pos = exp_enclosure(&x.neg(), bits);
+        return RatInterval::new(pos.hi().recip(), pos.lo().recip());
+    }
+    // Argument reduction: halve until y <= 1/2, then square back k times.
+    let half = Rational::ratio(1, 2);
+    let mut k = 0u32;
+    let mut y = x.clone();
+    while y > half {
+        y = y.mul(&half);
+        k += 1;
+    }
+    // Taylor series with a rigorous tail bound: for 0 <= y <= 1/2,
+    //   e^y = sum_{i<=n} y^i/i!  +  R,   0 <= R <= 2 * y^{n+1}/(n+1)!.
+    // Each squaring at most doubles the relative width, so aim k+bits+8 bits.
+    let target = Rational::pow2(-((bits + k + 8) as i64));
+    let mut sum = Rational::one();
+    let mut term = Rational::one(); // y^i / i!
+    let mut i: i64 = 0;
+    loop {
+        i += 1;
+        term = term.mul(&y).div(&Rational::from_int(i));
+        sum = sum.add(&term);
+        // Tail after including term i is at most 2 * y^{i+1}/(i+1)!.
+        let tail = term.mul(&y).div(&Rational::from_int(i + 1)).mul(&Rational::from_int(2));
+        if tail < target {
+            let mut lo = sum.clone();
+            let mut hi = sum.add(&tail);
+            for _ in 0..k {
+                lo = lo.mul(&lo);
+                hi = hi.mul(&hi);
+            }
+            return RatInterval::new(lo, hi);
+        }
+    }
+}
+
+/// Encloses `ln(q)` for strictly positive rational `q`, with absolute width
+/// roughly `2^-bits`.
+///
+/// # Panics
+///
+/// Panics if `q <= 0`.
+pub fn ln_enclosure(q: &Rational, bits: u32) -> RatInterval {
+    assert!(q.is_positive(), "ln of a non-positive rational");
+    if q == &Rational::one() {
+        return RatInterval::point(Rational::zero());
+    }
+    // Reduce q = m * 2^j with m in [1, 2): ln q = j*ln2 + ln m.
+    let mut j: i64 = 0;
+    let mut m = q.clone();
+    let two = Rational::from_int(2);
+    while m >= two {
+        m = m.div(&two);
+        j += 1;
+    }
+    while m < Rational::one() {
+        m = m.mul(&two);
+        j -= 1;
+    }
+    let ln_m = atanh_ln(&m, bits + 4);
+    if j == 0 {
+        return ln_m;
+    }
+    let ln2 = atanh_ln(&two, bits + 8);
+    let jr = Rational::from_int(j);
+    let scaled = if j > 0 {
+        RatInterval::new(ln2.lo().mul(&jr), ln2.hi().mul(&jr))
+    } else {
+        RatInterval::new(ln2.hi().mul(&jr), ln2.lo().mul(&jr))
+    };
+    ln_m.add(&scaled)
+}
+
+/// `ln(q)` for `q in [1, 2]` via `ln q = 2 atanh(z)`, `z = (q-1)/(q+1)`.
+///
+/// The argument is first snapped outward to a dyadic grid (atanh is
+/// monotone), so every series operand has a power-of-two denominator and
+/// the rational arithmetic never hits an expensive GCD.
+fn atanh_ln(q: &Rational, bits: u32) -> RatInterval {
+    let z = q.sub(&Rational::one()).div(&q.add(&Rational::one()));
+    debug_assert!(!z.is_negative());
+    if z.is_zero() {
+        return RatInterval::point(Rational::zero());
+    }
+    let k = bits as i64 + 8;
+    let z_lo = Rational::from(z.floor_mul_pow2(k)).mul(&Rational::pow2(-k));
+    if z == z_lo {
+        return atanh_series(&z, bits);
+    }
+    let z_hi = z_lo.add(&Rational::pow2(-k));
+    let lo = atanh_series(&z_lo, bits);
+    let hi = atanh_series(&z_hi, bits);
+    RatInterval::new(lo.lo().clone(), hi.hi().clone())
+}
+
+/// `2 atanh(z)` for `0 <= z <= 1/3 + 2^-k` by the odd power series with a
+/// rigorous geometric tail bound.
+fn atanh_series(z: &Rational, bits: u32) -> RatInterval {
+    if z.is_zero() {
+        return RatInterval::point(Rational::zero());
+    }
+    // 2 * sum_{i>=0} z^(2i+1)/(2i+1); tail after the i-th term is bounded by
+    // 2 * z^(2i+3)/(2i+3) * 1/(1 - z^2); for q <= 2, z <= ~1/3 so the factor is small.
+    let target = Rational::pow2(-(bits as i64));
+    let z2 = z.mul(z);
+    let tail_factor = Rational::one().div(&Rational::one().sub(&z2)).mul(&Rational::from_int(2));
+    let mut sum = Rational::zero();
+    let mut zpow = z.clone(); // z^(2i+1)
+    let mut i: i64 = 0;
+    loop {
+        sum = sum.add(&zpow.div(&Rational::from_int(2 * i + 1)));
+        let next = zpow.mul(&z2);
+        let tail = next.div(&Rational::from_int(2 * i + 3)).mul(&tail_factor);
+        if tail < target {
+            let lo = sum.mul(&Rational::from_int(2));
+            let hi = lo.add(&tail);
+            return RatInterval::new(lo, hi);
+        }
+        zpow = next;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    #[test]
+    fn sqrt_exact_squares() {
+        assert_eq!(sqrt_enclosure(&rat("4"), 10), RatInterval::point(rat("2")));
+        assert_eq!(sqrt_enclosure(&rat("9/16"), 10), RatInterval::point(rat("3/4")));
+        assert_eq!(sqrt_enclosure(&rat("0"), 10), RatInterval::point(rat("0")));
+    }
+
+    #[test]
+    fn sqrt_irrational_brackets() {
+        let e = sqrt_enclosure(&rat("2"), 128);
+        assert!(e.lo().mul(e.lo()) < rat("2"));
+        assert!(e.hi().mul(e.hi()) > rat("2"));
+        assert!(e.width() <= Rational::pow2(-127));
+    }
+
+    #[test]
+    fn sqrt_tiny_and_huge() {
+        for s in ["1e-30", "1e30", "123456789/97"] {
+            let q = rat(s);
+            let e = sqrt_enclosure(&q, 100);
+            assert!(e.lo().mul(e.lo()) <= q, "lo^2 <= q for {s}");
+            assert!(e.hi().mul(e.hi()) >= q, "hi^2 >= q for {s}");
+        }
+    }
+
+    /// The enclosure is much tighter than a 16-digit decimal literal, so we
+    /// check that the literal is within `tol` of it rather than inside it.
+    fn close_to(e: &RatInterval, literal: &str, tol: &str) {
+        let v = rat(literal);
+        let t = rat(tol);
+        assert!(e.lo() >= &v.sub(&t), "enclosure {e} too far below {literal}");
+        assert!(e.hi() <= &v.add(&t), "enclosure {e} too far above {literal}");
+    }
+
+    #[test]
+    fn exp_brackets_known_values() {
+        // e = 2.718281828459045...
+        let e1 = exp_enclosure(&rat("1"), 100);
+        close_to(&e1, "2.718281828459045", "1e-14");
+        assert!(e1.width() < Rational::pow2(-90));
+        // e^0 = 1 exactly.
+        assert_eq!(exp_enclosure(&rat("0"), 10), RatInterval::point(rat("1")));
+        // e^-1 = 0.36787944117144233...
+        let em1 = exp_enclosure(&rat("-1"), 100);
+        close_to(&em1, "0.3678794411714423", "1e-14");
+    }
+
+    #[test]
+    fn exp_large_argument_reduction() {
+        // e^10 = 22026.465794806718...
+        let e10 = exp_enclosure(&rat("10"), 80);
+        close_to(&e10, "22026.4657948067165", "1e-10");
+        // Relative width stays controlled.
+        assert!(e10.width().div(e10.lo()) < Rational::pow2(-60));
+    }
+
+    #[test]
+    fn exp_tiny_argument() {
+        // e^(2^-52) - 1 ~ 2^-52; enclosure must be extremely tight around 1.
+        let u = Rational::pow2(-52);
+        let e = exp_enclosure(&u, 100);
+        assert!(e.lo() > &Rational::one());
+        assert!(e.hi().sub(&Rational::one()) < Rational::pow2(-51));
+    }
+
+    #[test]
+    fn ln_brackets_known_values() {
+        // ln 2 = 0.6931471805599453...
+        let l2 = ln_enclosure(&rat("2"), 100);
+        close_to(&l2, "0.6931471805599453", "1e-14");
+        assert!(l2.width() < Rational::pow2(-90));
+        // ln 1 = 0.
+        assert_eq!(ln_enclosure(&rat("1"), 10), RatInterval::point(rat("0")));
+        // ln(1/2) = -ln 2.
+        let lh = ln_enclosure(&rat("0.5"), 100);
+        close_to(&lh, "-0.6931471805599453", "1e-14");
+        // ln 10 = 2.302585092994046...
+        let l10 = ln_enclosure(&rat("10"), 100);
+        close_to(&l10, "2.302585092994046", "1e-14");
+    }
+
+    #[test]
+    fn ln_exp_inverse_spotcheck() {
+        let x = rat("0.3");
+        let ex = exp_enclosure(&x, 120);
+        let back = ln_enclosure(ex.lo(), 120).hull(&ln_enclosure(ex.hi(), 120));
+        assert!(back.contains(&x));
+    }
+}

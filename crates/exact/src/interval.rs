@@ -1,0 +1,295 @@
+//! Closed intervals with exact rational endpoints.
+//!
+//! Because the endpoints are exact, the interval operations for `+ - ×`
+//! introduce **no** outward rounding at all; only inherently irrational
+//! operations ([`RatInterval::sqrt`]) widen intervals, by an amount
+//! controlled by a precision parameter.
+
+use crate::funcs::sqrt_enclosure;
+use crate::rational::Rational;
+use std::fmt;
+
+/// A closed interval `[lo, hi]` of rationals with `lo <= hi`.
+///
+/// # Examples
+///
+/// ```
+/// use numfuzz_exact::{RatInterval, Rational};
+///
+/// let x = RatInterval::point(Rational::from_int(2));
+/// let s = x.sqrt(100);
+/// // The enclosure brackets sqrt(2): lo^2 <= 2 <= hi^2, and it is tight.
+/// assert!(s.lo().mul(s.lo()) <= Rational::from_int(2));
+/// assert!(s.hi().mul(s.hi()) >= Rational::from_int(2));
+/// assert!(s.width() < Rational::pow2(-90));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RatInterval {
+    lo: Rational,
+    hi: Rational,
+}
+
+impl RatInterval {
+    /// Builds `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: Rational, hi: Rational) -> Self {
+        assert!(lo <= hi, "interval endpoints out of order");
+        RatInterval { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: Rational) -> Self {
+        RatInterval { lo: v.clone(), hi: v }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> &Rational {
+        &self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> &Rational {
+        &self.hi
+    }
+
+    /// `hi - lo`.
+    pub fn width(&self) -> Rational {
+        self.hi.sub(&self.lo)
+    }
+
+    /// Whether the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// For point intervals, the single value.
+    pub fn as_point(&self) -> Option<&Rational> {
+        if self.is_point() {
+            Some(&self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `v` lies in the interval.
+    pub fn contains(&self, v: &Rational) -> bool {
+        &self.lo <= v && v <= &self.hi
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    pub fn contains_interval(&self, other: &Self) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether every point is strictly positive.
+    pub fn is_strictly_positive(&self) -> bool {
+        self.lo.is_positive()
+    }
+
+    /// Whether the interval contains zero.
+    pub fn contains_zero(&self) -> bool {
+        !self.lo.is_positive() && !self.hi.is_negative()
+    }
+
+    /// Pointwise negation.
+    pub fn neg(&self) -> Self {
+        RatInterval { lo: self.hi.neg(), hi: self.lo.neg() }
+    }
+
+    /// Interval sum.
+    pub fn add(&self, other: &Self) -> Self {
+        RatInterval { lo: self.lo.add(&other.lo), hi: self.hi.add(&other.hi) }
+    }
+
+    /// Interval difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Interval product (min/max of the four endpoint products).
+    pub fn mul(&self, other: &Self) -> Self {
+        let products = [
+            self.lo.mul(&other.lo),
+            self.lo.mul(&other.hi),
+            self.hi.mul(&other.lo),
+            self.hi.mul(&other.hi),
+        ];
+        let mut lo = products[0].clone();
+        let mut hi = products[0].clone();
+        for p in &products[1..] {
+            if p < &lo {
+                lo = p.clone();
+            }
+            if p > &hi {
+                hi = p.clone();
+            }
+        }
+        RatInterval { lo, hi }
+    }
+
+    /// Interval quotient; `None` when the divisor contains zero.
+    pub fn div(&self, other: &Self) -> Option<Self> {
+        if other.contains_zero() {
+            return None;
+        }
+        let recip = RatInterval { lo: other.hi.recip(), hi: other.lo.recip() };
+        Some(self.mul(&recip))
+    }
+
+    /// Enclosure of the pointwise square root, accurate to `2^-bits` at the
+    /// endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval contains negative values.
+    pub fn sqrt(&self, bits: u32) -> Self {
+        assert!(!self.lo.is_negative(), "sqrt of a negative interval");
+        let lo = sqrt_enclosure(&self.lo, bits);
+        let hi = sqrt_enclosure(&self.hi, bits);
+        RatInterval { lo: lo.lo, hi: hi.hi }
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, other: &Self) -> Self {
+        RatInterval {
+            lo: self.lo.clone().min(other.lo.clone()),
+            hi: self.hi.clone().max(other.hi.clone()),
+        }
+    }
+
+    /// Intersection, or `None` if disjoint.
+    pub fn intersect(&self, other: &Self) -> Option<Self> {
+        let lo = self.lo.clone().max(other.lo.clone());
+        let hi = self.hi.clone().min(other.hi.clone());
+        if lo <= hi {
+            Some(RatInterval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// The maximum of `|lo|` and `|hi|`.
+    pub fn abs_sup(&self) -> Rational {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// The minimum of `|x|` over the interval (zero if it contains zero).
+    pub fn abs_inf(&self) -> Rational {
+        if self.contains_zero() {
+            Rational::zero()
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        }
+    }
+}
+
+impl fmt::Display for RatInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_point() {
+            write!(f, "[{}]", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+impl fmt::Debug for RatInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RatInterval{self}")
+    }
+}
+
+impl From<Rational> for RatInterval {
+    fn from(v: Rational) -> Self {
+        RatInterval::point(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    fn iv(lo: &str, hi: &str) -> RatInterval {
+        RatInterval::new(rat(lo), rat(hi))
+    }
+
+    #[test]
+    fn arithmetic_endpoints() {
+        let a = iv("1", "2");
+        let b = iv("-1", "3");
+        assert_eq!(a.add(&b), iv("0", "5"));
+        assert_eq!(a.sub(&b), iv("-2", "3"));
+        assert_eq!(a.mul(&b), iv("-2", "6"));
+        assert_eq!(a.neg(), iv("-2", "-1"));
+    }
+
+    #[test]
+    fn mul_sign_cases() {
+        assert_eq!(iv("-2", "-1").mul(&iv("-3", "-1")), iv("1", "6"));
+        assert_eq!(iv("-2", "3").mul(&iv("-1", "4")), iv("-8", "12"));
+        assert_eq!(iv("0", "0").mul(&iv("-5", "5")), iv("0", "0"));
+    }
+
+    #[test]
+    fn div_avoids_zero() {
+        assert_eq!(iv("1", "2").div(&iv("2", "4")), Some(iv("0.25", "1")));
+        assert_eq!(iv("1", "2").div(&iv("-1", "1")), None);
+        assert_eq!(iv("-4", "4").div(&iv("-2", "-1")), Some(iv("-4", "4")));
+    }
+
+    #[test]
+    fn sqrt_enclosure_tightness() {
+        let two = RatInterval::point(rat("2"));
+        let s = s_width_check(&two, 80);
+        assert!(s.lo().mul(s.lo()) <= rat("2"));
+        assert!(s.hi().mul(s.hi()) >= rat("2"));
+    }
+
+    fn s_width_check(x: &RatInterval, bits: u32) -> RatInterval {
+        let s = x.sqrt(bits);
+        assert!(s.width() <= Rational::pow2(-(bits as i64 - 2)));
+        s
+    }
+
+    #[test]
+    fn sqrt_of_exact_square_is_tight() {
+        let four = RatInterval::point(rat("4"));
+        let s = four.sqrt(20);
+        assert!(s.contains(&rat("2")));
+        assert!(s.width() <= Rational::pow2(-18));
+    }
+
+    #[test]
+    fn hull_intersect_contains() {
+        let a = iv("0", "2");
+        let b = iv("1", "3");
+        assert_eq!(a.hull(&b), iv("0", "3"));
+        assert_eq!(a.intersect(&b), Some(iv("1", "2")));
+        assert_eq!(iv("0", "1").intersect(&iv("2", "3")), None);
+        assert!(a.contains(&rat("1.5")));
+        assert!(!a.contains(&rat("2.5")));
+        assert!(a.contains_interval(&iv("0.5", "1.5")));
+    }
+
+    #[test]
+    fn abs_bounds() {
+        assert_eq!(iv("-3", "2").abs_sup(), rat("3"));
+        assert_eq!(iv("-3", "2").abs_inf(), Rational::zero());
+        assert_eq!(iv("1", "2").abs_inf(), rat("1"));
+        assert_eq!(iv("-4", "-2").abs_inf(), rat("2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval endpoints out of order")]
+    fn rejects_inverted_endpoints() {
+        let _ = RatInterval::new(rat("2"), rat("1"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # numfuzz-exact
+//!
+//! Exact arithmetic substrate for the `numfuzz` workspace (a reproduction of
+//! *Numerical Fuzz: A Type System for Rounding Error Analysis*, PLDI 2024):
+//!
+//! * [`BigUint`] / [`BigInt`] — arbitrary-precision integers built from
+//!   scratch on `u32` limbs (schoolbook multiplication, Knuth division,
+//!   binary GCD, integer square root);
+//! * [`Rational`] — normalized exact rationals, the number type used for
+//!   grades, floating-point values and interval endpoints everywhere else;
+//! * [`RatInterval`] — closed rational intervals (exact for `+ - ×`,
+//!   outward-rounded only for `sqrt`);
+//! * [`funcs`] — rigorous enclosures of `sqrt`, `exp` and `ln`, used to
+//!   decide relative-precision (RP) comparisons soundly.
+//!
+//! ```
+//! use numfuzz_exact::{Rational, funcs::exp_enclosure};
+//!
+//! // Is RP distance |ln(x/y)| <= 2^-52?  Decide it exactly:
+//! let ratio = Rational::ratio(4503599627370497, 4503599627370496); // x/y
+//! let bound = exp_enclosure(&Rational::pow2(-52), 80);
+//! assert!(ratio <= *bound.lo()); // definitely within the bound
+//! ```
+
+#![forbid(unsafe_code)]
+// Inherent `add`/`sub`/`mul`/`div` take references (no clones in hot paths); the std operator traits are also provided and forward to them.
+#![allow(clippy::should_implement_trait)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod biguint;
+pub mod funcs;
+mod interval;
+mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::{BigUint, ParseBigUintError};
+pub use interval::RatInterval;
+pub use rational::{ParseRationalError, Rational};

@@ -1,0 +1,562 @@
+//! Exact rational numbers.
+//!
+//! [`Rational`] is the numeric workhorse of the whole workspace: grades in
+//! the Λnum type system, floating-point values in the softfloat substrate,
+//! and interval endpoints in the analyzers are all exact rationals, so no
+//! part of the trusted computation path depends on host floating point.
+
+use crate::bigint::{BigInt, Sign};
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use numfuzz_exact::Rational;
+///
+/// let a = Rational::from_decimal_str("0.1")?;
+/// let b = Rational::ratio(1, 10);
+/// assert_eq!(a, b);
+/// let c = &a + &b;
+/// assert_eq!(c, Rational::ratio(1, 5));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Rational {
+    /// The canonical zero.
+    pub fn zero() -> Self {
+        Rational { num: BigInt::zero(), den: BigUint::one() }
+    }
+
+    /// The canonical one.
+    pub fn one() -> Self {
+        Rational { num: BigInt::one(), den: BigUint::one() }
+    }
+
+    /// Builds `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let num = if den.is_negative() { num.neg() } else { num };
+        Rational::new_unsigned(num, den.into_magnitude())
+    }
+
+    fn new_unsigned(num: BigInt, den: BigUint) -> Self {
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            Rational { num, den }
+        } else {
+            let (nq, _) = num.magnitude().div_rem(&g);
+            let (dq, _) = den.div_rem(&g);
+            Rational { num: BigInt::from_sign_mag(num.sign(), nq), den: dq }
+        }
+    }
+
+    /// Builds `n/d` from machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn ratio(n: i64, d: i64) -> Self {
+        Rational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    /// Builds the integer `n`.
+    pub fn from_int(n: i64) -> Self {
+        Rational { num: BigInt::from(n), den: BigUint::one() }
+    }
+
+    /// `2^k` for any (possibly negative) `k`.
+    pub fn pow2(k: i64) -> Self {
+        if k >= 0 {
+            Rational { num: BigInt::one().shl_bits(k as u64), den: BigUint::one() }
+        } else {
+            Rational { num: BigInt::one(), den: BigUint::one().shl_bits((-k) as u64) }
+        }
+    }
+
+    /// The numerator (signed, in lowest terms).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (positive, in lowest terms).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Whether the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let num = self.num.mul(&BigInt::from(other.den.clone())).add(&other.num.mul(&BigInt::from(self.den.clone())));
+        Rational::new_unsigned(num, self.den.mul(&other.den))
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &Self) -> Self {
+        Rational::new_unsigned(self.num.mul(&other.num), self.den.mul(&other.den))
+    }
+
+    /// `self / other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div(&self, other: &Self) -> Self {
+        assert!(!other.is_zero(), "division by zero rational");
+        let num = self.num.mul(&BigInt::from(other.den.clone()));
+        let den = BigInt::from_sign_mag(other.num.sign(), self.den.mul(other.num.magnitude()));
+        Rational::new(num, den)
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Rational { num: self.num.neg(), den: self.den.clone() }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Self {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(BigInt::from_sign_mag(self.num.sign(), self.den.clone()), BigInt::from(self.num.magnitude().clone()))
+    }
+
+    /// `self^exp` for a signed exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when raising zero to a negative power.
+    pub fn pow(&self, exp: i64) -> Self {
+        if exp >= 0 {
+            Rational {
+                num: self.num.pow(exp as u64),
+                den: self.den.pow(exp as u64),
+            }
+        } else {
+            self.recip().pow(-exp)
+        }
+    }
+
+    /// `floor(self)` as an integer.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&BigInt::from(self.den.clone()));
+        if self.num.is_negative() && !r.is_zero() {
+            q.sub(&BigInt::one())
+        } else {
+            q
+        }
+    }
+
+    /// `ceil(self)` as an integer.
+    pub fn ceil(&self) -> BigInt {
+        self.neg().floor().neg()
+    }
+
+    /// `floor(self * 2^k)` as an integer, for any (possibly negative) `k`.
+    ///
+    /// This is the primitive used by the softfloat rounding code and the
+    /// enclosure routines: it extracts `k` fractional bits exactly.
+    pub fn floor_mul_pow2(&self, k: i64) -> BigInt {
+        let scaled_num = if k >= 0 { self.num.shl_bits(k as u64) } else { self.num.clone() };
+        let scaled_den = if k >= 0 { self.den.clone() } else { self.den.shl_bits((-k) as u64) };
+        let (q, r) = scaled_num.div_rem(&BigInt::from(scaled_den));
+        if scaled_num.is_negative() && !r.is_zero() {
+            q.sub(&BigInt::one())
+        } else {
+            q
+        }
+    }
+
+    /// Approximate conversion to `f64` (accurate to well under one ulp;
+    /// intended for display and plotting, never for the trusted path).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let num_bits = self.num.magnitude().bit_len() as i64;
+        let den_bits = self.den.bit_len() as i64;
+        // Scale so the integer quotient has ~80 significant bits.
+        let shift = 80 - (num_bits - den_bits);
+        let t = self.abs().floor_mul_pow2(shift);
+        let tf = t.to_f64();
+        // Apply 2^-shift in chunks so intermediates never over/underflow
+        // (f64 exponents only span ~[-1074, 1023]).
+        let mag = ldexp(tf, -shift);
+        if self.is_negative() {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Parses decimal notation: `"3"`, `"-0.25"`, `"1e-5"`, `"2.5e3"`, or an
+    /// exact fraction `"3/4"`.
+    pub fn from_decimal_str(s: &str) -> Result<Self, ParseRationalError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseRationalError(s.to_string()));
+        }
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt = n.trim().parse().map_err(|_| ParseRationalError(s.to_string()))?;
+            let den: BigInt = d.trim().parse().map_err(|_| ParseRationalError(s.to_string()))?;
+            if den.is_zero() {
+                return Err(ParseRationalError(s.to_string()));
+            }
+            return Ok(Rational::new(num, den));
+        }
+        let (mantissa, exp10) = match s.split_once(['e', 'E']) {
+            Some((m, e)) => {
+                let exp: i64 = e.parse().map_err(|_| ParseRationalError(s.to_string()))?;
+                (m, exp)
+            }
+            None => (s, 0),
+        };
+        let (sign, digits) = match mantissa.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, mantissa.strip_prefix('+').unwrap_or(mantissa)),
+        };
+        let (int_part, frac_part) = match digits.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (digits, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(ParseRationalError(s.to_string()));
+        }
+        let joined = format!("{int_part}{frac_part}");
+        let mag = BigUint::from_decimal_str(if joined.is_empty() { "0" } else { &joined })
+            .map_err(|_| ParseRationalError(s.to_string()))?;
+        let num = if mag.is_zero() { BigInt::zero() } else { BigInt::from_sign_mag(sign, mag) };
+        let exp = exp10 - frac_part.len() as i64;
+        let ten = BigUint::from(10u32);
+        Ok(if exp >= 0 {
+            Rational::new_unsigned(num.mul(&BigInt::from(ten.pow(exp as u64))), BigUint::one())
+        } else {
+            Rational::new_unsigned(num, ten.pow((-exp) as u64))
+        })
+    }
+
+    /// Formats in scientific notation with `sig` significant digits,
+    /// e.g. `5.55e-16`. Rounds to nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig == 0`.
+    pub fn to_sci_string(&self, sig: usize) -> String {
+        assert!(sig > 0, "need at least one significant digit");
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let neg = self.is_negative();
+        let q = self.abs();
+        // Initial decimal-exponent estimate from digit counts.
+        let mut e = q.num.magnitude().to_decimal_string().len() as i64 - q.den.to_decimal_string().len() as i64;
+        let ten = Rational::from_int(10);
+        // Adjust so that 10^e <= q < 10^(e+1).
+        while q < ten.pow(e) {
+            e -= 1;
+        }
+        while q >= ten.pow(e + 1) {
+            e += 1;
+        }
+        // mantissa = round(q * 10^(sig-1-e)).
+        let scaled = q.mul(&ten.pow(sig as i64 - 1 - e));
+        let mut m = scaled.add(&Rational::ratio(1, 2)).floor();
+        let limit = BigInt::from(10u64).pow(sig as u64);
+        if m >= limit {
+            let (q10, _) = m.div_rem(&BigInt::from(10i64));
+            m = q10;
+            e += 1;
+        }
+        let digits = m.to_string();
+        debug_assert_eq!(digits.len(), sig);
+        let body = if sig == 1 {
+            digits
+        } else {
+            format!("{}.{}", &digits[..1], &digits[1..])
+        };
+        format!("{}{}e{}{:02}", if neg { "-" } else { "" }, body, if e < 0 { "-" } else { "+" }, e.abs())
+    }
+}
+
+/// `x * 2^e` with chunked scaling to avoid spurious intermediate
+/// overflow/underflow. Results entering the subnormal range may be rounded
+/// twice; this helper backs display-only conversions.
+fn ldexp(x: f64, e: i64) -> f64 {
+    let mut r = x;
+    let mut e = e;
+    while e > 900 {
+        r *= 2f64.powi(900);
+        e -= 900;
+        if r.is_infinite() {
+            return r;
+        }
+    }
+    while e < -900 {
+        r *= 2f64.powi(-900);
+        e += 900;
+        if r == 0.0 {
+            return r;
+        }
+    }
+    r * 2f64.powi(e as i32)
+}
+
+/// Error returned when parsing a [`Rational`] from an invalid string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl std::str::FromStr for Rational {
+    type Err = ParseRationalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Rational::from_decimal_str(s)
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(num: BigInt) -> Self {
+        Rational { num, den: BigUint::one() }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        self.num
+            .mul(&BigInt::from(other.den.clone()))
+            .cmp(&other.num.mul(&BigInt::from(self.den.clone())))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+macro_rules! forward_binop_rat {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl std::ops::$trait<&Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                Rational::$inner(self, rhs)
+            }
+        }
+        impl std::ops::$trait<Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                Rational::$inner(&self, &rhs)
+            }
+        }
+        impl std::ops::$trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                Rational::$inner(&self, rhs)
+            }
+        }
+    };
+}
+
+forward_binop_rat!(Add, add, add);
+forward_binop_rat!(Sub, sub, sub);
+forward_binop_rat!(Mul, mul, mul);
+forward_binop_rat!(Div, div, div);
+
+impl std::ops::Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational::neg(self)
+    }
+}
+
+impl std::ops::Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational::neg(&self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::ratio(2, 4), Rational::ratio(1, 2));
+        assert_eq!(Rational::ratio(-2, 4), Rational::ratio(1, -2));
+        assert_eq!(Rational::ratio(0, 7), Rational::zero());
+        assert_eq!(Rational::ratio(6, 3), Rational::from_int(2));
+    }
+
+    #[test]
+    fn field_ops() {
+        let a = Rational::ratio(1, 3);
+        let b = Rational::ratio(1, 6);
+        assert_eq!(a.add(&b), Rational::ratio(1, 2));
+        assert_eq!(a.sub(&b), Rational::ratio(1, 6));
+        assert_eq!(a.mul(&b), Rational::ratio(1, 18));
+        assert_eq!(a.div(&b), Rational::from_int(2));
+        assert_eq!(a.recip(), Rational::from_int(3));
+        assert_eq!(a.neg().abs(), a);
+    }
+
+    #[test]
+    fn pow_and_pow2() {
+        assert_eq!(Rational::ratio(2, 3).pow(3), Rational::ratio(8, 27));
+        assert_eq!(Rational::ratio(2, 3).pow(-2), Rational::ratio(9, 4));
+        assert_eq!(Rational::pow2(-3), Rational::ratio(1, 8));
+        assert_eq!(Rational::pow2(5), Rational::from_int(32));
+        assert_eq!(Rational::pow2(-52), Rational::ratio(1, 4503599627370496));
+    }
+
+    #[test]
+    fn ordering_cross_mul() {
+        assert!(Rational::ratio(1, 3) < Rational::ratio(1, 2));
+        assert!(Rational::ratio(-1, 2) < Rational::ratio(-1, 3));
+        assert!(Rational::ratio(7, 7) == Rational::one());
+        assert_eq!(rat("0.1").max(rat("0.2")), rat("0.2"));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat("2.5").floor(), BigInt::from(2i64));
+        assert_eq!(rat("-2.5").floor(), BigInt::from(-3i64));
+        assert_eq!(rat("2.5").ceil(), BigInt::from(3i64));
+        assert_eq!(rat("-2.5").ceil(), BigInt::from(-2i64));
+        assert_eq!(rat("4").floor(), BigInt::from(4i64));
+        assert_eq!(rat("4").ceil(), BigInt::from(4i64));
+    }
+
+    #[test]
+    fn floor_mul_pow2_fraction_extraction() {
+        // floor(3/4 * 2^2) = 3
+        assert_eq!(Rational::ratio(3, 4).floor_mul_pow2(2), BigInt::from(3i64));
+        // floor(5 * 2^-1) = 2
+        assert_eq!(Rational::from_int(5).floor_mul_pow2(-1), BigInt::from(2i64));
+        // Negative values floor toward -infinity.
+        assert_eq!(Rational::ratio(-3, 4).floor_mul_pow2(1), BigInt::from(-2i64));
+    }
+
+    #[test]
+    fn parse_decimal_forms() {
+        assert_eq!(rat("0.1"), Rational::ratio(1, 10));
+        assert_eq!(rat("-0.25"), Rational::ratio(-1, 4));
+        assert_eq!(rat("1e-5"), Rational::ratio(1, 100_000));
+        assert_eq!(rat("2.5e3"), Rational::from_int(2500));
+        assert_eq!(rat("2.5E+1"), Rational::from_int(25));
+        assert_eq!(rat("3/4"), Rational::ratio(3, 4));
+        assert_eq!(rat(" 7 "), Rational::from_int(7));
+        assert!(Rational::from_decimal_str("").is_err());
+        assert!(Rational::from_decimal_str("1/0").is_err());
+        assert!(Rational::from_decimal_str("abc").is_err());
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert_eq!(rat("0.5").to_f64(), 0.5);
+        assert_eq!(Rational::from_int(-3).to_f64(), -3.0);
+        let third = Rational::ratio(1, 3).to_f64();
+        assert!((third - 1.0 / 3.0).abs() < 1e-16);
+        assert_eq!(Rational::zero().to_f64(), 0.0);
+        // 2^-52 exactly.
+        assert_eq!(Rational::pow2(-52).to_f64(), 2f64.powi(-52));
+    }
+
+    #[test]
+    fn sci_string_matches_paper_style() {
+        // 7 * 2^-52 = 1.55e-15, the Horner2_with_error bound from the paper.
+        let u = Rational::pow2(-52);
+        let bound = Rational::from_int(7).mul(&u);
+        assert_eq!(bound.to_sci_string(3), "1.55e-15");
+        assert_eq!(u.to_sci_string(3), "2.22e-16");
+        assert_eq!(rat("0").to_sci_string(3), "0");
+        assert_eq!(rat("-123.45").to_sci_string(4), "-1.235e+02");
+        assert_eq!(rat("999.96").to_sci_string(4), "1.000e+03");
+        assert_eq!(rat("1").to_sci_string(1), "1e+00");
+    }
+}

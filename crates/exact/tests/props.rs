@@ -1,0 +1,164 @@
+//! Property-based tests for the exact-arithmetic substrate.
+
+use numfuzz_exact::{BigInt, BigUint, Rational};
+use proptest::prelude::*;
+
+fn big_from_limbs() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u32>(), 0..8).prop_map(BigUint::from_limbs)
+}
+
+fn rational() -> impl Strategy<Value = Rational> {
+    (any::<i64>(), 1..=u32::MAX).prop_map(|(n, d)| Rational::new(BigInt::from(n), BigInt::from(d as i64)))
+}
+
+proptest! {
+    #[test]
+    fn biguint_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (ba, bb) = (BigUint::from(a), BigUint::from(b));
+        prop_assert_eq!(ba.add(&bb), BigUint::from(a as u128 + b as u128));
+        prop_assert_eq!(ba.mul(&bb), BigUint::from(a as u128 * b as u128));
+        if a >= b {
+            prop_assert_eq!(ba.sub(&bb), BigUint::from(a - b));
+        }
+        if let (Some(qq), Some(rr)) = (a.checked_div(b), a.checked_rem(b)) {
+            let (q, r) = ba.div_rem(&bb);
+            prop_assert_eq!(q, BigUint::from(qq));
+            prop_assert_eq!(r, BigUint::from(rr));
+        }
+    }
+
+    #[test]
+    fn biguint_div_rem_invariant(a in big_from_limbs(), b in big_from_limbs()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn biguint_mul_distributes(a in big_from_limbs(), b in big_from_limbs(), c in big_from_limbs()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn biguint_gcd_divides(a in big_from_limbs(), b in big_from_limbs()) {
+        prop_assume!(!a.is_zero() || !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        if !a.is_zero() {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+        }
+        if !b.is_zero() {
+            prop_assert!(b.div_rem(&g).1.is_zero());
+        }
+        // Cofactors are coprime.
+        if !a.is_zero() && !b.is_zero() {
+            let (ca, _) = a.div_rem(&g);
+            let (cb, _) = b.div_rem(&g);
+            prop_assert!(ca.gcd(&cb).is_one());
+        }
+    }
+
+    #[test]
+    fn biguint_shift_roundtrip(a in big_from_limbs(), bits in 0u64..200) {
+        prop_assert_eq!(a.shl_bits(bits).shr_bits(bits), a.clone());
+        // shr then shl only loses low bits.
+        prop_assert!(a.shr_bits(bits).shl_bits(bits) <= a);
+    }
+
+    #[test]
+    fn biguint_decimal_roundtrip(a in big_from_limbs()) {
+        let s = a.to_decimal_string();
+        prop_assert_eq!(BigUint::from_decimal_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn biguint_isqrt_bracket(a in big_from_limbs()) {
+        let (s, r) = a.isqrt_rem();
+        prop_assert_eq!(s.mul(&s).add(&r), a.clone());
+        let s1 = s.add(&BigUint::one());
+        prop_assert!(s1.mul(&s1) > a);
+    }
+
+    #[test]
+    fn bigint_ring_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i32>()) {
+        let (ba, bb, bc) = (BigInt::from(a), BigInt::from(b), BigInt::from(c));
+        prop_assert_eq!(ba.add(&bb), bb.add(&ba));
+        prop_assert_eq!(ba.mul(&bb), bb.mul(&ba));
+        prop_assert_eq!(ba.mul(&bb.add(&bc)), ba.mul(&bb).add(&ba.mul(&bc)));
+        prop_assert_eq!(ba.sub(&ba), BigInt::zero());
+        prop_assert_eq!(ba.add(&ba.neg()), BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_div_rem_truncation(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let (q, r) = BigInt::from(a).div_rem(&BigInt::from(b));
+        prop_assert_eq!(q, BigInt::from(a.wrapping_div(b)));
+        prop_assert_eq!(r, BigInt::from(a.wrapping_rem(b)));
+    }
+
+    #[test]
+    fn rational_field_laws(a in rational(), b in rational(), c in rational()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.sub(&a), Rational::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(a.mul(&a.recip()), Rational::one());
+            prop_assert_eq!(a.div(&a), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_normalized(a in rational()) {
+        // gcd(|num|, den) == 1 after every constructor.
+        if !a.is_zero() {
+            prop_assert!(a.numer().magnitude().gcd(a.denom()).is_one());
+        } else {
+            prop_assert!(a.denom().is_one());
+        }
+    }
+
+    #[test]
+    fn rational_order_total(a in rational(), b in rational()) {
+        // Exactly one of <, ==, > holds, and it matches subtraction sign.
+        let d = a.sub(&b);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(d.is_negative()),
+            std::cmp::Ordering::Equal => prop_assert!(d.is_zero()),
+            std::cmp::Ordering::Greater => prop_assert!(d.is_positive()),
+        }
+    }
+
+    #[test]
+    fn rational_display_roundtrip(a in rational()) {
+        let s = a.to_string();
+        prop_assert_eq!(Rational::from_decimal_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn rational_floor_mul_pow2_definition(a in rational(), k in -80i64..80) {
+        let f = a.floor_mul_pow2(k);
+        let fr = Rational::from(f.clone());
+        let scaled = a.mul(&Rational::pow2(k));
+        prop_assert!(fr <= scaled);
+        prop_assert!(scaled < fr.add(&Rational::one()));
+    }
+
+    #[test]
+    fn rational_to_f64_close(a in rational()) {
+        let f = a.to_f64();
+        if f.is_finite() && f != 0.0 {
+            // Relative error below 1e-15 (display-quality).
+            let back = Rational::from_decimal_str(&format!("{f:e}")).unwrap();
+            let err = a.sub(&back).abs();
+            let tol = a.abs().mul(&Rational::from_decimal_str("1e-14").unwrap());
+            prop_assert!(err <= tol, "a={a} f={f}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # numfuzz-interp
+//!
+//! Operational semantics for Λnum (the `numfuzz` reproduction of
+//! *Numerical Fuzz*, PLDI 2024):
+//!
+//! * [`eval`] — a big-step abstract machine (explicit stack, handles
+//!   million-node programs) parameterized by a [`Rounding`] strategy;
+//! * [`rounding`] — the ideal identity semantics, the four IEEE modes,
+//!   the §7.1 exceptional semantics (`err` on overflow/underflow), and
+//!   the §7.2 non-deterministic / state-dependent / stochastic variants;
+//! * [`smallstep`] — a substitution-based reference implementation of the
+//!   Fig. 3 step relation, cross-checked against the machine;
+//! * [`validate`] — the error-soundness checker: rigorously verifies
+//!   Corollary 4.20 (`d(⟦e⟧_id, ⟦e⟧_fp) <= r` for `⊢ e : M_r num`) on
+//!   actual runs.
+//!
+//! ```
+//! use numfuzz_core::{compile, Signature};
+//! use numfuzz_interp::{validate, rounding::ModeRounding};
+//! use numfuzz_softfloat::{Format, RoundingMode};
+//!
+//! let sig = Signature::relative_precision();
+//! let src = "function f (x: num) : M[eps]num { s = mul (x, 0.3); rnd s }\nf 0.1";
+//! let lowered = compile(src, &sig)?;
+//! let format = Format::BINARY64;
+//! let mode = RoundingMode::TowardPositive;
+//! let mut fp = ModeRounding { format, mode };
+//! let report = validate(&lowered.store, &sig, lowered.root, &[], &mut fp,
+//!                       &format.unit_roundoff(mode))?;
+//! assert!(report.holds()); // RP(ideal, fp) <= eps, rigorously
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// SoundnessError carries full types/grades for diagnostics; validation is not a hot error path.
+#![allow(clippy::result_large_err)]
+#![warn(missing_docs)]
+
+mod eval;
+pub mod rounding;
+pub mod smallstep;
+mod soundness;
+mod value;
+
+pub use eval::{eval, EvalConfig, EvalError};
+pub use rounding::{RoundOutcome, Rounding};
+pub use soundness::{metric_for, validate, validate_with, SoundnessError, SoundnessReport};
+pub use value::{Closure, Value};

@@ -1,0 +1,349 @@
+//! Rounding strategies: how `rnd` behaves under the various semantics.
+//!
+//! The paper gives `rnd` several interpretations: the identity (ideal
+//! semantics, Def. 4.16), a fixed IEEE rounding operator (FP semantics),
+//! a partial operator that faults on overflow/underflow (the exceptional
+//! monad of §7.1), a non-deterministic choice among allowed operators
+//! (§7.2, may/must), a state-dependent operator (§7.2), and a randomized
+//! one (§7.2). Each is a [`Rounding`] implementation; the evaluator is
+//! parameterized over them.
+
+use numfuzz_exact::{RatInterval, Rational};
+use numfuzz_softfloat::{Format, Fp, RoundingMode};
+use rand::Rng;
+
+/// Result of one rounding step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoundOutcome {
+    /// A (possibly enclosed) rounded value.
+    Value(RatInterval),
+    /// The exceptional value ⋄ (overflow/underflow under §7.1 semantics).
+    Fault,
+}
+
+/// A rounding behavior for the `rnd` primitive.
+pub trait Rounding {
+    /// Rounds an exact enclosure of the argument.
+    fn round(&mut self, x: &RatInterval) -> RoundOutcome;
+
+    /// A short human-readable description (used in reports).
+    fn describe(&self) -> String;
+
+    /// The target format, when the strategy rounds into one (lets the
+    /// soundness report compute ULP error, paper eq. 4).
+    fn target_format(&self) -> Option<Format> {
+        None
+    }
+}
+
+/// The ideal semantics: `rnd` is the identity (paper Def. 4.16, left).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityRounding;
+
+impl Rounding for IdentityRounding {
+    fn round(&mut self, x: &RatInterval) -> RoundOutcome {
+        RoundOutcome::Value(x.clone())
+    }
+
+    fn describe(&self) -> String {
+        "ideal (identity)".to_string()
+    }
+}
+
+/// Rounds an interval by rounding both ends; rounding is monotone, so the
+/// result encloses every possible rounding of every point inside.
+fn round_interval(x: &RatInterval, format: Format, mode: RoundingMode) -> Option<RatInterval> {
+    let lo = Fp::round(x.lo(), format, mode);
+    let hi = Fp::round(x.hi(), format, mode);
+    match (lo.to_rational(), hi.to_rational()) {
+        (Some(l), Some(h)) => Some(RatInterval::new(l, h)),
+        _ => None, // overflowed to infinity
+    }
+}
+
+/// The standard FP semantics: a fixed format and mode (Def. 4.16, right).
+///
+/// Overflow to ±∞ panics — use [`CheckedRounding`] for the exceptional
+/// semantics. (The RP instantiation's soundness story assumes no
+/// overflow/underflow, Section 5.)
+#[derive(Clone, Copy, Debug)]
+pub struct ModeRounding {
+    /// Target format.
+    pub format: Format,
+    /// Rounding mode.
+    pub mode: RoundingMode,
+}
+
+impl Rounding for ModeRounding {
+    fn target_format(&self) -> Option<Format> {
+        Some(self.format)
+    }
+
+    fn round(&mut self, x: &RatInterval) -> RoundOutcome {
+        match round_interval(x, self.format, self.mode) {
+            Some(i) => RoundOutcome::Value(i),
+            None => panic!("rounding overflowed; use CheckedRounding for the exceptional semantics"),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{} in {}", self.mode, self.format)
+    }
+}
+
+/// The exceptional semantics of §7.1: rounding faults (`⋄`) on overflow
+/// and on results in the underflow range, where eq. (2) is invalid.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckedRounding {
+    /// Target format.
+    pub format: Format,
+    /// Rounding mode.
+    pub mode: RoundingMode,
+}
+
+impl Rounding for CheckedRounding {
+    fn target_format(&self) -> Option<Format> {
+        Some(self.format)
+    }
+
+    fn round(&mut self, x: &RatInterval) -> RoundOutcome {
+        // Conservative: if any point of the enclosure faults, fault.
+        for end in [x.lo(), x.hi()] {
+            if Fp::round_checked(end, self.format, self.mode).is_err() {
+                return RoundOutcome::Fault;
+            }
+        }
+        match round_interval(x, self.format, self.mode) {
+            Some(i) => RoundOutcome::Value(i),
+            None => RoundOutcome::Fault,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{} in {} with over/underflow faults", self.mode, self.format)
+    }
+}
+
+/// Non-deterministic rounding (§7.2): each `rnd` independently picks one
+/// of the allowed modes, driven by an explicit choice sequence so that
+/// *all* resolutions can be enumerated (the `TP⁺` reading: every
+/// resolution must satisfy the bound).
+#[derive(Clone, Debug)]
+pub struct ChoiceRounding {
+    /// Target format.
+    pub format: Format,
+    /// The allowed modes.
+    pub modes: Vec<RoundingMode>,
+    /// Choice index per call (wraps around).
+    pub choices: Vec<usize>,
+    /// Position in `choices`.
+    pub next: usize,
+}
+
+impl ChoiceRounding {
+    /// Builds a resolver following `choices` (indices into `modes`).
+    pub fn new(format: Format, modes: Vec<RoundingMode>, choices: Vec<usize>) -> Self {
+        ChoiceRounding { format, modes, choices, next: 0 }
+    }
+
+    /// Enumerates all `modes.len()^k` choice vectors of length `k`
+    /// (exhaustive non-determinism for programs with `k` roundings).
+    pub fn all_choice_vectors(num_modes: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new()];
+        for _ in 0..k {
+            let mut next = Vec::with_capacity(out.len() * num_modes);
+            for v in &out {
+                for m in 0..num_modes {
+                    let mut w = v.clone();
+                    w.push(m);
+                    next.push(w);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+impl Rounding for ChoiceRounding {
+    fn target_format(&self) -> Option<Format> {
+        Some(self.format)
+    }
+
+    fn round(&mut self, x: &RatInterval) -> RoundOutcome {
+        let idx = self.choices.get(self.next).copied().unwrap_or(0);
+        self.next += 1;
+        let mode = self.modes[idx % self.modes.len()];
+        match round_interval(x, self.format, mode) {
+            Some(i) => RoundOutcome::Value(i),
+            None => RoundOutcome::Fault,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("non-deterministic choice among {} modes in {}", self.modes.len(), self.format)
+    }
+}
+
+/// State-dependent rounding (§7.2): the mode is a function of a machine
+/// state that steps deterministically after every rounding — a stand-in
+/// for status-register-dependent behavior. The graded bound must hold for
+/// *every* initial state.
+#[derive(Clone, Debug)]
+pub struct StatefulRounding {
+    /// Target format.
+    pub format: Format,
+    /// `modes[state]` is used at each step.
+    pub modes: Vec<RoundingMode>,
+    /// Current state (index into `modes`).
+    pub state: usize,
+}
+
+impl Rounding for StatefulRounding {
+    fn target_format(&self) -> Option<Format> {
+        Some(self.format)
+    }
+
+    fn round(&mut self, x: &RatInterval) -> RoundOutcome {
+        let mode = self.modes[self.state % self.modes.len()];
+        self.state = (self.state + 1) % self.modes.len();
+        match round_interval(x, self.format, mode) {
+            Some(i) => RoundOutcome::Value(i),
+            None => RoundOutcome::Fault,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("state-dependent rounding cycling {} modes in {}", self.modes.len(), self.format)
+    }
+}
+
+/// Randomized (stochastic) rounding (§7.2): round to the upper neighbor
+/// with probability proportional to the position between neighbors, which
+/// is unbiased: `E[round(x)] = x`. Requires point enclosures.
+#[derive(Debug)]
+pub struct StochasticRounding<R: Rng> {
+    /// Target format.
+    pub format: Format,
+    /// Randomness source.
+    pub rng: R,
+}
+
+impl<R: Rng> Rounding for StochasticRounding<R> {
+    fn target_format(&self) -> Option<Format> {
+        Some(self.format)
+    }
+
+    fn round(&mut self, x: &RatInterval) -> RoundOutcome {
+        let q = x
+            .as_point()
+            .expect("stochastic rounding requires exact (point) arguments")
+            .clone();
+        let dn = Fp::round(&q, self.format, RoundingMode::TowardNegative);
+        let up = Fp::round(&q, self.format, RoundingMode::TowardPositive);
+        let (dn, up) = match (dn.to_rational(), up.to_rational()) {
+            (Some(d), Some(u)) => (d, u),
+            _ => return RoundOutcome::Fault,
+        };
+        if dn == up {
+            return RoundOutcome::Value(RatInterval::point(dn));
+        }
+        // P(up) = (q - dn) / (up - dn), decided by a 64-bit draw.
+        let p = q.sub(&dn).div(&up.sub(&dn));
+        let draw = Rational::from_int(self.rng.gen_range(0..i64::MAX)).div(&Rational::from_int(i64::MAX));
+        let chosen = if draw < p { up } else { dn };
+        RoundOutcome::Value(RatInterval::point(chosen))
+    }
+
+    fn describe(&self) -> String {
+        format!("stochastic rounding in {}", self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    #[test]
+    fn identity_is_exact() {
+        let mut r = IdentityRounding;
+        let x = RatInterval::point(rat("0.1"));
+        assert_eq!(r.round(&x), RoundOutcome::Value(x));
+    }
+
+    #[test]
+    fn mode_rounding_rounds() {
+        let mut r = ModeRounding { format: Format::BINARY64, mode: RoundingMode::TowardPositive };
+        let x = RatInterval::point(rat("0.1"));
+        match r.round(&x) {
+            RoundOutcome::Value(v) => {
+                let p = v.as_point().expect("point rounds to point");
+                assert!(p > &rat("0.1"));
+            }
+            RoundOutcome::Fault => panic!("unexpected fault"),
+        }
+    }
+
+    #[test]
+    fn checked_rounding_faults_on_extremes() {
+        let f = Format::new(5, 3);
+        let mut r = CheckedRounding { format: f, mode: RoundingMode::NearestEven };
+        assert_eq!(r.round(&RatInterval::point(rat("1000"))), RoundOutcome::Fault);
+        assert_eq!(r.round(&RatInterval::point(rat("1e-9"))), RoundOutcome::Fault);
+        assert!(matches!(r.round(&RatInterval::point(rat("1.5"))), RoundOutcome::Value(_)));
+    }
+
+    #[test]
+    fn choice_vectors_enumerate() {
+        let vs = ChoiceRounding::all_choice_vectors(2, 3);
+        assert_eq!(vs.len(), 8);
+        assert!(vs.contains(&vec![0, 1, 0]));
+    }
+
+    #[test]
+    fn stateful_cycles() {
+        let f = Format::BINARY64;
+        let mut r = StatefulRounding {
+            format: f,
+            modes: vec![RoundingMode::TowardPositive, RoundingMode::TowardNegative],
+            state: 0,
+        };
+        let x = RatInterval::point(rat("0.1"));
+        let up = r.round(&x);
+        let dn = r.round(&x);
+        assert_ne!(up, dn, "alternating modes give different results on 0.1");
+    }
+
+    #[test]
+    fn stochastic_lands_on_neighbors() {
+        use rand::SeedableRng;
+        let mut r = StochasticRounding {
+            format: Format::BINARY64,
+            rng: rand::rngs::StdRng::seed_from_u64(42),
+        };
+        let q = rat("0.1");
+        let dn = Fp::round(&q, Format::BINARY64, RoundingMode::TowardNegative).to_rational().unwrap();
+        let up = Fp::round(&q, Format::BINARY64, RoundingMode::TowardPositive).to_rational().unwrap();
+        let mut saw = (false, false);
+        for _ in 0..64 {
+            match r.round(&RatInterval::point(q.clone())) {
+                RoundOutcome::Value(v) => {
+                    let p = v.as_point().unwrap();
+                    if p == &dn {
+                        saw.0 = true;
+                    } else if p == &up {
+                        saw.1 = true;
+                    } else {
+                        panic!("stochastic rounding left the neighbor pair");
+                    }
+                }
+                RoundOutcome::Fault => panic!("unexpected fault"),
+            }
+        }
+        assert!(saw.0 && saw.1, "both neighbors should appear");
+    }
+}

@@ -1,0 +1,426 @@
+//! A substitution-based small-step reference semantics (paper Fig. 3,
+//! refined by Def. 4.16 into the ideal and floating-point relations).
+//!
+//! This is deliberately the *naive* implementation — capture-avoiding
+//! substitution on the term arena, one redex per step — so it can serve
+//! as an executable specification against which the production abstract
+//! machine ([`crate::eval`]) is cross-checked on small programs.
+//!
+//! `sqrt` only steps when the result is exactly rational (the reference
+//! semantics has no enclosures); the cross-checking tests use `+ × ÷`.
+
+use numfuzz_core::{Node, TermId, TermStore, VarId};
+use numfuzz_exact::Rational;
+use numfuzz_softfloat::{Format, Fp, RoundingMode};
+
+/// Which refinement of the step relation to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepSemantics {
+    /// Fig. 3 only: `rnd v` is a value and does not step.
+    Pure,
+    /// Def. 4.16 ideal: `rnd k → ret k`.
+    Ideal,
+    /// Def. 4.16 floating point: `rnd k → ret ρ(k)`.
+    Fp(Format, RoundingMode),
+}
+
+/// Capture-avoiding substitution `t[v/x]` (fresh copies; binders are
+/// globally unique so no renaming is ever needed).
+pub fn subst(store: &mut TermStore, t: TermId, x: VarId, v: TermId) -> TermId {
+    match store.node(t).clone() {
+        Node::Var(y) => {
+            if y == x {
+                v
+            } else {
+                t
+            }
+        }
+        Node::UnitVal | Node::Const(_) | Node::Err(..) => t,
+        Node::PairW(a, b) => {
+            let (a2, b2) = (subst(store, a, x, v), subst(store, b, x, v));
+            store.pair_with(a2, b2)
+        }
+        Node::PairT(a, b) => {
+            let (a2, b2) = (subst(store, a, x, v), subst(store, b, x, v));
+            store.pair_tensor(a2, b2)
+        }
+        Node::Inl(w, ann) => {
+            let w2 = subst(store, w, x, v);
+            let ty = store.ty(ann).clone();
+            store.inl(w2, ty)
+        }
+        Node::Inr(w, ann) => {
+            let w2 = subst(store, w, x, v);
+            let ty = store.ty(ann).clone();
+            store.inr(w2, ty)
+        }
+        Node::Lam(p, ann, body) => {
+            let b2 = subst(store, body, x, v);
+            let ty = store.ty(ann).clone();
+            store.lam(p, ty, b2)
+        }
+        Node::BoxIntro(g, w) => {
+            let w2 = subst(store, w, x, v);
+            let grade = store.grade(g).clone();
+            store.box_intro(grade, w2)
+        }
+        Node::Rnd(w) => {
+            let w2 = subst(store, w, x, v);
+            store.rnd(w2)
+        }
+        Node::Ret(w) => {
+            let w2 = subst(store, w, x, v);
+            store.ret(w2)
+        }
+        Node::App(f, a) => {
+            let (f2, a2) = (subst(store, f, x, v), subst(store, a, x, v));
+            store.app(f2, a2)
+        }
+        Node::Proj(first, w) => {
+            let w2 = subst(store, w, x, v);
+            store.proj(first, w2)
+        }
+        Node::LetTensor(a, b, w, e) => {
+            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            store.let_tensor(a, b, w2, e2)
+        }
+        Node::Case(w, a, e1, b, e2) => {
+            let w2 = subst(store, w, x, v);
+            let e12 = subst(store, e1, x, v);
+            let e22 = subst(store, e2, x, v);
+            store.case(w2, a, e12, b, e22)
+        }
+        Node::LetBox(a, w, e) => {
+            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            store.let_box(a, w2, e2)
+        }
+        Node::LetBind(a, w, e) => {
+            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            store.let_bind(a, w2, e2)
+        }
+        Node::Let(a, w, e) => {
+            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            store.let_in(a, w2, e2)
+        }
+        Node::LetFun(a, ann, w, e) => {
+            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            let ty = if ann == u32::MAX { None } else { Some(store.ty(ann).clone()) };
+            store.let_fun(a, ty, w2, e2)
+        }
+        Node::Op(op, w) => {
+            let w2 = subst(store, w, x, v);
+            let name = store.op_name(op).to_string();
+            store.op(&name, w2)
+        }
+    }
+}
+
+/// Whether `rnd v` counts as a value (Pure) or must step (Ideal/Fp).
+fn rnd_is_value(sem: StepSemantics) -> bool {
+    sem == StepSemantics::Pure
+}
+
+/// A value under the given semantics: like [`TermStore::is_value`], but
+/// under Ideal/Fp the `rnd` forms are redexes (Def. 4.16).
+pub fn is_value(store: &TermStore, t: TermId, sem: StepSemantics) -> bool {
+    if rnd_is_value(sem) {
+        return store.is_value(t);
+    }
+    match store.node(t) {
+        Node::Rnd(_) => false,
+        Node::LetBind(..) => false,
+        _ => store.is_value(t),
+    }
+}
+
+/// Extracts the rational behind a (possibly boxed) constant value.
+fn const_of(store: &TermStore, t: TermId) -> Option<Rational> {
+    match store.node(t) {
+        Node::Const(k) => Some(store.constant(*k).clone()),
+        Node::BoxIntro(_, v) => const_of(store, *v),
+        _ => None,
+    }
+}
+
+fn bool_term(store: &mut TermStore, b: bool) -> TermId {
+    if b {
+        store.bool_true()
+    } else {
+        store.bool_false()
+    }
+}
+
+/// Applies the Fig. 5 operation semantics to a value operand.
+fn op_value(store: &mut TermStore, name: &str, arg: TermId) -> Option<TermId> {
+    fn two(store: &TermStore, arg: TermId) -> Option<(Rational, Rational)> {
+        match store.node(arg) {
+            Node::PairT(a, b) | Node::PairW(a, b) => Some((const_of(store, *a)?, const_of(store, *b)?)),
+            Node::BoxIntro(_, v) => two(store, *v),
+            _ => None,
+        }
+    }
+    match name {
+        "add" => {
+            let (a, b) = two(store, arg)?;
+            Some(store.num(a.add(&b)))
+        }
+        "sub" => {
+            let (a, b) = two(store, arg)?;
+            Some(store.num(a.sub(&b)))
+        }
+        "mul" => {
+            let (a, b) = two(store, arg)?;
+            Some(store.num(a.mul(&b)))
+        }
+        "div" => {
+            let (a, b) = two(store, arg)?;
+            if b.is_zero() {
+                return None;
+            }
+            Some(store.num(a.div(&b)))
+        }
+        "sqrt" => {
+            let a = const_of(store, arg)?;
+            let enc = numfuzz_exact::funcs::sqrt_enclosure(&a, 8);
+            let exact = enc.as_point()?.clone();
+            Some(store.num(exact))
+        }
+        "neg" => {
+            let a = const_of(store, arg)?;
+            Some(store.num(a.neg()))
+        }
+        "scale2" => {
+            let a = const_of(store, arg)?;
+            Some(store.num(a.mul(&Rational::from_int(2))))
+        }
+        "half" => {
+            let a = const_of(store, arg)?;
+            Some(store.num(a.div(&Rational::from_int(2))))
+        }
+        "is_pos" => {
+            let a = const_of(store, arg)?;
+            Some(bool_term(store, a.is_positive()))
+        }
+        "is_gt" => {
+            let (a, b) = two(store, arg)?;
+            Some(bool_term(store, a > b))
+        }
+        _ => None,
+    }
+}
+
+/// One step of the relation; `None` when `t` is a value or stuck.
+pub fn step(store: &mut TermStore, t: TermId, sem: StepSemantics) -> Option<TermId> {
+    match store.node(t).clone() {
+        // rnd k — the Def. 4.16 refinements.
+        Node::Rnd(v) => match sem {
+            StepSemantics::Pure => None,
+            StepSemantics::Ideal => Some(store.ret(v)),
+            StepSemantics::Fp(format, mode) => {
+                let k = const_of(store, v)?;
+                let rounded = Fp::round(&k, format, mode).to_rational()?;
+                let c = store.num(rounded);
+                Some(store.ret(c))
+            }
+        },
+        // π_i ⟨v1, v2⟩ → v_i.
+        Node::Proj(first, v) => match store.node(v) {
+            Node::PairW(a, b) => Some(if first { *a } else { *b }),
+            _ => None,
+        },
+        // op(v) → interpretation.
+        Node::Op(op, v) => {
+            let name = store.op_name(op).to_string();
+            op_value(store, &name, v)
+        }
+        // (λx.e) v → e[v/x].
+        Node::App(f, a) => match store.node(f).clone() {
+            Node::Lam(x, _, body) => Some(subst(store, body, x, a)),
+            _ => None,
+        },
+        // let (x,y) = (v,w) in e → e[v/x][w/y].
+        Node::LetTensor(x, y, v, e) => match store.node(v).clone() {
+            Node::PairT(a, b) => {
+                let e1 = subst(store, e, x, a);
+                Some(subst(store, e1, y, b))
+            }
+            _ => None,
+        },
+        // let [x] = [v] in e → e[v/x].
+        Node::LetBox(x, v, e) => match store.node(v).clone() {
+            Node::BoxIntro(_, inner) => Some(subst(store, e, x, inner)),
+            _ => None,
+        },
+        // case (in_k v) of … → e_k[v/x].
+        Node::Case(v, x, e1, y, e2) => match store.node(v).clone() {
+            Node::Inl(w, _) => Some(subst(store, e1, x, w)),
+            Node::Inr(w, _) => Some(subst(store, e2, y, w)),
+            _ => None,
+        },
+        Node::LetBind(x, v, f) => match store.node(v).clone() {
+            // let-bind(ret v, x.f) → f[v/x].
+            Node::Ret(w) => Some(subst(store, f, x, w)),
+            // let-bind(let-bind(v, y.g), x.f) → let-bind(v, y. let-bind(g, x.f))
+            // (associativity; y ∉ FV(f) holds because binders are unique).
+            Node::LetBind(y, v2, g) => {
+                let inner = store.let_bind(x, g, f);
+                Some(store.let_bind(y, v2, inner))
+            }
+            // Under Ideal/Fp, rnd (and err) inside let-bind steps/propagates.
+            Node::Rnd(_) if !rnd_is_value(sem) => {
+                let v2 = step(store, v, sem)?;
+                Some(store.let_bind(x, v2, f))
+            }
+            Node::Err(g, ty) => {
+                // §7.1: let-bind(err, x.f) → err.
+                let grade = store.grade(g).clone();
+                let t = store.ty(ty).clone();
+                Some(store.err(grade, t))
+            }
+            _ => None,
+        },
+        // let x = e in f: congruence, then β.
+        Node::Let(x, e, f) | Node::LetFun(x, _, e, f) => {
+            if is_value(store, e, sem) {
+                Some(subst(store, f, x, e))
+            } else {
+                let e2 = step(store, e, sem)?;
+                Some(store.let_in(x, e2, f))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Steps to a normal form, with a fuel limit.
+///
+/// # Panics
+///
+/// Panics if fuel runs out (the calculus is terminating — Theorem 3.5 —
+/// so this only fires on absurdly small fuel).
+pub fn normalize(store: &mut TermStore, t: TermId, sem: StepSemantics, mut fuel: u64) -> TermId {
+    let mut cur = t;
+    while let Some(next) = step(store, cur, sem) {
+        cur = next;
+        fuel -= 1;
+        assert!(fuel > 0, "normalization fuel exhausted");
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, EvalConfig};
+    use crate::rounding::{IdentityRounding, ModeRounding};
+    use numfuzz_core::{compile, Signature};
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    /// Normalize under small-step and extract the `ret` payload constant.
+    fn smallstep_result(src: &str, sem: StepSemantics) -> Rational {
+        let sig = Signature::relative_precision();
+        let mut lowered = compile(src, &sig).unwrap();
+        let nf = normalize(&mut lowered.store, lowered.root, sem, 1_000_000);
+        match lowered.store.node(nf) {
+            Node::Ret(v) => const_of(&lowered.store, *v).expect("constant result"),
+            Node::Const(k) => lowered.store.constant(*k).clone(),
+            other => panic!("unexpected normal form {other:?}"),
+        }
+    }
+
+    /// Run the abstract machine and extract the same payload.
+    fn machine_result(src: &str, ideal: bool) -> Rational {
+        let sig = Signature::relative_precision();
+        let lowered = compile(src, &sig).unwrap();
+        let v = if ideal {
+            eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[]).unwrap()
+        } else {
+            let mut m = ModeRounding { format: Format::BINARY64, mode: RoundingMode::TowardPositive };
+            eval(&lowered.store, lowered.root, &mut m, EvalConfig::default(), &[]).unwrap()
+        };
+        let inner = match &v {
+            crate::Value::Ret(w) => (**w).clone(),
+            other => other.clone(),
+        };
+        inner.as_num().unwrap().as_point().unwrap().clone()
+    }
+
+    const MA_PROGRAM: &str = r#"
+        function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+        function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+        function MA (x: num) (y: num) (z: num) : M[2*eps]num {
+            s = mulfp (x,y);
+            let a = s;
+            addfp (|a,z|)
+        }
+        MA 0.1 0.3 7
+    "#;
+
+    #[test]
+    fn machine_agrees_with_smallstep_ideal() {
+        let ss = smallstep_result(MA_PROGRAM, StepSemantics::Ideal);
+        let bs = machine_result(MA_PROGRAM, true);
+        assert_eq!(ss, bs);
+        assert_eq!(ss, rat("7.03"));
+    }
+
+    #[test]
+    fn machine_agrees_with_smallstep_fp() {
+        let sem = StepSemantics::Fp(Format::BINARY64, RoundingMode::TowardPositive);
+        let ss = smallstep_result(MA_PROGRAM, sem);
+        let bs = machine_result(MA_PROGRAM, false);
+        assert_eq!(ss, bs);
+        assert!(ss > rat("7.03"), "RU accumulates upward");
+    }
+
+    #[test]
+    fn pure_semantics_keeps_rnd_as_value() {
+        let sig = Signature::relative_precision();
+        let mut lowered = compile("function f (x: num) : M[eps]num { rnd x }\nf 0.1", &sig).unwrap();
+        let nf = normalize(&mut lowered.store, lowered.root, StepSemantics::Pure, 10_000);
+        assert!(matches!(lowered.store.node(nf), Node::Rnd(_)));
+        assert!(lowered.store.is_value(nf));
+    }
+
+    #[test]
+    fn case_steps_into_branch() {
+        let src = r#"
+            function f (x: ![inf]num) : M[eps]num {
+                let [x1] = x;
+                c = is_pos x1;
+                if c then { s = mul (x1, x1); rnd s } else ret 1
+            }
+            f [3]{inf}
+        "#;
+        let ss = smallstep_result(src, StepSemantics::Ideal);
+        assert_eq!(ss, rat("9"));
+    }
+
+    #[test]
+    fn letbind_associativity_fires() {
+        // Nested binds from a function returning a bind chain exercise the
+        // reassociation rule.
+        let src = r#"
+            function two (x: num) : M[2*eps]num {
+                let a = rnd x;
+                rnd a
+            }
+            function outer (x: num) : M[3*eps]num {
+                let b = two x;
+                rnd b
+            }
+            outer 0.1
+        "#;
+        let sem = StepSemantics::Fp(Format::BINARY64, RoundingMode::TowardPositive);
+        let ss = smallstep_result(src, sem);
+        let up = Fp::round(&rat("0.1"), Format::BINARY64, RoundingMode::TowardPositive)
+            .to_rational()
+            .unwrap();
+        // Rounding an already-representable value is the identity, so the
+        // result equals round(0.1).
+        assert_eq!(ss, up);
+    }
+}

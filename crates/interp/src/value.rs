@@ -1,0 +1,147 @@
+//! Runtime values for the Λnum evaluators.
+//!
+//! Numbers are rational *intervals*: exact (degenerate) for everything
+//! except the results of `sqrt`, whose enclosures are computed at a
+//! configurable precision. This keeps both the ideal semantics (where
+//! `sqrt` is irrational) and the soundness checks fully rigorous.
+
+use numfuzz_core::{TermId, VarId};
+use numfuzz_exact::{RatInterval, Rational};
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A numeric value (possibly a rigorous enclosure).
+    Num(RatInterval),
+    /// `⟨⟩`.
+    Unit,
+    /// Cartesian pair.
+    PairW(Rc<Value>, Rc<Value>),
+    /// Tensor pair.
+    PairT(Rc<Value>, Rc<Value>),
+    /// Left injection.
+    Inl(Rc<Value>),
+    /// Right injection.
+    Inr(Rc<Value>),
+    /// A boxed value `[v]`.
+    Boxed(Rc<Value>),
+    /// A function closure.
+    Closure(Rc<Closure>),
+    /// A finished monadic computation `ret v`.
+    Ret(Rc<Value>),
+    /// The exceptional monadic result `err` (Section 7.1's ⋄).
+    ErrV,
+}
+
+/// A λ closure: parameter, body, and the captured environment (only the
+/// body's free variables).
+#[derive(Clone, Debug)]
+pub struct Closure {
+    /// The parameter.
+    pub param: VarId,
+    /// The body term.
+    pub body: TermId,
+    /// Captured bindings.
+    pub captured: Vec<(VarId, Value)>,
+}
+
+impl Value {
+    /// Builds a numeric value from an exact rational.
+    pub fn num(q: Rational) -> Value {
+        Value::Num(RatInterval::point(q))
+    }
+
+    /// `true = inl ⟨⟩`.
+    pub fn bool(b: bool) -> Value {
+        if b {
+            Value::Inl(Rc::new(Value::Unit))
+        } else {
+            Value::Inr(Rc::new(Value::Unit))
+        }
+    }
+
+    /// The numeric interval, if this is a number.
+    pub fn as_num(&self) -> Option<&RatInterval> {
+        match self {
+            Value::Num(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// For `ret v`, the payload; `None` for `err` and non-monadic values.
+    pub fn as_ret(&self) -> Option<&Value> {
+        match self {
+            Value::Ret(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the exceptional result.
+    pub fn is_err(&self) -> bool {
+        matches!(self, Value::ErrV)
+    }
+
+    /// Interprets `inl ⟨⟩` / `inr ⟨⟩` as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Inl(v) if matches!(**v, Value::Unit) => Some(true),
+            Value::Inr(v) if matches!(**v, Value::Unit) => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(i) => {
+                match i.as_point() {
+                    // Exact values print exactly while readable.
+                    Some(p) if p.denom().bit_len() <= 40 && p.numer().magnitude().bit_len() <= 60 => {
+                        write!(f, "{p}")
+                    }
+                    Some(p) => write!(f, "{}", p.to_sci_string(17)),
+                    // Tight enclosures (sqrt results) print approximately.
+                    None => write!(f, "~{}", i.lo().to_sci_string(17)),
+                }
+            }
+            Value::Unit => write!(f, "()"),
+            Value::PairW(a, b) => write!(f, "(|{a}, {b}|)"),
+            Value::PairT(a, b) => write!(f, "({a}, {b})"),
+            Value::Inl(v) => match self.as_bool() {
+                Some(true) => write!(f, "true"),
+                _ => write!(f, "inl {v}"),
+            },
+            Value::Inr(v) => match self.as_bool() {
+                Some(false) => write!(f, "false"),
+                _ => write!(f, "inr {v}"),
+            },
+            Value::Boxed(v) => write!(f, "[{v}]"),
+            Value::Closure(_) => write!(f, "<closure>"),
+            Value::Ret(v) => write!(f, "ret {v}"),
+            Value::ErrV => write!(f, "err"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn booleans_roundtrip() {
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert_eq!(Value::bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Unit.as_bool(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::num(Rational::ratio(1, 2)).to_string(), "1/2");
+        assert_eq!(Value::bool(true).to_string(), "true");
+        assert_eq!(Value::Ret(Rc::new(Value::num(Rational::from_int(3)))).to_string(), "ret 3");
+        assert_eq!(Value::ErrV.to_string(), "err");
+    }
+}

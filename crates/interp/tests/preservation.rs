@@ -1,0 +1,104 @@
+//! Subject reduction, tested (paper Lemmas 4.15/4.18): stepping a
+//! well-typed closed term preserves typability, and under the ideal/FP
+//! refinements the monadic grade can only *shrink* (each `rnd k → ret k`
+//! discharges rounding permission), so every step's type is a subtype of
+//! the previous one.
+
+use numfuzz_core::{compile, infer, Signature, Ty};
+use numfuzz_interp::smallstep::{step, StepSemantics};
+use numfuzz_softfloat::{Format, RoundingMode};
+
+const PROGRAMS: &[&str] = &[
+    // MA (Fig. 8) applied.
+    r#"
+    function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+    function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+    function MA (x: num) (y: num) (z: num) : M[2*eps]num {
+        s = mulfp (x,y);
+        let a = s;
+        addfp (|a,z|)
+    }
+    MA 0.25 0.5 3
+    "#,
+    // Conditional (same-branch discipline).
+    r#"
+    function f (x: ![inf]num) : M[eps]num {
+        let [x1] = x;
+        c = is_pos x1;
+        if c then { s = mul (x1, x1); rnd s } else ret 1
+    }
+    f [0.5]{inf}
+    "#,
+    // Nested binds exercising the associativity step rule.
+    r#"
+    function two (x: num) : M[2*eps]num {
+        let a = rnd x;
+        rnd a
+    }
+    function outer (x: num) : M[3*eps]num {
+        let b = two x;
+        rnd b
+    }
+    outer 0.1
+    "#,
+];
+
+#[test]
+fn each_step_preserves_typability_with_shrinking_grades() {
+    let sig = Signature::relative_precision();
+    for (which, src) in PROGRAMS.iter().enumerate() {
+        for sem in [
+            StepSemantics::Ideal,
+            StepSemantics::Fp(Format::BINARY64, RoundingMode::TowardPositive),
+            StepSemantics::Fp(Format::new(5, 30), RoundingMode::NearestEven),
+        ] {
+            let mut lowered = compile(src, &sig).expect("compiles");
+            let mut cur = lowered.root;
+            let mut prev_ty: Ty = infer(&lowered.store, &sig, cur, &[]).expect("checks").root.ty;
+            let mut steps = 0usize;
+            while let Some(next) = step(&mut lowered.store, cur, sem) {
+                let res = infer(&lowered.store, &sig, next, &[])
+                    .unwrap_or_else(|e| panic!("program {which} {sem:?}: step {steps} broke typing: {e}"));
+                assert!(
+                    res.root.ty.subtype(&prev_ty),
+                    "program {which} {sem:?} step {steps}: `{}` not ⊑ `{prev_ty}`",
+                    res.root.ty
+                );
+                prev_ty = res.root.ty;
+                cur = next;
+                steps += 1;
+                assert!(steps < 10_000, "runaway reduction");
+            }
+            // Termination (Theorem 3.5): reached a value; and under the
+            // refinements the value is `ret v` with a zero-cost type.
+            assert!(steps > 0, "program {which} did not step");
+            assert!(
+                lowered.store.is_value(cur),
+                "program {which} {sem:?} got stuck off-value"
+            );
+            if !matches!(sem, StepSemantics::Pure) {
+                assert!(
+                    matches!(prev_ty, Ty::Monad(..)),
+                    "program {which}: final type {prev_ty}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pure_semantics_preserves_exact_type() {
+    // Under Fig. 3 alone (rnd is a value), the grade never changes: the
+    // reduction only rearranges binds and fires beta steps.
+    let sig = Signature::relative_precision();
+    let mut lowered = compile(PROGRAMS[0], &sig).expect("compiles");
+    let ty0 = infer(&lowered.store, &sig, lowered.root, &[]).expect("checks").root.ty;
+    let mut cur = lowered.root;
+    while let Some(next) = step(&mut lowered.store, cur, StepSemantics::Pure) {
+        let ty = infer(&lowered.store, &sig, next, &[]).expect("checks").root.ty;
+        assert!(ty.subtype(&ty0), "`{ty}` not ⊑ `{ty0}`");
+        cur = next;
+    }
+    let final_ty = infer(&lowered.store, &sig, cur, &[]).expect("checks").root.ty;
+    assert_eq!(final_ty.to_string(), "M[2*eps]num");
+}

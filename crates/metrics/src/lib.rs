@@ -1,0 +1,113 @@
+//! # numfuzz-metrics
+//!
+//! Rigorous error metrics for the `numfuzz` reproduction of *Numerical
+//! Fuzz* (PLDI 2024):
+//!
+//! * [`rp`] — Olver's relative precision metric `RP(x, x̃) = |ln(x/x̃)|`
+//!   (Definition 2.2), with *decision procedures* rather than approximate
+//!   evaluation: `RP(x,y) <= b` is reduced to rational comparisons against
+//!   enclosures of `e^±b`;
+//! * [`pointwise`] — absolute error, relative error (eq. 3), ULP error and
+//!   bits of error (eq. 4);
+//! * [`NumMetric`] — the metric attached to the numeric type `num` by a
+//!   Λnum instantiation (Section 5), used by the interpreter to validate
+//!   error soundness (Corollary 4.20) on interval-valued results.
+//!
+//! ```
+//! use numfuzz_metrics::{rp::rp_within, rp::Within};
+//! use numfuzz_exact::Rational;
+//!
+//! // RP(1+2⁻⁵², 1) <= 2⁻⁵² holds (ln(1+u) < u) …
+//! let u = Rational::pow2(-52);
+//! let x = Rational::one().add(&u);
+//! assert_eq!(rp_within(&x, &Rational::one(), &u), Within::Yes);
+//! // … but not within u/2.
+//! assert_eq!(rp_within(&x, &Rational::one(), &Rational::pow2(-53)), Within::No);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pointwise;
+pub mod rp;
+
+pub use rp::Within;
+
+use numfuzz_exact::{RatInterval, Rational};
+
+/// The metric carried by the numeric type of a Λnum instantiation.
+///
+/// The paper's leading instantiation (Section 5) uses relative precision
+/// over the strictly positive reals; the secondary instantiation in this
+/// reproduction uses the absolute-value metric over all reals.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum NumMetric {
+    /// `d(x, y) = |ln(x/y)|` on nonzero same-sign reals (Definition 2.2).
+    RelativePrecision,
+    /// `d(x, y) = |x - y|`.
+    Absolute,
+}
+
+impl NumMetric {
+    /// Rigorously decides whether the worst-case distance between two
+    /// interval-valued quantities is within `bound`.
+    pub fn within(&self, ideal: &RatInterval, approx: &RatInterval, bound: &Rational) -> Within {
+        match self {
+            NumMetric::RelativePrecision => rp::rp_within_intervals(ideal, approx, bound),
+            NumMetric::Absolute => {
+                if pointwise::abs_error_sup(ideal, approx) <= *bound {
+                    Within::Yes
+                } else {
+                    Within::No
+                }
+            }
+        }
+    }
+
+    /// A display-quality `f64` distance between two point values (`None`
+    /// when the metric is undefined on them).
+    pub fn distance_f64(&self, x: &Rational, y: &Rational) -> Option<f64> {
+        match self {
+            NumMetric::RelativePrecision => {
+                if x.is_zero() || y.is_zero() || x.is_positive() != y.is_positive() {
+                    None
+                } else if x == y {
+                    Some(0.0)
+                } else {
+                    Some(rp::rp_distance_enclosure(x, y, 80).lo().to_f64())
+                }
+            }
+            NumMetric::Absolute => Some(pointwise::abs_error(x, y).to_f64()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let x = RatInterval::point(rat("2"));
+        let y = RatInterval::point(rat("2.2"));
+        // |2.2 - 2| = 0.2.
+        assert_eq!(NumMetric::Absolute.within(&x, &y, &rat("0.2")), Within::Yes);
+        assert_eq!(NumMetric::Absolute.within(&x, &y, &rat("0.19")), Within::No);
+        // RP = ln(1.1) = 0.0953.
+        assert_eq!(NumMetric::RelativePrecision.within(&x, &y, &rat("0.096")), Within::Yes);
+        assert_eq!(NumMetric::RelativePrecision.within(&x, &y, &rat("0.095")), Within::No);
+    }
+
+    #[test]
+    fn distance_display() {
+        let d = NumMetric::RelativePrecision.distance_f64(&rat("2"), &rat("2.2")).unwrap();
+        assert!((d - 0.09531017980432486).abs() < 1e-12);
+        let a = NumMetric::Absolute.distance_f64(&rat("2"), &rat("2.2")).unwrap();
+        assert!((a - 0.2).abs() < 1e-15);
+        assert_eq!(NumMetric::RelativePrecision.distance_f64(&rat("-1"), &rat("1")), None);
+    }
+}

@@ -1,0 +1,115 @@
+//! The classical pointwise error measures of the paper's Section 2.1
+//! (eq. 3 and eq. 4): absolute error, relative error, ULP error, and bits
+//! of error. Absolute and relative error are exact rational computations;
+//! ULP error is computed by ordinal arithmetic on softfloat values.
+
+use numfuzz_exact::{BigUint, RatInterval, Rational};
+use numfuzz_softfloat::Fp;
+
+/// Absolute error `|x̃ - x|` (eq. 3, left).
+pub fn abs_error(ideal: &Rational, approx: &Rational) -> Rational {
+    approx.sub(ideal).abs()
+}
+
+/// Relative error `|(x̃ - x) / x|` (eq. 3, right); `None` when `x = 0`.
+pub fn rel_error(ideal: &Rational, approx: &Rational) -> Option<Rational> {
+    if ideal.is_zero() {
+        None
+    } else {
+        Some(approx.sub(ideal).div(ideal).abs())
+    }
+}
+
+/// Worst-case absolute error between two interval-valued quantities:
+/// `sup { |y - x| : x ∈ X, y ∈ Y }`.
+pub fn abs_error_sup(ideal: &RatInterval, approx: &RatInterval) -> Rational {
+    approx.hi().sub(ideal.lo()).abs().max(ideal.hi().sub(approx.lo()).abs())
+}
+
+/// Worst-case relative error between interval-valued quantities; `None`
+/// when the ideal interval contains zero.
+pub fn rel_error_sup(ideal: &RatInterval, approx: &RatInterval) -> Option<Rational> {
+    if ideal.contains_zero() {
+        return None;
+    }
+    Some(abs_error_sup(ideal, approx).div(&ideal.abs_inf()))
+}
+
+/// ULP error (eq. 4, left): the number of floats of the format in the
+/// closed interval between the two values (so equal values give 1).
+///
+/// # Panics
+///
+/// Panics if either value is NaN or infinite, or the formats differ.
+pub fn ulp_error(x: &Fp, y: &Fp) -> BigUint {
+    assert_eq!(x.format(), y.format(), "ULP error requires a common format");
+    x.floats_between(y)
+}
+
+/// Bits of error (eq. 4, right): `log2(err_ulp)`. Display-quality `f64`.
+pub fn bits_error(x: &Fp, y: &Fp) -> f64 {
+    let ulps = ulp_error(x, y);
+    // log2 via bit length and top bits (good to ~1e-9, plenty for display).
+    let bits = ulps.bit_len();
+    if bits <= 53 {
+        (ulps.to_u64().expect("fits") as f64).log2()
+    } else {
+        let top = ulps.shr_bits(bits - 53).to_u64().expect("53 bits fit") as f64;
+        top.log2() + (bits - 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numfuzz_softfloat::{Format, RoundingMode};
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    #[test]
+    fn abs_and_rel_error_basics() {
+        assert_eq!(abs_error(&rat("2"), &rat("2.5")), rat("0.5"));
+        assert_eq!(rel_error(&rat("2"), &rat("2.5")), Some(rat("0.25")));
+        assert_eq!(rel_error(&rat("0"), &rat("2.5")), None);
+        assert_eq!(rel_error(&rat("-4"), &rat("-5")), Some(rat("0.25")));
+    }
+
+    #[test]
+    fn interval_sups() {
+        let x = RatInterval::new(rat("1"), rat("2"));
+        let y = RatInterval::new(rat("1.5"), rat("4"));
+        // Worst |y - x| = |4 - 1| = 3.
+        assert_eq!(abs_error_sup(&x, &y), rat("3"));
+        // Worst relative = 3 / min|X| = 3.
+        assert_eq!(rel_error_sup(&x, &y), Some(rat("3")));
+        let z = RatInterval::new(rat("-1"), rat("1"));
+        assert_eq!(rel_error_sup(&z, &y), None);
+    }
+
+    #[test]
+    fn ulp_error_counts() {
+        let f = Format::BINARY64;
+        let one = Fp::from_f64(1.0);
+        assert_eq!(ulp_error(&one, &one), BigUint::from(1u32));
+        let next = one.next_up();
+        assert_eq!(ulp_error(&one, &next), BigUint::from(2u32));
+        assert_eq!(bits_error(&one, &next), 1.0);
+        // Rounding 0.1 up vs down differ by exactly one float: 2 floats in
+        // the closed interval.
+        let q = rat("0.1");
+        let up = Fp::round(&q, f, RoundingMode::TowardPositive);
+        let dn = Fp::round(&q, f, RoundingMode::TowardNegative);
+        assert_eq!(ulp_error(&up, &dn), BigUint::from(2u32));
+    }
+
+    #[test]
+    fn bits_error_large() {
+        let one = Fp::from_f64(1.0);
+        let two = Fp::from_f64(2.0);
+        // 1.0 .. 2.0 spans 2^52 + 1 floats; log2 of that is just over 52.
+        let b = bits_error(&one, &two);
+        assert!((b - 52.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,251 @@
+//! The relative precision (RP) metric of Olver (paper Definition 2.2):
+//! `RP(x, x̃) = |ln(x / x̃)|` for nonzero reals of the same sign.
+//!
+//! Unlike relative error, RP is a true metric (zero self-distance,
+//! symmetry, triangle inequality), which is what lets Λnum's graded monad
+//! compose error bounds by addition. All comparisons here are decided
+//! *rigorously*: `RP(x, y) <= b` iff `e^-b <= x/y <= e^b`, and the
+//! exponentials are bracketed by rational enclosures that are refined until
+//! the comparison is decidable. No host floating point is involved.
+
+use numfuzz_exact::funcs::{exp_enclosure, ln_enclosure};
+use numfuzz_exact::{RatInterval, Rational};
+
+/// Outcome of a rigorous distance-bound check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Within {
+    /// The distance is definitely within the bound.
+    Yes,
+    /// The distance definitely exceeds the bound.
+    No,
+    /// The metric is undefined for these arguments (e.g. RP on values of
+    /// differing sign or zero).
+    Undefined,
+}
+
+impl Within {
+    /// True for [`Within::Yes`].
+    pub fn holds(self) -> bool {
+        self == Within::Yes
+    }
+}
+
+/// Rigorously decides `RP(x, y) <= bound` for rationals.
+///
+/// Returns [`Within::Undefined`] when `x` and `y` are not both nonzero with
+/// the same sign (Definition 2.2's side condition).
+pub fn rp_within(x: &Rational, y: &Rational, bound: &Rational) -> Within {
+    if x.is_zero() || y.is_zero() || (x.is_positive() != y.is_positive()) {
+        return Within::Undefined;
+    }
+    if bound.is_negative() {
+        return if x == y { Within::Yes } else { Within::No };
+    }
+    let ratio = x.div(y).abs();
+    if ratio == Rational::one() {
+        return Within::Yes;
+    }
+    // RP(x,y) <= b  <=>  e^-b <= ratio <= e^b.
+    let mut bits = 64u32;
+    loop {
+        let upper = exp_enclosure(bound, bits);
+        let lower = exp_enclosure(&bound.neg(), bits);
+        if &ratio <= upper.lo() && &ratio >= lower.hi() {
+            return Within::Yes;
+        }
+        if &ratio > upper.hi() || &ratio < lower.lo() {
+            return Within::No;
+        }
+        // Undecided: the ratio sits inside an enclosure gap. Since e^b is
+        // irrational for rational b != 0, refinement must terminate.
+        bits *= 2;
+        assert!(bits <= 1 << 20, "exp enclosure refinement failed to converge");
+    }
+}
+
+/// Worst-case variant of [`rp_within`] over interval-valued arguments:
+/// decides `sup { RP(x, y) | x ∈ X, y ∈ Y } <= bound`.
+///
+/// This is what the interpreter's soundness checker uses when the ideal
+/// value is only known as an enclosure (because the program took a square
+/// root). Both intervals must be strictly positive (or strictly negative).
+pub fn rp_within_intervals(x: &RatInterval, y: &RatInterval, bound: &Rational) -> Within {
+    let both_pos = x.is_strictly_positive() && y.is_strictly_positive();
+    let both_neg = x.hi().is_negative() && y.hi().is_negative();
+    if !both_pos && !both_neg {
+        return Within::Undefined;
+    }
+    // sup RP is attained at the extreme ratios.
+    let (a, b) = if both_pos {
+        (x.clone(), y.clone())
+    } else {
+        (x.neg(), y.neg())
+    };
+    let r1 = rp_within(a.hi(), b.lo(), bound);
+    let r2 = rp_within(a.lo(), b.hi(), bound);
+    match (r1, r2) {
+        (Within::Yes, Within::Yes) => Within::Yes,
+        (Within::Undefined, _) | (_, Within::Undefined) => Within::Undefined,
+        _ => Within::No,
+    }
+}
+
+/// A rigorous enclosure of `RP(x, y) = |ln(x/y)|`, for reporting.
+///
+/// # Panics
+///
+/// Panics if the metric is undefined for `x`, `y` (differing signs or zero).
+pub fn rp_distance_enclosure(x: &Rational, y: &Rational, bits: u32) -> RatInterval {
+    assert!(
+        !x.is_zero() && !y.is_zero() && x.is_positive() == y.is_positive(),
+        "RP undefined: values must be nonzero and of the same sign"
+    );
+    let ratio = x.div(y).abs();
+    if ratio == Rational::one() {
+        return RatInterval::point(Rational::zero());
+    }
+    let l = ln_enclosure(&ratio, bits);
+    // |l|: the enclosure of ln(ratio) may straddle zero if very tight around it.
+    if !l.lo().is_negative() {
+        l
+    } else if !l.hi().is_positive() {
+        l.neg()
+    } else {
+        RatInterval::new(Rational::zero(), l.hi().abs().max(l.lo().abs()))
+    }
+}
+
+/// Converts an RP bound `α < 1` into a relative-error bound via the paper's
+/// eq. (8): `ε = e^α − 1 ≤ α / (1 − α)` — exactly representable, sound.
+///
+/// Returns `None` when `α >= 1` (no finite relative-error bound follows).
+pub fn rp_to_rel_bound(alpha: &Rational) -> Option<Rational> {
+    if alpha >= &Rational::one() || alpha.is_negative() {
+        return None;
+    }
+    Some(alpha.div(&Rational::one().sub(alpha)))
+}
+
+/// A sound RP bound from a relative-error bound: `RP(x, x(1+δ)) = |ln(1+δ)|
+/// <= |δ| / (1 - |δ|)` for `|δ| < 1`... but in the useful direction
+/// `ln(1+ε) <= ε`, so `ε` itself is a valid RP bound whenever
+/// `x̃ ∈ [x(1-ε), x(1+ε)]` with `ε < 1` is *one-sided above*; for the
+/// symmetric case the sound bound is `-ln(1-ε) <= ε/(1-ε)`.
+pub fn rel_to_rp_bound(eps: &Rational) -> Option<Rational> {
+    if eps >= &Rational::one() || eps.is_negative() {
+        return None;
+    }
+    Some(eps.div(&Rational::one().sub(eps)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    #[test]
+    fn zero_self_distance() {
+        let x = rat("3.7");
+        assert_eq!(rp_within(&x, &x, &Rational::zero()), Within::Yes);
+        assert_eq!(rp_within(&x, &x, &rat("1e-30")), Within::Yes);
+    }
+
+    #[test]
+    fn undefined_cases() {
+        assert_eq!(rp_within(&rat("1"), &rat("-1"), &rat("10")), Within::Undefined);
+        assert_eq!(rp_within(&Rational::zero(), &rat("1"), &rat("10")), Within::Undefined);
+        assert_eq!(rp_within(&rat("1"), &Rational::zero(), &rat("10")), Within::Undefined);
+    }
+
+    #[test]
+    fn decides_tight_cases() {
+        // RP(1+u, 1) = ln(1+u) which is just *below* u: within u, but not
+        // within u/2 for u = 2^-52.
+        let u = Rational::pow2(-52);
+        let x = Rational::one().add(&u);
+        assert_eq!(rp_within(&x, &Rational::one(), &u), Within::Yes);
+        let half_u = Rational::pow2(-53);
+        assert_eq!(rp_within(&x, &Rational::one(), &half_u), Within::No);
+        // ln(1+u) > u - u²/2 > u/(1+u) etc.; also check just-above: bound
+        // ln(1+u) < u holds but bound u(1 - u) < ln(1+u) fails... u(1-u/2)
+        // is still above ln(1+u)? ln(1+u) = u - u²/2 + u³/3 - ... so
+        // u(1 - u/2) = u - u²/2 < ln(1+u) barely (by u³/3). Check it:
+        let barely_below = u.mul(&Rational::one().sub(&u.div(&rat("2")))) ;
+        assert_eq!(rp_within(&x, &Rational::one(), &barely_below), Within::No);
+    }
+
+    #[test]
+    fn symmetric() {
+        let (x, y) = (rat("2"), rat("3"));
+        for b in ["0.40546", "0.40547", "0.5", "0.1"] {
+            assert_eq!(
+                rp_within(&x, &y, &rat(b)),
+                rp_within(&y, &x, &rat(b)),
+                "bound {b}"
+            );
+        }
+        // ln(3/2) = 0.405465...: bracketed by the two bounds above.
+        assert_eq!(rp_within(&x, &y, &rat("0.40546")), Within::No);
+        assert_eq!(rp_within(&x, &y, &rat("0.40547")), Within::Yes);
+    }
+
+    #[test]
+    fn negative_pairs_work() {
+        assert_eq!(rp_within(&rat("-2"), &rat("-2"), &Rational::zero()), Within::Yes);
+        assert_eq!(rp_within(&rat("-3"), &rat("-2"), &rat("0.40547")), Within::Yes);
+    }
+
+    #[test]
+    fn interval_worst_case() {
+        // X = [2, 2.2], Y = [2, 2.0]: worst ratio 2.2/2 = 1.1, RP = ln 1.1 = 0.0953.
+        let x = RatInterval::new(rat("2"), rat("2.2"));
+        let y = RatInterval::point(rat("2"));
+        assert_eq!(rp_within_intervals(&x, &y, &rat("0.0954")), Within::Yes);
+        assert_eq!(rp_within_intervals(&x, &y, &rat("0.0953")), Within::No);
+        // Mixed-sign intervals are undefined.
+        let z = RatInterval::new(rat("-1"), rat("1"));
+        assert_eq!(rp_within_intervals(&z, &y, &rat("10")), Within::Undefined);
+        // Negative intervals mirror positive ones.
+        let nx = x.neg();
+        let ny = y.neg();
+        assert_eq!(rp_within_intervals(&nx, &ny, &rat("0.0954")), Within::Yes);
+    }
+
+    #[test]
+    fn distance_enclosure_brackets() {
+        let d = rp_distance_enclosure(&rat("3"), &rat("2"), 80);
+        // ln(3/2) = 0.4054651081...
+        assert!(d.lo() <= &rat("0.4054651082"));
+        assert!(d.hi() >= &rat("0.4054651081"));
+        assert!(d.width() < Rational::pow2(-70));
+        let z = rp_distance_enclosure(&rat("5"), &rat("5"), 10);
+        assert_eq!(z, RatInterval::point(Rational::zero()));
+    }
+
+    #[test]
+    fn eq8_conversion() {
+        // The paper derives rel <= α/(1-α); for α = 7*2^-52 this is the
+        // 1.55e-15 reported for Horner2_with_error in Table 3.
+        let alpha = Rational::from_int(7).mul(&Rational::pow2(-52));
+        let rel = rp_to_rel_bound(&alpha).unwrap();
+        assert_eq!(rel.to_sci_string(3), "1.55e-15");
+        assert!(rp_to_rel_bound(&Rational::one()).is_none());
+        assert!(rp_to_rel_bound(&rat("2")).is_none());
+        // And the bound is sound: e^α - 1 <= α/(1-α).
+        let ea = exp_enclosure(&alpha, 80);
+        assert!(ea.hi().sub(&Rational::one()) <= rel);
+    }
+
+    #[test]
+    fn triangle_inequality_spotcheck() {
+        // RP(x,z) <= RP(x,y) + RP(y,z) via enclosures.
+        let (x, y, z) = (rat("2"), rat("5"), rat("11"));
+        let dxz = rp_distance_enclosure(&x, &z, 80);
+        let dxy = rp_distance_enclosure(&x, &y, 80);
+        let dyz = rp_distance_enclosure(&y, &z, 80);
+        assert!(dxz.hi() <= &dxy.lo().add(dyz.lo()).add(&Rational::pow2(-60)));
+    }
+}

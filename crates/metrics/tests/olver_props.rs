@@ -1,0 +1,120 @@
+//! Property tests for the RP metric facts that justify the paper's Fig. 5
+//! operation typings (Olver [46], Corollary 1 & Property V):
+//!
+//! * `add : (num × num) ⊸ num` — addition of positives is non-expansive in
+//!   the **max** metric;
+//! * `mul, div : (num ⊗ num) ⊸ num` — non-expansive in the **sum** metric;
+//! * `sqrt : ![0.5]num ⊸ num` — square root halves RP distances;
+//! * RP is a metric: symmetry and the triangle inequality.
+//!
+//! Perturbations are expressed multiplicatively (`x̃ = x·t`), which keeps
+//! most checks exact rational comparisons; where `ln` enclosures are needed
+//! we allow a `2^-40` slack far below the `2^-60` enclosure width.
+
+use numfuzz_exact::{funcs::sqrt_enclosure, Rational};
+use numfuzz_metrics::rp::rp_distance_enclosure;
+use proptest::prelude::*;
+
+/// Strictly positive rationals of moderate size.
+fn pos_rational() -> impl Strategy<Value = Rational> {
+    (1i64..1_000_000, 1i64..1_000_000).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
+/// Multiplicative perturbation factors around 1 (within a factor of 2).
+fn factor() -> impl Strategy<Value = Rational> {
+    (1_000_000i64..2_000_000, 1_000_000i64..2_000_000).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
+fn rp(x: &Rational, y: &Rational) -> (Rational, Rational) {
+    let e = rp_distance_enclosure(x, y, 60);
+    (e.lo().clone(), e.hi().clone())
+}
+
+fn slack() -> Rational {
+    Rational::pow2(-40)
+}
+
+proptest! {
+    // Enclosure-based checks are exact but not cheap; 32 cases per
+    // property keeps the suite under a few seconds.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Addition of positives is non-expansive for the max (×) metric:
+    /// (x·t1 + y·t2) / (x + y) lies between min(t1,t2) and max(t1,t2),
+    /// hence RP(x̃+ỹ, x+y) <= max(RP(x̃,x), RP(ỹ,y)). Exact check.
+    #[test]
+    fn add_nonexpansive_max_metric(x in pos_rational(), y in pos_rational(), t1 in factor(), t2 in factor()) {
+        let perturbed = x.mul(&t1).add(&y.mul(&t2));
+        let ratio = perturbed.div(&x.add(&y));
+        let lo = t1.clone().min(t2.clone());
+        let hi = t1.max(t2);
+        prop_assert!(lo <= ratio && ratio <= hi);
+    }
+
+    /// Multiplication accumulates RP additively (⊗ metric):
+    /// RP(x̃ỹ, xy) = |ln(t1·t2)| <= |ln t1| + |ln t2|.
+    #[test]
+    fn mul_nonexpansive_sum_metric(t1 in factor(), t2 in factor()) {
+        let one = Rational::one();
+        let (_, d1_hi) = rp(&t1, &one);
+        let (_, d2_hi) = rp(&t2, &one);
+        let (d12_lo, _) = rp(&t1.mul(&t2), &one);
+        prop_assert!(d12_lo <= d1_hi.add(&d2_hi).add(&slack()));
+    }
+
+    /// Division likewise: RP(x̃/ỹ, x/y) = |ln(t1/t2)| <= |ln t1| + |ln t2|.
+    #[test]
+    fn div_nonexpansive_sum_metric(t1 in factor(), t2 in factor()) {
+        let one = Rational::one();
+        let (_, d1_hi) = rp(&t1, &one);
+        let (_, d2_hi) = rp(&t2, &one);
+        let (dq_lo, _) = rp(&t1.div(&t2), &one);
+        prop_assert!(dq_lo <= d1_hi.add(&d2_hi).add(&slack()));
+    }
+
+    /// Square root halves RP distances: RP(√x̃, √x) = ½·RP(x̃, x), which is
+    /// why `sqrt : ![0.5]num ⊸ num` in Fig. 5.
+    #[test]
+    fn sqrt_halves_rp(x in pos_rational(), t in factor()) {
+        let xt = x.mul(&t);
+        let sx = sqrt_enclosure(&x, 80);
+        let st = sqrt_enclosure(&xt, 80);
+        // Worst/best case RP between the enclosures.
+        let (d_lo, _) = rp(st.lo(), sx.hi());
+        let (_, d_hi) = rp(st.hi(), sx.lo());
+        let (full_lo, full_hi) = rp(&xt, &x);
+        let half_lo = full_lo.div(&Rational::from_int(2));
+        let half_hi = full_hi.div(&Rational::from_int(2));
+        prop_assert!(d_lo <= half_hi.add(&slack()));
+        prop_assert!(d_hi.add(&slack()) >= half_lo);
+    }
+
+    /// Metric axiom: symmetry (via enclosure overlap).
+    #[test]
+    fn rp_symmetric(x in pos_rational(), y in pos_rational()) {
+        let (a_lo, a_hi) = rp(&x, &y);
+        let (b_lo, b_hi) = rp(&y, &x);
+        prop_assert!(a_lo <= b_hi && b_lo <= a_hi);
+    }
+
+    /// Metric axiom: triangle inequality RP(x,z) <= RP(x,y) + RP(y,z).
+    #[test]
+    fn rp_triangle(x in pos_rational(), y in pos_rational(), z in pos_rational()) {
+        let (xz_lo, _) = rp(&x, &z);
+        let (_, xy_hi) = rp(&x, &y);
+        let (_, yz_hi) = rp(&y, &z);
+        prop_assert!(xz_lo <= xy_hi.add(&yz_hi).add(&slack()));
+    }
+
+    /// Relation to relative error (paper eqs. 6–8): if RP(x, x̃) <= α < 1
+    /// then relerr(x, x̃) <= α/(1−α).
+    #[test]
+    fn rp_bounds_relative_error(x in pos_rational(), t in factor()) {
+        let xt = x.mul(&t);
+        let (_, alpha_hi) = rp(&xt, &x);
+        prop_assume!(alpha_hi < Rational::one());
+        let rel = xt.sub(&x).div(&x).abs();
+        let bound = numfuzz_metrics::rp::rp_to_rel_bound(&alpha_hi).unwrap();
+        prop_assert!(rel <= bound.add(&slack()));
+    }
+}

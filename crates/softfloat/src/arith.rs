@@ -1,0 +1,300 @@
+//! Correctly-rounded floating-point arithmetic.
+//!
+//! The IEEE basic operations are specified exactly as the paper recalls in
+//! Section 2.1: compute the infinitely-precise result, then round. For
+//! `+ - × ÷` the exact result of two floats is a rational, so the softfloat
+//! operations literally compute it with [`Rational`] arithmetic and round.
+//! `sqrt` is irrational; we refine a rigorous enclosure until both ends
+//! round to the same float (floats and rounding breakpoints are rational,
+//! so an irrational square root can never sit on one and the loop
+//! terminates — almost always on the first iteration).
+
+use crate::format::Format;
+use crate::round::RoundingMode;
+use crate::value::Fp;
+use numfuzz_exact::funcs::sqrt_enclosure;
+use numfuzz_exact::Rational;
+
+impl Fp {
+    /// `self + other`, correctly rounded.
+    pub fn add_fp(&self, other: &Self, mode: RoundingMode) -> Fp {
+        let format = self.format();
+        if self.is_nan() || other.is_nan() {
+            return Fp::nan(format);
+        }
+        match (self.to_rational(), other.to_rational()) {
+            (Some(a), Some(b)) => {
+                let sum = a.add(&b);
+                if sum.is_zero() {
+                    // IEEE 754 §6.3: an exact zero sum keeps the common sign
+                    // of equal-signed operands; differently-signed operands
+                    // give +0 except under roundTowardNegative.
+                    let neg = if self.is_sign_negative() == other.is_sign_negative() {
+                        self.is_sign_negative()
+                    } else {
+                        mode == RoundingMode::TowardNegative
+                    };
+                    return Fp::zero(format, neg);
+                }
+                Fp::round(&sum, format, mode)
+            }
+            (None, Some(_)) => self.clone(),
+            (Some(_), None) => other.clone(),
+            (None, None) => {
+                // inf + inf of opposite signs is NaN; same sign propagates.
+                if self.is_sign_negative() == other.is_sign_negative() {
+                    self.clone()
+                } else {
+                    Fp::nan(format)
+                }
+            }
+        }
+    }
+
+    /// `self - other`, correctly rounded.
+    pub fn sub_fp(&self, other: &Self, mode: RoundingMode) -> Fp {
+        self.add_fp(&other.neg_fp(), mode)
+    }
+
+    /// `self * other`, correctly rounded.
+    pub fn mul_fp(&self, other: &Self, mode: RoundingMode) -> Fp {
+        let format = self.format();
+        let sign = self.is_sign_negative() != other.is_sign_negative();
+        match (self.to_rational(), other.to_rational()) {
+            _ if self.is_nan() || other.is_nan() => Fp::nan(format),
+            (Some(a), Some(b)) => {
+                let prod = a.mul(&b);
+                if prod.is_zero() {
+                    return Fp::zero(format, sign); // sign is the XOR rule
+                }
+                Fp::round(&prod, format, mode)
+            }
+            // At least one infinity: inf * 0 = NaN, otherwise signed inf.
+            (a, b) => {
+                let a_zero = a.as_ref().is_some_and(|x| x.is_zero());
+                let b_zero = b.as_ref().is_some_and(|x| x.is_zero());
+                if a_zero || b_zero {
+                    Fp::nan(format)
+                } else {
+                    Fp::infinity(format, self.is_sign_negative() != other.is_sign_negative())
+                }
+            }
+        }
+    }
+
+    /// `self / other`, correctly rounded. `x/0 = ±inf` for `x != 0`;
+    /// `0/0`, `inf/inf` are NaN.
+    pub fn div_fp(&self, other: &Self, mode: RoundingMode) -> Fp {
+        let format = self.format();
+        if self.is_nan() || other.is_nan() {
+            return Fp::nan(format);
+        }
+        let sign = self.is_sign_negative() != other.is_sign_negative();
+        match (self.to_rational(), other.to_rational()) {
+            (Some(a), Some(b)) => {
+                if b.is_zero() {
+                    if a.is_zero() {
+                        Fp::nan(format)
+                    } else {
+                        Fp::infinity(format, sign)
+                    }
+                } else if a.is_zero() {
+                    Fp::zero(format, sign) // 0 / x keeps the XOR sign
+                } else {
+                    Fp::round(&a.div(&b), format, mode)
+                }
+            }
+            (None, Some(_)) => Fp::infinity(format, sign), // inf / finite
+            (Some(_), None) => Fp::zero(format, sign),     // finite / inf
+            (None, None) => Fp::nan(format),               // inf / inf
+        }
+    }
+
+    /// `sqrt(self)`, correctly rounded. NaN for negative inputs.
+    pub fn sqrt_fp(&self, mode: RoundingMode) -> Fp {
+        let format = self.format();
+        if self.is_nan() || (self.is_sign_negative() && !self.is_zero()) {
+            return Fp::nan(format);
+        }
+        if self.is_infinite() {
+            return Fp::infinity(format, false);
+        }
+        let q = self.to_rational().expect("finite");
+        if q.is_zero() {
+            return Fp::zero(format, self.is_sign_negative());
+        }
+        sqrt_round(&q, format, mode)
+    }
+
+    /// Fused multiply-add `self * b + c` with a single rounding — the FMA
+    /// operation of the paper's Section 5 example.
+    pub fn fma_fp(&self, b: &Self, c: &Self, mode: RoundingMode) -> Fp {
+        let format = self.format();
+        match (self.to_rational(), b.to_rational(), c.to_rational()) {
+            (Some(x), Some(y), Some(z)) => {
+                let sum = x.mul(&y).add(&z);
+                if sum.is_zero() {
+                    // Sign of an exact zero: the addition rule applied to
+                    // the (XOR-signed) product and the addend.
+                    let prod_neg = self.is_sign_negative() != b.is_sign_negative();
+                    let neg = if prod_neg == c.is_sign_negative() {
+                        prod_neg
+                    } else {
+                        mode == RoundingMode::TowardNegative
+                    };
+                    return Fp::zero(format, neg);
+                }
+                Fp::round(&sum, format, mode)
+            }
+            _ => {
+                // Defer special-case handling to the two-step operations;
+                // fine for infinities, and NaN propagates either way.
+                self.mul_fp(b, mode).add_fp(c, mode)
+            }
+        }
+    }
+
+}
+
+/// Correctly rounds `sqrt(q)` for a positive rational by enclosure
+/// refinement with an exactness fast path.
+fn sqrt_round(q: &Rational, format: Format, mode: RoundingMode) -> Fp {
+    let mut bits = format.precision() + 32;
+    loop {
+        let enc = sqrt_enclosure(q, bits);
+        let lo = Fp::round(enc.lo(), format, mode);
+        let hi = Fp::round(enc.hi(), format, mode);
+        if lo == hi {
+            return lo;
+        }
+        if enc.is_point() {
+            // Exact rational square root; both roundings agree by now.
+            return lo;
+        }
+        bits *= 2;
+        assert!(
+            bits <= 16 * (format.precision() + 32),
+            "sqrt enclosure refinement failed to converge (impossible for irrational roots)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    fn b64(v: f64) -> Fp {
+        Fp::from_f64(v)
+    }
+
+    #[test]
+    fn add_matches_host_rn() {
+        let cases = [(0.1, 0.2), (1e16, 1.0), (1.5, -1.5), (3.0, 4.0), (1e-300, 1e-300)];
+        for (a, b) in cases {
+            let ours = b64(a).add_fp(&b64(b), RoundingMode::NearestEven);
+            assert_eq!(ours.to_f64(), a + b, "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn mul_div_match_host_rn() {
+        let cases = [(0.1, 0.3), (1e200, 1e200), (7.0, 3.0), (-2.5, 0.3)];
+        for (a, b) in cases {
+            let m = b64(a).mul_fp(&b64(b), RoundingMode::NearestEven);
+            assert_eq!(m.to_f64().to_bits(), (a * b).to_bits(), "{a} * {b}");
+            let d = b64(a).div_fp(&b64(b), RoundingMode::NearestEven);
+            assert_eq!(d.to_f64().to_bits(), (a / b).to_bits(), "{a} / {b}");
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_host_rn() {
+        for v in [2.0, 0.1, 1e300, 1e-300, 49.0, 2.718281828] {
+            let s = b64(v).sqrt_fp(RoundingMode::NearestEven);
+            assert_eq!(s.to_f64().to_bits(), v.sqrt().to_bits(), "sqrt {v}");
+        }
+    }
+
+    #[test]
+    fn fma_single_rounding() {
+        // 1 + 2^-53 * 2^-53 rounds away in two steps but FMA keeps the tiny
+        // product: fma(2^-53, 2^-53, 1.0) vs mul-then-add.
+        let t = b64(2f64.powi(-53));
+        let one = b64(1.0);
+        let fused = t.fma_fp(&t, &one, RoundingMode::NearestEven);
+        assert_eq!(fused.to_f64(), 2f64.powi(-53).mul_add(2f64.powi(-53), 1.0));
+        // Directed rounding shows the single rounding step clearly:
+        let fused_up = t.fma_fp(&t, &one, RoundingMode::TowardPositive);
+        assert_eq!(fused_up.to_f64(), 1.0 + 2f64.powi(-52));
+    }
+
+    #[test]
+    fn standard_model_directed() {
+        // |fl(a op b) - (a op b)| <= u * |a op b| with u = 2^(1-p) (eq. 2).
+        let f = Format::BINARY64;
+        let u = f.unit_roundoff(RoundingMode::TowardPositive);
+        let pairs = [("0.1", "0.7"), ("123.456", "0.001"), ("5", "3")];
+        for (a, b) in pairs {
+            let (qa, qb) = (rat(a), rat(b));
+            let fa = Fp::round(&qa, f, RoundingMode::NearestEven);
+            let fb = Fp::round(&qb, f, RoundingMode::NearestEven);
+            let (va, vb) = (fa.to_rational().unwrap(), fb.to_rational().unwrap());
+            for mode in RoundingMode::ALL {
+                for (exact, got) in [
+                    (va.add(&vb), fa.add_fp(&fb, mode)),
+                    (va.mul(&vb), fa.mul_fp(&fb, mode)),
+                    (va.div(&vb), fa.div_fp(&fb, mode)),
+                ] {
+                    let err = got.to_rational().unwrap().sub(&exact).abs();
+                    assert!(err <= u.mul(&exact.abs()), "mode {mode}: err too large");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        let f = Format::BINARY64;
+        let inf = Fp::infinity(f, false);
+        let ninf = Fp::infinity(f, true);
+        let one = b64(1.0);
+        let zero = Fp::zero(f, false);
+        let rn = RoundingMode::NearestEven;
+        assert!(inf.add_fp(&ninf, rn).is_nan());
+        assert!(inf.add_fp(&inf, rn).is_infinite());
+        assert!(inf.sub_fp(&inf, rn).is_nan());
+        assert!(zero.mul_fp(&inf, rn).is_nan());
+        assert!(one.div_fp(&zero, rn).is_infinite());
+        assert!(zero.div_fp(&zero, rn).is_nan());
+        assert!(inf.div_fp(&inf, rn).is_nan());
+        assert!(one.div_fp(&inf, rn).is_zero());
+        assert!(ninf.sqrt_fp(rn).is_nan());
+        assert!(b64(-4.0).sqrt_fp(rn).is_nan());
+        assert!(Fp::nan(f).add_fp(&one, rn).is_nan());
+    }
+
+    #[test]
+    fn directed_division_brackets() {
+        // 1/3 in binary64: RD < exact < RU, differing by one ulp.
+        let one = b64(1.0);
+        let three = b64(3.0);
+        let up = one.div_fp(&three, RoundingMode::TowardPositive);
+        let dn = one.div_fp(&three, RoundingMode::TowardNegative);
+        assert_eq!(dn.next_up(), up);
+        let exact = rat("1/3");
+        assert!(dn.to_rational().unwrap() < exact);
+        assert!(up.to_rational().unwrap() > exact);
+    }
+
+    #[test]
+    fn sqrt_exact_results_are_exact() {
+        for mode in RoundingMode::ALL {
+            assert_eq!(b64(49.0).sqrt_fp(mode), b64(7.0));
+            assert_eq!(b64(0.25).sqrt_fp(mode), b64(0.5));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Binary floating-point formats, parameterized exactly as in the paper's
+//! Table 1: a precision `p` and a maximum exponent `emax`, with
+//! `emin = 1 - emax` (IEEE 754-2008 interchange formats).
+
+use crate::round::RoundingMode;
+use numfuzz_exact::Rational;
+use std::fmt;
+
+/// A binary floating-point format `F(p, emax)`.
+///
+/// A finite member of the format has the form `(-1)^s * m * 2^(e-p+1)` with
+/// significand `m ∈ [0, 2^p)` and exponent `e ∈ [emin, emax]` (Section 2.1,
+/// eq. 1, with base β = 2).
+///
+/// # Examples
+///
+/// ```
+/// use numfuzz_softfloat::Format;
+///
+/// let f = Format::BINARY64;
+/// assert_eq!(f.precision(), 53);
+/// assert_eq!(f.emax(), 1023);
+/// assert_eq!(f.emin(), -1022);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Format {
+    prec: u32,
+    emax: i64,
+}
+
+impl Format {
+    /// IEEE 754 binary32 (Table 1: p = 24, emax = 127).
+    pub const BINARY32: Format = Format { prec: 24, emax: 127 };
+    /// IEEE 754 binary64 (Table 1: p = 53, emax = 1023).
+    pub const BINARY64: Format = Format { prec: 53, emax: 1023 };
+    /// IEEE 754 binary128 (Table 1: p = 113, emax = 16383).
+    pub const BINARY128: Format = Format { prec: 113, emax: 16383 };
+
+    /// Builds a custom format.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prec >= 2` and `emax >= 1`.
+    pub fn new(prec: u32, emax: i64) -> Self {
+        assert!(prec >= 2, "precision must be at least 2");
+        assert!(emax >= 1, "emax must be at least 1");
+        Format { prec, emax }
+    }
+
+    /// The precision `p` (number of significand bits, hidden bit included).
+    pub fn precision(&self) -> u32 {
+        self.prec
+    }
+
+    /// The maximum exponent.
+    pub fn emax(&self) -> i64 {
+        self.emax
+    }
+
+    /// The minimum (normal) exponent, `emin = 1 - emax`.
+    pub fn emin(&self) -> i64 {
+        1 - self.emax
+    }
+
+    /// The unit roundoff for a rounding mode (paper Table 2): `2^(1-p)` for
+    /// the directed modes and `2^-p` for round-to-nearest.
+    pub fn unit_roundoff(&self, mode: RoundingMode) -> Rational {
+        match mode {
+            RoundingMode::NearestEven => Rational::pow2(-(self.prec as i64)),
+            _ => Rational::pow2(1 - self.prec as i64),
+        }
+    }
+
+    /// Machine epsilon `2^(1-p)` (the grade constant `eps` used by the Λnum
+    /// instantiation with round-toward-+∞ in Section 5).
+    pub fn machine_epsilon(&self) -> Rational {
+        Rational::pow2(1 - self.prec as i64)
+    }
+
+    /// The largest finite value, `(2 - 2^(1-p)) * 2^emax`.
+    pub fn max_finite_value(&self) -> Rational {
+        Rational::from_int(2)
+            .sub(&Rational::pow2(1 - self.prec as i64))
+            .mul(&Rational::pow2(self.emax))
+    }
+
+    /// The smallest positive normal value, `2^emin`.
+    pub fn min_normal_value(&self) -> Rational {
+        Rational::pow2(self.emin())
+    }
+
+    /// The smallest positive subnormal value, `2^(emin - p + 1)`.
+    pub fn min_subnormal_value(&self) -> Rational {
+        Rational::pow2(self.emin() - self.prec as i64 + 1)
+    }
+
+    /// Number of finite non-negative floats (useful for exhaustive tests):
+    /// `(emax - emin + 1) * 2^(p-1) + 2^(p-1)` — every exponent block holds
+    /// `2^(p-1)` values and the subnormal block (including zero) another.
+    pub fn nonnegative_count(&self) -> u128 {
+        let blocks = (self.emax - self.emin() + 1) as u128 + 1;
+        blocks * (1u128 << (self.prec - 1))
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Format::BINARY32 => write!(f, "binary32"),
+            Format::BINARY64 => write!(f, "binary64"),
+            Format::BINARY128 => write!(f, "binary128"),
+            Format { prec, emax } => write!(f, "binary(p={prec}, emax={emax})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters() {
+        // The paper's Table 1.
+        assert_eq!(Format::BINARY32.precision(), 24);
+        assert_eq!(Format::BINARY32.emax(), 127);
+        assert_eq!(Format::BINARY64.precision(), 53);
+        assert_eq!(Format::BINARY64.emax(), 1023);
+        assert_eq!(Format::BINARY128.precision(), 113);
+        assert_eq!(Format::BINARY128.emax(), 16383);
+        // emin = 1 - emax for each.
+        assert_eq!(Format::BINARY32.emin(), -126);
+        assert_eq!(Format::BINARY64.emin(), -1022);
+        assert_eq!(Format::BINARY128.emin(), -16382);
+    }
+
+    #[test]
+    fn table2_unit_roundoffs() {
+        let f = Format::BINARY64;
+        for mode in [
+            RoundingMode::TowardPositive,
+            RoundingMode::TowardNegative,
+            RoundingMode::TowardZero,
+        ] {
+            assert_eq!(f.unit_roundoff(mode), Rational::pow2(-52));
+        }
+        assert_eq!(f.unit_roundoff(RoundingMode::NearestEven), Rational::pow2(-53));
+    }
+
+    #[test]
+    fn extreme_values_match_ieee() {
+        let f = Format::BINARY64;
+        assert_eq!(f.max_finite_value().to_f64(), f64::MAX);
+        assert_eq!(f.min_normal_value().to_f64(), f64::MIN_POSITIVE);
+        assert_eq!(f.min_subnormal_value().to_f64(), 5e-324);
+    }
+
+    #[test]
+    fn tiny_format_count() {
+        // p=3, emax=2: exponents -1..=2 (4 blocks) * 4 + 4 subnormal slots.
+        let f = Format::new(3, 2);
+        assert_eq!(f.nonnegative_count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be at least 2")]
+    fn rejects_degenerate_precision() {
+        let _ = Format::new(1, 10);
+    }
+}

@@ -1,0 +1,43 @@
+//! # numfuzz-softfloat
+//!
+//! A fully parameterized software implementation of IEEE 754 binary
+//! floating point over exact rationals — the floating-point substrate used
+//! by the `numfuzz` reproduction of *Numerical Fuzz* (PLDI 2024).
+//!
+//! * [`Format`] — binary formats `F(p, emax)` with the Table 1 presets
+//!   (binary32/64/128) and arbitrary tiny formats for exhaustive testing;
+//! * [`Fp`] — NaN / ±∞ / finite values with exact [`Rational`] conversion,
+//!   ordinal indexing (for ULP error, eq. 4), and `next_up`/`next_down`;
+//! * [`RoundingMode`] and [`Fp::round`] — the four rounding operators of
+//!   Table 2, with gradual underflow and IEEE overflow semantics;
+//! * [`Fp::round_checked`] — rounding as the partial function
+//!   `ρ* : R → R ∪ {⋄}` of Section 7.1 (underflow/overflow are faults);
+//! * correctly-rounded `+ − × ÷ √` and FMA, computed exactly and rounded
+//!   once (never via host floats).
+//!
+//! ```
+//! use numfuzz_softfloat::{Fp, Format, RoundingMode};
+//!
+//! // The standard model (paper eq. 2): x ~op~ y = (x op y)(1 + δ), |δ| <= u.
+//! let x = Fp::from_f64(0.1);
+//! let y = Fp::from_f64(0.7);
+//! let z = x.add_fp(&y, RoundingMode::TowardPositive);
+//! let exact = x.to_rational().unwrap().add(&y.to_rational().unwrap());
+//! let delta = z.to_rational().unwrap().sub(&exact).div(&exact);
+//! assert!(delta.abs() <= Format::BINARY64.unit_roundoff(RoundingMode::TowardPositive));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod format;
+mod round;
+mod value;
+
+pub use format::Format;
+pub use round::{RoundingFault, RoundingMode};
+pub use value::{Fp, FpClass};
+
+// Re-exported for downstream convenience (metrics, interp).
+pub use numfuzz_exact::Rational;

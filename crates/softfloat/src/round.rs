@@ -1,0 +1,417 @@
+//! Rounding operators (the paper's Table 2).
+//!
+//! [`Fp::round`] maps an arbitrary exact [`Rational`] to a member of the
+//! format under one of the four IEEE rounding modes, handling subnormals and
+//! overflow exactly as IEEE 754 prescribes. [`Fp::round_checked`] instead
+//! reports underflow/overflow as a [`RoundingFault`] — this is the rounding
+//! function `ρ* : R → R ∪ {⋄}` of the paper's Section 7.1, where the
+//! standard model (eq. 2) stops being valid.
+
+use crate::format::Format;
+use crate::value::Fp;
+use numfuzz_exact::{BigUint, Rational};
+use std::fmt;
+
+/// IEEE 754 rounding modes (paper Table 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RoundingMode {
+    /// Round toward +∞: `min { y ∈ F | y >= x }`.
+    TowardPositive,
+    /// Round toward -∞: `max { y ∈ F | y <= x }`.
+    TowardNegative,
+    /// Round toward 0.
+    TowardZero,
+    /// Round to nearest, ties to even.
+    NearestEven,
+}
+
+impl RoundingMode {
+    /// All four modes, in Table 2 order.
+    pub const ALL: [RoundingMode; 4] = [
+        RoundingMode::TowardPositive,
+        RoundingMode::TowardNegative,
+        RoundingMode::TowardZero,
+        RoundingMode::NearestEven,
+    ];
+
+    /// The paper's notation for the mode.
+    pub fn notation(&self) -> &'static str {
+        match self {
+            RoundingMode::TowardPositive => "ρ_RU",
+            RoundingMode::TowardNegative => "ρ_RD",
+            RoundingMode::TowardZero => "ρ_RZ",
+            RoundingMode::NearestEven => "ρ_RN",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoundingMode::TowardPositive => "round toward +inf",
+            RoundingMode::TowardNegative => "round toward -inf",
+            RoundingMode::TowardZero => "round toward 0",
+            RoundingMode::NearestEven => "round to nearest (ties to even)",
+        }
+    }
+}
+
+impl fmt::Display for RoundingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Exceptional outcomes of [`Fp::round_checked`] — the `⋄` of Section 7.1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RoundingFault {
+    /// The magnitude exceeds the largest finite float.
+    Overflow,
+    /// The nonzero magnitude falls below the smallest positive normal float,
+    /// where the standard model's relative-error guarantee breaks down.
+    Underflow,
+}
+
+impl fmt::Display for RoundingFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoundingFault::Overflow => write!(f, "overflow"),
+            RoundingFault::Underflow => write!(f, "underflow"),
+        }
+    }
+}
+
+impl std::error::Error for RoundingFault {}
+
+impl Fp {
+    /// Rounds an exact rational to the format under `mode`, with full IEEE
+    /// semantics (gradual underflow; overflow to ±∞ or ±max depending on
+    /// the mode).
+    pub fn round(q: &Rational, format: Format, mode: RoundingMode) -> Fp {
+        if q.is_zero() {
+            return Fp::zero(format, false);
+        }
+        let neg = q.is_negative();
+        let mag = q.abs();
+        let p = format.precision() as i64;
+
+        // Exponent e with 2^e <= mag < 2^(e+1).
+        let mut e = mag.numer().magnitude().bit_len() as i64 - mag.denom().bit_len() as i64;
+        if mag < Rational::pow2(e) {
+            e -= 1;
+        } else if mag >= Rational::pow2(e + 1) {
+            e += 1;
+        }
+        debug_assert!(Rational::pow2(e) <= mag && mag < Rational::pow2(e + 1));
+
+        // Subnormal range: quantize against emin instead.
+        let e_eff = e.max(format.emin());
+
+        // m2 = floor(mag * 2^(p - e_eff)): the significand with one extra
+        // (rounding) bit; `exact` records whether anything lies below it.
+        let scale = p - e_eff;
+        let m2 = mag.floor_mul_pow2(scale);
+        let exact = Rational::from(m2.clone()).mul(&Rational::pow2(-scale)) == mag;
+        let m2 = m2.into_magnitude();
+        let round_bit = !m2.is_even();
+        let m0 = m2.shr_bits(1);
+
+        // "exactly representable at this quantum" = no round bit and no
+        // residue below it; directed modes must not move such values.
+        let representable = exact && !round_bit;
+        let round_away = match mode {
+            RoundingMode::TowardZero => false,
+            RoundingMode::TowardPositive => !neg && !representable,
+            RoundingMode::TowardNegative => neg && !representable,
+            RoundingMode::NearestEven => {
+                if !round_bit {
+                    false // fraction < 1/2
+                } else if !exact {
+                    true // fraction > 1/2
+                } else {
+                    !m0.is_even() // exactly 1/2: ties to even
+                }
+            }
+        };
+        let mut m = if round_away && !representable {
+            m0.add(&BigUint::one())
+        } else {
+            m0
+        };
+
+        let mut e_final = e_eff;
+        if m.bit_len() as i64 > p {
+            // Carry out of the significand: 2^p -> 2^(p-1) at e+1.
+            m = m.shr_bits(1);
+            e_final += 1;
+        }
+
+        if e_final > format.emax() {
+            return Fp::overflow_result(format, neg, mode);
+        }
+        // Quantizing at e_eff >= emin always yields a full significand for
+        // normal-range inputs, so anything unnormalized is subnormal.
+        debug_assert!(m.bit_len() as i64 == p || e_final == format.emin());
+        Fp::from_parts(format, neg, e_final, m)
+    }
+
+    fn overflow_result(format: Format, neg: bool, mode: RoundingMode) -> Fp {
+        match (mode, neg) {
+            (RoundingMode::NearestEven, _) => Fp::infinity(format, neg),
+            (RoundingMode::TowardZero, _) => Fp::max_finite(format, neg),
+            (RoundingMode::TowardPositive, false) => Fp::infinity(format, false),
+            (RoundingMode::TowardPositive, true) => Fp::max_finite(format, true),
+            (RoundingMode::TowardNegative, false) => Fp::max_finite(format, false),
+            (RoundingMode::TowardNegative, true) => Fp::infinity(format, true),
+        }
+    }
+
+    /// Rounds like [`Fp::round`] but reports the regimes where the standard
+    /// model (eq. 2) is invalid: overflow, and nonzero magnitudes below the
+    /// normal range (underflow).
+    ///
+    /// # Errors
+    ///
+    /// [`RoundingFault::Overflow`] if `|q|` exceeds the largest finite
+    /// float; [`RoundingFault::Underflow`] if `0 < |q| < 2^emin`.
+    pub fn round_checked(q: &Rational, format: Format, mode: RoundingMode) -> Result<Fp, RoundingFault> {
+        if !q.is_zero() && q.abs() < format.min_normal_value() {
+            return Err(RoundingFault::Underflow);
+        }
+        if q.abs() > format.max_finite_value() {
+            return Err(RoundingFault::Overflow);
+        }
+        let r = Fp::round(q, format, mode);
+        if r.is_infinite() {
+            return Err(RoundingFault::Overflow);
+        }
+        Ok(r)
+    }
+
+    /// Convenience: round and return the exact value of the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounding overflows to ±∞ (use [`Fp::round_checked`] to
+    /// handle that case).
+    pub fn round_to_rational(q: &Rational, format: Format, mode: RoundingMode) -> Rational {
+        Fp::round(q, format, mode)
+            .to_rational()
+            .expect("rounding overflowed to infinity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        Rational::from_decimal_str(s).expect("valid test literal")
+    }
+
+    /// Brute-force reference: enumerate all finite floats of a tiny format
+    /// and apply the Table 2 definitions literally.
+    fn reference_round(q: &Rational, format: Format, mode: RoundingMode) -> Fp {
+        let mut floats = Vec::new();
+        let mut cur = Fp::max_finite(format, true);
+        loop {
+            floats.push(cur.clone());
+            if cur == Fp::max_finite(format, false) {
+                break;
+            }
+            cur = cur.next_up();
+        }
+        let vals: Vec<Rational> = floats.iter().map(|f| f.to_rational().unwrap()).collect();
+        match mode {
+            RoundingMode::TowardPositive => {
+                for (f, v) in floats.iter().zip(&vals) {
+                    if v >= q {
+                        return f.clone();
+                    }
+                }
+                Fp::infinity(format, false)
+            }
+            RoundingMode::TowardNegative => {
+                for (f, v) in floats.iter().zip(&vals).rev() {
+                    if v <= q {
+                        return f.clone();
+                    }
+                }
+                Fp::infinity(format, true)
+            }
+            RoundingMode::TowardZero => {
+                if q.is_negative() {
+                    reference_round(q, format, RoundingMode::TowardPositive)
+                } else {
+                    reference_round(q, format, RoundingMode::TowardNegative)
+                }
+            }
+            RoundingMode::NearestEven => {
+                let mut best: Option<(Fp, Rational)> = None;
+                for (f, v) in floats.iter().zip(&vals) {
+                    let d = v.sub(q).abs();
+                    best = match best {
+                        None => Some((f.clone(), d)),
+                        Some((bf, bd)) => {
+                            if d < bd {
+                                Some((f.clone(), d))
+                            } else if d == bd {
+                                // tie: prefer even significand
+                                let even = |x: &Fp| {
+                                    x.to_rational()
+                                        .unwrap()
+                                        .div(&x.ulp())
+                                        .floor()
+                                        .magnitude()
+                                        .is_even()
+                                };
+                                if even(f) {
+                                    Some((f.clone(), d))
+                                } else {
+                                    Some((bf, bd))
+                                }
+                            } else {
+                                Some((bf, bd))
+                            }
+                        }
+                    };
+                }
+                let (best_fp, best_d) = best.unwrap();
+                // IEEE 754 §4.3.1: magnitude >= maxfinite + ulp/2 rounds to
+                // infinity (the would-be tie goes to the even 2^p).
+                let half_ulp = Fp::max_finite(format, false).ulp().div(&rat("2"));
+                if best_fp == Fp::max_finite(format, false)
+                    && q >= &vals.last().unwrap().add(&half_ulp)
+                {
+                    return Fp::infinity(format, false);
+                }
+                if best_fp == Fp::max_finite(format, true)
+                    && q <= &vals.first().unwrap().sub(&half_ulp)
+                {
+                    return Fp::infinity(format, true);
+                }
+                let _ = best_d;
+                best_fp
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_tiny_format_against_reference() {
+        let f = Format::new(3, 2);
+        // Probe a dense grid well beyond the format's range, including
+        // midpoints (denominator 16 hits every tie for p=3).
+        let mut q = rat("-9");
+        let step = rat("1/16");
+        while q <= rat("9") {
+            for mode in RoundingMode::ALL {
+                let got = Fp::round(&q, f, mode);
+                let want = reference_round(&q, f, mode);
+                // The enumeration-based reference does not model IEEE's
+                // sign-of-zero rule, so zeros compare numerically only.
+                if got.is_zero() && want.is_zero() {
+                    continue;
+                }
+                assert_eq!(
+                    got, want,
+                    "mode {mode}: rounding {q} gave {got}, reference {want}"
+                );
+            }
+            q = q.add(&step);
+        }
+    }
+
+    #[test]
+    fn representable_values_are_fixed_points() {
+        let f = Format::new(4, 3);
+        let mut cur = Fp::min_subnormal(f, false);
+        while cur != Fp::max_finite(f, false) {
+            let v = cur.to_rational().unwrap();
+            for mode in RoundingMode::ALL {
+                assert_eq!(Fp::round(&v, f, mode), cur, "mode {mode} moved {v}");
+            }
+            cur = cur.next_up();
+        }
+    }
+
+    #[test]
+    fn directed_modes_bracket() {
+        let f = Format::BINARY64;
+        let q = rat("0.1");
+        let up = Fp::round(&q, f, RoundingMode::TowardPositive).to_rational().unwrap();
+        let dn = Fp::round(&q, f, RoundingMode::TowardNegative).to_rational().unwrap();
+        assert!(dn < q && q < up);
+        assert_eq!(up.sub(&dn), Fp::round(&q, f, RoundingMode::NearestEven).ulp());
+        // Standard model: |round(x) - x| <= u * |x| with u = 2^(1-p) directed.
+        let u = f.unit_roundoff(RoundingMode::TowardPositive);
+        assert!(up.sub(&q) <= u.mul(&q));
+        assert!(q.sub(&dn) <= u.mul(&q));
+    }
+
+    #[test]
+    fn nearest_ties_to_even() {
+        let f = Format::new(3, 3);
+        // Significands at e=0 step by 1/4: 1, 1.25, 1.5, ... midpoint 1.125
+        // lies between 1.0 (mant 4, even) and 1.25 (mant 5, odd) -> 1.0.
+        assert_eq!(
+            Fp::round(&rat("1.125"), f, RoundingMode::NearestEven).to_rational().unwrap(),
+            rat("1")
+        );
+        // Midpoint 1.375 between 1.25 (odd) and 1.5 (mant 6, even) -> 1.5.
+        assert_eq!(
+            Fp::round(&rat("1.375"), f, RoundingMode::NearestEven).to_rational().unwrap(),
+            rat("1.5")
+        );
+    }
+
+    #[test]
+    fn overflow_per_mode() {
+        let f = Format::new(3, 2);
+        let big = rat("100");
+        assert!(Fp::round(&big, f, RoundingMode::NearestEven).is_infinite());
+        assert!(Fp::round(&big, f, RoundingMode::TowardPositive).is_infinite());
+        assert_eq!(Fp::round(&big, f, RoundingMode::TowardNegative), Fp::max_finite(f, false));
+        assert_eq!(Fp::round(&big, f, RoundingMode::TowardZero), Fp::max_finite(f, false));
+        let small = big.neg();
+        assert!(Fp::round(&small, f, RoundingMode::TowardNegative).is_infinite());
+        assert_eq!(Fp::round(&small, f, RoundingMode::TowardPositive), Fp::max_finite(f, true));
+    }
+
+    #[test]
+    fn gradual_underflow() {
+        let f = Format::new(3, 2);
+        // min subnormal = 2^(emin - p + 1) = 2^(-1-2) = 1/8.
+        assert_eq!(f.min_subnormal_value(), rat("1/8"));
+        let tiny_val = rat("1/20");
+        let up = Fp::round(&tiny_val, f, RoundingMode::TowardPositive);
+        assert_eq!(up, Fp::min_subnormal(f, false));
+        let dn = Fp::round(&tiny_val, f, RoundingMode::TowardNegative);
+        assert!(dn.is_zero());
+    }
+
+    #[test]
+    fn round_checked_faults() {
+        let f = Format::new(3, 2);
+        assert_eq!(
+            Fp::round_checked(&rat("100"), f, RoundingMode::NearestEven),
+            Err(RoundingFault::Overflow)
+        );
+        assert_eq!(
+            Fp::round_checked(&rat("1/20"), f, RoundingMode::NearestEven),
+            Err(RoundingFault::Underflow)
+        );
+        assert!(Fp::round_checked(&rat("1.1"), f, RoundingMode::NearestEven).is_ok());
+        assert!(Fp::round_checked(&Rational::zero(), f, RoundingMode::NearestEven).is_ok());
+    }
+
+    #[test]
+    fn binary64_matches_host_parsing() {
+        // Host f64 literals are round-to-nearest; our RN rounding of the
+        // exact decimal must agree bit for bit.
+        for s in ["0.1", "0.2", "0.3", "1e-7", "123456.789", "2.2250738585072014e-308"] {
+            let q = rat(s);
+            let ours = Fp::round(&q, Format::BINARY64, RoundingMode::NearestEven);
+            let host: f64 = s.parse().unwrap();
+            assert_eq!(ours.to_f64().to_bits(), host.to_bits(), "literal {s}");
+        }
+    }
+}

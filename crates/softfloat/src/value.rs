@@ -1,0 +1,518 @@
+//! Software floating-point values.
+//!
+//! An [`Fp`] pairs a [`Format`] with a canonical representation: NaN, signed
+//! infinity, or a finite value `(-1)^s * m * 2^(e-p+1)`. Every finite value
+//! converts exactly to a [`Rational`], which is how all arithmetic is
+//! actually performed (compute exactly, then round).
+
+use crate::format::Format;
+use numfuzz_exact::{BigInt, BigUint, Rational, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Classification of an [`Fp`] value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FpClass {
+    /// Not a number.
+    Nan,
+    /// Positive or negative infinity.
+    Infinite,
+    /// ±0.
+    Zero,
+    /// Nonzero with `e = emin` and a small significand.
+    Subnormal,
+    /// Nonzero with a full significand.
+    Normal,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Repr {
+    Nan,
+    Inf { neg: bool },
+    /// `(-1)^neg * mant * 2^(exp - p + 1)`; invariants:
+    /// `mant < 2^p`, and `mant >= 2^(p-1)` unless `exp == emin`;
+    /// zero is `mant == 0, exp == emin` (sign kept for ±0).
+    Finite { neg: bool, exp: i64, mant: BigUint },
+}
+
+/// A software floating-point number in a specific [`Format`].
+///
+/// Equality and hashing are *structural* (they distinguish `+0` from `-0`
+/// and treat `NaN == NaN`), which is what tests and table generation want;
+/// use [`Fp::num_cmp`] for IEEE-style numeric comparison.
+///
+/// # Examples
+///
+/// ```
+/// use numfuzz_softfloat::{Fp, Format, RoundingMode};
+/// use numfuzz_exact::Rational;
+///
+/// // 0.1 is not representable in binary64; rounding toward +∞ gives the
+/// // next float up from the nearest.
+/// let q = Rational::from_decimal_str("0.1")?;
+/// let up = Fp::round(&q, Format::BINARY64, RoundingMode::TowardPositive);
+/// let dn = Fp::round(&q, Format::BINARY64, RoundingMode::TowardNegative);
+/// assert!(dn.to_rational().unwrap() < q);
+/// assert!(up.to_rational().unwrap() > q);
+/// assert_eq!(dn.next_up(), up);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Fp {
+    format: Format,
+    repr: Repr,
+}
+
+impl Fp {
+    /// The NaN of the format.
+    pub fn nan(format: Format) -> Self {
+        Fp { format, repr: Repr::Nan }
+    }
+
+    /// ±∞.
+    pub fn infinity(format: Format, negative: bool) -> Self {
+        Fp { format, repr: Repr::Inf { neg: negative } }
+    }
+
+    /// ±0.
+    pub fn zero(format: Format, negative: bool) -> Self {
+        Fp { format, repr: Repr::Finite { neg: negative, exp: format.emin(), mant: BigUint::zero() } }
+    }
+
+    /// The largest finite value, `±(2 - 2^(1-p)) * 2^emax`.
+    pub fn max_finite(format: Format, negative: bool) -> Self {
+        let mant = BigUint::one().shl_bits(format.precision() as u64).sub(&BigUint::one());
+        Fp { format, repr: Repr::Finite { neg: negative, exp: format.emax(), mant } }
+    }
+
+    /// The smallest positive (or negative) subnormal.
+    pub fn min_subnormal(format: Format, negative: bool) -> Self {
+        Fp { format, repr: Repr::Finite { neg: negative, exp: format.emin(), mant: BigUint::one() } }
+    }
+
+    /// Builds a finite value from parts, checking the canonical invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exponent is out of range, the significand does not fit
+    /// in `p` bits, or a non-`emin` exponent has an unnormalized significand.
+    pub fn from_parts(format: Format, negative: bool, exp: i64, mant: BigUint) -> Self {
+        let p = format.precision() as u64;
+        assert!(exp >= format.emin() && exp <= format.emax(), "exponent out of range");
+        assert!(mant.bit_len() <= p, "significand too wide");
+        if exp != format.emin() {
+            assert!(mant.bit_len() == p, "unnormalized significand");
+        }
+        if mant.is_zero() {
+            Fp::zero(format, negative)
+        } else {
+            Fp { format, repr: Repr::Finite { neg: negative, exp, mant } }
+        }
+    }
+
+    /// The format this value lives in.
+    pub fn format(&self) -> Format {
+        self.format
+    }
+
+    /// Classifies the value.
+    pub fn classify(&self) -> FpClass {
+        match &self.repr {
+            Repr::Nan => FpClass::Nan,
+            Repr::Inf { .. } => FpClass::Infinite,
+            Repr::Finite { mant, exp, .. } => {
+                if mant.is_zero() {
+                    FpClass::Zero
+                } else if *exp == self.format.emin() && mant.bit_len() < self.format.precision() as u64 {
+                    FpClass::Subnormal
+                } else {
+                    FpClass::Normal
+                }
+            }
+        }
+    }
+
+    /// Whether the value is NaN.
+    pub fn is_nan(&self) -> bool {
+        matches!(self.repr, Repr::Nan)
+    }
+
+    /// Whether the value is ±∞.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self.repr, Repr::Inf { .. })
+    }
+
+    /// Whether the value is finite (zero, subnormal or normal).
+    pub fn is_finite(&self) -> bool {
+        matches!(self.repr, Repr::Finite { .. })
+    }
+
+    /// Whether the value is ±0.
+    pub fn is_zero(&self) -> bool {
+        matches!(&self.repr, Repr::Finite { mant, .. } if mant.is_zero())
+    }
+
+    /// The sign bit (true for negative, including -0 and -∞; false for NaN).
+    pub fn is_sign_negative(&self) -> bool {
+        match &self.repr {
+            Repr::Nan => false,
+            Repr::Inf { neg } => *neg,
+            Repr::Finite { neg, .. } => *neg,
+        }
+    }
+
+    /// The exact rational value; `None` for NaN and ±∞.
+    pub fn to_rational(&self) -> Option<Rational> {
+        match &self.repr {
+            Repr::Finite { neg, exp, mant } => {
+                if mant.is_zero() {
+                    return Some(Rational::zero());
+                }
+                let sign = if *neg { Sign::Minus } else { Sign::Plus };
+                let m = Rational::from(BigInt::from_sign_mag(sign, mant.clone()));
+                Some(m.mul(&Rational::pow2(exp - self.format.precision() as i64 + 1)))
+            }
+            _ => None,
+        }
+    }
+
+    /// The unit in the last place of this value: `2^(e - p + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for NaN and infinities.
+    pub fn ulp(&self) -> Rational {
+        match &self.repr {
+            Repr::Finite { exp, .. } => Rational::pow2(exp - self.format.precision() as i64 + 1),
+            _ => panic!("ulp of a non-finite value"),
+        }
+    }
+
+    /// Signed ordinal index: 0 for ±0, +k for the k-th positive float, -k
+    /// for the k-th negative float. Adjacent finite floats differ by 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics for NaN and infinities.
+    pub fn ordinal(&self) -> BigInt {
+        match &self.repr {
+            Repr::Finite { neg, exp, mant } => {
+                if mant.is_zero() {
+                    return BigInt::zero();
+                }
+                // idx = m + (e - emin)*2^(p-1): normals carry their hidden
+                // bit 2^(p-1) inside m, which makes consecutive floats map
+                // to consecutive integers across exponent boundaries.
+                let block = BigUint::from((exp - self.format.emin()) as u64)
+                    .shl_bits(self.format.precision() as u64 - 1);
+                let idx = block.add(mant);
+                BigInt::from_sign_mag(if *neg { Sign::Minus } else { Sign::Plus }, idx)
+            }
+            _ => panic!("ordinal of a non-finite value"),
+        }
+    }
+
+    /// Inverse of [`Fp::ordinal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ordinal is out of the finite range of the format.
+    pub fn from_ordinal(format: Format, ord: &BigInt) -> Self {
+        if ord.is_zero() {
+            return Fp::zero(format, false);
+        }
+        let neg = ord.is_negative();
+        let idx = ord.magnitude().clone();
+        let half_block = BigUint::one().shl_bits(format.precision() as u64 - 1);
+        let (block, mant) = idx.div_rem(&half_block);
+        let block = block.to_u64().expect("ordinal block fits u64") as i64;
+        // Values with idx < 2^(p-1) are subnormal (block 0); otherwise the
+        // significand regains its hidden bit.
+        let (exp, mant) = if block == 0 {
+            (format.emin(), mant)
+        } else {
+            (format.emin() + block - 1, mant.add(&half_block))
+        };
+        assert!(exp <= format.emax(), "ordinal beyond the largest finite float");
+        Fp::from_parts(format, neg, exp, mant)
+    }
+
+    /// The next float toward +∞ (saturating at +∞; `-min_subnormal.next_up()`
+    /// is -0 is skipped: ordinals make `-1 → 0 → +1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for NaN.
+    pub fn next_up(&self) -> Self {
+        match &self.repr {
+            Repr::Nan => panic!("next_up of NaN"),
+            Repr::Inf { neg: false } => self.clone(),
+            Repr::Inf { neg: true } => Fp::max_finite(self.format, true),
+            Repr::Finite { .. } => {
+                if self == &Fp::max_finite(self.format, false) {
+                    return Fp::infinity(self.format, false);
+                }
+                let ord = self.ordinal().add(&BigInt::one());
+                Fp::from_ordinal(self.format, &ord)
+            }
+        }
+    }
+
+    /// The next float toward -∞.
+    ///
+    /// # Panics
+    ///
+    /// Panics for NaN.
+    pub fn next_down(&self) -> Self {
+        match &self.repr {
+            Repr::Nan => panic!("next_down of NaN"),
+            Repr::Inf { neg: true } => self.clone(),
+            Repr::Inf { neg: false } => Fp::max_finite(self.format, false),
+            Repr::Finite { .. } => {
+                if self == &Fp::max_finite(self.format, true) {
+                    return Fp::infinity(self.format, true);
+                }
+                let ord = self.ordinal().sub(&BigInt::one());
+                Fp::from_ordinal(self.format, &ord)
+            }
+        }
+    }
+
+    /// Sign negation (NaN stays NaN; ±0 flips sign, ±∞ flips side).
+    pub fn neg_fp(&self) -> Self {
+        match &self.repr {
+            Repr::Nan => self.clone(),
+            Repr::Inf { neg } => Fp::infinity(self.format, !neg),
+            Repr::Finite { neg, exp, mant } => Fp {
+                format: self.format,
+                repr: Repr::Finite { neg: !neg, exp: *exp, mant: mant.clone() },
+            },
+        }
+    }
+
+    /// IEEE-style numeric comparison (`None` if either side is NaN;
+    /// `-0 == +0`).
+    pub fn num_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (&self.repr, &other.repr) {
+            (Repr::Nan, _) | (_, Repr::Nan) => None,
+            (Repr::Inf { neg: a }, Repr::Inf { neg: b }) => Some(b.cmp(a)),
+            (Repr::Inf { neg }, _) => Some(if *neg { Ordering::Less } else { Ordering::Greater }),
+            (_, Repr::Inf { neg }) => Some(if *neg { Ordering::Greater } else { Ordering::Less }),
+            _ => {
+                let a = self.to_rational().expect("finite");
+                let b = other.to_rational().expect("finite");
+                Some(a.cmp(&b))
+            }
+        }
+    }
+
+    /// Number of floats of the format in the closed interval spanned by two
+    /// finite values — the paper's ULP error `err_ulp` (eq. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics for NaN or infinities.
+    pub fn floats_between(&self, other: &Self) -> BigUint {
+        let a = self.ordinal();
+        let b = other.ordinal();
+        let diff = a.sub(&b).abs().into_magnitude();
+        diff.add(&BigUint::one())
+    }
+
+    /// Converts a host `f64` into a binary64 [`Fp`] exactly.
+    pub fn from_f64(v: f64) -> Self {
+        let format = Format::BINARY64;
+        if v.is_nan() {
+            return Fp::nan(format);
+        }
+        if v.is_infinite() {
+            return Fp::infinity(format, v.is_sign_negative());
+        }
+        let bits = v.to_bits();
+        let neg = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        if biased == 0 {
+            // Subnormal (or zero): value = frac * 2^(emin - 52).
+            Fp::from_parts(format, neg, format.emin(), BigUint::from(frac))
+        } else {
+            let mant = BigUint::from(frac | (1u64 << 52));
+            Fp::from_parts(format, neg, biased - 1023, mant)
+        }
+    }
+
+    /// Converts a binary64 [`Fp`] to a host `f64` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format is not binary64.
+    pub fn to_f64(&self) -> f64 {
+        assert_eq!(self.format, Format::BINARY64, "to_f64 requires binary64");
+        match &self.repr {
+            Repr::Nan => f64::NAN,
+            Repr::Inf { neg } => {
+                if *neg {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Repr::Finite { neg, exp, mant } => {
+                let m = mant.to_u64().expect("53-bit significand fits u64");
+                let mag = if m >= 1u64 << 52 {
+                    let biased = (exp + 1023) as u64;
+                    f64::from_bits((biased << 52) | (m & ((1u64 << 52) - 1)))
+                } else {
+                    f64::from_bits(m) // subnormal: exp field 0
+                };
+                if *neg {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.repr {
+            Repr::Nan => write!(f, "NaN"),
+            Repr::Inf { neg } => write!(f, "{}inf", if *neg { "-" } else { "+" }),
+            Repr::Finite { neg, exp, mant } => {
+                if mant.is_zero() {
+                    write!(f, "{}0", if *neg { "-" } else { "+" })
+                } else {
+                    write!(
+                        f,
+                        "{}{}*2^{}",
+                        if *neg { "-" } else { "" },
+                        mant,
+                        exp - self.format.precision() as i64 + 1
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp[{}]({})", self.format, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Format {
+        Format::new(3, 2)
+    }
+
+    #[test]
+    fn zero_and_extremes() {
+        let f = tiny();
+        assert!(Fp::zero(f, false).is_zero());
+        assert!(Fp::zero(f, true).is_sign_negative());
+        assert_eq!(Fp::max_finite(f, false).to_rational().unwrap(), f.max_finite_value());
+        assert_eq!(Fp::min_subnormal(f, false).to_rational().unwrap(), f.min_subnormal_value());
+    }
+
+    #[test]
+    fn ordinal_walk_is_monotone_and_adjacent() {
+        let f = tiny();
+        let mut cur = Fp::zero(f, false);
+        let mut prev_val = Rational::zero();
+        let mut count = 0u32;
+        loop {
+            let next = cur.next_up();
+            if next.is_infinite() {
+                break;
+            }
+            let v = next.to_rational().unwrap();
+            assert!(v > prev_val, "floats must increase");
+            assert_eq!(next.ordinal(), cur.ordinal().add(&BigInt::one()));
+            assert_eq!(Fp::from_ordinal(f, &next.ordinal()), next);
+            prev_val = v;
+            cur = next;
+            count += 1;
+        }
+        // p=3, emax=2 → 19 positive floats (see Format::nonnegative_count).
+        assert_eq!(count, 19);
+        assert_eq!(cur, Fp::max_finite(f, false));
+    }
+
+    #[test]
+    fn next_up_crosses_zero() {
+        let f = tiny();
+        let neg_min = Fp::min_subnormal(f, true);
+        assert!(neg_min.next_up().is_zero());
+        assert_eq!(Fp::zero(f, false).next_up(), Fp::min_subnormal(f, false));
+        assert_eq!(Fp::zero(f, false).next_down(), Fp::min_subnormal(f, true));
+        assert_eq!(Fp::max_finite(f, false).next_up(), Fp::infinity(f, false));
+        assert_eq!(Fp::infinity(f, true).next_up(), Fp::max_finite(f, true));
+    }
+
+    #[test]
+    fn classify_cases() {
+        let f = tiny();
+        assert_eq!(Fp::nan(f).classify(), FpClass::Nan);
+        assert_eq!(Fp::infinity(f, false).classify(), FpClass::Infinite);
+        assert_eq!(Fp::zero(f, true).classify(), FpClass::Zero);
+        assert_eq!(Fp::min_subnormal(f, false).classify(), FpClass::Subnormal);
+        assert_eq!(Fp::max_finite(f, false).classify(), FpClass::Normal);
+    }
+
+    #[test]
+    fn floats_between_counts_inclusive() {
+        let f = tiny();
+        let a = Fp::min_subnormal(f, false);
+        let b = a.next_up().next_up();
+        assert_eq!(a.floats_between(&b), BigUint::from(3u32));
+        assert_eq!(a.floats_between(&a), BigUint::from(1u32));
+        // Across zero: -min .. +min spans 3 floats (-min, 0, +min).
+        let n = Fp::min_subnormal(f, true);
+        assert_eq!(n.floats_between(&a), BigUint::from(3u32));
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [0.0, -0.0, 1.0, -1.5, 0.1, f64::MAX, f64::MIN_POSITIVE, 5e-324, 1e308] {
+            let fp = Fp::from_f64(v);
+            assert_eq!(fp.to_f64().to_bits(), v.to_bits(), "roundtrip {v}");
+            if v != 0.0 {
+                let q = fp.to_rational().unwrap();
+                assert_eq!(q.to_f64(), v);
+            }
+        }
+        assert!(Fp::from_f64(f64::NAN).is_nan());
+        assert!(Fp::from_f64(f64::INFINITY).is_infinite());
+        assert!(Fp::from_f64(f64::NEG_INFINITY).is_sign_negative());
+    }
+
+    #[test]
+    fn num_cmp_ieee_semantics() {
+        let f = tiny();
+        assert_eq!(Fp::zero(f, true).num_cmp(&Fp::zero(f, false)), Some(Ordering::Equal));
+        assert_eq!(Fp::nan(f).num_cmp(&Fp::zero(f, false)), None);
+        assert_eq!(
+            Fp::infinity(f, true).num_cmp(&Fp::max_finite(f, true)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Fp::infinity(f, false).num_cmp(&Fp::infinity(f, false)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn ulp_scales_with_exponent() {
+        let f = Format::BINARY64;
+        assert_eq!(Fp::from_f64(1.0).ulp(), Rational::pow2(-52));
+        assert_eq!(Fp::from_f64(2.0).ulp(), Rational::pow2(-51));
+        assert_eq!(Fp::from_f64(0.5).ulp(), Rational::pow2(-53));
+        let _ = f;
+    }
+}

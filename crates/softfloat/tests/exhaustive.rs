@@ -1,0 +1,156 @@
+//! Exhaustive verification on tiny formats, where the whole float set can
+//! be enumerated: correctly-rounded square root against a brute-force
+//! definition, and the standard model over every pair of floats.
+
+use numfuzz_exact::Rational;
+use numfuzz_softfloat::{Format, Fp, RoundingMode};
+
+/// All strictly positive finite floats of a format.
+fn positive_floats(f: Format) -> Vec<Fp> {
+    let mut out = Vec::new();
+    let mut cur = Fp::min_subnormal(f, false);
+    loop {
+        out.push(cur.clone());
+        if cur == Fp::max_finite(f, false) {
+            break;
+        }
+        cur = cur.next_up();
+    }
+    out
+}
+
+/// Brute-force correctly-rounded sqrt: choose among all floats by the
+/// Table 2 definitions, comparing squares (exact rational arithmetic).
+fn reference_sqrt(x: &Rational, f: Format, mode: RoundingMode) -> Fp {
+    let candidates = positive_floats(f);
+    match mode {
+        RoundingMode::TowardPositive => {
+            // min { y | y >= sqrt(x) } = min { y | y^2 >= x }.
+            for y in &candidates {
+                let v = y.to_rational().unwrap();
+                if v.mul(&v) >= *x {
+                    return y.clone();
+                }
+            }
+            Fp::infinity(f, false)
+        }
+        RoundingMode::TowardNegative | RoundingMode::TowardZero => {
+            // max { y | y <= sqrt(x) } = max { y | y^2 <= x } (sqrt >= 0,
+            // so RZ coincides with RD).
+            let mut best = Fp::zero(f, false);
+            for y in &candidates {
+                let v = y.to_rational().unwrap();
+                if v.mul(&v) <= *x {
+                    best = y.clone();
+                } else {
+                    break;
+                }
+            }
+            best
+        }
+        RoundingMode::NearestEven => {
+            // Between the RD/RU neighbours, compare x against the square
+            // of their midpoint; ties go to the even significand.
+            let dn = reference_sqrt(x, f, RoundingMode::TowardNegative);
+            let up = reference_sqrt(x, f, RoundingMode::TowardPositive);
+            if dn == up {
+                return dn;
+            }
+            let vd = dn.to_rational().unwrap();
+            let vu = up.to_rational().unwrap();
+            let mid = vd.add(&vu).div(&Rational::from_int(2));
+            let mid2 = mid.mul(&mid);
+            if *x > mid2 {
+                up
+            } else if *x < mid2 {
+                dn
+            } else {
+                // Exact tie: pick the even significand (integral quotient
+                // of value by its own ulp is even).
+                let even = |y: &Fp| {
+                    y.to_rational().unwrap().div(&y.ulp()).floor().magnitude().is_even()
+                };
+                if even(&dn) {
+                    dn
+                } else {
+                    up
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sqrt_correctly_rounded_exhaustively() {
+    let f = Format::new(4, 4);
+    for x in positive_floats(f) {
+        let q = x.to_rational().unwrap();
+        for mode in RoundingMode::ALL {
+            let got = x.sqrt_fp(mode);
+            let want = reference_sqrt(&q, f, mode);
+            assert_eq!(got, want, "sqrt({q}) under {mode}: got {got}, want {want}");
+        }
+    }
+}
+
+#[test]
+fn standard_model_holds_for_every_pair() {
+    // Paper eq. (2): fl(x op y) = (x op y)(1+δ), |δ| <= u, for every pair
+    // of positive floats in a tiny format and every mode (skipping
+    // over/underflowing results, where eq. 2 is explicitly invalid).
+    let f = Format::new(3, 3);
+    let floats = positive_floats(f);
+    for a in &floats {
+        for b in &floats {
+            let (va, vb) = (a.to_rational().unwrap(), b.to_rational().unwrap());
+            for mode in RoundingMode::ALL {
+                let u = f.unit_roundoff(mode);
+                let cases = [
+                    (va.add(&vb), a.add_fp(b, mode)),
+                    (va.mul(&vb), a.mul_fp(b, mode)),
+                    (va.div(&vb), a.div_fp(b, mode)),
+                ];
+                for (exact, got) in cases {
+                    if exact.abs() > f.max_finite_value() || exact.abs() < f.min_normal_value() {
+                        continue;
+                    }
+                    let got = got.to_rational().expect("finite result");
+                    let delta = got.sub(&exact).div(&exact).abs();
+                    assert!(
+                        delta <= u,
+                        "mode {mode}: fl({va} op {vb}) = {got}, delta {} > u",
+                        delta.to_sci_string(3)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fma_single_rounding_exhaustively() {
+    // fl(a*b + c) with one rounding: |δ| <= u on every non-over/underflow
+    // triple of a small positive float sample.
+    let f = Format::new(3, 4);
+    let floats = positive_floats(f);
+    let sample: Vec<&Fp> = floats.iter().step_by(3).collect();
+    let mode = RoundingMode::NearestEven;
+    let u = f.unit_roundoff(mode);
+    for a in &sample {
+        for b in &sample {
+            for c in &sample {
+                let exact = a
+                    .to_rational()
+                    .unwrap()
+                    .mul(&b.to_rational().unwrap())
+                    .add(&c.to_rational().unwrap());
+                if exact.abs() > f.max_finite_value() || exact.abs() < f.min_normal_value() {
+                    continue;
+                }
+                let got = a.fma_fp(b, c, mode).to_rational().expect("finite");
+                let delta = got.sub(&exact).div(&exact).abs();
+                assert!(delta <= u, "fma({a}, {b}, {c})");
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the softfloat substrate.
+//!
+//! The strongest oracle available is the host's IEEE 754 binary64 unit in
+//! round-to-nearest mode: our exact-rational implementation must agree bit
+//! for bit on every operation. Directed modes are checked against the
+//! standard model and bracketing properties, and tiny formats are checked
+//! exhaustively elsewhere (see `round.rs` unit tests).
+
+use numfuzz_exact::{BigInt, Rational};
+use numfuzz_softfloat::{Format, Fp, RoundingMode};
+use proptest::prelude::*;
+
+/// Finite, non-pathological f64s (no NaN/inf; magnitudes that cannot
+/// overflow when combined).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    any::<f64>().prop_filter("finite, moderate", |v| v.is_finite() && v.abs() < 1e150 && (*v == 0.0 || v.abs() > 1e-150))
+}
+
+fn bits_eq(a: f64, b: f64) -> bool {
+    // NaNs compare equal as a class; zeros must match in sign.
+    (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits()
+}
+
+proptest! {
+    #[test]
+    fn add_matches_host(a in finite_f64(), b in finite_f64()) {
+        let ours = Fp::from_f64(a).add_fp(&Fp::from_f64(b), RoundingMode::NearestEven);
+        prop_assert!(bits_eq(ours.to_f64(), a + b), "{a} + {b}: ours {} host {}", ours.to_f64(), a + b);
+    }
+
+    #[test]
+    fn sub_matches_host(a in finite_f64(), b in finite_f64()) {
+        let ours = Fp::from_f64(a).sub_fp(&Fp::from_f64(b), RoundingMode::NearestEven);
+        prop_assert!(bits_eq(ours.to_f64(), a - b));
+    }
+
+    #[test]
+    fn mul_matches_host(a in finite_f64(), b in finite_f64()) {
+        let ours = Fp::from_f64(a).mul_fp(&Fp::from_f64(b), RoundingMode::NearestEven);
+        prop_assert!(bits_eq(ours.to_f64(), a * b));
+    }
+
+    #[test]
+    fn div_matches_host(a in finite_f64(), b in finite_f64()) {
+        let ours = Fp::from_f64(a).div_fp(&Fp::from_f64(b), RoundingMode::NearestEven);
+        prop_assert!(bits_eq(ours.to_f64(), a / b));
+    }
+
+    #[test]
+    fn sqrt_matches_host(a in finite_f64()) {
+        let ours = Fp::from_f64(a).sqrt_fp(RoundingMode::NearestEven);
+        prop_assert!(bits_eq(ours.to_f64(), a.sqrt()));
+    }
+
+    #[test]
+    fn fma_matches_host(a in finite_f64(), b in finite_f64(), c in finite_f64()) {
+        let ours = Fp::from_f64(a).fma_fp(&Fp::from_f64(b), &Fp::from_f64(c), RoundingMode::NearestEven);
+        prop_assert!(bits_eq(ours.to_f64(), a.mul_add(b, c)));
+    }
+
+    #[test]
+    fn f64_roundtrip(a in any::<f64>()) {
+        let fp = Fp::from_f64(a);
+        let back = fp.to_f64();
+        prop_assert!(bits_eq(a, back));
+    }
+
+    /// Directed rounding brackets the exact value and RN picks one of the
+    /// two directed results (Table 2 semantics).
+    #[test]
+    fn directed_bracket(n in 1i64..1_000_000_000, d in 1i64..1_000_000_000, neg in any::<bool>()) {
+        let q = {
+            let q = Rational::ratio(n, d);
+            if neg { q.neg() } else { q }
+        };
+        let f = Format::BINARY64;
+        let up = Fp::round(&q, f, RoundingMode::TowardPositive);
+        let dn = Fp::round(&q, f, RoundingMode::TowardNegative);
+        let rn = Fp::round(&q, f, RoundingMode::NearestEven);
+        let rz = Fp::round(&q, f, RoundingMode::TowardZero);
+        prop_assert!(dn.to_rational().unwrap() <= q);
+        prop_assert!(up.to_rational().unwrap() >= q);
+        prop_assert!(rn == up || rn == dn || (rn.is_zero() && (up.is_zero() || dn.is_zero())));
+        // RZ equals the directed mode pointing at zero.
+        if q.is_negative() {
+            prop_assert!(rz.to_rational().unwrap() == up.to_rational().unwrap());
+        } else {
+            prop_assert!(rz.to_rational().unwrap() == dn.to_rational().unwrap());
+        }
+        // Exactly representable iff up == dn.
+        if up == dn {
+            prop_assert_eq!(up.to_rational().unwrap(), q);
+        } else {
+            // One ulp apart.
+            prop_assert_eq!(up.to_rational().unwrap().sub(&dn.to_rational().unwrap()), dn.ulp().clone().max(up.ulp()));
+        }
+    }
+
+    /// Standard model (paper eq. 2) on random rationals, all modes, several
+    /// formats: |round(x) - x| <= u |x| away from under/overflow.
+    #[test]
+    fn standard_model_all_modes(n in 1i64..10_000_000, d in 1i64..10_000_000, p in 3u32..30) {
+        let q = Rational::ratio(n, d);
+        let f = Format::new(p, 100);
+        for mode in RoundingMode::ALL {
+            let r = Fp::round(&q, f, mode).to_rational().unwrap();
+            let err = r.sub(&q).abs();
+            prop_assert!(err <= f.unit_roundoff(mode).mul(&q), "p={p} mode={mode} q={q}");
+        }
+    }
+
+    /// Rounding is monotone: x <= y implies round(x) <= round(y).
+    #[test]
+    fn rounding_monotone(a in -10_000_000i64..10_000_000, b in -10_000_000i64..10_000_000, d in 1i64..1000) {
+        let (x, y) = (Rational::ratio(a.min(b), d), Rational::ratio(a.max(b), d));
+        let f = Format::new(5, 8);
+        for mode in RoundingMode::ALL {
+            let rx = Fp::round(&x, f, mode);
+            let ry = Fp::round(&y, f, mode);
+            prop_assert!(rx.num_cmp(&ry) != Some(std::cmp::Ordering::Greater), "mode {mode}");
+        }
+    }
+
+    /// Ordinals index the float line: from_ordinal inverts ordinal and
+    /// ordering of ordinals matches numeric ordering.
+    #[test]
+    fn ordinal_bijection(k in -200i64..200) {
+        let f = Format::new(4, 4);
+        let ord = BigInt::from(k);
+        let max_ord = Fp::max_finite(f, false).ordinal();
+        prop_assume!(ord.abs() <= max_ord);
+        let fp = Fp::from_ordinal(f, &ord);
+        prop_assert_eq!(fp.ordinal(), ord);
+        let next = fp.next_up();
+        if !next.is_infinite() {
+            prop_assert!(next.to_rational().unwrap() > fp.to_rational().unwrap());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The secondary instantiation (paper Section 5's "different error
+//! metrics" claim): `num` as the reals with the **absolute-value** metric.
+//! Subtraction becomes typable (it is non-expansive for absolute error),
+//! scaling operations carry their Lipschitz constants in `!` types, and
+//! `rnd` carries an absolute grade symbol `delta`.
+//!
+//! ```sh
+//! cargo run --example absolute_error
+//! ```
+
+use numfuzz::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sig = Signature::absolute_error();
+
+    // An affine update x - (x + c)/2 ... written with the abs-error ops:
+    // sub : (num, num) ⊸ num, half : ![1/2]num ⊸ num, rnd : M[delta].
+    let src = r#"
+        function step (x: ![3/2]num) (c: num) : M[2*delta]num {
+            let [x1] = x;
+            s = add (x1, c);
+            h = half s;
+            m = rnd h;
+            let m1 = m;
+            d = sub (x1, m1);
+            rnd d
+        }
+        step [4]{3/2} 1
+    "#;
+    let lowered = compile(src, &sig)?;
+    let res = infer(&lowered.store, &sig, lowered.root, &[])?;
+    println!("step : {}", res.fn_report("step").expect("present").inferred);
+    println!("main : {}", res.root.ty);
+
+    // Validate under the absolute metric. In a fixed range |v| <= M the
+    // standard model gives |round(v) - v| <= u*M, so delta := u*M is a
+    // sound absolute rounding unit; here every intermediate is <= 4.
+    let format = Format::new(10, 30);
+    let mode = RoundingMode::NearestEven;
+    let delta = format
+        .unit_roundoff(mode)
+        .mul(&Rational::from_int(4));
+    let mut fp = ModeRounding { format, mode };
+    let rep = numfuzz::interp::validate_with(
+        &lowered.store,
+        &sig,
+        lowered.root,
+        &[],
+        &mut fp,
+        &|s| if s == "delta" { Some(delta.clone()) } else { None },
+    )?;
+    println!("\nideal    : {}", rep.ideal.lo().to_sci_string(6));
+    println!("fp       : {}", rep.fp.as_ref().map(|i| i.lo().to_sci_string(6)).unwrap_or_else(|| "err".into()));
+    println!("bound    : |ideal - fp| <= {}", rep.bound.to_sci_string(3));
+    if let Some(m) = rep.measured {
+        println!("measured : {m:.3e}");
+    }
+    println!("verdict  : {}", if rep.holds() { "bound holds (rigorous)" } else { "VIOLATION" });
+    assert!(rep.holds());
+    Ok(())
+}

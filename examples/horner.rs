@@ -1,0 +1,78 @@
+//! Horner's scheme (the paper's Section 5 running example): per-step FMA
+//! rounding, error growth linear in the degree, and error *propagation*
+//! from inputs that already carry roundoff (eq. 13 / Fig. 9).
+//!
+//! ```sh
+//! cargo run --example horner
+//! ```
+
+use numfuzz::benchsuite::horner;
+use numfuzz::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sig = Signature::relative_precision();
+
+    // ---- Part 1: Horner2 and Horner2_with_error (Fig. 9) ----
+    let src = format!(
+        "{}\n{}",
+        numfuzz::benchsuite::horner2_with_error_source(),
+        r#"function Horner2 (a0: num) (a1: num) (a2: num) (x: ![2.0]num) : M[2*eps]num {
+            let [x1] = x;
+            s1 = FMA a2 x1 a1;
+            let z = s1;
+            FMA z x1 a0
+        }"#
+    );
+    let lowered = compile(&src, &sig)?;
+    let res = infer(&lowered.store, &sig, lowered.root, &[])?;
+    println!("Fig. 9 reproductions:");
+    for name in ["Horner2", "Horner2we"] {
+        let rep = res.fn_report(name).expect("present");
+        println!("  {:<9} : {}", name, rep.inferred);
+    }
+    println!();
+    println!("Reading the with-error type (eq. 13): inputs at eps of error each");
+    println!("contribute 5*eps through the sensitivities (3 coefficients at 1,");
+    println!("x at 2), plus 2*eps of fresh rounding = 7*eps total.\n");
+
+    // ---- Part 2: error growth is linear in the degree ----
+    println!("degree | grade       | relative bound (binary64, RU)");
+    let u = Format::BINARY64.unit_roundoff(RoundingMode::TowardPositive);
+    for n in [2usize, 5, 10, 50, 100] {
+        let g = horner(n);
+        let res = infer(&g.store, &sig, g.root, &g.free)?;
+        let alpha = match &res.root.ty {
+            Ty::Monad(grade, _) => grade.eval_eps(&u).expect("numeric"),
+            other => panic!("unexpected {other}"),
+        };
+        let rel = numfuzz::metrics::rp::rp_to_rel_bound(&alpha).expect("small");
+        println!("  {:>4} | {:<11} | {}", n, format!("{}", grade_of(&res.root.ty)), rel.to_sci_string(3));
+    }
+
+    // ---- Part 3: validate the degree-50 bound on a real run ----
+    let g = horner(50);
+    let inputs: Vec<(numfuzz::core::VarId, Value)> = g
+        .free
+        .iter()
+        .map(|(v, _)| (*v, Value::num(Rational::ratio(5, 4))))
+        .collect();
+    let format = Format::new(12, 60); // visible error
+    let mode = RoundingMode::TowardPositive;
+    let mut fp = ModeRounding { format, mode };
+    let rep = validate(&g.store, &sig, g.root, &inputs, &mut fp, &format.unit_roundoff(mode))?;
+    println!("\nHorner50 at x = 1.25 in {format}:");
+    println!("  bound    {}", rep.bound.to_sci_string(3));
+    if let Some(m) = rep.measured {
+        println!("  measured {m:.3e}");
+    }
+    assert!(rep.holds());
+    println!("  bound holds (rigorous)");
+    Ok(())
+}
+
+fn grade_of(t: &Ty) -> String {
+    match t {
+        Ty::Monad(g, _) => g.to_string(),
+        other => other.to_string(),
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: type-check a Λnum program, read the rounding-error bound
+//! off its type, run both semantics, and verify the bound rigorously.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use numfuzz::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The fused multiply-add example of the paper's Fig. 8: FMA rounds
+    // once (grade eps), the unfused MA twice (grade 2*eps).
+    let src = r#"
+        function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+        function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+        function MA (x: num) (y: num) (z: num) : M[2*eps]num {
+            s = mulfp (x,y);
+            let a = s;
+            addfp (|a,z|)
+        }
+        function FMA (x: num) (y: num) (z: num) : M[eps]num {
+            a = mul (x,y);
+            b = add (|a,z|);
+            rnd b
+        }
+        MA 0.1 0.3 7
+    "#;
+
+    // 1. Parse + elaborate + type-check. Grades are exact symbolic
+    //    linear expressions; `eps` is the unit roundoff.
+    let sig = Signature::relative_precision();
+    let lowered = compile(src, &sig)?;
+    let checked = infer(&lowered.store, &sig, lowered.root, &[])?;
+    println!("inferred types:");
+    for f in &checked.fns {
+        println!("  {:<6} : {}", f.name, f.inferred);
+    }
+    println!("  main   : {}", checked.root.ty);
+
+    // 2. Execute under the ideal semantics (rnd = identity) and under the
+    //    floating-point semantics (here: binary64, round toward +inf).
+    let ideal = eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[])?;
+    let format = Format::BINARY64;
+    let mode = RoundingMode::TowardPositive;
+    let mut rounding = ModeRounding { format, mode };
+    let fp = eval(&lowered.store, lowered.root, &mut rounding, EvalConfig::default(), &[])?;
+    println!("\nideal result : {ideal}");
+    println!("fp result    : {fp}");
+
+    // 3. The type promised RP(ideal, fp) <= 2*eps; check it rigorously.
+    let mut rounding = ModeRounding { format, mode };
+    let report = validate(&lowered.store, &sig, lowered.root, &[], &mut rounding, &format.unit_roundoff(mode))?;
+    println!("\ngrade        : {}", report.grade);
+    println!("bound        : {}", report.bound.to_sci_string(3));
+    if let Some(measured) = report.measured {
+        println!("measured RP  : {measured:.3e}");
+    }
+    println!("verdict      : {}", if report.holds() { "bound holds" } else { "VIOLATION" });
+    assert!(report.holds());
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! The Section 7 extensions: exceptional, non-deterministic,
+//! state-dependent and stochastic rounding — all satisfying their graded
+//! bounds (Cor. 7.5 and the §7.2 monad variants).
+//!
+//! ```sh
+//! cargo run --example rounding_modes
+//! ```
+
+use numfuzz::interp::rounding::{ChoiceRounding, StatefulRounding, StochasticRounding};
+use numfuzz::prelude::*;
+use rand::SeedableRng;
+
+const PROGRAM: &str = r#"
+    function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+    function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+    function poly (x: ![3.0]num) : M[3*eps]num {
+        let [x1] = x;
+        let a = mulfp (x1, x1);
+        let b = mulfp (a, x1);
+        addfp (|b, 1|)
+    }
+    poly [1.7]{3.0}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sig = Signature::relative_precision();
+    let lowered = compile(PROGRAM, &sig)?;
+    let format = Format::new(8, 40); // a small format makes error visible
+    let u = format.unit_roundoff(RoundingMode::TowardPositive);
+
+    // --- §7.1: exceptional semantics -------------------------------
+    println!("== exceptional rounding (Cor. 7.5) ==");
+    let mut checked = CheckedRounding { format, mode: RoundingMode::NearestEven };
+    let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut checked, &u)?;
+    println!("x = 1.7    : fp = {}, bound holds: {}", display(&rep), rep.holds());
+    // Overflow the tiny format: err, bound vacuously satisfied.
+    let big = PROGRAM.replace("poly [1.7]{3.0}", "poly [65536]{3.0}");
+    let lowered_big = compile(&big, &sig)?;
+    let mut checked = CheckedRounding { format, mode: RoundingMode::NearestEven };
+    let rep = validate(&lowered_big.store, &sig, lowered_big.root, &[], &mut checked, &u)?;
+    println!("x = 65536  : fp = err (overflow), vacuous: {}", rep.holds());
+
+    // --- §7.2: non-deterministic rounding (TP+: all resolutions) ----
+    println!("\n== non-deterministic rounding: all 2^3 RU/RD resolutions ==");
+    let modes = vec![RoundingMode::TowardPositive, RoundingMode::TowardNegative];
+    let mut all_hold = true;
+    for choices in ChoiceRounding::all_choice_vectors(2, 3) {
+        let mut nondet = ChoiceRounding::new(format, modes.clone(), choices.clone());
+        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut nondet, &u)?;
+        all_hold &= rep.holds();
+        println!("  choices {choices:?} -> measured {}", measured(&rep));
+    }
+    println!("  every resolution within 3*eps: {all_hold}");
+    assert!(all_hold);
+
+    // --- §7.2: state-dependent rounding -----------------------------
+    println!("\n== state-dependent rounding: every initial state ==");
+    let cycle = vec![
+        RoundingMode::TowardPositive,
+        RoundingMode::NearestEven,
+        RoundingMode::TowardNegative,
+        RoundingMode::TowardZero,
+    ];
+    for s0 in 0..cycle.len() {
+        let mut stateful = StatefulRounding { format, modes: cycle.clone(), state: s0 };
+        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut stateful, &u)?;
+        println!("  initial state {s0} -> measured {}, holds: {}", measured(&rep), rep.holds());
+        assert!(rep.holds());
+    }
+
+    // --- §7.2: randomized (stochastic) rounding ----------------------
+    println!("\n== stochastic rounding: 8 sampled executions ==");
+    for seed in 0..8u64 {
+        let mut sr = StochasticRounding { format, rng: rand::rngs::StdRng::seed_from_u64(seed) };
+        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut sr, &u)?;
+        // Every realization rounds to a neighbor, so even the worst-case
+        // (TD+-style) reading of the bound holds per sample; the expected
+        // distance (TD's third variant) is smaller still.
+        println!("  seed {seed} -> measured {}, holds: {}", measured(&rep), rep.holds());
+        assert!(rep.holds());
+    }
+    Ok(())
+}
+
+fn display(rep: &numfuzz::interp::SoundnessReport) -> String {
+    match &rep.fp {
+        Some(i) => i.lo().to_sci_string(6),
+        None => "err".to_string(),
+    }
+}
+
+fn measured(rep: &numfuzz::interp::SoundnessReport) -> String {
+    match rep.measured {
+        Some(m) => format!("{m:.2e}"),
+        None => "-".to_string(),
+    }
+}

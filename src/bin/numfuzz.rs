@@ -1,0 +1,159 @@
+//! The `numfuzz` command-line interface.
+//!
+//! ```text
+//! numfuzz check FILE                 type-check a Λnum program
+//! numfuzz run FILE [options]         run ideal + floating-point semantics
+//!     --prec P       precision bits (default 53)
+//!     --emax E       maximum exponent (default 1023)
+//!     --mode M       ru | rd | rz | rn (default ru)
+//! ```
+//!
+//! `check` prints every `function` definition's inferred type (with exact
+//! symbolic grades) and, when the grade resolves, the eq. (8) relative
+//! error bound. `run` additionally executes both semantics, reports both
+//! results and the measured distance, and verifies the bound.
+
+use numfuzz::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("numfuzz: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "check" => {
+            let file = rest.first().ok_or_else(usage)?;
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            check(&src)
+        }
+        "run" => {
+            let file = rest.first().ok_or_else(usage)?;
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let opts = parse_opts(&rest[1..])?;
+            exec(&src, opts)
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: numfuzz <check|run> FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn]".to_string()
+}
+
+struct Opts {
+    format: Format,
+    mode: RoundingMode,
+}
+
+fn parse_opts(rest: &[String]) -> Result<Opts, String> {
+    let mut prec = 53u32;
+    let mut emax = 1023i64;
+    let mut mode = RoundingMode::TowardPositive;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--prec" => prec = value("--prec")?.parse().map_err(|e| format!("--prec: {e}"))?,
+            "--emax" => emax = value("--emax")?.parse().map_err(|e| format!("--emax: {e}"))?,
+            "--mode" => {
+                mode = match value("--mode")?.as_str() {
+                    "ru" => RoundingMode::TowardPositive,
+                    "rd" => RoundingMode::TowardNegative,
+                    "rz" => RoundingMode::TowardZero,
+                    "rn" => RoundingMode::NearestEven,
+                    other => return Err(format!("unknown mode `{other}`")),
+                }
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Opts { format: Format::new(prec, emax), mode })
+}
+
+fn check(src: &str) -> Result<(), String> {
+    let sig = Signature::relative_precision();
+    let lowered = compile(src, &sig).map_err(|e| e.to_string())?;
+    let res = infer(&lowered.store, &sig, lowered.root, &[]).map_err(|e| e.to_string())?;
+    let u = Format::BINARY64.unit_roundoff(RoundingMode::TowardPositive);
+    for f in &res.fns {
+        println!("{} : {}", f.name, f.inferred);
+        if let Some(alpha) = monadic_alpha(&f.inferred, &u) {
+            if let Some(rel) = numfuzz::metrics::rp::rp_to_rel_bound(&alpha) {
+                println!("    relative error <= {} (binary64, round toward +inf)", rel.to_sci_string(3));
+            }
+        }
+    }
+    println!("program : {}", res.root.ty);
+    Ok(())
+}
+
+/// Walks a curried type to its monadic codomain grade, evaluated at `u`.
+fn monadic_alpha(ty: &Ty, u: &Rational) -> Option<Rational> {
+    let mut t = ty;
+    loop {
+        match t {
+            Ty::Lolli(_, cod) => t = cod,
+            Ty::Monad(g, _) => return g.eval_eps(u),
+            _ => return None,
+        }
+    }
+}
+
+fn exec(src: &str, opts: Opts) -> Result<(), String> {
+    let sig = Signature::relative_precision();
+    let lowered = compile(src, &sig).map_err(|e| e.to_string())?;
+    let res = infer(&lowered.store, &sig, lowered.root, &[]).map_err(|e| e.to_string())?;
+    println!("type    : {}", res.root.ty);
+
+    let ideal = eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[])
+        .map_err(|e| e.to_string())?;
+    println!("ideal   : {ideal}");
+
+    let mut fp = CheckedRounding { format: opts.format, mode: opts.mode };
+    let fp_val = eval(&lowered.store, lowered.root, &mut fp, EvalConfig::default(), &[])
+        .map_err(|e| e.to_string())?;
+    println!("fp      : {fp_val}   ({} in {})", opts.mode, opts.format);
+
+    if matches!(res.root.ty, Ty::Monad(..)) {
+        let mut fp = CheckedRounding { format: opts.format, mode: opts.mode };
+        let rep = validate(
+            &lowered.store,
+            &sig,
+            lowered.root,
+            &[],
+            &mut fp,
+            &opts.format.unit_roundoff(opts.mode),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("bound   : RP <= {} ({})", rep.bound.to_sci_string(3), rep.grade);
+        match rep.measured {
+            Some(m) => println!("measured: RP  = {m:.3e}"),
+            None => println!("measured: (err outcome or undefined)"),
+        }
+        if let Some(ulp) = &rep.ulp {
+            println!("ulp err : {ulp} (floats spanned, eq. 4)");
+        }
+        println!("verdict : {}", if rep.holds() { "bound holds (rigorous)" } else { "VIOLATION" });
+        if !rep.holds() {
+            return Err("error-soundness violation (this would be a bug)".to_string());
+        }
+    }
+    Ok(())
+}

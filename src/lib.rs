@@ -1,0 +1,77 @@
+//! # numfuzz
+//!
+//! A Rust reproduction of **Numerical Fuzz: A Type System for Rounding
+//! Error Analysis** (Kellison & Hsu, PLDI 2024): the Λnum language — a
+//! linear λ-calculus whose type system combines a Fuzz-style sensitivity
+//! analysis with a graded monad `M[u]τ` tracking worst-case rounding
+//! error — together with every substrate its evaluation depends on.
+//!
+//! This crate is the facade: it re-exports the workspace crates and hosts
+//! the `numfuzz` CLI, the runnable examples, and the repo-level
+//! integration tests.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`exact`] | arbitrary-precision integers/rationals, intervals, enclosures |
+//! | [`softfloat`] | parameterized IEEE 754 binary formats and rounding (Tables 1–2) |
+//! | [`metrics`] | relative precision (Olver), relative/absolute/ULP error |
+//! | [`core`] | Λnum: grades, types, terms, inference (Figs. 1–2, 10–12), surface syntax (Figs. 7–9) |
+//! | [`interp`] | ideal/FP semantics, §7 rounding extensions, error-soundness validation |
+//! | [`analyzers`] | interval & Taylor-form baselines, textbook bounds, IR→Λnum translation |
+//! | [`benchsuite`] | the Table 3/4/5 workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use numfuzz::prelude::*;
+//!
+//! // 1. Write a Λnum program (the paper's Fig. 7/8 style).
+//! let src = r#"
+//!     function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+//!     function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+//!     function MA (x: num) (y: num) (z: num) : M[2*eps]num {
+//!         s = mulfp (x,y);
+//!         let a = s;
+//!         addfp (|a,z|)
+//!     }
+//!     MA 0.1 0.3 7
+//! "#;
+//!
+//! // 2. Type-check: the grade on the monad is a sound roundoff bound.
+//! let sig = Signature::relative_precision();
+//! let lowered = compile(src, &sig)?;
+//! let checked = infer(&lowered.store, &sig, lowered.root, &[])?;
+//! assert_eq!(checked.root.ty.to_string(), "M[2*eps]num");
+//!
+//! // 3. Run both semantics and verify the bound rigorously (Cor. 4.20).
+//! let format = Format::BINARY64;
+//! let mode = RoundingMode::TowardPositive;
+//! let mut fp = ModeRounding { format, mode };
+//! let report = validate(&lowered.store, &sig, lowered.root, &[], &mut fp,
+//!                       &format.unit_roundoff(mode))?;
+//! assert!(report.holds());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use numfuzz_analyzers as analyzers;
+pub use numfuzz_benchsuite as benchsuite;
+pub use numfuzz_core as core;
+pub use numfuzz_exact as exact;
+pub use numfuzz_interp as interp;
+pub use numfuzz_metrics as metrics;
+pub use numfuzz_softfloat as softfloat;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use numfuzz_core::{compile, infer, parse_program, Grade, Signature, Ty};
+    pub use numfuzz_exact::{RatInterval, Rational};
+    pub use numfuzz_interp::{
+        eval, rounding::CheckedRounding, rounding::IdentityRounding, rounding::ModeRounding,
+        validate, EvalConfig, Value,
+    };
+    pub use numfuzz_metrics::{NumMetric, Within};
+    pub use numfuzz_softfloat::{Format, Fp, RoundingMode};
+}

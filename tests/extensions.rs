@@ -1,0 +1,180 @@
+//! Integration tests for the Section 7 extensions and the secondary
+//! (absolute-error) instantiation.
+
+use numfuzz::interp::rounding::{ChoiceRounding, StatefulRounding, StochasticRounding};
+use numfuzz::interp::validate_with;
+use numfuzz::prelude::*;
+use rand::SeedableRng;
+
+const POLY: &str = r#"
+    function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+    function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+    function poly (x: ![3.0]num) : M[3*eps]num {
+        let [x1] = x;
+        let a = mulfp (x1, x1);
+        let b = mulfp (a, x1);
+        addfp (|b, 1|)
+    }
+    poly [1.7]{3.0}
+"#;
+
+#[test]
+fn nondeterministic_rounding_all_resolutions_within_bound() {
+    let sig = Signature::relative_precision();
+    let lowered = compile(POLY, &sig).expect("compiles");
+    let format = Format::new(7, 40);
+    let u = format.unit_roundoff(RoundingMode::TowardPositive);
+    let modes = vec![
+        RoundingMode::TowardPositive,
+        RoundingMode::TowardNegative,
+        RoundingMode::NearestEven,
+    ];
+    // 3 roundings, 3 modes: 27 resolutions, all must hold (TP+ reading).
+    let mut distinct = std::collections::HashSet::new();
+    for choices in ChoiceRounding::all_choice_vectors(modes.len(), 3) {
+        let mut fp = ChoiceRounding::new(format, modes.clone(), choices.clone());
+        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &u).expect("harness");
+        assert!(rep.holds(), "choices {choices:?}");
+        if let Some(i) = &rep.fp {
+            distinct.insert(i.lo().to_string());
+        }
+    }
+    // Non-determinism is real: several distinct outcomes appear.
+    assert!(distinct.len() > 1, "expected multiple resolutions, got {distinct:?}");
+}
+
+#[test]
+fn stateful_rounding_bound_for_every_initial_state() {
+    let sig = Signature::relative_precision();
+    let lowered = compile(POLY, &sig).expect("compiles");
+    let format = Format::new(7, 40);
+    let u = format.unit_roundoff(RoundingMode::TowardPositive);
+    let modes = vec![
+        RoundingMode::TowardPositive,
+        RoundingMode::NearestEven,
+        RoundingMode::TowardNegative,
+        RoundingMode::TowardZero,
+    ];
+    for s0 in 0..modes.len() {
+        let mut fp = StatefulRounding { format, modes: modes.clone(), state: s0 };
+        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &u).expect("harness");
+        assert!(rep.holds(), "initial state {s0}");
+    }
+}
+
+#[test]
+fn stochastic_rounding_every_sample_within_bound() {
+    let sig = Signature::relative_precision();
+    let lowered = compile(POLY, &sig).expect("compiles");
+    let format = Format::new(7, 40);
+    let u = format.unit_roundoff(RoundingMode::TowardPositive);
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for seed in 0..32u64 {
+        let mut fp = StochasticRounding { format, rng: rand::rngs::StdRng::seed_from_u64(seed) };
+        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &u).expect("harness");
+        // Worst-case (every sample) satisfies the bound, hence so does
+        // the expectation (the §7.2 TD monad's third variant).
+        assert!(rep.holds(), "seed {seed}");
+        if let Some(m) = rep.measured {
+            sum += m;
+            n += 1;
+        }
+    }
+    let mean = sum / n as f64;
+    let bound = Rational::from_int(3).mul(&u).to_f64();
+    assert!(mean <= bound, "mean distance {mean} above bound {bound}");
+}
+
+#[test]
+fn exceptional_semantics_err_and_vacuity() {
+    let sig = Signature::relative_precision();
+    // Values that overflow a p=7, emax=10 format (max ~2032).
+    let big = POLY.replace("poly [1.7]{3.0}", "poly [100]{3.0}");
+    let lowered = compile(&big, &sig).expect("compiles");
+    let format = Format::new(7, 10);
+    let mode = RoundingMode::NearestEven;
+    let mut fp = CheckedRounding { format, mode };
+    let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &format.unit_roundoff(mode))
+        .expect("harness");
+    assert!(rep.fp.is_none(), "expected err (overflow): {rep:?}");
+    assert!(rep.holds(), "Cor. 7.5 is vacuous on err");
+
+    // Underflow likewise faults.
+    let tiny = POLY.replace("poly [1.7]{3.0}", "poly [0.001]{3.0}");
+    let lowered = compile(&tiny, &sig).expect("compiles");
+    let mut fp = CheckedRounding { format, mode };
+    let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &format.unit_roundoff(mode))
+        .expect("harness");
+    assert!(rep.fp.is_none(), "expected err (underflow): {rep:?}");
+}
+
+#[test]
+fn absolute_error_instantiation_end_to_end() {
+    let sig = Signature::absolute_error();
+    let src = r#"
+        function lerp (x: num) (y: num) : M[2*delta]num {
+            s = add (x, y);
+            h = half s;
+            m = rnd h;
+            let m1 = m;
+            d = sub (m1, 1);
+            rnd d
+        }
+        lerp 3 0.5
+    "#;
+    let lowered = compile(src, &sig).expect("compiles");
+    let res = infer(&lowered.store, &sig, lowered.root, &[]).expect("checks");
+    assert_eq!(res.root.ty.to_string(), "M[2*delta]num");
+
+    // delta = u * M with all rounded intermediates |v| <= 4.
+    let format = Format::new(10, 30);
+    let mode = RoundingMode::NearestEven;
+    let delta = format.unit_roundoff(mode).mul(&Rational::from_int(4));
+    let mut fp = ModeRounding { format, mode };
+    let rep = validate_with(&lowered.store, &sig, lowered.root, &[], &mut fp, &|s| {
+        if s == "delta" {
+            Some(delta.clone())
+        } else {
+            None
+        }
+    })
+    .expect("harness");
+    assert!(rep.holds(), "{rep:?}");
+    // Subtraction is typable here (unlike the RP instantiation).
+    let rp_sig = Signature::relative_precision();
+    assert!(compile(src, &rp_sig).is_err() || {
+        let l = compile(src, &rp_sig).unwrap();
+        infer(&l.store, &rp_sig, l.root, &[]).is_err()
+    });
+}
+
+#[test]
+fn sensitivity_only_analysis_without_rounding() {
+    // pow2 (Section 2.2): a pure sensitivity judgment, no monad involved.
+    let sig = Signature::relative_precision();
+    let src = r#"
+        function pow2 (x: ![2.0]num) : num {
+            let [x1] = x;
+            mul (x1, x1)
+        }
+        pow2 [1.5]{2.0}
+    "#;
+    let lowered = compile(src, &sig).expect("compiles");
+    let res = infer(&lowered.store, &sig, lowered.root, &[]).expect("checks");
+    assert_eq!(res.fn_report("pow2").unwrap().inferred.to_string(), "![2]num -o num");
+    // Metric preservation, concretely: inputs at RP distance d give
+    // outputs at distance exactly 2d (squaring doubles log-distance).
+    let run = |x: &str| -> Rational {
+        let src = format!(
+            "function pow2 (x: ![2.0]num) : num {{ let [x1] = x; mul (x1, x1) }}\npow2 [{x}]{{2.0}}"
+        );
+        let lowered = compile(&src, &sig).expect("compiles");
+        let v = eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[])
+            .expect("evaluates");
+        v.as_num().unwrap().as_point().unwrap().clone()
+    };
+    let (a, b) = (run("1.5"), run("3"));
+    // RP(1.5, 3) = ln 2; RP(2.25, 9) = ln 4 = 2 ln 2: check multiplicatively.
+    assert_eq!(b.div(&a), Rational::from_int(4));
+}

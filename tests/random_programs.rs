@@ -1,0 +1,212 @@
+//! Property-based error soundness (the workspace's strongest end-to-end
+//! check): random straight-line kernels over `+ × ÷ √ fma` with positive
+//! constants are translated to Λnum, type-checked, executed under ideal
+//! and floating-point semantics at random inputs, and the inferred grade
+//! bound is verified rigorously — Corollary 4.20 on arbitrary programs.
+
+use numfuzz::analyzers::{kernel_to_core, Expr, Kernel};
+use numfuzz::prelude::*;
+use proptest::prelude::*;
+
+/// Random positive "nice" rationals in roughly [1/8, 8].
+fn pos_const() -> impl Strategy<Value = Rational> {
+    (1i64..64, 1i64..64).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
+/// Random expressions over `nvars` inputs with bounded size.
+fn expr(nvars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        pos_const().prop_map(Expr::Const),
+        (0..nvars).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::div(a, b)),
+            inner.clone().prop_map(Expr::sqrt),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::fma(a, b, c)),
+        ]
+    })
+}
+
+/// Random input values in [1/2, 2] — positive and overflow-safe for the
+/// sizes generated here.
+fn input_vals(nvars: usize) -> impl Strategy<Value = Vec<Rational>> {
+    proptest::collection::vec((8i64..32, 8i64..16).prop_map(|(n, d)| Rational::ratio(n, d)), nvars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cor. 4.20 on random programs, two formats, two modes.
+    #[test]
+    fn error_soundness_on_random_programs(e in expr(3), vals in input_vals(3)) {
+        let kernel = Kernel::new(
+            "random",
+            vec![
+                ("a", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
+                ("b", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
+                ("c", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
+            ],
+            e,
+        );
+        let ck = kernel_to_core(&kernel).expect("always translatable (no sub)");
+        let sig = Signature::relative_precision();
+        // Every random program type-checks with a finite grade.
+        let res = infer(&ck.store, &sig, ck.root, &ck.free).expect("checks");
+        prop_assert!(matches!(&res.root.ty, Ty::Monad(g, _) if !g.is_infinite()));
+
+        let inputs: Vec<_> = ck
+            .free
+            .iter()
+            .zip(&vals)
+            .map(|((v, _), q)| (*v, Value::num(q.clone())))
+            .collect();
+        for format in [Format::BINARY64, Format::new(9, 60)] {
+            for mode in [RoundingMode::TowardPositive, RoundingMode::NearestEven] {
+                let mut fp = CheckedRounding { format, mode };
+                let rep = validate(&ck.store, &sig, ck.root, &inputs, &mut fp, &format.unit_roundoff(mode))
+                    .expect("harness");
+                prop_assert!(rep.holds(), "violation at {format} {mode}: {rep:?}");
+            }
+        }
+    }
+
+    /// The checker's minimality invariant: inferred grades only shrink
+    /// when a program is embedded in a context that uses it once (bind
+    /// composition adds grades, eq. of (MuE)).
+    #[test]
+    fn bind_composition_adds_grades(e1 in expr(1), e2 in expr(1)) {
+        let mk = |e: Expr| {
+            Kernel::new("k", vec![("a", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2)))], e)
+        };
+        let sig = Signature::relative_precision();
+        let g1 = grade_of(&mk(e1.clone()), &sig);
+        let g2 = grade_of(&mk(e2.clone()), &sig);
+        // Compose: e1 + e2 (one more rounding): grade(e1)+grade(e2)+eps.
+        let composed = grade_of(&mk(Expr::add(e1, e2)), &sig);
+        let expected = g1.add(&g2).add(&Grade::symbol("eps"));
+        prop_assert_eq!(composed, expected);
+    }
+}
+
+fn grade_of(k: &Kernel, sig: &Signature) -> Grade {
+    let ck = kernel_to_core(k).expect("translatable");
+    let res = infer(&ck.store, sig, ck.root, &ck.free).expect("checks");
+    match res.root.ty {
+        Ty::Monad(g, _) => g,
+        other => panic!("unexpected {other}"),
+    }
+}
+
+/// Random expressions without `sqrt` (kept rational so the substitution-
+/// based reference semantics applies).
+fn expr_no_sqrt(nvars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        pos_const().prop_map(Expr::Const),
+        (0..nvars).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::div(a, b)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::fma(a, b, c)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential oracle: the iterative production checker and the
+    /// recursive reference checker agree exactly (environment and type)
+    /// on random programs.
+    #[test]
+    fn production_checker_agrees_with_reference(e in expr(3)) {
+        let kernel = Kernel::new(
+            "random",
+            vec![
+                ("a", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
+                ("b", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
+                ("c", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
+            ],
+            e,
+        );
+        let ck = kernel_to_core(&kernel).expect("translatable");
+        let sig = Signature::relative_precision();
+        let fast = infer(&ck.store, &sig, ck.root, &ck.free).expect("fast");
+        let slow = numfuzz::core::validate::infer_reference(&ck.store, &sig, ck.root, &ck.free)
+            .expect("slow");
+        prop_assert_eq!(&fast.root.ty, &slow.ty);
+        prop_assert!(fast.root.env.le(&slow.env) && slow.env.le(&fast.root.env));
+    }
+
+    /// Cross-semantics agreement: the abstract machine and the
+    /// substitution-based small-step reference compute the same result on
+    /// random (sqrt-free) programs, under both the ideal and the FP
+    /// semantics.
+    #[test]
+    fn machine_agrees_with_smallstep_on_random_programs(e in expr_no_sqrt(2), vals in input_vals(2)) {
+        use numfuzz::core::Node;
+        use numfuzz::interp::smallstep::{normalize, StepSemantics};
+
+        let kernel = Kernel::new(
+            "random",
+            vec![
+                ("a", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
+                ("b", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
+            ],
+            e,
+        );
+        let ck = kernel_to_core(&kernel).expect("translatable");
+        let sig = Signature::relative_precision();
+        infer(&ck.store, &sig, ck.root, &ck.free).expect("checks");
+
+        // Close the term by substituting constants for the free inputs
+        // (the reference semantics has no environments).
+        let mut store = ck.store.clone();
+        let mut closed = ck.root;
+        for ((v, _), q) in ck.free.iter().zip(&vals) {
+            let k = store.num(q.clone());
+            closed = numfuzz::interp::smallstep::subst(&mut store, closed, *v, k);
+        }
+
+        let inputs: Vec<_> = ck
+            .free
+            .iter()
+            .zip(&vals)
+            .map(|(&(v, _), q)| (v, Value::num(q.clone())))
+            .collect();
+
+        for sem in [
+            StepSemantics::Ideal,
+            StepSemantics::Fp(Format::new(11, 50), RoundingMode::TowardNegative),
+        ] {
+            let machine_val = {
+                let out = match sem {
+                    StepSemantics::Ideal => eval(
+                        &ck.store, ck.root, &mut IdentityRounding, EvalConfig::default(), &inputs,
+                    ),
+                    StepSemantics::Fp(f, m) => eval(
+                        &ck.store, ck.root, &mut ModeRounding { format: f, mode: m },
+                        EvalConfig::default(), &inputs,
+                    ),
+                    StepSemantics::Pure => unreachable!(),
+                }
+                .expect("machine evaluates");
+                out.as_ret().and_then(Value::as_num).expect("ret num").as_point().expect("exact").clone()
+            };
+            let nf = normalize(&mut store, closed, sem, 10_000_000);
+            let ss_val = match store.node(nf) {
+                Node::Ret(v) => match store.node(*v) {
+                    Node::Const(k) => store.constant(*k).clone(),
+                    other => panic!("unexpected payload {other:?}"),
+                },
+                other => panic!("unexpected normal form {other:?}"),
+            };
+            prop_assert_eq!(&machine_val, &ss_val, "semantics {:?} diverged", sem);
+        }
+    }
+}

@@ -81,7 +81,11 @@ pub(crate) const SQRT_BITS: u32 = 96;
 ///
 /// [`AnalysisError`] when a division/sqrt domain side condition cannot be
 /// established from the ranges.
-pub fn analyze_interval(kernel: &Kernel, format: Format, mode: RoundingMode) -> Result<ErrorBound, AnalysisError> {
+pub fn analyze_interval(
+    kernel: &Kernel,
+    format: Format,
+    mode: RoundingMode,
+) -> Result<ErrorBound, AnalysisError> {
     let u = format.unit_roundoff(mode);
     let ranges = kernel.ranges();
     let cx = Ctx { input_rel: Rational::from_int(kernel.input_rel_ulps as i64).mul(&u) };
@@ -97,7 +101,12 @@ fn pos(r: &RatInterval) -> bool {
 }
 
 /// Fresh rounding: `E += u·(sup|I| + E)`, `R += u·(1 + R)`.
-fn rounded(range: RatInterval, abs: Option<Rational>, rel: Option<Rational>, u: &Rational) -> State {
+fn rounded(
+    range: RatInterval,
+    abs: Option<Rational>,
+    rel: Option<Rational>,
+    u: &Rational,
+) -> State {
     let abs = abs.map(|a| {
         let fresh = u.mul(&range.abs_sup().add(&a));
         a.add(&fresh)
@@ -107,7 +116,11 @@ fn rounded(range: RatInterval, abs: Option<Rational>, rel: Option<Rational>, u: 
 }
 
 /// Combines two optional errors with a binary bound.
-fn zip(a: &Option<Rational>, b: &Option<Rational>, f: impl FnOnce(&Rational, &Rational) -> Rational) -> Option<Rational> {
+fn zip(
+    a: &Option<Rational>,
+    b: &Option<Rational>,
+    f: impl FnOnce(&Rational, &Rational) -> Rational,
+) -> Option<Rational> {
     match (a, b) {
         (Some(x), Some(y)) => Some(f(x, y)),
         _ => None,
@@ -156,11 +169,7 @@ fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<State,
             let (sa, sb) = (go(a, inputs, u, cx)?, go(b, inputs, u, cx)?);
             let range = sa.range.mul(&sb.range);
             let abs = zip(&sa.abs, &sb.abs, |ea, eb| {
-                sa.range
-                    .abs_sup()
-                    .mul(eb)
-                    .add(&sb.range.abs_sup().mul(ea))
-                    .add(&ea.mul(eb))
+                sa.range.abs_sup().mul(eb).add(&sb.range.abs_sup().mul(ea)).add(&ea.mul(eb))
             });
             // (1+ra)(1+rb) - 1 = ra + rb + ra·rb.
             let rel = match (&sa.rel, &sb.rel) {
@@ -181,7 +190,8 @@ fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<State,
                 .ok_or_else(|| AnalysisError("division by a range containing zero".into()))?;
             let abs = match zip(&sa.abs, &sb.abs, |_, eb| b_inf.sub(eb)) {
                 Some(b_fp_inf) if b_fp_inf.is_positive() => {
-                    let (ea, eb) = (sa.abs.as_ref().expect("zipped"), sb.abs.as_ref().expect("zipped"));
+                    let (ea, eb) =
+                        (sa.abs.as_ref().expect("zipped"), sb.abs.as_ref().expect("zipped"));
                     let num = ea.mul(&sb.range.abs_sup()).add(&eb.mul(&sa.range.abs_sup()));
                     Some(num.div(&b_inf.mul(&b_fp_inf)))
                 }
@@ -202,11 +212,7 @@ fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<State,
             let prod = sa.range.mul(&sb.range);
             let range = prod.add(&sc.range);
             let abs_prod = zip(&sa.abs, &sb.abs, |ea, eb| {
-                sa.range
-                    .abs_sup()
-                    .mul(eb)
-                    .add(&sb.range.abs_sup().mul(ea))
-                    .add(&ea.mul(eb))
+                sa.range.abs_sup().mul(eb).add(&sb.range.abs_sup().mul(ea)).add(&ea.mul(eb))
             });
             let abs = zip(&abs_prod, &sc.abs, |x, y| x.add(y));
             let rel_prod = match (&sa.rel, &sb.rel) {
@@ -214,7 +220,9 @@ fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<State,
                 _ => None,
             };
             let rel = match (&rel_prod, &sc.rel) {
-                (Some(rp), Some(rc)) if pos(&prod) && pos(&sc.range) => Some(rp.clone().max(rc.clone())),
+                (Some(rp), Some(rc)) if pos(&prod) && pos(&sc.range) => {
+                    Some(rp.clone().max(rc.clone()))
+                }
                 _ => None,
             };
             // Single rounding for the whole fused operation.
@@ -352,11 +360,8 @@ mod tests {
             let sq = sqrt_enclosure(&s, 160);
             let fp_val = Fp::round(sq.hi(), format, mode).to_rational().unwrap();
             let ideal = sqrt_enclosure(&x.mul(&x).add(&y.mul(&y)), 160);
-            let true_rel = fp_val
-                .sub(ideal.lo())
-                .abs()
-                .max(fp_val.sub(ideal.hi()).abs())
-                .div(ideal.lo());
+            let true_rel =
+                fp_val.sub(ideal.lo()).abs().max(fp_val.sub(ideal.hi()).abs()).div(ideal.lo());
             assert!(
                 true_rel <= rel_bound,
                 "true rel error {} exceeds bound {} at ({xs},{ys})",

@@ -48,7 +48,11 @@ impl Form {
 ///
 /// [`AnalysisError`] when a division/sqrt side condition cannot be
 /// established.
-pub fn analyze_taylor(kernel: &Kernel, format: Format, mode: RoundingMode) -> Result<ErrorBound, AnalysisError> {
+pub fn analyze_taylor(
+    kernel: &Kernel,
+    format: Format,
+    mode: RoundingMode,
+) -> Result<ErrorBound, AnalysisError> {
     let u = format.unit_roundoff(mode);
     let ranges = kernel.ranges();
     let cx = Ctx { input_rel: Rational::from_int(kernel.input_rel_ulps as i64).mul(&u) };
@@ -58,7 +62,12 @@ pub fn analyze_taylor(kernel: &Kernel, format: Format, mode: RoundingMode) -> Re
 
 /// Fresh rounding `(1+δ)`: `u·sup|I|` (abs) and `u` (rel) to first order;
 /// `δ·error` is quadratic and goes to the remainders.
-fn rounded(range: RatInterval, abs: Option<(Rational, Rational)>, rel: Option<(Rational, Rational)>, u: &Rational) -> Form {
+fn rounded(
+    range: RatInterval,
+    abs: Option<(Rational, Rational)>,
+    rel: Option<(Rational, Rational)>,
+    u: &Rational,
+) -> Form {
     let abs = abs.map(|(a1, a2)| {
         let fresh = u.mul(&a1.add(&a2));
         (a1.add(&u.mul(&range.abs_sup())), a2.add(&fresh))
@@ -133,10 +142,8 @@ fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<Form, 
             let abs = zip2(&fa.abs, &fb.abs, |(a1, a2), (b1, b2)| {
                 let first = a1.mul(&fb.range.abs_sup()).add(&b1.mul(&fa.range.abs_sup()));
                 let cross = a1.add(a2).mul(&b1.add(b2));
-                let second = a2
-                    .mul(&fb.range.abs_sup())
-                    .add(&b2.mul(&fa.range.abs_sup()))
-                    .add(&cross);
+                let second =
+                    a2.mul(&fb.range.abs_sup()).add(&b2.mul(&fa.range.abs_sup())).add(&cross);
                 (first, second)
             });
             // (1+ea)(1+eb) - 1 = ea + eb + ea·eb.
@@ -163,25 +170,24 @@ fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<Form, 
             // quadratic pieces use the error-shrunk FP divisor.
             let abs = match (&fa.abs, &fb.abs) {
                 (Some((a1s, a2s)), Some((b1s, b2s))) => (|| {
-                let ta = a1s.add(a2s);
-                let tb = b1s.add(b2s);
-                let b_fp_inf = b_inf.sub(&tb);
-                if !b_fp_inf.is_positive() {
-                    return None;
-                }
-                let first = a1s
-                    .div(&b_inf)
-                    .add(&b1s.mul(&fa.range.abs_sup()).div(&b_inf.mul(&b_inf)));
-                let quad = ta.mul(&tb).div(&b_inf.mul(&b_fp_inf)).add(
-                    &tb.mul(&tb)
-                        .mul(&fa.range.abs_sup())
-                        .div(&b_inf.mul(&b_inf).mul(&b_fp_inf)),
-                );
-                let second = a2s
-                    .div(&b_inf)
-                    .add(&b2s.mul(&fa.range.abs_sup()).div(&b_inf.mul(&b_inf)))
-                    .add(&quad);
-                Some((first, second))
+                    let ta = a1s.add(a2s);
+                    let tb = b1s.add(b2s);
+                    let b_fp_inf = b_inf.sub(&tb);
+                    if !b_fp_inf.is_positive() {
+                        return None;
+                    }
+                    let first =
+                        a1s.div(&b_inf).add(&b1s.mul(&fa.range.abs_sup()).div(&b_inf.mul(&b_inf)));
+                    let quad = ta.mul(&tb).div(&b_inf.mul(&b_fp_inf)).add(
+                        &tb.mul(&tb)
+                            .mul(&fa.range.abs_sup())
+                            .div(&b_inf.mul(&b_inf).mul(&b_fp_inf)),
+                    );
+                    let second = a2s
+                        .div(&b_inf)
+                        .add(&b2s.mul(&fa.range.abs_sup()).div(&b_inf.mul(&b_inf)))
+                        .add(&quad);
+                    Some((first, second))
                 })(),
                 _ => None,
             };
@@ -206,10 +212,8 @@ fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<Form, 
             let abs_prod = zip2(&fa.abs, &fb.abs, |(a1, a2), (b1, b2)| {
                 let first = a1.mul(&fb.range.abs_sup()).add(&b1.mul(&fa.range.abs_sup()));
                 let cross = a1.add(a2).mul(&b1.add(b2));
-                let second = a2
-                    .mul(&fb.range.abs_sup())
-                    .add(&b2.mul(&fa.range.abs_sup()))
-                    .add(&cross);
+                let second =
+                    a2.mul(&fb.range.abs_sup()).add(&b2.mul(&fa.range.abs_sup())).add(&cross);
                 (first, second)
             });
             let abs = zip2(&abs_prod, &fc.abs, |(p1, p2), (c1, c2)| (p1.add(c1), p2.add(c2)));
@@ -259,7 +263,8 @@ fn go(e: &Expr, inputs: &[RatInterval], u: &Rational, cx: &Ctx) -> Result<Form, 
             let rel = match (&fa.rel, fa.rel_total()) {
                 (Some((r1, _)), Some(total)) if total < Rational::one() => {
                     let first = r1.div(&Rational::from_int(2));
-                    let exact = Rational::one().sub(sqrt_enclosure(&Rational::one().sub(&total), SQRT_BITS).lo());
+                    let exact = Rational::one()
+                        .sub(sqrt_enclosure(&Rational::one().sub(&total), SQRT_BITS).lo());
                     let second = if exact > first { exact.sub(&first) } else { zero() };
                     Some((first, second))
                 }
@@ -312,11 +317,7 @@ mod tests {
     #[test]
     fn taylor_not_worse_on_composed_division() {
         let e = Expr::div(Expr::Var(0), Expr::add(Expr::Var(0), Expr::Var(1)));
-        let k = Kernel::new(
-            "x_by_xy",
-            vec![("x", iv("0.1", "1000")), ("y", iv("0.1", "1000"))],
-            e,
-        );
+        let k = Kernel::new("x_by_xy", vec![("x", iv("0.1", "1000")), ("y", iv("0.1", "1000"))], e);
         let (f, m) = (Format::BINARY64, RoundingMode::TowardPositive);
         let t = analyze_taylor(&k, f, m).unwrap().rel.unwrap();
         let i = analyze_interval(&k, f, m).unwrap().rel.unwrap();

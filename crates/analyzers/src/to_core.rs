@@ -45,11 +45,8 @@ impl std::error::Error for TranslateError {}
 /// indices.
 pub fn kernel_to_core(kernel: &Kernel) -> Result<CoreKernel, TranslateError> {
     let mut store = TermStore::new();
-    let free: Vec<(VarId, Ty)> = kernel
-        .inputs
-        .iter()
-        .map(|(name, _)| (store.fresh_var(name), Ty::Num))
-        .collect();
+    let free: Vec<(VarId, Ty)> =
+        kernel.inputs.iter().map(|(name, _)| (store.fresh_var(name), Ty::Num)).collect();
     let mut tx = Translator { store, vars: free.iter().map(|(v, _)| *v).collect() };
     let root = tx.monadic(&kernel.expr)?;
     Ok(CoreKernel { store: tx.store, root, free })
@@ -216,10 +213,8 @@ mod tests {
     #[test]
     fn serial_sum_translates_linearly() {
         // ((x0+x1)+x2)+x3: 3 roundings, all at sensitivity 1 -> 3 eps.
-        let e = Expr::add(
-            Expr::add(Expr::add(Expr::Var(0), Expr::Var(1)), Expr::Var(2)),
-            Expr::Var(3),
-        );
+        let e =
+            Expr::add(Expr::add(Expr::add(Expr::Var(0), Expr::Var(1)), Expr::Var(2)), Expr::Var(3));
         let k = Kernel::new(
             "sum4",
             vec![("a", iv(1, 2)), ("b", iv(1, 2)), ("c", iv(1, 2)), ("d", iv(1, 2))],

@@ -20,9 +20,7 @@ fn bench_grade_arithmetic(c: &mut Criterion) {
     let g2 = eps.scale(&Rational::ratio(5, 2));
     c.bench_function("ablation/grade_add", |b| b.iter(|| g1.add(&g2)));
     c.bench_function("ablation/grade_sup", |b| b.iter(|| g1.sup(&g2)));
-    c.bench_function("ablation/grade_mul", |b| {
-        b.iter(|| three.checked_mul(&g2).expect("linear"))
-    });
+    c.bench_function("ablation/grade_mul", |b| b.iter(|| three.checked_mul(&g2).expect("linear")));
 }
 
 fn bench_sqrt_bits(c: &mut Criterion) {
@@ -57,8 +55,10 @@ fn bench_eval_semantics(c: &mut Criterion) {
     });
     c.bench_function("ablation/eval_fp_b64", |b| {
         b.iter(|| {
-            let mut m = ModeRounding { format: Format::BINARY64, mode: RoundingMode::TowardPositive };
-            eval(&lowered.store, lowered.root, &mut m, EvalConfig::default(), &[]).expect("evaluates")
+            let mut m =
+                ModeRounding { format: Format::BINARY64, mode: RoundingMode::TowardPositive };
+            eval(&lowered.store, lowered.root, &mut m, EvalConfig::default(), &[])
+                .expect("evaluates")
         })
     });
 }

@@ -13,19 +13,11 @@ fn bench_softfloat(c: &mut Criterion) {
     });
     let x = Fp::from_f64(0.1);
     let y = Fp::from_f64(0.7);
-    c.bench_function("softfloat/add", |b| {
-        b.iter(|| x.add_fp(&y, RoundingMode::NearestEven))
-    });
-    c.bench_function("softfloat/mul", |b| {
-        b.iter(|| x.mul_fp(&y, RoundingMode::NearestEven))
-    });
-    c.bench_function("softfloat/div", |b| {
-        b.iter(|| x.div_fp(&y, RoundingMode::NearestEven))
-    });
+    c.bench_function("softfloat/add", |b| b.iter(|| x.add_fp(&y, RoundingMode::NearestEven)));
+    c.bench_function("softfloat/mul", |b| b.iter(|| x.mul_fp(&y, RoundingMode::NearestEven)));
+    c.bench_function("softfloat/div", |b| b.iter(|| x.div_fp(&y, RoundingMode::NearestEven)));
     let two = Fp::from_f64(2.0);
-    c.bench_function("softfloat/sqrt", |b| {
-        b.iter(|| two.sqrt_fp(RoundingMode::NearestEven))
-    });
+    c.bench_function("softfloat/sqrt", |b| b.iter(|| two.sqrt_fp(RoundingMode::NearestEven)));
 }
 
 criterion_group!(benches, bench_softfloat);

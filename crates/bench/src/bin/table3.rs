@@ -1,47 +1,53 @@
 //! Regenerates the paper's Table 3: small kernels, comparing the Λnum
-//! bound (via type inference and the eq. 8 conversion) against the
-//! interval (Gappa-style) and Taylor-form (FPTaylor-style) baselines,
+//! bound (one `Analyzer::check` pass and the eq. 8 conversion) against
+//! the interval (Gappa-style) and Taylor-form (FPTaylor-style) baselines,
 //! with the paper's published values alongside.
 //!
 //! Conventions (see DESIGN.md / EXPERIMENTS.md): binary64, round toward
 //! +∞ (`u = 2^-52`), all inputs in `[0.1, 1000]`, constants exact.
 
-use numfuzz_analyzers::{analyze_interval, analyze_taylor, kernel_to_core};
+use numfuzz::prelude::*;
+use numfuzz_analyzers::{analyze_interval, analyze_taylor};
 use numfuzz_bench::{fmt_time, opt_bound_string, ratio_string, rp_bound_string, PAPER_TABLE3};
 use numfuzz_benchsuite::{horner2_with_error_kernel, horner2_with_error_source, table3};
-use numfuzz_core::{compile, infer, Grade, Signature, Ty};
-use numfuzz_exact::Rational;
-use numfuzz_softfloat::{Format, RoundingMode};
 use std::time::Instant;
 
 fn main() {
-    let sig = Signature::relative_precision();
-    let format = Format::BINARY64;
-    let mode = RoundingMode::TowardPositive;
-    let u = format.unit_roundoff(mode);
+    let analyzer =
+        Analyzer::builder().format(Format::BINARY64).mode(RoundingMode::TowardPositive).build();
 
     println!("Table 3: small kernels (binary64, round toward +inf, inputs in [0.1, 1000])");
     println!("Bounds are worst-case relative error; ratio = ours / best(baselines).\n");
     println!(
         "{:<20} {:>4} | {:>9} {:>9} {:>9} {:>5} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-        "Benchmark", "Ops", "Lnum", "Taylor", "Intvl", "ratio", "t(Lnum)", "t(Taylor)", "t(Intvl)",
-        "paperLnum", "paperFPT", "paperGappa"
+        "Benchmark",
+        "Ops",
+        "Lnum",
+        "Taylor",
+        "Intvl",
+        "ratio",
+        "t(Lnum)",
+        "t(Taylor)",
+        "t(Intvl)",
+        "paperLnum",
+        "paperFPT",
+        "paperGappa"
     );
 
     let mut rows = Vec::new();
     for b in table3() {
-        rows.push(run_ir_row(&b, &sig, format, mode, &u));
+        rows.push(run_ir_row(&b, &analyzer));
     }
     // Horner2_with_error: Λnum from the Fig. 9 surface program, baselines
     // from the kernel with one unit of input error.
-    rows.push(run_with_error_row(&sig, format, mode, &u));
+    rows.push(run_with_error_row(&analyzer));
 
     for row in rows {
         let paper = PAPER_TABLE3
             .iter()
             .find(|(n, ..)| *n == row.name)
             .copied()
-            .unwrap_or((row.name_static(), "-", "-", "-"));
+            .unwrap_or(("", "-", "-", "-"));
         println!(
             "{:<20} {:>4} | {:>9} {:>9} {:>9} {:>5} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
             row.name,
@@ -76,35 +82,21 @@ struct Row {
     t_interval: String,
 }
 
-impl Row {
-    fn name_static(&self) -> &'static str {
-        ""
-    }
-}
-
-fn run_ir_row(
-    b: &numfuzz_benchsuite::SmallBench,
-    sig: &Signature,
-    format: Format,
-    mode: RoundingMode,
-    u: &Rational,
-) -> Row {
-    let ck = kernel_to_core(&b.kernel).expect("translatable");
+fn run_ir_row(b: &numfuzz_benchsuite::SmallBench, analyzer: &Analyzer) -> Row {
+    let program = Program::from_kernel(&b.kernel).expect("translatable");
     let t0 = Instant::now();
-    let res = infer(&ck.store, sig, ck.root, &ck.free).expect("checks");
+    let typed = analyzer.check(&program).expect("checks");
+    let bound = analyzer.bound(&typed).expect("monadic grade");
     let t_ours = t0.elapsed();
-    let alpha = match &res.root.ty {
-        Ty::Monad(g, _) => g.eval_eps(u).expect("numeric grade"),
-        other => panic!("unexpected type {other}"),
-    };
     // Sanity: inference matched the recorded coefficient.
     assert_eq!(
-        res.root.ty,
-        Ty::monad(Grade::symbol("eps").scale(&b.expected_eps_coeff), Ty::Num),
+        typed.ty(),
+        &Ty::monad(Grade::symbol("eps").scale(&b.expected_eps_coeff), Ty::Num),
         "{}",
         b.kernel.name
     );
 
+    let (format, mode) = (analyzer.format(), analyzer.mode());
     let t0 = Instant::now();
     let taylor = analyze_taylor(&b.kernel, format, mode).ok().and_then(|r| r.rel);
     let t_taylor = t0.elapsed();
@@ -112,11 +104,11 @@ fn run_ir_row(
     let interval = analyze_interval(&b.kernel, format, mode).ok().and_then(|r| r.rel);
     let t_interval = t0.elapsed();
 
-    let ours_rel = numfuzz_metrics::rp::rp_to_rel_bound(&alpha).expect("alpha < 1");
+    let ours_rel = bound.relative.clone().expect("alpha < 1");
     Row {
         name: b.kernel.name.clone(),
         ops: b.kernel.op_count(),
-        ours: rp_bound_string(&alpha),
+        ours: rp_bound_string(&bound.alpha),
         ratio: ratio_string(&ours_rel, &[&taylor, &interval]),
         taylor,
         interval,
@@ -126,38 +118,29 @@ fn run_ir_row(
     }
 }
 
-fn run_with_error_row(sig: &Signature, format: Format, mode: RoundingMode, u: &Rational) -> Row {
+fn run_with_error_row(analyzer: &Analyzer) -> Row {
     let t0 = Instant::now();
-    let lowered = compile(horner2_with_error_source(), sig).expect("compiles");
-    let res = infer(&lowered.store, sig, lowered.root, &[]).expect("checks");
+    let program = analyzer.parse(horner2_with_error_source()).expect("parses");
+    let typed = analyzer.check(&program).expect("checks");
+    let rep = typed.function("Horner2we").expect("reported");
+    // The bound of *calling* the function: walk the curried type to its
+    // monadic codomain.
+    let bound = analyzer.bound_of_ty(&rep.inferred).expect("monadic codomain");
     let t_ours = t0.elapsed();
-    let rep = res.fn_report("Horner2we").expect("reported");
-    let alpha = match &rep.inferred {
-        Ty::Lolli(..) => {
-            // Walk to the final monadic codomain.
-            let mut t = &rep.inferred;
-            loop {
-                match t {
-                    Ty::Lolli(_, cod) => t = cod,
-                    Ty::Monad(g, _) => break g.eval_eps(u).expect("numeric"),
-                    other => panic!("unexpected {other}"),
-                }
-            }
-        }
-        other => panic!("unexpected {other}"),
-    };
+
     let b = horner2_with_error_kernel();
+    let (format, mode) = (analyzer.format(), analyzer.mode());
     let t0 = Instant::now();
     let taylor = analyze_taylor(&b.kernel, format, mode).ok().and_then(|r| r.rel);
     let t_taylor = t0.elapsed();
     let t0 = Instant::now();
     let interval = analyze_interval(&b.kernel, format, mode).ok().and_then(|r| r.rel);
     let t_interval = t0.elapsed();
-    let ours_rel = numfuzz_metrics::rp::rp_to_rel_bound(&alpha).expect("alpha < 1");
+    let ours_rel = bound.relative.clone().expect("alpha < 1");
     Row {
         name: "Horner2_with_error".to_string(),
         ops: b.kernel.op_count(),
-        ours: rp_bound_string(&alpha),
+        ours: rp_bound_string(&bound.alpha),
         ratio: ratio_string(&ours_rel, &[&taylor, &interval]),
         taylor,
         interval,

@@ -1,27 +1,40 @@
 //! Regenerates the paper's Table 4: large benchmarks (100 to 4.2M
-//! floating-point operations). For each, the generated program is
-//! type-checked (timed), its grade converted to a relative bound via
-//! eq. (8), and compared against the literature "Std." bound.
+//! floating-point operations). Each generated program becomes a
+//! `Program`, is type-checked (timed) by one `Analyzer` session, and its
+//! grade is converted to a relative bound via eq. (8) and compared
+//! against the literature "Std." bound.
 //!
 //! `MatrixMultiply128` (≈25M AST nodes, several GB) only runs when
 //! `NUMFUZZ_LARGE=1` is set.
 
+use numfuzz::prelude::*;
 use numfuzz_analyzers::std_bounds;
 use numfuzz_bench::{fmt_time, rp_bound_string, PAPER_TABLE4};
 use numfuzz_benchsuite::{horner, matrix_multiply, poly_naive, serial_sum, Generated};
-use numfuzz_core::{infer, Signature, Ty};
-use numfuzz_exact::Rational;
 use std::time::Instant;
 
 fn main() {
-    let sig = Signature::relative_precision();
-    let u = Rational::pow2(-52); // binary64, directed rounding
+    let analyzer = Analyzer::builder()
+        .format(Format::BINARY64)
+        .mode(RoundingMode::TowardPositive) // u = 2^-52, directed rounding
+        .build();
+    let u = analyzer.rounding_unit();
 
     println!("Table 4: large benchmarks (binary64, round toward +inf)");
-    println!("Std. bounds: gamma_n after Higham / Boldo et al.; paper timings quoted for reference.\n");
+    println!(
+        "Std. bounds: gamma_n after Higham / Boldo et al.; paper timings quoted for reference.\n"
+    );
     println!(
         "{:<20} {:>9} | {:>9} {:>9} | {:>10} {:>10} | {:>9} {:>9} {:>9}",
-        "Benchmark", "Ops", "Lnum", "Std.", "t(gen)", "t(check)", "paperLnum", "paperStd", "paper t"
+        "Benchmark",
+        "Ops",
+        "Lnum",
+        "Std.",
+        "t(gen)",
+        "t(check)",
+        "paperLnum",
+        "paperStd",
+        "paper t"
     );
 
     let large = std::env::var("NUMFUZZ_LARGE").is_ok_and(|v| v == "1");
@@ -44,15 +57,15 @@ fn main() {
     for (gen, std_bound) in jobs {
         let t0 = Instant::now();
         let g = gen();
+        let ops = g.ops;
         let t_gen = t0.elapsed();
+        let program = Program::from_generated(g);
+        let name = program.name().expect("generated benchmarks are named").to_string();
         let t0 = Instant::now();
-        let res = infer(&g.store, &sig, g.root, &g.free).expect("checks");
+        let typed = analyzer.check(&program).expect("checks");
         let t_check = t0.elapsed();
-        let alpha = match &res.root.ty {
-            Ty::Monad(grade, _) => grade.eval_eps(&u).expect("numeric"),
-            other => panic!("unexpected type {other}"),
-        };
-        let paper_name = paper_key(&g.name);
+        let bound = analyzer.bound(&typed).expect("monadic grade");
+        let paper_name = paper_key(&name);
         let paper = PAPER_TABLE4
             .iter()
             .find(|(n, ..)| *n == paper_name)
@@ -60,9 +73,9 @@ fn main() {
             .unwrap_or((paper_name, 0, "-", "-", "-"));
         println!(
             "{:<20} {:>9} | {:>9} {:>9} | {:>10} {:>10} | {:>9} {:>9} {:>9}",
-            g.name,
-            g.ops,
-            rp_bound_string(&alpha),
+            name,
+            ops,
+            rp_bound_string(&bound.alpha),
             std_bound.as_ref().map_or("-".to_string(), |b| b.to_sci_string(3)),
             fmt_time(t_gen),
             fmt_time(t_check),
@@ -75,7 +88,9 @@ fn main() {
         println!("\n(set NUMFUZZ_LARGE=1 to include MatrixMultiply128: ~25M AST nodes)");
     }
     println!("\nNotes: Λnum matches Std. exactly on Horner and SerialSum; on MatrixMultiply the");
-    println!("per-op rounding model yields (2n-1)u vs the literature's fused gamma_n (a factor ~2),");
+    println!(
+        "per-op rounding model yields (2n-1)u vs the literature's fused gamma_n (a factor ~2),"
+    );
     println!("the same relationship the paper reports.");
 }
 

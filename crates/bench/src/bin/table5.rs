@@ -1,16 +1,16 @@
 //! Regenerates the paper's Table 5: conditional benchmarks. Each surface
-//! program is parsed, lowered and type-checked (timed); the reported
-//! bound comes from the function's monadic grade via eq. (8).
+//! program becomes a `Program` (parsed + lowered + type-checked, timed);
+//! the reported bound comes from the function's monadic grade via
+//! eq. (8).
 
+use numfuzz::prelude::*;
 use numfuzz_bench::{fmt_time, rp_bound_string, PAPER_TABLE5};
 use numfuzz_benchsuite::table5;
-use numfuzz_core::{compile, infer, Signature, Ty};
-use numfuzz_exact::Rational;
 use std::time::Instant;
 
 fn main() {
-    let sig = Signature::relative_precision();
-    let u = Rational::pow2(-52);
+    let analyzer =
+        Analyzer::builder().format(Format::BINARY64).mode(RoundingMode::TowardPositive).build();
 
     println!("Table 5: conditional benchmarks (binary64, round toward +inf)\n");
     println!(
@@ -20,28 +20,19 @@ fn main() {
 
     for b in table5() {
         let t0 = Instant::now();
-        let lowered = compile(b.source, &sig).expect("compiles");
-        let res = infer(&lowered.store, &sig, lowered.root, &[]).expect("checks");
+        let program = analyzer.parse_named(b.name, b.source).expect("parses");
+        let typed = analyzer.check(&program).expect("checks");
         let elapsed = t0.elapsed();
-        let rep = res.fn_report(b.function).expect("function present");
-        // Walk the curried type to its monadic codomain.
-        let mut t = &rep.inferred;
-        let alpha = loop {
-            match t {
-                Ty::Lolli(_, cod) => t = cod,
-                Ty::Monad(g, _) => break g.eval_eps(&u).expect("numeric"),
-                other => panic!("unexpected type {other}"),
-            }
-        };
-        let paper = PAPER_TABLE5
-            .iter()
-            .find(|(n, ..)| *n == b.name)
-            .copied()
-            .unwrap_or((b.name, "-", "-"));
+        let rep = typed.function(b.function).expect("function present");
+        // The bound of calling the function: eq. (8) on the curried
+        // type's monadic codomain.
+        let bound = analyzer.bound_of_ty(&rep.inferred).expect("monadic codomain");
+        let paper =
+            PAPER_TABLE5.iter().find(|(n, ..)| *n == b.name).copied().unwrap_or((b.name, "-", "-"));
         println!(
             "{:<22} | {:>9} {:>10} | {:>9} {:>9}",
             b.name,
-            rp_bound_string(&alpha),
+            rp_bound_string(&bound.alpha),
             fmt_time(elapsed),
             paper.1,
             paper.2,

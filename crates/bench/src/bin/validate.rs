@@ -1,21 +1,28 @@
 //! Error-soundness sweep (Corollary 4.20): for every Table 3 kernel and
 //! every recorded sample input, run the ideal and floating-point
 //! semantics in several formats and modes and *rigorously* check
-//! `RP(ideal, fp) <= inferred bound`. Also sweeps the Table 5
+//! `RP(ideal, fp) <= inferred bound` — one `Analyzer` session per
+//! format/mode, one `Program` per benchmark. Also sweeps the Table 5
 //! conditionals and a couple of generated Table 4 programs.
 //!
 //! Exits nonzero on any violation (none exist; this is the empirical
 //! witness to the soundness theorem).
 
-use numfuzz_analyzers::kernel_to_core;
+use numfuzz::prelude::*;
 use numfuzz_benchsuite::{horner, serial_sum, table3, table5};
-use numfuzz_core::{compile, Signature};
-use numfuzz_interp::{rounding::CheckedRounding, validate, Value};
-use numfuzz_softfloat::{Format, RoundingMode};
 
 fn main() {
-    let sig = Signature::relative_precision();
     let formats = [Format::BINARY64, Format::new(12, 60), Format::new(6, 40)];
+    // One session per (format, mode): signature setup is shared inside
+    // each; programs are built once and revalidated across all sessions.
+    let sessions: Vec<Analyzer> = formats
+        .iter()
+        .flat_map(|&format| {
+            RoundingMode::ALL
+                .into_iter()
+                .map(move |mode| Analyzer::builder().format(format).mode(mode).build())
+        })
+        .collect();
     let mut runs = 0usize;
     let mut violations = 0usize;
     let mut faults = 0usize;
@@ -24,59 +31,51 @@ fn main() {
     println!("Error-soundness validation (Cor. 4.20): RP(ideal, fp) <= grade bound\n");
 
     for b in table3() {
-        let ck = kernel_to_core(&b.kernel).expect("translatable");
+        let program = Program::from_kernel(&b.kernel).expect("translatable");
         for sample in &b.samples {
-            let inputs: Vec<_> = ck
-                .free
-                .iter()
-                .zip(sample)
-                .map(|((v, _), q)| (*v, Value::num(q.clone())))
-                .collect();
-            for format in formats {
-                for mode in RoundingMode::ALL {
-                    let mut fp = CheckedRounding { format, mode };
-                    let rep = validate(
-                        &ck.store,
-                        &sig,
-                        ck.root,
-                        &inputs,
-                        &mut fp,
-                        &format.unit_roundoff(mode),
-                    )
-                    .unwrap_or_else(|e| panic!("{} {format} {mode}: {e}", b.kernel.name));
-                    runs += 1;
-                    if rep.fp.is_none() {
-                        faults += 1; // over/underflow: Cor. 7.5 is vacuous
-                    }
-                    if !rep.holds() {
-                        violations += 1;
-                        println!("VIOLATION: {} sample {sample:?} {format} {mode}", b.kernel.name);
-                    }
-                    if let Some(m) = rep.measured {
-                        let bound = rep.bound.to_f64();
-                        if bound > 0.0 && m > 0.0 {
-                            worst_slack = worst_slack.min(bound / m);
-                        }
+            let inputs = Inputs::positional(sample.iter().map(|q| Value::num(q.clone())));
+            for session in &sessions {
+                let rep = session.validate(&program, &inputs).unwrap_or_else(|e| {
+                    panic!("{} {} {}: {e}", b.kernel.name, session.format(), session.mode())
+                });
+                runs += 1;
+                if rep.fp.is_none() {
+                    faults += 1; // over/underflow: Cor. 7.5 is vacuous
+                }
+                if !rep.holds() {
+                    violations += 1;
+                    println!(
+                        "VIOLATION: {} sample {sample:?} {} {}",
+                        b.kernel.name,
+                        session.format(),
+                        session.mode()
+                    );
+                }
+                if let Some(m) = rep.measured {
+                    let bound = rep.bound.to_f64();
+                    if bound > 0.0 && m > 0.0 {
+                        worst_slack = worst_slack.min(bound / m);
                     }
                 }
             }
         }
-        println!("  {:<20} ok ({} samples x {} format/mode combos)", b.kernel.name, b.samples.len(), formats.len() * 4);
+        println!(
+            "  {:<20} ok ({} samples x {} format/mode combos)",
+            b.kernel.name,
+            b.samples.len(),
+            sessions.len()
+        );
     }
 
     for b in table5() {
-        let src = format!("{}\n{}", b.source, b.sample);
-        let lowered = compile(&src, &sig).expect("compiles");
-        for format in formats {
-            for mode in RoundingMode::ALL {
-                let mut fp = CheckedRounding { format, mode };
-                let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &format.unit_roundoff(mode))
-                    .expect("validation harness");
-                runs += 1;
-                if !rep.holds() {
-                    violations += 1;
-                    println!("VIOLATION: {} {format} {mode}", b.name);
-                }
+        let program =
+            Program::parse_named(b.name, &format!("{}\n{}", b.source, b.sample)).expect("parses");
+        for session in &sessions {
+            let rep = session.validate(&program, &Inputs::none()).expect("validation harness");
+            runs += 1;
+            if !rep.holds() {
+                violations += 1;
+                println!("VIOLATION: {} {} {}", b.name, session.format(), session.mode());
             }
         }
         println!("  {:<20} ok", b.name);
@@ -84,26 +83,26 @@ fn main() {
 
     // Generated programs: Horner50 at a sample point, SerialSum(64).
     for g in [horner(50), serial_sum(64)] {
-        let inputs: Vec<_> = g
-            .free
-            .iter()
-            .map(|(v, _)| (*v, Value::num(numfuzz_exact::Rational::ratio(7, 2))))
-            .collect();
+        let program = Program::from_generated(g);
+        let name = program.name().expect("named").to_string();
+        let inputs =
+            Inputs::positional(program.free().iter().map(|_| Value::num(Rational::ratio(7, 2))));
         for format in formats {
-            let mode = RoundingMode::TowardPositive;
-            let mut fp = CheckedRounding { format, mode };
-            let rep = validate(&g.store, &sig, g.root, &inputs, &mut fp, &format.unit_roundoff(mode))
-                .expect("validation harness");
+            let session =
+                Analyzer::builder().format(format).mode(RoundingMode::TowardPositive).build();
+            let rep = session.validate(&program, &inputs).expect("validation harness");
             runs += 1;
             if !rep.holds() {
                 violations += 1;
-                println!("VIOLATION: {} {format}", g.name);
+                println!("VIOLATION: {name} {format}");
             }
         }
-        println!("  {:<20} ok", g.name);
+        println!("  {name:<20} ok");
     }
 
-    println!("\n{runs} validations, {violations} violations, {faults} vacuous (over/underflow -> err).");
+    println!(
+        "\n{runs} validations, {violations} violations, {faults} vacuous (over/underflow -> err)."
+    );
     if worst_slack.is_finite() {
         println!("tightest observed bound/measured ratio: {worst_slack:.2}x");
     }

@@ -185,8 +185,11 @@ mod tests {
         // numfuzz-interp; here we only check the samples compile.
         let sig = Signature::relative_precision();
         for b in table5() {
-            let src = format!("{}
-{}", b.source, b.sample);
+            let src = format!(
+                "{}
+{}",
+                b.source, b.sample
+            );
             let lowered = compile(&src, &sig).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let res = infer(&lowered.store, &sig, lowered.root, &[])
                 .unwrap_or_else(|e| panic!("{} sample: {e}", b.name));

@@ -64,10 +64,7 @@ pub fn horner(n: usize) -> Generated {
     let acc0 = store.fresh_var("acc0");
     let mut acc = acc0;
     // Bind chain built innermost-last: collect steps then fold.
-    let mut steps: Vec<(VarId, TermId)> = vec![(acc0, {
-        
-        store.ret(first)
-    })];
+    let mut steps: Vec<(VarId, TermId)> = vec![(acc0, { store.ret(first) })];
     for i in 0..n {
         let next = store.fresh_var(&format!("acc{}", i + 1));
         let xv = store.var(x);
@@ -322,7 +319,8 @@ mod tests {
     fn grade_of(g: &Generated) -> (String, String) {
         assert!(g.store.conforms_to_value_restriction(g.root), "{}: Fig. 1 syntax", g.name);
         let sig = Signature::relative_precision();
-        let res = infer(&g.store, &sig, g.root, &g.free).unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        let res =
+            infer(&g.store, &sig, g.root, &g.free).unwrap_or_else(|e| panic!("{}: {e}", g.name));
         let expected = Ty::monad(Grade::symbol("eps").scale(&g.expected_eps_coeff), Ty::Num);
         (res.root.ty.to_string(), expected.to_string())
     }
@@ -362,9 +360,7 @@ mod tests {
         assert_eq!(g.ops, 1325);
         let (got, want) = grade_of(&g);
         assert_eq!(got, want);
-        let bound = g
-            .expected_eps_coeff
-            .mul(&Rational::pow2(-52));
+        let bound = g.expected_eps_coeff.mul(&Rational::pow2(-52));
         assert_eq!(bound.to_sci_string(3), "2.94e-13");
     }
 

@@ -58,19 +58,12 @@ fn bench(
     expected: Rational,
     samples: &[&[&str]],
 ) -> SmallBench {
-    let kernel = Kernel::new(
-        name,
-        inputs.into_iter().map(|n| (n, std_range())).collect(),
-        expr,
-    );
+    let kernel = Kernel::new(name, inputs.into_iter().map(|n| (n, std_range())).collect(), expr);
     SmallBench {
         kernel,
         fpbench,
         expected_eps_coeff: expected,
-        samples: samples
-            .iter()
-            .map(|row| row.iter().map(|s| rat(s)).collect())
-            .collect(),
+        samples: samples.iter().map(|row| row.iter().map(|s| rat(s)).collect()).collect(),
     }
 }
 
@@ -111,10 +104,7 @@ pub fn table3() -> Vec<SmallBench> {
             vec!["x"],
             Expr::div(
                 Expr::num("1"),
-                Expr::add(
-                    Expr::sqrt(Expr::add(v(0), Expr::num("1"))),
-                    Expr::sqrt(v(0)),
-                ),
+                Expr::add(Expr::sqrt(Expr::add(v(0), Expr::num("1"))), Expr::sqrt(v(0))),
             ),
             coeff(9, 2),
             &[&["0.1"], &["42"], &["1000"]],
@@ -280,10 +270,7 @@ mod tests {
             let ck = kernel_to_core(&b.kernel).expect("translatable");
             let res = infer(&ck.store, &sig, ck.root, &ck.free)
                 .unwrap_or_else(|e| panic!("{}: {e}", b.kernel.name));
-            let expected = Ty::monad(
-                Grade::symbol("eps").scale(&b.expected_eps_coeff),
-                Ty::Num,
-            );
+            let expected = Ty::monad(Grade::symbol("eps").scale(&b.expected_eps_coeff), Ty::Num);
             assert_eq!(
                 res.root.ty, expected,
                 "{}: inferred {} expected {}",

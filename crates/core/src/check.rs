@@ -207,8 +207,13 @@ fn count_parent_edges(store: &TermStore) -> Vec<u32> {
                 bump(*a);
                 bump(*b);
             }
-            Node::Inl(v, _) | Node::Inr(v, _) | Node::BoxIntro(_, v) | Node::Rnd(v)
-            | Node::Ret(v) | Node::Proj(_, v) | Node::Op(_, v) => bump(*v),
+            Node::Inl(v, _)
+            | Node::Inr(v, _)
+            | Node::BoxIntro(_, v)
+            | Node::Rnd(v)
+            | Node::Ret(v)
+            | Node::Proj(_, v)
+            | Node::Op(_, v) => bump(*v),
             Node::Lam(_, _, body) => bump(*body),
             Node::LetTensor(_, _, v, e)
             | Node::LetBox(_, v, e)
@@ -324,7 +329,10 @@ impl<'a> Checker<'a> {
                 (Node::Rnd(v), 1) => {
                     let r = self.take(v).expect("child done");
                     if r.ty != Ty::Num {
-                        return Err(CheckError::Expected { what: "a numeric argument to rnd", found: r.ty });
+                        return Err(CheckError::Expected {
+                            what: "a numeric argument to rnd",
+                            found: r.ty,
+                        });
                     }
                     self.done(id, r.env, Ty::monad(self.sig.rnd_grade().clone(), Ty::Num));
                 }
@@ -340,17 +348,18 @@ impl<'a> Checker<'a> {
                             self.done(id, r.env, ty);
                         }
                         other => {
-                            return Err(CheckError::Expected { what: "a cartesian pair", found: other })
+                            return Err(CheckError::Expected {
+                                what: "a cartesian pair",
+                                found: other,
+                            })
                         }
                     }
                 }
                 (Node::Op(op_idx, v), 1) => {
                     let r = self.take(v).expect("child done");
                     let name = self.store.op_name(op_idx);
-                    let op = self
-                        .sig
-                        .op(name)
-                        .ok_or_else(|| CheckError::UnknownOp(name.to_string()))?;
+                    let op =
+                        self.sig.op(name).ok_or_else(|| CheckError::UnknownOp(name.to_string()))?;
                     let env = if r.ty.subtype(&op.arg) {
                         r.env
                     } else if let Ty::Bang(g, inner) = &op.arg {
@@ -398,11 +407,16 @@ impl<'a> Checker<'a> {
                     match ra.ty {
                         Ty::Lolli(dom, cod) => {
                             if !rb.ty.subtype(&dom) {
-                                return Err(CheckError::ArgMismatch { expected: *dom, found: rb.ty });
+                                return Err(CheckError::ArgMismatch {
+                                    expected: *dom,
+                                    found: rb.ty,
+                                });
                             }
                             self.done(id, ra.env.add(rb.env), *cod);
                         }
-                        other => return Err(CheckError::Expected { what: "a function", found: other }),
+                        other => {
+                            return Err(CheckError::Expected { what: "a function", found: other })
+                        }
                     }
                 }
 
@@ -448,7 +462,12 @@ impl<'a> Checker<'a> {
                             stack.push(Frame { id, stage: 2 });
                             stack.push(Frame { id: e, stage: 0 });
                         }
-                        other => return Err(CheckError::Expected { what: "a tensor pair", found: other }),
+                        other => {
+                            return Err(CheckError::Expected {
+                                what: "a tensor pair",
+                                found: other,
+                            })
+                        }
                     }
                 }
                 (Node::LetTensor(x, y, v, e), 2) => {
@@ -499,7 +518,12 @@ impl<'a> Checker<'a> {
                             stack.push(Frame { id, stage: 2 });
                             stack.push(Frame { id: e, stage: 0 });
                         }
-                        other => return Err(CheckError::Expected { what: "a boxed value", found: other }),
+                        other => {
+                            return Err(CheckError::Expected {
+                                what: "a boxed value",
+                                found: other,
+                            })
+                        }
                     }
                 }
                 (Node::LetBox(x, v, e), 2) => {
@@ -526,7 +550,10 @@ impl<'a> Checker<'a> {
                             stack.push(Frame { id: f, stage: 0 });
                         }
                         other => {
-                            return Err(CheckError::Expected { what: "a monadic computation", found: other })
+                            return Err(CheckError::Expected {
+                                what: "a monadic computation",
+                                found: other,
+                            })
                         }
                     }
                 }

@@ -155,7 +155,9 @@ impl Grade {
     pub fn add(&self, other: &Self) -> Self {
         match (self, other) {
             (Grade::Infinite, _) | (_, Grade::Infinite) => Grade::Infinite,
-            (Grade::Finite(a), Grade::Finite(b)) => Grade::Finite(LinExpr::merge(a, b, |x, y| x.add(y))),
+            (Grade::Finite(a), Grade::Finite(b)) => {
+                Grade::Finite(LinExpr::merge(a, b, |x, y| x.add(y)))
+            }
         }
     }
 
@@ -192,7 +194,9 @@ impl Grade {
             (Grade::Finite(_), Grade::Finite(_)) => {
                 if let Some(c) = self.as_constant() {
                     Some(other.scale(c))
-                } else { other.as_constant().map(|c| self.scale(c)) }
+                } else {
+                    other.as_constant().map(|c| self.scale(c))
+                }
             }
         }
     }

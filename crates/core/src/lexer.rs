@@ -232,7 +232,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'\'')
                 {
                     i += 1;
                 }

@@ -96,7 +96,11 @@ impl<'a> Lowerer<'a> {
         self.defs_then(&prog.defs, prog.main.as_ref())
     }
 
-    fn defs_then(&mut self, defs: &[crate::parser::SFnDef], main: Option<&SExpr>) -> Result<TermId, SyntaxError> {
+    fn defs_then(
+        &mut self,
+        defs: &[crate::parser::SFnDef],
+        main: Option<&SExpr>,
+    ) -> Result<TermId, SyntaxError> {
         match defs.split_first() {
             None => match main {
                 Some(e) => self.expr(e),
@@ -243,7 +247,11 @@ impl<'a> Lowerer<'a> {
     }
 
     /// Lowers to a *value* term, pushing any needed let-bindings.
-    fn value(&mut self, e: &SExpr, binds: &mut Vec<(VarId, TermId)>) -> Result<TermId, SyntaxError> {
+    fn value(
+        &mut self,
+        e: &SExpr,
+        binds: &mut Vec<(VarId, TermId)>,
+    ) -> Result<TermId, SyntaxError> {
         let t = match e {
             SExpr::Num(q) => self.store.num(q.clone()),
             SExpr::Var(name) => match self.lookup(name) {
@@ -296,10 +304,12 @@ impl<'a> Lowerer<'a> {
                 let tv = self.value(v, binds)?;
                 self.store.box_intro(g.clone(), tv)
             }
-            // Not value-shaped: lower as a term and let-bind it.
+            // Not value-shaped: lower as a term and let-bind it. Temps
+            // get unique *names* (not just unique ids) so pretty-printed
+            // programs re-parse without accidental shadowing.
             _ => {
                 let t = self.expr(e)?;
-                let v = self.store.fresh_var("_t");
+                let v = self.store.fresh_var(&format!("_t{}", self.store.len()));
                 binds.push((v, t));
                 return Ok(self.store.var(v));
             }
@@ -465,7 +475,8 @@ mod tests {
 
     #[test]
     fn booleans_lower_to_injections() {
-        let (lowered, _) = lower_expr_with(&crate::parser::parse_expr("true").unwrap(), &rp(), &[]).unwrap();
+        let (lowered, _) =
+            lower_expr_with(&crate::parser::parse_expr("true").unwrap(), &rp(), &[]).unwrap();
         assert!(matches!(lowered.store.node(lowered.root), Node::Inl(..)));
     }
 }

@@ -264,11 +264,7 @@ impl Parser {
         while self.is_kw("function") {
             defs.push(self.fndef()?);
         }
-        let main = if self.peek() == &Tok::Eof {
-            None
-        } else {
-            Some(self.block()?)
-        };
+        let main = if self.peek() == &Tok::Eof { None } else { Some(self.block()?) };
         Ok(SProgram { defs, main })
     }
 
@@ -360,10 +356,9 @@ impl Parser {
     fn starts_atom(&self) -> bool {
         match self.peek() {
             Tok::Number(_) | Tok::LParen | Tok::LPairW | Tok::LBracket => true,
-            Tok::Ident(s) => !matches!(
-                s.as_str(),
-                "then" | "else" | "of" | "function" | "let" | "in"
-            ),
+            Tok::Ident(s) => {
+                !matches!(s.as_str(), "then" | "else" | "of" | "function" | "let" | "in")
+            }
             _ => false,
         }
     }
@@ -671,10 +666,7 @@ mod tests {
         assert_eq!(parse_ty("<num, num>").unwrap().to_string(), "<num, num>");
         assert_eq!(parse_ty("bool").unwrap(), Ty::bool());
         assert_eq!(parse_ty("unit + num").unwrap().to_string(), "unit + num");
-        assert_eq!(
-            parse_ty("M[1/2 + eps]num").unwrap().to_string(),
-            "M[1/2 + eps]num"
-        );
+        assert_eq!(parse_ty("M[1/2 + eps]num").unwrap().to_string(), "M[1/2 + eps]num");
         assert_eq!(parse_ty("![inf]num").unwrap().to_string(), "![inf]num");
         // -o is right-associative.
         assert_eq!(

@@ -1,9 +1,15 @@
 //! A compact pretty-printer for arena terms, used in error messages,
-//! examples and debugging. Output follows the surface syntax; it is
-//! re-parsable for programs that avoid exotic nesting, but its contract is
-//! readability, not round-tripping.
+//! examples and debugging. Output follows the surface syntax and
+//! **re-parses** for programs built from it: `function` chains print with
+//! their parameter sugar restored, and constants print as exact decimals
+//! whenever they have one (denominator `2^a·5^b`). The residue that
+//! cannot round-trip — bare lambdas outside `function` sugar, `err`
+//! terms, constants like `1/3` — prints readably but is not surface
+//! syntax.
 
 use crate::term::{Node, TermId, TermStore};
+use crate::ty::Ty;
+use numfuzz_exact::Rational;
 
 /// Renders a term. Iterative in spirit but recursion-bounded by
 /// `max_depth`: deeper structure prints as `...` (benchmark terms are
@@ -23,7 +29,7 @@ fn go(store: &TermStore, id: TermId, depth: u32, out: &mut String) {
     match store.node(id) {
         Node::Var(v) => out.push_str(store.var_name(*v)),
         Node::UnitVal => out.push_str("()"),
-        Node::Const(k) => out.push_str(&store.constant(*k).to_string()),
+        Node::Const(k) => out.push_str(&constant_literal(store.constant(*k))),
         Node::PairW(a, b) => {
             out.push_str("(|");
             go(store, *a, d, out);
@@ -107,28 +113,46 @@ fn go(store: &TermStore, id: TermId, depth: u32, out: &mut String) {
             out.push(')');
         }
         Node::LetBox(x, v, e) => {
-            out.push_str(&format!("let [{}] = ", store.var_name(*x)));
-            go(store, *v, d, out);
-            out.push_str("; ");
+            emit_stmt(store, Binder::Box, *x, *v, d, out);
             go(store, *e, d, out);
         }
         Node::LetBind(x, v, e) => {
-            out.push_str(&format!("let {} = ", store.var_name(*x)));
-            go(store, *v, d, out);
-            out.push_str("; ");
+            emit_stmt(store, Binder::Bind, *x, *v, d, out);
             go(store, *e, d, out);
         }
         Node::Let(x, e, f) => {
-            out.push_str(&format!("{} = ", store.var_name(*x)));
-            go(store, *e, d, out);
-            out.push_str("; ");
+            emit_stmt(store, Binder::Plain, *x, *e, d, out);
             go(store, *f, d, out);
         }
-        Node::LetFun(x, _, body, rest) => {
-            out.push_str(&format!("function {} = ", store.var_name(*x)));
-            go(store, *body, d, out);
-            out.push_str("; ");
-            go(store, *rest, d, out);
+        Node::LetFun(x, decl, body, rest) => {
+            // Restore the surface sugar when possible: a declared type
+            // plus a lambda chain prints as
+            // `function f (p: T) ... : R { body }`.
+            if *decl != u32::MAX {
+                let mut params = Vec::new();
+                let mut inner = *body;
+                let mut ret = store.ty(*decl).clone();
+                while let (Node::Lam(p, pt, b), Ty::Lolli(_, cod)) =
+                    (store.node(inner), ret.clone())
+                {
+                    params.push((store.var_name(*p).to_string(), store.ty(*pt).clone()));
+                    inner = *b;
+                    ret = *cod;
+                }
+                out.push_str(&format!("function {}", store.var_name(*x)));
+                for (p, t) in &params {
+                    out.push_str(&format!(" ({p}: {t})"));
+                }
+                out.push_str(&format!(" : {ret} {{ "));
+                go(store, inner, d, out);
+                out.push_str(" }\n");
+                go(store, *rest, d, out);
+            } else {
+                out.push_str(&format!("function {} = ", store.var_name(*x)));
+                go(store, *body, d, out);
+                out.push_str("; ");
+                go(store, *rest, d, out);
+            }
         }
         Node::Op(op, v) => {
             out.push_str(store.op_name(*op));
@@ -136,6 +160,97 @@ fn go(store: &TermStore, id: TermId, depth: u32, out: &mut String) {
             go(store, *v, d, out);
         }
     }
+}
+
+/// Statement flavors of the surface syntax.
+#[derive(Clone, Copy)]
+enum Binder {
+    /// `x = e;`
+    Plain,
+    /// `let x = e;` (monadic bind)
+    Bind,
+    /// `let [x] = e;` (box elimination)
+    Box,
+}
+
+/// Prints one `… = e;` statement. When the bound term is itself a
+/// statement chain (ANF puts let-chains in bound position), the chain is
+/// hoisted — `x = (y = a; b); c` prints as `y = a; x = b; c` — because
+/// the surface grammar has no parenthesized blocks. Call-by-value
+/// evaluation order is unchanged by this floating.
+fn emit_stmt(
+    store: &TermStore,
+    kind: Binder,
+    x: crate::term::VarId,
+    bound: TermId,
+    d: u32,
+    out: &mut String,
+) {
+    if d == 0 {
+        out.push_str("...; ");
+        return;
+    }
+    match store.node(bound) {
+        Node::Let(y, a, b) => {
+            let (y, a, b) = (*y, *a, *b);
+            emit_stmt(store, Binder::Plain, y, a, d - 1, out);
+            emit_stmt(store, kind, x, b, d - 1, out);
+        }
+        Node::LetBind(y, a, b) => {
+            let (y, a, b) = (*y, *a, *b);
+            emit_stmt(store, Binder::Bind, y, a, d - 1, out);
+            emit_stmt(store, kind, x, b, d - 1, out);
+        }
+        Node::LetBox(y, a, b) => {
+            let (y, a, b) = (*y, *a, *b);
+            emit_stmt(store, Binder::Box, y, a, d - 1, out);
+            emit_stmt(store, kind, x, b, d - 1, out);
+        }
+        _ => {
+            match kind {
+                Binder::Plain => out.push_str(&format!("{} = ", store.var_name(x))),
+                Binder::Bind => out.push_str(&format!("let {} = ", store.var_name(x))),
+                Binder::Box => out.push_str(&format!("let [{}] = ", store.var_name(x))),
+            }
+            go(store, bound, d - 1, out);
+            out.push_str("; ");
+        }
+    }
+}
+
+/// Renders a constant as a literal the lexer accepts: an exact decimal
+/// when the denominator is `2^a·5^b` (every float and every decimal
+/// source literal qualifies), the `n/d` display form otherwise.
+fn constant_literal(q: &Rational) -> String {
+    if q.is_integer() {
+        return q.to_string();
+    }
+    // Find the smallest k with q·10^k integral. Each ×10 strips the
+    // denominator's factors of 2 and 5; when a step leaves the
+    // denominator unchanged there is another prime in it and no finite
+    // decimal exists, so `1/3`-like constants bail after one step
+    // instead of looping to the bound (which only guards softfloat
+    // extremes, well under 10^-400).
+    let ten = Rational::from_int(10);
+    let mut scaled = q.clone();
+    for k in 1..=512u32 {
+        let next = scaled.mul(&ten);
+        if next.denom() == scaled.denom() {
+            return q.to_string();
+        }
+        scaled = next;
+        if scaled.is_integer() {
+            let digits = scaled.abs().to_string();
+            let sign = if q.is_negative() { "-" } else { "" };
+            let k = k as usize;
+            return if digits.len() > k {
+                format!("{sign}{}.{}", &digits[..digits.len() - k], &digits[digits.len() - k..])
+            } else {
+                format!("{sign}0.{}{digits}", "0".repeat(k - digits.len()))
+            };
+        }
+    }
+    q.to_string()
 }
 
 #[cfg(test)]
@@ -152,6 +267,41 @@ mod tests {
         assert!(text.contains("function mulfp"), "{text}");
         assert!(text.contains("mul xy"), "{text}");
         assert!(text.contains("rnd s"), "{text}");
+    }
+
+    #[test]
+    fn constants_print_as_literals() {
+        let dec = |s: &str| Rational::from_decimal_str(s).unwrap();
+        assert_eq!(constant_literal(&dec("0.1")), "0.1");
+        assert_eq!(constant_literal(&dec("-2.5")), "-2.5");
+        assert_eq!(constant_literal(&dec("42")), "42");
+        assert_eq!(constant_literal(&dec("0.001")), "0.001");
+        assert_eq!(constant_literal(&Rational::pow2(-4)), "0.0625");
+        // No finite decimal expansion: falls back to the display form.
+        assert_eq!(constant_literal(&Rational::ratio(1, 3)), "1/3");
+    }
+
+    #[test]
+    fn function_sugar_round_trips() {
+        let sig = Signature::relative_precision();
+        let src = r#"
+            function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+            function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+            function MA (x: num) (y: num) (z: num) : M[2*eps]num {
+                s = mulfp (x,y);
+                let a = s;
+                addfp (|a,z|)
+            }
+            MA 0.1 0.3 7
+        "#;
+        let lowered = crate::lower::compile(src, &sig).unwrap();
+        let printed = pretty_term(&lowered.store, lowered.root, u32::MAX);
+        assert!(printed.contains("function mulfp (xy: (num, num)) : M[eps]num {"), "{printed}");
+        // The printed program parses and lowers again.
+        let again = crate::lower::compile(&printed, &sig)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        let reprinted = pretty_term(&again.store, again.root, u32::MAX);
+        assert_eq!(printed, reprinted, "printing reaches a fixpoint");
     }
 
     #[test]

@@ -61,11 +61,27 @@ impl Signature {
         let half = Grade::constant(Rational::ratio(1, 2));
         Signature {
             ops: vec![
-                OpSig { name: "add".into(), arg: Ty::with(num.clone(), num.clone()), ret: num.clone() },
-                OpSig { name: "mul".into(), arg: Ty::tensor(num.clone(), num.clone()), ret: num.clone() },
-                OpSig { name: "div".into(), arg: Ty::tensor(num.clone(), num.clone()), ret: num.clone() },
+                OpSig {
+                    name: "add".into(),
+                    arg: Ty::with(num.clone(), num.clone()),
+                    ret: num.clone(),
+                },
+                OpSig {
+                    name: "mul".into(),
+                    arg: Ty::tensor(num.clone(), num.clone()),
+                    ret: num.clone(),
+                },
+                OpSig {
+                    name: "div".into(),
+                    arg: Ty::tensor(num.clone(), num.clone()),
+                    ret: num.clone(),
+                },
                 OpSig { name: "sqrt".into(), arg: Ty::bang(half, num.clone()), ret: num.clone() },
-                OpSig { name: "is_pos".into(), arg: Ty::bang(Grade::infinite(), num.clone()), ret: Ty::bool() },
+                OpSig {
+                    name: "is_pos".into(),
+                    arg: Ty::bang(Grade::infinite(), num.clone()),
+                    ret: Ty::bool(),
+                },
                 OpSig {
                     name: "is_gt".into(),
                     arg: Ty::bang(Grade::infinite(), Ty::tensor(num.clone(), num.clone())),
@@ -88,12 +104,24 @@ impl Signature {
         let half = Grade::constant(Rational::ratio(1, 2));
         Signature {
             ops: vec![
-                OpSig { name: "add".into(), arg: Ty::tensor(num.clone(), num.clone()), ret: num.clone() },
-                OpSig { name: "sub".into(), arg: Ty::tensor(num.clone(), num.clone()), ret: num.clone() },
+                OpSig {
+                    name: "add".into(),
+                    arg: Ty::tensor(num.clone(), num.clone()),
+                    ret: num.clone(),
+                },
+                OpSig {
+                    name: "sub".into(),
+                    arg: Ty::tensor(num.clone(), num.clone()),
+                    ret: num.clone(),
+                },
                 OpSig { name: "neg".into(), arg: num.clone(), ret: num.clone() },
                 OpSig { name: "scale2".into(), arg: Ty::bang(two, num.clone()), ret: num.clone() },
                 OpSig { name: "half".into(), arg: Ty::bang(half, num.clone()), ret: num.clone() },
-                OpSig { name: "is_pos".into(), arg: Ty::bang(Grade::infinite(), num.clone()), ret: Ty::bool() },
+                OpSig {
+                    name: "is_pos".into(),
+                    arg: Ty::bang(Grade::infinite(), num.clone()),
+                    ret: Ty::bool(),
+                },
             ],
             rnd_grade: Grade::symbol("delta"),
             instantiation: Instantiation::AbsoluteError,
@@ -161,8 +189,11 @@ mod tests {
 
     #[test]
     fn custom_builder() {
-        let sig = Signature::custom(Grade::symbol("q"), Instantiation::AbsoluteError)
-            .with_op("id", Ty::Num, Ty::Num);
+        let sig = Signature::custom(Grade::symbol("q"), Instantiation::AbsoluteError).with_op(
+            "id",
+            Ty::Num,
+            Ty::Num,
+        );
         assert!(sig.op("id").is_some());
         assert_eq!(sig.ops().len(), 1);
     }

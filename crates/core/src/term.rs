@@ -293,7 +293,13 @@ impl TermStore {
 
     /// Top-level function definition (`Let` plus a declared type to check
     /// against and assign).
-    pub fn let_fun(&mut self, x: VarId, declared: Option<Ty>, body: TermId, rest: TermId) -> TermId {
+    pub fn let_fun(
+        &mut self,
+        x: VarId,
+        declared: Option<Ty>,
+        body: TermId,
+        rest: TermId,
+    ) -> TermId {
         let idx = match declared {
             Some(t) => self.intern_ty(t),
             None => u32::MAX,
@@ -325,8 +331,13 @@ impl TermStore {
                     stack.push(*b);
                     self.is_value(*a) && self.is_value(*b)
                 }
-                Node::Inl(v, _) | Node::Inr(v, _) | Node::BoxIntro(_, v) | Node::Rnd(v)
-                | Node::Ret(v) | Node::Proj(_, v) | Node::Op(_, v) => {
+                Node::Inl(v, _)
+                | Node::Inr(v, _)
+                | Node::BoxIntro(_, v)
+                | Node::Rnd(v)
+                | Node::Ret(v)
+                | Node::Proj(_, v)
+                | Node::Op(_, v) => {
                     stack.push(*v);
                     self.is_value(*v)
                 }
@@ -369,9 +380,11 @@ impl TermStore {
                     stack.push(*a);
                     stack.push(*b);
                 }
-                Node::Inl(v, _) | Node::Inr(v, _) | Node::BoxIntro(_, v) | Node::Rnd(v) | Node::Ret(v) => {
-                    stack.push(*v)
-                }
+                Node::Inl(v, _)
+                | Node::Inr(v, _)
+                | Node::BoxIntro(_, v)
+                | Node::Rnd(v)
+                | Node::Ret(v) => stack.push(*v),
                 // Fig. 1: let-bind(rnd v, x. f) is a value for value v.
                 Node::LetBind(_, v, _) => match self.node(*v) {
                     Node::Rnd(w) => stack.push(*w),

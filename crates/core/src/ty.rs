@@ -180,10 +180,7 @@ mod tests {
 
     #[test]
     fn display_matches_surface_syntax() {
-        let t = Ty::lolli(
-            Ty::bang(two(), Ty::Num),
-            Ty::monad(eps(), Ty::Num),
-        );
+        let t = Ty::lolli(Ty::bang(two(), Ty::Num), Ty::monad(eps(), Ty::Num));
         assert_eq!(t.to_string(), "![2]num -o M[eps]num");
         assert_eq!(Ty::bool().to_string(), "bool");
         assert_eq!(Ty::tensor(Ty::Num, Ty::Num).to_string(), "(num, num)");
@@ -226,7 +223,9 @@ mod tests {
         // f1 : takes stronger (less-scaled) arg... direction check:
         // arg of f2 (![2]) ⊑ arg of f1 (![1]), result of f1 ⊑ result of f2,
         // hence f1 ⊑ f2? No: contravariance needs arg_f2 ⊑ arg_f1 for f1 ⊑ f2.
-        assert!(f1.subtype(&f2) == (Ty::bang(two(), Ty::Num).subtype(&Ty::bang(Grade::one(), Ty::Num))));
+        assert!(
+            f1.subtype(&f2) == (Ty::bang(two(), Ty::Num).subtype(&Ty::bang(Grade::one(), Ty::Num)))
+        );
         assert!(f1.subtype(&f2));
     }
 

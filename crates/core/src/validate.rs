@@ -30,11 +30,7 @@ pub fn infer_reference(
     root: TermId,
     free: &[(VarId, Ty)],
 ) -> Result<Inferred, CheckError> {
-    let mut cx = Ref {
-        store,
-        sig,
-        var_tys: free.iter().map(|(v, t)| (*v, t.clone())).collect(),
-    };
+    let mut cx = Ref { store, sig, var_tys: free.iter().map(|(v, t)| (*v, t.clone())).collect() };
     cx.go(root)
 }
 
@@ -52,11 +48,10 @@ impl<'a> Ref<'a> {
     fn go(&mut self, t: TermId) -> Result<Inferred, CheckError> {
         match self.store.node(t).clone() {
             Node::Var(x) => {
-                let ty = self
-                    .var_tys
-                    .get(&x)
-                    .cloned()
-                    .ok_or_else(|| CheckError::UnboundVar(self.store.var_name(x).to_string()))?;
+                let ty =
+                    self.var_tys.get(&x).cloned().ok_or_else(|| {
+                        CheckError::UnboundVar(self.store.var_name(x).to_string())
+                    })?;
                 Ok(Inferred { env: Env::singleton(x, Grade::one()), ty })
             }
             Node::UnitVal => Ok(Inferred { env: Env::empty(), ty: Ty::Unit }),
@@ -103,7 +98,10 @@ impl<'a> Ref<'a> {
             Node::Rnd(v) => {
                 let r = self.go(v)?;
                 if r.ty != Ty::Num {
-                    return Err(CheckError::Expected { what: "a numeric argument to rnd", found: r.ty });
+                    return Err(CheckError::Expected {
+                        what: "a numeric argument to rnd",
+                        found: r.ty,
+                    });
                 }
                 Ok(Inferred { env: r.env, ty: Ty::monad(self.sig.rnd_grade().clone(), Ty::Num) })
             }
@@ -134,7 +132,9 @@ impl<'a> Ref<'a> {
                 let rv = self.go(v)?;
                 let (ta, tb) = match rv.ty.clone() {
                     Ty::Tensor(a, b) => (*a, *b),
-                    other => return Err(CheckError::Expected { what: "a tensor pair", found: other }),
+                    other => {
+                        return Err(CheckError::Expected { what: "a tensor pair", found: other })
+                    }
                 };
                 self.var_tys.insert(x, ta);
                 self.var_tys.insert(y, tb);
@@ -166,7 +166,9 @@ impl<'a> Ref<'a> {
                 let rv = self.go(v)?;
                 let (s, inner) = match rv.ty.clone() {
                     Ty::Bang(s, inner) => (s, *inner),
-                    other => return Err(CheckError::Expected { what: "a boxed value", found: other }),
+                    other => {
+                        return Err(CheckError::Expected { what: "a boxed value", found: other })
+                    }
                 };
                 self.var_tys.insert(x, inner);
                 let mut re = self.go(e)?;
@@ -182,7 +184,10 @@ impl<'a> Ref<'a> {
                 let (r, inner) = match rv.ty.clone() {
                     Ty::Monad(r, inner) => (r, *inner),
                     other => {
-                        return Err(CheckError::Expected { what: "a monadic computation", found: other })
+                        return Err(CheckError::Expected {
+                            what: "a monadic computation",
+                            found: other,
+                        })
                     }
                 };
                 self.var_tys.insert(x, inner);
@@ -190,7 +195,10 @@ impl<'a> Ref<'a> {
                 let (q, tau) = match rf.ty {
                     Ty::Monad(q, tau) => (q, *tau),
                     other => {
-                        return Err(CheckError::Expected { what: "a monadic body in let-bind", found: other })
+                        return Err(CheckError::Expected {
+                            what: "a monadic body in let-bind",
+                            found: other,
+                        })
                     }
                 };
                 let s = rf.env.remove(x);
@@ -231,10 +239,8 @@ impl<'a> Ref<'a> {
             Node::Op(op_idx, v) => {
                 let r = self.go(v)?;
                 let name = self.store.op_name(op_idx);
-                let op = self
-                    .sig
-                    .op(name)
-                    .ok_or_else(|| CheckError::UnknownOp(name.to_string()))?;
+                let op =
+                    self.sig.op(name).ok_or_else(|| CheckError::UnknownOp(name.to_string()))?;
                 let env = if r.ty.subtype(&op.arg) {
                     r.env
                 } else if let Ty::Bang(g, inner) = &op.arg {
@@ -303,8 +309,10 @@ mod tests {
         ];
         for src in corpus {
             let lowered = compile(src, &sig).expect("compiles");
-            let fast = crate::check::infer(&lowered.store, &sig, lowered.root, &[]).expect("fast checks");
-            let slow = infer_reference(&lowered.store, &sig, lowered.root, &[]).expect("slow checks");
+            let fast =
+                crate::check::infer(&lowered.store, &sig, lowered.root, &[]).expect("fast checks");
+            let slow =
+                infer_reference(&lowered.store, &sig, lowered.root, &[]).expect("slow checks");
             assert_eq!(fast.root.ty, slow.ty, "types diverge on {src}");
             assert!(
                 fast.root.env.le(&slow.env) && slow.env.le(&fast.root.env),

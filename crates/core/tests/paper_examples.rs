@@ -117,14 +117,8 @@ fn fig8_ma_and_fma() {
         "
     );
     let r = check(&src);
-    assert_eq!(
-        r.fn_report("MA").unwrap().inferred.to_string(),
-        "num -o num -o num -o M[2*eps]num"
-    );
-    assert_eq!(
-        r.fn_report("FMA").unwrap().inferred.to_string(),
-        "num -o num -o num -o M[eps]num"
-    );
+    assert_eq!(r.fn_report("MA").unwrap().inferred.to_string(), "num -o num -o num -o M[2*eps]num");
+    assert_eq!(r.fn_report("FMA").unwrap().inferred.to_string(), "num -o num -o num -o M[eps]num");
 }
 
 const FMA_DEF: &str = r#"
@@ -223,10 +217,7 @@ fn section51_case1_conditional() {
         }
         "#,
     );
-    assert_eq!(
-        r.fn_report("case1").unwrap().inferred.to_string(),
-        "![inf]num -o M[eps]num"
-    );
+    assert_eq!(r.fn_report("case1").unwrap().inferred.to_string(), "![inf]num -o M[eps]num");
 }
 
 #[test]
@@ -244,10 +235,7 @@ fn hypot_is_2_5_eps() {
         "
     );
     let r = check(&src);
-    assert_eq!(
-        r.fn_report("hypot").unwrap().inferred.to_string(),
-        "num -o num -o M[5/2*eps]num"
-    );
+    assert_eq!(r.fn_report("hypot").unwrap().inferred.to_string(), "num -o num -o M[5/2*eps]num");
 }
 
 #[test]

@@ -165,7 +165,11 @@ impl BigInt {
         } else if mag.is_zero() {
             Sign::Zero
         } else if self.sign == Sign::Zero {
-            if exp == 0 { Sign::Plus } else { Sign::Zero }
+            if exp == 0 {
+                Sign::Plus
+            } else {
+                Sign::Zero
+            }
         } else {
             Sign::Plus
         };

@@ -72,7 +72,8 @@ impl BigUint {
         match self.limbs.last() {
             None => 0,
             Some(&top) => {
-                (self.limbs.len() as u64 - 1) * BASE_BITS as u64 + (BASE_BITS - top.leading_zeros()) as u64
+                (self.limbs.len() as u64 - 1) * BASE_BITS as u64
+                    + (BASE_BITS - top.leading_zeros()) as u64
             }
         }
     }

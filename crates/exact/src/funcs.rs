@@ -37,7 +37,8 @@ pub fn sqrt_enclosure(q: &Rational, bits: u32) -> RatInterval {
     let (s, _) = t.magnitude().isqrt_rem();
     let scale = Rational::pow2(-(bits as i64));
     let lo = Rational::from(crate::bigint::BigInt::from(s.clone())).mul(&scale);
-    let hi = Rational::from(crate::bigint::BigInt::from(s.add(&crate::biguint::BigUint::one()))).mul(&scale);
+    let hi = Rational::from(crate::bigint::BigInt::from(s.add(&crate::biguint::BigUint::one())))
+        .mul(&scale);
     RatInterval::new(lo, hi)
 }
 

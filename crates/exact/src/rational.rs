@@ -126,7 +126,10 @@ impl Rational {
 
     /// `self + other`.
     pub fn add(&self, other: &Self) -> Self {
-        let num = self.num.mul(&BigInt::from(other.den.clone())).add(&other.num.mul(&BigInt::from(self.den.clone())));
+        let num = self
+            .num
+            .mul(&BigInt::from(other.den.clone()))
+            .add(&other.num.mul(&BigInt::from(self.den.clone())));
         Rational::new_unsigned(num, self.den.mul(&other.den))
     }
 
@@ -169,7 +172,10 @@ impl Rational {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Self {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rational::new(BigInt::from_sign_mag(self.num.sign(), self.den.clone()), BigInt::from(self.num.magnitude().clone()))
+        Rational::new(
+            BigInt::from_sign_mag(self.num.sign(), self.den.clone()),
+            BigInt::from(self.num.magnitude().clone()),
+        )
     }
 
     /// `self^exp` for a signed exponent.
@@ -179,10 +185,7 @@ impl Rational {
     /// Panics when raising zero to a negative power.
     pub fn pow(&self, exp: i64) -> Self {
         if exp >= 0 {
-            Rational {
-                num: self.num.pow(exp as u64),
-                den: self.den.pow(exp as u64),
-            }
+            Rational { num: self.num.pow(exp as u64), den: self.den.pow(exp as u64) }
         } else {
             self.recip().pow(-exp)
         }
@@ -300,7 +303,8 @@ impl Rational {
         let neg = self.is_negative();
         let q = self.abs();
         // Initial decimal-exponent estimate from digit counts.
-        let mut e = q.num.magnitude().to_decimal_string().len() as i64 - q.den.to_decimal_string().len() as i64;
+        let mut e = q.num.magnitude().to_decimal_string().len() as i64
+            - q.den.to_decimal_string().len() as i64;
         let ten = Rational::from_int(10);
         // Adjust so that 10^e <= q < 10^(e+1).
         while q < ten.pow(e) {
@@ -320,12 +324,14 @@ impl Rational {
         }
         let digits = m.to_string();
         debug_assert_eq!(digits.len(), sig);
-        let body = if sig == 1 {
-            digits
-        } else {
-            format!("{}.{}", &digits[..1], &digits[1..])
-        };
-        format!("{}{}e{}{:02}", if neg { "-" } else { "" }, body, if e < 0 { "-" } else { "+" }, e.abs())
+        let body = if sig == 1 { digits } else { format!("{}.{}", &digits[..1], &digits[1..]) };
+        format!(
+            "{}{}e{}{:02}",
+            if neg { "-" } else { "" },
+            body,
+            if e < 0 { "-" } else { "+" },
+            e.abs()
+        )
     }
 }
 

@@ -8,7 +8,8 @@ fn big_from_limbs() -> impl Strategy<Value = BigUint> {
 }
 
 fn rational() -> impl Strategy<Value = Rational> {
-    (any::<i64>(), 1..=u32::MAX).prop_map(|(n, d)| Rational::new(BigInt::from(n), BigInt::from(d as i64)))
+    (any::<i64>(), 1..=u32::MAX)
+        .prop_map(|(n, d)| Rational::new(BigInt::from(n), BigInt::from(d as i64)))
 }
 
 proptest! {

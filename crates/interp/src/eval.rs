@@ -257,7 +257,9 @@ impl<'a> Machine<'a> {
                             None => return Err(EvalError::Stuck("rnd of a non-number")),
                         };
                         match self.rounding.round(i) {
-                            RoundOutcome::Value(r) => Step::Apply(Value::Ret(Rc::new(Value::Num(r)))),
+                            RoundOutcome::Value(r) => {
+                                Step::Apply(Value::Ret(Rc::new(Value::Num(r))))
+                            }
                             RoundOutcome::Fault => Step::Apply(Value::ErrV),
                         }
                     }
@@ -347,8 +349,13 @@ impl<'a> Machine<'a> {
                     stack.push(*a);
                     stack.push(*b);
                 }
-                Node::Inl(v, _) | Node::Inr(v, _) | Node::BoxIntro(_, v) | Node::Rnd(v)
-                | Node::Ret(v) | Node::Proj(_, v) | Node::Op(_, v) => stack.push(*v),
+                Node::Inl(v, _)
+                | Node::Inr(v, _)
+                | Node::BoxIntro(_, v)
+                | Node::Rnd(v)
+                | Node::Ret(v)
+                | Node::Proj(_, v)
+                | Node::Op(_, v) => stack.push(*v),
                 Node::Lam(x, _, body) => {
                     bound.insert(*x);
                     stack.push(*body);
@@ -366,7 +373,9 @@ impl<'a> Machine<'a> {
                     stack.push(*e1);
                     stack.push(*e2);
                 }
-                Node::LetBox(x, v, e) | Node::LetBind(x, v, e) | Node::Let(x, v, e)
+                Node::LetBox(x, v, e)
+                | Node::LetBind(x, v, e)
+                | Node::Let(x, v, e)
                 | Node::LetFun(x, _, v, e) => {
                     bound.insert(*x);
                     stack.push(*v);
@@ -391,7 +400,10 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn two_nums<'v>(v: &'v Value, what: &'static str) -> Result<(&'v RatInterval, &'v RatInterval), EvalError> {
+    fn two_nums<'v>(
+        v: &'v Value,
+        what: &'static str,
+    ) -> Result<(&'v RatInterval, &'v RatInterval), EvalError> {
         match Self::strip_box(v) {
             Value::PairW(a, b) | Value::PairT(a, b) => {
                 match (Self::strip_box(a).as_num(), Self::strip_box(b).as_num()) {
@@ -485,14 +497,8 @@ mod tests {
     fn run_ideal(src: &str) -> Value {
         let sig = Signature::relative_precision();
         let lowered = compile(src, &sig).unwrap();
-        eval(
-            &lowered.store,
-            lowered.root,
-            &mut IdentityRounding,
-            EvalConfig::default(),
-            &[],
-        )
-        .unwrap()
+        eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[])
+            .unwrap()
     }
 
     fn run_fp(src: &str, mode: RoundingMode) -> Value {
@@ -633,7 +639,8 @@ mod tests {
             format: Format::new(8, 6),
             mode: RoundingMode::NearestEven,
         };
-        let v = eval(&lowered.store, lowered.root, &mut rounding, EvalConfig::default(), &[]).unwrap();
+        let v =
+            eval(&lowered.store, lowered.root, &mut rounding, EvalConfig::default(), &[]).unwrap();
         assert!(v.is_err(), "overflow must produce err, got {v}");
     }
 

@@ -44,5 +44,7 @@ mod value;
 
 pub use eval::{eval, EvalConfig, EvalError};
 pub use rounding::{RoundOutcome, Rounding};
-pub use soundness::{metric_for, validate, validate_with, SoundnessError, SoundnessReport};
+pub use soundness::{
+    metric_for, report_for, validate, validate_with, SoundnessError, SoundnessReport,
+};
 pub use value::{Closure, Value};

@@ -82,7 +82,9 @@ impl Rounding for ModeRounding {
     fn round(&mut self, x: &RatInterval) -> RoundOutcome {
         match round_interval(x, self.format, self.mode) {
             Some(i) => RoundOutcome::Value(i),
-            None => panic!("rounding overflowed; use CheckedRounding for the exceptional semantics"),
+            None => {
+                panic!("rounding overflowed; use CheckedRounding for the exceptional semantics")
+            }
         }
     }
 
@@ -235,10 +237,7 @@ impl<R: Rng> Rounding for StochasticRounding<R> {
     }
 
     fn round(&mut self, x: &RatInterval) -> RoundOutcome {
-        let q = x
-            .as_point()
-            .expect("stochastic rounding requires exact (point) arguments")
-            .clone();
+        let q = x.as_point().expect("stochastic rounding requires exact (point) arguments").clone();
         let dn = Fp::round(&q, self.format, RoundingMode::TowardNegative);
         let up = Fp::round(&q, self.format, RoundingMode::TowardPositive);
         let (dn, up) = match (dn.to_rational(), up.to_rational()) {
@@ -250,7 +249,8 @@ impl<R: Rng> Rounding for StochasticRounding<R> {
         }
         // P(up) = (q - dn) / (up - dn), decided by a 64-bit draw.
         let p = q.sub(&dn).div(&up.sub(&dn));
-        let draw = Rational::from_int(self.rng.gen_range(0..i64::MAX)).div(&Rational::from_int(i64::MAX));
+        let draw =
+            Rational::from_int(self.rng.gen_range(0..i64::MAX)).div(&Rational::from_int(i64::MAX));
         let chosen = if draw < p { up } else { dn };
         RoundOutcome::Value(RatInterval::point(chosen))
     }
@@ -326,8 +326,10 @@ mod tests {
             rng: rand::rngs::StdRng::seed_from_u64(42),
         };
         let q = rat("0.1");
-        let dn = Fp::round(&q, Format::BINARY64, RoundingMode::TowardNegative).to_rational().unwrap();
-        let up = Fp::round(&q, Format::BINARY64, RoundingMode::TowardPositive).to_rational().unwrap();
+        let dn =
+            Fp::round(&q, Format::BINARY64, RoundingMode::TowardNegative).to_rational().unwrap();
+        let up =
+            Fp::round(&q, Format::BINARY64, RoundingMode::TowardPositive).to_rational().unwrap();
         let mut saw = (false, false);
         for _ in 0..64 {
             match r.round(&RatInterval::point(q.clone())) {

@@ -154,7 +154,9 @@ fn bool_term(store: &mut TermStore, b: bool) -> TermId {
 fn op_value(store: &mut TermStore, name: &str, arg: TermId) -> Option<TermId> {
     fn two(store: &TermStore, arg: TermId) -> Option<(Rational, Rational)> {
         match store.node(arg) {
-            Node::PairT(a, b) | Node::PairW(a, b) => Some((const_of(store, *a)?, const_of(store, *b)?)),
+            Node::PairT(a, b) | Node::PairW(a, b) => {
+                Some((const_of(store, *a)?, const_of(store, *b)?))
+            }
             Node::BoxIntro(_, v) => two(store, *v),
             _ => None,
         }
@@ -336,9 +338,11 @@ mod tests {
         let sig = Signature::relative_precision();
         let lowered = compile(src, &sig).unwrap();
         let v = if ideal {
-            eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[]).unwrap()
+            eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[])
+                .unwrap()
         } else {
-            let mut m = ModeRounding { format: Format::BINARY64, mode: RoundingMode::TowardPositive };
+            let mut m =
+                ModeRounding { format: Format::BINARY64, mode: RoundingMode::TowardPositive };
             eval(&lowered.store, lowered.root, &mut m, EvalConfig::default(), &[]).unwrap()
         };
         let inner = match &v {
@@ -379,7 +383,8 @@ mod tests {
     #[test]
     fn pure_semantics_keeps_rnd_as_value() {
         let sig = Signature::relative_precision();
-        let mut lowered = compile("function f (x: num) : M[eps]num { rnd x }\nf 0.1", &sig).unwrap();
+        let mut lowered =
+            compile("function f (x: num) : M[eps]num { rnd x }\nf 0.1", &sig).unwrap();
         let nf = normalize(&mut lowered.store, lowered.root, StepSemantics::Pure, 10_000);
         assert!(matches!(lowered.store.node(nf), Node::Rnd(_)));
         assert!(lowered.store.is_value(nf));

@@ -13,7 +13,9 @@
 use crate::eval::{eval, EvalConfig, EvalError};
 use crate::rounding::{IdentityRounding, Rounding};
 use crate::value::Value;
-use numfuzz_core::{infer, CheckError, Grade, Instantiation, Signature, TermId, TermStore, Ty, VarId};
+use numfuzz_core::{
+    infer, CheckError, Grade, Instantiation, Signature, TermId, TermStore, Ty, VarId,
+};
 use numfuzz_exact::{RatInterval, Rational};
 use numfuzz_metrics::{NumMetric, Within};
 use std::fmt;
@@ -160,16 +162,36 @@ pub fn validate_with(
         Ty::Monad(g, inner) if **inner == Ty::Num => g.clone(),
         other => return Err(SoundnessError::NotMonadicNum(other.clone())),
     };
-    let bound = grade
-        .eval(symbols)
-        .ok_or_else(|| SoundnessError::UnresolvedGrade(grade.clone()))?;
+    let bound =
+        grade.eval(symbols).ok_or_else(|| SoundnessError::UnresolvedGrade(grade.clone()))?;
 
     let config = EvalConfig { instantiation: sig.instantiation(), ..EvalConfig::default() };
     let ideal_val = eval(store, root, &mut IdentityRounding, config, inputs)?;
     let fp_val = eval(store, root, fp_rounding, config, inputs)?;
 
-    let ideal = expect_ret_num(&ideal_val)?;
-    let metric = metric_for(sig.instantiation());
+    report_for(sig.instantiation(), grade, bound, &ideal_val, &fp_val, fp_rounding.target_format())
+}
+
+/// Assembles a [`SoundnessReport`] from an already-inferred grade bound
+/// and already-computed results of both semantics — the tail of
+/// [`validate_with`], exposed so callers that have run the evaluations
+/// themselves (e.g. a session API's `run`) don't pay for a second full
+/// inference + evaluation pass.
+///
+/// # Errors
+///
+/// [`SoundnessError::Eval`] when either value is not `ret` of a number
+/// (and the fp value is not `err`).
+pub fn report_for(
+    instantiation: Instantiation,
+    grade: Grade,
+    bound: Rational,
+    ideal_val: &Value,
+    fp_val: &Value,
+    target_format: Option<numfuzz_softfloat::Format>,
+) -> Result<SoundnessReport, SoundnessError> {
+    let ideal = expect_ret_num(ideal_val)?;
+    let metric = metric_for(instantiation);
     match fp_val {
         Value::ErrV => Ok(SoundnessReport {
             grade,
@@ -181,7 +203,7 @@ pub fn validate_with(
             ulp: None,
         }),
         other => {
-            let fp = expect_ret_num(&other)?;
+            let fp = expect_ret_num(other)?;
             let verdict = metric.within(&ideal, &fp, &bound);
             // Worst-case distance over the enclosure corners (display only;
             // the verdict above is the rigorous statement).
@@ -192,7 +214,7 @@ pub fn validate_with(
             .into_iter()
             .flatten()
             .fold(None, |acc: Option<f64>, d| Some(acc.map_or(d, |a| a.max(d))));
-            let ulp = ulp_between(fp_rounding.target_format(), &ideal, &fp);
+            let ulp = ulp_between(target_format, &ideal, &fp);
             Ok(SoundnessReport { grade, bound, ideal, fp: Some(fp), verdict, measured, ulp })
         }
     }
@@ -244,7 +266,7 @@ fn expect_ret_num(v: &Value) -> Result<RatInterval, SoundnessError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rounding::{ChoiceRounding, CheckedRounding, ModeRounding, StatefulRounding};
+    use crate::rounding::{CheckedRounding, ChoiceRounding, ModeRounding, StatefulRounding};
     use numfuzz_core::compile;
     use numfuzz_softfloat::{Format, RoundingMode};
 
@@ -268,15 +290,9 @@ mod tests {
         let format = Format::BINARY64;
         let mode = RoundingMode::TowardPositive;
         let mut fp = ModeRounding { format, mode };
-        let rep = validate(
-            &lowered.store,
-            &sig,
-            lowered.root,
-            &[],
-            &mut fp,
-            &format.unit_roundoff(mode),
-        )
-        .unwrap();
+        let rep =
+            validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &format.unit_roundoff(mode))
+                .unwrap();
         assert_eq!(rep.grade.to_string(), "5/2*eps");
         assert!(rep.holds(), "hypot violates its bound: {rep:?}");
         // The measured distance is nonzero (roundings really happened)...
@@ -393,15 +409,8 @@ mod tests {
         let src = "function f (x: num) : num { mul (x, 2) }\nf 3";
         let lowered = compile(src, &sig).unwrap();
         let mut fp = ModeRounding { format: Format::BINARY64, mode: RoundingMode::TowardPositive };
-        let err = validate(
-            &lowered.store,
-            &sig,
-            lowered.root,
-            &[],
-            &mut fp,
-            &Rational::pow2(-52),
-        )
-        .unwrap_err();
+        let err = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &Rational::pow2(-52))
+            .unwrap_err();
         assert!(matches!(err, SoundnessError::NotMonadicNum(_)));
     }
 }

@@ -57,8 +57,9 @@ fn each_step_preserves_typability_with_shrinking_grades() {
             let mut prev_ty: Ty = infer(&lowered.store, &sig, cur, &[]).expect("checks").root.ty;
             let mut steps = 0usize;
             while let Some(next) = step(&mut lowered.store, cur, sem) {
-                let res = infer(&lowered.store, &sig, next, &[])
-                    .unwrap_or_else(|e| panic!("program {which} {sem:?}: step {steps} broke typing: {e}"));
+                let res = infer(&lowered.store, &sig, next, &[]).unwrap_or_else(|e| {
+                    panic!("program {which} {sem:?}: step {steps} broke typing: {e}")
+                });
                 assert!(
                     res.root.ty.subtype(&prev_ty),
                     "program {which} {sem:?} step {steps}: `{}` not ⊑ `{prev_ty}`",
@@ -72,15 +73,9 @@ fn each_step_preserves_typability_with_shrinking_grades() {
             // Termination (Theorem 3.5): reached a value; and under the
             // refinements the value is `ret v` with a zero-cost type.
             assert!(steps > 0, "program {which} did not step");
-            assert!(
-                lowered.store.is_value(cur),
-                "program {which} {sem:?} got stuck off-value"
-            );
+            assert!(lowered.store.is_value(cur), "program {which} {sem:?} got stuck off-value");
             if !matches!(sem, StepSemantics::Pure) {
-                assert!(
-                    matches!(prev_ty, Ty::Monad(..)),
-                    "program {which}: final type {prev_ty}"
-                );
+                assert!(matches!(prev_ty, Ty::Monad(..)), "program {which}: final type {prev_ty}");
             }
         }
     }

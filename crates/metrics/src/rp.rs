@@ -76,11 +76,7 @@ pub fn rp_within_intervals(x: &RatInterval, y: &RatInterval, bound: &Rational) -
         return Within::Undefined;
     }
     // sup RP is attained at the extreme ratios.
-    let (a, b) = if both_pos {
-        (x.clone(), y.clone())
-    } else {
-        (x.neg(), y.neg())
-    };
+    let (a, b) = if both_pos { (x.clone(), y.clone()) } else { (x.neg(), y.neg()) };
     let r1 = rp_within(a.hi(), b.lo(), bound);
     let r2 = rp_within(a.lo(), b.hi(), bound);
     match (r1, r2) {
@@ -173,7 +169,7 @@ mod tests {
         // ln(1+u) < u holds but bound u(1 - u) < ln(1+u) fails... u(1-u/2)
         // is still above ln(1+u)? ln(1+u) = u - u²/2 + u³/3 - ... so
         // u(1 - u/2) = u - u²/2 < ln(1+u) barely (by u³/3). Check it:
-        let barely_below = u.mul(&Rational::one().sub(&u.div(&rat("2")))) ;
+        let barely_below = u.mul(&Rational::one().sub(&u.div(&rat("2"))));
         assert_eq!(rp_within(&x, &Rational::one(), &barely_below), Within::No);
     }
 
@@ -181,11 +177,7 @@ mod tests {
     fn symmetric() {
         let (x, y) = (rat("2"), rat("3"));
         for b in ["0.40546", "0.40547", "0.5", "0.1"] {
-            assert_eq!(
-                rp_within(&x, &y, &rat(b)),
-                rp_within(&y, &x, &rat(b)),
-                "bound {b}"
-            );
+            assert_eq!(rp_within(&x, &y, &rat(b)), rp_within(&y, &x, &rat(b)), "bound {b}");
         }
         // ln(3/2) = 0.405465...: bracketed by the two bounds above.
         assert_eq!(rp_within(&x, &y, &rat("0.40546")), Within::No);

@@ -1,0 +1,133 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the workspace vendors the *tiny* subset of the `rand 0.8` API it
+//! actually uses: [`Rng::gen_range`] over integer ranges, [`SeedableRng`],
+//! and [`rngs::StdRng`]. The generator is SplitMix64 — deterministic,
+//! seedable, and statistically plenty for stochastic-rounding tests, but
+//! **not** cryptographic and **not** stream-compatible with the real
+//! `rand` crate.
+//!
+//! If the real dependency ever becomes available, delete
+//! `crates/shims/rand` and point the workspace manifest at crates.io; no
+//! call site needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that a [`Rng`] can sample uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// The user-facing sampling trait (the subset of `rand::Rng` in use).
+pub trait Rng: RngCore {
+    /// A uniform draw from a half-open range, as in `rand 0.8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T: SampleUniform + PartialOrd>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with an empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a seed (the subset of
+/// `rand::SeedableRng` in use).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`. Same name so call sites compile unchanged; different
+    /// stream (this is a shim, not a re-implementation).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..i64::MAX);
+            assert!((0..i64::MAX).contains(&v));
+            let w = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

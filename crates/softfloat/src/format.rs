@@ -136,11 +136,9 @@ mod tests {
     #[test]
     fn table2_unit_roundoffs() {
         let f = Format::BINARY64;
-        for mode in [
-            RoundingMode::TowardPositive,
-            RoundingMode::TowardNegative,
-            RoundingMode::TowardZero,
-        ] {
+        for mode in
+            [RoundingMode::TowardPositive, RoundingMode::TowardNegative, RoundingMode::TowardZero]
+        {
             assert_eq!(f.unit_roundoff(mode), Rational::pow2(-52));
         }
         assert_eq!(f.unit_roundoff(RoundingMode::NearestEven), Rational::pow2(-53));

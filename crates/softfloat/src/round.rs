@@ -132,11 +132,7 @@ impl Fp {
                 }
             }
         };
-        let mut m = if round_away && !representable {
-            m0.add(&BigUint::one())
-        } else {
-            m0
-        };
+        let mut m = if round_away && !representable { m0.add(&BigUint::one()) } else { m0 };
 
         let mut e_final = e_eff;
         if m.bit_len() as i64 > p {
@@ -173,7 +169,11 @@ impl Fp {
     ///
     /// [`RoundingFault::Overflow`] if `|q|` exceeds the largest finite
     /// float; [`RoundingFault::Underflow`] if `0 < |q| < 2^emin`.
-    pub fn round_checked(q: &Rational, format: Format, mode: RoundingMode) -> Result<Fp, RoundingFault> {
+    pub fn round_checked(
+        q: &Rational,
+        format: Format,
+        mode: RoundingMode,
+    ) -> Result<Fp, RoundingFault> {
         if !q.is_zero() && q.abs() < format.min_normal_value() {
             return Err(RoundingFault::Underflow);
         }
@@ -194,9 +194,7 @@ impl Fp {
     /// Panics if rounding overflows to ±∞ (use [`Fp::round_checked`] to
     /// handle that case).
     pub fn round_to_rational(q: &Rational, format: Format, mode: RoundingMode) -> Rational {
-        Fp::round(q, format, mode)
-            .to_rational()
-            .expect("rounding overflowed to infinity")
+        Fp::round(q, format, mode).to_rational().expect("rounding overflowed to infinity")
     }
 }
 
@@ -311,10 +309,7 @@ mod tests {
                 if got.is_zero() && want.is_zero() {
                     continue;
                 }
-                assert_eq!(
-                    got, want,
-                    "mode {mode}: rounding {q} gave {got}, reference {want}"
-                );
+                assert_eq!(got, want, "mode {mode}: rounding {q} gave {got}, reference {want}");
             }
             q = q.add(&step);
         }

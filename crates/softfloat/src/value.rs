@@ -28,11 +28,17 @@ pub enum FpClass {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 enum Repr {
     Nan,
-    Inf { neg: bool },
+    Inf {
+        neg: bool,
+    },
     /// `(-1)^neg * mant * 2^(exp - p + 1)`; invariants:
     /// `mant < 2^p`, and `mant >= 2^(p-1)` unless `exp == emin`;
     /// zero is `mant == 0, exp == emin` (sign kept for ±0).
-    Finite { neg: bool, exp: i64, mant: BigUint },
+    Finite {
+        neg: bool,
+        exp: i64,
+        mant: BigUint,
+    },
 }
 
 /// A software floating-point number in a specific [`Format`].
@@ -76,7 +82,10 @@ impl Fp {
 
     /// ±0.
     pub fn zero(format: Format, negative: bool) -> Self {
-        Fp { format, repr: Repr::Finite { neg: negative, exp: format.emin(), mant: BigUint::zero() } }
+        Fp {
+            format,
+            repr: Repr::Finite { neg: negative, exp: format.emin(), mant: BigUint::zero() },
+        }
     }
 
     /// The largest finite value, `±(2 - 2^(1-p)) * 2^emax`.
@@ -87,7 +96,10 @@ impl Fp {
 
     /// The smallest positive (or negative) subnormal.
     pub fn min_subnormal(format: Format, negative: bool) -> Self {
-        Fp { format, repr: Repr::Finite { neg: negative, exp: format.emin(), mant: BigUint::one() } }
+        Fp {
+            format,
+            repr: Repr::Finite { neg: negative, exp: format.emin(), mant: BigUint::one() },
+        }
     }
 
     /// Builds a finite value from parts, checking the canonical invariants.
@@ -123,7 +135,9 @@ impl Fp {
             Repr::Finite { mant, exp, .. } => {
                 if mant.is_zero() {
                     FpClass::Zero
-                } else if *exp == self.format.emin() && mant.bit_len() < self.format.precision() as u64 {
+                } else if *exp == self.format.emin()
+                    && mant.bit_len() < self.format.precision() as u64
+                {
                     FpClass::Subnormal
                 } else {
                     FpClass::Normal
@@ -497,14 +511,8 @@ mod tests {
         let f = tiny();
         assert_eq!(Fp::zero(f, true).num_cmp(&Fp::zero(f, false)), Some(Ordering::Equal));
         assert_eq!(Fp::nan(f).num_cmp(&Fp::zero(f, false)), None);
-        assert_eq!(
-            Fp::infinity(f, true).num_cmp(&Fp::max_finite(f, true)),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            Fp::infinity(f, false).num_cmp(&Fp::infinity(f, false)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Fp::infinity(f, true).num_cmp(&Fp::max_finite(f, true)), Some(Ordering::Less));
+        assert_eq!(Fp::infinity(f, false).num_cmp(&Fp::infinity(f, false)), Some(Ordering::Equal));
     }
 
     #[test]

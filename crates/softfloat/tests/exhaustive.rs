@@ -67,9 +67,8 @@ fn reference_sqrt(x: &Rational, f: Format, mode: RoundingMode) -> Fp {
             } else {
                 // Exact tie: pick the even significand (integral quotient
                 // of value by its own ulp is even).
-                let even = |y: &Fp| {
-                    y.to_rational().unwrap().div(&y.ulp()).floor().magnitude().is_even()
-                };
+                let even =
+                    |y: &Fp| y.to_rational().unwrap().div(&y.ulp()).floor().magnitude().is_even();
                 if even(&dn) {
                     dn
                 } else {

@@ -13,7 +13,9 @@ use proptest::prelude::*;
 /// Finite, non-pathological f64s (no NaN/inf; magnitudes that cannot
 /// overflow when combined).
 fn finite_f64() -> impl Strategy<Value = f64> {
-    any::<f64>().prop_filter("finite, moderate", |v| v.is_finite() && v.abs() < 1e150 && (*v == 0.0 || v.abs() > 1e-150))
+    any::<f64>().prop_filter("finite, moderate", |v| {
+        v.is_finite() && v.abs() < 1e150 && (*v == 0.0 || v.abs() > 1e-150)
+    })
 }
 
 fn bits_eq(a: f64, b: f64) -> bool {

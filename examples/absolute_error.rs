@@ -8,14 +8,29 @@
 //! cargo run --example absolute_error
 //! ```
 
+use numfuzz::interp::rounding::ModeRounding;
 use numfuzz::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sig = Signature::absolute_error();
+fn main() -> Result<(), Diagnostic> {
+    // In a fixed range |v| <= M the standard model gives
+    // |round(v) - v| <= u*M, so delta := u*M is a sound absolute rounding
+    // unit; here every rounded intermediate is <= 4.
+    let format = Format::new(10, 30);
+    let mode = RoundingMode::NearestEven;
+    let delta = format.unit_roundoff(mode).mul(&Rational::from_int(4));
+    let analyzer = Analyzer::builder()
+        .signature(Instantiation::AbsoluteError)
+        .format(format)
+        .mode(mode)
+        .rounding_unit(delta) // substituted for `delta` in grades
+        .build();
 
     // An affine update x - (x + c)/2 ... written with the abs-error ops:
     // sub : (num, num) ⊸ num, half : ![1/2]num ⊸ num, rnd : M[delta].
-    let src = r#"
+    // The analyzer's own `parse` lowers against *its* signature (the
+    // default `Program::parse` would reject `sub`/`half`).
+    let program = analyzer.parse(
+        r#"
         function step (x: ![3/2]num) (c: num) : M[2*delta]num {
             let [x1] = x;
             s = add (x1, c);
@@ -26,31 +41,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rnd d
         }
         step [4]{3/2} 1
-    "#;
-    let lowered = compile(src, &sig)?;
-    let res = infer(&lowered.store, &sig, lowered.root, &[])?;
-    println!("step : {}", res.fn_report("step").expect("present").inferred);
-    println!("main : {}", res.root.ty);
-
-    // Validate under the absolute metric. In a fixed range |v| <= M the
-    // standard model gives |round(v) - v| <= u*M, so delta := u*M is a
-    // sound absolute rounding unit; here every intermediate is <= 4.
-    let format = Format::new(10, 30);
-    let mode = RoundingMode::NearestEven;
-    let delta = format
-        .unit_roundoff(mode)
-        .mul(&Rational::from_int(4));
-    let mut fp = ModeRounding { format, mode };
-    let rep = numfuzz::interp::validate_with(
-        &lowered.store,
-        &sig,
-        lowered.root,
-        &[],
-        &mut fp,
-        &|s| if s == "delta" { Some(delta.clone()) } else { None },
+    "#,
     )?;
+    let typed = analyzer.check(&program)?;
+    println!("step : {}", typed.function("step").expect("present").inferred);
+    println!("main : {}", typed.ty());
+    println!("bound from type: {}", analyzer.bound(&typed)?);
+
+    // Validate under the absolute metric with plain mode rounding.
+    let mut fp = ModeRounding { format, mode };
+    let rep = analyzer.validate_with_rounding(&program, &Inputs::none(), &mut fp)?;
     println!("\nideal    : {}", rep.ideal.lo().to_sci_string(6));
-    println!("fp       : {}", rep.fp.as_ref().map(|i| i.lo().to_sci_string(6)).unwrap_or_else(|| "err".into()));
+    println!(
+        "fp       : {}",
+        rep.fp.as_ref().map(|i| i.lo().to_sci_string(6)).unwrap_or_else(|| "err".into())
+    );
     println!("bound    : |ideal - fp| <= {}", rep.bound.to_sci_string(3));
     if let Some(m) = rep.measured {
         println!("measured : {m:.3e}");

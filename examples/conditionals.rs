@@ -10,25 +10,23 @@
 use numfuzz::benchsuite::table5;
 use numfuzz::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sig = Signature::relative_precision();
+fn main() -> Result<(), Diagnostic> {
+    let analyzer = Analyzer::new(); // RP, binary64, round toward +inf
 
     // The paper's case1 (§5.1): square positives, else return 1.
-    let case1 = r#"
+    let case1 = Program::parse(
+        r#"
         function case1 (x: ![inf]num) : M[eps]num {
             let [x1] = x;
             c = is_pos x1;
             if c then { s = mul (x1, x1); rnd s } else ret 1
         }
         case1 [0.75]{inf}
-    "#;
-    let lowered = compile(case1, &sig)?;
-    let res = infer(&lowered.store, &sig, lowered.root, &[])?;
-    println!("case1 : {}", res.fn_report("case1").expect("present").inferred);
-    let format = Format::BINARY64;
-    let mode = RoundingMode::TowardPositive;
-    let mut fp = ModeRounding { format, mode };
-    let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &format.unit_roundoff(mode))?;
+    "#,
+    )?;
+    let typed = analyzer.check(&case1)?;
+    println!("case1 : {}", typed.function("case1").expect("present").inferred);
+    let rep = analyzer.validate(&case1, &Inputs::none())?;
     println!(
         "case1 0.75: ideal {}, bound {}, holds: {}\n",
         rep.ideal.lo().to_sci_string(6),
@@ -39,17 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // All four Table 5 kernels: check and validate at their samples.
     println!("Table 5 kernels:");
     for b in table5() {
-        let src = format!("{}\n{}", b.source, b.sample);
-        let lowered = compile(&src, &sig)?;
-        let res = infer(&lowered.store, &sig, lowered.root, &[])?;
-        let mut fp = ModeRounding { format, mode };
-        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &format.unit_roundoff(mode))?;
+        let program = analyzer.parse_named(b.name, &format!("{}\n{}", b.source, b.sample))?;
+        let typed = analyzer.check(&program)?;
+        let rep = analyzer.validate(&program, &Inputs::none())?;
         println!(
             "  {:<20} grade {:<8} sample-> ideal {:<14} holds: {}",
             b.name,
-            match &res.root.ty {
-                Ty::Monad(g, _) => g.to_string(),
-                other => other.to_string(),
+            match typed.grade() {
+                Some(g) => g.to_string(),
+                None => typed.ty().to_string(),
             },
             rep.ideal.lo().to_sci_string(8),
             rep.holds()

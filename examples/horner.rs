@@ -7,10 +7,11 @@
 //! ```
 
 use numfuzz::benchsuite::horner;
+use numfuzz::interp::rounding::ModeRounding;
 use numfuzz::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sig = Signature::relative_precision();
+fn main() -> Result<(), Diagnostic> {
+    let analyzer = Analyzer::new(); // RP, binary64, round toward +inf
 
     // ---- Part 1: Horner2 and Horner2_with_error (Fig. 9) ----
     let src = format!(
@@ -23,11 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             FMA z x1 a0
         }"#
     );
-    let lowered = compile(&src, &sig)?;
-    let res = infer(&lowered.store, &sig, lowered.root, &[])?;
+    let program = analyzer.parse(&src)?;
+    let typed = analyzer.check(&program)?;
     println!("Fig. 9 reproductions:");
     for name in ["Horner2", "Horner2we"] {
-        let rep = res.fn_report(name).expect("present");
+        let rep = typed.function(name).expect("present");
         println!("  {:<9} : {}", name, rep.inferred);
     }
     println!();
@@ -37,29 +38,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Part 2: error growth is linear in the degree ----
     println!("degree | grade       | relative bound (binary64, RU)");
-    let u = Format::BINARY64.unit_roundoff(RoundingMode::TowardPositive);
     for n in [2usize, 5, 10, 50, 100] {
-        let g = horner(n);
-        let res = infer(&g.store, &sig, g.root, &g.free)?;
-        let alpha = match &res.root.ty {
-            Ty::Monad(grade, _) => grade.eval_eps(&u).expect("numeric"),
-            other => panic!("unexpected {other}"),
-        };
-        let rel = numfuzz::metrics::rp::rp_to_rel_bound(&alpha).expect("small");
-        println!("  {:>4} | {:<11} | {}", n, format!("{}", grade_of(&res.root.ty)), rel.to_sci_string(3));
+        let program = Program::from_generated(horner(n));
+        let typed = analyzer.check(&program)?;
+        let bound = analyzer.bound(&typed)?;
+        println!(
+            "  {:>4} | {:<11} | {}",
+            n,
+            bound.grade.to_string(),
+            bound.relative.expect("small").to_sci_string(3)
+        );
     }
 
     // ---- Part 3: validate the degree-50 bound on a real run ----
-    let g = horner(50);
-    let inputs: Vec<(numfuzz::core::VarId, Value)> = g
-        .free
-        .iter()
-        .map(|(v, _)| (*v, Value::num(Rational::ratio(5, 4))))
-        .collect();
     let format = Format::new(12, 60); // visible error
-    let mode = RoundingMode::TowardPositive;
-    let mut fp = ModeRounding { format, mode };
-    let rep = validate(&g.store, &sig, g.root, &inputs, &mut fp, &format.unit_roundoff(mode))?;
+    let session = Analyzer::builder().format(format).mode(RoundingMode::TowardPositive).build();
+    let program = Program::from_generated(horner(50));
+    let inputs =
+        Inputs::positional(program.free().iter().map(|_| Value::num(Rational::ratio(5, 4))));
+    // Plain mode rounding (no §7.1 faulting), as the paper's Table 4 runs.
+    let mut fp = ModeRounding { format, mode: RoundingMode::TowardPositive };
+    let rep = session.validate_with_rounding(&program, &inputs, &mut fp)?;
     println!("\nHorner50 at x = 1.25 in {format}:");
     println!("  bound    {}", rep.bound.to_sci_string(3));
     if let Some(m) = rep.measured {
@@ -68,11 +67,4 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(rep.holds());
     println!("  bound holds (rigorous)");
     Ok(())
-}
-
-fn grade_of(t: &Ty) -> String {
-    match t {
-        Ty::Monad(g, _) => g.to_string(),
-        other => other.to_string(),
-    }
 }

@@ -12,31 +12,28 @@ use numfuzz::benchsuite::matrix_multiply;
 use numfuzz::prelude::*;
 use std::time::Instant;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sig = Signature::relative_precision();
-    let u = Rational::pow2(-52);
+fn main() -> Result<(), Diagnostic> {
+    let analyzer = Analyzer::new(); // RP, binary64, round toward +inf: u = 2^-52
+    let u = analyzer.rounding_unit();
 
     println!("n  | ops     | nodes    | grade        | bound     | gamma_n   | t(check)");
     for n in [2usize, 4, 8, 16] {
         let g = matrix_multiply(n);
-        let nodes = g.store.len();
+        let ops = g.ops;
+        let program = Program::from_generated(g);
+        let nodes = program.store().len();
         let t0 = Instant::now();
-        let res = infer(&g.store, &sig, g.root, &g.free)?;
+        let typed = analyzer.check(&program)?;
         let dt = t0.elapsed();
-        let grade = match &res.root.ty {
-            Ty::Monad(grade, _) => grade.clone(),
-            other => panic!("unexpected {other}"),
-        };
-        let bound = numfuzz::metrics::rp::rp_to_rel_bound(&grade.eval_eps(&u).expect("numeric"))
-            .expect("small");
+        let bound = analyzer.bound(&typed)?;
         let gamma = std_bounds::inner_product(n as u64, &u).expect("small");
         println!(
             "{:<2} | {:<7} | {:<8} | {:<12} | {:<9} | {:<9} | {:?}",
             n,
-            g.ops,
+            ops,
             nodes,
-            grade.to_string(),
-            bound.to_sci_string(3),
+            bound.grade.to_string(),
+            bound.relative.expect("small").to_sci_string(3),
             gamma.to_sci_string(3),
             dt,
         );

@@ -1,5 +1,6 @@
 //! Quickstart: type-check a Λnum program, read the rounding-error bound
-//! off its type, run both semantics, and verify the bound rigorously.
+//! off its type, run both semantics, and verify the bound rigorously —
+//! all through the `Program`/`Analyzer` facade.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -7,10 +8,11 @@
 
 use numfuzz::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Diagnostic> {
     // The fused multiply-add example of the paper's Fig. 8: FMA rounds
     // once (grade eps), the unfused MA twice (grade 2*eps).
-    let src = r#"
+    let program = Program::parse(
+        r#"
         function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
         function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
         function MA (x: num) (y: num) (z: num) : M[2*eps]num {
@@ -24,32 +26,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rnd b
         }
         MA 0.1 0.3 7
-    "#;
+    "#,
+    )?;
 
-    // 1. Parse + elaborate + type-check. Grades are exact symbolic
-    //    linear expressions; `eps` is the unit roundoff.
-    let sig = Signature::relative_precision();
-    let lowered = compile(src, &sig)?;
-    let checked = infer(&lowered.store, &sig, lowered.root, &[])?;
+    // 1. One session, the paper's defaults: relative precision,
+    //    binary64, round toward +inf. Grades are exact symbolic linear
+    //    expressions; `eps` is the unit roundoff.
+    let analyzer = Analyzer::builder()
+        .signature(Instantiation::RelativePrecision)
+        .format(Format::BINARY64)
+        .mode(RoundingMode::TowardPositive)
+        .build();
+    let typed = analyzer.check(&program)?;
     println!("inferred types:");
-    for f in &checked.fns {
+    for f in typed.functions() {
         println!("  {:<6} : {}", f.name, f.inferred);
     }
-    println!("  main   : {}", checked.root.ty);
+    println!("  main   : {}", typed.ty());
 
-    // 2. Execute under the ideal semantics (rnd = identity) and under the
-    //    floating-point semantics (here: binary64, round toward +inf).
-    let ideal = eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[])?;
-    let format = Format::BINARY64;
-    let mode = RoundingMode::TowardPositive;
-    let mut rounding = ModeRounding { format, mode };
-    let fp = eval(&lowered.store, lowered.root, &mut rounding, EvalConfig::default(), &[])?;
-    println!("\nideal result : {ideal}");
-    println!("fp result    : {fp}");
+    // 2. The headline: the type alone gives the eq. (8) relative error.
+    let bound = analyzer.bound(&typed)?;
+    println!("\nbound from the type: {bound}");
 
-    // 3. The type promised RP(ideal, fp) <= 2*eps; check it rigorously.
-    let mut rounding = ModeRounding { format, mode };
-    let report = validate(&lowered.store, &sig, lowered.root, &[], &mut rounding, &format.unit_roundoff(mode))?;
+    // 3. Execute both semantics and check the promise rigorously
+    //    (Cor. 4.20): RP(ideal, fp) <= 2*eps.
+    let exec = analyzer.run(&program, &Inputs::none())?;
+    println!("\nideal result : {}", exec.ideal);
+    println!("fp result    : {}", exec.fp);
+    let report = exec.report.expect("M[r]num program");
     println!("\ngrade        : {}", report.grade);
     println!("bound        : {}", report.bound.to_sci_string(3));
     if let Some(measured) = report.measured {

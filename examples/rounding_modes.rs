@@ -1,6 +1,7 @@
 //! The Section 7 extensions: exceptional, non-deterministic,
 //! state-dependent and stochastic rounding — all satisfying their graded
-//! bounds (Cor. 7.5 and the §7.2 monad variants).
+//! bounds (Cor. 7.5 and the §7.2 monad variants), exercised through one
+//! `Analyzer` session and `validate_with_rounding`.
 //!
 //! ```sh
 //! cargo run --example rounding_modes
@@ -22,22 +23,21 @@ const PROGRAM: &str = r#"
     poly [1.7]{3.0}
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sig = Signature::relative_precision();
-    let lowered = compile(PROGRAM, &sig)?;
+fn main() -> Result<(), Diagnostic> {
     let format = Format::new(8, 40); // a small format makes error visible
-    let u = format.unit_roundoff(RoundingMode::TowardPositive);
+    let mode = RoundingMode::TowardPositive;
+    let analyzer = Analyzer::builder().format(format).mode(mode).build();
+    let program = analyzer.parse(PROGRAM)?;
+    let none = Inputs::none();
 
     // --- §7.1: exceptional semantics -------------------------------
+    // `Analyzer::validate` uses the checked (faulting) semantics.
     println!("== exceptional rounding (Cor. 7.5) ==");
-    let mut checked = CheckedRounding { format, mode: RoundingMode::NearestEven };
-    let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut checked, &u)?;
+    let rep = analyzer.validate(&program, &none)?;
     println!("x = 1.7    : fp = {}, bound holds: {}", display(&rep), rep.holds());
     // Overflow the tiny format: err, bound vacuously satisfied.
-    let big = PROGRAM.replace("poly [1.7]{3.0}", "poly [65536]{3.0}");
-    let lowered_big = compile(&big, &sig)?;
-    let mut checked = CheckedRounding { format, mode: RoundingMode::NearestEven };
-    let rep = validate(&lowered_big.store, &sig, lowered_big.root, &[], &mut checked, &u)?;
+    let big = analyzer.parse(&PROGRAM.replace("poly [1.7]{3.0}", "poly [65536]{3.0}"))?;
+    let rep = analyzer.validate(&big, &none)?;
     println!("x = 65536  : fp = err (overflow), vacuous: {}", rep.holds());
 
     // --- §7.2: non-deterministic rounding (TP+: all resolutions) ----
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut all_hold = true;
     for choices in ChoiceRounding::all_choice_vectors(2, 3) {
         let mut nondet = ChoiceRounding::new(format, modes.clone(), choices.clone());
-        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut nondet, &u)?;
+        let rep = analyzer.validate_with_rounding(&program, &none, &mut nondet)?;
         all_hold &= rep.holds();
         println!("  choices {choices:?} -> measured {}", measured(&rep));
     }
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for s0 in 0..cycle.len() {
         let mut stateful = StatefulRounding { format, modes: cycle.clone(), state: s0 };
-        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut stateful, &u)?;
+        let rep = analyzer.validate_with_rounding(&program, &none, &mut stateful)?;
         println!("  initial state {s0} -> measured {}, holds: {}", measured(&rep), rep.holds());
         assert!(rep.holds());
     }
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== stochastic rounding: 8 sampled executions ==");
     for seed in 0..8u64 {
         let mut sr = StochasticRounding { format, rng: rand::rngs::StdRng::seed_from_u64(seed) };
-        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut sr, &u)?;
+        let rep = analyzer.validate_with_rounding(&program, &none, &mut sr)?;
         // Every realization rounds to a neighbor, so even the worst-case
         // (TD+-style) reading of the bound holds per sample; the expected
         // distance (TD's third variant) is smaller still.
@@ -82,14 +82,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn display(rep: &numfuzz::interp::SoundnessReport) -> String {
+fn display(rep: &SoundnessReport) -> String {
     match &rep.fp {
         Some(i) => i.lo().to_sci_string(6),
         None => "err".to_string(),
     }
 }
 
-fn measured(rep: &numfuzz::interp::SoundnessReport) -> String {
+fn measured(rep: &SoundnessReport) -> String {
     match rep.measured {
         Some(m) => format!("{m:.2e}"),
         None => "-".to_string(),

@@ -1,0 +1,654 @@
+//! The [`Analyzer`] session: one configured analysis context —
+//! signature, target format, rounding mode, rounding-unit value — that
+//! replaces hand-threading those five values through `compile` → `infer`
+//! → `eval` → `validate`.
+//!
+//! Build one with [`Analyzer::builder`] (or [`Analyzer::new`] for the
+//! paper's defaults: relative precision, binary64, round toward +∞),
+//! then reuse it across any number of [`Program`]s:
+//!
+//! * [`Analyzer::check`] — one type-checking pass; the grade on the
+//!   monadic type *is* the rounding-error bound (the paper's headline);
+//! * [`Analyzer::bound`] — the eq. (8) conversion from an RP grade to
+//!   the relative error bound the paper's tables report;
+//! * [`Analyzer::run`] — ideal + floating-point execution;
+//! * [`Analyzer::validate`] — the rigorous Corollary 4.20 check;
+//! * [`Analyzer::check_all`] — batch checking that amortizes signature
+//!   setup (embarrassingly parallel across programs).
+
+use crate::diag::{Diagnostic, ErrorCode};
+use crate::program::Program;
+use numfuzz_core::{infer, FnReport, Grade, Inferred, Instantiation, Signature, Ty, VarId};
+use numfuzz_exact::Rational;
+use numfuzz_interp::{
+    eval, report_for,
+    rounding::{CheckedRounding, IdentityRounding},
+    validate_with, EvalConfig, Rounding, SoundnessReport, Value,
+};
+use numfuzz_metrics::rp::rp_to_rel_bound;
+use numfuzz_softfloat::{Format, RoundingMode};
+use std::fmt;
+
+/// A configured analysis session. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Analyzer {
+    sig: Signature,
+    format: Format,
+    mode: RoundingMode,
+    /// Value substituted for the signature's rounding-grade symbol; when
+    /// unset, the format/mode unit roundoff.
+    rnd_unit: Option<Rational>,
+    sqrt_bits: u32,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer {
+    /// The paper's defaults: relative precision, binary64, round toward
+    /// +∞ (`u = 2^-52`).
+    pub fn new() -> Self {
+        Analyzer::builder().build()
+    }
+
+    /// Starts a builder with the defaults of [`Analyzer::new`].
+    pub fn builder() -> AnalyzerBuilder {
+        AnalyzerBuilder {
+            sig: None,
+            instantiation: Instantiation::RelativePrecision,
+            format: Format::BINARY64,
+            mode: RoundingMode::TowardPositive,
+            rnd_unit: None,
+            sqrt_bits: 192,
+        }
+    }
+
+    /// The operation signature Σ this session checks against.
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// The floating-point format of [`Analyzer::run`] / [`Analyzer::validate`].
+    pub fn format(&self) -> Format {
+        self.format
+    }
+
+    /// The rounding mode of [`Analyzer::run`] / [`Analyzer::validate`].
+    pub fn mode(&self) -> RoundingMode {
+        self.mode
+    }
+
+    /// The numeric value substituted for the rounding-grade symbol
+    /// (`eps`, `delta`, ...) when evaluating bounds: the configured
+    /// override, or the format/mode unit roundoff.
+    pub fn rounding_unit(&self) -> Rational {
+        self.rnd_unit.clone().unwrap_or_else(|| self.format.unit_roundoff(self.mode))
+    }
+
+    /// The name of the signature's rounding-grade symbol.
+    fn rnd_symbol(&self) -> String {
+        match self.sig.rnd_grade() {
+            Grade::Finite(e) if e.terms().len() == 1 => e.terms()[0].0.clone(),
+            _ => "eps".to_string(),
+        }
+    }
+
+    /// Parses and lowers source against *this session's* signature (use
+    /// this instead of [`Program::parse`] for non-default signatures).
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`Diagnostic`], as [`Program::parse`].
+    pub fn parse(&self, src: &str) -> Result<Program, Diagnostic> {
+        Program::parse_sig(None, src, &self.sig)
+    }
+
+    /// [`Analyzer::parse`] with a file name attached to diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::parse`].
+    pub fn parse_named(&self, name: &str, src: &str) -> Result<Program, Diagnostic> {
+        Program::parse_sig(Some(name), src, &self.sig)
+    }
+
+    /// Type-checks a program: one pass of the Fig. 10 algorithmic rules.
+    /// The resulting [`Typed`] carries the root judgment and one report
+    /// per `function` definition.
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`Diagnostic`] for any ill-typed program, or
+    /// [`ErrorCode::SignatureMismatch`] when the program was lowered
+    /// against a different instantiation's signature (operation names
+    /// differ between instantiations, so cross-checking would only
+    /// produce misleading unknown-operation errors).
+    pub fn check(&self, program: &Program) -> Result<Typed, Diagnostic> {
+        self.ensure_instantiation(program)?;
+        let result = infer(program.store(), &self.sig, program.root(), program.free())
+            .map_err(|e| Diagnostic::from_check(&e, program.source(), program.name()))?;
+        Ok(Typed { root: result.root, fns: result.fns })
+    }
+
+    /// Rejects programs lowered against another instantiation's
+    /// signature with a clear diagnostic (cross-checking would only
+    /// produce misleading unknown-operation errors).
+    fn ensure_instantiation(&self, program: &Program) -> Result<(), Diagnostic> {
+        if program.instantiation() == self.sig.instantiation() {
+            return Ok(());
+        }
+        let mut d = Diagnostic::new(
+            ErrorCode::SignatureMismatch,
+            format!(
+                "program was lowered for the {:?} instantiation, but this analyzer is configured for {:?}",
+                program.instantiation(),
+                self.sig.instantiation()
+            ),
+        )
+        .with_note(
+            "re-parse the source with `Analyzer::parse` so operation names resolve against this session's signature",
+        );
+        if let Some(name) = program.name() {
+            d = d.with_file(name);
+        }
+        Err(d)
+    }
+
+    /// Checks a batch of programs against the shared signature. One
+    /// result per program, in order; a failure in one program does not
+    /// affect the others. The loop body is independent per program, so
+    /// callers can shard batches across threads freely.
+    pub fn check_all(&self, programs: &[Program]) -> Vec<Result<Typed, Diagnostic>> {
+        programs.iter().map(|p| self.check(p)).collect()
+    }
+
+    /// The eq. (8) error bound of a checked program's *root* type, with
+    /// the rounding symbol at [`Analyzer::rounding_unit`].
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NotMonadicNum`] when the type carries no bound, or
+    /// [`ErrorCode::UnresolvedGrade`] when the grade mentions other
+    /// symbols (assign them via [`Analyzer::bound_with`]).
+    pub fn bound(&self, typed: &Typed) -> Result<ErrorBound, Diagnostic> {
+        let unit = self.rounding_unit();
+        let symbol = self.rnd_symbol();
+        self.bound_of_ty_with(typed.ty(), &|s| (s == symbol).then(|| unit.clone()))
+    }
+
+    /// [`Analyzer::bound`] with extra symbol assignments (the rounding
+    /// symbol is still mapped to [`Analyzer::rounding_unit`] unless the
+    /// provided map overrides it).
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::bound`].
+    pub fn bound_with(
+        &self,
+        typed: &Typed,
+        symbols: &dyn Fn(&str) -> Option<Rational>,
+    ) -> Result<ErrorBound, Diagnostic> {
+        let unit = self.rounding_unit();
+        let symbol = self.rnd_symbol();
+        self.bound_of_ty_with(typed.ty(), &|s| {
+            symbols(s).or_else(|| (s == symbol).then(|| unit.clone()))
+        })
+    }
+
+    /// The eq. (8) bound read off an arbitrary type, walking through
+    /// curried `⊸` codomains to the monadic result (so a `function`
+    /// type yields the bound of calling it). `None` when the type has no
+    /// monadic codomain or the grade does not resolve numerically.
+    pub fn bound_of_ty(&self, ty: &Ty) -> Option<ErrorBound> {
+        let unit = self.rounding_unit();
+        let symbol = self.rnd_symbol();
+        self.bound_of_ty_with(ty, &|s| (s == symbol).then(|| unit.clone())).ok()
+    }
+
+    fn bound_of_ty_with(
+        &self,
+        ty: &Ty,
+        symbols: &dyn Fn(&str) -> Option<Rational>,
+    ) -> Result<ErrorBound, Diagnostic> {
+        let mut t = ty;
+        loop {
+            match t {
+                Ty::Lolli(_, cod) => t = cod,
+                Ty::Monad(grade, _) => {
+                    let alpha = grade.eval(symbols).ok_or_else(|| {
+                        Diagnostic::new(
+                            ErrorCode::UnresolvedGrade,
+                            format!("grade `{grade}` has symbols without assigned values"),
+                        )
+                        .with_note("assign them via `Analyzer::bound_with`")
+                    })?;
+                    let relative = match self.sig.instantiation() {
+                        Instantiation::RelativePrecision => rp_to_rel_bound(&alpha),
+                        Instantiation::AbsoluteError => Some(alpha.clone()),
+                    };
+                    return Ok(ErrorBound {
+                        grade: grade.clone(),
+                        alpha,
+                        relative,
+                        instantiation: self.sig.instantiation(),
+                    });
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        ErrorCode::NotMonadicNum,
+                        format!("type `{other}` carries no rounding-error bound"),
+                    )
+                    .with_note("only `M[r]...` types (possibly under ⊸) have eq. (8) bounds"))
+                }
+            }
+        }
+    }
+
+    /// Runs both semantics: the ideal one (`rnd` = identity) and the
+    /// floating-point one in this session's format/mode (§7.1 faulting
+    /// semantics). When the program's type is `M[r]num`, the execution
+    /// also carries the rigorous [`SoundnessReport`].
+    ///
+    /// # Errors
+    ///
+    /// A [`Diagnostic`] for type errors, unbound/missing inputs, or
+    /// evaluation failures.
+    pub fn run(&self, program: &Program, inputs: &Inputs) -> Result<Execution, Diagnostic> {
+        let typed = self.check(program)?;
+        let bound_inputs = inputs.resolve(program)?;
+        let config =
+            EvalConfig { instantiation: self.sig.instantiation(), sqrt_bits: self.sqrt_bits };
+
+        let ideal =
+            eval(program.store(), program.root(), &mut IdentityRounding, config, &bound_inputs)
+                .map_err(|e| Diagnostic::from_eval(&e))?;
+        let mut fp_rounding = CheckedRounding { format: self.format, mode: self.mode };
+        let fp = eval(program.store(), program.root(), &mut fp_rounding, config, &bound_inputs)
+            .map_err(|e| Diagnostic::from_eval(&e))?;
+
+        // The rigorous verdict reuses the evaluations above — no second
+        // inference/evaluation pass.
+        let report = match typed.ty() {
+            Ty::Monad(grade, inner) if **inner == Ty::Num => {
+                let unit = self.rounding_unit();
+                let symbol = self.rnd_symbol();
+                let bound =
+                    grade.eval(&|s| (s == symbol).then(|| unit.clone())).ok_or_else(|| {
+                        Diagnostic::new(
+                            ErrorCode::UnresolvedGrade,
+                            format!("grade `{grade}` has symbols without assigned values"),
+                        )
+                        .with_note("assign them via `Analyzer::validate_with_symbols`")
+                    })?;
+                Some(
+                    report_for(
+                        self.sig.instantiation(),
+                        grade.clone(),
+                        bound,
+                        &ideal,
+                        &fp,
+                        Some(self.format),
+                    )
+                    .map_err(|e| {
+                        Diagnostic::from_soundness(&e, program.source(), program.name())
+                    })?,
+                )
+            }
+            _ => None,
+        };
+        Ok(Execution {
+            ty: typed.ty().clone(),
+            ideal,
+            fp,
+            report,
+            format: self.format,
+            mode: self.mode,
+        })
+    }
+
+    /// [`Analyzer::run`] under a caller-supplied floating-point rounding
+    /// strategy. No soundness report is attached (strategies are stateful
+    /// and consumed by the run); use
+    /// [`Analyzer::validate_with_rounding`] with a fresh strategy for the
+    /// rigorous check.
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::run`].
+    pub fn run_with_rounding(
+        &self,
+        program: &Program,
+        inputs: &Inputs,
+        fp_rounding: &mut dyn Rounding,
+    ) -> Result<Execution, Diagnostic> {
+        let typed = self.check(program)?;
+        let bound_inputs = inputs.resolve(program)?;
+        let config =
+            EvalConfig { instantiation: self.sig.instantiation(), sqrt_bits: self.sqrt_bits };
+        let ideal =
+            eval(program.store(), program.root(), &mut IdentityRounding, config, &bound_inputs)
+                .map_err(|e| Diagnostic::from_eval(&e))?;
+        let fp = eval(program.store(), program.root(), fp_rounding, config, &bound_inputs)
+            .map_err(|e| Diagnostic::from_eval(&e))?;
+        Ok(Execution {
+            ty: typed.ty().clone(),
+            ideal,
+            fp,
+            report: None,
+            format: self.format,
+            mode: self.mode,
+        })
+    }
+
+    /// The rigorous error-soundness check (Corollary 4.20): type-check,
+    /// run both semantics, and decide `d(⟦e⟧_id, ⟦e⟧_fp) ≤ r` exactly,
+    /// with the rounding symbol at [`Analyzer::rounding_unit`].
+    ///
+    /// # Errors
+    ///
+    /// A [`Diagnostic`] when the program does not check, is not
+    /// `M[r]num`, has unassigned grade symbols, or fails to evaluate.
+    pub fn validate(
+        &self,
+        program: &Program,
+        inputs: &Inputs,
+    ) -> Result<SoundnessReport, Diagnostic> {
+        let mut fp = CheckedRounding { format: self.format, mode: self.mode };
+        self.validate_with_rounding(program, inputs, &mut fp)
+    }
+
+    /// [`Analyzer::validate`] under a caller-supplied rounding strategy
+    /// (the §7 extensions: mode-per-step choice, state-dependent,
+    /// stochastic, ...).
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::validate`].
+    pub fn validate_with_rounding(
+        &self,
+        program: &Program,
+        inputs: &Inputs,
+        fp_rounding: &mut dyn Rounding,
+    ) -> Result<SoundnessReport, Diagnostic> {
+        let unit = self.rounding_unit();
+        let symbol = self.rnd_symbol();
+        self.validate_with_symbols(program, inputs, fp_rounding, &|s| {
+            (s == symbol).then(|| unit.clone())
+        })
+    }
+
+    /// The fully general validation entry point: caller-supplied rounding
+    /// strategy *and* grade-symbol assignment.
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::validate`].
+    pub fn validate_with_symbols(
+        &self,
+        program: &Program,
+        inputs: &Inputs,
+        fp_rounding: &mut dyn Rounding,
+        symbols: &dyn Fn(&str) -> Option<Rational>,
+    ) -> Result<SoundnessReport, Diagnostic> {
+        self.ensure_instantiation(program)?;
+        let bound_inputs = inputs.resolve(program)?;
+        validate_with(
+            program.store(),
+            &self.sig,
+            program.root(),
+            &bound_inputs,
+            fp_rounding,
+            symbols,
+        )
+        .map_err(|e| Diagnostic::from_soundness(&e, program.source(), program.name()))
+    }
+}
+
+/// Builder for [`Analyzer`]; see [`Analyzer::builder`].
+#[derive(Clone, Debug)]
+pub struct AnalyzerBuilder {
+    sig: Option<Signature>,
+    instantiation: Instantiation,
+    format: Format,
+    mode: RoundingMode,
+    rnd_unit: Option<Rational>,
+    sqrt_bits: u32,
+}
+
+impl AnalyzerBuilder {
+    /// Selects one of the paper's Section 5 instantiations.
+    pub fn signature(mut self, instantiation: Instantiation) -> Self {
+        self.instantiation = instantiation;
+        self.sig = None;
+        self
+    }
+
+    /// Supplies a custom signature (overrides [`AnalyzerBuilder::signature`]).
+    pub fn custom_signature(mut self, sig: Signature) -> Self {
+        self.sig = Some(sig);
+        self
+    }
+
+    /// Target floating-point format (default binary64).
+    pub fn format(mut self, format: Format) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Rounding mode (default round toward +∞, the paper's convention).
+    pub fn mode(mut self, mode: RoundingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the value substituted for the rounding-grade symbol
+    /// (default: the format/mode unit roundoff). The absolute-error
+    /// instantiation needs this: its `delta` is `u·M` for a range bound
+    /// `M`, not the bare unit roundoff.
+    pub fn rounding_unit(mut self, unit: Rational) -> Self {
+        self.rnd_unit = Some(unit);
+        self
+    }
+
+    /// Enclosure precision (bits) for `sqrt` during evaluation.
+    pub fn sqrt_bits(mut self, bits: u32) -> Self {
+        self.sqrt_bits = bits;
+        self
+    }
+
+    /// Finishes the session.
+    pub fn build(self) -> Analyzer {
+        let sig = self.sig.unwrap_or_else(|| match self.instantiation {
+            Instantiation::RelativePrecision => Signature::relative_precision(),
+            Instantiation::AbsoluteError => Signature::absolute_error(),
+        });
+        Analyzer {
+            sig,
+            format: self.format,
+            mode: self.mode,
+            rnd_unit: self.rnd_unit,
+            sqrt_bits: self.sqrt_bits,
+        }
+    }
+}
+
+/// A successfully checked program: the root judgment plus per-`function`
+/// reports, produced by [`Analyzer::check`].
+#[derive(Clone, Debug)]
+pub struct Typed {
+    root: Inferred,
+    fns: Vec<FnReport>,
+}
+
+impl Typed {
+    /// The root term's inferred type.
+    pub fn ty(&self) -> &Ty {
+        &self.root.ty
+    }
+
+    /// The root judgment (environment and type).
+    pub fn root(&self) -> &Inferred {
+        &self.root
+    }
+
+    /// The monadic grade of the root type, when it has one.
+    pub fn grade(&self) -> Option<&Grade> {
+        match &self.root.ty {
+            Ty::Monad(g, _) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// One report per `function` definition, in source order.
+    pub fn functions(&self) -> &[FnReport] {
+        &self.fns
+    }
+
+    /// Looks up a function report by name (last definition wins).
+    pub fn function(&self, name: &str) -> Option<&FnReport> {
+        self.fns.iter().rev().find(|f| f.name == name)
+    }
+}
+
+/// An eq. (8) rounding-error bound read off a checked type.
+#[derive(Clone, Debug)]
+pub struct ErrorBound {
+    /// The exact symbolic grade (e.g. `5/2*eps`).
+    pub grade: Grade,
+    /// The grade with symbols substituted: the RP (or absolute) bound.
+    pub alpha: Rational,
+    /// The relative error bound the paper's tables report: for the RP
+    /// instantiation `(e^α - 1)` rounded up (eq. 8); for the absolute
+    /// instantiation, `alpha` itself. `None` when `α` is too large for a
+    /// meaningful relative bound.
+    pub relative: Option<Rational>,
+    /// Which metric the bound is stated in.
+    pub instantiation: Instantiation,
+}
+
+impl fmt::Display for ErrorBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.instantiation {
+            Instantiation::RelativePrecision => "relative error",
+            Instantiation::AbsoluteError => "absolute error",
+        };
+        match &self.relative {
+            Some(b) => write!(f, "{} ({kind} <= {})", self.grade, b.to_sci_string(3)),
+            None => write!(f, "{} (no finite {kind} bound)", self.grade),
+        }
+    }
+}
+
+/// The outcome of [`Analyzer::run`]: both semantics' results and, for
+/// `M[r]num` programs, the rigorous soundness report.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// The checked root type.
+    pub ty: Ty,
+    /// Result under the ideal semantics (`rnd` = identity).
+    pub ideal: Value,
+    /// Result under the floating-point semantics (possibly `err`, §7.1).
+    pub fp: Value,
+    /// The Corollary 4.20 verdict, when the type carries a bound.
+    pub report: Option<SoundnessReport>,
+    /// Format the floating-point run used.
+    pub format: Format,
+    /// Mode the floating-point run used.
+    pub mode: RoundingMode,
+}
+
+/// Input values for a program's free variables, by name and/or position.
+#[derive(Clone, Debug, Default)]
+pub struct Inputs {
+    positional: Vec<Value>,
+    named: Vec<(String, Value)>,
+}
+
+impl Inputs {
+    /// No inputs (closed programs).
+    pub fn none() -> Self {
+        Inputs::default()
+    }
+
+    /// Values for the program's free variables, in input order.
+    pub fn positional(values: impl IntoIterator<Item = Value>) -> Self {
+        Inputs { positional: values.into_iter().collect(), named: Vec::new() }
+    }
+
+    /// Adds (or overrides) a named input.
+    pub fn with(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.named.push((name.into(), value));
+        self
+    }
+
+    /// Convenience for numeric inputs.
+    pub fn with_num(self, name: impl Into<String>, q: Rational) -> Self {
+        self.with(name, Value::num(q))
+    }
+
+    /// Binds this input set to a program's free variables.
+    pub(crate) fn resolve(&self, program: &Program) -> Result<Vec<(VarId, Value)>, Diagnostic> {
+        let free = program.free();
+        if self.positional.len() > free.len() {
+            return Err(Diagnostic::new(
+                ErrorCode::BadInput,
+                format!(
+                    "{} positional inputs supplied, but the program has {} free variables",
+                    self.positional.len(),
+                    free.len()
+                ),
+            ));
+        }
+        let mut bound: Vec<(VarId, Option<Value>)> = free.iter().map(|(v, _)| (*v, None)).collect();
+        for (slot, value) in bound.iter_mut().zip(self.positional.iter().cloned()) {
+            slot.1 = Some(value);
+        }
+        for (name, value) in &self.named {
+            let store = program.store();
+            match bound.iter_mut().find(|(v, _)| store.var_name(*v) == name) {
+                Some(slot) => slot.1 = Some(value.clone()),
+                None => {
+                    return Err(Diagnostic::new(
+                        ErrorCode::BadInput,
+                        format!("input `{name}` names no free variable of the program"),
+                    )
+                    .with_note(format!(
+                        "free variables: {}",
+                        program
+                            .free_names()
+                            .iter()
+                            .map(|(n, _)| n.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )))
+                }
+            }
+        }
+        bound
+            .into_iter()
+            .map(|(v, val)| {
+                val.map(|val| (v, val)).ok_or_else(|| {
+                    Diagnostic::new(
+                        ErrorCode::BadInput,
+                        format!(
+                            "free variable `{}` has no input value",
+                            program.store().var_name(v)
+                        ),
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, Value)> for Inputs {
+    fn from_iter<I: IntoIterator<Item = (S, Value)>>(iter: I) -> Self {
+        Inputs {
+            positional: Vec::new(),
+            named: iter.into_iter().map(|(n, v)| (n.into(), v)).collect(),
+        }
+    }
+}

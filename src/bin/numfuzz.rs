@@ -1,74 +1,122 @@
-//! The `numfuzz` command-line interface.
+//! The `numfuzz` command-line interface, built on the
+//! [`Analyzer`]/[`Program`] facade.
 //!
 //! ```text
-//! numfuzz check FILE                 type-check a Λnum program
-//! numfuzz run FILE [options]         run ideal + floating-point semantics
+//! numfuzz check FILE [options]       type-check a Λnum program
+//! numfuzz bound FILE [options]       print the eq. (8) error bound of
+//!                                    every function (and the program)
+//! numfuzz run   FILE [options]       run ideal + floating-point
+//!                                    semantics and verify the bound
 //!     --prec P       precision bits (default 53)
 //!     --emax E       maximum exponent (default 1023)
 //!     --mode M       ru | rd | rz | rn (default ru)
+//!     --abs          absolute-error instantiation (default: relative)
 //! ```
 //!
-//! `check` prints every `function` definition's inferred type (with exact
-//! symbolic grades) and, when the grade resolves, the eq. (8) relative
-//! error bound. `run` additionally executes both semantics, reports both
-//! results and the measured distance, and verifies the bound.
+//! Exit codes: `0` success, `1` the program is ill-typed / violates its
+//! bound (a *program* error, printed as a spanned diagnostic), `2` usage
+//! or I/O error.
 
 use numfuzz::prelude::*;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("numfuzz: {msg}");
-            ExitCode::FAILURE
+/// Exit code for ill-typed / failing programs.
+const EXIT_PROGRAM: u8 = 1;
+/// Exit code for usage and I/O errors.
+const EXIT_USAGE: u8 = 2;
+
+enum Failure {
+    /// The analyzed program is at fault: spanned diagnostic, exit 1.
+    Program(Diagnostic),
+    /// The invocation is at fault: message + usage, exit 2.
+    Usage(String),
+}
+
+impl From<Diagnostic> for Failure {
+    fn from(d: Diagnostic) -> Self {
+        if d.code.is_program_error() {
+            Failure::Program(d)
+        } else {
+            // Bad inputs / mismatched sessions are invocation problems,
+            // not defects in the analyzed program.
+            Failure::Usage(d.to_string())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Failure::Program(d)) => {
+            eprintln!("{}", d.render());
+            ExitCode::from(EXIT_PROGRAM)
+        }
+        Err(Failure::Usage(msg)) => {
+            eprintln!("numfuzz: {msg}");
+            eprintln!("{}", usage());
+            ExitCode::from(EXIT_USAGE)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), Failure> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| Failure::Usage("missing command".into()))?;
     match cmd.as_str() {
         "check" => {
-            let file = rest.first().ok_or_else(usage)?;
-            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-            check(&src)
+            let (program, analyzer) = load(rest)?;
+            check(&program, &analyzer)
+        }
+        "bound" => {
+            let (program, analyzer) = load(rest)?;
+            bound(&program, &analyzer)
         }
         "run" => {
-            let file = rest.first().ok_or_else(usage)?;
-            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-            let opts = parse_opts(&rest[1..])?;
-            exec(&src, opts)
+            let (program, analyzer) = load(rest)?;
+            run(&program, &analyzer)
         }
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(Failure::Usage(format!("unknown command `{other}`"))),
     }
 }
 
 fn usage() -> String {
-    "usage: numfuzz <check|run> FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn]".to_string()
+    "usage: numfuzz <check|bound|run> FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]"
+        .to_string()
+}
+
+/// Parses options, reads the file, and builds the session.
+fn load(rest: &[String]) -> Result<(Program, Analyzer), Failure> {
+    let file = rest.first().ok_or_else(|| Failure::Usage("missing FILE argument".into()))?;
+    let opts = parse_opts(&rest[1..]).map_err(Failure::Usage)?;
+    let src = std::fs::read_to_string(file).map_err(|e| Failure::Usage(format!("{file}: {e}")))?;
+    let analyzer = Analyzer::builder()
+        .signature(opts.instantiation)
+        .format(opts.format)
+        .mode(opts.mode)
+        .build();
+    let program = analyzer.parse_named(file, &src)?;
+    Ok((program, analyzer))
 }
 
 struct Opts {
     format: Format,
     mode: RoundingMode,
+    instantiation: Instantiation,
 }
 
 fn parse_opts(rest: &[String]) -> Result<Opts, String> {
     let mut prec = 53u32;
     let mut emax = 1023i64;
     let mut mode = RoundingMode::TowardPositive;
+    let mut instantiation = Instantiation::RelativePrecision;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--prec" => prec = value("--prec")?.parse().map_err(|e| format!("--prec: {e}"))?,
             "--emax" => emax = value("--emax")?.parse().map_err(|e| format!("--emax: {e}"))?,
@@ -81,70 +129,55 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("unknown mode `{other}`")),
                 }
             }
+            "--abs" => instantiation = Instantiation::AbsoluteError,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    Ok(Opts { format: Format::new(prec, emax), mode })
+    Ok(Opts { format: Format::new(prec, emax), mode, instantiation })
 }
 
-fn check(src: &str) -> Result<(), String> {
-    let sig = Signature::relative_precision();
-    let lowered = compile(src, &sig).map_err(|e| e.to_string())?;
-    let res = infer(&lowered.store, &sig, lowered.root, &[]).map_err(|e| e.to_string())?;
-    let u = Format::BINARY64.unit_roundoff(RoundingMode::TowardPositive);
-    for f in &res.fns {
+/// `numfuzz check`: every function's inferred type, plus the program's.
+fn check(program: &Program, analyzer: &Analyzer) -> Result<(), Failure> {
+    let typed = analyzer.check(program)?;
+    for f in typed.functions() {
         println!("{} : {}", f.name, f.inferred);
-        if let Some(alpha) = monadic_alpha(&f.inferred, &u) {
-            if let Some(rel) = numfuzz::metrics::rp::rp_to_rel_bound(&alpha) {
-                println!("    relative error <= {} (binary64, round toward +inf)", rel.to_sci_string(3));
-            }
-        }
     }
-    println!("program : {}", res.root.ty);
+    println!("program : {}", typed.ty());
     Ok(())
 }
 
-/// Walks a curried type to its monadic codomain grade, evaluated at `u`.
-fn monadic_alpha(ty: &Ty, u: &Rational) -> Option<Rational> {
-    let mut t = ty;
-    loop {
-        match t {
-            Ty::Lolli(_, cod) => t = cod,
-            Ty::Monad(g, _) => return g.eval_eps(u),
-            _ => return None,
+/// `numfuzz bound`: the eq. (8) error bound for every function and for
+/// the program, in the session's format/mode.
+fn bound(program: &Program, analyzer: &Analyzer) -> Result<(), Failure> {
+    let typed = analyzer.check(program)?;
+    let setting = format!("{} {}", analyzer.format(), analyzer.mode());
+    for f in typed.functions() {
+        match analyzer.bound_of_ty(&f.inferred) {
+            Some(b) => println!("{:<24} {}", f.name, b),
+            None => println!("{:<24} {} (no rounding-error bound)", f.name, f.inferred),
         }
     }
+    // Same lolli-walking rule as the per-function lines, so a file whose
+    // program value is a function reports consistently.
+    match analyzer.bound_of_ty(typed.ty()) {
+        Some(b) => println!("{:<24} {}", "program", b),
+        None => println!("{:<24} {} (no rounding-error bound)", "program", typed.ty()),
+    }
+    println!("({setting}, unit roundoff {})", analyzer.rounding_unit().to_sci_string(3));
+    Ok(())
 }
 
-fn exec(src: &str, opts: Opts) -> Result<(), String> {
-    let sig = Signature::relative_precision();
-    let lowered = compile(src, &sig).map_err(|e| e.to_string())?;
-    let res = infer(&lowered.store, &sig, lowered.root, &[]).map_err(|e| e.to_string())?;
-    println!("type    : {}", res.root.ty);
-
-    let ideal = eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[])
-        .map_err(|e| e.to_string())?;
-    println!("ideal   : {ideal}");
-
-    let mut fp = CheckedRounding { format: opts.format, mode: opts.mode };
-    let fp_val = eval(&lowered.store, lowered.root, &mut fp, EvalConfig::default(), &[])
-        .map_err(|e| e.to_string())?;
-    println!("fp      : {fp_val}   ({} in {})", opts.mode, opts.format);
-
-    if matches!(res.root.ty, Ty::Monad(..)) {
-        let mut fp = CheckedRounding { format: opts.format, mode: opts.mode };
-        let rep = validate(
-            &lowered.store,
-            &sig,
-            lowered.root,
-            &[],
-            &mut fp,
-            &opts.format.unit_roundoff(opts.mode),
-        )
-        .map_err(|e| e.to_string())?;
-        println!("bound   : RP <= {} ({})", rep.bound.to_sci_string(3), rep.grade);
+/// `numfuzz run`: both semantics, the measured distance, and the
+/// rigorous verdict.
+fn run(program: &Program, analyzer: &Analyzer) -> Result<(), Failure> {
+    let exec = analyzer.run(program, &Inputs::none())?;
+    println!("type    : {}", exec.ty);
+    println!("ideal   : {}", exec.ideal);
+    println!("fp      : {}   ({} in {})", exec.fp, exec.mode, exec.format);
+    if let Some(rep) = &exec.report {
+        println!("bound   : d <= {} ({})", rep.bound.to_sci_string(3), rep.grade);
         match rep.measured {
-            Some(m) => println!("measured: RP  = {m:.3e}"),
+            Some(m) => println!("measured: d  = {m:.3e}"),
             None => println!("measured: (err outcome or undefined)"),
         }
         if let Some(ulp) = &rep.ulp {
@@ -152,7 +185,13 @@ fn exec(src: &str, opts: Opts) -> Result<(), String> {
         }
         println!("verdict : {}", if rep.holds() { "bound holds (rigorous)" } else { "VIOLATION" });
         if !rep.holds() {
-            return Err("error-soundness violation (this would be a bug)".to_string());
+            return Err(Failure::Program(
+                Diagnostic::new(
+                    ErrorCode::BoundViolated,
+                    "error-soundness violation (this would be an implementation bug)",
+                )
+                .with_file(program.name().unwrap_or("<source>")),
+            ));
         }
     }
     Ok(())

@@ -1,0 +1,59 @@
+//! Deprecated pre-0.2 free functions, kept as thin shims so existing
+//! callers keep compiling. New code goes through [`crate::Program`] and
+//! [`crate::Analyzer`].
+
+// The shims return the engine's own error types verbatim; their size is
+// the engine's concern (checking is not a hot error path).
+#![allow(clippy::result_large_err)]
+
+use numfuzz_core::{
+    CheckError, CheckResult, Lowered, Signature, SyntaxError, TermId, TermStore, Ty, VarId,
+};
+use numfuzz_exact::Rational;
+use numfuzz_interp::{Rounding, SoundnessError, SoundnessReport, Value};
+
+/// Parse + lower a program in one call.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Program::parse` (or `Analyzer::parse` for non-default signatures)"
+)]
+pub fn compile(src: &str, sig: &Signature) -> Result<Lowered, SyntaxError> {
+    numfuzz_core::compile(src, sig)
+}
+
+/// Algorithmic sensitivity inference over raw arena parts.
+#[deprecated(since = "0.2.0", note = "use `Analyzer::check` on a `Program`")]
+pub fn infer(
+    store: &TermStore,
+    sig: &Signature,
+    root: TermId,
+    free: &[(VarId, Ty)],
+) -> Result<CheckResult, CheckError> {
+    numfuzz_core::infer(store, sig, root, free)
+}
+
+/// Error-soundness validation over raw arena parts.
+#[deprecated(since = "0.2.0", note = "use `Analyzer::validate` on a `Program`")]
+pub fn validate(
+    store: &TermStore,
+    sig: &Signature,
+    root: TermId,
+    inputs: &[(VarId, Value)],
+    fp_rounding: &mut dyn Rounding,
+    rnd_unit: &Rational,
+) -> Result<SoundnessReport, SoundnessError> {
+    numfuzz_interp::validate(store, sig, root, inputs, fp_rounding, rnd_unit)
+}
+
+/// Error-soundness validation with an arbitrary symbol assignment.
+#[deprecated(since = "0.2.0", note = "use `Analyzer::validate_with_symbols` on a `Program`")]
+pub fn validate_with(
+    store: &TermStore,
+    sig: &Signature,
+    root: TermId,
+    inputs: &[(VarId, Value)],
+    fp_rounding: &mut dyn Rounding,
+    symbols: &dyn Fn(&str) -> Option<Rational>,
+) -> Result<SoundnessReport, SoundnessError> {
+    numfuzz_interp::validate_with(store, sig, root, inputs, fp_rounding, symbols)
+}

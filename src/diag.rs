@@ -1,0 +1,356 @@
+//! The one structured error type of the facade API.
+//!
+//! Every failure mode of the pipeline — lexing, parsing, lowering, type
+//! checking, input binding, evaluation, soundness validation, kernel
+//! translation — surfaces as a [`Diagnostic`]: an error code from a
+//! stable catalogue, a human message, and (when the program came from
+//! source text) a `file:line:col` span with the offending line. This
+//! replaces the `SyntaxError` / `CheckError` / `Box<dyn Error>` soup the
+//! pre-0.2 free functions exposed.
+
+use numfuzz_core::{CheckError, SyntaxError};
+use numfuzz_interp::{EvalError, SoundnessError};
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Stable error codes, grouped by pipeline stage:
+/// `E00xx` syntax/lowering, `E01xx` type checking, `E02xx`
+/// evaluation/validation, `E03xx` API usage (inputs, translation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// `E0001` — lexical or grammatical error in the surface syntax.
+    Syntax,
+    /// `E0002` — a name is not in scope.
+    UnboundName,
+    /// `E0003` — a primitive operation used in a non-applied position.
+    MisusedOp,
+    /// `E0101` — an operation name is not in the signature.
+    UnknownOp,
+    /// `E0102` — a term's type has the wrong shape for its context.
+    Shape,
+    /// `E0103` — a function argument is not a subtype of the domain.
+    ArgMismatch,
+    /// `E0104` — an operation argument does not match the signature.
+    OpArgMismatch,
+    /// `E0105` — a λ-bound variable is used at sensitivity above 1.
+    LambdaSensitivity,
+    /// `E0106` — a product of two symbolic grades arose.
+    NonlinearGrade,
+    /// `E0107` — a variable boxed at grade 0 is used.
+    BoxZeroGrade,
+    /// `E0108` — `case` branches have incompatible types.
+    BranchMismatch,
+    /// `E0109` — the inferred type is not a subtype of the declaration.
+    GradeMismatch,
+    /// `E0201` — the program's type is not `M[r]num`, so no rounding
+    /// error bound applies.
+    NotMonadicNum,
+    /// `E0202` — the grade mentions symbols with no assigned value.
+    UnresolvedGrade,
+    /// `E0203` — evaluation failed on a numeric side condition.
+    EvalFailed,
+    /// `E0204` — the error-soundness bound was violated (this would be an
+    /// implementation bug, not a user error).
+    BoundViolated,
+    /// `E0301` — a program input is missing or names no free variable.
+    BadInput,
+    /// `E0302` — an IR kernel has no Λnum translation.
+    Untranslatable,
+    /// `E0303` — a program lowered against one instantiation's signature
+    /// was handed to an analyzer configured for another.
+    SignatureMismatch,
+}
+
+impl ErrorCode {
+    /// The stable code string (`E0102` style).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Syntax => "E0001",
+            ErrorCode::UnboundName => "E0002",
+            ErrorCode::MisusedOp => "E0003",
+            ErrorCode::UnknownOp => "E0101",
+            ErrorCode::Shape => "E0102",
+            ErrorCode::ArgMismatch => "E0103",
+            ErrorCode::OpArgMismatch => "E0104",
+            ErrorCode::LambdaSensitivity => "E0105",
+            ErrorCode::NonlinearGrade => "E0106",
+            ErrorCode::BoxZeroGrade => "E0107",
+            ErrorCode::BranchMismatch => "E0108",
+            ErrorCode::GradeMismatch => "E0109",
+            ErrorCode::NotMonadicNum => "E0201",
+            ErrorCode::UnresolvedGrade => "E0202",
+            ErrorCode::EvalFailed => "E0203",
+            ErrorCode::BoundViolated => "E0204",
+            ErrorCode::BadInput => "E0301",
+            ErrorCode::Untranslatable => "E0302",
+            ErrorCode::SignatureMismatch => "E0303",
+        }
+    }
+
+    /// Whether the code describes a defect in the *program being
+    /// analyzed* (as opposed to harness misuse: bad inputs, mismatched
+    /// sessions). The CLI maps program errors to its "ill-typed program"
+    /// exit code and harness misuse to its usage exit code.
+    pub fn is_program_error(self) -> bool {
+        !matches!(self, ErrorCode::BadInput | ErrorCode::SignatureMismatch)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured, optionally spanned error.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Which failure this is.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+    /// The file (or synthetic name) the program came from, when known.
+    pub file: Option<String>,
+    /// Position in the source, when known.
+    pub span: Option<Span>,
+    /// The source line at `span`, for rendering.
+    pub snippet: Option<String>,
+    /// Extra context lines (hints, the paper rule involved, ...).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A bare diagnostic with no location.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            message: message.into(),
+            file: None,
+            span: None,
+            snippet: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a file (or synthetic program) name.
+    pub fn with_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
+        self
+    }
+
+    /// Attaches a hint line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches a position, capturing the snippet line from `src`.
+    pub fn with_span_in(mut self, span: Span, src: Option<&str>) -> Self {
+        self.snippet =
+            src.and_then(|s| s.lines().nth(span.line.saturating_sub(1) as usize)).map(String::from);
+        self.span = Some(span);
+        self
+    }
+
+    /// Locates the first whole-word occurrence of `needle` in `src` and
+    /// attaches it as the span. No-op when the needle does not occur.
+    pub fn locate(self, src: Option<&str>, needle: &str) -> Self {
+        let Some(src) = src else { return self };
+        match find_word(src, needle) {
+            Some(span) => self.with_span_in(span, Some(src)),
+            None => self,
+        }
+    }
+
+    /// Renders the diagnostic in full (multi-line, rustc style).
+    pub fn render(&self) -> String {
+        let mut out = format!("error[{}]: {}", self.code, self.message);
+        if let Some(span) = self.span {
+            let file = self.file.as_deref().unwrap_or("<source>");
+            out.push_str(&format!("\n  --> {}:{}:{}", file, span.line, span.col));
+            if let Some(snippet) = &self.snippet {
+                out.push_str(&format!("\n   |\n   | {snippet}\n   | "));
+                for _ in 1..span.col {
+                    out.push(' ');
+                }
+                out.push('^');
+            }
+        } else if let Some(file) = &self.file {
+            out.push_str(&format!("\n  --> {file}"));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n  note: {note}"));
+        }
+        out
+    }
+
+    // ---- constructors from the engine error types ----
+
+    pub(crate) fn from_syntax(err: &SyntaxError, src: Option<&str>, file: Option<&str>) -> Self {
+        let code = if err.msg.contains("unbound name") {
+            ErrorCode::UnboundName
+        } else if err.msg.contains("must be applied") {
+            ErrorCode::MisusedOp
+        } else {
+            ErrorCode::Syntax
+        };
+        let mut d = Diagnostic::new(code, err.msg.clone());
+        if let Some(f) = file {
+            d = d.with_file(f);
+        }
+        if err.line > 0 {
+            d.with_span_in(Span { line: err.line, col: err.col }, src)
+        } else if let Some(name) = backticked(&err.msg) {
+            // Lowering reports names without positions; recover the span
+            // from the interned source.
+            d.locate(src, &name)
+        } else {
+            d
+        }
+    }
+
+    pub(crate) fn from_check(err: &CheckError, src: Option<&str>, file: Option<&str>) -> Self {
+        let (code, needle): (ErrorCode, Option<String>) = match err {
+            CheckError::UnboundVar(x) => (ErrorCode::UnboundName, Some(x.clone())),
+            CheckError::UnknownOp(op) => (ErrorCode::UnknownOp, Some(op.clone())),
+            CheckError::Expected { .. } => (ErrorCode::Shape, None),
+            CheckError::ArgMismatch { .. } => (ErrorCode::ArgMismatch, None),
+            CheckError::OpArgMismatch { op, .. } => (ErrorCode::OpArgMismatch, Some(op.clone())),
+            CheckError::LambdaSensitivity { var, .. } => {
+                (ErrorCode::LambdaSensitivity, Some(var.clone()))
+            }
+            CheckError::NonlinearGrade => (ErrorCode::NonlinearGrade, None),
+            CheckError::BoxZeroGrade { var } => (ErrorCode::BoxZeroGrade, Some(var.clone())),
+            CheckError::BranchTypeMismatch { .. } => (ErrorCode::BranchMismatch, None),
+            CheckError::DeclaredMismatch { name, .. } => {
+                (ErrorCode::GradeMismatch, Some(name.clone()))
+            }
+        };
+        let mut d = Diagnostic::new(code, err.to_string());
+        if let Some(f) = file {
+            d = d.with_file(f);
+        }
+        match needle {
+            Some(n) => d.locate(src, &n),
+            None => d,
+        }
+    }
+
+    pub(crate) fn from_eval(err: &EvalError) -> Self {
+        Diagnostic::new(ErrorCode::EvalFailed, err.to_string())
+    }
+
+    pub(crate) fn from_soundness(
+        err: &SoundnessError,
+        src: Option<&str>,
+        file: Option<&str>,
+    ) -> Self {
+        match err {
+            SoundnessError::Check(e) => Diagnostic::from_check(e, src, file),
+            SoundnessError::NotMonadicNum(t) => Diagnostic::new(
+                ErrorCode::NotMonadicNum,
+                format!("error soundness applies to `M[r]num` programs, this one is `{t}`"),
+            )
+            .with_note("only monadic numeric programs carry a rounding-error bound (Cor. 4.20)"),
+            SoundnessError::UnresolvedGrade(g) => Diagnostic::new(
+                ErrorCode::UnresolvedGrade,
+                format!("grade `{g}` has symbols without assigned values"),
+            )
+            .with_note("assign them via `Analyzer::bound_with` / `validate_with_symbols`"),
+            SoundnessError::Eval(e) => Diagnostic::from_eval(e),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(span) = self.span {
+            write!(
+                f,
+                "{}:{}:{}: error[{}]: {}",
+                self.file.as_deref().unwrap_or("<source>"),
+                span.line,
+                span.col,
+                self.code,
+                self.message
+            )
+        } else {
+            write!(f, "error[{}]: {}", self.code, self.message)
+        }
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// First `` `name` `` payload of a message, if any.
+fn backticked(msg: &str) -> Option<String> {
+    let start = msg.find('`')? + 1;
+    let len = msg[start..].find('`')?;
+    (len > 0).then(|| msg[start..start + len].to_string())
+}
+
+/// Finds `needle` in `src` as a whole word (identifier-boundary on both
+/// sides), returning its 1-based position.
+fn find_word(src: &str, needle: &str) -> Option<Span> {
+    if needle.is_empty() {
+        return None;
+    }
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '\'';
+    let bytes = src.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = src[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        let end = at + needle.len();
+        let after_ok = end >= src.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            let upto = &src[..at];
+            let line = upto.matches('\n').count() as u32 + 1;
+            let col = upto.rsplit('\n').next().map_or(0, str::len) as u32 + 1;
+            return Some(Span { line, col });
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_word_respects_boundaries() {
+        let src = "function xyz (xy: num) : num { xy }";
+        let span = find_word(src, "xy").unwrap();
+        assert_eq!((span.line, span.col), (1, 15), "matches `xy`, not the prefix of `xyz`");
+        assert!(find_word(src, "zzz").is_none());
+    }
+
+    #[test]
+    fn render_includes_caret() {
+        let src = "line one\nlet y = x;";
+        let d = Diagnostic::new(ErrorCode::UnboundName, "unbound name `x`")
+            .with_file("demo.nf")
+            .locate(Some(src), "x");
+        let r = d.render();
+        assert!(r.contains("demo.nf:2:9"), "{r}");
+        assert!(r.contains("let y = x;"), "{r}");
+        assert!(r.ends_with("        ^"), "{r}");
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let d = Diagnostic::new(ErrorCode::Syntax, "oops")
+            .with_span_in(Span { line: 3, col: 7 }, None)
+            .with_file("f.nf");
+        assert_eq!(d.to_string(), "f.nf:3:7: error[E0001]: oops");
+    }
+}

@@ -6,9 +6,10 @@
 //! analysis with a graded monad `M[u]τ` tracking worst-case rounding
 //! error — together with every substrate its evaluation depends on.
 //!
-//! This crate is the facade: it re-exports the workspace crates and hosts
+//! This crate is the facade: the [`Program`]/[`Analyzer`] session API,
 //! the `numfuzz` CLI, the runnable examples, and the repo-level
-//! integration tests.
+//! integration tests. The workspace crates remain available under their
+//! module names:
 //!
 //! | module | contents |
 //! |---|---|
@@ -22,11 +23,14 @@
 //!
 //! ## Quickstart
 //!
+//! A [`Program`] is parsed once; an [`Analyzer`] is a configured session
+//! (signature, format, rounding mode) reused across programs:
+//!
 //! ```
 //! use numfuzz::prelude::*;
 //!
-//! // 1. Write a Λnum program (the paper's Fig. 7/8 style).
-//! let src = r#"
+//! // 1. Parse a Λnum program (the paper's Fig. 7/8 style).
+//! let program = Program::parse(r#"
 //!     function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
 //!     function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
 //!     function MA (x: num) (y: num) (z: num) : M[2*eps]num {
@@ -35,26 +39,45 @@
 //!         addfp (|a,z|)
 //!     }
 //!     MA 0.1 0.3 7
-//! "#;
+//! "#)?;
 //!
-//! // 2. Type-check: the grade on the monad is a sound roundoff bound.
-//! let sig = Signature::relative_precision();
-//! let lowered = compile(src, &sig)?;
-//! let checked = infer(&lowered.store, &sig, lowered.root, &[])?;
-//! assert_eq!(checked.root.ty.to_string(), "M[2*eps]num");
+//! // 2. One type-checking pass: the grade on the monad is a sound
+//! //    roundoff bound, and eq. (8) turns it into a relative error.
+//! let analyzer = Analyzer::builder()
+//!     .signature(Instantiation::RelativePrecision)
+//!     .format(Format::BINARY64)
+//!     .mode(RoundingMode::TowardPositive)
+//!     .build();
+//! let typed = analyzer.check(&program)?;
+//! assert_eq!(typed.ty().to_string(), "M[2*eps]num");
+//! let bound = analyzer.bound(&typed)?;
+//! assert_eq!(bound.relative.unwrap().to_sci_string(3), "4.44e-16"); // the paper's Table 3 value
 //!
 //! // 3. Run both semantics and verify the bound rigorously (Cor. 4.20).
-//! let format = Format::BINARY64;
-//! let mode = RoundingMode::TowardPositive;
-//! let mut fp = ModeRounding { format, mode };
-//! let report = validate(&lowered.store, &sig, lowered.root, &[], &mut fp,
-//!                       &format.unit_roundoff(mode))?;
+//! let report = analyzer.validate(&program, &Inputs::none())?;
 //! assert!(report.holds());
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), numfuzz::Diagnostic>(())
 //! ```
+//!
+//! Every failure mode — parse error, scope error, grade mismatch, bad
+//! input, evaluation fault — is a structured [`Diagnostic`] with a stable
+//! [`ErrorCode`] and, for programs parsed from text, a `file:line:col`
+//! span.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod analyzer;
+pub mod compat;
+mod diag;
+mod program;
+
+pub use analyzer::{Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, Typed};
+pub use diag::{Diagnostic, ErrorCode, Span};
+pub use program::Program;
+
+#[allow(deprecated)]
+pub use compat::{compile, infer, validate, validate_with};
 
 pub use numfuzz_analyzers as analyzers;
 pub use numfuzz_benchsuite as benchsuite;
@@ -66,12 +89,12 @@ pub use numfuzz_softfloat as softfloat;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use numfuzz_core::{compile, infer, parse_program, Grade, Signature, Ty};
+    pub use crate::analyzer::{Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, Typed};
+    pub use crate::diag::{Diagnostic, ErrorCode, Span};
+    pub use crate::program::Program;
+    pub use numfuzz_core::{Grade, Instantiation, Signature, Ty};
     pub use numfuzz_exact::{RatInterval, Rational};
-    pub use numfuzz_interp::{
-        eval, rounding::CheckedRounding, rounding::IdentityRounding, rounding::ModeRounding,
-        validate, EvalConfig, Value,
-    };
+    pub use numfuzz_interp::{SoundnessReport, Value};
     pub use numfuzz_metrics::{NumMetric, Within};
     pub use numfuzz_softfloat::{Format, Fp, RoundingMode};
 }

@@ -1,0 +1,192 @@
+//! The [`Program`] artifact: a parsed, lowered Λnum program that owns its
+//! term arena, root, free variables, and interned source text.
+//!
+//! A `Program` is produced once and analyzed many times — by
+//! [`crate::Analyzer::check`], [`crate::Analyzer::run`],
+//! [`crate::Analyzer::validate`] and the batch entry point
+//! [`crate::Analyzer::check_all`]. It replaces hand-threading
+//! `TermStore` + `TermId` + free-variable lists through free functions.
+
+use crate::diag::Diagnostic;
+use numfuzz_analyzers::{kernel_to_core, Kernel};
+use numfuzz_benchsuite::Generated;
+use numfuzz_core::{compile, pretty_term, Instantiation, Signature, TermId, TermStore, Ty, VarId};
+use std::sync::Arc;
+
+/// A lowered Λnum program, ready for analysis.
+#[derive(Clone, Debug)]
+pub struct Program {
+    name: Option<String>,
+    source: Option<Arc<str>>,
+    /// Which instantiation's signature the surface syntax was lowered
+    /// against (operation names differ between instantiations).
+    instantiation: Instantiation,
+    store: TermStore,
+    root: TermId,
+    free: Vec<(VarId, Ty)>,
+}
+
+impl Program {
+    /// Parses and lowers Λnum source against the paper's leading
+    /// instantiation ([`Signature::relative_precision`]).
+    ///
+    /// For the absolute-error instantiation (or a custom signature), use
+    /// [`crate::Analyzer::parse`], which lowers against the analyzer's
+    /// own signature.
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`Diagnostic`] for lexical, grammatical, scoping, or
+    /// operation-usage errors.
+    pub fn parse(src: &str) -> Result<Self, Diagnostic> {
+        Self::parse_sig(None, src, &Signature::relative_precision())
+    }
+
+    /// [`Program::parse`] with a file (or synthetic) name attached to
+    /// diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Program::parse`].
+    pub fn parse_named(name: &str, src: &str) -> Result<Self, Diagnostic> {
+        Self::parse_sig(Some(name), src, &Signature::relative_precision())
+    }
+
+    /// Parses and lowers against an explicit signature.
+    ///
+    /// # Errors
+    ///
+    /// See [`Program::parse`].
+    pub fn parse_with(src: &str, sig: &Signature) -> Result<Self, Diagnostic> {
+        Self::parse_sig(None, src, sig)
+    }
+
+    pub(crate) fn parse_sig(
+        name: Option<&str>,
+        src: &str,
+        sig: &Signature,
+    ) -> Result<Self, Diagnostic> {
+        let lowered =
+            compile(src, sig).map_err(|e| Diagnostic::from_syntax(&e, Some(src), name))?;
+        Ok(Program {
+            name: name.map(String::from),
+            source: Some(Arc::from(src)),
+            instantiation: sig.instantiation(),
+            store: lowered.store,
+            root: lowered.root,
+            free: Vec::new(),
+        })
+    }
+
+    /// Translates a straight-line IR [`Kernel`] (the FPBench fragment)
+    /// into an open Λnum program; the kernel's inputs become free
+    /// variables, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`Diagnostic`] with [`crate::ErrorCode::Untranslatable`] for
+    /// kernels outside the RP fragment (e.g. containing subtraction).
+    pub fn from_kernel(kernel: &Kernel) -> Result<Self, Diagnostic> {
+        let ck = kernel_to_core(kernel).map_err(|e| {
+            Diagnostic::new(crate::ErrorCode::Untranslatable, e.to_string())
+                .with_file(kernel.name.clone())
+        })?;
+        Ok(Program {
+            name: Some(kernel.name.clone()),
+            source: None,
+            instantiation: Instantiation::RelativePrecision,
+            store: ck.store,
+            root: ck.root,
+            free: ck.free,
+        })
+    }
+
+    /// Wraps a generated benchmark (the Table 4 workloads) as a program.
+    pub fn from_generated(g: Generated) -> Self {
+        Program {
+            name: Some(g.name),
+            source: None,
+            instantiation: Instantiation::RelativePrecision,
+            store: g.store,
+            root: g.root,
+            free: g.free,
+        }
+    }
+
+    /// Assembles a program from raw arena parts (the low-level escape
+    /// hatch for programmatic term construction). Tagged for the
+    /// relative-precision instantiation; use
+    /// [`Program::with_instantiation`] for terms whose operations belong
+    /// to another signature.
+    pub fn from_parts(store: TermStore, root: TermId, free: Vec<(VarId, Ty)>) -> Self {
+        Program {
+            name: None,
+            source: None,
+            instantiation: Instantiation::RelativePrecision,
+            store,
+            root,
+            free,
+        }
+    }
+
+    /// The program's name (file path, kernel name, ...), when known.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Renames the program (affects diagnostics only).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// The interned source text, when the program came from source.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// Which instantiation the surface syntax was lowered against.
+    pub fn instantiation(&self) -> Instantiation {
+        self.instantiation
+    }
+
+    /// Re-tags which instantiation the program's operations belong to
+    /// (for [`Program::from_parts`]-built terms; parsed programs are
+    /// tagged by the signature they were lowered against).
+    pub fn with_instantiation(mut self, instantiation: Instantiation) -> Self {
+        self.instantiation = instantiation;
+        self
+    }
+
+    /// The term arena.
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// The root term.
+    pub fn root(&self) -> TermId {
+        self.root
+    }
+
+    /// Free variables (program inputs) with their types, in input order.
+    pub fn free(&self) -> &[(VarId, Ty)] {
+        &self.free
+    }
+
+    /// Free-variable names with their types, in input order.
+    pub fn free_names(&self) -> Vec<(String, Ty)> {
+        self.free.iter().map(|(v, t)| (self.store.var_name(*v).to_string(), t.clone())).collect()
+    }
+
+    /// Pretty-prints the term to `max_depth` (deeper structure elides as
+    /// `...`).
+    pub fn pretty(&self, max_depth: u32) -> String {
+        pretty_term(&self.store, self.root, max_depth)
+    }
+
+    /// Releases the arena parts (for direct small-step experiments and
+    /// other low-level uses).
+    pub fn into_parts(self) -> (TermStore, TermId, Vec<(VarId, Ty)>) {
+        (self.store, self.root, self.free)
+    }
+}

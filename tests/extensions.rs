@@ -1,8 +1,8 @@
 //! Integration tests for the Section 7 extensions and the secondary
-//! (absolute-error) instantiation.
+//! (absolute-error) instantiation, through the facade's
+//! `validate_with_rounding` / builder knobs.
 
 use numfuzz::interp::rounding::{ChoiceRounding, StatefulRounding, StochasticRounding};
-use numfuzz::interp::validate_with;
 use numfuzz::prelude::*;
 use rand::SeedableRng;
 
@@ -18,22 +18,24 @@ const POLY: &str = r#"
     poly [1.7]{3.0}
 "#;
 
+/// A session at the small format the §7.2 tests use.
+fn small_session() -> Analyzer {
+    Analyzer::builder().format(Format::new(7, 40)).mode(RoundingMode::TowardPositive).build()
+}
+
 #[test]
 fn nondeterministic_rounding_all_resolutions_within_bound() {
-    let sig = Signature::relative_precision();
-    let lowered = compile(POLY, &sig).expect("compiles");
-    let format = Format::new(7, 40);
-    let u = format.unit_roundoff(RoundingMode::TowardPositive);
-    let modes = vec![
-        RoundingMode::TowardPositive,
-        RoundingMode::TowardNegative,
-        RoundingMode::NearestEven,
-    ];
+    let session = small_session();
+    let program = session.parse(POLY).expect("parses");
+    let format = session.format();
+    let modes =
+        vec![RoundingMode::TowardPositive, RoundingMode::TowardNegative, RoundingMode::NearestEven];
     // 3 roundings, 3 modes: 27 resolutions, all must hold (TP+ reading).
     let mut distinct = std::collections::HashSet::new();
     for choices in ChoiceRounding::all_choice_vectors(modes.len(), 3) {
         let mut fp = ChoiceRounding::new(format, modes.clone(), choices.clone());
-        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &u).expect("harness");
+        let rep =
+            session.validate_with_rounding(&program, &Inputs::none(), &mut fp).expect("harness");
         assert!(rep.holds(), "choices {choices:?}");
         if let Some(i) = &rep.fp {
             distinct.insert(i.lo().to_string());
@@ -45,10 +47,8 @@ fn nondeterministic_rounding_all_resolutions_within_bound() {
 
 #[test]
 fn stateful_rounding_bound_for_every_initial_state() {
-    let sig = Signature::relative_precision();
-    let lowered = compile(POLY, &sig).expect("compiles");
-    let format = Format::new(7, 40);
-    let u = format.unit_roundoff(RoundingMode::TowardPositive);
+    let session = small_session();
+    let program = session.parse(POLY).expect("parses");
     let modes = vec![
         RoundingMode::TowardPositive,
         RoundingMode::NearestEven,
@@ -56,23 +56,27 @@ fn stateful_rounding_bound_for_every_initial_state() {
         RoundingMode::TowardZero,
     ];
     for s0 in 0..modes.len() {
-        let mut fp = StatefulRounding { format, modes: modes.clone(), state: s0 };
-        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &u).expect("harness");
+        let mut fp = StatefulRounding { format: session.format(), modes: modes.clone(), state: s0 };
+        let rep =
+            session.validate_with_rounding(&program, &Inputs::none(), &mut fp).expect("harness");
         assert!(rep.holds(), "initial state {s0}");
     }
 }
 
 #[test]
 fn stochastic_rounding_every_sample_within_bound() {
-    let sig = Signature::relative_precision();
-    let lowered = compile(POLY, &sig).expect("compiles");
-    let format = Format::new(7, 40);
-    let u = format.unit_roundoff(RoundingMode::TowardPositive);
+    let session = small_session();
+    let program = session.parse(POLY).expect("parses");
+    let u = session.rounding_unit();
     let mut sum = 0.0f64;
     let mut n = 0usize;
     for seed in 0..32u64 {
-        let mut fp = StochasticRounding { format, rng: rand::rngs::StdRng::seed_from_u64(seed) };
-        let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &u).expect("harness");
+        let mut fp = StochasticRounding {
+            format: session.format(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        };
+        let rep =
+            session.validate_with_rounding(&program, &Inputs::none(), &mut fp).expect("harness");
         // Worst-case (every sample) satisfies the bound, hence so does
         // the expectation (the §7.2 TD monad's third variant).
         assert!(rep.holds(), "seed {seed}");
@@ -88,30 +92,36 @@ fn stochastic_rounding_every_sample_within_bound() {
 
 #[test]
 fn exceptional_semantics_err_and_vacuity() {
-    let sig = Signature::relative_precision();
+    // `Analyzer::validate` is the checked (faulting) semantics of §7.1.
+    let session =
+        Analyzer::builder().format(Format::new(7, 10)).mode(RoundingMode::NearestEven).build();
+
     // Values that overflow a p=7, emax=10 format (max ~2032).
-    let big = POLY.replace("poly [1.7]{3.0}", "poly [100]{3.0}");
-    let lowered = compile(&big, &sig).expect("compiles");
-    let format = Format::new(7, 10);
-    let mode = RoundingMode::NearestEven;
-    let mut fp = CheckedRounding { format, mode };
-    let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &format.unit_roundoff(mode))
-        .expect("harness");
+    let big = session.parse(&POLY.replace("poly [1.7]{3.0}", "poly [100]{3.0}")).expect("parses");
+    let rep = session.validate(&big, &Inputs::none()).expect("harness");
     assert!(rep.fp.is_none(), "expected err (overflow): {rep:?}");
     assert!(rep.holds(), "Cor. 7.5 is vacuous on err");
 
     // Underflow likewise faults.
-    let tiny = POLY.replace("poly [1.7]{3.0}", "poly [0.001]{3.0}");
-    let lowered = compile(&tiny, &sig).expect("compiles");
-    let mut fp = CheckedRounding { format, mode };
-    let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &format.unit_roundoff(mode))
-        .expect("harness");
+    let tiny =
+        session.parse(&POLY.replace("poly [1.7]{3.0}", "poly [0.001]{3.0}")).expect("parses");
+    let rep = session.validate(&tiny, &Inputs::none()).expect("harness");
     assert!(rep.fp.is_none(), "expected err (underflow): {rep:?}");
 }
 
 #[test]
 fn absolute_error_instantiation_end_to_end() {
-    let sig = Signature::absolute_error();
+    // delta = u * M with all rounded intermediates |v| <= 4.
+    let format = Format::new(10, 30);
+    let mode = RoundingMode::NearestEven;
+    let delta = format.unit_roundoff(mode).mul(&Rational::from_int(4));
+    let session = Analyzer::builder()
+        .signature(Instantiation::AbsoluteError)
+        .format(format)
+        .mode(mode)
+        .rounding_unit(delta)
+        .build();
+
     let src = r#"
         function lerp (x: num) (y: num) : M[2*delta]num {
             s = add (x, y);
@@ -123,56 +133,56 @@ fn absolute_error_instantiation_end_to_end() {
         }
         lerp 3 0.5
     "#;
-    let lowered = compile(src, &sig).expect("compiles");
-    let res = infer(&lowered.store, &sig, lowered.root, &[]).expect("checks");
-    assert_eq!(res.root.ty.to_string(), "M[2*delta]num");
+    let program = session.parse(src).expect("parses");
+    let typed = session.check(&program).expect("checks");
+    assert_eq!(typed.ty().to_string(), "M[2*delta]num");
 
-    // delta = u * M with all rounded intermediates |v| <= 4.
-    let format = Format::new(10, 30);
-    let mode = RoundingMode::NearestEven;
-    let delta = format.unit_roundoff(mode).mul(&Rational::from_int(4));
+    // The bound read off the type is absolute: 2*delta itself.
+    let bound = session.bound(&typed).expect("bound");
+    assert_eq!(bound.alpha, session.rounding_unit().mul(&Rational::from_int(2)));
+
+    use numfuzz::interp::rounding::ModeRounding;
     let mut fp = ModeRounding { format, mode };
-    let rep = validate_with(&lowered.store, &sig, lowered.root, &[], &mut fp, &|s| {
-        if s == "delta" {
-            Some(delta.clone())
-        } else {
-            None
-        }
-    })
-    .expect("harness");
+    let rep = session.validate_with_rounding(&program, &Inputs::none(), &mut fp).expect("harness");
     assert!(rep.holds(), "{rep:?}");
-    // Subtraction is typable here (unlike the RP instantiation).
-    let rp_sig = Signature::relative_precision();
-    assert!(compile(src, &rp_sig).is_err() || {
-        let l = compile(src, &rp_sig).unwrap();
-        infer(&l.store, &rp_sig, l.root, &[]).is_err()
-    });
+
+    // Subtraction is not typable in the RP instantiation (Section 6.1):
+    // the default-signature parse rejects `sub` outright, with a span.
+    let err = Program::parse(src).expect_err("RP has no subtraction");
+    assert_eq!(err.code, ErrorCode::UnboundName);
+    assert!(err.span.is_some(), "diagnostic should carry a span: {err}");
 }
 
 #[test]
 fn sensitivity_only_analysis_without_rounding() {
     // pow2 (Section 2.2): a pure sensitivity judgment, no monad involved.
-    let sig = Signature::relative_precision();
-    let src = r#"
+    let analyzer = Analyzer::new();
+    let program = Program::parse(
+        r#"
         function pow2 (x: ![2.0]num) : num {
             let [x1] = x;
             mul (x1, x1)
         }
         pow2 [1.5]{2.0}
-    "#;
-    let lowered = compile(src, &sig).expect("compiles");
-    let res = infer(&lowered.store, &sig, lowered.root, &[]).expect("checks");
-    assert_eq!(res.fn_report("pow2").unwrap().inferred.to_string(), "![2]num -o num");
+    "#,
+    )
+    .expect("parses");
+    let typed = analyzer.check(&program).expect("checks");
+    assert_eq!(typed.function("pow2").unwrap().inferred.to_string(), "![2]num -o num");
+    // A non-monadic program has no eq. (8) bound; the facade says so
+    // with a structured code instead of panicking.
+    let err = analyzer.bound(&typed).expect_err("no monad");
+    assert_eq!(err.code, ErrorCode::NotMonadicNum);
+
     // Metric preservation, concretely: inputs at RP distance d give
     // outputs at distance exactly 2d (squaring doubles log-distance).
     let run = |x: &str| -> Rational {
         let src = format!(
             "function pow2 (x: ![2.0]num) : num {{ let [x1] = x; mul (x1, x1) }}\npow2 [{x}]{{2.0}}"
         );
-        let lowered = compile(&src, &sig).expect("compiles");
-        let v = eval(&lowered.store, lowered.root, &mut IdentityRounding, EvalConfig::default(), &[])
-            .expect("evaluates");
-        v.as_num().unwrap().as_point().unwrap().clone()
+        let program = Program::parse(&src).expect("parses");
+        let exec = analyzer.run(&program, &Inputs::none()).expect("runs");
+        exec.ideal.as_num().unwrap().as_point().unwrap().clone()
     };
     let (a, b) = (run("1.5"), run("3"));
     // RP(1.5, 3) = ln 2; RP(2.25, 9) = ln 4 = 2 ln 2: check multiplicatively.

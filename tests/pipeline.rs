@@ -1,33 +1,36 @@
-//! End-to-end integration: every Table 3 / Table 5 benchmark goes through
-//! parse/translate → infer → ideal+fp evaluation → rigorous bound check
-//! (Corollary 4.20), across formats and modes.
+//! End-to-end integration through the facade: every Table 3 / Table 5
+//! benchmark goes through `Program` construction → `Analyzer::check` (in
+//! batch) → ideal+fp evaluation → rigorous bound check (Corollary 4.20),
+//! across formats and modes.
 
-use numfuzz::analyzers::kernel_to_core;
 use numfuzz::benchsuite::{table3, table5};
 use numfuzz::prelude::*;
 
 #[test]
 fn table3_kernels_check_and_validate() {
-    let sig = Signature::relative_precision();
-    let formats = [Format::BINARY64, Format::new(10, 50)];
-    for b in table3() {
-        let ck = kernel_to_core(&b.kernel).expect("translatable");
-        // Grade equals the recorded paper coefficient.
-        let res = infer(&ck.store, &sig, ck.root, &ck.free).expect("checks");
-        let expected = Ty::monad(Grade::symbol("eps").scale(&b.expected_eps_coeff), Ty::Num);
-        assert_eq!(res.root.ty, expected, "{}", b.kernel.name);
+    let benches = table3();
+    let programs: Vec<Program> =
+        benches.iter().map(|b| Program::from_kernel(&b.kernel).expect("translatable")).collect();
 
+    // One batch check amortizes the session; grades equal the recorded
+    // paper coefficients.
+    let analyzer = Analyzer::new();
+    let typed: Vec<Typed> =
+        analyzer.check_all(&programs).into_iter().map(|r| r.expect("checks")).collect();
+    for (b, t) in benches.iter().zip(&typed) {
+        let expected = Ty::monad(Grade::symbol("eps").scale(&b.expected_eps_coeff), Ty::Num);
+        assert_eq!(t.ty(), &expected, "{}", b.kernel.name);
+    }
+
+    let formats = [Format::BINARY64, Format::new(10, 50)];
+    for (b, program) in benches.iter().zip(&programs) {
         for sample in &b.samples {
-            let inputs: Vec<_> = ck
-                .free
-                .iter()
-                .zip(sample)
-                .map(|((v, _), q)| (*v, Value::num(q.clone())))
-                .collect();
+            let inputs = Inputs::positional(sample.iter().map(|q| Value::num(q.clone())));
             for format in formats {
                 for mode in [RoundingMode::TowardPositive, RoundingMode::NearestEven] {
-                    let mut fp = CheckedRounding { format, mode };
-                    let rep = validate(&ck.store, &sig, ck.root, &inputs, &mut fp, &format.unit_roundoff(mode))
+                    let session = Analyzer::builder().format(format).mode(mode).build();
+                    let rep = session
+                        .validate(program, &inputs)
                         .unwrap_or_else(|e| panic!("{}: {e}", b.kernel.name));
                     assert!(
                         rep.holds(),
@@ -42,14 +45,13 @@ fn table3_kernels_check_and_validate() {
 
 #[test]
 fn table5_conditionals_check_and_validate() {
-    let sig = Signature::relative_precision();
     for b in table5() {
-        let src = format!("{}\n{}", b.source, b.sample);
-        let lowered = compile(&src, &sig).expect("compiles");
+        let program =
+            Program::parse_named(b.name, &format!("{}\n{}", b.source, b.sample)).expect("parses");
         for mode in RoundingMode::ALL {
-            let format = Format::BINARY64;
-            let mut fp = CheckedRounding { format, mode };
-            let rep = validate(&lowered.store, &sig, lowered.root, &[], &mut fp, &format.unit_roundoff(mode))
+            let session = Analyzer::builder().format(Format::BINARY64).mode(mode).build();
+            let rep = session
+                .validate(&program, &Inputs::none())
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(rep.holds(), "{} violated under {mode}", b.name);
         }
@@ -59,21 +61,17 @@ fn table5_conditionals_check_and_validate() {
 #[test]
 fn generated_table4_programs_validate() {
     use numfuzz::benchsuite::{horner, matrix_multiply, poly_naive, serial_sum};
-    let sig = Signature::relative_precision();
-    let format = Format::new(16, 80);
-    let mode = RoundingMode::TowardPositive;
+    let session =
+        Analyzer::builder().format(Format::new(16, 80)).mode(RoundingMode::TowardPositive).build();
     for g in [horner(25), serial_sum(64), matrix_multiply(3), poly_naive(8)] {
-        let inputs: Vec<_> = g
-            .free
-            .iter()
-            .map(|(v, _)| (*v, Value::num(Rational::ratio(5, 4))))
-            .collect();
-        let mut fp = CheckedRounding { format, mode };
-        let rep = validate(&g.store, &sig, g.root, &inputs, &mut fp, &format.unit_roundoff(mode))
-            .unwrap_or_else(|e| panic!("{}: {e}", g.name));
-        assert!(rep.holds(), "{} violated: {rep:?}", g.name);
+        let program = Program::from_generated(g);
+        let inputs =
+            Inputs::positional(program.free().iter().map(|_| Value::num(Rational::ratio(5, 4))));
+        let name = program.name().unwrap_or("?").to_string();
+        let rep = session.validate(&program, &inputs).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(rep.holds(), "{name} violated: {rep:?}");
         // Error really accumulates in a 16-bit format: measured > 0.
-        assert!(rep.measured.unwrap_or(0.0) > 0.0, "{}", g.name);
+        assert!(rep.measured.unwrap_or(0.0) > 0.0, "{name}");
     }
 }
 
@@ -81,32 +79,37 @@ fn generated_table4_programs_validate() {
 fn cross_semantics_agreement_smallstep_vs_machine() {
     // The substitution-based reference semantics and the abstract machine
     // agree on the Table 5 squareRoot3 program (taking the non-sqrt
-    // branch so the reference stays rational).
+    // branch so the reference stays rational). The machine side goes
+    // through `Analyzer::run`; the small-step side uses the arena parts
+    // the `Program` releases.
     use numfuzz::core::Node;
     use numfuzz::interp::smallstep::{normalize, StepSemantics};
-    let sig = Signature::relative_precision();
+
     let b = table5().into_iter().find(|b| b.name == "squareRoot3").expect("present");
     let src = format!("{}\nsquareRoot3 [0.000001]{{inf}}", b.source);
-    let mut lowered = compile(&src, &sig).expect("compiles");
+    let program = Program::parse(&src).expect("parses");
 
-    let machine = eval(
-        &lowered.store,
-        lowered.root,
-        &mut ModeRounding { format: Format::BINARY64, mode: RoundingMode::TowardPositive },
-        EvalConfig::default(),
-        &[],
-    )
-    .expect("evaluates");
-    let machine_val = machine.as_ret().and_then(Value::as_num).expect("ret num").clone();
+    let session =
+        Analyzer::builder().format(Format::BINARY64).mode(RoundingMode::TowardPositive).build();
+    let exec = session.run(&program, &Inputs::none()).expect("runs");
+    let machine_val = exec
+        .fp
+        .as_ret()
+        .and_then(Value::as_num)
+        .expect("ret num")
+        .as_point()
+        .expect("point")
+        .clone();
 
+    let (mut store, root, _free) = program.into_parts();
     let sem = StepSemantics::Fp(Format::BINARY64, RoundingMode::TowardPositive);
-    let nf = normalize(&mut lowered.store, lowered.root, sem, 10_000_000);
-    let ss_val = match lowered.store.node(nf) {
-        Node::Ret(v) => match lowered.store.node(*v) {
-            Node::Const(k) => lowered.store.constant(*k).clone(),
+    let nf = normalize(&mut store, root, sem, 10_000_000);
+    let ss_val = match store.node(nf) {
+        Node::Ret(v) => match store.node(*v) {
+            Node::Const(k) => store.constant(*k).clone(),
             other => panic!("unexpected payload {other:?}"),
         },
         other => panic!("unexpected normal form {other:?}"),
     };
-    assert_eq!(machine_val.as_point().expect("point"), &ss_val);
+    assert_eq!(machine_val, ss_val);
 }

@@ -1,10 +1,11 @@
 //! Property-based error soundness (the workspace's strongest end-to-end
 //! check): random straight-line kernels over `+ × ÷ √ fma` with positive
-//! constants are translated to Λnum, type-checked, executed under ideal
-//! and floating-point semantics at random inputs, and the inferred grade
-//! bound is verified rigorously — Corollary 4.20 on arbitrary programs.
+//! constants become `Program`s, are type-checked by one `Analyzer`
+//! session, executed under ideal and floating-point semantics at random
+//! inputs, and the inferred grade bound is verified rigorously —
+//! Corollary 4.20 on arbitrary programs.
 
-use numfuzz::analyzers::{kernel_to_core, Expr, Kernel};
+use numfuzz::analyzers::{Expr, Kernel};
 use numfuzz::prelude::*;
 use proptest::prelude::*;
 
@@ -15,10 +16,7 @@ fn pos_const() -> impl Strategy<Value = Rational> {
 
 /// Random expressions over `nvars` inputs with bounded size.
 fn expr(nvars: usize) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        pos_const().prop_map(Expr::Const),
-        (0..nvars).prop_map(Expr::Var),
-    ];
+    let leaf = prop_oneof![pos_const().prop_map(Expr::Const), (0..nvars).prop_map(Expr::Var),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
@@ -36,6 +34,10 @@ fn input_vals(nvars: usize) -> impl Strategy<Value = Vec<Rational>> {
     proptest::collection::vec((8i64..32, 8i64..16).prop_map(|(n, d)| Rational::ratio(n, d)), nvars)
 }
 
+fn unit_range() -> RatInterval {
+    RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -44,30 +46,20 @@ proptest! {
     fn error_soundness_on_random_programs(e in expr(3), vals in input_vals(3)) {
         let kernel = Kernel::new(
             "random",
-            vec![
-                ("a", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
-                ("b", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
-                ("c", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
-            ],
+            vec![("a", unit_range()), ("b", unit_range()), ("c", unit_range())],
             e,
         );
-        let ck = kernel_to_core(&kernel).expect("always translatable (no sub)");
-        let sig = Signature::relative_precision();
+        let program = Program::from_kernel(&kernel).expect("always translatable (no sub)");
         // Every random program type-checks with a finite grade.
-        let res = infer(&ck.store, &sig, ck.root, &ck.free).expect("checks");
-        prop_assert!(matches!(&res.root.ty, Ty::Monad(g, _) if !g.is_infinite()));
+        let analyzer = Analyzer::new();
+        let typed = analyzer.check(&program).expect("checks");
+        prop_assert!(matches!(typed.grade(), Some(g) if !g.is_infinite()));
 
-        let inputs: Vec<_> = ck
-            .free
-            .iter()
-            .zip(&vals)
-            .map(|((v, _), q)| (*v, Value::num(q.clone())))
-            .collect();
+        let inputs = Inputs::positional(vals.iter().map(|q| Value::num(q.clone())));
         for format in [Format::BINARY64, Format::new(9, 60)] {
             for mode in [RoundingMode::TowardPositive, RoundingMode::NearestEven] {
-                let mut fp = CheckedRounding { format, mode };
-                let rep = validate(&ck.store, &sig, ck.root, &inputs, &mut fp, &format.unit_roundoff(mode))
-                    .expect("harness");
+                let session = Analyzer::builder().format(format).mode(mode).build();
+                let rep = session.validate(&program, &inputs).expect("harness");
                 prop_assert!(rep.holds(), "violation at {format} {mode}: {rep:?}");
             }
         }
@@ -78,35 +70,27 @@ proptest! {
     /// composition adds grades, eq. of (MuE)).
     #[test]
     fn bind_composition_adds_grades(e1 in expr(1), e2 in expr(1)) {
-        let mk = |e: Expr| {
-            Kernel::new("k", vec![("a", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2)))], e)
-        };
-        let sig = Signature::relative_precision();
-        let g1 = grade_of(&mk(e1.clone()), &sig);
-        let g2 = grade_of(&mk(e2.clone()), &sig);
+        let analyzer = Analyzer::new();
+        let mk = |e: Expr| Kernel::new("k", vec![("a", unit_range())], e);
+        let g1 = grade_of(&analyzer, &mk(e1.clone()));
+        let g2 = grade_of(&analyzer, &mk(e2.clone()));
         // Compose: e1 + e2 (one more rounding): grade(e1)+grade(e2)+eps.
-        let composed = grade_of(&mk(Expr::add(e1, e2)), &sig);
+        let composed = grade_of(&analyzer, &mk(Expr::add(e1, e2)));
         let expected = g1.add(&g2).add(&Grade::symbol("eps"));
         prop_assert_eq!(composed, expected);
     }
 }
 
-fn grade_of(k: &Kernel, sig: &Signature) -> Grade {
-    let ck = kernel_to_core(k).expect("translatable");
-    let res = infer(&ck.store, sig, ck.root, &ck.free).expect("checks");
-    match res.root.ty {
-        Ty::Monad(g, _) => g,
-        other => panic!("unexpected {other}"),
-    }
+fn grade_of(analyzer: &Analyzer, k: &Kernel) -> Grade {
+    let program = Program::from_kernel(k).expect("translatable");
+    let typed = analyzer.check(&program).expect("checks");
+    typed.grade().unwrap_or_else(|| panic!("unexpected {}", typed.ty())).clone()
 }
 
 /// Random expressions without `sqrt` (kept rational so the substitution-
 /// based reference semantics applies).
 fn expr_no_sqrt(nvars: usize) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        pos_const().prop_map(Expr::Const),
-        (0..nvars).prop_map(Expr::Var),
-    ];
+    let leaf = prop_oneof![pos_const().prop_map(Expr::Const), (0..nvars).prop_map(Expr::Var),];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
@@ -120,33 +104,34 @@ fn expr_no_sqrt(nvars: usize) -> impl Strategy<Value = Expr> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Differential oracle: the iterative production checker and the
-    /// recursive reference checker agree exactly (environment and type)
-    /// on random programs.
+    /// Differential oracle: the iterative production checker (behind
+    /// `Analyzer::check`) and the recursive reference checker agree
+    /// exactly (environment and type) on random programs.
     #[test]
     fn production_checker_agrees_with_reference(e in expr(3)) {
         let kernel = Kernel::new(
             "random",
-            vec![
-                ("a", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
-                ("b", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
-                ("c", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
-            ],
+            vec![("a", unit_range()), ("b", unit_range()), ("c", unit_range())],
             e,
         );
-        let ck = kernel_to_core(&kernel).expect("translatable");
-        let sig = Signature::relative_precision();
-        let fast = infer(&ck.store, &sig, ck.root, &ck.free).expect("fast");
-        let slow = numfuzz::core::validate::infer_reference(&ck.store, &sig, ck.root, &ck.free)
-            .expect("slow");
-        prop_assert_eq!(&fast.root.ty, &slow.ty);
-        prop_assert!(fast.root.env.le(&slow.env) && slow.env.le(&fast.root.env));
+        let program = Program::from_kernel(&kernel).expect("translatable");
+        let analyzer = Analyzer::new();
+        let fast = analyzer.check(&program).expect("fast");
+        let slow = numfuzz::core::validate::infer_reference(
+            program.store(),
+            analyzer.signature(),
+            program.root(),
+            program.free(),
+        )
+        .expect("slow");
+        prop_assert_eq!(fast.ty(), &slow.ty);
+        prop_assert!(fast.root().env.le(&slow.env) && slow.env.le(&fast.root().env));
     }
 
-    /// Cross-semantics agreement: the abstract machine and the
-    /// substitution-based small-step reference compute the same result on
-    /// random (sqrt-free) programs, under both the ideal and the FP
-    /// semantics.
+    /// Cross-semantics agreement: the abstract machine (behind
+    /// `Analyzer::run`) and the substitution-based small-step reference
+    /// compute the same result on random (sqrt-free) programs, under both
+    /// the ideal and the FP semantics.
     #[test]
     fn machine_agrees_with_smallstep_on_random_programs(e in expr_no_sqrt(2), vals in input_vals(2)) {
         use numfuzz::core::Node;
@@ -154,50 +139,43 @@ proptest! {
 
         let kernel = Kernel::new(
             "random",
-            vec![
-                ("a", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
-                ("b", RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))),
-            ],
+            vec![("a", unit_range()), ("b", unit_range())],
             e,
         );
-        let ck = kernel_to_core(&kernel).expect("translatable");
-        let sig = Signature::relative_precision();
-        infer(&ck.store, &sig, ck.root, &ck.free).expect("checks");
+        let program = Program::from_kernel(&kernel).expect("translatable");
+        let inputs = Inputs::positional(vals.iter().map(|q| Value::num(q.clone())));
 
-        // Close the term by substituting constants for the free inputs
-        // (the reference semantics has no environments).
-        let mut store = ck.store.clone();
-        let mut closed = ck.root;
-        for ((v, _), q) in ck.free.iter().zip(&vals) {
-            let k = store.num(q.clone());
-            closed = numfuzz::interp::smallstep::subst(&mut store, closed, *v, k);
-        }
-
-        let inputs: Vec<_> = ck
-            .free
-            .iter()
-            .zip(&vals)
-            .map(|(&(v, _), q)| (v, Value::num(q.clone())))
-            .collect();
-
+        use numfuzz::interp::rounding::ModeRounding;
+        let small_format = Format::new(11, 50);
+        let session = Analyzer::new();
+        // One machine run covers both arms: identity rounding for the
+        // ideal side, plain (non-faulting) mode rounding for the FP
+        // side — exactly matching the small-step semantics below.
+        let mut fp = ModeRounding { format: small_format, mode: RoundingMode::TowardNegative };
+        let exec = session.run_with_rounding(&program, &inputs, &mut fp).expect("machine evaluates");
         for sem in [
             StepSemantics::Ideal,
-            StepSemantics::Fp(Format::new(11, 50), RoundingMode::TowardNegative),
+            StepSemantics::Fp(small_format, RoundingMode::TowardNegative),
         ] {
-            let machine_val = {
-                let out = match sem {
-                    StepSemantics::Ideal => eval(
-                        &ck.store, ck.root, &mut IdentityRounding, EvalConfig::default(), &inputs,
-                    ),
-                    StepSemantics::Fp(f, m) => eval(
-                        &ck.store, ck.root, &mut ModeRounding { format: f, mode: m },
-                        EvalConfig::default(), &inputs,
-                    ),
-                    StepSemantics::Pure => unreachable!(),
-                }
-                .expect("machine evaluates");
-                out.as_ret().and_then(Value::as_num).expect("ret num").as_point().expect("exact").clone()
+            let machine = match sem {
+                StepSemantics::Ideal => &exec.ideal,
+                _ => &exec.fp,
             };
+            let machine_val = machine
+                .as_ret()
+                .and_then(Value::as_num)
+                .expect("ret num")
+                .as_point()
+                .expect("exact")
+                .clone();
+
+            // Close the term by substituting constants for the free
+            // inputs (the reference semantics has no environments).
+            let (mut store, mut closed, free) = program.clone().into_parts();
+            for ((v, _), q) in free.iter().zip(&vals) {
+                let k = store.num(q.clone());
+                closed = numfuzz::interp::smallstep::subst(&mut store, closed, *v, k);
+            }
             let nf = normalize(&mut store, closed, sem, 10_000_000);
             let ss_val = match store.node(nf) {
                 Node::Ret(v) => match store.node(*v) {

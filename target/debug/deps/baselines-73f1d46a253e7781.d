@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-73f1d46a253e7781.d: crates/bench/benches/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-73f1d46a253e7781.rmeta: crates/bench/benches/baselines.rs Cargo.toml
+
+crates/bench/benches/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

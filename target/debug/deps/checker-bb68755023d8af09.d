@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker-bb68755023d8af09.d: crates/bench/benches/checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker-bb68755023d8af09.rmeta: crates/bench/benches/checker.rs Cargo.toml
+
+crates/bench/benches/checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagnostics-14bca63f131de121.d: tests/diagnostics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagnostics-14bca63f131de121.rmeta: tests/diagnostics.rs Cargo.toml
+
+tests/diagnostics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnostics-8cee3aa5019d0da3.d: tests/diagnostics.rs
+
+/root/repo/target/debug/deps/diagnostics-8cee3aa5019d0da3: tests/diagnostics.rs
+
+tests/diagnostics.rs:

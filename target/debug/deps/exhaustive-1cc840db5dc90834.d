@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-1cc840db5dc90834.d: crates/softfloat/tests/exhaustive.rs
+
+/root/repo/target/debug/deps/exhaustive-1cc840db5dc90834: crates/softfloat/tests/exhaustive.rs
+
+crates/softfloat/tests/exhaustive.rs:

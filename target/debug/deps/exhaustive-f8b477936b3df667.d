@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exhaustive-f8b477936b3df667.d: crates/softfloat/tests/exhaustive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexhaustive-f8b477936b3df667.rmeta: crates/softfloat/tests/exhaustive.rs Cargo.toml
+
+crates/softfloat/tests/exhaustive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

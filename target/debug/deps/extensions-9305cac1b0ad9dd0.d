@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-9305cac1b0ad9dd0.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-9305cac1b0ad9dd0: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-fc9038b28af9c36a.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-fc9038b28af9c36a.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numfuzz-002116dc2d130900.d: src/bin/numfuzz.rs
+
+/root/repo/target/debug/deps/numfuzz-002116dc2d130900: src/bin/numfuzz.rs
+
+src/bin/numfuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numfuzz-206a89567abfeab4.d: src/bin/numfuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz-206a89567abfeab4.rmeta: src/bin/numfuzz.rs Cargo.toml
+
+src/bin/numfuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numfuzz-2b84d6ba6272cc7d.d: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs
+
+/root/repo/target/debug/deps/numfuzz-2b84d6ba6272cc7d: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs
+
+src/lib.rs:
+src/analyzer.rs:
+src/compat.rs:
+src/diag.rs:
+src/program.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numfuzz-3a9f4a5903e2ae7e.d: src/bin/numfuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz-3a9f4a5903e2ae7e.rmeta: src/bin/numfuzz.rs Cargo.toml
+
+src/bin/numfuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

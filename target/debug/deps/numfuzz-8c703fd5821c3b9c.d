@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numfuzz-8c703fd5821c3b9c.d: src/bin/numfuzz.rs
+
+/root/repo/target/debug/deps/numfuzz-8c703fd5821c3b9c: src/bin/numfuzz.rs
+
+src/bin/numfuzz.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numfuzz-b4137a6fd37705e7.d: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz-b4137a6fd37705e7.rmeta: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs Cargo.toml
+
+src/lib.rs:
+src/analyzer.rs:
+src/compat.rs:
+src/diag.rs:
+src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

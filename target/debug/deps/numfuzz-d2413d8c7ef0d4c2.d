@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numfuzz-d2413d8c7ef0d4c2.d: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz-d2413d8c7ef0d4c2.rmeta: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs Cargo.toml
+
+src/lib.rs:
+src/analyzer.rs:
+src/compat.rs:
+src/diag.rs:
+src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

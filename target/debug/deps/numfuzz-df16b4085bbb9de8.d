@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numfuzz-df16b4085bbb9de8.d: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs
+
+/root/repo/target/debug/deps/libnumfuzz-df16b4085bbb9de8.rlib: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs
+
+/root/repo/target/debug/deps/libnumfuzz-df16b4085bbb9de8.rmeta: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs
+
+src/lib.rs:
+src/analyzer.rs:
+src/compat.rs:
+src/diag.rs:
+src/program.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/numfuzz_analyzers-204d281b17d76fb2.d: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs
+
+/root/repo/target/debug/deps/libnumfuzz_analyzers-204d281b17d76fb2.rlib: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs
+
+/root/repo/target/debug/deps/libnumfuzz_analyzers-204d281b17d76fb2.rmeta: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs
+
+crates/analyzers/src/lib.rs:
+crates/analyzers/src/interval_analysis.rs:
+crates/analyzers/src/ir.rs:
+crates/analyzers/src/std_bounds.rs:
+crates/analyzers/src/taylor.rs:
+crates/analyzers/src/to_core.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/numfuzz_analyzers-9a5e2d2cd6918df5.d: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz_analyzers-9a5e2d2cd6918df5.rmeta: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs Cargo.toml
+
+crates/analyzers/src/lib.rs:
+crates/analyzers/src/interval_analysis.rs:
+crates/analyzers/src/ir.rs:
+crates/analyzers/src/std_bounds.rs:
+crates/analyzers/src/taylor.rs:
+crates/analyzers/src/to_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

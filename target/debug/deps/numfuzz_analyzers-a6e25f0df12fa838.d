@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numfuzz_analyzers-a6e25f0df12fa838.d: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs
+
+/root/repo/target/debug/deps/numfuzz_analyzers-a6e25f0df12fa838: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs
+
+crates/analyzers/src/lib.rs:
+crates/analyzers/src/interval_analysis.rs:
+crates/analyzers/src/ir.rs:
+crates/analyzers/src/std_bounds.rs:
+crates/analyzers/src/taylor.rs:
+crates/analyzers/src/to_core.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numfuzz_bench-1935459919295867.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnumfuzz_bench-1935459919295867.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnumfuzz_bench-1935459919295867.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numfuzz_bench-9f91d10b2e2fc53b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz_bench-9f91d10b2e2fc53b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numfuzz_bench-fb7400c51e17c492.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/numfuzz_bench-fb7400c51e17c492: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

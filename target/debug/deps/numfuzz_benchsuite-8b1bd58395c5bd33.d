@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numfuzz_benchsuite-8b1bd58395c5bd33.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs
+
+/root/repo/target/debug/deps/libnumfuzz_benchsuite-8b1bd58395c5bd33.rlib: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs
+
+/root/repo/target/debug/deps/libnumfuzz_benchsuite-8b1bd58395c5bd33.rmeta: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/conditionals.rs:
+crates/benchsuite/src/generators.rs:
+crates/benchsuite/src/small.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/numfuzz_benchsuite-c1dd5f7680face9c.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs
+
+/root/repo/target/debug/deps/numfuzz_benchsuite-c1dd5f7680face9c: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/conditionals.rs:
+crates/benchsuite/src/generators.rs:
+crates/benchsuite/src/small.rs:

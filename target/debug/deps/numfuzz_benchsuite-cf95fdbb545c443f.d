@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/numfuzz_benchsuite-cf95fdbb545c443f.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz_benchsuite-cf95fdbb545c443f.rmeta: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs Cargo.toml
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/conditionals.rs:
+crates/benchsuite/src/generators.rs:
+crates/benchsuite/src/small.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/numfuzz_core-5911b6475cd62777.d: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/env.rs crates/core/src/grade.rs crates/core/src/lexer.rs crates/core/src/lower.rs crates/core/src/parser.rs crates/core/src/pretty.rs crates/core/src/sig.rs crates/core/src/term.rs crates/core/src/ty.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/numfuzz_core-5911b6475cd62777: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/env.rs crates/core/src/grade.rs crates/core/src/lexer.rs crates/core/src/lower.rs crates/core/src/parser.rs crates/core/src/pretty.rs crates/core/src/sig.rs crates/core/src/term.rs crates/core/src/ty.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/check.rs:
+crates/core/src/env.rs:
+crates/core/src/grade.rs:
+crates/core/src/lexer.rs:
+crates/core/src/lower.rs:
+crates/core/src/parser.rs:
+crates/core/src/pretty.rs:
+crates/core/src/sig.rs:
+crates/core/src/term.rs:
+crates/core/src/ty.rs:
+crates/core/src/validate.rs:

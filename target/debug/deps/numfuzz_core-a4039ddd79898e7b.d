@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/numfuzz_core-a4039ddd79898e7b.d: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/env.rs crates/core/src/grade.rs crates/core/src/lexer.rs crates/core/src/lower.rs crates/core/src/parser.rs crates/core/src/pretty.rs crates/core/src/sig.rs crates/core/src/term.rs crates/core/src/ty.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz_core-a4039ddd79898e7b.rmeta: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/env.rs crates/core/src/grade.rs crates/core/src/lexer.rs crates/core/src/lower.rs crates/core/src/parser.rs crates/core/src/pretty.rs crates/core/src/sig.rs crates/core/src/term.rs crates/core/src/ty.rs crates/core/src/validate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/check.rs:
+crates/core/src/env.rs:
+crates/core/src/grade.rs:
+crates/core/src/lexer.rs:
+crates/core/src/lower.rs:
+crates/core/src/parser.rs:
+crates/core/src/pretty.rs:
+crates/core/src/sig.rs:
+crates/core/src/term.rs:
+crates/core/src/ty.rs:
+crates/core/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/numfuzz_exact-52b28b9309b9ecff.d: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs
+
+/root/repo/target/debug/deps/libnumfuzz_exact-52b28b9309b9ecff.rlib: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs
+
+/root/repo/target/debug/deps/libnumfuzz_exact-52b28b9309b9ecff.rmeta: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs
+
+crates/exact/src/lib.rs:
+crates/exact/src/bigint.rs:
+crates/exact/src/biguint.rs:
+crates/exact/src/funcs.rs:
+crates/exact/src/interval.rs:
+crates/exact/src/rational.rs:

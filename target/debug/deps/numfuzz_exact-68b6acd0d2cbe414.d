@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numfuzz_exact-68b6acd0d2cbe414.d: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs
+
+/root/repo/target/debug/deps/numfuzz_exact-68b6acd0d2cbe414: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs
+
+crates/exact/src/lib.rs:
+crates/exact/src/bigint.rs:
+crates/exact/src/biguint.rs:
+crates/exact/src/funcs.rs:
+crates/exact/src/interval.rs:
+crates/exact/src/rational.rs:

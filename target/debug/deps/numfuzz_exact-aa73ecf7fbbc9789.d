@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/numfuzz_exact-aa73ecf7fbbc9789.d: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz_exact-aa73ecf7fbbc9789.rmeta: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs Cargo.toml
+
+crates/exact/src/lib.rs:
+crates/exact/src/bigint.rs:
+crates/exact/src/biguint.rs:
+crates/exact/src/funcs.rs:
+crates/exact/src/interval.rs:
+crates/exact/src/rational.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/numfuzz_interp-3d3968fbd0341e30.d: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz_interp-3d3968fbd0341e30.rmeta: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/eval.rs:
+crates/interp/src/rounding.rs:
+crates/interp/src/smallstep.rs:
+crates/interp/src/soundness.rs:
+crates/interp/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/numfuzz_interp-c3593949caf4d689.d: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/libnumfuzz_interp-c3593949caf4d689.rlib: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/libnumfuzz_interp-c3593949caf4d689.rmeta: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/eval.rs:
+crates/interp/src/rounding.rs:
+crates/interp/src/smallstep.rs:
+crates/interp/src/soundness.rs:
+crates/interp/src/value.rs:

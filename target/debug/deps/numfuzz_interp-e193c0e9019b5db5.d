@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/numfuzz_interp-e193c0e9019b5db5.d: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/numfuzz_interp-e193c0e9019b5db5: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/eval.rs:
+crates/interp/src/rounding.rs:
+crates/interp/src/smallstep.rs:
+crates/interp/src/soundness.rs:
+crates/interp/src/value.rs:

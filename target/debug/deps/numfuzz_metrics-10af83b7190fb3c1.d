@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numfuzz_metrics-10af83b7190fb3c1.d: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs
+
+/root/repo/target/debug/deps/numfuzz_metrics-10af83b7190fb3c1: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/pointwise.rs:
+crates/metrics/src/rp.rs:

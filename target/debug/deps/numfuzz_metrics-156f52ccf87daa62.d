@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numfuzz_metrics-156f52ccf87daa62.d: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs
+
+/root/repo/target/debug/deps/libnumfuzz_metrics-156f52ccf87daa62.rlib: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs
+
+/root/repo/target/debug/deps/libnumfuzz_metrics-156f52ccf87daa62.rmeta: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/pointwise.rs:
+crates/metrics/src/rp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numfuzz_metrics-1cde72d5952f89cd.d: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz_metrics-1cde72d5952f89cd.rmeta: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/pointwise.rs:
+crates/metrics/src/rp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

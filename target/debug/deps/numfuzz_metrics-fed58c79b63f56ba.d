@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numfuzz_metrics-fed58c79b63f56ba.d: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz_metrics-fed58c79b63f56ba.rmeta: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/pointwise.rs:
+crates/metrics/src/rp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numfuzz_softfloat-2ad787df58fcc64b.d: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs
+
+/root/repo/target/debug/deps/numfuzz_softfloat-2ad787df58fcc64b: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs
+
+crates/softfloat/src/lib.rs:
+crates/softfloat/src/arith.rs:
+crates/softfloat/src/format.rs:
+crates/softfloat/src/round.rs:
+crates/softfloat/src/value.rs:

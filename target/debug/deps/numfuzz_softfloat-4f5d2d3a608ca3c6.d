@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numfuzz_softfloat-4f5d2d3a608ca3c6.d: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumfuzz_softfloat-4f5d2d3a608ca3c6.rmeta: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs Cargo.toml
+
+crates/softfloat/src/lib.rs:
+crates/softfloat/src/arith.rs:
+crates/softfloat/src/format.rs:
+crates/softfloat/src/round.rs:
+crates/softfloat/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

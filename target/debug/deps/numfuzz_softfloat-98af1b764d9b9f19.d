@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numfuzz_softfloat-98af1b764d9b9f19.d: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs
+
+/root/repo/target/debug/deps/libnumfuzz_softfloat-98af1b764d9b9f19.rlib: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs
+
+/root/repo/target/debug/deps/libnumfuzz_softfloat-98af1b764d9b9f19.rmeta: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs
+
+crates/softfloat/src/lib.rs:
+crates/softfloat/src/arith.rs:
+crates/softfloat/src/format.rs:
+crates/softfloat/src/round.rs:
+crates/softfloat/src/value.rs:

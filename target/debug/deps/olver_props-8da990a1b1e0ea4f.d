@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olver_props-8da990a1b1e0ea4f.d: crates/metrics/tests/olver_props.rs
+
+/root/repo/target/debug/deps/olver_props-8da990a1b1e0ea4f: crates/metrics/tests/olver_props.rs
+
+crates/metrics/tests/olver_props.rs:

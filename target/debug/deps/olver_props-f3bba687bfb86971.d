@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olver_props-f3bba687bfb86971.d: crates/metrics/tests/olver_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolver_props-f3bba687bfb86971.rmeta: crates/metrics/tests/olver_props.rs Cargo.toml
+
+crates/metrics/tests/olver_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

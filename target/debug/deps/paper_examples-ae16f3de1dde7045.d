@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-ae16f3de1dde7045.d: crates/core/tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-ae16f3de1dde7045: crates/core/tests/paper_examples.rs
+
+crates/core/tests/paper_examples.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-fead6af0ea3b481e.d: crates/core/tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-fead6af0ea3b481e.rmeta: crates/core/tests/paper_examples.rs Cargo.toml
+
+crates/core/tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

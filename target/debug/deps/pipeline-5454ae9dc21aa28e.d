@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-5454ae9dc21aa28e.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-5454ae9dc21aa28e: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/preservation-7fe30580d25b8c0c.d: crates/interp/tests/preservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpreservation-7fe30580d25b8c0c.rmeta: crates/interp/tests/preservation.rs Cargo.toml
+
+crates/interp/tests/preservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

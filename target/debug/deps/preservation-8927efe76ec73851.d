@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preservation-8927efe76ec73851.d: crates/interp/tests/preservation.rs
+
+/root/repo/target/debug/deps/preservation-8927efe76ec73851: crates/interp/tests/preservation.rs
+
+crates/interp/tests/preservation.rs:

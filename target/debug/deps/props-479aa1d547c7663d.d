@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-479aa1d547c7663d.d: crates/softfloat/tests/props.rs
+
+/root/repo/target/debug/deps/props-479aa1d547c7663d: crates/softfloat/tests/props.rs
+
+crates/softfloat/tests/props.rs:

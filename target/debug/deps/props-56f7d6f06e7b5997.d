@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-56f7d6f06e7b5997.d: crates/softfloat/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-56f7d6f06e7b5997.rmeta: crates/softfloat/tests/props.rs Cargo.toml
+
+crates/softfloat/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-8d4f70e3b4d5803a.d: crates/exact/tests/props.rs
+
+/root/repo/target/debug/deps/props-8d4f70e3b4d5803a: crates/exact/tests/props.rs
+
+crates/exact/tests/props.rs:

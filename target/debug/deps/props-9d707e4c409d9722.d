@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-9d707e4c409d9722.d: crates/exact/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-9d707e4c409d9722.rmeta: crates/exact/tests/props.rs Cargo.toml
+
+crates/exact/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

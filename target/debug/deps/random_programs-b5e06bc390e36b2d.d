@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_programs-b5e06bc390e36b2d.d: tests/random_programs.rs
+
+/root/repo/target/debug/deps/random_programs-b5e06bc390e36b2d: tests/random_programs.rs
+
+tests/random_programs.rs:

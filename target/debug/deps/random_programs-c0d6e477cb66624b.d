@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_programs-c0d6e477cb66624b.d: tests/random_programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_programs-c0d6e477cb66624b.rmeta: tests/random_programs.rs Cargo.toml
+
+tests/random_programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softfloat_ops-af8cea761cacf397.d: crates/bench/benches/softfloat_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftfloat_ops-af8cea761cacf397.rmeta: crates/bench/benches/softfloat_ops.rs Cargo.toml
+
+crates/bench/benches/softfloat_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

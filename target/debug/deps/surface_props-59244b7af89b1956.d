@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/surface_props-59244b7af89b1956.d: crates/core/tests/surface_props.rs
+
+/root/repo/target/debug/deps/surface_props-59244b7af89b1956: crates/core/tests/surface_props.rs
+
+crates/core/tests/surface_props.rs:

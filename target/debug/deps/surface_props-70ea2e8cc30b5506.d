@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/surface_props-70ea2e8cc30b5506.d: crates/core/tests/surface_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsurface_props-70ea2e8cc30b5506.rmeta: crates/core/tests/surface_props.rs Cargo.toml
+
+crates/core/tests/surface_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

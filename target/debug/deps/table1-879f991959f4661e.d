@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-879f991959f4661e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-879f991959f4661e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-93ccaa5e862760c5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-93ccaa5e862760c5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-06697593cb73bc55.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-06697593cb73bc55: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-561c35d8e9fa2a3b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-561c35d8e9fa2a3b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

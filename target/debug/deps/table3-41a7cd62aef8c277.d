@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-41a7cd62aef8c277.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-41a7cd62aef8c277: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

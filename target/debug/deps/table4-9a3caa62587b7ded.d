@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-9a3caa62587b7ded.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-9a3caa62587b7ded: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c423ada34d5cffcd.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c423ada34d5cffcd: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

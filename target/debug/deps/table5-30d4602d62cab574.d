@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-30d4602d62cab574.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-30d4602d62cab574: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

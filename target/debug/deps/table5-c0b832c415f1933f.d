@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-c0b832c415f1933f.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-c0b832c415f1933f: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/type_system_props-5eff0b184a79e1a1.d: crates/core/tests/type_system_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtype_system_props-5eff0b184a79e1a1.rmeta: crates/core/tests/type_system_props.rs Cargo.toml
+
+crates/core/tests/type_system_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

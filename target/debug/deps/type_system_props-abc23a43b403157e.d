@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/type_system_props-abc23a43b403157e.d: crates/core/tests/type_system_props.rs
+
+/root/repo/target/debug/deps/type_system_props-abc23a43b403157e: crates/core/tests/type_system_props.rs
+
+crates/core/tests/type_system_props.rs:

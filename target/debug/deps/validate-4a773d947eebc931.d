@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate-4a773d947eebc931.d: crates/bench/src/bin/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate-4a773d947eebc931.rmeta: crates/bench/src/bin/validate.rs Cargo.toml
+
+crates/bench/src/bin/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

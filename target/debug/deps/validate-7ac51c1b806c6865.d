@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate-7ac51c1b806c6865.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/debug/deps/validate-7ac51c1b806c6865: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate-89015ba9654a2595.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/debug/deps/validate-89015ba9654a2595: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/absolute_error-5d599875fb1baff8.d: examples/absolute_error.rs Cargo.toml
+
+/root/repo/target/debug/examples/libabsolute_error-5d599875fb1baff8.rmeta: examples/absolute_error.rs Cargo.toml
+
+examples/absolute_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

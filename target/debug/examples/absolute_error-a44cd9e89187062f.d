@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/absolute_error-a44cd9e89187062f.d: examples/absolute_error.rs
+
+/root/repo/target/debug/examples/absolute_error-a44cd9e89187062f: examples/absolute_error.rs
+
+examples/absolute_error.rs:

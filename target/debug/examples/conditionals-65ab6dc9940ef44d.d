@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conditionals-65ab6dc9940ef44d.d: examples/conditionals.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconditionals-65ab6dc9940ef44d.rmeta: examples/conditionals.rs Cargo.toml
+
+examples/conditionals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conditionals-9ca794e0af5e56db.d: examples/conditionals.rs
+
+/root/repo/target/debug/examples/conditionals-9ca794e0af5e56db: examples/conditionals.rs
+
+examples/conditionals.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/horner-15ec6b6aeafc06df.d: examples/horner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhorner-15ec6b6aeafc06df.rmeta: examples/horner.rs Cargo.toml
+
+examples/horner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/horner-e2b194d1bc257bd9.d: examples/horner.rs
+
+/root/repo/target/debug/examples/horner-e2b194d1bc257bd9: examples/horner.rs
+
+examples/horner.rs:

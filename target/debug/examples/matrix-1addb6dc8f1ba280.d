@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matrix-1addb6dc8f1ba280.d: examples/matrix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatrix-1addb6dc8f1ba280.rmeta: examples/matrix.rs Cargo.toml
+
+examples/matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

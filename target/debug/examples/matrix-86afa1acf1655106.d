@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matrix-86afa1acf1655106.d: examples/matrix.rs
+
+/root/repo/target/debug/examples/matrix-86afa1acf1655106: examples/matrix.rs
+
+examples/matrix.rs:

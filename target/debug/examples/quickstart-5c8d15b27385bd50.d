@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5c8d15b27385bd50.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5c8d15b27385bd50: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rounding_modes-6c71ac1b1a52015d.d: examples/rounding_modes.rs
+
+/root/repo/target/debug/examples/rounding_modes-6c71ac1b1a52015d: examples/rounding_modes.rs
+
+examples/rounding_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rounding_modes-73938d5e6d4db382.d: examples/rounding_modes.rs Cargo.toml
+
+/root/repo/target/debug/examples/librounding_modes-73938d5e6d4db382.rmeta: examples/rounding_modes.rs Cargo.toml
+
+examples/rounding_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/numfuzz-2f50ea8fcb75442b.d: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs
+
+/root/repo/target/release/deps/libnumfuzz-2f50ea8fcb75442b.rlib: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs
+
+/root/repo/target/release/deps/libnumfuzz-2f50ea8fcb75442b.rmeta: src/lib.rs src/analyzer.rs src/compat.rs src/diag.rs src/program.rs
+
+src/lib.rs:
+src/analyzer.rs:
+src/compat.rs:
+src/diag.rs:
+src/program.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/numfuzz-84ca83ced2a4abe5.d: src/bin/numfuzz.rs
+
+/root/repo/target/release/deps/numfuzz-84ca83ced2a4abe5: src/bin/numfuzz.rs
+
+src/bin/numfuzz.rs:

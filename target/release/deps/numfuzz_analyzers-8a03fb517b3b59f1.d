@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/numfuzz_analyzers-8a03fb517b3b59f1.d: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs
+
+/root/repo/target/release/deps/libnumfuzz_analyzers-8a03fb517b3b59f1.rlib: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs
+
+/root/repo/target/release/deps/libnumfuzz_analyzers-8a03fb517b3b59f1.rmeta: crates/analyzers/src/lib.rs crates/analyzers/src/interval_analysis.rs crates/analyzers/src/ir.rs crates/analyzers/src/std_bounds.rs crates/analyzers/src/taylor.rs crates/analyzers/src/to_core.rs
+
+crates/analyzers/src/lib.rs:
+crates/analyzers/src/interval_analysis.rs:
+crates/analyzers/src/ir.rs:
+crates/analyzers/src/std_bounds.rs:
+crates/analyzers/src/taylor.rs:
+crates/analyzers/src/to_core.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/numfuzz_bench-9c9fa986e6eb4d1f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnumfuzz_bench-9c9fa986e6eb4d1f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnumfuzz_bench-9c9fa986e6eb4d1f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/numfuzz_benchsuite-8290ab46562baf91.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs
+
+/root/repo/target/release/deps/libnumfuzz_benchsuite-8290ab46562baf91.rlib: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs
+
+/root/repo/target/release/deps/libnumfuzz_benchsuite-8290ab46562baf91.rmeta: crates/benchsuite/src/lib.rs crates/benchsuite/src/conditionals.rs crates/benchsuite/src/generators.rs crates/benchsuite/src/small.rs
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/conditionals.rs:
+crates/benchsuite/src/generators.rs:
+crates/benchsuite/src/small.rs:

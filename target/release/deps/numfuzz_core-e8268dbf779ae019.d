@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/numfuzz_core-e8268dbf779ae019.d: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/env.rs crates/core/src/grade.rs crates/core/src/lexer.rs crates/core/src/lower.rs crates/core/src/parser.rs crates/core/src/pretty.rs crates/core/src/sig.rs crates/core/src/term.rs crates/core/src/ty.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libnumfuzz_core-e8268dbf779ae019.rlib: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/env.rs crates/core/src/grade.rs crates/core/src/lexer.rs crates/core/src/lower.rs crates/core/src/parser.rs crates/core/src/pretty.rs crates/core/src/sig.rs crates/core/src/term.rs crates/core/src/ty.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libnumfuzz_core-e8268dbf779ae019.rmeta: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/env.rs crates/core/src/grade.rs crates/core/src/lexer.rs crates/core/src/lower.rs crates/core/src/parser.rs crates/core/src/pretty.rs crates/core/src/sig.rs crates/core/src/term.rs crates/core/src/ty.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/check.rs:
+crates/core/src/env.rs:
+crates/core/src/grade.rs:
+crates/core/src/lexer.rs:
+crates/core/src/lower.rs:
+crates/core/src/parser.rs:
+crates/core/src/pretty.rs:
+crates/core/src/sig.rs:
+crates/core/src/term.rs:
+crates/core/src/ty.rs:
+crates/core/src/validate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/numfuzz_exact-e639b35ffa764986.d: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs
+
+/root/repo/target/release/deps/libnumfuzz_exact-e639b35ffa764986.rlib: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs
+
+/root/repo/target/release/deps/libnumfuzz_exact-e639b35ffa764986.rmeta: crates/exact/src/lib.rs crates/exact/src/bigint.rs crates/exact/src/biguint.rs crates/exact/src/funcs.rs crates/exact/src/interval.rs crates/exact/src/rational.rs
+
+crates/exact/src/lib.rs:
+crates/exact/src/bigint.rs:
+crates/exact/src/biguint.rs:
+crates/exact/src/funcs.rs:
+crates/exact/src/interval.rs:
+crates/exact/src/rational.rs:

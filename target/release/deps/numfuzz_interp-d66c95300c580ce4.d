@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/numfuzz_interp-d66c95300c580ce4.d: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libnumfuzz_interp-d66c95300c580ce4.rlib: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libnumfuzz_interp-d66c95300c580ce4.rmeta: crates/interp/src/lib.rs crates/interp/src/eval.rs crates/interp/src/rounding.rs crates/interp/src/smallstep.rs crates/interp/src/soundness.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/eval.rs:
+crates/interp/src/rounding.rs:
+crates/interp/src/smallstep.rs:
+crates/interp/src/soundness.rs:
+crates/interp/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/numfuzz_metrics-915eb67ce3fb77c7.d: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs
+
+/root/repo/target/release/deps/libnumfuzz_metrics-915eb67ce3fb77c7.rlib: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs
+
+/root/repo/target/release/deps/libnumfuzz_metrics-915eb67ce3fb77c7.rmeta: crates/metrics/src/lib.rs crates/metrics/src/pointwise.rs crates/metrics/src/rp.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/pointwise.rs:
+crates/metrics/src/rp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/numfuzz_softfloat-8d769f3c6ac1e313.d: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs
+
+/root/repo/target/release/deps/libnumfuzz_softfloat-8d769f3c6ac1e313.rlib: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs
+
+/root/repo/target/release/deps/libnumfuzz_softfloat-8d769f3c6ac1e313.rmeta: crates/softfloat/src/lib.rs crates/softfloat/src/arith.rs crates/softfloat/src/format.rs crates/softfloat/src/round.rs crates/softfloat/src/value.rs
+
+crates/softfloat/src/lib.rs:
+crates/softfloat/src/arith.rs:
+crates/softfloat/src/format.rs:
+crates/softfloat/src/round.rs:
+crates/softfloat/src/value.rs:

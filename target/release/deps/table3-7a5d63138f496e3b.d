@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-7a5d63138f496e3b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-7a5d63138f496e3b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

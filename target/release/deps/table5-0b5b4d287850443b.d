@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-0b5b4d287850443b.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-0b5b4d287850443b: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate-d3508e409366b55f.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/release/deps/validate-d3508e409366b55f: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-64ce00f04045cb65.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-64ce00f04045cb65: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -36,4 +36,4 @@ pub mod to_core;
 pub use interval_analysis::{analyze_interval, AnalysisError, ErrorBound};
 pub use ir::{Expr, Kernel};
 pub use taylor::analyze_taylor;
-pub use to_core::{kernel_to_core, CoreKernel, TranslateError};
+pub use to_core::{kernel_to_core, kernel_to_core_in, CoreKernel, TranslateError};

@@ -11,7 +11,7 @@
 //! subtraction (Section 6.1 limitations).
 
 use crate::ir::{Expr, Kernel};
-use numfuzz_core::{Grade, TermId, TermStore, Ty, VarId};
+use numfuzz_core::{CoreArena, Grade, TermId, TermStore, Ty, VarId};
 use numfuzz_exact::Rational;
 
 /// A kernel translated to an (open) Λnum term of type `M[...]num`.
@@ -44,7 +44,18 @@ impl std::error::Error for TranslateError {}
 /// [`TranslateError`] for `Sub` nodes (no RP subtraction) or bad input
 /// indices.
 pub fn kernel_to_core(kernel: &Kernel) -> Result<CoreKernel, TranslateError> {
-    let mut store = TermStore::new();
+    kernel_to_core_in(CoreArena::new(), kernel)
+}
+
+/// [`kernel_to_core`], emitting into a store that shares `tys` (one
+/// analysis session's arena), so annotation ids and memoized lattice
+/// queries are reused across a batch of kernels.
+///
+/// # Errors
+///
+/// See [`kernel_to_core`].
+pub fn kernel_to_core_in(tys: CoreArena, kernel: &Kernel) -> Result<CoreKernel, TranslateError> {
+    let mut store = TermStore::with_arena(tys);
     let free: Vec<(VarId, Ty)> =
         kernel.inputs.iter().map(|(name, _)| (store.fresh_var(name), Ty::Num)).collect();
     let mut tx = Translator { store, vars: free.iter().map(|(v, _)| *v).collect() };

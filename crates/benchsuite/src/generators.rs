@@ -6,7 +6,7 @@
 //! Every generator returns the term, its operation count, and the exact
 //! grade coefficient the paper's Λnum column reports.
 
-use numfuzz_core::{TermId, TermStore, Ty, VarId};
+use numfuzz_core::{CoreArena, TermId, TermStore, Ty, VarId};
 use numfuzz_exact::Rational;
 
 /// A generated large benchmark.
@@ -56,7 +56,12 @@ impl Lcg {
 ///
 /// Grade: `n·eps`; ops: `2n`.
 pub fn horner(n: usize) -> Generated {
-    let mut store = TermStore::new();
+    horner_in(CoreArena::new(), n)
+}
+
+/// [`horner`] built into a store sharing `tys` (one session's arena).
+pub fn horner_in(tys: CoreArena, n: usize) -> Generated {
+    let mut store = TermStore::with_arena(tys);
     let x = store.fresh_var("x");
     let mut rng = Lcg(0x5eed + n as u64);
     // acc := a_n; acc := rnd(acc*x + a_i) for i = n-1 .. 0.
@@ -109,8 +114,13 @@ pub fn horner(n: usize) -> Generated {
 /// rounding after every addition (Table 4 SerialSum: 1024 terms, 1023
 /// ops, grade `(terms-1)·eps`).
 pub fn serial_sum(terms: usize) -> Generated {
+    serial_sum_in(CoreArena::new(), terms)
+}
+
+/// [`serial_sum`] built into a store sharing `tys`.
+pub fn serial_sum_in(tys: CoreArena, terms: usize) -> Generated {
     assert!(terms >= 2);
-    let mut store = TermStore::new();
+    let mut store = TermStore::with_arena(tys);
     let mut rng = Lcg(0xacc);
     let mut acc_var = store.fresh_var("s1");
     let first = store.num(rng.next_rat());
@@ -150,8 +160,13 @@ pub fn serial_sum(terms: usize) -> Generated {
 /// element, whose grade `(2n-1)·eps` is the element-wise bound the paper
 /// reports. Ops: `n²·(2n-1)`.
 pub fn matrix_multiply(n: usize) -> Generated {
+    matrix_multiply_in(CoreArena::new(), n)
+}
+
+/// [`matrix_multiply`] built into a store sharing `tys`.
+pub fn matrix_multiply_in(tys: CoreArena, n: usize) -> Generated {
     assert!(n >= 1);
-    let mut store = TermStore::new();
+    let mut store = TermStore::with_arena(tys);
     let mut rng = Lcg(0x3a7 + n as u64);
     let a: Vec<Vec<Rational>> = (0..n).map(|_| (0..n).map(|_| rng.next_rat()).collect()).collect();
     let b: Vec<Vec<Rational>> = (0..n).map(|_| (0..n).map(|_| rng.next_rat()).collect()).collect();
@@ -235,8 +250,13 @@ pub fn matrix_multiply(n: usize) -> Generated {
 /// the coefficient), term 1 costs one, and each of the `n` additions one:
 /// ops = grade coefficient = `Σ_{i=2..n} i + 1 + n`.
 pub fn poly_naive(n: usize) -> Generated {
+    poly_naive_in(CoreArena::new(), n)
+}
+
+/// [`poly_naive`] built into a store sharing `tys`.
+pub fn poly_naive_in(tys: CoreArena, n: usize) -> Generated {
     assert!(n >= 2);
-    let mut store = TermStore::new();
+    let mut store = TermStore::with_arena(tys);
     let x = store.fresh_var("x");
     let mut rng = Lcg(0x90137 + n as u64);
     let mut steps: Vec<(VarId, TermId)> = Vec::new();

@@ -19,5 +19,8 @@ pub mod generators;
 pub mod small;
 
 pub use conditionals::{table5, CondBench};
-pub use generators::{horner, matrix_multiply, poly_naive, serial_sum, Generated};
+pub use generators::{
+    horner, horner_in, matrix_multiply, matrix_multiply_in, poly_naive, poly_naive_in, serial_sum,
+    serial_sum_in, Generated,
+};
 pub use small::{horner2_with_error_kernel, horner2_with_error_source, table3, SmallBench};

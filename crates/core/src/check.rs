@@ -8,6 +8,12 @@
 //! they are merged so peak memory stays proportional to the tree depth
 //! frontier rather than the whole program.
 //!
+//! Types flow through the whole pass as interned [`TyId`]s from the
+//! store's [`crate::CoreArena`]: equality is id equality, the subtype and
+//! `max`/`min` lattice queries are memoized by id pair, and no `Ty` tree
+//! is ever built except at the public boundary (the returned [`Inferred`]
+//! root, the per-function [`FnReport`]s, and error messages).
+//!
 //! Deviations from the published figure (see DESIGN.md §3 for rationale):
 //!
 //! * (⊸I) enforces `s <= 1` on the λ-bound variable (the figure prints
@@ -19,6 +25,7 @@
 //! * (Op) allows non-`num` result types so `is_pos : !∞ num ⊸ bool` is an
 //!   ordinary signature entry.
 
+use crate::arena::{ArenaInner, GradeId, TyId, TyNode, NUM_ID as NUM, UNIT_ID as UNIT};
 use crate::env::Env;
 use crate::grade::Grade;
 use crate::sig::Signature;
@@ -26,6 +33,7 @@ use crate::term::{Node, TermId, TermStore, VarId};
 use crate::ty::Ty;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::MutexGuard;
 
 /// The result of inferring one (sub)term: a minimal environment and type.
 #[derive(Clone, Debug)]
@@ -34,6 +42,14 @@ pub struct Inferred {
     pub env: Env,
     /// The inferred (most precise) type.
     pub ty: Ty,
+}
+
+/// The internal per-subterm judgment: same as [`Inferred`], but the type
+/// stays an interned id (the hot path never resolves).
+#[derive(Clone, Debug)]
+struct Judgment {
+    env: Env,
+    ty: TyId,
 }
 
 /// Report for a top-level `function` definition.
@@ -178,25 +194,38 @@ pub fn infer(
     root: TermId,
     free: &[(VarId, Ty)],
 ) -> Result<CheckResult, CheckError> {
+    // The whole pass holds the arena lock once instead of locking per
+    // query; nothing below may call back through the `CoreArena` handle.
+    let mut arena = store.tys().inner();
+    let rnd_grade_id = arena.intern_grade(sig.rnd_grade());
+    let zero_grade_id = arena.intern_grade(&Grade::zero());
+    let var_tys = free.iter().map(|(v, t)| (*v, arena.intern(t))).collect();
     let mut ck = Checker {
         store,
         sig,
-        var_tys: free.iter().map(|(v, t)| (*v, t.clone())).collect(),
+        var_tys,
         results: HashMap::new(),
         remaining: count_parent_edges(store),
         fns: Vec::new(),
+        ops: HashMap::new(),
+        rnd_grade_id,
+        zero_grade_id,
+        arena,
     };
     ck.run(root)?;
     let root_res = ck.results.remove(&root).expect("root inferred");
-    Ok(CheckResult { root: root_res, fns: ck.fns })
+    Ok(CheckResult {
+        root: Inferred { env: root_res.env, ty: ck.arena.resolve(root_res.ty) },
+        fns: ck.fns,
+    })
 }
 
 /// How many parent edges reference each node, across the whole store.
 ///
 /// Results are dropped once every referencing parent has consumed them, so
 /// peak memory tracks the live frontier on trees while node *sharing*
-/// (which substitution in the small-step semantics creates) still works:
-/// a shared child's result survives until its last parent takes it.
+/// (which hash-consing and small-step substitution both create) still
+/// works: a shared child's result survives until its last parent takes it.
 fn count_parent_edges(store: &TermStore) -> Vec<u32> {
     let mut uses = vec![0u32; store.len()];
     let mut bump = |t: TermId| uses[t.0 as usize] = uses[t.0 as usize].saturating_add(1);
@@ -236,11 +265,17 @@ fn count_parent_edges(store: &TermStore) -> Vec<u32> {
 struct Checker<'a> {
     store: &'a TermStore,
     sig: &'a Signature,
-    var_tys: HashMap<VarId, Ty>,
-    results: HashMap<TermId, Inferred>,
+    /// The arena table, locked once for the whole run.
+    arena: MutexGuard<'a, ArenaInner>,
+    var_tys: HashMap<VarId, TyId>,
+    results: HashMap<TermId, Judgment>,
     /// Outstanding parent edges per node (see [`count_parent_edges`]).
     remaining: Vec<u32>,
     fns: Vec<FnReport>,
+    /// Signature entries interned on first use, keyed by op index.
+    ops: HashMap<u32, (TyId, TyId)>,
+    rnd_grade_id: GradeId,
+    zero_grade_id: GradeId,
 }
 
 #[derive(Clone, Copy)]
@@ -250,16 +285,16 @@ struct Frame {
 }
 
 impl<'a> Checker<'a> {
-    fn var_ty(&self, v: VarId) -> Result<Ty, CheckError> {
+    fn var_ty(&self, v: VarId) -> Result<TyId, CheckError> {
         self.var_tys
             .get(&v)
-            .cloned()
+            .copied()
             .ok_or_else(|| CheckError::UnboundVar(self.store.var_name(v).to_string()))
     }
 
     /// Consumes one parent edge's view of a child result; the stored
     /// result is freed when the last edge has consumed it.
-    fn take(&mut self, id: TermId) -> Option<Inferred> {
+    fn take(&mut self, id: TermId) -> Option<Judgment> {
         let slot = &mut self.remaining[id.0 as usize];
         if *slot > 1 {
             *slot -= 1;
@@ -270,8 +305,8 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn done(&mut self, id: TermId, env: Env, ty: Ty) {
-        self.results.insert(id, Inferred { env, ty });
+    fn done(&mut self, id: TermId, env: Env, ty: TyId) {
+        self.results.insert(id, Judgment { env, ty });
     }
 
     /// The positive stand-in for a zero scaling in (Let)/(+E) — the
@@ -280,22 +315,39 @@ impl<'a> Checker<'a> {
         self.sig.rnd_grade().clone()
     }
 
+    /// Resolves an interned type for an error message (cold path only).
+    fn show(&self, ty: TyId) -> Ty {
+        self.arena.resolve(ty)
+    }
+
+    /// The interned `(arg, ret)` pair of a signature operation.
+    fn op_sig(&mut self, op_idx: u32) -> Result<(TyId, TyId), CheckError> {
+        if let Some(&entry) = self.ops.get(&op_idx) {
+            return Ok(entry);
+        }
+        let name = self.store.op_name(op_idx);
+        let op = self.sig.op(name).ok_or_else(|| CheckError::UnknownOp(name.to_string()))?;
+        let entry = (self.arena.intern(&op.arg), self.arena.intern(&op.ret));
+        self.ops.insert(op_idx, entry);
+        Ok(entry)
+    }
+
     fn run(&mut self, root: TermId) -> Result<(), CheckError> {
         let mut stack = vec![Frame { id: root, stage: 0 }];
         while let Some(Frame { id, stage }) = stack.pop() {
             if stage == 0 && self.results.contains_key(&id) {
                 continue;
             }
-            match (self.store.node(id).clone(), stage) {
+            match (*self.store.node(id), stage) {
                 // ----- leaves -----
                 (Node::Var(v), _) => {
                     let ty = self.var_ty(v)?;
                     self.done(id, Env::singleton(v, Grade::one()), ty);
                 }
-                (Node::UnitVal, _) => self.done(id, Env::empty(), Ty::Unit),
-                (Node::Const(_), _) => self.done(id, Env::empty(), Ty::Num),
+                (Node::UnitVal, _) => self.done(id, Env::empty(), UNIT),
+                (Node::Const(_), _) => self.done(id, Env::empty(), NUM),
                 (Node::Err(g, t), _) => {
-                    let ty = Ty::monad(self.store.grade(g).clone(), self.store.ty(t).clone());
+                    let ty = self.arena.mk(TyNode::Monad(g, t));
                     self.done(id, Env::empty(), ty);
                 }
 
@@ -312,77 +364,77 @@ impl<'a> Checker<'a> {
                 }
                 (Node::Inl(v, rt), 1) => {
                     let r = self.take(v).expect("child done");
-                    let ty = Ty::sum(r.ty, self.store.ty(rt).clone());
+                    let ty = self.arena.mk(TyNode::Sum(r.ty, rt));
                     self.done(id, r.env, ty);
                 }
                 (Node::Inr(v, lt), 1) => {
                     let r = self.take(v).expect("child done");
-                    let ty = Ty::sum(self.store.ty(lt).clone(), r.ty);
+                    let ty = self.arena.mk(TyNode::Sum(lt, r.ty));
                     self.done(id, r.env, ty);
                 }
                 (Node::BoxIntro(g, v), 1) => {
                     let r = self.take(v).expect("child done");
-                    let s = self.store.grade(g).clone();
-                    let env = r.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
-                    self.done(id, env, Ty::bang(s, r.ty));
+                    let env = r.env.scale(self.arena.grade(g)).ok_or(CheckError::NonlinearGrade)?;
+                    let ty = self.arena.mk(TyNode::Bang(g, r.ty));
+                    self.done(id, env, ty);
                 }
                 (Node::Rnd(v), 1) => {
                     let r = self.take(v).expect("child done");
-                    if r.ty != Ty::Num {
+                    if r.ty != NUM {
                         return Err(CheckError::Expected {
                             what: "a numeric argument to rnd",
-                            found: r.ty,
+                            found: self.show(r.ty),
                         });
                     }
-                    self.done(id, r.env, Ty::monad(self.sig.rnd_grade().clone(), Ty::Num));
+                    let ty = self.arena.mk(TyNode::Monad(self.rnd_grade_id, NUM));
+                    self.done(id, r.env, ty);
                 }
                 (Node::Ret(v), 1) => {
                     let r = self.take(v).expect("child done");
-                    self.done(id, r.env, Ty::monad(Grade::zero(), r.ty));
+                    let ty = self.arena.mk(TyNode::Monad(self.zero_grade_id, r.ty));
+                    self.done(id, r.env, ty);
                 }
                 (Node::Proj(first, v), 1) => {
                     let r = self.take(v).expect("child done");
-                    match r.ty {
-                        Ty::With(a, b) => {
-                            let ty = if first { *a } else { *b };
+                    match self.arena.node(r.ty) {
+                        TyNode::With(a, b) => {
+                            let ty = if first { a } else { b };
                             self.done(id, r.env, ty);
                         }
-                        other => {
+                        _ => {
                             return Err(CheckError::Expected {
                                 what: "a cartesian pair",
-                                found: other,
+                                found: self.show(r.ty),
                             })
                         }
                     }
                 }
                 (Node::Op(op_idx, v), 1) => {
                     let r = self.take(v).expect("child done");
-                    let name = self.store.op_name(op_idx);
-                    let op =
-                        self.sig.op(name).ok_or_else(|| CheckError::UnknownOp(name.to_string()))?;
-                    let env = if r.ty.subtype(&op.arg) {
+                    let (arg, ret) = self.op_sig(op_idx)?;
+                    let env = if self.arena.subtype(r.ty, arg) {
                         r.env
-                    } else if let Ty::Bang(g, inner) = &op.arg {
+                    } else if let TyNode::Bang(g, inner) = self.arena.node(arg) {
                         // Implicit boxing: `sqrt x` elaborates as
                         // `sqrt [x]{g}`, scaling the environment by the
                         // domain's grade (the (!I) rule applied on the fly).
-                        if r.ty.subtype(inner) {
-                            r.env.scale(g).ok_or(CheckError::NonlinearGrade)?
+                        if self.arena.subtype(r.ty, inner) {
+                            r.env.scale(self.arena.grade(g)).ok_or(CheckError::NonlinearGrade)?
                         } else {
                             return Err(CheckError::OpArgMismatch {
-                                op: name.to_string(),
-                                expected: op.arg.clone(),
-                                found: r.ty,
+                                op: self.store.op_name(op_idx).to_string(),
+                                expected: self.show(arg),
+                                found: self.show(r.ty),
                             });
                         }
                     } else {
                         return Err(CheckError::OpArgMismatch {
-                            op: name.to_string(),
-                            expected: op.arg.clone(),
-                            found: r.ty,
+                            op: self.store.op_name(op_idx).to_string(),
+                            expected: self.show(arg),
+                            found: self.show(r.ty),
                         });
                     };
-                    self.done(id, env, op.ret.clone());
+                    self.done(id, env, ret);
                 }
 
                 // ----- pairs and application: two independent children -----
@@ -394,40 +446,44 @@ impl<'a> Checker<'a> {
                 (Node::PairW(a, b), 1) => {
                     let ra = self.take(a).expect("child done");
                     let rb = self.take(b).expect("child done");
-                    self.done(id, ra.env.sup(rb.env), Ty::with(ra.ty, rb.ty));
+                    let ty = self.arena.mk(TyNode::With(ra.ty, rb.ty));
+                    self.done(id, ra.env.sup(rb.env), ty);
                 }
                 (Node::PairT(a, b), 1) => {
                     let ra = self.take(a).expect("child done");
                     let rb = self.take(b).expect("child done");
-                    self.done(id, ra.env.add(rb.env), Ty::tensor(ra.ty, rb.ty));
+                    let ty = self.arena.mk(TyNode::Tensor(ra.ty, rb.ty));
+                    self.done(id, ra.env.add(rb.env), ty);
                 }
                 (Node::App(a, b), 1) => {
                     let ra = self.take(a).expect("child done");
                     let rb = self.take(b).expect("child done");
-                    match ra.ty {
-                        Ty::Lolli(dom, cod) => {
-                            if !rb.ty.subtype(&dom) {
+                    match self.arena.node(ra.ty) {
+                        TyNode::Lolli(dom, cod) => {
+                            if !self.arena.subtype(rb.ty, dom) {
                                 return Err(CheckError::ArgMismatch {
-                                    expected: *dom,
-                                    found: rb.ty,
+                                    expected: self.show(dom),
+                                    found: self.show(rb.ty),
                                 });
                             }
-                            self.done(id, ra.env.add(rb.env), *cod);
+                            self.done(id, ra.env.add(rb.env), cod);
                         }
-                        other => {
-                            return Err(CheckError::Expected { what: "a function", found: other })
+                        _ => {
+                            return Err(CheckError::Expected {
+                                what: "a function",
+                                found: self.show(ra.ty),
+                            })
                         }
                     }
                 }
 
                 // ----- λ: register the parameter, then check the body -----
-                (Node::Lam(x, ty_idx, body), 0) => {
-                    let ty = self.store.ty(ty_idx).clone();
-                    self.var_tys.insert(x, ty);
+                (Node::Lam(x, ty_id, body), 0) => {
+                    self.var_tys.insert(x, ty_id);
                     stack.push(Frame { id, stage: 1 });
                     stack.push(Frame { id: body, stage: 0 });
                 }
-                (Node::Lam(x, ty_idx, body), 1) => {
+                (Node::Lam(x, ty_id, body), 1) => {
                     let mut r = self.take(body).expect("child done");
                     let s = r.env.remove(x);
                     if !s.le(&Grade::one()) {
@@ -436,8 +492,8 @@ impl<'a> Checker<'a> {
                             got: s,
                         });
                     }
-                    let dom = self.store.ty(ty_idx).clone();
-                    self.done(id, r.env, Ty::lolli(dom, r.ty));
+                    let ty = self.arena.mk(TyNode::Lolli(ty_id, r.ty));
+                    self.done(id, r.env, ty);
                 }
 
                 // ----- binders that need the scrutinee's type first -----
@@ -455,17 +511,17 @@ impl<'a> Checker<'a> {
 
                 (Node::LetTensor(x, y, v, e), 1) => {
                     let rv = self.results.get(&v).expect("scrutinee done");
-                    match rv.ty.clone() {
-                        Ty::Tensor(a, b) => {
-                            self.var_tys.insert(x, *a);
-                            self.var_tys.insert(y, *b);
+                    match self.arena.node(rv.ty) {
+                        TyNode::Tensor(a, b) => {
+                            self.var_tys.insert(x, a);
+                            self.var_tys.insert(y, b);
                             stack.push(Frame { id, stage: 2 });
                             stack.push(Frame { id: e, stage: 0 });
                         }
-                        other => {
+                        _ => {
                             return Err(CheckError::Expected {
                                 what: "a tensor pair",
-                                found: other,
+                                found: self.show(rv.ty),
                             })
                         }
                     }
@@ -482,15 +538,20 @@ impl<'a> Checker<'a> {
 
                 (Node::Case(v, x, e1, y, e2), 1) => {
                     let rv = self.results.get(&v).expect("scrutinee done");
-                    match rv.ty.clone() {
-                        Ty::Sum(a, b) => {
-                            self.var_tys.insert(x, *a);
-                            self.var_tys.insert(y, *b);
+                    match self.arena.node(rv.ty) {
+                        TyNode::Sum(a, b) => {
+                            self.var_tys.insert(x, a);
+                            self.var_tys.insert(y, b);
                             stack.push(Frame { id, stage: 2 });
                             stack.push(Frame { id: e1, stage: 0 });
                             stack.push(Frame { id: e2, stage: 0 });
                         }
-                        other => return Err(CheckError::Expected { what: "a sum", found: other }),
+                        _ => {
+                            return Err(CheckError::Expected {
+                                what: "a sum",
+                                found: self.show(rv.ty),
+                            })
+                        }
                     }
                 }
                 (Node::Case(v, x, e1, y, e2), 2) => {
@@ -501,9 +562,11 @@ impl<'a> Checker<'a> {
                     // (+E) side condition s > 0: keep a positive dependence
                     // on the guard (the figure's s̄).
                     let s_bar = if s.is_zero() { self.epsilon() } else { s };
-                    let ty = r1.ty.sup(&r2.ty).ok_or(CheckError::BranchTypeMismatch {
-                        left: r1.ty.clone(),
-                        right: r2.ty.clone(),
+                    let ty = self.arena.sup(r1.ty, r2.ty).ok_or_else(|| {
+                        CheckError::BranchTypeMismatch {
+                            left: self.show(r1.ty),
+                            right: self.show(r2.ty),
+                        }
                     })?;
                     let theta = r1.env.sup(r2.env);
                     let scaled = rv.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
@@ -512,16 +575,16 @@ impl<'a> Checker<'a> {
 
                 (Node::LetBox(x, v, e), 1) => {
                     let rv = self.results.get(&v).expect("scrutinee done");
-                    match rv.ty.clone() {
-                        Ty::Bang(_, inner) => {
-                            self.var_tys.insert(x, *inner);
+                    match self.arena.node(rv.ty) {
+                        TyNode::Bang(_, inner) => {
+                            self.var_tys.insert(x, inner);
                             stack.push(Frame { id, stage: 2 });
                             stack.push(Frame { id: e, stage: 0 });
                         }
-                        other => {
+                        _ => {
                             return Err(CheckError::Expected {
                                 what: "a boxed value",
-                                found: other,
+                                found: self.show(rv.ty),
                             })
                         }
                     }
@@ -529,12 +592,12 @@ impl<'a> Checker<'a> {
                 (Node::LetBox(x, v, e), 2) => {
                     let rv = self.take(v).expect("scrutinee done");
                     let mut re = self.take(e).expect("body done");
-                    let s = match &rv.ty {
-                        Ty::Bang(s, _) => s.clone(),
+                    let s = match self.arena.node(rv.ty) {
+                        TyNode::Bang(s, _) => self.arena.grade(s),
                         _ => unreachable!("checked at stage 1"),
                     };
                     let r = re.env.remove(x);
-                    let t = r.div_min(&s).ok_or_else(|| CheckError::BoxZeroGrade {
+                    let t = r.div_min(s).ok_or_else(|| CheckError::BoxZeroGrade {
                         var: self.store.var_name(x).to_string(),
                     })?;
                     let scaled = rv.env.scale(&t).ok_or(CheckError::NonlinearGrade)?;
@@ -543,16 +606,16 @@ impl<'a> Checker<'a> {
 
                 (Node::LetBind(x, v, f), 1) => {
                     let rv = self.results.get(&v).expect("scrutinee done");
-                    match rv.ty.clone() {
-                        Ty::Monad(_, inner) => {
-                            self.var_tys.insert(x, *inner);
+                    match self.arena.node(rv.ty) {
+                        TyNode::Monad(_, inner) => {
+                            self.var_tys.insert(x, inner);
                             stack.push(Frame { id, stage: 2 });
                             stack.push(Frame { id: f, stage: 0 });
                         }
-                        other => {
+                        _ => {
                             return Err(CheckError::Expected {
                                 what: "a monadic computation",
-                                found: other,
+                                found: self.show(rv.ty),
                             })
                         }
                     }
@@ -560,29 +623,32 @@ impl<'a> Checker<'a> {
                 (Node::LetBind(x, v, f), 2) => {
                     let rv = self.take(v).expect("scrutinee done");
                     let mut rf = self.take(f).expect("body done");
-                    let r = match &rv.ty {
-                        Ty::Monad(r, _) => r.clone(),
+                    let r = match self.arena.node(rv.ty) {
+                        TyNode::Monad(r, _) => r,
                         _ => unreachable!("checked at stage 1"),
                     };
-                    let (q, tau) = match rf.ty {
-                        Ty::Monad(q, tau) => (q, *tau),
-                        other => {
+                    let (q, tau) = match self.arena.node(rf.ty) {
+                        TyNode::Monad(q, tau) => (q, tau),
+                        _ => {
                             return Err(CheckError::Expected {
                                 what: "a monadic body in let-bind",
-                                found: other,
+                                found: self.show(rf.ty),
                             })
                         }
                     };
                     let s = rf.env.remove(x);
-                    let sr = s.checked_mul(&r).ok_or(CheckError::NonlinearGrade)?;
-                    let grade = sr.add(&q);
+                    let sr =
+                        s.checked_mul(self.arena.grade(r)).ok_or(CheckError::NonlinearGrade)?;
+                    let grade = sr.add(self.arena.grade(q));
                     let scaled = rv.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
-                    self.done(id, rf.env.add(scaled), Ty::monad(grade, tau));
+                    let gid = self.arena.intern_grade(&grade);
+                    let ty = self.arena.mk(TyNode::Monad(gid, tau));
+                    self.done(id, rf.env.add(scaled), ty);
                 }
 
                 (Node::Let(x, e, f), 1) => {
                     let re = self.results.get(&e).expect("bound term done");
-                    self.var_tys.insert(x, re.ty.clone());
+                    self.var_tys.insert(x, re.ty);
                     stack.push(Frame { id, stage: 2 });
                     stack.push(Frame { id: f, stage: 0 });
                 }
@@ -596,26 +662,26 @@ impl<'a> Checker<'a> {
                     self.done(id, rf.env.add(scaled), rf.ty);
                 }
 
-                (Node::LetFun(x, decl_idx, body, rest), 1) => {
+                (Node::LetFun(x, decl, body, rest), 1) => {
                     let rb = self.results.get(&body).expect("function body done");
-                    let inferred = rb.ty.clone();
-                    let assigned = if decl_idx == u32::MAX {
-                        inferred.clone()
-                    } else {
-                        let declared = self.store.ty(decl_idx).clone();
-                        if !inferred.subtype(&declared) {
-                            return Err(CheckError::DeclaredMismatch {
-                                name: self.store.var_name(x).to_string(),
-                                declared,
-                                inferred,
-                            });
+                    let inferred = rb.ty;
+                    let assigned = match decl {
+                        None => inferred,
+                        Some(declared) => {
+                            if !self.arena.subtype(inferred, declared) {
+                                return Err(CheckError::DeclaredMismatch {
+                                    name: self.store.var_name(x).to_string(),
+                                    declared: self.show(declared),
+                                    inferred: self.show(inferred),
+                                });
+                            }
+                            declared
                         }
-                        declared
                     };
                     self.fns.push(FnReport {
                         name: self.store.var_name(x).to_string(),
-                        inferred,
-                        assigned: assigned.clone(),
+                        inferred: self.show(inferred),
+                        assigned: self.show(assigned),
                     });
                     self.var_tys.insert(x, assigned);
                     stack.push(Frame { id, stage: 2 });

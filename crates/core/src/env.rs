@@ -2,7 +2,11 @@
 //!
 //! The checker manipulates environments constantly (every rule of Fig. 10
 //! sums, scales, or joins them), and Table 4 programs have hundreds of
-//! thousands of live variables, so [`Env`] merges use the classic
+//! thousands of live variables, so [`Env`] is adaptive: the common tiny
+//! environments (empty, or a handful of variables along a `let` chain)
+//! live inline without touching a hash map — a one-variable environment
+//! allocates nothing at all — and only environments past a spill
+//! threshold move to a `HashMap`, where merges use the classic
 //! smaller-into-larger trick to keep a whole-program check quasi-linear.
 //! Absent variables implicitly carry grade `0`; zero entries are not
 //! stored.
@@ -11,12 +15,39 @@ use crate::grade::Grade;
 use crate::term::VarId;
 use std::collections::HashMap;
 
+/// Inline capacity: environments at most this large stay a flat vector
+/// (linear scans beat hashing at this size).
+const SPILL: usize = 16;
+
 /// A sensitivity environment `Γ` (variable types are tracked separately by
 /// the checker; two environments over the same program always agree on
 /// types because binders are alpha-renamed).
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct Env {
-    entries: HashMap<VarId, Grade>,
+    rep: Rep,
+}
+
+#[derive(Clone, Debug, Default)]
+enum Rep {
+    /// No entries (allocation-free).
+    #[default]
+    Empty,
+    /// Exactly one entry (allocation-free).
+    One(VarId, Grade),
+    /// 2..=SPILL entries, unsorted, no duplicate variables.
+    Small(Vec<(VarId, Grade)>),
+    /// Past the spill threshold.
+    Large(HashMap<VarId, Grade>),
+}
+
+/// Consumes a representation into its entries.
+fn into_entries(rep: Rep) -> Box<dyn Iterator<Item = (VarId, Grade)>> {
+    match rep {
+        Rep::Empty => Box::new(std::iter::empty()),
+        Rep::One(x, g) => Box::new(std::iter::once((x, g))),
+        Rep::Small(v) => Box::new(v.into_iter()),
+        Rep::Large(m) => Box::new(m.into_iter()),
+    }
 }
 
 impl Env {
@@ -27,56 +58,139 @@ impl Env {
 
     /// `{ x :_g }`.
     pub fn singleton(x: VarId, g: Grade) -> Self {
-        let mut entries = HashMap::new();
-        if !g.is_zero() {
-            entries.insert(x, g);
+        if g.is_zero() {
+            Env::empty()
+        } else {
+            Env { rep: Rep::One(x, g) }
         }
-        Env { entries }
+    }
+
+    fn get_ref(&self, x: VarId) -> Option<&Grade> {
+        match &self.rep {
+            Rep::Empty => None,
+            Rep::One(y, g) => (*y == x).then_some(g),
+            Rep::Small(v) => v.iter().find(|(y, _)| *y == x).map(|(_, g)| g),
+            Rep::Large(m) => m.get(&x),
+        }
     }
 
     /// The sensitivity of `x` (zero when absent).
     pub fn get(&self, x: VarId) -> Grade {
-        self.entries.get(&x).cloned().unwrap_or_else(Grade::zero)
+        self.get_ref(x).cloned().unwrap_or_else(Grade::zero)
     }
 
     /// Removes `x`, returning its sensitivity (zero when absent).
     pub fn remove(&mut self, x: VarId) -> Grade {
-        self.entries.remove(&x).unwrap_or_else(Grade::zero)
+        match &mut self.rep {
+            Rep::Empty => Grade::zero(),
+            Rep::One(y, _) => {
+                if *y == x {
+                    match std::mem::take(&mut self.rep) {
+                        Rep::One(_, g) => g,
+                        _ => unreachable!(),
+                    }
+                } else {
+                    Grade::zero()
+                }
+            }
+            Rep::Small(v) => match v.iter().position(|(y, _)| *y == x) {
+                None => Grade::zero(),
+                Some(i) => {
+                    let (_, g) = v.swap_remove(i);
+                    if v.len() == 1 {
+                        let (y, h) = v.pop().expect("len checked");
+                        self.rep = Rep::One(y, h);
+                    }
+                    g
+                }
+            },
+            Rep::Large(m) => m.remove(&x).unwrap_or_else(Grade::zero),
+        }
     }
 
     /// Number of variables with nonzero sensitivity.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.rep {
+            Rep::Empty => 0,
+            Rep::One(..) => 1,
+            Rep::Small(v) => v.len(),
+            Rep::Large(m) => m.len(),
+        }
     }
 
     /// Whether no variable has nonzero sensitivity.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over `(variable, grade)` pairs (unordered).
-    pub fn iter(&self) -> impl Iterator<Item = (&VarId, &Grade)> {
-        self.entries.iter()
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (&VarId, &Grade)> + '_> {
+        match &self.rep {
+            Rep::Empty => Box::new(std::iter::empty()),
+            Rep::One(x, g) => Box::new(std::iter::once((x, g))),
+            Rep::Small(v) => Box::new(v.iter().map(|(x, g)| (x, g))),
+            Rep::Large(m) => Box::new(m.iter()),
+        }
+    }
+
+    /// Union-merge, applying `f` where both sides bind a variable. Both
+    /// `f`s used here (`add`, `sup`) are commutative and cannot produce a
+    /// zero from nonzero non-negative inputs, so the no-zeros invariant
+    /// is preserved without re-checking.
+    fn merge(self, other: Env, f: impl Fn(&Grade, &Grade) -> Grade) -> Env {
+        if other.is_empty() {
+            return self;
+        }
+        if self.is_empty() {
+            return other;
+        }
+        // Hash-map path: merge the smaller side into the larger map.
+        let (big, small) = if self.len() >= other.len() { (self, other) } else { (other, self) };
+        if let Rep::Large(mut m) = big.rep {
+            for (x, g) in into_entries(small.rep) {
+                match m.entry(x) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let merged = f(e.get(), &g);
+                        *e.get_mut() = merged;
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(g);
+                    }
+                }
+            }
+            return Env { rep: Rep::Large(m) };
+        }
+        // Inline path: linear merge into the bigger vector.
+        let mut v: Vec<(VarId, Grade)> = match big.rep {
+            Rep::One(x, g) => vec![(x, g)],
+            Rep::Small(v) => v,
+            _ => unreachable!("empty and large handled above"),
+        };
+        for (x, g) in into_entries(small.rep) {
+            match v.iter_mut().find(|(y, _)| *y == x) {
+                Some(e) => e.1 = f(&e.1, &g),
+                None => v.push((x, g)),
+            }
+        }
+        Env::from_vec(v)
+    }
+
+    fn from_vec(v: Vec<(VarId, Grade)>) -> Env {
+        match v.len() {
+            0 => Env::empty(),
+            1 => {
+                let (x, g) = v.into_iter().next().expect("len checked");
+                Env { rep: Rep::One(x, g) }
+            }
+            n if n > SPILL => Env { rep: Rep::Large(v.into_iter().collect()) },
+            _ => Env { rep: Rep::Small(v) },
+        }
     }
 
     /// Environment sum `Γ + Δ` (pointwise grade addition), consuming both
     /// and merging the smaller into the larger.
-    pub fn add(mut self, mut other: Env) -> Env {
-        if self.entries.len() < other.entries.len() {
-            std::mem::swap(&mut self, &mut other);
-        }
-        for (x, g) in other.entries {
-            match self.entries.entry(x) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    let sum = e.get().add(&g);
-                    *e.get_mut() = sum;
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(g);
-                }
-            }
-        }
-        self
+    pub fn add(self, other: Env) -> Env {
+        self.merge(other, |a, b| a.add(b))
     }
 
     /// Environment scaling `s * Γ`. Returns `None` when a product of two
@@ -90,38 +204,47 @@ impl Env {
         if s.is_zero() {
             return Some(Env::empty()); // 0 · ∞ = 0: everything drops out
         }
-        let mut entries = HashMap::with_capacity(self.entries.len());
-        for (x, g) in self.entries {
+        let mut v = Vec::with_capacity(self.len().min(SPILL + 1));
+        let mut m: Option<HashMap<VarId, Grade>> = None;
+        if let Rep::Large(_) = self.rep {
+            m = Some(HashMap::with_capacity(self.len()));
+        }
+        for (x, g) in into_entries(self.rep) {
             let scaled = s.checked_mul(&g)?;
-            if !scaled.is_zero() {
-                entries.insert(x, scaled);
+            if scaled.is_zero() {
+                continue;
+            }
+            match &mut m {
+                Some(m) => {
+                    m.insert(x, scaled);
+                }
+                None => v.push((x, scaled)),
             }
         }
-        Some(Env { entries })
+        Some(match m {
+            Some(m) => Env { rep: Rep::Large(m) },
+            None => Env::from_vec(v),
+        })
     }
 
     /// Pointwise least upper bound `max(Γ, Δ)` (absent = 0).
-    pub fn sup(mut self, mut other: Env) -> Env {
-        if self.entries.len() < other.entries.len() {
-            std::mem::swap(&mut self, &mut other);
-        }
-        for (x, g) in other.entries {
-            match self.entries.entry(x) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    let s = e.get().sup(&g);
-                    *e.get_mut() = s;
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(g);
-                }
-            }
-        }
-        self
+    pub fn sup(self, other: Env) -> Env {
+        self.merge(other, |a, b| a.sup(b))
     }
 
     /// Pointwise comparison: `self(x) <= other(x)` for every variable.
     pub fn le(&self, other: &Env) -> bool {
-        self.entries.iter().all(|(x, g)| g.le(&other.get(*x)))
+        self.iter().all(|(x, g)| match other.get_ref(*x) {
+            Some(h) => g.le(h),
+            None => g.is_zero(),
+        })
+    }
+}
+
+impl PartialEq for Env {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self.iter().all(|(x, g)| other.get_ref(*x).is_some_and(|h| g == h))
     }
 }
 
@@ -185,5 +308,33 @@ mod tests {
         assert_eq!(e.remove(v(0)), g(7));
         assert_eq!(e.remove(v(0)), Grade::zero());
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn spills_to_map_and_stays_correct() {
+        // Build an environment well past the inline capacity and verify
+        // every entry, through adds in both directions.
+        let mut e = Env::empty();
+        for i in 0..(2 * SPILL as u32) {
+            e = e.add(Env::singleton(v(i), g(i as i64 + 1)));
+        }
+        assert_eq!(e.len(), 2 * SPILL);
+        for i in 0..(2 * SPILL as u32) {
+            assert_eq!(e.get(v(i)), g(i as i64 + 1));
+        }
+        // Merging small into large applies the op on collisions.
+        let bump = Env::singleton(v(3), g(10));
+        let summed = e.clone().add(bump);
+        assert_eq!(summed.get(v(3)), g(14));
+        // Removing down from the map still works.
+        let mut shrunk = summed;
+        for i in 0..(2 * SPILL as u32) {
+            shrunk.remove(v(i));
+        }
+        assert!(shrunk.is_empty());
+        // Equality is order-insensitive across representations.
+        let a = Env::singleton(v(0), g(1)).add(Env::singleton(v(1), g(2)));
+        let b = Env::singleton(v(1), g(2)).add(Env::singleton(v(0), g(1)));
+        assert_eq!(a, b);
     }
 }

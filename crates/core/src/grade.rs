@@ -15,8 +15,13 @@
 //! which is the conservative answer a checker wants).
 
 use numfuzz_exact::Rational;
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// An interned symbol name. `Arc<str>` keeps grade clones allocation-free
+/// (a clone is a refcount bump), which matters because the checker copies
+/// grades through environments constantly.
+pub type Sym = Arc<str>;
 
 /// A grade: a finite symbolic linear expression or `∞`.
 ///
@@ -46,7 +51,7 @@ pub enum Grade {
 pub struct LinExpr {
     constant: Rational,
     /// Sorted by symbol name; no zero coefficients stored.
-    terms: Vec<(String, Rational)>,
+    terms: Vec<(Sym, Rational)>,
 }
 
 impl Default for LinExpr {
@@ -67,14 +72,14 @@ impl LinExpr {
     }
 
     /// The symbolic terms (sorted by symbol).
-    pub fn terms(&self) -> &[(String, Rational)] {
+    pub fn terms(&self) -> &[(Sym, Rational)] {
         &self.terms
     }
 
     fn coeff(&self, sym: &str) -> Rational {
         self.terms
             .iter()
-            .find(|(s, _)| s == sym)
+            .find(|(s, _)| s.as_ref() == sym)
             .map(|(_, c)| c.clone())
             .unwrap_or_else(Rational::zero)
     }
@@ -84,18 +89,42 @@ impl LinExpr {
     }
 
     fn merge(a: &LinExpr, b: &LinExpr, f: impl Fn(&Rational, &Rational) -> Rational) -> LinExpr {
-        let mut map: BTreeMap<&str, (Rational, Rational)> = BTreeMap::new();
-        for (s, c) in &a.terms {
-            map.entry(s).or_insert_with(|| (Rational::zero(), Rational::zero())).0 = c.clone();
+        // Both term lists are sorted by symbol (construction invariant),
+        // so a linear merge suffices — no intermediate map. Absent
+        // coefficients enter `f` as zero, exactly as if stored.
+        let zero = Rational::zero();
+        let mut terms = Vec::with_capacity(a.terms.len() + b.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.terms.len() || j < b.terms.len() {
+            let pick = match (a.terms.get(i), b.terms.get(j)) {
+                (Some((sa, ca)), Some((sb, cb))) => match sa.cmp(sb) {
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                        (sa.clone(), f(ca, cb))
+                    }
+                    std::cmp::Ordering::Less => {
+                        i += 1;
+                        (sa.clone(), f(ca, &zero))
+                    }
+                    std::cmp::Ordering::Greater => {
+                        j += 1;
+                        (sb.clone(), f(&zero, cb))
+                    }
+                },
+                (Some((sa, ca)), None) => {
+                    i += 1;
+                    (sa.clone(), f(ca, &zero))
+                }
+                (None, Some((sb, cb))) => {
+                    j += 1;
+                    (sb.clone(), f(&zero, cb))
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            terms.push(pick);
         }
-        for (s, c) in &b.terms {
-            map.entry(s).or_insert_with(|| (Rational::zero(), Rational::zero())).1 = c.clone();
-        }
-        LinExpr {
-            constant: f(&a.constant, &b.constant),
-            terms: map.into_iter().map(|(s, (ca, cb))| (s.to_string(), f(&ca, &cb))).collect(),
-        }
-        .normalize()
+        LinExpr { constant: f(&a.constant, &b.constant), terms }.normalize()
     }
 }
 
@@ -129,7 +158,7 @@ impl Grade {
     pub fn symbol(name: &str) -> Self {
         Grade::Finite(LinExpr {
             constant: Rational::zero(),
-            terms: vec![(name.to_string(), Rational::one())],
+            terms: vec![(Sym::from(name), Rational::one())],
         })
     }
 

@@ -9,8 +9,11 @@
 //!   expressions over `R≥0 ∪ {∞}`;
 //! * [`Ty`] — types (Fig. 1) with subtyping (Fig. 12) and the `max`/`min`
 //!   lattice (Fig. 11);
-//! * [`TermStore`] — arena-based terms (Fig. 1) scaling to the paper's
-//!   4.2-million-operation benchmarks;
+//! * [`CoreArena`] — the hash-consing arena: types and grades intern to
+//!   [`TyId`]/[`GradeId`] with O(1) structural equality and memoized
+//!   lattice operations (see [`arena`]);
+//! * [`TermStore`] — arena-based, hash-consed terms (Fig. 1) scaling to
+//!   the paper's 4.2-million-operation benchmarks;
 //! * [`Signature`] — the primitive-operation signatures of the Section 5
 //!   instantiations (relative precision and absolute error);
 //! * [`infer`] — algorithmic sensitivity inference (Fig. 10);
@@ -44,6 +47,7 @@
 #![allow(clippy::result_large_err)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod check;
 mod env;
 mod grade;
@@ -56,11 +60,12 @@ mod term;
 mod ty;
 pub mod validate;
 
+pub use arena::{CoreArena, GradeId, TyId, TyNode};
 pub use check::{infer, CheckError, CheckResult, FnReport, Inferred};
 pub use env::Env;
-pub use grade::{Grade, LinExpr};
+pub use grade::{Grade, LinExpr, Sym};
 pub use lexer::SyntaxError;
-pub use lower::{compile, lower_program, Lowered};
+pub use lower::{compile, compile_in, lower_program, lower_program_in, Lowered};
 pub use parser::{parse_expr, parse_program, parse_ty, SExpr, SFnDef, SProgram};
 pub use pretty::pretty_term;
 pub use sig::{Instantiation, OpSig, Signature};

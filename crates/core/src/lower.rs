@@ -38,7 +38,22 @@ pub struct Lowered {
 /// [`SyntaxError`] (without position) for unbound names or misused
 /// operations.
 pub fn lower_program(prog: &SProgram, sig: &Signature) -> Result<Lowered, SyntaxError> {
-    let mut cx = Lowerer { store: TermStore::new(), sig, scope: HashMap::new() };
+    lower_program_in(crate::arena::CoreArena::new(), prog, sig)
+}
+
+/// [`lower_program`] into a store sharing an existing type/grade arena,
+/// so a session's programs interchange annotation ids and reuse the
+/// memoized lattice caches.
+///
+/// # Errors
+///
+/// See [`lower_program`].
+pub fn lower_program_in(
+    arena: crate::arena::CoreArena,
+    prog: &SProgram,
+    sig: &Signature,
+) -> Result<Lowered, SyntaxError> {
+    let mut cx = Lowerer { store: TermStore::with_arena(arena), sig, scope: HashMap::new() };
     let root = cx.program(prog)?;
     Ok(Lowered { store: cx.store, root })
 }
@@ -306,10 +321,12 @@ impl<'a> Lowerer<'a> {
             }
             // Not value-shaped: lower as a term and let-bind it. Temps
             // get unique *names* (not just unique ids) so pretty-printed
-            // programs re-parse without accidental shadowing.
+            // programs re-parse without accidental shadowing; the
+            // variable counter (unlike the hash-consed node count) is
+            // strictly increasing, so names never collide.
             _ => {
                 let t = self.expr(e)?;
-                let v = self.store.fresh_var(&format!("_t{}", self.store.len()));
+                let v = self.store.fresh_var(&format!("_t{}", self.store.num_vars()));
                 binds.push((v, t));
                 return Ok(self.store.var(v));
             }
@@ -335,6 +352,20 @@ impl<'a> Lowerer<'a> {
 pub fn compile(src: &str, sig: &Signature) -> Result<Lowered, SyntaxError> {
     let prog = crate::parser::parse_program(src)?;
     lower_program(&prog, sig)
+}
+
+/// [`compile`] into a shared arena (see [`lower_program_in`]).
+///
+/// # Errors
+///
+/// [`SyntaxError`] from parsing or lowering.
+pub fn compile_in(
+    arena: crate::arena::CoreArena,
+    src: &str,
+    sig: &Signature,
+) -> Result<Lowered, SyntaxError> {
+    let prog = crate::parser::parse_program(src)?;
+    lower_program_in(arena, &prog, sig)
 }
 
 /// The `eps` grade helper used throughout examples.

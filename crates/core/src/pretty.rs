@@ -128,14 +128,14 @@ fn go(store: &TermStore, id: TermId, depth: u32, out: &mut String) {
             // Restore the surface sugar when possible: a declared type
             // plus a lambda chain prints as
             // `function f (p: T) ... : R { body }`.
-            if *decl != u32::MAX {
+            if let Some(decl) = decl {
                 let mut params = Vec::new();
                 let mut inner = *body;
-                let mut ret = store.ty(*decl).clone();
+                let mut ret = store.ty(*decl);
                 while let (Node::Lam(p, pt, b), Ty::Lolli(_, cod)) =
                     (store.node(inner), ret.clone())
                 {
-                    params.push((store.var_name(*p).to_string(), store.ty(*pt).clone()));
+                    params.push((store.var_name(*p).to_string(), store.ty(*pt)));
                     inner = *b;
                     ret = *cod;
                 }

@@ -4,29 +4,34 @@
 //! floating-point operations — tens of millions of AST nodes. To make that
 //! feasible (and to avoid recursive `Drop` on million-deep let chains),
 //! terms live in a [`TermStore`] arena and are referenced by compact
-//! [`TermId`]s. Variables are alpha-renamed at construction time: every
-//! binder introduces a fresh [`VarId`], so checking and evaluation never
-//! deal with shadowing.
+//! [`TermId`]s. Term nodes are **hash-consed**: structurally identical
+//! nodes (same children ids, same annotations) intern to one id, so
+//! equality is id equality and substitution-heavy workloads share
+//! structure instead of copying it. Variables are alpha-renamed at
+//! construction time: every binder introduces a fresh [`VarId`], so
+//! checking and evaluation never deal with shadowing (and hash-consing
+//! can never confuse two binders).
+//!
+//! Type and grade annotations are interned ids ([`TyId`]/[`GradeId`])
+//! into a shared [`CoreArena`]; see [`crate::arena`] for the id-stability
+//! guarantees. Stores created with [`TermStore::with_arena`] share one
+//! arena (one analysis session), so annotation ids interchange between
+//! them.
 
+use crate::arena::{CoreArena, GradeId, TyId};
+pub use crate::arena::{TermId, VarId};
 use crate::grade::Grade;
 use crate::ty::Ty;
 use numfuzz_exact::Rational;
+use std::collections::HashMap;
 
-/// Index of a term node in a [`TermStore`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct TermId(pub(crate) u32);
-
-/// A unique variable (fresh per binder).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct VarId(pub(crate) u32);
-
-/// Interned index of a constant, type, or grade annotation.
+/// Interned index of a constant or operation name.
 type Idx = u32;
 
 /// A term node. Constructors and eliminators take *value* operands
 /// (Fig. 1's refinement of Fuzz); the surface-syntax lowering inserts lets
 /// to enforce this, and [`TermStore::is_value`] checks it.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Node {
     /// Variable reference.
     Var(VarId),
@@ -39,20 +44,20 @@ pub enum Node {
     /// Tensor pair `(v, w)` (sum metric).
     PairT(TermId, TermId),
     /// Left injection; carries the annotation for the *right* type.
-    Inl(TermId, Idx),
+    Inl(TermId, TyId),
     /// Right injection; carries the annotation for the *left* type.
-    Inr(TermId, Idx),
+    Inr(TermId, TyId),
     /// `λ(x : σ). e`.
-    Lam(VarId, Idx, TermId),
+    Lam(VarId, TyId, TermId),
     /// `[v]` with scaling annotation `s` — introduces `!_s`.
-    BoxIntro(Idx, TermId),
+    BoxIntro(GradeId, TermId),
     /// `rnd v`: the effectful rounding operation.
     Rnd(TermId),
     /// `ret v`: the monadic unit.
     Ret(TermId),
     /// The error value of the exceptional extension (Section 7.1), with
     /// its monadic grade and result-type annotations.
-    Err(Idx, Idx),
+    Err(GradeId, TyId),
     /// Application `v w`.
     App(TermId, TermId),
     /// Projection `π₁/π₂ v` from a Cartesian pair.
@@ -69,31 +74,60 @@ pub enum Node {
     Let(VarId, TermId, TermId),
     /// Top-level `function` definition: like `Let`, but with an optional
     /// declared type that checking validates and then assigns to the
-    /// variable (`u32::MAX` when absent).
-    LetFun(VarId, Idx, TermId, TermId),
+    /// variable.
+    LetFun(VarId, Option<TyId>, TermId, TermId),
     /// Primitive operation application `op(v)`.
     Op(Idx, TermId),
 }
 
 /// The arena holding every node of a program, plus interning tables for
-/// constants, type/grade annotations, operation names, and variable names.
-#[derive(Clone, Debug, Default)]
+/// constants and operation names and a (possibly shared) [`CoreArena`]
+/// for type/grade annotations.
+#[derive(Clone, Debug)]
 pub struct TermStore {
     nodes: Vec<Node>,
+    /// Hash-consing table: node → its id.
+    dedup: HashMap<Node, TermId>,
     consts: Vec<Rational>,
-    types: Vec<Ty>,
-    grades: Vec<Grade>,
+    const_dedup: HashMap<Rational, Idx>,
+    tys: CoreArena,
     ops: Vec<String>,
     var_names: Vec<String>,
 }
 
+impl Default for TermStore {
+    fn default() -> Self {
+        TermStore::with_arena(CoreArena::new())
+    }
+}
+
 impl TermStore {
-    /// An empty store.
+    /// An empty store with its own fresh type/grade arena.
     pub fn new() -> Self {
         TermStore::default()
     }
 
-    /// Number of nodes allocated.
+    /// An empty store sharing an existing arena, so annotation ids (and
+    /// memoized lattice queries) interchange with other stores of the
+    /// same session.
+    pub fn with_arena(tys: CoreArena) -> Self {
+        TermStore {
+            nodes: Vec::new(),
+            dedup: HashMap::new(),
+            consts: Vec::new(),
+            const_dedup: HashMap::new(),
+            tys,
+            ops: Vec::new(),
+            var_names: Vec::new(),
+        }
+    }
+
+    /// The type/grade arena this store interns annotations into.
+    pub fn tys(&self) -> &CoreArena {
+        &self.tys
+    }
+
+    /// Number of distinct nodes allocated.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
@@ -101,6 +135,12 @@ impl TermStore {
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Number of variables allocated (a strictly increasing counter, so
+    /// it also serves as a unique-name seed for generated temporaries).
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
     }
 
     /// The node behind an id.
@@ -113,14 +153,14 @@ impl TermStore {
         &self.consts[idx as usize]
     }
 
-    /// The type annotation behind an index.
-    pub fn ty(&self, idx: Idx) -> &Ty {
-        &self.types[idx as usize]
+    /// The type annotation behind an id (resolved out of the arena).
+    pub fn ty(&self, id: TyId) -> Ty {
+        self.tys.resolve(id)
     }
 
-    /// The grade annotation behind an index.
-    pub fn grade(&self, idx: Idx) -> &Grade {
-        &self.grades[idx as usize]
+    /// The grade annotation behind an id (resolved out of the arena).
+    pub fn grade(&self, id: GradeId) -> Grade {
+        self.tys.grade(id)
     }
 
     /// The operation name behind an index.
@@ -140,29 +180,26 @@ impl TermStore {
         id
     }
 
+    /// Interns a node (hash-consing: structurally identical nodes share
+    /// one id).
     fn push(&mut self, node: Node) -> TermId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
         let id = TermId(self.nodes.len() as u32);
         self.nodes.push(node);
+        self.dedup.insert(node, id);
         id
     }
 
     /// Interns a type annotation.
-    pub fn intern_ty(&mut self, t: Ty) -> Idx {
-        // Program type annotations are few; linear search keeps ids stable.
-        if let Some(i) = self.types.iter().position(|x| x == &t) {
-            return i as Idx;
-        }
-        self.types.push(t);
-        (self.types.len() - 1) as Idx
+    pub fn intern_ty(&mut self, t: Ty) -> TyId {
+        self.tys.intern(&t)
     }
 
     /// Interns a grade annotation.
-    pub fn intern_grade(&mut self, g: Grade) -> Idx {
-        if let Some(i) = self.grades.iter().position(|x| x == &g) {
-            return i as Idx;
-        }
-        self.grades.push(g);
-        (self.grades.len() - 1) as Idx
+    pub fn intern_grade(&mut self, g: Grade) -> GradeId {
+        self.tys.intern_grade(&g)
     }
 
     /// Interns an operation name.
@@ -188,8 +225,15 @@ impl TermStore {
 
     /// Numeric constant.
     pub fn num(&mut self, k: Rational) -> TermId {
-        let idx = self.consts.len() as Idx;
-        self.consts.push(k);
+        let idx = match self.const_dedup.get(&k) {
+            Some(&i) => i,
+            None => {
+                let i = self.consts.len() as Idx;
+                self.const_dedup.insert(k.clone(), i);
+                self.consts.push(k);
+                i
+            }
+        };
         self.push(Node::Const(idx))
     }
 
@@ -206,37 +250,59 @@ impl TermStore {
     /// `inl v` with the right-hand type annotation.
     pub fn inl(&mut self, v: TermId, right: Ty) -> TermId {
         let idx = self.intern_ty(right);
-        self.push(Node::Inl(v, idx))
+        self.inl_at(v, idx)
+    }
+
+    /// `inl v` with an already-interned annotation.
+    pub fn inl_at(&mut self, v: TermId, right: TyId) -> TermId {
+        self.push(Node::Inl(v, right))
     }
 
     /// `inr v` with the left-hand type annotation.
     pub fn inr(&mut self, v: TermId, left: Ty) -> TermId {
         let idx = self.intern_ty(left);
-        self.push(Node::Inr(v, idx))
+        self.inr_at(v, idx)
+    }
+
+    /// `inr v` with an already-interned annotation.
+    pub fn inr_at(&mut self, v: TermId, left: TyId) -> TermId {
+        self.push(Node::Inr(v, left))
     }
 
     /// `true = inl ⟨⟩ : bool`.
     pub fn bool_true(&mut self) -> TermId {
         let u = self.unit();
-        self.inl(u, Ty::Unit)
+        let unit_ty = self.tys.unit();
+        self.inl_at(u, unit_ty)
     }
 
     /// `false = inr ⟨⟩ : bool`.
     pub fn bool_false(&mut self) -> TermId {
         let u = self.unit();
-        self.inr(u, Ty::Unit)
+        let unit_ty = self.tys.unit();
+        self.inr_at(u, unit_ty)
     }
 
     /// `λ(x : σ). e`.
     pub fn lam(&mut self, x: VarId, ty: Ty, body: TermId) -> TermId {
         let idx = self.intern_ty(ty);
-        self.push(Node::Lam(x, idx, body))
+        self.lam_at(x, idx, body)
+    }
+
+    /// `λ(x : σ). e` with an already-interned domain.
+    pub fn lam_at(&mut self, x: VarId, ty: TyId, body: TermId) -> TermId {
+        self.push(Node::Lam(x, ty, body))
     }
 
     /// `[v]{s}`.
     pub fn box_intro(&mut self, s: Grade, v: TermId) -> TermId {
         let idx = self.intern_grade(s);
-        self.push(Node::BoxIntro(idx, v))
+        self.box_intro_at(idx, v)
+    }
+
+    /// `[v]{s}` with an already-interned grade.
+    pub fn box_intro_at(&mut self, s: GradeId, v: TermId) -> TermId {
+        self.push(Node::BoxIntro(s, v))
     }
 
     /// `rnd v`.
@@ -253,7 +319,12 @@ impl TermStore {
     pub fn err(&mut self, u: Grade, ty: Ty) -> TermId {
         let g = self.intern_grade(u);
         let t = self.intern_ty(ty);
-        self.push(Node::Err(g, t))
+        self.err_at(g, t)
+    }
+
+    /// `err` with already-interned annotations.
+    pub fn err_at(&mut self, u: GradeId, ty: TyId) -> TermId {
+        self.push(Node::Err(u, ty))
     }
 
     /// `v w`.
@@ -300,17 +371,30 @@ impl TermStore {
         body: TermId,
         rest: TermId,
     ) -> TermId {
-        let idx = match declared {
-            Some(t) => self.intern_ty(t),
-            None => u32::MAX,
-        };
-        self.push(Node::LetFun(x, idx, body, rest))
+        let idx = declared.map(|t| self.intern_ty(t));
+        self.let_fun_at(x, idx, body, rest)
+    }
+
+    /// [`TermStore::let_fun`] with an already-interned declared type.
+    pub fn let_fun_at(
+        &mut self,
+        x: VarId,
+        declared: Option<TyId>,
+        body: TermId,
+        rest: TermId,
+    ) -> TermId {
+        self.push(Node::LetFun(x, declared, body, rest))
     }
 
     /// `op(v)`.
     pub fn op(&mut self, name: &str, v: TermId) -> TermId {
         let idx = self.intern_op(name);
-        self.push(Node::Op(idx, v))
+        self.op_at(idx, v)
+    }
+
+    /// `op(v)` with an already-interned operation index.
+    pub fn op_at(&mut self, op: Idx, v: TermId) -> TermId {
+        self.push(Node::Op(op, v))
     }
 
     /// Whether every node under `root` respects Fig. 1's syntactic
@@ -442,6 +526,26 @@ mod tests {
         let o2 = s.intern_op("mul");
         assert_eq!(o1, o2);
         assert_eq!(s.op_name(o1), "mul");
+    }
+
+    #[test]
+    fn nodes_are_hash_consed() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var("x");
+        // Identical leaves and identical compounds share one id.
+        let v1 = s.var(x);
+        let v2 = s.var(x);
+        assert_eq!(v1, v2);
+        let k1 = s.num(Rational::ratio(1, 2));
+        let k2 = s.num(Rational::ratio(2, 4));
+        assert_eq!(k1, k2, "constants dedup by value");
+        let p1 = s.pair_tensor(v1, k1);
+        let p2 = s.pair_tensor(v2, k2);
+        assert_eq!(p1, p2);
+        // Different structure gets a different id.
+        let p3 = s.pair_with(v1, k1);
+        assert_ne!(p1, p3);
+        assert_eq!(s.len(), 4, "x, 1/2, (x,1/2), (|x,1/2|)");
     }
 
     #[test]

@@ -2,14 +2,19 @@
 //!
 //! [`infer_reference`] implements exactly the same algorithmic rules
 //! (Fig. 10) as [`crate::infer`], but written the obvious way: direct
-//! recursion, no explicit stack, no result-map bookkeeping, no
-//! memoization. The production checker is cross-checked against it on the
-//! whole paper corpus and on randomly generated programs; any divergence
-//! would expose a staging bug in the iterative machine.
+//! recursion, no explicit stack, no result-map bookkeeping. Like the
+//! production checker it types over interned [`TyId`]s (the memoized
+//! lattice caches in the shared [`crate::CoreArena`] serve both), so the
+//! differential tests exercise the staging of the iterative machine, not
+//! a second type representation. The production checker is cross-checked
+//! against it on the whole paper corpus and on randomly generated
+//! programs; any divergence would expose a staging bug in the iterative
+//! machine.
 //!
 //! Because it recurses, it is only suitable for modest terms (roughly
 //! depth < 10⁴); the production checker has no such limit.
 
+use crate::arena::{CoreArena, TyId, TyNode};
 use crate::check::{CheckError, Inferred};
 use crate::env::Env;
 use crate::grade::Grade;
@@ -30,14 +35,22 @@ pub fn infer_reference(
     root: TermId,
     free: &[(VarId, Ty)],
 ) -> Result<Inferred, CheckError> {
-    let mut cx = Ref { store, sig, var_tys: free.iter().map(|(v, t)| (*v, t.clone())).collect() };
-    cx.go(root)
+    let arena = store.tys().clone();
+    let mut cx = Ref {
+        store,
+        sig,
+        var_tys: free.iter().map(|(v, t)| (*v, arena.intern(t))).collect(),
+        arena,
+    };
+    let (env, ty) = cx.go(root)?;
+    Ok(Inferred { env, ty: cx.arena.resolve(ty) })
 }
 
 struct Ref<'a> {
     store: &'a TermStore,
     sig: &'a Signature,
-    var_tys: HashMap<VarId, Ty>,
+    arena: CoreArena,
+    var_tys: HashMap<VarId, TyId>,
 }
 
 impl<'a> Ref<'a> {
@@ -45,222 +58,236 @@ impl<'a> Ref<'a> {
         self.sig.rnd_grade().clone()
     }
 
-    fn go(&mut self, t: TermId) -> Result<Inferred, CheckError> {
-        match self.store.node(t).clone() {
+    fn show(&self, ty: TyId) -> Ty {
+        self.arena.resolve(ty)
+    }
+
+    fn go(&mut self, t: TermId) -> Result<(Env, TyId), CheckError> {
+        match *self.store.node(t) {
             Node::Var(x) => {
                 let ty =
-                    self.var_tys.get(&x).cloned().ok_or_else(|| {
+                    self.var_tys.get(&x).copied().ok_or_else(|| {
                         CheckError::UnboundVar(self.store.var_name(x).to_string())
                     })?;
-                Ok(Inferred { env: Env::singleton(x, Grade::one()), ty })
+                Ok((Env::singleton(x, Grade::one()), ty))
             }
-            Node::UnitVal => Ok(Inferred { env: Env::empty(), ty: Ty::Unit }),
-            Node::Const(_) => Ok(Inferred { env: Env::empty(), ty: Ty::Num }),
-            Node::Err(g, ty) => Ok(Inferred {
-                env: Env::empty(),
-                ty: Ty::monad(self.store.grade(g).clone(), self.store.ty(ty).clone()),
-            }),
+            Node::UnitVal => Ok((Env::empty(), self.arena.unit())),
+            Node::Const(_) => Ok((Env::empty(), self.arena.num())),
+            Node::Err(g, ty) => Ok((Env::empty(), self.arena.monad(g, ty))),
             Node::PairW(a, b) => {
-                let (ra, rb) = (self.go(a)?, self.go(b)?);
-                Ok(Inferred { env: ra.env.sup(rb.env), ty: Ty::with(ra.ty, rb.ty) })
+                let ((ea, ta), (eb, tb)) = (self.go(a)?, self.go(b)?);
+                Ok((ea.sup(eb), self.arena.with_ty(ta, tb)))
             }
             Node::PairT(a, b) => {
-                let (ra, rb) = (self.go(a)?, self.go(b)?);
-                Ok(Inferred { env: ra.env.add(rb.env), ty: Ty::tensor(ra.ty, rb.ty) })
+                let ((ea, ta), (eb, tb)) = (self.go(a)?, self.go(b)?);
+                Ok((ea.add(eb), self.arena.tensor(ta, tb)))
             }
             Node::Inl(v, rt) => {
-                let r = self.go(v)?;
-                Ok(Inferred { env: r.env, ty: Ty::sum(r.ty, self.store.ty(rt).clone()) })
+                let (env, ty) = self.go(v)?;
+                Ok((env, self.arena.sum(ty, rt)))
             }
             Node::Inr(v, lt) => {
-                let r = self.go(v)?;
-                Ok(Inferred { env: r.env, ty: Ty::sum(self.store.ty(lt).clone(), r.ty) })
+                let (env, ty) = self.go(v)?;
+                Ok((env, self.arena.sum(lt, ty)))
             }
-            Node::Lam(x, ann, body) => {
-                let dom = self.store.ty(ann).clone();
-                self.var_tys.insert(x, dom.clone());
-                let mut r = self.go(body)?;
-                let s = r.env.remove(x);
+            Node::Lam(x, dom, body) => {
+                self.var_tys.insert(x, dom);
+                let (mut env, ty) = self.go(body)?;
+                let s = env.remove(x);
                 if !s.le(&Grade::one()) {
                     return Err(CheckError::LambdaSensitivity {
                         var: self.store.var_name(x).to_string(),
                         got: s,
                     });
                 }
-                Ok(Inferred { env: r.env, ty: Ty::lolli(dom, r.ty) })
+                Ok((env, self.arena.lolli(dom, ty)))
             }
             Node::BoxIntro(g, v) => {
-                let r = self.go(v)?;
-                let s = self.store.grade(g).clone();
-                let env = r.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
-                Ok(Inferred { env, ty: Ty::bang(s, r.ty) })
+                let (env, ty) = self.go(v)?;
+                let s = self.store.grade(g);
+                let env = env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
+                Ok((env, self.arena.bang(g, ty)))
             }
             Node::Rnd(v) => {
-                let r = self.go(v)?;
-                if r.ty != Ty::Num {
+                let (env, ty) = self.go(v)?;
+                if ty != self.arena.num() {
                     return Err(CheckError::Expected {
                         what: "a numeric argument to rnd",
-                        found: r.ty,
+                        found: self.show(ty),
                     });
                 }
-                Ok(Inferred { env: r.env, ty: Ty::monad(self.sig.rnd_grade().clone(), Ty::Num) })
+                let rnd = self.arena.intern_grade(self.sig.rnd_grade());
+                Ok((env, self.arena.monad(rnd, self.arena.num())))
             }
             Node::Ret(v) => {
-                let r = self.go(v)?;
-                Ok(Inferred { env: r.env, ty: Ty::monad(Grade::zero(), r.ty) })
+                let (env, ty) = self.go(v)?;
+                let zero = self.arena.intern_grade(&Grade::zero());
+                Ok((env, self.arena.monad(zero, ty)))
             }
             Node::App(f, a) => {
-                let (rf, ra) = (self.go(f)?, self.go(a)?);
-                match rf.ty {
-                    Ty::Lolli(dom, cod) => {
-                        if !ra.ty.subtype(&dom) {
-                            return Err(CheckError::ArgMismatch { expected: *dom, found: ra.ty });
+                let ((ef, tf), (ea, ta)) = (self.go(f)?, self.go(a)?);
+                match self.arena.node(tf) {
+                    TyNode::Lolli(dom, cod) => {
+                        if !self.arena.subtype(ta, dom) {
+                            return Err(CheckError::ArgMismatch {
+                                expected: self.show(dom),
+                                found: self.show(ta),
+                            });
                         }
-                        Ok(Inferred { env: rf.env.add(ra.env), ty: *cod })
+                        Ok((ef.add(ea), cod))
                     }
-                    other => Err(CheckError::Expected { what: "a function", found: other }),
+                    _ => Err(CheckError::Expected { what: "a function", found: self.show(tf) }),
                 }
             }
             Node::Proj(first, v) => {
-                let r = self.go(v)?;
-                match r.ty {
-                    Ty::With(a, b) => Ok(Inferred { env: r.env, ty: if first { *a } else { *b } }),
-                    other => Err(CheckError::Expected { what: "a cartesian pair", found: other }),
+                let (env, ty) = self.go(v)?;
+                match self.arena.node(ty) {
+                    TyNode::With(a, b) => Ok((env, if first { a } else { b })),
+                    _ => {
+                        Err(CheckError::Expected { what: "a cartesian pair", found: self.show(ty) })
+                    }
                 }
             }
             Node::LetTensor(x, y, v, e) => {
-                let rv = self.go(v)?;
-                let (ta, tb) = match rv.ty.clone() {
-                    Ty::Tensor(a, b) => (*a, *b),
-                    other => {
-                        return Err(CheckError::Expected { what: "a tensor pair", found: other })
+                let (ev, tv) = self.go(v)?;
+                let (ta, tb) = match self.arena.node(tv) {
+                    TyNode::Tensor(a, b) => (a, b),
+                    _ => {
+                        return Err(CheckError::Expected {
+                            what: "a tensor pair",
+                            found: self.show(tv),
+                        })
                     }
                 };
                 self.var_tys.insert(x, ta);
                 self.var_tys.insert(y, tb);
-                let mut re = self.go(e)?;
-                let s = re.env.remove(x).sup(&re.env.remove(y));
-                let scaled = rv.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
-                Ok(Inferred { env: re.env.add(scaled), ty: re.ty })
+                let (mut ee, te) = self.go(e)?;
+                let s = ee.remove(x).sup(&ee.remove(y));
+                let scaled = ev.scale(&s).ok_or(CheckError::NonlinearGrade)?;
+                Ok((ee.add(scaled), te))
             }
             Node::Case(v, x, e1, y, e2) => {
-                let rv = self.go(v)?;
-                let (ta, tb) = match rv.ty.clone() {
-                    Ty::Sum(a, b) => (*a, *b),
-                    other => return Err(CheckError::Expected { what: "a sum", found: other }),
+                let (ev, tv) = self.go(v)?;
+                let (ta, tb) = match self.arena.node(tv) {
+                    TyNode::Sum(a, b) => (a, b),
+                    _ => return Err(CheckError::Expected { what: "a sum", found: self.show(tv) }),
                 };
                 self.var_tys.insert(x, ta);
                 self.var_tys.insert(y, tb);
-                let mut r1 = self.go(e1)?;
-                let mut r2 = self.go(e2)?;
-                let s = r1.env.remove(x).sup(&r2.env.remove(y));
+                let (mut e1env, t1) = self.go(e1)?;
+                let (mut e2env, t2) = self.go(e2)?;
+                let s = e1env.remove(x).sup(&e2env.remove(y));
                 let s_bar = if s.is_zero() { self.epsilon() } else { s };
-                let ty = r1.ty.sup(&r2.ty).ok_or(CheckError::BranchTypeMismatch {
-                    left: r1.ty.clone(),
-                    right: r2.ty.clone(),
+                let ty = self.arena.sup(t1, t2).ok_or_else(|| CheckError::BranchTypeMismatch {
+                    left: self.show(t1),
+                    right: self.show(t2),
                 })?;
-                let scaled = rv.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
-                Ok(Inferred { env: r1.env.sup(r2.env).add(scaled), ty })
+                let scaled = ev.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
+                Ok((e1env.sup(e2env).add(scaled), ty))
             }
             Node::LetBox(x, v, e) => {
-                let rv = self.go(v)?;
-                let (s, inner) = match rv.ty.clone() {
-                    Ty::Bang(s, inner) => (s, *inner),
-                    other => {
-                        return Err(CheckError::Expected { what: "a boxed value", found: other })
+                let (ev, tv) = self.go(v)?;
+                let (s, inner) = match self.arena.node(tv) {
+                    TyNode::Bang(s, inner) => (self.store.grade(s), inner),
+                    _ => {
+                        return Err(CheckError::Expected {
+                            what: "a boxed value",
+                            found: self.show(tv),
+                        })
                     }
                 };
                 self.var_tys.insert(x, inner);
-                let mut re = self.go(e)?;
-                let r = re.env.remove(x);
+                let (mut ee, te) = self.go(e)?;
+                let r = ee.remove(x);
                 let tmul = r.div_min(&s).ok_or_else(|| CheckError::BoxZeroGrade {
                     var: self.store.var_name(x).to_string(),
                 })?;
-                let scaled = rv.env.scale(&tmul).ok_or(CheckError::NonlinearGrade)?;
-                Ok(Inferred { env: re.env.add(scaled), ty: re.ty })
+                let scaled = ev.scale(&tmul).ok_or(CheckError::NonlinearGrade)?;
+                Ok((ee.add(scaled), te))
             }
             Node::LetBind(x, v, f) => {
-                let rv = self.go(v)?;
-                let (r, inner) = match rv.ty.clone() {
-                    Ty::Monad(r, inner) => (r, *inner),
-                    other => {
+                let (ev, tv) = self.go(v)?;
+                let (r, inner) = match self.arena.node(tv) {
+                    TyNode::Monad(r, inner) => (self.store.grade(r), inner),
+                    _ => {
                         return Err(CheckError::Expected {
                             what: "a monadic computation",
-                            found: other,
+                            found: self.show(tv),
                         })
                     }
                 };
                 self.var_tys.insert(x, inner);
-                let mut rf = self.go(f)?;
-                let (q, tau) = match rf.ty {
-                    Ty::Monad(q, tau) => (q, *tau),
-                    other => {
+                let (mut ef, tf) = self.go(f)?;
+                let (q, tau) = match self.arena.node(tf) {
+                    TyNode::Monad(q, tau) => (self.store.grade(q), tau),
+                    _ => {
                         return Err(CheckError::Expected {
                             what: "a monadic body in let-bind",
-                            found: other,
+                            found: self.show(tf),
                         })
                     }
                 };
-                let s = rf.env.remove(x);
+                let s = ef.remove(x);
                 let grade = s.checked_mul(&r).ok_or(CheckError::NonlinearGrade)?.add(&q);
-                let scaled = rv.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
-                Ok(Inferred { env: rf.env.add(scaled), ty: Ty::monad(grade, tau) })
+                let scaled = ev.scale(&s).ok_or(CheckError::NonlinearGrade)?;
+                let gid = self.arena.intern_grade(&grade);
+                Ok((ef.add(scaled), self.arena.monad(gid, tau)))
             }
-            Node::Let(x, e, f) | Node::LetFun(x, _, e, f) => {
-                // LetFun's declared type also gets validated here, keeping
-                // the oracle's behaviour aligned with the production rule.
-                if let Node::LetFun(_, decl, _, _) = self.store.node(t) {
-                    if *decl != u32::MAX {
-                        let re = self.go(e)?;
-                        let declared = self.store.ty(*decl).clone();
-                        if !re.ty.subtype(&declared) {
-                            return Err(CheckError::DeclaredMismatch {
-                                name: self.store.var_name(x).to_string(),
-                                declared,
-                                inferred: re.ty,
-                            });
-                        }
-                        self.var_tys.insert(x, declared);
-                        let mut rf = self.go(f)?;
-                        let s = rf.env.remove(x);
-                        let s_bar = if s.is_zero() { self.epsilon() } else { s };
-                        let scaled = re.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
-                        return Ok(Inferred { env: rf.env.add(scaled), ty: rf.ty });
-                    }
-                }
-                let re = self.go(e)?;
-                self.var_tys.insert(x, re.ty.clone());
-                let mut rf = self.go(f)?;
-                let s = rf.env.remove(x);
+            Node::Let(x, e, f) | Node::LetFun(x, None, e, f) => {
+                let (ee, te) = self.go(e)?;
+                self.var_tys.insert(x, te);
+                let (mut ef, tf) = self.go(f)?;
+                let s = ef.remove(x);
                 let s_bar = if s.is_zero() { self.epsilon() } else { s };
-                let scaled = re.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
-                Ok(Inferred { env: rf.env.add(scaled), ty: rf.ty })
+                let scaled = ee.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
+                Ok((ef.add(scaled), tf))
+            }
+            Node::LetFun(x, Some(declared), e, f) => {
+                // The declared type gets validated here too, keeping the
+                // oracle's behaviour aligned with the production rule.
+                let (ee, te) = self.go(e)?;
+                if !self.arena.subtype(te, declared) {
+                    return Err(CheckError::DeclaredMismatch {
+                        name: self.store.var_name(x).to_string(),
+                        declared: self.show(declared),
+                        inferred: self.show(te),
+                    });
+                }
+                self.var_tys.insert(x, declared);
+                let (mut ef, tf) = self.go(f)?;
+                let s = ef.remove(x);
+                let s_bar = if s.is_zero() { self.epsilon() } else { s };
+                let scaled = ee.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
+                Ok((ef.add(scaled), tf))
             }
             Node::Op(op_idx, v) => {
-                let r = self.go(v)?;
+                let (env, ty) = self.go(v)?;
                 let name = self.store.op_name(op_idx);
                 let op =
                     self.sig.op(name).ok_or_else(|| CheckError::UnknownOp(name.to_string()))?;
-                let env = if r.ty.subtype(&op.arg) {
-                    r.env
-                } else if let Ty::Bang(g, inner) = &op.arg {
-                    if r.ty.subtype(inner) {
-                        r.env.scale(g).ok_or(CheckError::NonlinearGrade)?
+                let arg = self.arena.intern(&op.arg);
+                let ret = self.arena.intern(&op.ret);
+                let env = if self.arena.subtype(ty, arg) {
+                    env
+                } else if let TyNode::Bang(g, inner) = self.arena.node(arg) {
+                    if self.arena.subtype(ty, inner) {
+                        let grade = self.store.grade(g);
+                        env.scale(&grade).ok_or(CheckError::NonlinearGrade)?
                     } else {
                         return Err(CheckError::OpArgMismatch {
                             op: name.to_string(),
-                            expected: op.arg.clone(),
-                            found: r.ty,
+                            expected: self.show(arg),
+                            found: self.show(ty),
                         });
                     }
                 } else {
                     return Err(CheckError::OpArgMismatch {
                         op: name.to_string(),
-                        expected: op.arg.clone(),
-                        found: r.ty,
+                        expected: self.show(arg),
+                        found: self.show(ty),
                     });
                 };
-                Ok(Inferred { env, ty: op.ret.clone() })
+                Ok((env, ret))
             }
         }
     }

@@ -1,0 +1,111 @@
+//! Differential property tests for the hash-consing arena: the interned
+//! subtype/`max`/`min` implementations (memoized, id-based) must agree
+//! with the boxed [`Ty`] tree implementations on random inputs, and
+//! interning must round-trip through resolution.
+
+use numfuzz_core::{CoreArena, Grade, Ty};
+use numfuzz_exact::Rational;
+use proptest::prelude::*;
+
+fn grade() -> impl Strategy<Value = Grade> {
+    prop_oneof![
+        8 => (0i64..64, 1i64..8, 0i64..64, 0i64..64).prop_map(|(c, d, e, u)| {
+            Grade::constant(Rational::ratio(c, d))
+                .add(&Grade::symbol("eps").scale(&Rational::from_int(e)))
+                .add(&Grade::symbol("u").scale(&Rational::from_int(u)))
+        }),
+        1 => Just(Grade::infinite()),
+        1 => Just(Grade::zero()),
+    ]
+}
+
+/// Small random types over a fixed shape alphabet.
+fn ty() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![Just(Ty::Num), Just(Ty::Unit)];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::tensor(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::with(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::sum(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::lolli(a, b)),
+            (grade(), inner.clone()).prop_map(|(g, t)| Ty::bang(g, t)),
+            (grade(), inner).prop_map(|(g, t)| Ty::monad(g, t)),
+        ]
+    })
+}
+
+/// A pair of types with the same shape (so sup/inf are defined): derive
+/// the second by perturbing the grades of the first.
+fn same_shape_pair() -> impl Strategy<Value = (Ty, Ty)> {
+    (ty(), grade(), grade()).prop_map(|(t, g1, g2)| {
+        let t2 = regrade(&t, &g1, &g2);
+        (t, t2)
+    })
+}
+
+fn regrade(t: &Ty, g1: &Grade, g2: &Grade) -> Ty {
+    match t {
+        Ty::Unit => Ty::Unit,
+        Ty::Num => Ty::Num,
+        Ty::Tensor(a, b) => Ty::tensor(regrade(a, g1, g2), regrade(b, g1, g2)),
+        Ty::With(a, b) => Ty::with(regrade(a, g1, g2), regrade(b, g1, g2)),
+        Ty::Sum(a, b) => Ty::sum(regrade(a, g1, g2), regrade(b, g1, g2)),
+        Ty::Lolli(a, b) => Ty::lolli(regrade(a, g1, g2), regrade(b, g1, g2)),
+        Ty::Bang(_, inner) => Ty::bang(g1.clone(), regrade(inner, g1, g2)),
+        Ty::Monad(_, inner) => Ty::monad(g2.clone(), regrade(inner, g1, g2)),
+    }
+}
+
+proptest! {
+    /// `resolve ∘ intern = id` on trees, and `intern ∘ resolve = id` on
+    /// ids — interning is a bijection between trees and arena ids.
+    #[test]
+    fn intern_resolve_round_trip(t in ty()) {
+        let arena = CoreArena::new();
+        let id = arena.intern(&t);
+        let back = arena.resolve(id);
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(arena.intern(&back), id);
+        // Structural equality is id equality: a second handle to the same
+        // arena interns the same tree to the same id.
+        prop_assert_eq!(arena.clone().intern(&t), id);
+    }
+
+    /// The memoized id-based subtype agrees with the boxed-tree subtype —
+    /// on same-shape pairs (the interesting case), in both directions,
+    /// and asked twice so the cache path is exercised too.
+    #[test]
+    fn interned_subtype_matches_boxed(p in same_shape_pair()) {
+        let (a, b) = p;
+        let arena = CoreArena::new();
+        let (ia, ib) = (arena.intern(&a), arena.intern(&b));
+        prop_assert_eq!(arena.subtype(ia, ib), a.subtype(&b));
+        prop_assert_eq!(arena.subtype(ib, ia), b.subtype(&a));
+        // Cached re-query gives the same answer.
+        prop_assert_eq!(arena.subtype(ia, ib), a.subtype(&b));
+    }
+
+    /// Arbitrary (usually shape-mismatched) pairs agree as well.
+    #[test]
+    fn interned_subtype_matches_boxed_any(a in ty(), b in ty()) {
+        let arena = CoreArena::new();
+        let (ia, ib) = (arena.intern(&a), arena.intern(&b));
+        prop_assert_eq!(arena.subtype(ia, ib), a.subtype(&b));
+    }
+
+    /// The memoized `max`/`min` lattice ops agree with the boxed ones,
+    /// including the `None` (shape mismatch) cases.
+    #[test]
+    fn interned_sup_inf_match_boxed(p in same_shape_pair(), c in ty()) {
+        let (a, b) = p;
+        let arena = CoreArena::new();
+        let (ia, ib, ic) = (arena.intern(&a), arena.intern(&b), arena.intern(&c));
+        prop_assert_eq!(arena.sup(ia, ib).map(|i| arena.resolve(i)), a.sup(&b));
+        prop_assert_eq!(arena.inf(ia, ib).map(|i| arena.resolve(i)), a.inf(&b));
+        // Against an unrelated random type (often a shape mismatch).
+        prop_assert_eq!(arena.sup(ia, ic).map(|i| arena.resolve(i)), a.sup(&c));
+        prop_assert_eq!(arena.inf(ia, ic).map(|i| arena.resolve(i)), a.inf(&c));
+        // And cached re-queries are stable.
+        prop_assert_eq!(arena.sup(ia, ib).map(|i| arena.resolve(i)), a.sup(&b));
+    }
+}

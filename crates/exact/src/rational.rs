@@ -4,6 +4,17 @@
 //! the Λnum type system, floating-point values in the softfloat substrate,
 //! and interval endpoints in the analyzers are all exact rationals, so no
 //! part of the trusted computation path depends on host floating point.
+//!
+//! # Representation
+//!
+//! A value is stored inline as a machine-word fraction `i64/u64` whenever
+//! it fits, and only promotes to a heap-allocated [`BigInt`]/[`BigUint`]
+//! pair on overflow. Grade arithmetic — small multiples of `eps = 2⁻⁵²`
+//! and friends — therefore never touches the heap, which is what makes
+//! whole-program checking allocation-free on the numeric side. The two
+//! forms are kept *canonical*: any value whose reduced numerator fits in
+//! `i64` and whose denominator fits in `u64` is always stored small, so
+//! derived equality and hashing agree across construction routes.
 
 use crate::bigint::{BigInt, Sign};
 use crate::biguint::BigUint;
@@ -26,19 +37,65 @@ use std::fmt;
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Rational {
-    num: BigInt,
-    den: BigUint,
+    repr: Repr,
+}
+
+/// Internal representation. Invariants:
+///
+/// * both variants are in lowest terms with a positive denominator;
+/// * `Big` is used **only** when the value does not fit `Small` (numerator
+///   outside `i64` or denominator outside `u64`), so structurally derived
+///   `Eq`/`Hash` are canonical.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Small { num: i64, den: u64 },
+    Big { num: BigInt, den: BigUint },
+}
+
+/// Euclid's algorithm on machine words.
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn bigint_of_i128(v: i128) -> BigInt {
+    if v == 0 {
+        return BigInt::zero();
+    }
+    let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+    BigInt::from_sign_mag(sign, BigUint::from(v.unsigned_abs()))
+}
+
+fn bigint_to_i64(n: &BigInt) -> Option<i64> {
+    let mag = n.magnitude().to_u64()?;
+    match n.sign() {
+        Sign::Zero => Some(0),
+        Sign::Plus => (mag <= i64::MAX as u64).then_some(mag as i64),
+        Sign::Minus => {
+            if mag <= i64::MAX as u64 {
+                Some(-(mag as i64))
+            } else if mag == (i64::MAX as u64) + 1 {
+                Some(i64::MIN)
+            } else {
+                None
+            }
+        }
+    }
 }
 
 impl Rational {
     /// The canonical zero.
     pub fn zero() -> Self {
-        Rational { num: BigInt::zero(), den: BigUint::one() }
+        Rational { repr: Repr::Small { num: 0, den: 1 } }
     }
 
     /// The canonical one.
     pub fn one() -> Self {
-        Rational { num: BigInt::one(), den: BigUint::one() }
+        Rational { repr: Repr::Small { num: 1, den: 1 } }
     }
 
     /// Builds `num/den` in lowest terms.
@@ -52,17 +109,51 @@ impl Rational {
         Rational::new_unsigned(num, den.into_magnitude())
     }
 
+    /// Reduces `num/den` (den > 0) and picks the canonical representation.
     fn new_unsigned(num: BigInt, den: BigUint) -> Self {
         if num.is_zero() {
             return Rational::zero();
         }
         let g = num.magnitude().gcd(&den);
         if g.is_one() {
-            Rational { num, den }
+            Rational::demote(num, den)
         } else {
             let (nq, _) = num.magnitude().div_rem(&g);
             let (dq, _) = den.div_rem(&g);
-            Rational { num: BigInt::from_sign_mag(num.sign(), nq), den: dq }
+            Rational::demote(BigInt::from_sign_mag(num.sign(), nq), dq)
+        }
+    }
+
+    /// Canonicalizes an already-reduced big pair: store small if it fits.
+    fn demote(num: BigInt, den: BigUint) -> Self {
+        if let (Some(n), Some(d)) = (bigint_to_i64(&num), den.to_u64()) {
+            return Rational { repr: Repr::Small { num: n, den: d } };
+        }
+        Rational { repr: Repr::Big { num, den } }
+    }
+
+    /// Reduces a word-sized fraction (`den > 0`) without touching the heap
+    /// unless the reduced parts overflow the small representation.
+    fn from_i128_frac(num: i128, den: u128) -> Self {
+        debug_assert!(den > 0);
+        if num == 0 {
+            return Rational::zero();
+        }
+        let g = gcd_u128(num.unsigned_abs(), den);
+        let (n, d) = (num / g as i128, den / g);
+        if let Ok(n64) = i64::try_from(n) {
+            if let Ok(d64) = u64::try_from(d) {
+                return Rational { repr: Repr::Small { num: n64, den: d64 } };
+            }
+        }
+        Rational { repr: Repr::Big { num: bigint_of_i128(n), den: BigUint::from(d) } }
+    }
+
+    /// The big-integer view of the value (clones the small form).
+    fn to_big(&self) -> (BigInt, BigUint) {
+        match &self.repr {
+            Repr::Small { num, den } => (BigInt::from(*num), BigUint::from(*den)),
+            Repr::Big { num, den } => (num.clone(), den.clone()),
         }
     }
 
@@ -72,65 +163,115 @@ impl Rational {
     ///
     /// Panics if `d == 0`.
     pub fn ratio(n: i64, d: i64) -> Self {
-        Rational::new(BigInt::from(n), BigInt::from(d))
+        assert!(d != 0, "rational with zero denominator");
+        let (n, d) =
+            if d < 0 { (-(n as i128), (d as i128).unsigned_abs()) } else { (n as i128, d as u128) };
+        Rational::from_i128_frac(n, d)
     }
 
     /// Builds the integer `n`.
     pub fn from_int(n: i64) -> Self {
-        Rational { num: BigInt::from(n), den: BigUint::one() }
+        Rational { repr: Repr::Small { num: n, den: 1 } }
     }
 
     /// `2^k` for any (possibly negative) `k`.
     pub fn pow2(k: i64) -> Self {
+        if (0..=62).contains(&k) {
+            return Rational { repr: Repr::Small { num: 1i64 << k, den: 1 } };
+        }
+        if (-63..0).contains(&k) {
+            return Rational { repr: Repr::Small { num: 1, den: 1u64 << (-k) } };
+        }
         if k >= 0 {
-            Rational { num: BigInt::one().shl_bits(k as u64), den: BigUint::one() }
+            Rational::demote(BigInt::one().shl_bits(k as u64), BigUint::one())
         } else {
-            Rational { num: BigInt::one(), den: BigUint::one().shl_bits((-k) as u64) }
+            Rational::demote(BigInt::one(), BigUint::one().shl_bits((-k) as u64))
         }
     }
 
     /// The numerator (signed, in lowest terms).
-    pub fn numer(&self) -> &BigInt {
-        &self.num
+    pub fn numer(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small { num, .. } => BigInt::from(*num),
+            Repr::Big { num, .. } => num.clone(),
+        }
     }
 
     /// The denominator (positive, in lowest terms).
-    pub fn denom(&self) -> &BigUint {
-        &self.den
+    pub fn denom(&self) -> BigUint {
+        match &self.repr {
+            Repr::Small { den, .. } => BigUint::from(*den),
+            Repr::Big { den, .. } => den.clone(),
+        }
+    }
+
+    /// Whether the value currently fits the inline machine-word form
+    /// (always true when it *can*: the representation is canonical).
+    pub fn is_small(&self) -> bool {
+        matches!(self.repr, Repr::Small { .. })
     }
 
     /// Whether the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.num.is_zero()
+        match &self.repr {
+            Repr::Small { num, .. } => *num == 0,
+            Repr::Big { num, .. } => num.is_zero(),
+        }
     }
 
     /// Whether the value is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.num.is_positive()
+        match &self.repr {
+            Repr::Small { num, .. } => *num > 0,
+            Repr::Big { num, .. } => num.is_positive(),
+        }
     }
 
     /// Whether the value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.num.is_negative()
+        match &self.repr {
+            Repr::Small { num, .. } => *num < 0,
+            Repr::Big { num, .. } => num.is_negative(),
+        }
     }
 
     /// Whether the value is an integer.
     pub fn is_integer(&self) -> bool {
-        self.den.is_one()
+        match &self.repr {
+            Repr::Small { den, .. } => *den == 1,
+            Repr::Big { den, .. } => den.is_one(),
+        }
     }
 
     /// The sign of the value.
     pub fn sign(&self) -> Sign {
-        self.num.sign()
+        match &self.repr {
+            Repr::Small { num, .. } => match num.cmp(&0) {
+                Ordering::Less => Sign::Minus,
+                Ordering::Equal => Sign::Zero,
+                Ordering::Greater => Sign::Plus,
+            },
+            Repr::Big { num, .. } => num.sign(),
+        }
     }
 
     /// `self + other`.
     pub fn add(&self, other: &Self) -> Self {
-        let num = self
-            .num
-            .mul(&BigInt::from(other.den.clone()))
-            .add(&other.num.mul(&BigInt::from(self.den.clone())));
-        Rational::new_unsigned(num, self.den.mul(&other.den))
+        if let (Repr::Small { num: an, den: ad }, Repr::Small { num: bn, den: bd }) =
+            (&self.repr, &other.repr)
+        {
+            let n1 = (*an as i128).checked_mul(*bd as i128);
+            let n2 = (*bn as i128).checked_mul(*ad as i128);
+            if let (Some(n1), Some(n2)) = (n1, n2) {
+                if let Some(n) = n1.checked_add(n2) {
+                    return Rational::from_i128_frac(n, *ad as u128 * *bd as u128);
+                }
+            }
+        }
+        let (an, ad) = self.to_big();
+        let (bn, bd) = other.to_big();
+        let num = an.mul(&BigInt::from(bd.clone())).add(&bn.mul(&BigInt::from(ad.clone())));
+        Rational::new_unsigned(num, ad.mul(&bd))
     }
 
     /// `self - other`.
@@ -140,7 +281,23 @@ impl Rational {
 
     /// `self * other`.
     pub fn mul(&self, other: &Self) -> Self {
-        Rational::new_unsigned(self.num.mul(&other.num), self.den.mul(&other.den))
+        if let (Repr::Small { num: an, den: ad }, Repr::Small { num: bn, den: bd }) =
+            (&self.repr, &other.repr)
+        {
+            // Cross-reduce first so products usually stay in one word.
+            let g1 = gcd_u128(an.unsigned_abs() as u128, *bd as u128).max(1);
+            let g2 = gcd_u128(bn.unsigned_abs() as u128, *ad as u128).max(1);
+            let n1 = *an as i128 / g1 as i128;
+            let n2 = *bn as i128 / g2 as i128;
+            let d1 = *ad as u128 / g2;
+            let d2 = *bd as u128 / g1;
+            if let (Some(n), Some(d)) = (n1.checked_mul(n2), d1.checked_mul(d2)) {
+                return Rational::from_i128_frac(n, d);
+            }
+        }
+        let (an, ad) = self.to_big();
+        let (bn, bd) = other.to_big();
+        Rational::new_unsigned(an.mul(&bn), ad.mul(&bd))
     }
 
     /// `self / other`.
@@ -150,19 +307,60 @@ impl Rational {
     /// Panics if `other` is zero.
     pub fn div(&self, other: &Self) -> Self {
         assert!(!other.is_zero(), "division by zero rational");
-        let num = self.num.mul(&BigInt::from(other.den.clone()));
-        let den = BigInt::from_sign_mag(other.num.sign(), self.den.mul(other.num.magnitude()));
+        if let (Repr::Small { num: an, den: ad }, Repr::Small { num: bn, den: bd }) =
+            (&self.repr, &other.repr)
+        {
+            // a/b ÷ c/d = (a·d)/(b·c), sign moved to the numerator.
+            let g1 = gcd_u128(an.unsigned_abs() as u128, bn.unsigned_abs() as u128).max(1);
+            let g2 = gcd_u128(*ad as u128, *bd as u128).max(1);
+            let n1 = *an as i128 / g1 as i128;
+            let d2 = *bd as u128 / g2;
+            let d1 = *ad as u128 / g2;
+            let n2 = *bn as i128 / g1 as i128;
+            let num = n1.checked_mul(d2 as i128);
+            let den = (d1 as i128).checked_mul(n2);
+            if let (Some(num), Some(den)) = (num, den) {
+                let (num, den) = if den < 0 {
+                    (num.checked_neg(), den.unsigned_abs())
+                } else {
+                    (Some(num), den as u128)
+                };
+                if let Some(num) = num {
+                    return Rational::from_i128_frac(num, den);
+                }
+            }
+        }
+        let (an, ad) = self.to_big();
+        let (bn, bd) = other.to_big();
+        let num = an.mul(&BigInt::from(bd));
+        let den = BigInt::from_sign_mag(bn.sign(), ad.mul(bn.magnitude()));
         Rational::new(num, den)
     }
 
     /// Negation.
     pub fn neg(&self) -> Self {
-        Rational { num: self.num.neg(), den: self.den.clone() }
+        match &self.repr {
+            Repr::Small { num, den } => {
+                if let Some(n) = num.checked_neg() {
+                    Rational { repr: Repr::Small { num: n, den: *den } }
+                } else {
+                    // -(i64::MIN) = 2^63 needs the big form.
+                    Rational {
+                        repr: Repr::Big { num: BigInt::from(*num).neg(), den: BigUint::from(*den) },
+                    }
+                }
+            }
+            Repr::Big { num, den } => Rational::demote(num.neg(), den.clone()),
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        if self.is_negative() {
+            self.neg()
+        } else {
+            self.clone()
+        }
     }
 
     /// Multiplicative inverse.
@@ -172,10 +370,15 @@ impl Rational {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Self {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rational::new(
-            BigInt::from_sign_mag(self.num.sign(), self.den.clone()),
-            BigInt::from(self.num.magnitude().clone()),
-        )
+        if let Repr::Small { num, den } = &self.repr {
+            let mag = num.unsigned_abs();
+            if mag <= i64::MAX as u64 {
+                let n = if *num < 0 { -(*den as i128) } else { *den as i128 };
+                return Rational::from_i128_frac(n, mag as u128);
+            }
+        }
+        let (num, den) = self.to_big();
+        Rational::demote(BigInt::from_sign_mag(num.sign(), den), num.into_magnitude())
     }
 
     /// `self^exp` for a signed exponent.
@@ -185,7 +388,8 @@ impl Rational {
     /// Panics when raising zero to a negative power.
     pub fn pow(&self, exp: i64) -> Self {
         if exp >= 0 {
-            Rational { num: self.num.pow(exp as u64), den: self.den.pow(exp as u64) }
+            let (num, den) = self.to_big();
+            Rational::demote(num.pow(exp as u64), den.pow(exp as u64))
         } else {
             self.recip().pow(-exp)
         }
@@ -193,8 +397,13 @@ impl Rational {
 
     /// `floor(self)` as an integer.
     pub fn floor(&self) -> BigInt {
-        let (q, r) = self.num.div_rem(&BigInt::from(self.den.clone()));
-        if self.num.is_negative() && !r.is_zero() {
+        if let Repr::Small { num, den } = &self.repr {
+            // div_euclid floors for positive divisors.
+            return BigInt::from((*num as i128).div_euclid(*den as i128) as i64);
+        }
+        let (num, den) = self.to_big();
+        let (q, r) = num.div_rem(&BigInt::from(den));
+        if num.is_negative() && !r.is_zero() {
             q.sub(&BigInt::one())
         } else {
             q
@@ -211,8 +420,9 @@ impl Rational {
     /// This is the primitive used by the softfloat rounding code and the
     /// enclosure routines: it extracts `k` fractional bits exactly.
     pub fn floor_mul_pow2(&self, k: i64) -> BigInt {
-        let scaled_num = if k >= 0 { self.num.shl_bits(k as u64) } else { self.num.clone() };
-        let scaled_den = if k >= 0 { self.den.clone() } else { self.den.shl_bits((-k) as u64) };
+        let (num, den) = self.to_big();
+        let scaled_num = if k >= 0 { num.shl_bits(k as u64) } else { num.clone() };
+        let scaled_den = if k >= 0 { den.clone() } else { den.shl_bits((-k) as u64) };
         let (q, r) = scaled_num.div_rem(&BigInt::from(scaled_den));
         if scaled_num.is_negative() && !r.is_zero() {
             q.sub(&BigInt::one())
@@ -227,8 +437,15 @@ impl Rational {
         if self.is_zero() {
             return 0.0;
         }
-        let num_bits = self.num.magnitude().bit_len() as i64;
-        let den_bits = self.den.bit_len() as i64;
+        if let Repr::Small { num, den } = &self.repr {
+            // Both parts exactly representable: one correctly-rounded op.
+            if num.unsigned_abs() <= (1 << 53) && *den <= (1 << 53) {
+                return *num as f64 / *den as f64;
+            }
+        }
+        let (num, den) = self.to_big();
+        let num_bits = num.magnitude().bit_len() as i64;
+        let den_bits = den.bit_len() as i64;
         // Scale so the integer quotient has ~80 significant bits.
         let shift = 80 - (num_bits - den_bits);
         let t = self.abs().floor_mul_pow2(shift);
@@ -303,8 +520,8 @@ impl Rational {
         let neg = self.is_negative();
         let q = self.abs();
         // Initial decimal-exponent estimate from digit counts.
-        let mut e = q.num.magnitude().to_decimal_string().len() as i64
-            - q.den.to_decimal_string().len() as i64;
+        let mut e = q.numer().magnitude().to_decimal_string().len() as i64
+            - q.denom().to_decimal_string().len() as i64;
         let ten = Rational::from_int(10);
         // Adjust so that 10^e <= q < 10^(e+1).
         while q < ten.pow(e) {
@@ -380,7 +597,7 @@ impl std::str::FromStr for Rational {
 
 impl From<BigInt> for Rational {
     fn from(num: BigInt) -> Self {
-        Rational { num, den: BigUint::one() }
+        Rational::demote(num, BigUint::one())
     }
 }
 
@@ -399,18 +616,30 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
-        self.num
-            .mul(&BigInt::from(other.den.clone()))
-            .cmp(&other.num.mul(&BigInt::from(self.den.clone())))
+        if let (Repr::Small { num: an, den: ad }, Repr::Small { num: bn, den: bd }) =
+            (&self.repr, &other.repr)
+        {
+            // |i64|·u64 < 2^127: the cross products always fit i128.
+            return (*an as i128 * *bd as i128).cmp(&(*bn as i128 * *ad as i128));
+        }
+        let (an, ad) = self.to_big();
+        let (bn, bd) = other.to_big();
+        an.mul(&BigInt::from(bd)).cmp(&bn.mul(&BigInt::from(ad)))
     }
 }
 
 impl fmt::Display for Rational {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.den.is_one() {
-            write!(f, "{}", self.num)
-        } else {
-            write!(f, "{}/{}", self.num, self.den)
+        match &self.repr {
+            Repr::Small { num, den: 1 } => write!(f, "{num}"),
+            Repr::Small { num, den } => write!(f, "{num}/{den}"),
+            Repr::Big { num, den } => {
+                if den.is_one() {
+                    write!(f, "{num}")
+                } else {
+                    write!(f, "{num}/{den}")
+                }
+            }
         }
     }
 }
@@ -564,5 +793,47 @@ mod tests {
         assert_eq!(rat("-123.45").to_sci_string(4), "-1.235e+02");
         assert_eq!(rat("999.96").to_sci_string(4), "1.000e+03");
         assert_eq!(rat("1").to_sci_string(1), "1e+00");
+    }
+
+    #[test]
+    fn small_values_stay_inline_and_canonical() {
+        // Common grade arithmetic never promotes.
+        assert!(Rational::pow2(-52).is_small());
+        assert!(Rational::ratio(5, 2).mul(&Rational::pow2(-52)).is_small());
+        assert!(rat("0.1").add(&rat("0.3")).is_small());
+        // A big-route construction of a small value demotes to the same
+        // canonical form (equality and hashing agree).
+        let via_big = Rational::new(BigInt::from(10i64).pow(3), BigInt::from(4i64));
+        let small = Rational::ratio(250, 1);
+        assert!(via_big.is_small());
+        assert_eq!(via_big, small);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |r: &Rational| {
+            let mut s = DefaultHasher::new();
+            r.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&via_big), h(&small));
+    }
+
+    #[test]
+    fn overflow_promotes_and_demotes() {
+        let huge = Rational::from_int(i64::MAX).mul(&Rational::from_int(3));
+        assert!(!huge.is_small());
+        // Arithmetic that shrinks back re-enters the inline form.
+        let back = huge.div(&Rational::from_int(3));
+        assert!(back.is_small());
+        assert_eq!(back, Rational::from_int(i64::MAX));
+        // Negation at the i64 boundary.
+        let min = Rational::from_int(i64::MIN);
+        let negmin = min.neg();
+        assert!(!negmin.is_small());
+        assert_eq!(negmin.neg(), min);
+        // pow2 beyond the word promotes; reciprocal relations still hold.
+        let p100 = Rational::pow2(100);
+        assert!(!p100.is_small());
+        assert_eq!(p100.recip(), Rational::pow2(-100));
+        assert_eq!(p100.mul(&Rational::pow2(-100)), Rational::one());
     }
 }

@@ -119,7 +119,7 @@ proptest! {
     fn rational_normalized(a in rational()) {
         // gcd(|num|, den) == 1 after every constructor.
         if !a.is_zero() {
-            prop_assert!(a.numer().magnitude().gcd(a.denom()).is_one());
+            prop_assert!(a.numer().magnitude().gcd(&a.denom()).is_one());
         } else {
             prop_assert!(a.denom().is_one());
         }
@@ -149,6 +149,74 @@ proptest! {
         let scaled = a.mul(&Rational::pow2(k));
         prop_assert!(fr <= scaled);
         prop_assert!(scaled < fr.add(&Rational::one()));
+    }
+
+    /// The inline small-value fast paths agree with arithmetic routed
+    /// through the big-integer constructors: `(a/b) op (c/d)` computed by
+    /// `Rational` equals the textbook big-integer formula.
+    #[test]
+    fn small_fast_paths_match_bignum_route(
+        an in any::<i64>(), ad in 1i64..=i64::MAX,
+        bn in any::<i64>(), bd in 1i64..=i64::MAX,
+    ) {
+        let a = Rational::ratio(an, ad);
+        let b = Rational::ratio(bn, bd);
+        let big = |n: i64| BigInt::from(n);
+        // a + b = (an*bd + bn*ad) / (ad*bd), built via BigInt only.
+        let sum = Rational::new(
+            big(an).mul(&big(bd)).add(&big(bn).mul(&big(ad))),
+            big(ad).mul(&big(bd)),
+        );
+        prop_assert_eq!(a.add(&b), sum);
+        // a * b = (an*bn) / (ad*bd).
+        let prod = Rational::new(big(an).mul(&big(bn)), big(ad).mul(&big(bd)));
+        prop_assert_eq!(a.mul(&b), prod);
+        // a - b and, when defined, a / b.
+        let diff = Rational::new(
+            big(an).mul(&big(bd)).sub(&big(bn).mul(&big(ad))),
+            big(ad).mul(&big(bd)),
+        );
+        prop_assert_eq!(a.sub(&b), diff);
+        if !b.is_zero() {
+            let quot = Rational::new(big(an).mul(&big(bd)), big(ad).mul(&big(bn)));
+            prop_assert_eq!(a.div(&b), quot);
+        }
+        // Ordering agrees with the big-integer cross-multiplication.
+        prop_assert_eq!(
+            a.cmp(&b),
+            big(an).mul(&big(bd)).cmp(&big(bn).mul(&big(ad)))
+        );
+    }
+
+    /// The representation is canonical: any value whose reduced parts fit
+    /// machine words is stored inline, no matter how it was built, so
+    /// equal values hash equally across construction routes.
+    #[test]
+    fn small_representation_is_canonical(n in any::<i32>(), d in 1i32..=i32::MAX, k in 1i64..1000) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let small = Rational::ratio(n as i64, d as i64);
+        // Build the same value through an unreduced big-integer route.
+        let viabig = Rational::new(
+            BigInt::from(n as i64).mul(&BigInt::from(k)),
+            BigInt::from(d as i64).mul(&BigInt::from(k)),
+        );
+        prop_assert!(small.is_small());
+        prop_assert!(viabig.is_small());
+        prop_assert_eq!(&small, &viabig);
+        let h = |r: &Rational| {
+            let mut s = DefaultHasher::new();
+            r.hash(&mut s);
+            s.finish()
+        };
+        prop_assert_eq!(h(&small), h(&viabig));
+        // Promotion round-trip: blow the value out of word range and come
+        // back; equality and canonicality survive.
+        let huge = Rational::from_int(i64::MAX).add(&Rational::one());
+        let promoted = small.add(&huge);
+        let back = promoted.sub(&huge);
+        prop_assert_eq!(&back, &small);
+        prop_assert!(back.is_small());
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl<'a> Machine<'a> {
         let mut step = Step::Eval(root);
         loop {
             step = match step {
-                Step::Eval(t) => match self.store.node(t).clone() {
+                Step::Eval(t) => match *self.store.node(t) {
                     Node::Var(x) => Step::Apply(self.lookup(x)?),
                     Node::UnitVal => Step::Apply(Value::Unit),
                     Node::Const(k) => Step::Apply(Value::num(self.store.constant(k).clone())),

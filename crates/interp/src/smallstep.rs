@@ -27,7 +27,7 @@ pub enum StepSemantics {
 /// Capture-avoiding substitution `t[v/x]` (fresh copies; binders are
 /// globally unique so no renaming is ever needed).
 pub fn subst(store: &mut TermStore, t: TermId, x: VarId, v: TermId) -> TermId {
-    match store.node(t).clone() {
+    match *store.node(t) {
         Node::Var(y) => {
             if y == x {
                 v
@@ -46,23 +46,19 @@ pub fn subst(store: &mut TermStore, t: TermId, x: VarId, v: TermId) -> TermId {
         }
         Node::Inl(w, ann) => {
             let w2 = subst(store, w, x, v);
-            let ty = store.ty(ann).clone();
-            store.inl(w2, ty)
+            store.inl_at(w2, ann)
         }
         Node::Inr(w, ann) => {
             let w2 = subst(store, w, x, v);
-            let ty = store.ty(ann).clone();
-            store.inr(w2, ty)
+            store.inr_at(w2, ann)
         }
         Node::Lam(p, ann, body) => {
             let b2 = subst(store, body, x, v);
-            let ty = store.ty(ann).clone();
-            store.lam(p, ty, b2)
+            store.lam_at(p, ann, b2)
         }
         Node::BoxIntro(g, w) => {
             let w2 = subst(store, w, x, v);
-            let grade = store.grade(g).clone();
-            store.box_intro(grade, w2)
+            store.box_intro_at(g, w2)
         }
         Node::Rnd(w) => {
             let w2 = subst(store, w, x, v);
@@ -104,13 +100,11 @@ pub fn subst(store: &mut TermStore, t: TermId, x: VarId, v: TermId) -> TermId {
         }
         Node::LetFun(a, ann, w, e) => {
             let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
-            let ty = if ann == u32::MAX { None } else { Some(store.ty(ann).clone()) };
-            store.let_fun(a, ty, w2, e2)
+            store.let_fun_at(a, ann, w2, e2)
         }
         Node::Op(op, w) => {
             let w2 = subst(store, w, x, v);
-            let name = store.op_name(op).to_string();
-            store.op(&name, w2)
+            store.op_at(op, w2)
         }
     }
 }
@@ -213,7 +207,7 @@ fn op_value(store: &mut TermStore, name: &str, arg: TermId) -> Option<TermId> {
 
 /// One step of the relation; `None` when `t` is a value or stuck.
 pub fn step(store: &mut TermStore, t: TermId, sem: StepSemantics) -> Option<TermId> {
-    match store.node(t).clone() {
+    match *store.node(t) {
         // rnd k — the Def. 4.16 refinements.
         Node::Rnd(v) => match sem {
             StepSemantics::Pure => None,
@@ -236,12 +230,12 @@ pub fn step(store: &mut TermStore, t: TermId, sem: StepSemantics) -> Option<Term
             op_value(store, &name, v)
         }
         // (λx.e) v → e[v/x].
-        Node::App(f, a) => match store.node(f).clone() {
+        Node::App(f, a) => match *store.node(f) {
             Node::Lam(x, _, body) => Some(subst(store, body, x, a)),
             _ => None,
         },
         // let (x,y) = (v,w) in e → e[v/x][w/y].
-        Node::LetTensor(x, y, v, e) => match store.node(v).clone() {
+        Node::LetTensor(x, y, v, e) => match *store.node(v) {
             Node::PairT(a, b) => {
                 let e1 = subst(store, e, x, a);
                 Some(subst(store, e1, y, b))
@@ -249,17 +243,17 @@ pub fn step(store: &mut TermStore, t: TermId, sem: StepSemantics) -> Option<Term
             _ => None,
         },
         // let [x] = [v] in e → e[v/x].
-        Node::LetBox(x, v, e) => match store.node(v).clone() {
+        Node::LetBox(x, v, e) => match *store.node(v) {
             Node::BoxIntro(_, inner) => Some(subst(store, e, x, inner)),
             _ => None,
         },
         // case (in_k v) of … → e_k[v/x].
-        Node::Case(v, x, e1, y, e2) => match store.node(v).clone() {
+        Node::Case(v, x, e1, y, e2) => match *store.node(v) {
             Node::Inl(w, _) => Some(subst(store, e1, x, w)),
             Node::Inr(w, _) => Some(subst(store, e2, y, w)),
             _ => None,
         },
-        Node::LetBind(x, v, f) => match store.node(v).clone() {
+        Node::LetBind(x, v, f) => match *store.node(v) {
             // let-bind(ret v, x.f) → f[v/x].
             Node::Ret(w) => Some(subst(store, f, x, w)),
             // let-bind(let-bind(v, y.g), x.f) → let-bind(v, y. let-bind(g, x.f))
@@ -275,9 +269,7 @@ pub fn step(store: &mut TermStore, t: TermId, sem: StepSemantics) -> Option<Term
             }
             Node::Err(g, ty) => {
                 // §7.1: let-bind(err, x.f) → err.
-                let grade = store.grade(g).clone();
-                let t = store.ty(ty).clone();
-                Some(store.err(grade, t))
+                Some(store.err_at(g, ty))
             }
             _ => None,
         },

@@ -121,7 +121,7 @@ pub fn validate(
     rnd_unit: &Rational,
 ) -> Result<SoundnessReport, SoundnessError> {
     let rnd_symbol = match sig.rnd_grade() {
-        Grade::Finite(e) if e.terms().len() == 1 => e.terms()[0].0.clone(),
+        Grade::Finite(e) if e.terms().len() == 1 => e.terms()[0].0.to_string(),
         _ => "eps".to_string(),
     };
     validate_with(store, sig, root, inputs, fp_rounding, &|s| {

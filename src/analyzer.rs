@@ -18,7 +18,10 @@
 
 use crate::diag::{Diagnostic, ErrorCode};
 use crate::program::Program;
-use numfuzz_core::{infer, FnReport, Grade, Inferred, Instantiation, Signature, Ty, VarId};
+use numfuzz_analyzers::Kernel;
+use numfuzz_core::{
+    infer, CoreArena, FnReport, Grade, Inferred, Instantiation, Signature, Ty, VarId,
+};
 use numfuzz_exact::Rational;
 use numfuzz_interp::{
     eval, report_for,
@@ -30,6 +33,12 @@ use numfuzz_softfloat::{Format, RoundingMode};
 use std::fmt;
 
 /// A configured analysis session. See the [module docs](self).
+///
+/// The session owns a hash-consing [`CoreArena`]: every program parsed or
+/// translated through this analyzer interns its types and grades into the
+/// same table, so repeated [`Analyzer::check_all`]/[`Analyzer::bound`]
+/// calls share interned ids and the memoized subtype/`max`/`min` caches.
+/// (Cloning an `Analyzer` shares the arena — clones are cheap handles.)
 #[derive(Clone, Debug)]
 pub struct Analyzer {
     sig: Signature,
@@ -39,6 +48,8 @@ pub struct Analyzer {
     /// unset, the format/mode unit roundoff.
     rnd_unit: Option<Rational>,
     sqrt_bits: u32,
+    /// The session's shared type/grade interning arena.
+    tys: CoreArena,
 }
 
 impl Default for Analyzer {
@@ -71,6 +82,13 @@ impl Analyzer {
         &self.sig
     }
 
+    /// The session's shared type/grade interning arena. Programs built
+    /// into it (e.g. via [`numfuzz_benchsuite::horner_in`]) interchange
+    /// interned ids with everything this session parses.
+    pub fn arena(&self) -> &CoreArena {
+        &self.tys
+    }
+
     /// The floating-point format of [`Analyzer::run`] / [`Analyzer::validate`].
     pub fn format(&self) -> Format {
         self.format
@@ -91,7 +109,7 @@ impl Analyzer {
     /// The name of the signature's rounding-grade symbol.
     fn rnd_symbol(&self) -> String {
         match self.sig.rnd_grade() {
-            Grade::Finite(e) if e.terms().len() == 1 => e.terms()[0].0.clone(),
+            Grade::Finite(e) if e.terms().len() == 1 => e.terms()[0].0.to_string(),
             _ => "eps".to_string(),
         }
     }
@@ -103,7 +121,7 @@ impl Analyzer {
     ///
     /// A spanned [`Diagnostic`], as [`Program::parse`].
     pub fn parse(&self, src: &str) -> Result<Program, Diagnostic> {
-        Program::parse_sig(None, src, &self.sig)
+        Program::parse_sig_in(self.tys.clone(), None, src, &self.sig)
     }
 
     /// [`Analyzer::parse`] with a file name attached to diagnostics.
@@ -112,7 +130,17 @@ impl Analyzer {
     ///
     /// See [`Analyzer::parse`].
     pub fn parse_named(&self, name: &str, src: &str) -> Result<Program, Diagnostic> {
-        Program::parse_sig(Some(name), src, &self.sig)
+        Program::parse_sig_in(self.tys.clone(), Some(name), src, &self.sig)
+    }
+
+    /// [`Program::from_kernel`] into this session's arena: the kernel's
+    /// types intern alongside everything else the session has checked.
+    ///
+    /// # Errors
+    ///
+    /// See [`Program::from_kernel`].
+    pub fn program_from_kernel(&self, kernel: &Kernel) -> Result<Program, Diagnostic> {
+        Program::from_kernel_in(self.tys.clone(), kernel)
     }
 
     /// Type-checks a program: one pass of the Fig. 10 algorithmic rules.
@@ -471,6 +499,7 @@ impl AnalyzerBuilder {
             mode: self.mode,
             rnd_unit: self.rnd_unit,
             sqrt_bits: self.sqrt_bits,
+            tys: CoreArena::new(),
         }
     }
 }

@@ -7,10 +7,17 @@
 //!                                    every function (and the program)
 //! numfuzz run   FILE [options]       run ideal + floating-point
 //!                                    semantics and verify the bound
+//! numfuzz bench [bench options]      measure check+bound throughput over
+//!                                    the benchsuite corpus, emit JSON
 //!     --prec P       precision bits (default 53)
 //!     --emax E       maximum exponent (default 1023)
 //!     --mode M       ru | rd | rz | rn (default ru)
 //!     --abs          absolute-error instantiation (default: relative)
+//! bench options:
+//!     --iters N      corpus passes to time, best-of-N (default 5)
+//!     --out FILE     where to write the JSON report (default BENCH_core.json)
+//!     --baseline F   a previous report; its nodes_per_sec is embedded and
+//!                    a speedup factor computed
 //! ```
 //!
 //! Exit codes: `0` success, `1` the program is ill-typed / violates its
@@ -75,6 +82,7 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
             let (program, analyzer) = load(rest)?;
             run(&program, &analyzer)
         }
+        "bench" => bench(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -84,8 +92,115 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
 }
 
 fn usage() -> String {
-    "usage: numfuzz <check|bound|run> FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]"
+    "usage: numfuzz <check|bound|run> FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
+     \x20      numfuzz bench [--iters N] [--out FILE] [--baseline FILE]"
         .to_string()
+}
+
+/// `numfuzz bench`: check+bound throughput over the benchsuite corpus.
+///
+/// The corpus mixes the paper's Table 3 kernels (via the IR translation),
+/// the Table 5 conditional programs (via the parser), and scaled-down
+/// Table 4 generated workloads, so the timing covers both type-heavy and
+/// grade-heavy checking. One *pass* checks and bounds every program once;
+/// the reported throughput is the best of `--iters` passes.
+fn bench(rest: &[String]) -> Result<(), Failure> {
+    let mut iters = 5usize;
+    let mut out = "BENCH_core.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--iters" => {
+                iters = value("--iters")
+                    .and_then(|v| v.parse().map_err(|e| format!("--iters: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--out" => out = value("--out").map_err(Failure::Usage)?,
+            "--baseline" => baseline = Some(value("--baseline").map_err(Failure::Usage)?),
+            other => return Err(Failure::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    if iters == 0 {
+        return Err(Failure::Usage("--iters must be at least 1".into()));
+    }
+
+    // Everything below shares the session's interning arena, exactly as
+    // a long-lived service would.
+    let analyzer = Analyzer::new();
+    let tys = || analyzer.arena().clone();
+    let mut corpus: Vec<Program> = Vec::new();
+    for b in numfuzz::benchsuite::table3() {
+        // Kernels outside the RP fragment (none today) would be skipped.
+        if let Ok(p) = analyzer.program_from_kernel(&b.kernel) {
+            corpus.push(p);
+        }
+    }
+    for b in numfuzz::benchsuite::table5() {
+        corpus.push(analyzer.parse_named(b.name, b.source)?);
+    }
+    corpus.push(Program::from_generated(numfuzz::benchsuite::horner_in(tys(), 100)));
+    corpus.push(Program::from_generated(numfuzz::benchsuite::horner_in(tys(), 2000)));
+    corpus.push(Program::from_generated(numfuzz::benchsuite::serial_sum_in(tys(), 5000)));
+    corpus.push(Program::from_generated(numfuzz::benchsuite::matrix_multiply_in(tys(), 10)));
+    corpus.push(Program::from_generated(numfuzz::benchsuite::poly_naive_in(tys(), 80)));
+
+    let total_nodes: usize = corpus.iter().map(|p| p.store().len()).sum();
+    let mut best = f64::INFINITY;
+    // One untimed pass warms caches exactly like a session reusing its
+    // arena would; timed passes then measure steady-state throughput.
+    for timed in 0..=iters {
+        let t0 = std::time::Instant::now();
+        for program in &corpus {
+            let typed = analyzer.check(program)?;
+            let _ = analyzer.bound(&typed);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if timed > 0 && dt < best {
+            best = dt;
+        }
+    }
+
+    let checks_per_sec = corpus.len() as f64 / best;
+    let nodes_per_sec = total_nodes as f64 / best;
+    let baseline_nodes_per_sec = baseline
+        .as_deref()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| Failure::Usage(format!("{path}: {e}")))?;
+            extract_json_number(&text, "nodes_per_sec")
+                .ok_or_else(|| Failure::Usage(format!("{path}: no `nodes_per_sec` field")))
+        })
+        .transpose()?;
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"harness\": \"numfuzz bench: best-of-N corpus passes of Analyzer::check + Analyzer::bound\",\n");
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!("  \"programs\": {},\n", corpus.len()));
+    json.push_str(&format!("  \"total_nodes\": {total_nodes},\n"));
+    json.push_str(&format!("  \"best_pass_seconds\": {best:.6},\n"));
+    json.push_str(&format!("  \"checks_per_sec\": {checks_per_sec:.2},\n"));
+    json.push_str(&format!("  \"nodes_per_sec\": {nodes_per_sec:.2}"));
+    if let Some(base) = baseline_nodes_per_sec {
+        json.push_str(&format!(",\n  \"baseline_nodes_per_sec\": {base:.2}"));
+        json.push_str(&format!(",\n  \"speedup\": {:.2}", nodes_per_sec / base));
+    }
+    json.push_str("\n}\n");
+    std::fs::write(&out, &json).map_err(|e| Failure::Usage(format!("{out}: {e}")))?;
+    print!("{json}");
+    Ok(())
+}
+
+/// Pulls `"key": <number>` out of a report produced by [`bench`] (the
+/// format is our own, so a full JSON parser is not needed).
+fn extract_json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))?;
+    rest[..end].parse().ok()
 }
 
 /// Parses options, reads the file, and builds the session.

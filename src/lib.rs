@@ -68,16 +68,12 @@
 #![warn(missing_docs)]
 
 mod analyzer;
-pub mod compat;
 mod diag;
 mod program;
 
 pub use analyzer::{Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, Typed};
 pub use diag::{Diagnostic, ErrorCode, Span};
 pub use program::Program;
-
-#[allow(deprecated)]
-pub use compat::{compile, infer, validate, validate_with};
 
 pub use numfuzz_analyzers as analyzers;
 pub use numfuzz_benchsuite as benchsuite;

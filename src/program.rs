@@ -8,9 +8,11 @@
 //! `TermStore` + `TermId` + free-variable lists through free functions.
 
 use crate::diag::Diagnostic;
-use numfuzz_analyzers::{kernel_to_core, Kernel};
+use numfuzz_analyzers::{kernel_to_core_in, Kernel};
 use numfuzz_benchsuite::Generated;
-use numfuzz_core::{compile, pretty_term, Instantiation, Signature, TermId, TermStore, Ty, VarId};
+use numfuzz_core::{
+    compile_in, pretty_term, CoreArena, Instantiation, Signature, TermId, TermStore, Ty, VarId,
+};
 use std::sync::Arc;
 
 /// A lowered Λnum program, ready for analysis.
@@ -66,8 +68,20 @@ impl Program {
         src: &str,
         sig: &Signature,
     ) -> Result<Self, Diagnostic> {
+        Self::parse_sig_in(CoreArena::new(), name, src, sig)
+    }
+
+    /// Parses into a store sharing the session arena `tys`, so the
+    /// session's programs interchange interned type/grade ids and reuse
+    /// the memoized subtype/`max`/`min` caches.
+    pub(crate) fn parse_sig_in(
+        tys: CoreArena,
+        name: Option<&str>,
+        src: &str,
+        sig: &Signature,
+    ) -> Result<Self, Diagnostic> {
         let lowered =
-            compile(src, sig).map_err(|e| Diagnostic::from_syntax(&e, Some(src), name))?;
+            compile_in(tys, src, sig).map_err(|e| Diagnostic::from_syntax(&e, Some(src), name))?;
         Ok(Program {
             name: name.map(String::from),
             source: Some(Arc::from(src)),
@@ -82,12 +96,19 @@ impl Program {
     /// into an open Λnum program; the kernel's inputs become free
     /// variables, in order.
     ///
+    /// For batches, prefer [`crate::Analyzer::program_from_kernel`],
+    /// which emits into the session's shared arena.
+    ///
     /// # Errors
     ///
     /// [`Diagnostic`] with [`crate::ErrorCode::Untranslatable`] for
     /// kernels outside the RP fragment (e.g. containing subtraction).
     pub fn from_kernel(kernel: &Kernel) -> Result<Self, Diagnostic> {
-        let ck = kernel_to_core(kernel).map_err(|e| {
+        Self::from_kernel_in(CoreArena::new(), kernel)
+    }
+
+    pub(crate) fn from_kernel_in(tys: CoreArena, kernel: &Kernel) -> Result<Self, Diagnostic> {
+        let ck = kernel_to_core_in(tys, kernel).map_err(|e| {
             Diagnostic::new(crate::ErrorCode::Untranslatable, e.to_string())
                 .with_file(kernel.name.clone())
         })?;

@@ -144,9 +144,11 @@ impl CoreArena {
         self.lock().ty_nodes.len()
     }
 
-    /// Whether no types beyond the pre-interned atoms exist.
+    /// Whether the arena holds no types at all — always `false` in
+    /// practice (`unit` and `num` are pre-interned), provided only to
+    /// honor the standard `len`/`is_empty` contract.
     pub fn is_empty(&self) -> bool {
-        self.len() <= 2
+        self.len() == 0
     }
 
     /// The interned `unit` type (no lock taken).

@@ -20,6 +20,7 @@ use crate::sig::Signature;
 use crate::term::{TermId, TermStore, VarId};
 use crate::ty::Ty;
 use std::collections::HashMap;
+use std::collections::HashSet;
 
 /// A lowered program: the arena plus the root term.
 #[derive(Clone, Debug)]
@@ -53,7 +54,24 @@ pub fn lower_program_in(
     prog: &SProgram,
     sig: &Signature,
 ) -> Result<Lowered, SyntaxError> {
-    let mut cx = Lowerer { store: TermStore::with_arena(arena), sig, scope: HashMap::new() };
+    let mut taken_temps = HashSet::new();
+    for def in &prog.defs {
+        note_templike(&def.name, &mut taken_temps);
+        for (p, _) in &def.params {
+            note_templike(p, &mut taken_temps);
+        }
+        collect_templike_binders(&def.body, &mut taken_temps);
+    }
+    if let Some(main) = &prog.main {
+        collect_templike_binders(main, &mut taken_temps);
+    }
+    let mut cx = Lowerer {
+        store: TermStore::with_arena(arena),
+        sig,
+        scope: HashMap::new(),
+        taken_temps,
+        next_temp: 0,
+    };
     let root = cx.program(prog)?;
     Ok(Lowered { store: cx.store, root })
 }
@@ -68,7 +86,13 @@ pub fn lower_expr_with(
     sig: &Signature,
     free: &[(String, Ty)],
 ) -> Result<(Lowered, Vec<(VarId, Ty)>), SyntaxError> {
-    let mut cx = Lowerer { store: TermStore::new(), sig, scope: HashMap::new() };
+    let mut taken_temps = HashSet::new();
+    collect_templike_binders(expr, &mut taken_temps);
+    for (name, _) in free {
+        note_templike(name, &mut taken_temps);
+    }
+    let mut cx =
+        Lowerer { store: TermStore::new(), sig, scope: HashMap::new(), taken_temps, next_temp: 0 };
     let mut frees = Vec::new();
     for (name, ty) in free {
         let v = cx.store.fresh_var(name);
@@ -84,6 +108,63 @@ struct Lowerer<'a> {
     sig: &'a Signature,
     /// Name -> stack of bindings (innermost last), for shadowing.
     scope: HashMap<String, Vec<VarId>>,
+    /// Source binder names shaped like generated temps (`_t<digits>`),
+    /// which [`Lowerer::fresh_temp`] must avoid so pretty-printed
+    /// programs re-parse without accidental capture.
+    taken_temps: HashSet<String>,
+    /// Next candidate index for a generated temp name.
+    next_temp: usize,
+}
+
+/// Whether a source identifier is shaped like a generated temp name.
+fn is_templike(name: &str) -> bool {
+    name.strip_prefix("_t")
+        .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+}
+
+fn note_templike(name: &str, out: &mut HashSet<String>) {
+    if is_templike(name) {
+        out.insert(name.to_string());
+    }
+}
+
+/// Collects every binder name shaped like a generated temp, iteratively
+/// (statement chains are tens of thousands of nodes deep).
+fn collect_templike_binders(root: &SExpr, out: &mut HashSet<String>) {
+    let mut stack = vec![root];
+    while let Some(e) = stack.pop() {
+        match e {
+            SExpr::Num(_) | SExpr::Var(_) | SExpr::True | SExpr::False | SExpr::Unit => {}
+            SExpr::PairT(a, b) | SExpr::PairW(a, b) | SExpr::App(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            SExpr::Inl(_, v)
+            | SExpr::Inr(_, v)
+            | SExpr::Rnd(v)
+            | SExpr::Ret(v)
+            | SExpr::BoxI(_, v)
+            | SExpr::Fst(v)
+            | SExpr::Snd(v) => stack.push(v),
+            SExpr::If(c, a, b) => {
+                stack.push(c);
+                stack.push(a);
+                stack.push(b);
+            }
+            SExpr::Case(v, x, e1, y, e2) => {
+                note_templike(x, out);
+                note_templike(y, out);
+                stack.push(v);
+                stack.push(e1);
+                stack.push(e2);
+            }
+            SExpr::Let(x, a, b) | SExpr::LetBind(x, a, b) | SExpr::LetBox(x, a, b) => {
+                note_templike(x, out);
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+    }
 }
 
 impl<'a> Lowerer<'a> {
@@ -320,18 +401,30 @@ impl<'a> Lowerer<'a> {
                 self.store.box_intro(g.clone(), tv)
             }
             // Not value-shaped: lower as a term and let-bind it. Temps
-            // get unique *names* (not just unique ids) so pretty-printed
-            // programs re-parse without accidental shadowing; the
-            // variable counter (unlike the hash-consed node count) is
-            // strictly increasing, so names never collide.
+            // get unique *names* (not just unique ids), distinct from
+            // every source binder shaped like `_t<digits>`, so
+            // pretty-printed programs re-parse without accidental
+            // shadowing.
             _ => {
                 let t = self.expr(e)?;
-                let v = self.store.fresh_var(&format!("_t{}", self.store.num_vars()));
+                let v = self.fresh_temp();
                 binds.push((v, t));
                 return Ok(self.store.var(v));
             }
         };
         Ok(t)
+    }
+
+    /// A fresh ANF temporary whose display name collides with neither
+    /// earlier temps nor any `_t<digits>`-shaped source binder.
+    fn fresh_temp(&mut self) -> VarId {
+        loop {
+            let name = format!("_t{}", self.next_temp);
+            self.next_temp += 1;
+            if !self.taken_temps.contains(&name) {
+                return self.store.fresh_var(&name);
+            }
+        }
     }
 
     /// Wraps pending bindings (innermost last) around a node.

@@ -305,6 +305,27 @@ mod tests {
     }
 
     #[test]
+    fn user_temp_like_names_do_not_capture() {
+        // `_t0`/`_t1` as *source* binders must not collide with generated
+        // ANF temporaries, or the hoisted statement chains would shadow
+        // each other on re-parse.
+        let sig = Signature::relative_precision();
+        let src = r#"
+            function f (x: num) : M[2*eps]num {
+                _t0 = mul (x, x);
+                let _t1 = rnd (mul (_t0, _t0));
+                rnd (mul (_t1, _t1))
+            }
+            f 2
+        "#;
+        let lowered = crate::lower::compile(src, &sig).unwrap();
+        let printed = pretty_term(&lowered.store, lowered.root, u32::MAX);
+        let again = crate::lower::compile(&printed, &sig)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        assert_eq!(printed, pretty_term(&again.store, again.root, u32::MAX));
+    }
+
+    #[test]
     fn depth_limit_truncates() {
         let sig = Signature::relative_precision();
         let src = "function f (x: num) : num { a = mul (x, x); b = mul (a, a); mul (b, b) }";

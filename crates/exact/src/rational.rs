@@ -205,6 +205,26 @@ impl Rational {
         }
     }
 
+    /// Number of significant bits of the numerator's magnitude (`0` for
+    /// zero), read without materializing a big integer. Together with
+    /// [`Rational::denom_bit_len`] this keeps exponent estimation in the
+    /// softfloat rounding path allocation-free for inline values.
+    pub fn numer_bit_len(&self) -> u64 {
+        match &self.repr {
+            Repr::Small { num, .. } => (64 - num.unsigned_abs().leading_zeros()) as u64,
+            Repr::Big { num, .. } => num.magnitude().bit_len(),
+        }
+    }
+
+    /// Number of significant bits of the denominator (always `>= 1`),
+    /// read without materializing a big integer.
+    pub fn denom_bit_len(&self) -> u64 {
+        match &self.repr {
+            Repr::Small { den, .. } => (64 - den.leading_zeros()) as u64,
+            Repr::Big { den, .. } => den.bit_len(),
+        }
+    }
+
     /// Whether the value currently fits the inline machine-word form
     /// (always true when it *can*: the representation is canonical).
     pub fn is_small(&self) -> bool {

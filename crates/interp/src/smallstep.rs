@@ -12,6 +12,7 @@
 use numfuzz_core::{Node, TermId, TermStore, VarId};
 use numfuzz_exact::Rational;
 use numfuzz_softfloat::{Format, Fp, RoundingMode};
+use std::collections::HashMap;
 
 /// Which refinement of the step relation to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,9 +25,37 @@ pub enum StepSemantics {
     Fp(Format, RoundingMode),
 }
 
-/// Capture-avoiding substitution `t[v/x]` (fresh copies; binders are
-/// globally unique so no renaming is ever needed).
+/// Capture-avoiding substitution `t[v/x]` (binders are globally unique
+/// so no renaming is ever needed). Hash-consing makes shared subterms
+/// pervasive, so results are memoized per node: the traversal is linear
+/// in *distinct* nodes even when the term is a deeply shared DAG.
 pub fn subst(store: &mut TermStore, t: TermId, x: VarId, v: TermId) -> TermId {
+    let mut memo = HashMap::new();
+    subst_memo(store, t, x, v, &mut memo)
+}
+
+fn subst_memo(
+    store: &mut TermStore,
+    t: TermId,
+    x: VarId,
+    v: TermId,
+    memo: &mut HashMap<TermId, TermId>,
+) -> TermId {
+    if let Some(&done) = memo.get(&t) {
+        return done;
+    }
+    let result = subst_node(store, t, x, v, memo);
+    memo.insert(t, result);
+    result
+}
+
+fn subst_node(
+    store: &mut TermStore,
+    t: TermId,
+    x: VarId,
+    v: TermId,
+    memo: &mut HashMap<TermId, TermId>,
+) -> TermId {
     match *store.node(t) {
         Node::Var(y) => {
             if y == x {
@@ -37,73 +66,73 @@ pub fn subst(store: &mut TermStore, t: TermId, x: VarId, v: TermId) -> TermId {
         }
         Node::UnitVal | Node::Const(_) | Node::Err(..) => t,
         Node::PairW(a, b) => {
-            let (a2, b2) = (subst(store, a, x, v), subst(store, b, x, v));
+            let (a2, b2) = (subst_memo(store, a, x, v, memo), subst_memo(store, b, x, v, memo));
             store.pair_with(a2, b2)
         }
         Node::PairT(a, b) => {
-            let (a2, b2) = (subst(store, a, x, v), subst(store, b, x, v));
+            let (a2, b2) = (subst_memo(store, a, x, v, memo), subst_memo(store, b, x, v, memo));
             store.pair_tensor(a2, b2)
         }
         Node::Inl(w, ann) => {
-            let w2 = subst(store, w, x, v);
+            let w2 = subst_memo(store, w, x, v, memo);
             store.inl_at(w2, ann)
         }
         Node::Inr(w, ann) => {
-            let w2 = subst(store, w, x, v);
+            let w2 = subst_memo(store, w, x, v, memo);
             store.inr_at(w2, ann)
         }
         Node::Lam(p, ann, body) => {
-            let b2 = subst(store, body, x, v);
+            let b2 = subst_memo(store, body, x, v, memo);
             store.lam_at(p, ann, b2)
         }
         Node::BoxIntro(g, w) => {
-            let w2 = subst(store, w, x, v);
+            let w2 = subst_memo(store, w, x, v, memo);
             store.box_intro_at(g, w2)
         }
         Node::Rnd(w) => {
-            let w2 = subst(store, w, x, v);
+            let w2 = subst_memo(store, w, x, v, memo);
             store.rnd(w2)
         }
         Node::Ret(w) => {
-            let w2 = subst(store, w, x, v);
+            let w2 = subst_memo(store, w, x, v, memo);
             store.ret(w2)
         }
         Node::App(f, a) => {
-            let (f2, a2) = (subst(store, f, x, v), subst(store, a, x, v));
+            let (f2, a2) = (subst_memo(store, f, x, v, memo), subst_memo(store, a, x, v, memo));
             store.app(f2, a2)
         }
         Node::Proj(first, w) => {
-            let w2 = subst(store, w, x, v);
+            let w2 = subst_memo(store, w, x, v, memo);
             store.proj(first, w2)
         }
         Node::LetTensor(a, b, w, e) => {
-            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            let (w2, e2) = (subst_memo(store, w, x, v, memo), subst_memo(store, e, x, v, memo));
             store.let_tensor(a, b, w2, e2)
         }
         Node::Case(w, a, e1, b, e2) => {
-            let w2 = subst(store, w, x, v);
-            let e12 = subst(store, e1, x, v);
-            let e22 = subst(store, e2, x, v);
+            let w2 = subst_memo(store, w, x, v, memo);
+            let e12 = subst_memo(store, e1, x, v, memo);
+            let e22 = subst_memo(store, e2, x, v, memo);
             store.case(w2, a, e12, b, e22)
         }
         Node::LetBox(a, w, e) => {
-            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            let (w2, e2) = (subst_memo(store, w, x, v, memo), subst_memo(store, e, x, v, memo));
             store.let_box(a, w2, e2)
         }
         Node::LetBind(a, w, e) => {
-            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            let (w2, e2) = (subst_memo(store, w, x, v, memo), subst_memo(store, e, x, v, memo));
             store.let_bind(a, w2, e2)
         }
         Node::Let(a, w, e) => {
-            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            let (w2, e2) = (subst_memo(store, w, x, v, memo), subst_memo(store, e, x, v, memo));
             store.let_in(a, w2, e2)
         }
         Node::LetFun(a, ann, w, e) => {
-            let (w2, e2) = (subst(store, w, x, v), subst(store, e, x, v));
+            let (w2, e2) = (subst_memo(store, w, x, v, memo), subst_memo(store, e, x, v, memo));
             store.let_fun_at(a, ann, w2, e2)
         }
         Node::Op(op, w) => {
-            let w2 = subst(store, w, x, v);
+            let w2 = subst_memo(store, w, x, v, memo);
             store.op_at(op, w2)
         }
     }

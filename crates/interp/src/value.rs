@@ -99,9 +99,7 @@ impl fmt::Display for Value {
             Value::Num(i) => {
                 match i.as_point() {
                     // Exact values print exactly while readable.
-                    Some(p)
-                        if p.denom().bit_len() <= 40 && p.numer().magnitude().bit_len() <= 60 =>
-                    {
+                    Some(p) if p.denom_bit_len() <= 40 && p.numer_bit_len() <= 60 => {
                         write!(f, "{p}")
                     }
                     Some(p) => write!(f, "{}", p.to_sci_string(17)),

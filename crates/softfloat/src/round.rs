@@ -95,7 +95,7 @@ impl Fp {
         let p = format.precision() as i64;
 
         // Exponent e with 2^e <= mag < 2^(e+1).
-        let mut e = mag.numer().magnitude().bit_len() as i64 - mag.denom().bit_len() as i64;
+        let mut e = mag.numer_bit_len() as i64 - mag.denom_bit_len() as i64;
         if mag < Rational::pow2(e) {
             e -= 1;
         } else if mag >= Rational::pow2(e + 1) {

@@ -187,8 +187,15 @@ impl Analyzer {
 
     /// Checks a batch of programs against the shared signature. One
     /// result per program, in order; a failure in one program does not
-    /// affect the others. The loop body is independent per program, so
-    /// callers can shard batches across threads freely.
+    /// affect the others.
+    ///
+    /// Concurrency note: checking holds the lock of the program's arena
+    /// for the duration of that program's pass, so programs sharing one
+    /// session arena serialize against each other. To shard a batch
+    /// across threads, give each thread its own session (its own
+    /// [`Analyzer`] via [`Analyzer::builder`], or programs parsed into
+    /// [`CoreArena::deep_clone`]s) — the per-session caches stay warm
+    /// within each shard and the shards never contend.
     pub fn check_all(&self, programs: &[Program]) -> Vec<Result<Typed, Diagnostic>> {
         programs.iter().map(|p| self.check(p)).collect()
     }

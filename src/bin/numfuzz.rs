@@ -165,13 +165,16 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
 
     let checks_per_sec = corpus.len() as f64 / best;
     let nodes_per_sec = total_nodes as f64 / best;
-    let baseline_nodes_per_sec = baseline
+    // The speedup compares wall time for the identically constructed
+    // corpus: node *counts* are not comparable across revisions (term
+    // hash-consing changed what one "node" means), pass seconds are.
+    let baseline_seconds = baseline
         .as_deref()
         .map(|path| {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| Failure::Usage(format!("{path}: {e}")))?;
-            extract_json_number(&text, "nodes_per_sec")
-                .ok_or_else(|| Failure::Usage(format!("{path}: no `nodes_per_sec` field")))
+            extract_json_number(&text, "best_pass_seconds")
+                .ok_or_else(|| Failure::Usage(format!("{path}: no `best_pass_seconds` field")))
         })
         .transpose()?;
 
@@ -183,9 +186,9 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     json.push_str(&format!("  \"best_pass_seconds\": {best:.6},\n"));
     json.push_str(&format!("  \"checks_per_sec\": {checks_per_sec:.2},\n"));
     json.push_str(&format!("  \"nodes_per_sec\": {nodes_per_sec:.2}"));
-    if let Some(base) = baseline_nodes_per_sec {
-        json.push_str(&format!(",\n  \"baseline_nodes_per_sec\": {base:.2}"));
-        json.push_str(&format!(",\n  \"speedup\": {:.2}", nodes_per_sec / base));
+    if let Some(base) = baseline_seconds {
+        json.push_str(&format!(",\n  \"baseline_best_pass_seconds\": {base:.6}"));
+        json.push_str(&format!(",\n  \"speedup\": {:.2}", base / best));
     }
     json.push_str("\n}\n");
     std::fs::write(&out, &json).map_err(|e| Failure::Usage(format!("{out}: {e}")))?;

@@ -10,9 +10,30 @@ use numfuzz::prelude::*;
 use numfuzz_analyzers::{analyze_interval, analyze_taylor};
 use numfuzz_bench::{fmt_time, opt_bound_string, ratio_string, rp_bound_string, PAPER_TABLE3};
 use numfuzz_benchsuite::{horner2_with_error_kernel, horner2_with_error_source, table3};
+use numfuzz_core::pool;
 use std::time::Instant;
 
 fn main() {
+    // Serial by default: this binary's whole point is its timing
+    // columns, and oversubscribed workers would inflate per-row
+    // wall-clock numbers. `--jobs N` opts into sharding when only the
+    // bounds matter.
+    let mut jobs = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--jobs" => {
+                jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("table3: --jobs needs a number");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("table3: unknown option `{other}` (usage: table3 [--jobs N])");
+                std::process::exit(2);
+            }
+        }
+    }
     let analyzer =
         Analyzer::builder().format(Format::BINARY64).mode(RoundingMode::TowardPositive).build();
 
@@ -34,10 +55,19 @@ fn main() {
         "paperGappa"
     );
 
-    let mut rows = Vec::new();
-    for b in table3() {
-        rows.push(run_ir_row(&b, &analyzer));
-    }
+    // Rows are independent (Λnum check + two baseline analyses each), so
+    // they shard across workers — one session per worker, rows collected
+    // in table order. The printed bounds are identical for every job
+    // count; only the wall-clock timing columns vary.
+    let benches = table3();
+    let (mut rows, _) = pool::ordered_map_with(
+        jobs,
+        &benches,
+        |_w| {
+            Analyzer::builder().format(Format::BINARY64).mode(RoundingMode::TowardPositive).build()
+        },
+        |analyzer, _i, b| run_ir_row(b, analyzer),
+    );
     // Horner2_with_error: Λnum from the Fig. 9 surface program, baselines
     // from the kernel with one unit of input error.
     rows.push(run_with_error_row(&analyzer));

@@ -119,6 +119,16 @@ impl CoreArena {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
+    /// An opaque identity token for the underlying table: two handles
+    /// have equal tokens **iff** [`CoreArena::same_arena`] holds. Useful
+    /// as a map key when grouping programs by session arena (the sharded
+    /// batch checker keys its per-worker [`CoreArena::deep_clone`]s this
+    /// way). The token is only meaningful while at least one handle to
+    /// the table is alive.
+    pub fn token(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
     /// A deep, independent copy of the current table (new handles to the
     /// copy do share with each other).
     pub fn deep_clone(&self) -> CoreArena {

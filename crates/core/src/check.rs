@@ -194,9 +194,31 @@ pub fn infer(
     root: TermId,
     free: &[(VarId, Ty)],
 ) -> Result<CheckResult, CheckError> {
+    infer_in(store, store.tys(), sig, root, free)
+}
+
+/// [`infer`], but resolving the store's interned annotations against
+/// `tys` instead of the store's own arena — the zero-copy sharding
+/// primitive behind parallel batch checking. `tys` must be
+/// id-compatible with `store.tys()`: the same arena, or a
+/// [`crate::CoreArena::deep_clone`] of it taken after the store's last
+/// node was built (arenas are append-only, so any such snapshot contains
+/// every id the store references). The pass locks **only** `tys`, so
+/// checks against distinct clones never contend.
+pub fn infer_in(
+    store: &TermStore,
+    tys: &crate::CoreArena,
+    sig: &Signature,
+    root: TermId,
+    free: &[(VarId, Ty)],
+) -> Result<CheckResult, CheckError> {
+    assert!(
+        tys.same_arena(store.tys()) || tys.len() >= store.tys().len(),
+        "infer_in: arena is not an id-compatible copy of the store's arena"
+    );
     // The whole pass holds the arena lock once instead of locking per
     // query; nothing below may call back through the `CoreArena` handle.
-    let mut arena = store.tys().inner();
+    let mut arena = tys.inner();
     let rnd_grade_id = arena.intern_grade(sig.rnd_grade());
     let zero_grade_id = arena.intern_grade(&Grade::zero());
     let var_tys = free.iter().map(|(v, t)| (*v, arena.intern(t))).collect();

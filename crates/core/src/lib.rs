@@ -54,6 +54,7 @@ mod grade;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod pool;
 mod pretty;
 mod sig;
 mod term;
@@ -61,7 +62,7 @@ mod ty;
 pub mod validate;
 
 pub use arena::{CoreArena, GradeId, TyId, TyNode};
-pub use check::{infer, CheckError, CheckResult, FnReport, Inferred};
+pub use check::{infer, infer_in, CheckError, CheckResult, FnReport, Inferred};
 pub use env::Env;
 pub use grade::{Grade, LinExpr, Sym};
 pub use lexer::SyntaxError;

@@ -9,7 +9,7 @@
 //!    sequencing style of the paper's examples).
 //! 2. **Scope resolution.** Names are resolved to fresh [`VarId`]s
 //!    (alpha-renaming); unbound names that match signature operations
-//!    become [`Node::Op`] applications, with automatic boxing of the
+//!    become [`Node::Op`](crate::Node::Op) applications, with automatic boxing of the
 //!    argument when the operation's domain is a `!`-type (so `sqrt x`
 //!    elaborates to `sqrt ([x]{1/2})`).
 

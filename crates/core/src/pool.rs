@@ -1,0 +1,170 @@
+//! A minimal scoped worker pool for sharded batch analysis.
+//!
+//! The build environment has no crates.io access, so this is a
+//! hand-rolled stand-in for the slice of `rayon` the engine needs: map a
+//! function over a slice on `N` worker threads and collect the results
+//! **in input order**, independent of scheduling. Work distribution is a
+//! dynamic queue (one shared atomic cursor), so a few large items and
+//! many small ones still balance across workers.
+//!
+//! Workers can carry per-worker state (created once per thread by an
+//! `init` closure) — the sharded checker uses this to give every worker
+//! its own deep-cloned [`crate::CoreArena`] so shards never contend on a
+//! session arena lock; see `Analyzer::check_batch_parallel` in the
+//! facade crate.
+//!
+//! ```
+//! use numfuzz_core::pool;
+//!
+//! let squares = pool::ordered_map(4, &[1u64, 2, 3, 4, 5], |_i, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The machine's available parallelism, or 1 when it cannot be queried.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Resolves a user-facing jobs knob against a workload: `0` means "auto"
+/// ([`default_jobs`]), and the result is clamped to `[1, items]` so a
+/// small batch never spawns idle workers.
+pub fn effective_jobs(requested: usize, items: usize) -> usize {
+    let jobs = if requested == 0 { default_jobs() } else { requested };
+    jobs.min(items).max(1)
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
+/// results in input order (deterministic regardless of scheduling).
+///
+/// `jobs == 0` means auto-detect; `jobs <= 1` (after clamping to the item
+/// count) runs inline on the caller's thread with no threads spawned. A
+/// panic in `f` propagates to the caller once all workers have stopped.
+pub fn ordered_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    ordered_map_with(jobs, items, |_| (), |(), i, item| f(i, item)).0
+}
+
+/// [`ordered_map`] with per-worker state: `init(w)` runs once on worker
+/// `w`'s thread, and each call of `f` on that worker gets `&mut` access
+/// to its state. Returns the ordered results plus every worker's final
+/// state (indexed by worker), so callers can collect per-shard
+/// accounting.
+pub fn ordered_map_with<S, T, R, I, F>(jobs: usize, items: &[T], init: I, f: F) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs, items.len());
+    if jobs <= 1 {
+        let mut state = init(0);
+        let results = items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
+        return (results, vec![state]);
+    }
+
+    // One shared cursor hands out item indices; each result is written to
+    // its own slot, so output order is input order no matter which worker
+    // claimed which item. The per-slot mutexes are never contended (each
+    // index is claimed exactly once).
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let states: Mutex<Vec<(usize, S)>> = Mutex::new(Vec::with_capacity(jobs));
+
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let (cursor, slots, states, init, f) = (&cursor, &slots, &states, &init, &f);
+            scope.spawn(move || {
+                let mut state = init(worker);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let result = f(&mut state, i, &items[i]);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                }
+                states.lock().unwrap_or_else(|e| e.into_inner()).push((worker, state));
+            });
+        }
+    });
+
+    let mut states = states.into_inner().unwrap_or_else(|e| e.into_inner());
+    states.sort_by_key(|(worker, _)| *worker);
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("pool: every item index is claimed by exactly one worker")
+        })
+        .collect();
+    (results, states.into_iter().map(|(_, state)| state).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_input_order_for_any_job_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [0, 1, 2, 3, 8, 64, 1000] {
+            assert_eq!(ordered_map(jobs, &items, |_i, x| x * 3 + 1), expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(ordered_map(8, &none, |_, x| *x).is_empty());
+        assert_eq!(ordered_map(8, &[7u8], |_, x| *x), vec![7]);
+    }
+
+    #[test]
+    fn worker_states_are_returned_per_worker() {
+        let items: Vec<usize> = (0..100).collect();
+        let (results, states) = ordered_map_with(
+            4,
+            &items,
+            |_w| 0usize,
+            |count, _i, x| {
+                *count += 1;
+                *x
+            },
+        );
+        assert_eq!(results, items);
+        assert_eq!(states.len(), 4);
+        assert_eq!(states.iter().sum::<usize>(), items.len(), "every item counted exactly once");
+    }
+
+    #[test]
+    fn dynamic_queue_balances_uneven_items() {
+        // A single huge item early must not serialize the rest behind it:
+        // with 2 workers the remaining 63 cheap items finish on the other.
+        let mut items = vec![1u64; 64];
+        items[0] = 5_000_000;
+        let (results, states) = ordered_map_with(
+            2,
+            &items,
+            |_w| 0usize,
+            |count, _i, n| {
+                *count += 1;
+                // Busy-ish work proportional to the item.
+                (0..*n).fold(0u64, |a, b| a.wrapping_add(b))
+            },
+        );
+        assert_eq!(results.len(), 64);
+        assert_eq!(states.iter().sum::<usize>(), 64);
+    }
+}

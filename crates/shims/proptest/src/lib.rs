@@ -5,10 +5,10 @@
 //! this crate vendors the subset of the proptest API the workspace's
 //! property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_filter`,
-//!   `prop_recursive` and `boxed`;
-//! * strategies for integer/float ranges, tuples, [`Just`], `any::<T>()`
-//!   and `collection::vec`;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_filter`, `prop_recursive` and `boxed`;
+//! * strategies for integer/float ranges, tuples,
+//!   [`Just`](strategy::Just), `any::<T>()` and `collection::vec`;
 //! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
 //!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros;
 //! * [`test_runner::ProptestConfig`] with `with_cases`.

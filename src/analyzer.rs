@@ -19,8 +19,9 @@
 use crate::diag::{Diagnostic, ErrorCode};
 use crate::program::Program;
 use numfuzz_analyzers::Kernel;
+use numfuzz_core::pool;
 use numfuzz_core::{
-    infer, CoreArena, FnReport, Grade, Inferred, Instantiation, Signature, Ty, VarId,
+    infer, infer_in, CoreArena, FnReport, Grade, Inferred, Instantiation, Signature, Ty, VarId,
 };
 use numfuzz_exact::Rational;
 use numfuzz_interp::{
@@ -30,9 +31,12 @@ use numfuzz_interp::{
 };
 use numfuzz_metrics::rp::rp_to_rel_bound;
 use numfuzz_softfloat::{Format, RoundingMode};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::time::{Duration, Instant};
 
-/// A configured analysis session. See the [module docs](self).
+/// A configured analysis session: signature, target format, rounding
+/// mode, rounding-unit value, and parallelism, reused across programs.
 ///
 /// The session owns a hash-consing [`CoreArena`]: every program parsed or
 /// translated through this analyzer interns its types and grades into the
@@ -48,6 +52,8 @@ pub struct Analyzer {
     /// unset, the format/mode unit roundoff.
     rnd_unit: Option<Rational>,
     sqrt_bits: u32,
+    /// Worker threads for batch entry points (1 = serial).
+    jobs: usize,
     /// The session's shared type/grade interning arena.
     tys: CoreArena,
 }
@@ -74,6 +80,7 @@ impl Analyzer {
             mode: RoundingMode::TowardPositive,
             rnd_unit: None,
             sqrt_bits: 192,
+            jobs: 1,
         }
     }
 
@@ -92,6 +99,12 @@ impl Analyzer {
     /// The floating-point format of [`Analyzer::run`] / [`Analyzer::validate`].
     pub fn format(&self) -> Format {
         self.format
+    }
+
+    /// Worker threads batch entry points use (see
+    /// [`AnalyzerBuilder::jobs`]); 1 means serial.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The rounding mode of [`Analyzer::run`] / [`Analyzer::validate`].
@@ -161,6 +174,17 @@ impl Analyzer {
         Ok(Typed { root: result.root, fns: result.fns })
     }
 
+    /// [`Analyzer::check`] resolving the program's interned annotations
+    /// against `tys` — an id-compatible deep clone of the program's
+    /// arena — so concurrent checks against distinct clones never take
+    /// the same lock.
+    fn check_in(&self, program: &Program, tys: &CoreArena) -> Result<Typed, Diagnostic> {
+        self.ensure_instantiation(program)?;
+        let result = infer_in(program.store(), tys, &self.sig, program.root(), program.free())
+            .map_err(|e| Diagnostic::from_check(&e, program.source(), program.name()))?;
+        Ok(Typed { root: result.root, fns: result.fns })
+    }
+
     /// Rejects programs lowered against another instantiation's
     /// signature with a clear diagnostic (cross-checking would only
     /// produce misleading unknown-operation errors).
@@ -189,19 +213,122 @@ impl Analyzer {
     /// result per program, in order; a failure in one program does not
     /// affect the others.
     ///
-    /// Concurrency note: checking holds the lock of the program's arena
-    /// for the duration of that program's pass, so programs sharing one
-    /// session arena serialize against each other. To shard a batch
-    /// across threads, give each thread its own session (its own
-    /// [`Analyzer`] via [`Analyzer::builder`], or programs parsed into
-    /// [`CoreArena::deep_clone`]s) — the per-session caches stay warm
-    /// within each shard and the shards never contend.
+    /// Runs on the session's configured worker count
+    /// ([`AnalyzerBuilder::jobs`], default 1 = serial); the output is
+    /// identical for every job count. See
+    /// [`Analyzer::check_batch_parallel`] for how the parallel path
+    /// shards arenas.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    ///
+    /// let analyzer = Analyzer::builder().jobs(4).build();
+    /// let programs = vec![
+    ///     analyzer.parse("rnd 1")?,
+    ///     analyzer.parse("ret ()")?,
+    ///     analyzer.parse("2 3")?, // parses, but does not type-check
+    /// ];
+    /// let results = analyzer.check_all(&programs);
+    /// assert!(results[0].is_ok() && results[1].is_ok());
+    /// assert_eq!(results[2].as_ref().unwrap_err().code, ErrorCode::Shape);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     pub fn check_all(&self, programs: &[Program]) -> Vec<Result<Typed, Diagnostic>> {
-        programs.iter().map(|p| self.check(p)).collect()
+        self.check_batch_parallel(programs, self.jobs)
+    }
+
+    /// [`Analyzer::check_all`] with an explicit worker count, overriding
+    /// the session's [`AnalyzerBuilder::jobs`] setting (`0` = one worker
+    /// per available core).
+    ///
+    /// The batch is sharded so workers never contend on an arena lock:
+    /// each worker takes programs off a shared queue, and the first time
+    /// it meets a program whose [`Program::arena`] is shared with another
+    /// program of the batch, it deep-clones that arena once and rebinds
+    /// the worker's copy of the program to the clone. Arenas are
+    /// append-only, so the clone contains every id the program
+    /// references; programs whose arena nobody else in the batch uses are
+    /// checked in place, clone-free. Results are collected by input
+    /// index, so the output is byte-identical to the serial path
+    /// regardless of scheduling.
+    pub fn check_batch_parallel(
+        &self,
+        programs: &[Program],
+        jobs: usize,
+    ) -> Vec<Result<Typed, Diagnostic>> {
+        self.check_batch_sharded(programs, jobs).0
+    }
+
+    /// [`Analyzer::check_batch_parallel`] plus per-shard accounting (how
+    /// many programs each worker checked and for how long) — the
+    /// instrumentation behind `numfuzz bench --jobs`.
+    pub fn check_batch_sharded(
+        &self,
+        programs: &[Program],
+        jobs: usize,
+    ) -> (Vec<Result<Typed, Diagnostic>>, Vec<ShardReport>) {
+        let jobs = pool::effective_jobs(jobs, programs.len());
+        if jobs <= 1 {
+            let t0 = Instant::now();
+            let results = programs.iter().map(|p| self.check(p)).collect();
+            let report = ShardReport { shard: 0, programs: programs.len(), busy: t0.elapsed() };
+            return (results, vec![report]);
+        }
+
+        // Only arenas actually shared within this batch force a clone;
+        // a program with a private arena cannot contend with anyone.
+        let mut uses: HashMap<usize, usize> = HashMap::new();
+        for p in programs {
+            *uses.entry(p.arena().token()).or_default() += 1;
+        }
+        let contended: HashSet<usize> =
+            uses.into_iter().filter(|&(_, n)| n > 1).map(|(t, _)| t).collect();
+
+        struct Shard {
+            clones: HashMap<usize, CoreArena>,
+            checked: usize,
+            busy: Duration,
+        }
+        let (results, shards) = pool::ordered_map_with(
+            jobs,
+            programs,
+            |_worker| Shard { clones: HashMap::new(), checked: 0, busy: Duration::ZERO },
+            |shard, _i, program| {
+                let t0 = Instant::now();
+                let token = program.arena().token();
+                let result = if contended.contains(&token) {
+                    let arena =
+                        shard.clones.entry(token).or_insert_with(|| program.arena().deep_clone());
+                    self.check_in(program, arena)
+                } else {
+                    self.check(program)
+                };
+                shard.checked += 1;
+                shard.busy += t0.elapsed();
+                result
+            },
+        );
+        let reports = shards
+            .into_iter()
+            .enumerate()
+            .map(|(shard, s)| ShardReport { shard, programs: s.checked, busy: s.busy })
+            .collect();
+        (results, reports)
     }
 
     /// The eq. (8) error bound of a checked program's *root* type, with
     /// the rounding symbol at [`Analyzer::rounding_unit`].
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    ///
+    /// let analyzer = Analyzer::new(); // binary64, round toward +∞
+    /// let typed = analyzer.check(&analyzer.parse("rnd 1.5")?)?;
+    /// let bound = analyzer.bound(&typed)?;
+    /// assert_eq!(bound.grade.to_string(), "eps");
+    /// assert_eq!(bound.relative.unwrap().to_sci_string(3), "2.22e-16");
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -451,6 +578,7 @@ pub struct AnalyzerBuilder {
     mode: RoundingMode,
     rnd_unit: Option<Rational>,
     sqrt_bits: u32,
+    jobs: usize,
 }
 
 impl AnalyzerBuilder {
@@ -494,6 +622,16 @@ impl AnalyzerBuilder {
         self
     }
 
+    /// Worker threads for batch entry points ([`Analyzer::check_all`]):
+    /// `1` (the default) is serial, `0` means one worker per available
+    /// core, anything else is an explicit shard count. Results are
+    /// identical for every setting — parallelism changes wall time, not
+    /// output.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Finishes the session.
     pub fn build(self) -> Analyzer {
         let sig = self.sig.unwrap_or_else(|| match self.instantiation {
@@ -506,9 +644,29 @@ impl AnalyzerBuilder {
             mode: self.mode,
             rnd_unit: self.rnd_unit,
             sqrt_bits: self.sqrt_bits,
+            jobs: self.jobs,
             tys: CoreArena::new(),
         }
     }
+}
+
+/// Per-shard accounting from one [`Analyzer::check_batch_sharded`] pass:
+/// which worker it was, how many programs it checked (the pool hands out
+/// work dynamically, so counts vary with load), and how long it spent
+/// checking.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Worker index, `0..jobs`.
+    pub shard: usize,
+    /// Programs this worker checked.
+    pub programs: usize,
+    /// Wall-clock time this worker spent on its programs, **including**
+    /// its one-time [`CoreArena::deep_clone`] of each contended arena
+    /// (the setup is part of the shard's real cost). On an
+    /// oversubscribed machine (more workers than free cores) it also
+    /// includes time the worker was descheduled, so shard `busy` sums
+    /// can exceed the batch's wall time.
+    pub busy: Duration,
 }
 
 /// A successfully checked program: the root judgment plus per-`function`
@@ -597,6 +755,24 @@ pub struct Execution {
 }
 
 /// Input values for a program's free variables, by name and/or position.
+///
+/// Parsed programs are closed (no inputs); programs imported from IR
+/// kernels ([`Program::from_kernel`]) or generated
+/// ([`Program::from_generated`]) expose their inputs as free variables:
+///
+/// ```
+/// use numfuzz::benchsuite::table3;
+/// use numfuzz::prelude::*;
+///
+/// let bench = &table3()[0]; // hypot(x, y)
+/// let program = Program::from_kernel(&bench.kernel)?;
+/// let inputs = Inputs::positional(
+///     bench.samples[0].iter().map(|q| Value::num(q.clone())),
+/// );
+/// let report = Analyzer::new().validate(&program, &inputs)?;
+/// assert!(report.holds());
+/// # Ok::<(), numfuzz::Diagnostic>(())
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct Inputs {
     positional: Vec<Value>,

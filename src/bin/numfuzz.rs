@@ -7,12 +7,16 @@
 //!                                    every function (and the program)
 //! numfuzz run   FILE [options]       run ideal + floating-point
 //!                                    semantics and verify the bound
+//! numfuzz batch DIR [options]        check + bound every .nf file under
+//!                                    DIR concurrently (ordered output)
 //! numfuzz bench [bench options]      measure check+bound throughput over
 //!                                    the benchsuite corpus, emit JSON
 //!     --prec P       precision bits (default 53)
 //!     --emax E       maximum exponent (default 1023)
 //!     --mode M       ru | rd | rz | rn (default ru)
 //!     --abs          absolute-error instantiation (default: relative)
+//!     --jobs N       batch/bench: worker threads (0 = one per core;
+//!                    default: all cores for batch, 1 for bench)
 //! bench options:
 //!     --iters N      corpus passes to time, best-of-N (default 5)
 //!     --out FILE     where to write the JSON report (default BENCH_core.json)
@@ -35,6 +39,9 @@ const EXIT_USAGE: u8 = 2;
 enum Failure {
     /// The analyzed program is at fault: spanned diagnostic, exit 1.
     Program(Diagnostic),
+    /// Some programs of a batch failed (their diagnostics were already
+    /// printed): summary message, exit 1.
+    Batch(String),
     /// The invocation is at fault: message + usage, exit 2.
     Usage(String),
 }
@@ -57,6 +64,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(Failure::Program(d)) => {
             eprintln!("{}", d.render());
+            ExitCode::from(EXIT_PROGRAM)
+        }
+        Err(Failure::Batch(msg)) => {
+            eprintln!("numfuzz: {msg}");
             ExitCode::from(EXIT_PROGRAM)
         }
         Err(Failure::Usage(msg)) => {
@@ -82,6 +93,7 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
             let (program, analyzer) = load(rest)?;
             run(&program, &analyzer)
         }
+        "batch" => batch(rest),
         "bench" => bench(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -93,8 +105,117 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
 
 fn usage() -> String {
     "usage: numfuzz <check|bound|run> FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
-     \x20      numfuzz bench [--iters N] [--out FILE] [--baseline FILE]"
+     \x20      numfuzz batch DIR [--jobs N] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
+     \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE]"
         .to_string()
+}
+
+/// `numfuzz batch DIR`: check and bound every `.nf` file under `DIR`
+/// (recursively), sharded across `--jobs` worker threads — each worker
+/// is its own session with its own arena, so workers never contend.
+/// Output is printed in sorted-path order whatever the scheduling, so a
+/// batch run is byte-for-byte reproducible across job counts.
+fn batch(rest: &[String]) -> Result<(), Failure> {
+    let dir = rest.first().ok_or_else(|| Failure::Usage("missing DIR argument".into()))?;
+    let (opts, jobs) = parse_opts_with_jobs(&rest[1..]).map_err(Failure::Usage)?;
+    let jobs = jobs.unwrap_or(0); // batch defaults to one worker per core
+
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    collect_nf_files(std::path::Path::new(dir), &mut files)
+        .map_err(|e| Failure::Usage(format!("{dir}: {e}")))?;
+    if files.is_empty() {
+        return Err(Failure::Usage(format!("no .nf files under `{dir}`")));
+    }
+    files.sort();
+
+    // One analyzer session per worker: parse, check, and bound all
+    // happen against shard-local arenas.
+    let (reports, _) = numfuzz::core::pool::ordered_map_with(
+        jobs,
+        &files,
+        |_worker| {
+            Analyzer::builder()
+                .signature(opts.instantiation)
+                .format(opts.format)
+                .mode(opts.mode)
+                .build()
+        },
+        |analyzer, _i, path| batch_one(analyzer, path),
+    );
+
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for report in &reports {
+        match report {
+            Ok((line, true)) => {
+                ok += 1;
+                println!("{line}");
+            }
+            Ok((rendered, false)) => {
+                failed += 1;
+                println!("{rendered}");
+            }
+            Err(io) => return Err(Failure::Usage(io.clone())),
+        }
+    }
+    println!("{} programs: {ok} ok, {failed} failed", reports.len());
+    if failed > 0 {
+        return Err(Failure::Batch(format!(
+            "{failed} of {} programs under `{dir}` failed",
+            reports.len()
+        )));
+    }
+    Ok(())
+}
+
+/// [`parse_opts`] plus the batch/bench `--jobs N` knob (`None` when the
+/// flag is absent, so each command picks its own default).
+fn parse_opts_with_jobs(rest: &[String]) -> Result<(Opts, Option<usize>), String> {
+    let mut jobs = None;
+    let mut passthrough = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--jobs" {
+            let v = it.next().ok_or("--jobs needs a value")?;
+            jobs = Some(v.parse().map_err(|e| format!("--jobs: {e}"))?);
+        } else {
+            passthrough.push(flag.clone());
+        }
+    }
+    Ok((parse_opts(&passthrough)?, jobs))
+}
+
+/// One file of a [`batch`] run: `Ok((line, true))` for a checked program
+/// (its type and, when monadic, its eq. 8 bound), `Ok((diagnostic,
+/// false))` for a program error, `Err(message)` for an I/O failure.
+fn batch_one(analyzer: &mut Analyzer, path: &std::path::Path) -> Result<(String, bool), String> {
+    let shown = path.display();
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{shown}: {e}"))?;
+    let checked =
+        analyzer.parse_named(&shown.to_string(), &src).and_then(|program| analyzer.check(&program));
+    Ok(match checked {
+        Ok(typed) => match analyzer.bound_of_ty(typed.ty()) {
+            Some(bound) => (format!("{shown}: {} — {bound}", typed.ty()), true),
+            None => (format!("{shown}: {}", typed.ty()), true),
+        },
+        Err(d) => (d.render(), false),
+    })
+}
+
+/// Recursively collects `.nf` files under `dir`.
+fn collect_nf_files(
+    dir: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_nf_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "nf") {
+            out.push(path);
+        }
+    }
+    Ok(())
 }
 
 /// `numfuzz bench`: check+bound throughput over the benchsuite corpus.
@@ -106,6 +227,7 @@ fn usage() -> String {
 /// the reported throughput is the best of `--iters` passes.
 fn bench(rest: &[String]) -> Result<(), Failure> {
     let mut iters = 5usize;
+    let mut jobs = 1usize;
     let mut out = "BENCH_core.json".to_string();
     let mut baseline: Option<String> = None;
     let mut it = rest.iter();
@@ -118,6 +240,11 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
                     .and_then(|v| v.parse().map_err(|e| format!("--iters: {e}")))
                     .map_err(Failure::Usage)?
             }
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .and_then(|v| v.parse().map_err(|e| format!("--jobs: {e}")))
+                    .map_err(Failure::Usage)?
+            }
             "--out" => out = value("--out").map_err(Failure::Usage)?,
             "--baseline" => baseline = Some(value("--baseline").map_err(Failure::Usage)?),
             other => return Err(Failure::Usage(format!("unknown option `{other}`"))),
@@ -126,6 +253,7 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     if iters == 0 {
         return Err(Failure::Usage("--iters must be at least 1".into()));
     }
+    let jobs = if jobs == 0 { numfuzz::core::pool::default_jobs() } else { jobs };
 
     // Everything below shares the session's interning arena, exactly as
     // a long-lived service would.
@@ -149,19 +277,61 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
 
     let total_nodes: usize = corpus.iter().map(|p| p.store().len()).sum();
     let mut best = f64::INFINITY;
+    let mut serial_results: Vec<Result<Typed, Diagnostic>> = Vec::new();
     // One untimed pass warms caches exactly like a session reusing its
     // arena would; timed passes then measure steady-state throughput.
+    // The timed region is check + bound only (same harness as every
+    // previous report, so --baseline comparisons stay meaningful);
+    // rendering for the byte-identical comparison happens after the
+    // clock stops.
     for timed in 0..=iters {
         let t0 = std::time::Instant::now();
+        let mut pass = Vec::with_capacity(corpus.len());
         for program in &corpus {
             let typed = analyzer.check(program)?;
             let _ = analyzer.bound(&typed);
+            pass.push(Ok(typed));
         }
         let dt = t0.elapsed().as_secs_f64();
         if timed > 0 && dt < best {
             best = dt;
         }
+        serial_results = pass;
     }
+    let serial_rendered: Vec<String> =
+        serial_results.iter().map(|r| render_check(&analyzer, r)).collect();
+
+    // The parallel measurement: same corpus, same session, same timed
+    // work (check + bound), sharded across workers. Results must be
+    // byte-identical to the serial pass.
+    let parallel = (jobs > 1)
+        .then(|| {
+            let mut p_best = f64::INFINITY;
+            let mut shards: Vec<ShardReport> = Vec::new();
+            let mut p_results: Vec<Result<Typed, Diagnostic>> = Vec::new();
+            for _ in 0..iters {
+                let t0 = std::time::Instant::now();
+                let (results, pass_shards) = analyzer.check_batch_sharded(&corpus, jobs);
+                for typed in results.iter().flatten() {
+                    let _ = analyzer.bound(typed);
+                }
+                let dt = t0.elapsed().as_secs_f64();
+                if dt < p_best {
+                    p_best = dt;
+                    shards = pass_shards;
+                }
+                p_results = results;
+            }
+            let rendered: Vec<String> =
+                p_results.iter().map(|r| render_check(&analyzer, r)).collect();
+            if rendered != serial_rendered {
+                return Err(Failure::Usage(
+                    "parallel results differ from serial results (engine bug)".into(),
+                ));
+            }
+            Ok((p_best, shards))
+        })
+        .transpose()?;
 
     let checks_per_sec = corpus.len() as f64 / best;
     let nodes_per_sec = total_nodes as f64 / best;
@@ -181,6 +351,10 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     let mut json = String::from("{\n");
     json.push_str("  \"harness\": \"numfuzz bench: best-of-N corpus passes of Analyzer::check + Analyzer::bound\",\n");
     json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    // Parallel numbers are only meaningful relative to the cores the
+    // machine actually has (a 1-core box cannot show a speedup).
+    json.push_str(&format!("  \"cores\": {},\n", numfuzz::core::pool::default_jobs()));
     json.push_str(&format!("  \"programs\": {},\n", corpus.len()));
     json.push_str(&format!("  \"total_nodes\": {total_nodes},\n"));
     json.push_str(&format!("  \"best_pass_seconds\": {best:.6},\n"));
@@ -190,10 +364,46 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
         json.push_str(&format!(",\n  \"baseline_best_pass_seconds\": {base:.6}"));
         json.push_str(&format!(",\n  \"speedup\": {:.2}", base / best));
     }
+    if let Some((p_best, shards)) = &parallel {
+        json.push_str(",\n  \"parallel\": {\n");
+        json.push_str(&format!("    \"jobs\": {jobs},\n"));
+        json.push_str(&format!("    \"best_pass_seconds\": {p_best:.6},\n"));
+        json.push_str(&format!("    \"checks_per_sec\": {:.2},\n", corpus.len() as f64 / p_best));
+        json.push_str(&format!("    \"nodes_per_sec\": {:.2},\n", total_nodes as f64 / p_best));
+        json.push_str(&format!("    \"speedup_vs_serial\": {:.2},\n", best / p_best));
+        json.push_str("    \"matches_serial\": true,\n");
+        json.push_str("    \"shards\": [\n");
+        for (i, s) in shards.iter().enumerate() {
+            let busy = s.busy.as_secs_f64();
+            let rate = if busy > 0.0 { s.programs as f64 / busy } else { 0.0 };
+            json.push_str(&format!(
+                "      {{\"shard\": {}, \"programs\": {}, \"busy_seconds\": {:.6}, \"checks_per_sec\": {:.2}}}{}\n",
+                s.shard,
+                s.programs,
+                busy,
+                rate,
+                if i + 1 < shards.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("    ]\n  }");
+    }
     json.push_str("\n}\n");
     std::fs::write(&out, &json).map_err(|e| Failure::Usage(format!("{out}: {e}")))?;
     print!("{json}");
     Ok(())
+}
+
+/// Renders one corpus result the same way for the serial and parallel
+/// bench passes, so the byte-identical comparison is meaningful: the
+/// inferred type plus its eq. (8) bound, or the rendered diagnostic.
+fn render_check(analyzer: &Analyzer, result: &Result<Typed, Diagnostic>) -> String {
+    match result {
+        Ok(typed) => match analyzer.bound_of_ty(typed.ty()) {
+            Some(bound) => format!("{} — {bound}", typed.ty()),
+            None => typed.ty().to_string(),
+        },
+        Err(d) => d.render(),
+    }
 }
 
 /// Pulls `"key": <number>` out of a report produced by [`bench`] (the

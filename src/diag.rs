@@ -24,48 +24,265 @@ pub struct Span {
 /// Stable error codes, grouped by pipeline stage:
 /// `E00xx` syntax/lowering, `E01xx` type checking, `E02xx`
 /// evaluation/validation, `E03xx` API usage (inputs, translation).
+///
+/// # Catalog
+///
+/// | code | variant | stage |
+/// |---|---|---|
+/// | `E0001` | [`ErrorCode::Syntax`] | parse |
+/// | `E0002` | [`ErrorCode::UnboundName`] | lower |
+/// | `E0003` | [`ErrorCode::MisusedOp`] | lower |
+/// | `E0101` | [`ErrorCode::UnknownOp`] | check |
+/// | `E0102` | [`ErrorCode::Shape`] | check |
+/// | `E0103` | [`ErrorCode::ArgMismatch`] | check |
+/// | `E0104` | [`ErrorCode::OpArgMismatch`] | check |
+/// | `E0105` | [`ErrorCode::LambdaSensitivity`] | check |
+/// | `E0106` | [`ErrorCode::NonlinearGrade`] | check |
+/// | `E0107` | [`ErrorCode::BoxZeroGrade`] | check |
+/// | `E0108` | [`ErrorCode::BranchMismatch`] | check |
+/// | `E0109` | [`ErrorCode::GradeMismatch`] | check |
+/// | `E0201` | [`ErrorCode::NotMonadicNum`] | bound/validate |
+/// | `E0202` | [`ErrorCode::UnresolvedGrade`] | bound/validate |
+/// | `E0203` | [`ErrorCode::EvalFailed`] | run |
+/// | `E0204` | [`ErrorCode::BoundViolated`] | run/validate |
+/// | `E0301` | [`ErrorCode::BadInput`] | inputs |
+/// | `E0302` | [`ErrorCode::Untranslatable`] | kernel import |
+/// | `E0303` | [`ErrorCode::SignatureMismatch`] | session misuse |
+///
+/// Every variant's documentation below carries a compiled example that
+/// actually triggers it (except `E0204`, which by the soundness theorem
+/// has no triggering program).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ErrorCode {
     /// `E0001` — lexical or grammatical error in the surface syntax.
+    ///
+    /// ```
+    /// use numfuzz::{ErrorCode, Program};
+    /// let err = Program::parse("function (").unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::Syntax);
+    /// ```
     Syntax,
     /// `E0002` — a name is not in scope.
+    ///
+    /// ```
+    /// use numfuzz::{ErrorCode, Program};
+    /// let err = Program::parse("x").unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::UnboundName);
+    /// ```
     UnboundName,
-    /// `E0003` — a primitive operation used in a non-applied position.
+    /// `E0003` — a primitive operation used in a non-applied position
+    /// (operations are not first-class; wrap them in a `function`).
+    ///
+    /// ```
+    /// use numfuzz::{ErrorCode, Program};
+    /// let err = Program::parse("add").unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::MisusedOp);
+    /// ```
     MisusedOp,
-    /// `E0101` — an operation name is not in the signature.
+    /// `E0101` — an operation name is not in the signature. Parsed
+    /// programs can only hit this when checked against a *different*
+    /// signature of the same instantiation (unknown names fail at
+    /// lowering otherwise):
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// use numfuzz::core::Signature;
+    ///
+    /// let extended = Signature::relative_precision().with_op("cube", Ty::Num, Ty::Num);
+    /// let rich = Analyzer::builder().custom_signature(extended).build();
+    /// let program = rich.parse("s = cube 2; rnd s")?;
+    /// // A plain session has no `cube`:
+    /// let err = Analyzer::new().check(&program).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::UnknownOp);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     UnknownOp,
-    /// `E0102` — a term's type has the wrong shape for its context.
+    /// `E0102` — a term's type has the wrong shape for its context
+    /// (applying a non-function, projecting a non-pair, ...).
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let err = analyzer.check(&analyzer.parse("2 3")?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::Shape);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     Shape,
     /// `E0103` — a function argument is not a subtype of the domain.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let program = analyzer.parse("function f (x: num) : num { x }\nf ()")?;
+    /// let err = analyzer.check(&program).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::ArgMismatch);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     ArgMismatch,
     /// `E0104` — an operation argument does not match the signature.
+    /// The classic trip-up: RP `add` takes the *Cartesian* pair
+    /// `<num, num>` (max metric), not the tensor `(num, num)`.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let err = analyzer.check(&analyzer.parse("s = add (1, 2); rnd s")?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::OpArgMismatch);
+    /// // `add (|1, 2|)` — a Cartesian pair — would check.
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     OpArgMismatch,
-    /// `E0105` — a λ-bound variable is used at sensitivity above 1.
+    /// `E0105` — a λ-bound variable is used at sensitivity above 1;
+    /// Λnum is linear, so the parameter must be boxed (`![s]`) to that
+    /// sensitivity.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let src = "function f (x: num) : M[eps]num { s = mul (x, x); rnd s }\nf 2";
+    /// let err = analyzer.check(&analyzer.parse(src)?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::LambdaSensitivity);
+    /// // Declaring `x: ![2]num` and unboxing (`let [x1] = x;`) fixes it.
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     LambdaSensitivity,
-    /// `E0106` — a product of two symbolic grades arose.
+    /// `E0106` — a product of two symbolic grades arose (grades are
+    /// linear expressions; `eps * eps` has no representation).
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let src = "function f (x: num) : num { x }\n[[f]{eps}]{eps}";
+    /// let err = analyzer.check(&analyzer.parse(src)?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::NonlinearGrade);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     NonlinearGrade,
-    /// `E0107` — a variable boxed at grade 0 is used.
+    /// `E0107` — a variable boxed at grade 0 is used (grade 0 promises
+    /// the value influences nothing, so using it is contradictory).
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let src = "function f (x: ![0]num) : num { let [x1] = x; x1 }\nf [1]{0}";
+    /// let err = analyzer.check(&analyzer.parse(src)?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::BoxZeroGrade);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     BoxZeroGrade,
-    /// `E0108` — `case` branches have incompatible types.
+    /// `E0108` — `case` (or `if`) branches have incompatible types.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let src = "function f (c: bool) : num { if c then 1 else () }\nf true";
+    /// let err = analyzer.check(&analyzer.parse(src)?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::BranchMismatch);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     BranchMismatch,
-    /// `E0109` — the inferred type is not a subtype of the declaration.
+    /// `E0109` — the inferred type is not a subtype of the declaration
+    /// (most often: the declared monadic grade is smaller than the
+    /// rounding error the body actually accumulates).
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let src = "function f (xy: (num, num)) : M[0]num { s = mul xy; rnd s }\nf (1, 2)";
+    /// let err = analyzer.check(&analyzer.parse(src)?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::GradeMismatch);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     GradeMismatch,
     /// `E0201` — the program's type is not `M[r]num`, so no rounding
     /// error bound applies.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let typed = analyzer.check(&analyzer.parse("42")?)?;
+    /// let err = analyzer.bound(&typed).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::NotMonadicNum);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     NotMonadicNum,
-    /// `E0202` — the grade mentions symbols with no assigned value.
+    /// `E0202` — the grade mentions symbols with no assigned value;
+    /// assign them via [`crate::Analyzer::bound_with`] /
+    /// [`crate::Analyzer::validate_with_symbols`]. Surface programs only
+    /// carry the signature's rounding symbol (auto-assigned), but
+    /// programmatic terms can mention others:
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// use numfuzz::core::TermStore;
+    ///
+    /// let mut store = TermStore::new();
+    /// let root = store.err(Grade::symbol("k"), Ty::Num); // err : M[k]num
+    /// let program = Program::from_parts(store, root, Vec::new());
+    /// let analyzer = Analyzer::new();
+    /// let typed = analyzer.check(&program)?;
+    /// let err = analyzer.bound(&typed).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::UnresolvedGrade);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     UnresolvedGrade,
     /// `E0203` — evaluation failed on a numeric side condition.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let program = analyzer.parse("s = div (1, 0); rnd s")?;
+    /// let err = analyzer.run(&program, &Inputs::none()).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::EvalFailed);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     EvalFailed,
-    /// `E0204` — the error-soundness bound was violated (this would be an
-    /// implementation bug, not a user error).
+    /// `E0204` — the error-soundness bound was violated. Corollary 4.20
+    /// proves this cannot happen, so there is no triggering example: the
+    /// CLI's `numfuzz run` maps a failing [`SoundnessReport`] here, and
+    /// seeing it would mean an implementation bug (the `validate` sweep
+    /// binary exists to witness that none does).
+    ///
+    /// [`SoundnessReport`]: numfuzz_interp::SoundnessReport
     BoundViolated,
     /// `E0301` — a program input is missing or names no free variable.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let program = analyzer.parse("rnd 1")?; // closed: no free variables
+    /// let inputs = Inputs::none().with_num("z", Rational::from_int(1));
+    /// let err = analyzer.run(&program, &inputs).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::BadInput);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     BadInput,
-    /// `E0302` — an IR kernel has no Λnum translation.
+    /// `E0302` — an IR kernel has no Λnum translation (the RP fragment
+    /// has no subtraction: relative error is unbounded near cancellation).
+    ///
+    /// ```
+    /// use numfuzz::analyzers::{Expr, Kernel};
+    /// use numfuzz::prelude::*;
+    ///
+    /// let one = RatInterval::point(Rational::from_int(1));
+    /// let kernel = Kernel::new("diff", vec![("x", one)], Expr::sub(Expr::num("1"), Expr::num("2")));
+    /// let err = Program::from_kernel(&kernel).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::Untranslatable);
+    /// ```
     Untranslatable,
     /// `E0303` — a program lowered against one instantiation's signature
-    /// was handed to an analyzer configured for another.
+    /// was handed to an analyzer configured for another (operation names
+    /// differ between instantiations, so cross-checking would only
+    /// produce misleading unknown-operation errors).
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let program = Program::parse("rnd 1")?; // relative-precision signature
+    /// let abs = Analyzer::builder().signature(Instantiation::AbsoluteError).build();
+    /// let err = abs.check(&program).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::SignatureMismatch);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     SignatureMismatch,
 }
 
@@ -171,6 +388,15 @@ impl Diagnostic {
     }
 
     /// Renders the diagnostic in full (multi-line, rustc style).
+    ///
+    /// ```
+    /// use numfuzz::Program;
+    ///
+    /// let err = Program::parse_named("demo.nf", "rnd y").unwrap_err();
+    /// let rendered = err.render();
+    /// assert!(rendered.starts_with("error[E0002]"), "{rendered}");
+    /// assert!(rendered.contains("demo.nf:1:5"), "{rendered}");
+    /// ```
     pub fn render(&self) -> String {
         let mut out = format!("error[{}]: {}", self.code, self.message);
         if let Some(span) = self.span {

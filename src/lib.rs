@@ -71,7 +71,7 @@ mod analyzer;
 mod diag;
 mod program;
 
-pub use analyzer::{Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, Typed};
+pub use analyzer::{Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, ShardReport, Typed};
 pub use diag::{Diagnostic, ErrorCode, Span};
 pub use program::Program;
 
@@ -85,7 +85,9 @@ pub use numfuzz_softfloat as softfloat;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use crate::analyzer::{Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, Typed};
+    pub use crate::analyzer::{
+        Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, ShardReport, Typed,
+    };
     pub use crate::diag::{Diagnostic, ErrorCode, Span};
     pub use crate::program::Program;
     pub use numfuzz_core::{Grade, Instantiation, Signature, Ty};

@@ -34,7 +34,16 @@ impl Program {
     ///
     /// For the absolute-error instantiation (or a custom signature), use
     /// [`crate::Analyzer::parse`], which lowers against the analyzer's
-    /// own signature.
+    /// own signature. The surface syntax is documented in
+    /// `docs/language.md`.
+    ///
+    /// ```
+    /// use numfuzz::Program;
+    ///
+    /// let program = Program::parse("function fp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }\nfp (|1, 2|)")?;
+    /// assert_eq!(program.free().len(), 0); // parsed programs are closed
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -182,6 +191,13 @@ impl Program {
     /// The term arena.
     pub fn store(&self) -> &TermStore {
         &self.store
+    }
+
+    /// The type/grade arena this program's annotations live in (the
+    /// session arena when the program was parsed via
+    /// [`crate::Analyzer::parse`], a private arena otherwise).
+    pub fn arena(&self) -> &CoreArena {
+        self.store.tys()
     }
 
     /// The root term.

@@ -1,0 +1,178 @@
+//! The parallel sharded analysis engine's contract: output identical to
+//! serial for every job count and every run, shard arenas isolated from
+//! the session arena, and `numfuzz batch` printing deterministically
+//! ordered diagnostics.
+
+use numfuzz::benchsuite::{table3, table5};
+use numfuzz::prelude::*;
+use std::process::Command;
+
+/// A mixed corpus sharing ONE session arena (the contended case the
+/// sharding exists for): Table 3 kernels, Table 5 surface programs, a
+/// few ill-typed programs so the diagnostics path is exercised too.
+fn shared_corpus(analyzer: &Analyzer) -> Vec<Program> {
+    let mut corpus: Vec<Program> = Vec::new();
+    for b in table3() {
+        corpus.push(analyzer.program_from_kernel(&b.kernel).expect("translatable"));
+    }
+    for b in table5() {
+        corpus.push(analyzer.parse_named(b.name, b.source).expect("parses"));
+    }
+    for (name, bad) in [
+        ("bad_shape.nf", "2 3"),
+        ("bad_grade.nf", "function f (xy: (num,num)) : M[0]num { s = mul xy; rnd s }\nf (1,2)"),
+        ("bad_oparg.nf", "s = add (1, 2); rnd s"),
+    ] {
+        corpus.push(analyzer.parse_named(name, bad).expect("parses"));
+    }
+    corpus
+}
+
+/// Renders a batch result into the strings users actually see, so
+/// "identical" means identical diagnostics and identical types.
+fn render(results: &[Result<Typed, Diagnostic>]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| match r {
+            Ok(t) => t.ty().to_string(),
+            Err(d) => d.render(),
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_check_all_is_identical_to_serial_for_all_job_counts() {
+    let analyzer = Analyzer::new();
+    let corpus = shared_corpus(&analyzer);
+    let serial = render(&analyzer.check_all(&corpus));
+    assert!(serial.iter().any(|s| s.starts_with("error[")), "corpus has failing programs");
+    for jobs in [0, 2, 3, 8] {
+        for run in 0..3 {
+            let parallel = render(&analyzer.check_batch_parallel(&corpus, jobs));
+            assert_eq!(parallel, serial, "jobs={jobs} run={run}");
+        }
+    }
+}
+
+#[test]
+fn jobs_knob_on_the_builder_drives_check_all() {
+    let analyzer = Analyzer::builder().jobs(3).build();
+    assert_eq!(analyzer.jobs(), 3);
+    let corpus = shared_corpus(&analyzer);
+    let configured = render(&analyzer.check_all(&corpus));
+    let serial = render(&analyzer.check_batch_parallel(&corpus, 1));
+    assert_eq!(configured, serial);
+}
+
+#[test]
+fn shard_reports_account_for_every_program() {
+    let analyzer = Analyzer::new();
+    let corpus = shared_corpus(&analyzer);
+    let (results, shards) = analyzer.check_batch_sharded(&corpus, 4);
+    assert_eq!(results.len(), corpus.len());
+    assert_eq!(shards.len(), 4);
+    assert_eq!(shards.iter().map(|s| s.programs).sum::<usize>(), corpus.len());
+    for (i, s) in shards.iter().enumerate() {
+        assert_eq!(s.shard, i);
+    }
+}
+
+#[test]
+fn shard_arenas_do_not_leak_ids_into_the_session_arena() {
+    let analyzer = Analyzer::new();
+    let corpus = shared_corpus(&analyzer);
+    // Warm the session arena (serial pass interns everything checking
+    // needs), then record its size.
+    let _ = analyzer.check_batch_parallel(&corpus, 1);
+    let before = analyzer.arena().len();
+    // Parallel passes check against per-worker deep clones: whatever
+    // they intern lands in the clones, never in the session arena.
+    for jobs in [2, 5] {
+        let _ = analyzer.check_batch_parallel(&corpus, jobs);
+        assert_eq!(analyzer.arena().len(), before, "jobs={jobs} leaked ids into the session");
+    }
+    // The session stays fully usable afterwards: same arena, new parses
+    // intern into it.
+    let p = analyzer.parse("rnd 1").expect("parses");
+    assert!(p.arena().same_arena(analyzer.arena()));
+    assert!(analyzer.check(&p).is_ok());
+}
+
+#[test]
+fn deep_cloned_arena_is_id_compatible_but_independent() {
+    use numfuzz::core::{infer_in, CoreArena};
+    let analyzer = Analyzer::new();
+    let program = analyzer
+        .parse("function fp (xy: <num,num>) : M[eps]num { s = add xy; rnd s }\nfp (|1,2|)")
+        .expect("parses");
+    let clone: CoreArena = program.arena().deep_clone();
+    assert!(!clone.same_arena(program.arena()));
+    assert_ne!(clone.token(), program.arena().token());
+    // Checking against the clone resolves the same annotations to the
+    // same type, and grows only the clone.
+    let before = program.arena().len();
+    let sig = analyzer.signature().clone();
+    let direct = numfuzz::core::infer(program.store(), &sig, program.root(), program.free())
+        .expect("checks");
+    let via_clone =
+        infer_in(program.store(), &clone, &sig, program.root(), program.free()).expect("checks");
+    assert_eq!(direct.root.ty, via_clone.root.ty);
+    assert_eq!(program.arena().len(), before);
+}
+
+/// Runs the built `numfuzz` binary (Cargo exposes the path to
+/// integration tests).
+fn numfuzz_bin(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_numfuzz"))
+        .args(args)
+        .output()
+        .expect("numfuzz binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn numfuzz_batch_orders_diagnostics_deterministically() {
+    let dir = std::env::temp_dir().join(format!("numfuzz-batch-test-{}", std::process::id()));
+    let sub = dir.join("nested");
+    std::fs::create_dir_all(&sub).expect("mkdir");
+    std::fs::write(dir.join("a_ok.nf"), "rnd 1.5\n").expect("write");
+    std::fs::write(dir.join("b_bad.nf"), "x\n").expect("write");
+    std::fs::write(dir.join("c_bad.nf"), "2 3\n").expect("write");
+    std::fs::write(sub.join("d_ok.nf"), "ret ()\n").expect("write");
+
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+    let (first_out, first_err, code) = numfuzz_bin(&["batch", dir_arg, "--jobs", "4"]);
+    assert_eq!(code, Some(1), "failing programs exit 1; stderr: {first_err}");
+    assert!(first_out.contains("4 programs: 2 ok, 2 failed"), "{first_out}");
+
+    // Diagnostics appear in sorted-path order, interleaved with the ok
+    // lines, not grouped by completion time.
+    let a = first_out.find("a_ok.nf").expect("a present");
+    let b = first_out.find("b_bad.nf").expect("b present");
+    let c = first_out.find("c_bad.nf").expect("c present");
+    let d = first_out.find("d_ok.nf").expect("d present");
+    assert!(a < b && b < c && c < d, "sorted-path order:\n{first_out}");
+    assert!(first_out.contains("error[E0002]"), "{first_out}");
+    assert!(first_out.contains("error[E0102]"), "{first_out}");
+
+    // Byte-identical across job counts and repeated runs.
+    for jobs in ["1", "2", "8"] {
+        let (out, _, code) = numfuzz_bin(&["batch", dir_arg, "--jobs", jobs]);
+        assert_eq!(code, Some(1));
+        assert_eq!(out, first_out, "jobs={jobs}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn numfuzz_batch_usage_errors_exit_2() {
+    let (_, stderr, code) = numfuzz_bin(&["batch", "/nonexistent-numfuzz-dir"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (_, stderr, code) = numfuzz_bin(&["batch"]);
+    assert_eq!(code, Some(2), "{stderr}");
+}

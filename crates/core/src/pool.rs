@@ -149,6 +149,55 @@ mod tests {
     }
 
     #[test]
+    fn jobs_one_equals_serial_including_worker_state() {
+        // `jobs = 1` must be byte-for-byte the inline serial path: same
+        // results, exactly one worker state, same visit order.
+        let items: Vec<u32> = (0..50).collect();
+        let (r1, s1) = ordered_map_with(
+            1,
+            &items,
+            |_w| Vec::new(),
+            |seen: &mut Vec<u32>, _i, x| {
+                seen.push(*x);
+                x * 7
+            },
+        );
+        let serial: Vec<u32> = items.iter().map(|x| x * 7).collect();
+        assert_eq!(r1, serial);
+        assert_eq!(s1.len(), 1, "one worker state for jobs=1");
+        assert_eq!(s1[0], items, "inline path visits items in order");
+    }
+
+    #[test]
+    fn empty_input_with_state_spawns_single_state() {
+        let none: Vec<u8> = Vec::new();
+        let (results, states) = ordered_map_with(8, &none, |w| w, |_s, _i, x| *x);
+        assert!(results.is_empty());
+        // Clamping to the item count means no worker threads and one
+        // inline state.
+        assert_eq!(states, vec![0]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // A panicking work item must abort the whole call (std::thread
+        // scope re-raises on join) — not hang the queue and not return
+        // partial results. Probe several panic positions and job counts.
+        for jobs in [1usize, 2, 4] {
+            for panic_at in [0usize, 7, 63] {
+                let items: Vec<usize> = (0..64).collect();
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    ordered_map(jobs, &items, |_i, x| {
+                        assert!(*x != panic_at, "boom at {panic_at}");
+                        *x
+                    })
+                }));
+                assert!(caught.is_err(), "panic at item {panic_at} with jobs={jobs} was swallowed");
+            }
+        }
+    }
+
+    #[test]
     fn dynamic_queue_balances_uneven_items() {
         // A single huge item early must not serialize the rest behind it:
         // with 2 workers the remaining 63 cheap items finish on the other.

@@ -44,13 +44,23 @@ fn go(store: &TermStore, id: TermId, depth: u32, out: &mut String) {
             go(store, *b, d, out);
             out.push(')');
         }
-        Node::Inl(v, _) => {
-            out.push_str("inl ");
-            go(store, *v, d, out);
+        Node::Inl(v, ann) => {
+            // `true` is sugar for `inl () : bool`; restore it so the
+            // output re-parses to the identical term.
+            if matches!(store.node(*v), Node::UnitVal) && store.ty(*ann) == Ty::Unit {
+                out.push_str("true");
+            } else {
+                out.push_str(&format!("inl {{{}}} ", store.ty(*ann)));
+                go(store, *v, d, out);
+            }
         }
-        Node::Inr(v, _) => {
-            out.push_str("inr ");
-            go(store, *v, d, out);
+        Node::Inr(v, ann) => {
+            if matches!(store.node(*v), Node::UnitVal) && store.ty(*ann) == Ty::Unit {
+                out.push_str("false");
+            } else {
+                out.push_str(&format!("inr {{{}}} ", store.ty(*ann)));
+                go(store, *v, d, out);
+            }
         }
         Node::Lam(x, ty, body) => {
             out.push_str("\\(");

@@ -1,0 +1,757 @@
+//! The generator's program representation: a small, structured AST for
+//! full-surface Λnum programs that is well-typed *by construction* and
+//! renders to re-parsable `.nf` source.
+//!
+//! The AST is deliberately shaped like the surface grammar (Figs. 7–9 of
+//! the paper) rather than the core term language: the fuzzer's whole job
+//! is to exercise the parse → lower → check → evaluate pipeline from the
+//! outside, so its programs must be *text*. Rendering is total and every
+//! rendered program tokenizes, parses and lowers; the generator
+//! (see [`crate::gen`]) guarantees well-typedness and the oracle treats
+//! any failure to parse or check as a counterexample.
+
+use numfuzz_core::Instantiation;
+use numfuzz_exact::Rational;
+use std::fmt::Write as _;
+
+/// Unary primitive operations (signature-dependent).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op1 {
+    /// RP `sqrt : ![1/2]num ⊸ num` (implicit boxing; halves RP error).
+    Sqrt,
+    /// ABS `neg : num ⊸ num`.
+    Neg,
+    /// ABS `half : ![1/2]num ⊸ num`.
+    Half,
+    /// ABS `scale2 : ![2]num ⊸ num` (argument must be closed: the
+    /// implicit box doubles every sensitivity in its environment).
+    Scale2,
+}
+
+impl Op1 {
+    fn name(self) -> &'static str {
+        match self {
+            Op1::Sqrt => "sqrt",
+            Op1::Neg => "neg",
+            Op1::Half => "half",
+            Op1::Scale2 => "scale2",
+        }
+    }
+}
+
+/// Binary primitive operations over two `num` operands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op2 {
+    /// RP `add : <num, num> ⊸ num` — Cartesian pair, max metric.
+    AddW,
+    /// ABS `add : (num, num) ⊸ num` — tensor pair, sum metric.
+    AddT,
+    /// RP `mul : (num, num) ⊸ num`.
+    Mul,
+    /// RP `div : (num, num) ⊸ num`.
+    Div,
+    /// ABS `sub : (num, num) ⊸ num`.
+    Sub,
+}
+
+impl Op2 {
+    fn name(self) -> &'static str {
+        match self {
+            Op2::AddW | Op2::AddT => "add",
+            Op2::Mul => "mul",
+            Op2::Div => "div",
+            Op2::Sub => "sub",
+        }
+    }
+
+    /// Whether the signature takes the Cartesian pair (`(|a, b|)`).
+    fn cartesian(self) -> bool {
+        matches!(self, Op2::AddW)
+    }
+}
+
+/// Pair-consuming primitives applied to a pair-typed *variable*
+/// (`mul xy` — the paper's own Fig. 7 style).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpPair {
+    /// RP `mul xy` on a `(num, num)` variable.
+    Mul,
+    /// RP `div xy`.
+    Div,
+    /// RP `add xy` on a `<num, num>` variable.
+    AddW,
+    /// ABS `add xy` on a `(num, num)` variable.
+    AddT,
+    /// ABS `sub xy`.
+    Sub,
+}
+
+impl OpPair {
+    fn name(self) -> &'static str {
+        match self {
+            OpPair::Mul => "mul",
+            OpPair::Div => "div",
+            OpPair::AddW | OpPair::AddT => "add",
+            OpPair::Sub => "sub",
+        }
+    }
+}
+
+/// A *pure* surface expression (no `rnd`, no monad).
+#[derive(Clone, PartialEq, Debug)]
+pub enum PExpr {
+    /// Numeric literal; the rational always has a finite decimal
+    /// rendering (denominator `2^a·5^b`), so the lexer accepts it.
+    Const(Rational),
+    /// Variable reference.
+    Var(String),
+    /// `op e` through the signature (implicitly boxed domains included).
+    Op1(Op1, Box<PExpr>),
+    /// `op (a, b)` / `op (|a, b|)` per the operation's pair kind.
+    Op2(Op2, Box<PExpr>, Box<PExpr>),
+    /// `op v` on a pair-typed variable.
+    OpPair(OpPair, String),
+    /// `fst e` on a Cartesian pair.
+    Fst(Box<PExpr>),
+    /// `snd e`.
+    Snd(Box<PExpr>),
+    /// Tensor pair `(a, b)`.
+    PairT(Box<PExpr>, Box<PExpr>),
+    /// Cartesian pair `(|a, b|)`.
+    PairW(Box<PExpr>, Box<PExpr>),
+    /// `inl {num} e : num + num`.
+    Inl(Box<PExpr>),
+    /// `inr {num} e : num + num`.
+    Inr(Box<PExpr>),
+    /// `[e]{k}` at a constant grade (call-site boxing for `![k]` params;
+    /// the payload is always closed).
+    BoxC(Rational, Box<PExpr>),
+    /// `[e]{inf}` (payload always closed).
+    BoxInf(Box<PExpr>),
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `is_pos e` (closed, interval-free argument only).
+    IsPos(Box<PExpr>),
+    /// `is_gt (a, b)` (closed, interval-free arguments only).
+    IsGt(Box<PExpr>, Box<PExpr>),
+    /// Application of a generated pure function.
+    Call(String, Vec<PExpr>),
+}
+
+impl PExpr {
+    /// Boxed constructor shorthand.
+    pub fn c(n: i64) -> PExpr {
+        PExpr::Const(Rational::from_int(n))
+    }
+}
+
+/// A monadic expression of type `M[·]num`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MExpr {
+    /// `rnd e` — the one effectful operation, grade `eps`/`delta`.
+    Rnd(PExpr),
+    /// `ret e` — grade `0`.
+    Ret(PExpr),
+    /// Application of a generated monadic function.
+    CallM(String, Vec<PExpr>),
+    /// A monadic value previously stored with `x = m;`.
+    StoredM(String),
+    /// `if c then { … } else { … }` with monadic arms (closed guard).
+    If(PExpr, Box<Block>, Box<Block>),
+    /// `case s of (inl x. … | inr y. …)` over `num + num`.
+    CaseSum(PExpr, String, Box<Block>, String, Box<Block>),
+}
+
+/// One surface statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `x = e;` — pure call-by-value sequencing.
+    Pure(String, PExpr),
+    /// `x = m;` — a monadic *value* stored without being run.
+    StoreM(String, MExpr),
+    /// `let x = m;` — the monadic bind.
+    Bind(String, MExpr),
+    /// `let [x] = p;` — unboxing a `![s]`-typed parameter.
+    Unbox(String, String),
+}
+
+/// A block: statements followed by a tail expression. Blocks are monadic
+/// (`tail` is an [`MExpr`]) except for pure function bodies, which use
+/// [`PBlock`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// Statements, in order.
+    pub stmts: Vec<Stmt>,
+    /// The tail computation.
+    pub tail: MExpr,
+}
+
+/// A pure block (pure function bodies).
+#[derive(Clone, PartialEq, Debug)]
+pub struct PBlock {
+    /// Statements (never `Bind`/`StoreM`: pure bodies have no monad).
+    pub stmts: Vec<Stmt>,
+    /// The tail value.
+    pub tail: PExpr,
+}
+
+/// Parameter types the generator assigns.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PTy {
+    /// `num`.
+    Num,
+    /// `(num, num)`.
+    TensorNN,
+    /// `<num, num>`.
+    WithNN,
+    /// `num + num`.
+    SumNN,
+    /// `![k]num` with a small integer grade `k >= 2`.
+    BangK(u32),
+    /// `![inf]num`.
+    BangInf,
+}
+
+impl PTy {
+    fn render(&self) -> String {
+        match self {
+            PTy::Num => "num".into(),
+            PTy::TensorNN => "(num, num)".into(),
+            PTy::WithNN => "<num, num>".into(),
+            PTy::SumNN => "num + num".into(),
+            PTy::BangK(k) => format!("![{k}]num"),
+            PTy::BangInf => "![inf]num".into(),
+        }
+    }
+}
+
+/// A function's result type as the generator tracks it.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RetTy {
+    /// Pure `num`.
+    Num,
+    /// `M[c*eps]num` (or `M[c*delta]num` under the ABS instantiation);
+    /// `c` is the tracked grade coefficient.
+    MonadNum(Rational),
+}
+
+/// A generated `function` definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FnDef {
+    /// Function name (`f0`, `f1`, …).
+    pub name: String,
+    /// Curried parameters.
+    pub params: Vec<(String, PTy)>,
+    /// Declared result type.
+    pub ret: RetTy,
+    /// The body.
+    pub body: FnBody,
+}
+
+/// Pure or monadic function body.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FnBody {
+    /// A pure body.
+    Pure(PBlock),
+    /// A monadic body.
+    Monadic(Block),
+}
+
+/// A complete generated program: definitions plus a monadic main block
+/// whose type is always `M[c*eps]num`, so Corollary 4.20 applies.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FuzzProgram {
+    /// Which instantiation's signature the program targets.
+    pub inst: Instantiation,
+    /// `function` definitions, in order.
+    pub fns: Vec<FnDef>,
+    /// The main block.
+    pub main: Block,
+}
+
+/// Renders a grade coefficient `c` over the rounding symbol as grade
+/// syntax (`0`, `eps`, `3*eps`, `5/2*eps`).
+pub fn grade_src(c: &Rational, sym: &str) -> String {
+    if c.is_zero() {
+        "0".into()
+    } else if c == &Rational::one() {
+        sym.into()
+    } else {
+        format!("{c}*{sym}")
+    }
+}
+
+/// The rounding-grade symbol of an instantiation's signature.
+pub fn rnd_symbol(inst: Instantiation) -> &'static str {
+    match inst {
+        Instantiation::RelativePrecision => "eps",
+        Instantiation::AbsoluteError => "delta",
+    }
+}
+
+/// Renders a rational with a finite decimal expansion as a literal the
+/// lexer accepts (`2`, `0.75`, `-1.5`).
+///
+/// # Panics
+///
+/// Panics when the denominator has a prime factor other than 2 or 5 —
+/// the generator never produces such constants.
+pub fn decimal_literal(q: &Rational) -> String {
+    if q.is_integer() {
+        return q.to_string();
+    }
+    let ten = Rational::from_int(10);
+    let mut scaled = q.clone();
+    for k in 1..=512u32 {
+        scaled = scaled.mul(&ten);
+        if scaled.is_integer() {
+            let digits = scaled.abs().to_string();
+            let sign = if q.is_negative() { "-" } else { "" };
+            let k = k as usize;
+            return if digits.len() > k {
+                format!("{sign}{}.{}", &digits[..digits.len() - k], &digits[digits.len() - k..])
+            } else {
+                format!("{sign}0.{}{digits}", "0".repeat(k - digits.len()))
+            };
+        }
+    }
+    panic!("generator produced a constant without a finite decimal: {q}")
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+impl FuzzProgram {
+    /// Renders the whole program as `.nf` source.
+    pub fn render(&self) -> String {
+        let sym = rnd_symbol(self.inst);
+        let mut out = String::new();
+        for f in &self.fns {
+            let _ = write!(out, "function {}", f.name);
+            for (p, t) in &f.params {
+                let _ = write!(out, " ({p}: {})", t.render());
+            }
+            let ret = match &f.ret {
+                RetTy::Num => "num".to_string(),
+                RetTy::MonadNum(c) => format!("M[{}]num", grade_src(c, sym)),
+            };
+            let _ = writeln!(out, " : {ret} {{");
+            match &f.body {
+                FnBody::Pure(b) => render_pblock(b, 1, &mut out),
+                FnBody::Monadic(b) => render_block(b, 1, &mut out),
+            }
+            out.push_str("}\n");
+        }
+        render_block(&self.main, 0, &mut out);
+        out
+    }
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn render_block(b: &Block, level: usize, out: &mut String) {
+    for s in &b.stmts {
+        render_stmt(s, level, out);
+    }
+    indent(level, out);
+    render_mexpr(&b.tail, level, out);
+    out.push('\n');
+}
+
+fn render_pblock(b: &PBlock, level: usize, out: &mut String) {
+    for s in &b.stmts {
+        render_stmt(s, level, out);
+    }
+    indent(level, out);
+    out.push_str(&pexpr_src(&b.tail));
+    out.push('\n');
+}
+
+fn render_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::Pure(x, e) => {
+            let _ = write!(out, "{x} = {}", pexpr_src(e));
+        }
+        Stmt::StoreM(x, m) => {
+            let _ = write!(out, "{x} = ");
+            render_mexpr(m, level, out);
+        }
+        Stmt::Bind(x, m) => {
+            let _ = write!(out, "let {x} = ");
+            render_mexpr(m, level, out);
+        }
+        Stmt::Unbox(x, p) => {
+            let _ = write!(out, "let [{x}] = {p}");
+        }
+    }
+    out.push_str(";\n");
+}
+
+fn render_mexpr(m: &MExpr, level: usize, out: &mut String) {
+    match m {
+        MExpr::Rnd(e) => {
+            let _ = write!(out, "rnd {}", arg_src(e));
+        }
+        MExpr::Ret(e) => {
+            let _ = write!(out, "ret {}", arg_src(e));
+        }
+        MExpr::CallM(f, args) => {
+            out.push_str(f);
+            for a in args {
+                out.push(' ');
+                out.push_str(&arg_src(a));
+            }
+        }
+        MExpr::StoredM(x) => out.push_str(x),
+        MExpr::If(c, a, b) => {
+            let _ = writeln!(out, "if {} then {{", pexpr_src(c));
+            render_block(a, level + 1, out);
+            indent(level, out);
+            out.push_str("} else {\n");
+            render_block(b, level + 1, out);
+            indent(level, out);
+            out.push('}');
+        }
+        MExpr::CaseSum(s, x, a, y, b) => {
+            let _ = writeln!(out, "case {} of (inl {x}.", arg_src(s));
+            render_block(a, level + 1, out);
+            indent(level, out);
+            let _ = writeln!(out, "| inr {y}.");
+            render_block(b, level + 1, out);
+            indent(level, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Renders an expression in *argument position*: parenthesized unless it
+/// is already an atom of the grammar (so application never swallows it).
+fn arg_src(e: &PExpr) -> String {
+    match e {
+        PExpr::Var(_)
+        | PExpr::Const(_)
+        | PExpr::True
+        | PExpr::False
+        | PExpr::PairT(..)
+        | PExpr::PairW(..)
+        | PExpr::BoxC(..)
+        | PExpr::BoxInf(..) => pexpr_src(e),
+        _ => format!("({})", pexpr_src(e)),
+    }
+}
+
+fn pexpr_src(e: &PExpr) -> String {
+    match e {
+        PExpr::Const(q) => decimal_literal(q),
+        PExpr::Var(x) => x.clone(),
+        PExpr::Op1(op, a) => format!("{} {}", op.name(), arg_src(a)),
+        PExpr::Op2(op, a, b) => {
+            if op.cartesian() {
+                format!("{} (|{}, {}|)", op.name(), pexpr_src(a), pexpr_src(b))
+            } else {
+                format!("{} ({}, {})", op.name(), pexpr_src(a), pexpr_src(b))
+            }
+        }
+        PExpr::OpPair(op, v) => format!("{} {v}", op.name()),
+        PExpr::Fst(a) => format!("fst {}", arg_src(a)),
+        PExpr::Snd(a) => format!("snd {}", arg_src(a)),
+        PExpr::PairT(a, b) => format!("({}, {})", pexpr_src(a), pexpr_src(b)),
+        PExpr::PairW(a, b) => format!("(|{}, {}|)", pexpr_src(a), pexpr_src(b)),
+        PExpr::Inl(a) => format!("inl {{num}} {}", arg_src(a)),
+        PExpr::Inr(a) => format!("inr {{num}} {}", arg_src(a)),
+        PExpr::BoxC(k, a) => format!("[{}]{{{}}}", pexpr_src(a), decimal_literal(k)),
+        PExpr::BoxInf(a) => format!("[{}]{{inf}}", pexpr_src(a)),
+        PExpr::True => "true".into(),
+        PExpr::False => "false".into(),
+        PExpr::IsPos(a) => format!("is_pos {}", arg_src(a)),
+        PExpr::IsGt(a, b) => format!("is_gt ({}, {})", pexpr_src(a), pexpr_src(b)),
+        PExpr::Call(f, args) => {
+            let mut s = f.clone();
+            for a in args {
+                s.push(' ');
+                s.push_str(&arg_src(a));
+            }
+            s
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Feature coverage
+// ---------------------------------------------------------------------
+
+/// Which surface features a program exercises (used for the coverage
+/// section of the fuzz report; counts are *per program*, i.e. booleans).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Features {
+    /// Has at least one `function` definition.
+    pub let_functions: bool,
+    /// Contains `if` or a `case` (any conditional control flow).
+    pub conditionals: bool,
+    /// Contains a `case` over `num + num` (not just a boolean `if`).
+    pub case_sum: bool,
+    /// Constructs or consumes a tensor pair.
+    pub tensor_pairs: bool,
+    /// Constructs or consumes a Cartesian pair.
+    pub with_pairs: bool,
+    /// Constructs a sum value (`inl`/`inr`) or has a sum parameter.
+    pub sums: bool,
+    /// Uses `[e]{s}` boxing or `let [x] = e;` unboxing.
+    pub boxes: bool,
+    /// Uses `sqrt` (interval-producing).
+    pub sqrt: bool,
+    /// Uses `div`.
+    pub div: bool,
+    /// Uses `sub` or `neg` (ABS only).
+    pub sub_or_neg: bool,
+    /// Contains a negative constant.
+    pub neg_const: bool,
+    /// Contains the constant zero.
+    pub zero_const: bool,
+    /// Contains `rnd`.
+    pub rnd: bool,
+    /// Contains `ret`.
+    pub ret: bool,
+    /// Contains a monadic bind (`let x = m;`).
+    pub bind: bool,
+    /// Stores a monadic value with `x = m;` before binding it.
+    pub stored_monad: bool,
+    /// Applies a generated function.
+    pub calls: bool,
+    /// Uses `is_pos` or `is_gt`.
+    pub comparisons: bool,
+}
+
+impl FuzzProgram {
+    /// Extracts the feature profile of this program.
+    pub fn features(&self) -> Features {
+        let mut f = Features { let_functions: !self.fns.is_empty(), ..Features::default() };
+        for d in &self.fns {
+            for (_, t) in &d.params {
+                match t {
+                    PTy::TensorNN => f.tensor_pairs = true,
+                    PTy::WithNN => f.with_pairs = true,
+                    PTy::SumNN => f.sums = true,
+                    PTy::BangK(_) | PTy::BangInf => f.boxes = true,
+                    PTy::Num => {}
+                }
+            }
+            match &d.body {
+                FnBody::Pure(b) => {
+                    for s in &b.stmts {
+                        stmt_features(s, &mut f);
+                    }
+                    pexpr_features(&b.tail, &mut f);
+                }
+                FnBody::Monadic(b) => block_features(b, &mut f),
+            }
+        }
+        block_features(&self.main, &mut f);
+        f
+    }
+}
+
+fn block_features(b: &Block, f: &mut Features) {
+    for s in &b.stmts {
+        stmt_features(s, f);
+    }
+    mexpr_features(&b.tail, f);
+}
+
+fn stmt_features(s: &Stmt, f: &mut Features) {
+    match s {
+        Stmt::Pure(_, e) => pexpr_features(e, f),
+        Stmt::StoreM(_, m) => {
+            f.stored_monad = true;
+            mexpr_features(m, f);
+        }
+        Stmt::Bind(_, m) => {
+            f.bind = true;
+            mexpr_features(m, f);
+        }
+        Stmt::Unbox(..) => f.boxes = true,
+    }
+}
+
+fn mexpr_features(m: &MExpr, f: &mut Features) {
+    match m {
+        MExpr::Rnd(e) => {
+            f.rnd = true;
+            pexpr_features(e, f);
+        }
+        MExpr::Ret(e) => {
+            f.ret = true;
+            pexpr_features(e, f);
+        }
+        MExpr::CallM(_, args) => {
+            f.calls = true;
+            for a in args {
+                pexpr_features(a, f);
+            }
+        }
+        MExpr::StoredM(_) => f.bind = true,
+        MExpr::If(c, a, b) => {
+            f.conditionals = true;
+            pexpr_features(c, f);
+            block_features(a, f);
+            block_features(b, f);
+        }
+        MExpr::CaseSum(s, _, a, _, b) => {
+            f.conditionals = true;
+            f.case_sum = true;
+            f.sums = true;
+            pexpr_features(s, f);
+            block_features(a, f);
+            block_features(b, f);
+        }
+    }
+}
+
+fn pexpr_features(e: &PExpr, f: &mut Features) {
+    match e {
+        PExpr::Const(q) => {
+            if q.is_negative() {
+                f.neg_const = true;
+            }
+            if q.is_zero() {
+                f.zero_const = true;
+            }
+        }
+        PExpr::Var(_) | PExpr::True | PExpr::False => {}
+        PExpr::Op1(op, a) => {
+            match op {
+                Op1::Sqrt => f.sqrt = true,
+                Op1::Neg => f.sub_or_neg = true,
+                Op1::Half | Op1::Scale2 => f.boxes = true,
+            }
+            pexpr_features(a, f);
+        }
+        PExpr::Op2(op, a, b) => {
+            match op {
+                Op2::AddW => f.with_pairs = true,
+                Op2::AddT => f.tensor_pairs = true,
+                Op2::Mul => f.tensor_pairs = true,
+                Op2::Div => {
+                    f.tensor_pairs = true;
+                    f.div = true;
+                }
+                Op2::Sub => {
+                    f.tensor_pairs = true;
+                    f.sub_or_neg = true;
+                }
+            }
+            pexpr_features(a, f);
+            pexpr_features(b, f);
+        }
+        PExpr::OpPair(op, _) => match op {
+            OpPair::Mul | OpPair::AddT => f.tensor_pairs = true,
+            OpPair::Div => {
+                f.tensor_pairs = true;
+                f.div = true;
+            }
+            OpPair::Sub => {
+                f.tensor_pairs = true;
+                f.sub_or_neg = true;
+            }
+            OpPair::AddW => f.with_pairs = true,
+        },
+        PExpr::Fst(a) | PExpr::Snd(a) => {
+            f.with_pairs = true;
+            pexpr_features(a, f);
+        }
+        PExpr::PairT(a, b) => {
+            f.tensor_pairs = true;
+            pexpr_features(a, f);
+            pexpr_features(b, f);
+        }
+        PExpr::PairW(a, b) => {
+            f.with_pairs = true;
+            pexpr_features(a, f);
+            pexpr_features(b, f);
+        }
+        PExpr::Inl(a) | PExpr::Inr(a) => {
+            f.sums = true;
+            pexpr_features(a, f);
+        }
+        PExpr::BoxC(_, a) | PExpr::BoxInf(a) => {
+            f.boxes = true;
+            pexpr_features(a, f);
+        }
+        PExpr::IsPos(a) => {
+            f.comparisons = true;
+            pexpr_features(a, f);
+        }
+        PExpr::IsGt(a, b) => {
+            f.comparisons = true;
+            pexpr_features(a, f);
+            pexpr_features(b, f);
+        }
+        PExpr::Call(_, args) => {
+            f.calls = true;
+            for a in args {
+                pexpr_features(a, f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_literals() {
+        assert_eq!(decimal_literal(&Rational::from_int(3)), "3");
+        assert_eq!(decimal_literal(&Rational::ratio(-3, 2)), "-1.5");
+        assert_eq!(decimal_literal(&Rational::ratio(1, 16)), "0.0625");
+        assert_eq!(decimal_literal(&Rational::ratio(1, 10)), "0.1");
+        assert_eq!(decimal_literal(&Rational::zero()), "0");
+    }
+
+    #[test]
+    fn grade_rendering() {
+        assert_eq!(grade_src(&Rational::zero(), "eps"), "0");
+        assert_eq!(grade_src(&Rational::one(), "eps"), "eps");
+        assert_eq!(grade_src(&Rational::from_int(3), "eps"), "3*eps");
+        assert_eq!(grade_src(&Rational::ratio(5, 2), "delta"), "5/2*delta");
+    }
+
+    #[test]
+    fn renders_a_paper_style_program() {
+        let prog = FuzzProgram {
+            inst: Instantiation::RelativePrecision,
+            fns: vec![FnDef {
+                name: "f0".into(),
+                params: vec![("v0".into(), PTy::TensorNN)],
+                ret: RetTy::MonadNum(Rational::one()),
+                body: FnBody::Monadic(Block {
+                    stmts: vec![Stmt::Pure("v1".into(), PExpr::OpPair(OpPair::Mul, "v0".into()))],
+                    tail: MExpr::Rnd(PExpr::Var("v1".into())),
+                }),
+            }],
+            main: Block {
+                stmts: vec![],
+                tail: MExpr::CallM(
+                    "f0".into(),
+                    vec![PExpr::PairT(Box::new(PExpr::c(2)), Box::new(PExpr::c(3)))],
+                ),
+            },
+        };
+        let src = prog.render();
+        assert!(src.contains("function f0 (v0: (num, num)) : M[eps]num {"), "{src}");
+        assert!(src.contains("v1 = mul v0;"), "{src}");
+        assert!(src.contains("rnd v1"), "{src}");
+        assert!(src.ends_with("f0 (2, 3)\n"), "{src}");
+        let f = prog.features();
+        assert!(f.let_functions && f.tensor_pairs && f.rnd && f.calls);
+        assert!(!f.conditionals && !f.sqrt);
+    }
+}

@@ -1,0 +1,364 @@
+//! The fuzz campaign driver: plans cases, fans them out over the
+//! workspace's worker pool, shrinks counterexamples, and assembles a
+//! deterministic coverage report.
+//!
+//! The driver is generic over an [`Oracle`] so that (a) the facade crate
+//! can supply the real `Analyzer`-based differential oracle without a
+//! dependency cycle, and (b) tests can inject deliberately broken
+//! oracles to prove the counterexample/shrinking machinery actually
+//! fires (mutation smoke).
+//!
+//! Determinism contract: for a fixed `(cases, seed)` the report and any
+//! reproducers are byte-identical for every `jobs` value and across
+//! repeated runs — each case is self-contained (its own seed, generator
+//! and shrink loop), and results are aggregated in case order via
+//! [`numfuzz_core::pool::ordered_map`].
+
+use crate::ast::Features;
+use crate::gen::{generate_case, CasePlan};
+use crate::shrink::shrink;
+use numfuzz_core::pool;
+use numfuzz_core::Instantiation;
+use numfuzz_exact::Rational;
+use numfuzz_softfloat::RoundingMode;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What kind of failure the oracle observed. Shrinking preserves the
+/// kind: a candidate that fails differently is rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// The generated program failed to parse or lower.
+    Parse,
+    /// The generated program failed to type-check.
+    Check,
+    /// The inferred root grade is not finite.
+    InfiniteGrade,
+    /// The validation harness errored (evaluation fault, bad inputs).
+    Harness,
+    /// The rigorous Corollary 4.20 check reported a violation.
+    BoundViolation,
+    /// The interpreter's ideal run disagrees with the reference
+    /// evaluator.
+    IdealMismatch,
+    /// pretty → re-parse → re-check produced a different type/grade.
+    RoundTrip,
+}
+
+impl FailureKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Parse => "parse",
+            FailureKind::Check => "check",
+            FailureKind::InfiniteGrade => "infinite-grade",
+            FailureKind::Harness => "harness",
+            FailureKind::BoundViolation => "BOUND-VIOLATION",
+            FailureKind::IdealMismatch => "ideal-mismatch",
+            FailureKind::RoundTrip => "round-trip",
+        }
+    }
+}
+
+/// A passing case's facts.
+#[derive(Clone, Debug)]
+pub struct CasePass {
+    /// The checked root type (e.g. `M[3*eps]num`).
+    pub ty: String,
+    /// Whether the fp run faulted to `err` (Cor. 7.5 holds vacuously).
+    pub vacuous: bool,
+}
+
+/// A failing case's facts.
+#[derive(Clone, Debug)]
+pub struct CaseFailure {
+    /// Coarse failure kind (shrinking preserves it).
+    pub kind: FailureKind,
+    /// Human-readable detail (rendered diagnostic, mismatch values, …).
+    pub detail: String,
+}
+
+/// The differential oracle: analyses one rendered program and reports
+/// pass or fail. Implementations live in the facade crate (the real
+/// `Analyzer`-based oracle) and in tests (broken oracles for mutation
+/// smoke).
+pub trait Oracle: Sync {
+    /// Runs the full differential check on one case.
+    ///
+    /// # Errors
+    ///
+    /// A [`CaseFailure`] describing the first check that failed.
+    fn run_case(
+        &self,
+        plan: &CasePlan,
+        src: &str,
+        expected_ideal: Option<&Rational>,
+    ) -> Result<CasePass, CaseFailure>;
+}
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of cases to generate.
+    pub cases: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 = one per core, 1 = serial).
+    pub jobs: usize,
+    /// Maximum shrink-candidate evaluations per counterexample.
+    pub shrink_budget: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig { cases: 200, seed: 42, jobs: 1, shrink_budget: 400 }
+    }
+}
+
+/// One minimized counterexample.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Case index.
+    pub index: usize,
+    /// Plan description (`rp binary64 round toward +inf`).
+    pub plan: String,
+    /// The failure as observed on the *shrunk* program.
+    pub failure: CaseFailure,
+    /// The original rendered program.
+    pub original: String,
+    /// The shrunk, re-parsable reproducer.
+    pub shrunk: String,
+}
+
+/// Campaign outcome: the deterministic report plus any counterexamples.
+#[derive(Clone, Debug)]
+pub struct FuzzOutcome {
+    /// The full report text (what `numfuzz fuzz` prints).
+    pub report: String,
+    /// Minimized counterexamples, in case order.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl FuzzOutcome {
+    /// Whether the campaign found no counterexamples.
+    pub fn ok(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+enum Row {
+    Pass { plan: CasePlan, features: Features, vacuous: bool },
+    Fail(Box<Counterexample>, CasePlan, Features),
+}
+
+/// Runs a fuzz campaign.
+pub fn run(cfg: &FuzzConfig, oracle: &dyn Oracle) -> FuzzOutcome {
+    let indices: Vec<usize> = (0..cfg.cases).collect();
+    let rows = pool::ordered_map(cfg.jobs, &indices, |_slot, &index| run_one(cfg, oracle, index));
+    assemble(cfg, rows)
+}
+
+fn run_one(cfg: &FuzzConfig, oracle: &dyn Oracle, index: usize) -> Row {
+    let case = generate_case(cfg.seed, index);
+    let src = case.program.render();
+    let features = case.program.features();
+    match oracle.run_case(&case.plan, &src, case.expected_ideal.as_ref()) {
+        Ok(pass) => Row::Pass { plan: case.plan, features, vacuous: pass.vacuous },
+        Err(failure) => {
+            let kind = failure.kind;
+            let plan = case.plan.clone();
+            // Shrinking re-derives the per-program facts (ABS rounding
+            // unit, expected ideal value) for every candidate, so a
+            // stale range bound can never manufacture a counterfeit
+            // failure on a simpler program.
+            let mut last_failure = failure.clone();
+            let mut predicate = |p: &crate::ast::FuzzProgram| -> bool {
+                let (plan2, expected) = replan(&plan, p);
+                match oracle.run_case(&plan2, &p.render(), expected.as_ref()) {
+                    Ok(_) => false,
+                    Err(f) => {
+                        let hit = f.kind == kind;
+                        if hit {
+                            last_failure = f;
+                        }
+                        hit
+                    }
+                }
+            };
+            let shrunk = shrink(&case.program, &mut predicate, cfg.shrink_budget);
+            Row::Fail(
+                Box::new(Counterexample {
+                    index,
+                    plan: plan.describe(),
+                    failure: last_failure,
+                    original: src,
+                    shrunk: shrunk.render(),
+                }),
+                plan,
+                features,
+            )
+        }
+    }
+}
+
+/// Recomputes the program-derived parts of a plan (ABS rounding unit,
+/// expected ideal result) for a shrink candidate.
+fn replan(plan: &CasePlan, p: &crate::ast::FuzzProgram) -> (CasePlan, Option<Rational>) {
+    let mut plan2 = plan.clone();
+    match crate::eval::eval_ideal(p) {
+        Ok(run) => {
+            if plan.instantiation == Instantiation::AbsoluteError {
+                plan2.rnd_unit =
+                    Some(crate::gen::abs_rnd_unit(plan.format, plan.mode, &run.max_abs));
+            }
+            (plan2, Some(run.result))
+        }
+        Err(_) => (plan2, None),
+    }
+}
+
+fn assemble(cfg: &FuzzConfig, rows: Vec<Row>) -> FuzzOutcome {
+    let mut rp = 0usize;
+    let mut abs = 0usize;
+    let mut formats: BTreeMap<String, usize> = BTreeMap::new();
+    let mut modes: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut passed = 0usize;
+    let mut vacuous = 0usize;
+    let mut failed = 0usize;
+    let mut feat = FeatureTotals::default();
+    let mut counterexamples = Vec::new();
+
+    for row in rows {
+        let (plan, features) = match &row {
+            Row::Pass { plan, features, vacuous: v } => {
+                passed += 1;
+                if *v {
+                    vacuous += 1;
+                }
+                (plan.clone(), *features)
+            }
+            Row::Fail(cx, plan, features) => {
+                failed += 1;
+                counterexamples.push((**cx).clone());
+                (plan.clone(), *features)
+            }
+        };
+        match plan.instantiation {
+            Instantiation::RelativePrecision => rp += 1,
+            Instantiation::AbsoluteError => abs += 1,
+        }
+        *formats.entry(plan.format.to_string()).or_default() += 1;
+        let mode = match plan.mode {
+            RoundingMode::TowardPositive => "ru",
+            RoundingMode::TowardNegative => "rd",
+            RoundingMode::TowardZero => "rz",
+            RoundingMode::NearestEven => "rn",
+        };
+        *modes.entry(mode).or_default() += 1;
+        feat.add(&features);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "numfuzz fuzz: cases={} seed={}", cfg.cases, cfg.seed);
+    let _ = writeln!(out, "instantiations: rp={rp} abs={abs}");
+    let mut fline = String::from("formats:");
+    for (name, n) in &formats {
+        let _ = write!(fline, " {name}={n}");
+    }
+    out.push_str(&fline);
+    out.push('\n');
+    let mut mline = String::from("modes:");
+    for key in ["ru", "rd", "rz", "rn"] {
+        let _ = write!(mline, " {key}={}", modes.get(key).copied().unwrap_or(0));
+    }
+    out.push_str(&mline);
+    out.push('\n');
+    out.push_str(&feat.render());
+    let _ = writeln!(out, "outcomes: passed={passed} vacuous-fault={vacuous} failed={failed}");
+    let _ = writeln!(out, "counterexamples: {}", counterexamples.len());
+    for cx in &counterexamples {
+        let _ = writeln!(
+            out,
+            "case {} ({}): {}: {}",
+            cx.index,
+            cx.plan,
+            cx.failure.kind.name(),
+            cx.failure.detail.lines().next().unwrap_or("")
+        );
+    }
+
+    FuzzOutcome { report: out, counterexamples }
+}
+
+/// Programs-containing-feature counters.
+#[derive(Default)]
+struct FeatureTotals {
+    let_functions: usize,
+    conditionals: usize,
+    case_sum: usize,
+    tensor_pairs: usize,
+    with_pairs: usize,
+    sums: usize,
+    boxes: usize,
+    sqrt: usize,
+    div: usize,
+    sub_or_neg: usize,
+    neg_const: usize,
+    zero_const: usize,
+    rnd: usize,
+    ret: usize,
+    bind: usize,
+    stored_monad: usize,
+    calls: usize,
+    comparisons: usize,
+}
+
+impl FeatureTotals {
+    fn add(&mut self, f: &Features) {
+        self.let_functions += f.let_functions as usize;
+        self.conditionals += f.conditionals as usize;
+        self.case_sum += f.case_sum as usize;
+        self.tensor_pairs += f.tensor_pairs as usize;
+        self.with_pairs += f.with_pairs as usize;
+        self.sums += f.sums as usize;
+        self.boxes += f.boxes as usize;
+        self.sqrt += f.sqrt as usize;
+        self.div += f.div as usize;
+        self.sub_or_neg += f.sub_or_neg as usize;
+        self.neg_const += f.neg_const as usize;
+        self.zero_const += f.zero_const as usize;
+        self.rnd += f.rnd as usize;
+        self.ret += f.ret as usize;
+        self.bind += f.bind as usize;
+        self.stored_monad += f.stored_monad as usize;
+        self.calls += f.calls as usize;
+        self.comparisons += f.comparisons as usize;
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "features (programs containing): functions={} conditionals={} case-sum={} \
+             tensor-pairs={} cartesian-pairs={} sums={} boxes={} sqrt={} div={} sub-or-neg={} \
+             negative-consts={} zero-consts={} rnd={} ret={} bind={} stored-monad={} calls={} \
+             comparisons={}\n",
+            self.let_functions,
+            self.conditionals,
+            self.case_sum,
+            self.tensor_pairs,
+            self.with_pairs,
+            self.sums,
+            self.boxes,
+            self.sqrt,
+            self.div,
+            self.sub_or_neg,
+            self.neg_const,
+            self.zero_const,
+            self.rnd,
+            self.ret,
+            self.bind,
+            self.stored_monad,
+            self.calls,
+            self.comparisons,
+        )
+    }
+}

@@ -1,0 +1,258 @@
+//! A tiny reference evaluator for the generator's AST under the *ideal*
+//! semantics (`rnd` = identity).
+//!
+//! Two consumers:
+//!
+//! * the differential oracle cross-checks the interpreter's ideal run
+//!   against this completely independent evaluation (structurally
+//!   recursive over surface syntax, no arenas, no machine);
+//! * the absolute-error instantiation derives its rounding unit
+//!   `delta = u·M` from the maximum magnitude observed here.
+//!
+//! The evaluator is exact: every operation the generator emits (other
+//! than `sqrt`, which yields an enclosure and aborts with
+//! [`NotPoint`]) is closed rational arithmetic.
+
+use crate::ast::{Block, FnBody, FnDef, FuzzProgram, MExpr, Op1, Op2, OpPair, PExpr, Stmt};
+use numfuzz_exact::Rational;
+use std::collections::HashMap;
+
+/// The program takes a square root somewhere on the evaluated path, so
+/// its ideal result is an enclosure rather than a point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPoint;
+
+/// Result of an ideal reference run.
+#[derive(Clone, Debug)]
+pub struct IdealRun {
+    /// The program's result (the payload of the final monadic value).
+    pub result: Rational,
+    /// The largest magnitude of any numeric value computed anywhere in
+    /// the run (range bound for the ABS rounding unit).
+    pub max_abs: Rational,
+}
+
+/// Runtime values.
+#[derive(Clone, Debug)]
+enum Val {
+    Num(Rational),
+    PairT(Rational, Rational),
+    PairW(Rational, Rational),
+    Inl(Rational),
+    Inr(Rational),
+    Boxed(Rational),
+    Bool(bool),
+    Monad(Rational),
+}
+
+impl Val {
+    fn num(self) -> Rational {
+        match self {
+            Val::Num(q) => q,
+            other => panic!("reference evaluator: expected num, got {other:?}"),
+        }
+    }
+}
+
+struct Ctx<'a> {
+    prog: &'a FuzzProgram,
+    max_abs: Rational,
+}
+
+impl Ctx<'_> {
+    fn note(&mut self, q: &Rational) {
+        let a = q.abs();
+        if a > self.max_abs {
+            self.max_abs = a;
+        }
+    }
+
+    fn fndef(&self, name: &str) -> &FnDef {
+        self.prog
+            .fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("reference evaluator: unknown function `{name}`"))
+    }
+}
+
+/// Evaluates the program under the ideal semantics.
+///
+/// # Errors
+///
+/// [`NotPoint`] when the evaluated path takes a `sqrt`.
+pub fn eval_ideal(prog: &FuzzProgram) -> Result<IdealRun, NotPoint> {
+    let mut cx = Ctx { prog, max_abs: Rational::zero() };
+    let env = HashMap::new();
+    let v = eval_block(&mut cx, &env, &prog.main)?;
+    match v {
+        Val::Monad(q) => Ok(IdealRun { result: q, max_abs: cx.max_abs }),
+        other => panic!("reference evaluator: main block produced {other:?}"),
+    }
+}
+
+type Env = HashMap<String, Val>;
+
+fn eval_block(cx: &mut Ctx, outer: &Env, b: &Block) -> Result<Val, NotPoint> {
+    let mut env = outer.clone();
+    for s in &b.stmts {
+        eval_stmt(cx, &mut env, s)?;
+    }
+    eval_mexpr(cx, &env, &b.tail)
+}
+
+fn eval_stmt(cx: &mut Ctx, env: &mut Env, s: &Stmt) -> Result<(), NotPoint> {
+    match s {
+        Stmt::Pure(x, e) => {
+            let v = eval_pexpr(cx, env, e)?;
+            env.insert(x.clone(), v);
+        }
+        Stmt::StoreM(x, m) => {
+            let v = eval_mexpr(cx, env, m)?;
+            env.insert(x.clone(), v);
+        }
+        Stmt::Bind(x, m) => match eval_mexpr(cx, env, m)? {
+            Val::Monad(q) => {
+                env.insert(x.clone(), Val::Num(q));
+            }
+            other => panic!("reference evaluator: bind of {other:?}"),
+        },
+        Stmt::Unbox(x, p) => match env.get(p) {
+            Some(Val::Boxed(q)) => {
+                let q = q.clone();
+                env.insert(x.clone(), Val::Num(q));
+            }
+            other => panic!("reference evaluator: unbox of {other:?}"),
+        },
+    }
+    Ok(())
+}
+
+fn eval_mexpr(cx: &mut Ctx, env: &Env, m: &MExpr) -> Result<Val, NotPoint> {
+    match m {
+        // Ideal semantics: rnd is the identity.
+        MExpr::Rnd(e) | MExpr::Ret(e) => Ok(Val::Monad(eval_pexpr(cx, env, e)?.num())),
+        MExpr::CallM(f, args) => eval_call(cx, env, f, args),
+        MExpr::StoredM(x) => match env.get(x) {
+            Some(v @ Val::Monad(_)) => Ok(v.clone()),
+            other => panic!("reference evaluator: stored monad is {other:?}"),
+        },
+        MExpr::If(c, a, b) => match eval_pexpr(cx, env, c)? {
+            Val::Bool(true) => eval_block(cx, env, a),
+            Val::Bool(false) => eval_block(cx, env, b),
+            other => panic!("reference evaluator: guard is {other:?}"),
+        },
+        MExpr::CaseSum(s, x, a, y, b) => match eval_pexpr(cx, env, s)? {
+            Val::Inl(q) => {
+                let mut env = env.clone();
+                env.insert(x.clone(), Val::Num(q));
+                eval_block(cx, &env, a)
+            }
+            Val::Inr(q) => {
+                let mut env = env.clone();
+                env.insert(y.clone(), Val::Num(q));
+                eval_block(cx, &env, b)
+            }
+            other => panic!("reference evaluator: case on {other:?}"),
+        },
+    }
+}
+
+fn eval_call(cx: &mut Ctx, env: &Env, f: &str, args: &[PExpr]) -> Result<Val, NotPoint> {
+    let vals: Vec<Val> = args.iter().map(|a| eval_pexpr(cx, env, a)).collect::<Result<_, _>>()?;
+    let def = cx.fndef(f).clone();
+    let mut frame: Env = HashMap::new();
+    for ((p, _), v) in def.params.iter().zip(vals) {
+        frame.insert(p.clone(), v);
+    }
+    match &def.body {
+        FnBody::Pure(b) => {
+            let mut env = frame;
+            for s in &b.stmts {
+                eval_stmt(cx, &mut env, s)?;
+            }
+            Ok(Val::Num(eval_pexpr(cx, &env, &b.tail)?.num()))
+        }
+        FnBody::Monadic(b) => eval_block(cx, &frame, b),
+    }
+}
+
+fn num(cx: &mut Ctx, env: &Env, e: &PExpr) -> Result<Rational, NotPoint> {
+    Ok(eval_pexpr(cx, env, e)?.num())
+}
+
+fn eval_pexpr(cx: &mut Ctx, env: &Env, e: &PExpr) -> Result<Val, NotPoint> {
+    let out = match e {
+        PExpr::Const(q) => Val::Num(q.clone()),
+        PExpr::Var(x) => match env.get(x) {
+            Some(v) => v.clone(),
+            None => panic!("reference evaluator: unbound `{x}`"),
+        },
+        PExpr::Op1(op, a) => {
+            let q = num(cx, env, a)?;
+            let r = match op {
+                Op1::Sqrt => return Err(NotPoint),
+                Op1::Neg => q.neg(),
+                Op1::Half => q.mul(&Rational::ratio(1, 2)),
+                Op1::Scale2 => q.mul(&Rational::from_int(2)),
+            };
+            Val::Num(r)
+        }
+        PExpr::Op2(op, a, b) => {
+            let x = num(cx, env, a)?;
+            let y = num(cx, env, b)?;
+            Val::Num(op2(*op, &x, &y))
+        }
+        PExpr::OpPair(op, v) => {
+            let (x, y) = match env.get(v) {
+                Some(Val::PairT(a, b)) | Some(Val::PairW(a, b)) => (a.clone(), b.clone()),
+                other => panic!("reference evaluator: pair op on {other:?}"),
+            };
+            let r = match op {
+                OpPair::Mul => x.mul(&y),
+                OpPair::Div => x.div(&y),
+                OpPair::AddW | OpPair::AddT => x.add(&y),
+                OpPair::Sub => x.sub(&y),
+            };
+            Val::Num(r)
+        }
+        PExpr::Fst(a) => match eval_pexpr(cx, env, a)? {
+            Val::PairW(x, _) => Val::Num(x),
+            other => panic!("reference evaluator: fst of {other:?}"),
+        },
+        PExpr::Snd(a) => match eval_pexpr(cx, env, a)? {
+            Val::PairW(_, y) => Val::Num(y),
+            other => panic!("reference evaluator: snd of {other:?}"),
+        },
+        PExpr::PairT(a, b) => Val::PairT(num(cx, env, a)?, num(cx, env, b)?),
+        PExpr::PairW(a, b) => Val::PairW(num(cx, env, a)?, num(cx, env, b)?),
+        PExpr::Inl(a) => Val::Inl(num(cx, env, a)?),
+        PExpr::Inr(a) => Val::Inr(num(cx, env, a)?),
+        PExpr::BoxC(_, a) | PExpr::BoxInf(a) => Val::Boxed(num(cx, env, a)?),
+        PExpr::True => Val::Bool(true),
+        PExpr::False => Val::Bool(false),
+        PExpr::IsPos(a) => Val::Bool(num(cx, env, a)?.is_positive()),
+        PExpr::IsGt(a, b) => Val::Bool(num(cx, env, a)? > num(cx, env, b)?),
+        PExpr::Call(f, args) => eval_call(cx, env, f, args)?,
+    };
+    if let Val::Num(q) | Val::Boxed(q) | Val::Monad(q) = &out {
+        cx.note(q);
+    }
+    if let Val::PairT(a, b) | Val::PairW(a, b) = &out {
+        cx.note(a);
+        cx.note(b);
+    }
+    if let Val::Inl(q) | Val::Inr(q) = &out {
+        cx.note(q);
+    }
+    Ok(out)
+}
+
+fn op2(op: Op2, x: &Rational, y: &Rational) -> Rational {
+    match op {
+        Op2::AddW | Op2::AddT => x.add(y),
+        Op2::Mul => x.mul(y),
+        Op2::Div => x.div(y),
+        Op2::Sub => x.sub(y),
+    }
+}

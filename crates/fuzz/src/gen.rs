@@ -1,0 +1,1122 @@
+//! The seeded, sized generator of *well-typed* full-surface Λnum
+//! programs.
+//!
+//! Generation is type-directed: every expression is built at a known
+//! type, and a conservative sensitivity discipline guarantees the result
+//! passes the Fig. 10 checker:
+//!
+//! * **budgets** — every variable carries a remaining-use budget chosen
+//!   so its inferred sensitivity stays within what its binder allows
+//!   (λ-bound variables ≤ 1, `![k]`-unboxed variables ≤ k);
+//! * **risky vs. closed** — a variable is *risky* when sensitivities
+//!   flowing through it must never be scaled by the checker's `ε`
+//!   stand-in for an unused binding (λ parameters, unboxed variables,
+//!   monadic binds, and any `let` whose right-hand side mentions one).
+//!   Statements that consume a risky variable become *must-use*
+//!   obligations threaded to the enclosing block's tail, so no risky
+//!   dataflow ever dead-ends in a dropped binding;
+//! * **grade tracking** — all monadic grades the generator produces are
+//!   `c·eps` (or `c·delta`) with rational `c`; blocks return their
+//!   tracked coefficient, and function declarations use it, so declared
+//!   types are always supertypes of what inference produces.
+//!
+//! Under the relative-precision instantiation every numeric value is
+//! strictly positive (the paper interprets `num` as `R>0`), which also
+//! rules out division by zero and `sqrt` of negatives at evaluation
+//! time. Under the absolute-error instantiation constants may be
+//! negative or zero — that is where sign-handling bugs in the softfloat
+//! substrate would surface.
+
+use crate::ast::{
+    Block, FnBody, FnDef, FuzzProgram, MExpr, Op1, Op2, OpPair, PBlock, PExpr, PTy, RetTy, Stmt,
+};
+use crate::eval::eval_ideal;
+use numfuzz_core::Instantiation;
+use numfuzz_exact::Rational;
+use numfuzz_softfloat::{Format, RoundingMode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Everything the oracle needs to analyze one generated case.
+#[derive(Clone, Debug)]
+pub struct CasePlan {
+    /// Case index within the run.
+    pub index: usize,
+    /// The per-case seed derived from the master seed.
+    pub case_seed: u64,
+    /// Which instantiation the program targets.
+    pub instantiation: Instantiation,
+    /// Floating-point format for the fp semantics.
+    pub format: Format,
+    /// Rounding mode for the fp semantics.
+    pub mode: RoundingMode,
+    /// Value to substitute for the rounding-grade symbol. `None` means
+    /// the format/mode unit roundoff (the RP convention); the
+    /// absolute-error instantiation needs `u·M` for a range bound `M`,
+    /// which the generator computes from the program's ideal run.
+    pub rnd_unit: Option<Rational>,
+}
+
+impl CasePlan {
+    /// One-line description for reports and counterexample headers.
+    pub fn describe(&self) -> String {
+        let inst = match self.instantiation {
+            Instantiation::RelativePrecision => "rp",
+            Instantiation::AbsoluteError => "abs",
+        };
+        format!("{inst} {} {}", self.format, self.mode)
+    }
+}
+
+/// A generated case: the analysis plan, the program, and (when the
+/// program is interval-free) the reference evaluator's ideal result for
+/// the cross-check against the interpreter.
+#[derive(Clone, Debug)]
+pub struct GeneratedCase {
+    /// The analysis plan.
+    pub plan: CasePlan,
+    /// The program.
+    pub program: FuzzProgram,
+    /// The generator's own ideal-semantics result (`None` when the
+    /// program takes a square root, whose result is an enclosure).
+    pub expected_ideal: Option<Rational>,
+}
+
+/// SplitMix64-style mixing of the master seed and case index, so cases
+/// are independent and the whole run is reproducible from one seed.
+pub fn case_seed(master_seed: u64, index: usize) -> u64 {
+    let mut z = master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The absolute-error instantiation's rounding unit `delta = u·M` for a
+/// range bound `M = 2·max_abs + 2` — comfortably above every magnitude
+/// the fp run can reach: fp intermediates stay within
+/// `max_ideal + grade·u·M`, and `grade·u ≪ 1` for the formats and
+/// program sizes generated here. Shared with the shrinker's replanning
+/// so candidates are always judged under the same formula.
+pub fn abs_rnd_unit(format: Format, mode: RoundingMode, max_abs: &Rational) -> Rational {
+    let m = Rational::from_int(2).mul(max_abs).add(&Rational::from_int(2));
+    format.unit_roundoff(mode).mul(&m)
+}
+
+/// Generates case `index` of a run seeded with `master_seed`.
+pub fn generate_case(master_seed: u64, index: usize) -> GeneratedCase {
+    let seed = case_seed(master_seed, index);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let instantiation = if rng.gen_range(0u32..3) < 2 {
+        Instantiation::RelativePrecision
+    } else {
+        Instantiation::AbsoluteError
+    };
+    let format = match instantiation {
+        Instantiation::RelativePrecision => match rng.gen_range(0u32..7) {
+            0..=2 => Format::BINARY64,
+            3..=4 => Format::BINARY32,
+            5 => Format::new(9, 60),
+            _ => Format::new(6, 30),
+        },
+        // Keep ABS to the two real formats: its rounding unit `u·M` is
+        // derived from a magnitude bound that assumes `u` is small.
+        Instantiation::AbsoluteError => {
+            if rng.gen_range(0u32..2) == 0 {
+                Format::BINARY64
+            } else {
+                Format::BINARY32
+            }
+        }
+    };
+    let mode = RoundingMode::ALL[rng.gen_range(0usize..4)];
+
+    let mut g = Gen { rng, inst: instantiation, fuel: 0, fns: Vec::new(), next_var: 0 };
+    g.fuel = g.rng.gen_range(24i64..96);
+    let program = g.program();
+
+    let ideal = eval_ideal(&program);
+    let (expected_ideal, max_abs) = match ideal {
+        Ok(r) => (Some(r.result), Some(r.max_abs)),
+        Err(_) => (None, None),
+    };
+    let rnd_unit = match instantiation {
+        Instantiation::RelativePrecision => None,
+        Instantiation::AbsoluteError => {
+            let max = max_abs.expect("ABS programs are interval-free");
+            Some(abs_rnd_unit(format, mode, &max))
+        }
+    };
+
+    GeneratedCase {
+        plan: CasePlan { index, case_seed: seed, instantiation, format, mode, rnd_unit },
+        program,
+        expected_ideal,
+    }
+}
+
+/// The type of a scope variable as the generator tracks it.
+#[derive(Clone, PartialEq, Debug)]
+enum VTy {
+    Num,
+    TensorNN,
+    WithNN,
+    SumNN,
+    /// A stored monadic value `M[c]num`.
+    MonadNum(Rational),
+}
+
+#[derive(Clone, Debug)]
+struct VarInfo {
+    name: String,
+    ty: VTy,
+    /// Whether the value may be an enclosure (downstream of `sqrt`).
+    point: bool,
+    /// Sensitivities through this variable must never hit the checker's
+    /// unused-binding `ε` substitution (see module docs).
+    risky: bool,
+    /// Remaining uses.
+    budget: u32,
+    /// Reserved for a pending must-use obligation: optional leaf picks
+    /// must not consume it (only its obligation site may).
+    reserved: bool,
+}
+
+/// Information about a generated function, for call sites.
+#[derive(Clone, Debug)]
+struct FnInfo {
+    name: String,
+    params: Vec<PTy>,
+    ret: RetTy,
+    /// Whether results are guaranteed interval-free.
+    point: bool,
+}
+
+struct Gen {
+    rng: StdRng,
+    inst: Instantiation,
+    fuel: i64,
+    fns: Vec<FnInfo>,
+    next_var: usize,
+}
+
+/// A generated pure expression with its tracked facts.
+struct Px {
+    e: PExpr,
+    risky: bool,
+    point: bool,
+}
+
+impl Gen {
+    fn fresh(&mut self, prefix: &str) -> String {
+        let n = self.next_var;
+        self.next_var += 1;
+        format!("{prefix}{n}")
+    }
+
+    fn coin(&mut self, p_num: u32, p_den: u32) -> bool {
+        self.rng.gen_range(0..p_den) < p_num
+    }
+
+    fn spend(&mut self, n: i64) {
+        self.fuel -= n;
+    }
+
+    fn rp(&self) -> bool {
+        self.inst == Instantiation::RelativePrecision
+    }
+
+    // ----- program -----
+
+    fn program(&mut self) -> FuzzProgram {
+        let nfns = self.rng.gen_range(0usize..4);
+        let mut fns = Vec::new();
+        for _ in 0..nfns {
+            if self.fuel < 8 {
+                break;
+            }
+            fns.push(self.gen_fn());
+        }
+        let mut scope: Vec<VarInfo> = Vec::new();
+        let (mut main, grade) = self.mblock(&mut scope, Vec::new(), 2);
+        let mut program = FuzzProgram { inst: self.inst, fns, main: main.clone() };
+        let _ = grade;
+        if program.features().sqrt && !matches!(main.tail, MExpr::Rnd(_)) {
+            // A grade-0 program whose result is a `sqrt` enclosure would
+            // trip the validator's interval comparison even though the
+            // true distance is 0 (harness incompleteness, not
+            // unsoundness: `sup RP(X, X) > 0` for a non-point enclosure).
+            // The *inferred* root grade can be 0 whenever no rounding
+            // reaches the result at positive sensitivity (our tracked
+            // grade only bounds it from above), so route the result
+            // through one final rounding unless the tail already is one:
+            // a `rnd` tail forces grade >= eps, which dwarfs the
+            // enclosure width and keeps the comparison decidable.
+            let x = self.fresh("v");
+            let tail = std::mem::replace(&mut main.tail, MExpr::Rnd(PExpr::Var(x.clone())));
+            main.stmts.push(Stmt::Bind(x, tail));
+            program.main = main;
+        }
+        program
+    }
+
+    // ----- functions -----
+
+    fn gen_fn(&mut self) -> FnDef {
+        let name = format!("f{}", self.fns.len());
+        let nparams = self.rng.gen_range(0usize..3);
+        let mut params: Vec<(String, PTy)> = Vec::new();
+        for _ in 0..nparams {
+            let ty = self.param_ty();
+            let p = self.fresh("v");
+            params.push((p, ty));
+        }
+
+        // Scope from the parameters; `![s]` parameters are unboxed by a
+        // leading statement and enter the scope as their payload.
+        let mut scope: Vec<VarInfo> = Vec::new();
+        let mut unbox_stmts: Vec<Stmt> = Vec::new();
+        for (p, ty) in &params {
+            match ty {
+                PTy::Num => scope.push(VarInfo {
+                    name: p.clone(),
+                    ty: VTy::Num,
+                    point: true,
+                    risky: true,
+                    budget: 1,
+                    reserved: false,
+                }),
+                PTy::TensorNN => scope.push(VarInfo {
+                    name: p.clone(),
+                    ty: VTy::TensorNN,
+                    point: true,
+                    risky: true,
+                    budget: 1,
+                    reserved: false,
+                }),
+                PTy::WithNN => scope.push(VarInfo {
+                    name: p.clone(),
+                    ty: VTy::WithNN,
+                    point: true,
+                    risky: true,
+                    budget: 1,
+                    reserved: false,
+                }),
+                PTy::SumNN => scope.push(VarInfo {
+                    name: p.clone(),
+                    ty: VTy::SumNN,
+                    point: true,
+                    risky: true,
+                    budget: 1,
+                    reserved: false,
+                }),
+                PTy::BangK(k) => {
+                    let x = self.fresh("v");
+                    unbox_stmts.push(Stmt::Unbox(x.clone(), p.clone()));
+                    scope.push(VarInfo {
+                        name: x,
+                        ty: VTy::Num,
+                        point: true,
+                        risky: true,
+                        budget: *k,
+                        reserved: false,
+                    });
+                }
+                PTy::BangInf => {
+                    let x = self.fresh("v");
+                    unbox_stmts.push(Stmt::Unbox(x.clone(), p.clone()));
+                    scope.push(VarInfo {
+                        name: x,
+                        ty: VTy::Num,
+                        point: true,
+                        risky: true,
+                        budget: 4,
+                        reserved: false,
+                    });
+                }
+            }
+        }
+
+        let monadic = self.coin(7, 10);
+        let (body, ret) = if monadic {
+            let (mut block, grade) = self.mblock(&mut scope, Vec::new(), 1);
+            let mut stmts = unbox_stmts;
+            stmts.append(&mut block.stmts);
+            block.stmts = stmts;
+            (FnBody::Monadic(block), RetTy::MonadNum(grade))
+        } else {
+            let mut block = self.pblock(&mut scope);
+            let mut stmts = unbox_stmts;
+            stmts.append(&mut block.stmts);
+            block.stmts = stmts;
+            (FnBody::Pure(block), RetTy::Num)
+        };
+
+        let def = FnDef { name: name.clone(), params: params.clone(), ret: ret.clone(), body };
+        let point = !body_has_sqrt(&def);
+        self.fns.push(FnInfo {
+            name,
+            params: params.into_iter().map(|(_, t)| t).collect(),
+            ret,
+            point,
+        });
+        def
+    }
+
+    fn param_ty(&mut self) -> PTy {
+        if self.rp() {
+            match self.rng.gen_range(0u32..10) {
+                0..=3 => PTy::Num,
+                4 => PTy::TensorNN,
+                5 => PTy::WithNN,
+                6 => PTy::SumNN,
+                7 => PTy::BangK(2),
+                8 => PTy::BangK(3),
+                _ => PTy::BangInf,
+            }
+        } else {
+            match self.rng.gen_range(0u32..8) {
+                0..=3 => PTy::Num,
+                4 => PTy::TensorNN,
+                5 => PTy::SumNN,
+                6 => PTy::BangK(2),
+                _ => PTy::WithNN,
+            }
+        }
+    }
+
+    // ----- blocks -----
+
+    /// Generates a monadic block. `required` names scope variables that
+    /// must be consumed exactly once inside this block; the returned
+    /// grade is an upper bound (coefficient-wise) on what the checker
+    /// infers for the block.
+    fn mblock(
+        &mut self,
+        scope: &mut Vec<VarInfo>,
+        required: Vec<String>,
+        depth: u32,
+    ) -> (Block, Rational) {
+        let mut stmts: Vec<Stmt> = Vec::new();
+        let mut pending = required;
+        let mut grade = Rational::zero();
+
+        let nstmts = if self.fuel > 6 { self.rng.gen_range(0usize..4) } else { 0 };
+        for _ in 0..nstmts {
+            if self.fuel < 3 {
+                break;
+            }
+            self.gen_stmt(scope, &mut stmts, &mut pending, &mut grade, depth);
+        }
+
+        // Stored monadic values still pending must be bound before the
+        // tail (only `let x = v;` can consume them); the bound result
+        // inherits the must-use obligation.
+        let monadic_pending: Vec<String> = pending
+            .iter()
+            .filter(|n| scope.iter().any(|v| &&v.name == n && matches!(v.ty, VTy::MonadNum(_))))
+            .cloned()
+            .collect();
+        for name in monadic_pending {
+            pending.retain(|n| n != &name);
+            let c = match scope.iter_mut().find(|v| v.name == name) {
+                Some(v) => {
+                    v.budget = 0;
+                    match &v.ty {
+                        VTy::MonadNum(c) => c.clone(),
+                        _ => unreachable!("filtered above"),
+                    }
+                }
+                None => unreachable!("pending vars are in scope"),
+            };
+            grade = grade.add(&c);
+            let x = self.fresh("v");
+            stmts.push(Stmt::Bind(x.clone(), MExpr::StoredM(name)));
+            scope.push(VarInfo {
+                name: x.clone(),
+                ty: VTy::Num,
+                point: true,
+                risky: true,
+                budget: 1,
+                reserved: true,
+            });
+            pending.push(x);
+        }
+
+        let (tail, tail_grade) = self.mtail(scope, pending, depth);
+        grade = grade.add(&tail_grade);
+        (Block { stmts, tail }, grade)
+    }
+
+    /// One statement; may consume pending obligations and create new ones.
+    fn gen_stmt(
+        &mut self,
+        scope: &mut Vec<VarInfo>,
+        stmts: &mut Vec<Stmt>,
+        pending: &mut Vec<String>,
+        grade: &mut Rational,
+        depth: u32,
+    ) {
+        self.spend(2);
+        // Pick up to one pending *num* obligation to thread through this
+        // statement (stored monads are handled at the tail).
+        let take_pending =
+            |g: &mut Gen, scope: &Vec<VarInfo>, pending: &mut Vec<String>| -> Vec<String> {
+                let nums: Vec<String> = pending
+                    .iter()
+                    .filter(|n| scope.iter().any(|v| &&v.name == n && v.ty == VTy::Num))
+                    .cloned()
+                    .collect();
+                if !nums.is_empty() && g.coin(2, 3) {
+                    let pick = nums[g.rng.gen_range(0..nums.len() as u32) as usize].clone();
+                    pending.retain(|n| n != &pick);
+                    vec![pick]
+                } else {
+                    Vec::new()
+                }
+            };
+
+        match self.rng.gen_range(0u32..10) {
+            // x = <pure num>;
+            0..=3 => {
+                let req = take_pending(self, scope, pending);
+                let px = self.pure_num(scope, &req, 1);
+                let x = self.fresh("v");
+                let (risky, budget) =
+                    if px.risky { (true, 1) } else { (false, self.rng.gen_range(1u32..4)) };
+                if risky {
+                    pending.push(x.clone());
+                }
+                scope.push(VarInfo {
+                    name: x.clone(),
+                    ty: VTy::Num,
+                    point: px.point,
+                    risky,
+                    budget,
+                    reserved: risky,
+                });
+                stmts.push(Stmt::Pure(x, px.e));
+            }
+            // x = m;  (store a monadic value; always an obligation)
+            4 => {
+                let req = take_pending(self, scope, pending);
+                let (m, c, _risky, point) = self.msimple(scope, &req, depth);
+                let x = self.fresh("v");
+                scope.push(VarInfo {
+                    name: x.clone(),
+                    ty: VTy::MonadNum(c),
+                    point,
+                    risky: true,
+                    budget: 1,
+                    reserved: true,
+                });
+                pending.push(x.clone());
+                stmts.push(Stmt::StoreM(x, m));
+            }
+            // let x = m;
+            5..=9 => {
+                let req = take_pending(self, scope, pending);
+                let (m, c, risky, point) = if depth > 0 && self.fuel > 10 && self.coin(1, 4) {
+                    self.mctrl(scope, req, depth - 1)
+                } else {
+                    self.msimple(scope, &req, depth)
+                };
+                *grade = grade.add(&c);
+                let x = self.fresh("v");
+                if risky {
+                    pending.push(x.clone());
+                }
+                scope.push(VarInfo {
+                    name: x.clone(),
+                    ty: VTy::Num,
+                    point,
+                    risky: true,
+                    budget: 1,
+                    reserved: risky,
+                });
+                stmts.push(Stmt::Bind(x, m));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// The tail of a monadic block: consumes every remaining obligation.
+    fn mtail(
+        &mut self,
+        scope: &mut Vec<VarInfo>,
+        pending: Vec<String>,
+        depth: u32,
+    ) -> (MExpr, Rational) {
+        self.spend(2);
+        // Control-flow tails.
+        if depth > 0 && self.fuel > 8 && self.coin(2, 5) {
+            let (m, c, _risky, _point) = self.mctrl(scope, pending, depth - 1);
+            return (m, c);
+        }
+        // Monadic function call.
+        if !self.fns.is_empty() && self.coin(1, 3) {
+            if let Some((m, c)) = self.try_callm(scope, &pending, depth) {
+                return (m, c);
+            }
+        }
+        let px = self.pure_num(scope, &pending, 1);
+        if self.coin(3, 4) {
+            (MExpr::Rnd(px.e), Rational::one())
+        } else {
+            (MExpr::Ret(px.e), Rational::zero())
+        }
+    }
+
+    /// A simple (non-control-flow) monadic expression.
+    fn msimple(
+        &mut self,
+        scope: &mut Vec<VarInfo>,
+        required: &[String],
+        depth: u32,
+    ) -> (MExpr, Rational, bool, bool) {
+        if !self.fns.is_empty() && self.coin(1, 3) {
+            if let Some((m, c)) = self.try_callm(scope, required, depth) {
+                let risky = !required.is_empty() || mexpr_mentions_vars(&m, scope);
+                let point = mexpr_point(&m, &self.fns);
+                return (m, c, risky, point);
+            }
+        }
+        let px = self.pure_num(scope, required, 1);
+        if self.coin(3, 4) {
+            (MExpr::Rnd(px.e), Rational::one(), px.risky, px.point)
+        } else {
+            (MExpr::Ret(px.e), Rational::zero(), px.risky, px.point)
+        }
+    }
+
+    /// A control-flow monadic expression: `if` or `case` with block arms.
+    fn mctrl(
+        &mut self,
+        scope: &mut Vec<VarInfo>,
+        pending: Vec<String>,
+        depth: u32,
+    ) -> (MExpr, Rational, bool, bool) {
+        self.spend(6);
+        // Partition obligations between the arms.
+        let mut left_req = Vec::new();
+        let mut right_req = Vec::new();
+        for p in pending {
+            if self.coin(1, 2) {
+                left_req.push(p);
+            } else {
+                right_req.push(p);
+            }
+        }
+
+        let use_case = self.coin(1, 2);
+        if use_case {
+            // Scrutinee: a sum-typed variable, or an inl/inr value.
+            let sum_var = self.take_var(scope, |v| v.ty == VTy::SumNN);
+            let (scrut, scrut_open, open_left) = match sum_var {
+                Some(name) => (PExpr::Var(name), true, true),
+                None => {
+                    let left = self.coin(1, 2);
+                    // The payload may carry obligations; they then flow
+                    // through the matching branch's bound variable.
+                    let req = if left {
+                        std::mem::take(&mut left_req)
+                    } else {
+                        std::mem::take(&mut right_req)
+                    };
+                    let px = self.pure_num(scope, &req, 1);
+                    let open = px.risky;
+                    let e =
+                        if left { PExpr::Inl(Box::new(px.e)) } else { PExpr::Inr(Box::new(px.e)) };
+                    (e, open, left)
+                }
+            };
+            let x = self.fresh("v");
+            let y = self.fresh("v");
+
+            let mut sl = scope.clone();
+            sl.push(VarInfo {
+                name: x.clone(),
+                ty: VTy::Num,
+                point: true,
+                risky: true,
+                budget: 1,
+                reserved: scrut_open && open_left,
+            });
+            let mut lreq = left_req.clone();
+            if scrut_open && open_left {
+                lreq.push(x.clone());
+            }
+            let (bl, gl) = self.mblock(&mut sl, lreq, depth);
+
+            let mut sr = scope.clone();
+            sr.push(VarInfo {
+                name: y.clone(),
+                ty: VTy::Num,
+                point: true,
+                risky: true,
+                budget: 1,
+                reserved: scrut_open && !open_left,
+            });
+            let mut rreq = right_req.clone();
+            if scrut_open && !open_left {
+                rreq.push(y.clone());
+            }
+            let (br, gr) = self.mblock(&mut sr, rreq, depth);
+
+            reconcile_budgets(scope, &sl, &sr);
+            let g = if gl < gr { gr } else { gl };
+            // Control flow is always risky: a dropped binding of this
+            // expression would eps-scale the scrutinee temporary the
+            // pretty-printer's let-hoisting surfaces (a second eps).
+            (MExpr::CaseSum(scrut, x, Box::new(bl), y, Box::new(br)), g, true, true)
+        } else {
+            let cond = self.closed_condition();
+            let mut sl = scope.clone();
+            let (bl, gl) = self.mblock(&mut sl, left_req, depth);
+            let mut sr = scope.clone();
+            let (br, gr) = self.mblock(&mut sr, right_req, depth);
+            reconcile_budgets(scope, &sl, &sr);
+            let g = if gl < gr { gr } else { gl };
+            (MExpr::If(cond, Box::new(bl), Box::new(br)), g, true, true)
+        }
+    }
+
+    /// A call to a generated monadic function whose arguments absorb the
+    /// given obligations; `None` when no function can.
+    fn try_callm(
+        &mut self,
+        scope: &mut Vec<VarInfo>,
+        required: &[String],
+        _depth: u32,
+    ) -> Option<(MExpr, Rational)> {
+        let candidates: Vec<usize> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| matches!(f.ret, RetTy::MonadNum(_)))
+            .filter(|(_, f)| {
+                required.is_empty()
+                    || f.params
+                        .iter()
+                        .any(|p| matches!(p, PTy::Num | PTy::TensorNN | PTy::WithNN | PTy::SumNN))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let fi = candidates[self.rng.gen_range(0..candidates.len() as u32) as usize];
+        let f = self.fns[fi].clone();
+        let args = self.call_args(scope, &f.params, required);
+        let c = match &f.ret {
+            RetTy::MonadNum(c) => c.clone(),
+            RetTy::Num => unreachable!("filtered above"),
+        };
+        Some((MExpr::CallM(f.name.clone(), args), c))
+    }
+
+    /// Argument list for a call, distributing `required` obligations over
+    /// the parameters that can absorb them.
+    fn call_args(
+        &mut self,
+        scope: &mut Vec<VarInfo>,
+        params: &[PTy],
+        required: &[String],
+    ) -> Vec<PExpr> {
+        // Assign each obligation to a capable parameter slot, round-robin.
+        let capable: Vec<usize> = params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, PTy::Num | PTy::TensorNN | PTy::WithNN | PTy::SumNN))
+            .map(|(i, _)| i)
+            .collect();
+        let mut slots: Vec<Vec<String>> = vec![Vec::new(); params.len()];
+        for (k, r) in required.iter().enumerate() {
+            let slot = capable[k % capable.len().max(1)];
+            slots[slot].push(r.clone());
+        }
+        params
+            .iter()
+            .zip(slots)
+            .map(|(p, req)| match p {
+                PTy::Num => self.pure_num(scope, &req, 1).e,
+                PTy::TensorNN => {
+                    // Split the obligations between the two components.
+                    let cut = req.len() / 2;
+                    let a = self.pure_num(scope, &req[..cut], 0).e;
+                    let b = self.pure_num(scope, &req[cut..], 0).e;
+                    PExpr::PairT(Box::new(a), Box::new(b))
+                }
+                PTy::WithNN => {
+                    let cut = req.len() / 2;
+                    let a = self.pure_num(scope, &req[..cut], 0).e;
+                    let b = self.pure_num(scope, &req[cut..], 0).e;
+                    PExpr::PairW(Box::new(a), Box::new(b))
+                }
+                PTy::SumNN => {
+                    let payload = self.pure_num(scope, &req, 0).e;
+                    if self.coin(1, 2) {
+                        PExpr::Inl(Box::new(payload))
+                    } else {
+                        PExpr::Inr(Box::new(payload))
+                    }
+                }
+                // Boxing scales the whole environment: payloads are closed.
+                PTy::BangK(k) => {
+                    PExpr::BoxC(Rational::from_int(*k as i64), Box::new(self.closed_num()))
+                }
+                PTy::BangInf => PExpr::BoxInf(Box::new(self.closed_num())),
+            })
+            .collect()
+    }
+
+    // ----- pure expressions -----
+
+    /// A pure `num` expression consuming each of `required` exactly once.
+    fn pure_num(&mut self, scope: &mut Vec<VarInfo>, required: &[String], depth: u32) -> Px {
+        self.spend(1 + required.len() as i64);
+        let mut leaves: Vec<Px> = Vec::new();
+        for r in required {
+            let v =
+                scope.iter_mut().find(|v| &v.name == r).expect("required variables are in scope");
+            v.budget = 0;
+            v.reserved = false;
+            let point = v.point;
+            leaves.push(Px { e: PExpr::Var(r.clone()), risky: true, point });
+        }
+        let extra = if leaves.is_empty() {
+            self.rng.gen_range(1u32..4) as usize
+        } else if self.fuel > 4 {
+            self.rng.gen_range(0u32..3) as usize
+        } else {
+            0
+        };
+        for _ in 0..extra {
+            let leaf = self.num_leaf(scope, depth);
+            leaves.push(leaf);
+        }
+        if leaves.is_empty() {
+            leaves.push(Px { e: self.const_leaf(), risky: false, point: true });
+        }
+
+        // Combine pairwise until one expression remains.
+        while leaves.len() > 1 {
+            let i = self.rng.gen_range(0..leaves.len() as u32) as usize;
+            let a = leaves.swap_remove(i);
+            let j = self.rng.gen_range(0..leaves.len() as u32) as usize;
+            let b = leaves.swap_remove(j);
+            leaves.push(self.combine(a, b));
+        }
+        let mut out = leaves.pop().expect("at least one leaf");
+
+        // Occasionally wrap with a unary operation.
+        if self.coin(1, 4) && self.fuel > 2 {
+            out = self.wrap_unary(out);
+        }
+        out
+    }
+
+    fn combine(&mut self, a: Px, b: Px) -> Px {
+        self.spend(1);
+        let point = a.point && b.point;
+        let risky = a.risky || b.risky;
+        let op = if self.rp() {
+            match self.rng.gen_range(0u32..4) {
+                0 => Op2::AddW,
+                1..=2 => Op2::Mul,
+                _ => Op2::Div,
+            }
+        } else {
+            match self.rng.gen_range(0u32..3) {
+                0..=1 => Op2::AddT,
+                _ => Op2::Sub,
+            }
+        };
+        Px { e: PExpr::Op2(op, Box::new(a.e), Box::new(b.e)), risky, point }
+    }
+
+    fn wrap_unary(&mut self, a: Px) -> Px {
+        self.spend(1);
+        if self.rp() {
+            Px { e: PExpr::Op1(Op1::Sqrt, Box::new(a.e)), risky: a.risky, point: false }
+        } else {
+            match self.rng.gen_range(0u32..3) {
+                0 => Px { e: PExpr::Op1(Op1::Neg, Box::new(a.e)), ..a },
+                1 => Px { e: PExpr::Op1(Op1::Half, Box::new(a.e)), ..a },
+                _ => {
+                    // `scale2` doubles every sensitivity in its
+                    // environment, so it only wraps closed expressions.
+                    if a.risky {
+                        Px { e: PExpr::Op1(Op1::Neg, Box::new(a.e)), ..a }
+                    } else {
+                        Px { e: PExpr::Op1(Op1::Scale2, Box::new(a.e)), ..a }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One optional leaf: a constant, an available variable, a pair
+    /// projection/consumption, or a pure-function call.
+    fn num_leaf(&mut self, scope: &mut Vec<VarInfo>, depth: u32) -> Px {
+        self.spend(1);
+        // Try a pure call occasionally.
+        if depth > 0 && self.coin(1, 6) {
+            let pure_fns: Vec<FnInfo> =
+                self.fns.iter().filter(|f| f.ret == RetTy::Num).cloned().collect();
+            if !pure_fns.is_empty() {
+                let f = &pure_fns[self.rng.gen_range(0..pure_fns.len() as u32) as usize];
+                let args = self.call_args(scope, &f.params, &[]);
+                return Px { e: PExpr::Call(f.name.clone(), args), risky: true, point: f.point };
+            }
+        }
+        // Pair-typed variables, consumed whole through an operation.
+        if self.coin(1, 5) {
+            if let Some(name) = self.take_var(scope, |v| v.ty == VTy::TensorNN) {
+                let op = if self.rp() {
+                    if self.coin(2, 3) {
+                        OpPair::Mul
+                    } else {
+                        OpPair::Div
+                    }
+                } else if self.coin(1, 2) {
+                    OpPair::AddT
+                } else {
+                    OpPair::Sub
+                };
+                return Px { e: PExpr::OpPair(op, name), risky: true, point: true };
+            }
+            if let Some(name) = self.take_var(scope, |v| v.ty == VTy::WithNN) {
+                if self.rp() && self.coin(1, 2) {
+                    return Px { e: PExpr::OpPair(OpPair::AddW, name), risky: true, point: true };
+                }
+                let v = Box::new(PExpr::Var(name));
+                let e = if self.coin(1, 2) { PExpr::Fst(v) } else { PExpr::Snd(v) };
+                return Px { e, risky: true, point: true };
+            }
+        }
+        // A plain num variable.
+        if self.coin(1, 2) {
+            if let Some(i) = self.pick_var(scope, |v| v.ty == VTy::Num) {
+                scope[i].budget -= 1;
+                let risky = scope[i].risky;
+                let point = scope[i].point;
+                return Px { e: PExpr::Var(scope[i].name.clone()), risky, point };
+            }
+        }
+        Px { e: self.const_leaf(), risky: false, point: true }
+    }
+
+    fn pick_var(&mut self, scope: &[VarInfo], pred: impl Fn(&VarInfo) -> bool) -> Option<usize> {
+        let hits: Vec<usize> = scope
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.budget > 0 && !v.reserved && pred(v))
+            .map(|(i, _)| i)
+            .collect();
+        if hits.is_empty() {
+            None
+        } else {
+            Some(hits[self.rng.gen_range(0..hits.len() as u32) as usize])
+        }
+    }
+
+    /// Consumes one whole use of a matching variable, if any.
+    fn take_var(
+        &mut self,
+        scope: &mut [VarInfo],
+        pred: impl Fn(&VarInfo) -> bool,
+    ) -> Option<String> {
+        let i = self.pick_var(scope, pred)?;
+        scope[i].budget -= 1;
+        Some(scope[i].name.clone())
+    }
+
+    fn const_leaf(&mut self) -> PExpr {
+        PExpr::Const(self.constant())
+    }
+
+    /// A random "nice" constant: strictly positive under RP (the paper's
+    /// `num` is `R>0`), any sign — including zero — under ABS. All
+    /// constants have finite decimal renderings.
+    fn constant(&mut self) -> Rational {
+        // Rarely, an enormous magnitude: in the small-`emax` formats the
+        // fp run then faults to `err`, exercising the §7.1 exceptional
+        // path (Cor. 7.5 holds vacuously — counted as `vacuous-fault`).
+        if self.rp() && self.coin(1, 24) {
+            return Rational::from_int(10).pow(self.rng.gen_range(6i64..13));
+        }
+        let mag = match self.rng.gen_range(0u32..8) {
+            0..=2 => Rational::from_int(self.rng.gen_range(1i64..10)),
+            3 => Rational::ratio(self.rng.gen_range(1i64..32), 2),
+            4 => Rational::ratio(self.rng.gen_range(1i64..16), 4),
+            5 => Rational::ratio(self.rng.gen_range(1i64..40), 10),
+            6 => Rational::ratio(self.rng.gen_range(1i64..10), 8),
+            _ => Rational::ratio(self.rng.gen_range(1i64..100), 16),
+        };
+        if self.rp() {
+            return mag;
+        }
+        match self.rng.gen_range(0u32..8) {
+            0 => Rational::zero(),
+            1..=3 => mag.neg(),
+            _ => mag,
+        }
+    }
+
+    /// A closed pure expression (constants only below the operations).
+    fn closed_num(&mut self) -> PExpr {
+        self.spend(1);
+        let a = self.const_leaf();
+        if self.coin(1, 2) || self.fuel < 2 {
+            return a;
+        }
+        let b = self.const_leaf();
+        let op = if self.rp() {
+            match self.rng.gen_range(0u32..3) {
+                0 => Op2::AddW,
+                1 => Op2::Mul,
+                _ => Op2::Div,
+            }
+        } else if self.coin(1, 2) {
+            Op2::AddT
+        } else {
+            Op2::Sub
+        };
+        PExpr::Op2(op, Box::new(a), Box::new(b))
+    }
+
+    /// A closed, interval-free boolean guard.
+    fn closed_condition(&mut self) -> PExpr {
+        match self.rng.gen_range(0u32..5) {
+            0 => PExpr::True,
+            1 => PExpr::False,
+            2 if self.rp() => PExpr::IsGt(Box::new(self.closed_num()), Box::new(self.closed_num())),
+            _ => PExpr::IsPos(Box::new(self.closed_num())),
+        }
+    }
+
+    // ----- pure blocks (pure function bodies) -----
+
+    fn pblock(&mut self, scope: &mut Vec<VarInfo>) -> PBlock {
+        let mut stmts = Vec::new();
+        let mut pending: Vec<String> = Vec::new();
+        let n = self.rng.gen_range(0usize..3);
+        for _ in 0..n {
+            if self.fuel < 3 {
+                break;
+            }
+            let req = if !pending.is_empty() && self.coin(2, 3) {
+                let pick = pending.remove(self.rng.gen_range(0..pending.len() as u32) as usize);
+                vec![pick]
+            } else {
+                Vec::new()
+            };
+            let px = self.pure_num(scope, &req, 1);
+            let x = self.fresh("v");
+            let (risky, budget) =
+                if px.risky { (true, 1) } else { (false, self.rng.gen_range(1u32..4)) };
+            if risky {
+                pending.push(x.clone());
+            }
+            scope.push(VarInfo {
+                name: x.clone(),
+                ty: VTy::Num,
+                point: px.point,
+                risky,
+                budget,
+                reserved: risky,
+            });
+            stmts.push(Stmt::Pure(x, px.e));
+        }
+        let tail = self.pure_num(scope, &pending, 1).e;
+        PBlock { stmts, tail }
+    }
+}
+
+/// After generating two branch arms on cloned scopes, debit the parent
+/// scope by the worst (per-variable) spending of the two: branch
+/// environments are joined with `sup`, so the checker charges each
+/// variable the *max* of its per-branch sensitivities.
+fn reconcile_budgets(parent: &mut [VarInfo], left: &[VarInfo], right: &[VarInfo]) {
+    for (i, v) in parent.iter_mut().enumerate() {
+        let bl = left.get(i).map_or(v.budget, |x| x.budget);
+        let br = right.get(i).map_or(v.budget, |x| x.budget);
+        v.budget = bl.min(br);
+    }
+}
+
+fn pexpr_mentions_risky(e: &PExpr, scope: &[VarInfo]) -> bool {
+    match e {
+        PExpr::Var(x) => scope.iter().any(|v| &v.name == x && v.risky),
+        PExpr::OpPair(_, x) => scope.iter().any(|v| &v.name == x && v.risky),
+        PExpr::Const(_) | PExpr::True | PExpr::False => false,
+        PExpr::Op1(_, a)
+        | PExpr::Fst(a)
+        | PExpr::Snd(a)
+        | PExpr::Inl(a)
+        | PExpr::Inr(a)
+        | PExpr::BoxC(_, a)
+        | PExpr::BoxInf(a)
+        | PExpr::IsPos(a) => pexpr_mentions_risky(a, scope),
+        PExpr::Op2(_, a, b) | PExpr::PairT(a, b) | PExpr::PairW(a, b) | PExpr::IsGt(a, b) => {
+            pexpr_mentions_risky(a, scope) || pexpr_mentions_risky(b, scope)
+        }
+        // Calls are always risky: the callee's *name* is a free variable
+        // of the enclosing term, and a dropped binding would scale it by
+        // the checker's symbolic `eps` — a second drop would then need
+        // `eps * eps`, which grades cannot express.
+        PExpr::Call(..) => true,
+    }
+}
+
+fn mexpr_mentions_vars(m: &MExpr, scope: &[VarInfo]) -> bool {
+    match m {
+        MExpr::Rnd(e) | MExpr::Ret(e) => pexpr_mentions_risky(e, scope),
+        MExpr::CallM(..) => true,
+        MExpr::StoredM(_) => true,
+        MExpr::If(..) | MExpr::CaseSum(..) => true,
+    }
+}
+
+fn mexpr_point(m: &MExpr, fns: &[FnInfo]) -> bool {
+    match m {
+        MExpr::Rnd(e) | MExpr::Ret(e) => pexpr_point(e, fns),
+        MExpr::CallM(f, args) => {
+            fns.iter().find(|x| &x.name == f).map(|x| x.point).unwrap_or(false)
+                && args.iter().all(|a| pexpr_point(a, fns))
+        }
+        MExpr::StoredM(_) => true,
+        MExpr::If(..) | MExpr::CaseSum(..) => false,
+    }
+}
+
+fn pexpr_point(e: &PExpr, fns: &[FnInfo]) -> bool {
+    match e {
+        PExpr::Op1(Op1::Sqrt, _) => false,
+        PExpr::Const(_) | PExpr::Var(_) | PExpr::OpPair(..) | PExpr::True | PExpr::False => true,
+        PExpr::Op1(_, a)
+        | PExpr::Fst(a)
+        | PExpr::Snd(a)
+        | PExpr::Inl(a)
+        | PExpr::Inr(a)
+        | PExpr::BoxC(_, a)
+        | PExpr::BoxInf(a)
+        | PExpr::IsPos(a) => pexpr_point(a, fns),
+        PExpr::Op2(_, a, b) | PExpr::PairT(a, b) | PExpr::PairW(a, b) | PExpr::IsGt(a, b) => {
+            pexpr_point(a, fns) && pexpr_point(b, fns)
+        }
+        PExpr::Call(f, args) => {
+            fns.iter().find(|x| &x.name == f).map(|x| x.point).unwrap_or(false)
+                && args.iter().all(|a| pexpr_point(a, fns))
+        }
+    }
+}
+
+fn body_has_sqrt(def: &FnDef) -> bool {
+    let prog = FuzzProgram {
+        inst: Instantiation::RelativePrecision,
+        fns: vec![def.clone()],
+        main: Block { stmts: Vec::new(), tail: MExpr::Ret(PExpr::c(1)) },
+    };
+    prog.features().sqrt
+}

@@ -1,0 +1,45 @@
+//! # numfuzz-fuzz
+//!
+//! The soundness-fuzzing subsystem of the Numerical Fuzz reproduction:
+//! everything behind `numfuzz fuzz`.
+//!
+//! The paper's central claim (Corollary 4.20) quantifies over *every*
+//! well-typed Λnum program; this crate stress-tests the implementation
+//! against that claim with generator-driven differential checking:
+//!
+//! * [`gen`] — a seeded, sized generator of **well-typed surface
+//!   programs** covering the full feature set: pairs (both metrics),
+//!   sums and `case`, `let`-functions, monadic `rnd`/`ret`/bind
+//!   nesting, boxing/unboxing, both Section 5 instantiations, negative
+//!   and zero constants where the metric permits;
+//! * [`eval`] — an independent reference evaluator for the ideal
+//!   semantics (exact rationals), differentially compared against the
+//!   interpreter;
+//! * [`mod@shrink`] — a greedy structural shrinker that minimizes failing
+//!   programs while preserving the failure kind, producing re-parsable
+//!   `.nf` reproducers;
+//! * [`driver`] — the sharded campaign driver: deterministic per-seed,
+//!   byte-identical reports for every `--jobs` value, coverage counters
+//!   in the report, exit-on-counterexample semantics surfaced by the
+//!   CLI.
+//!
+//! The differential oracle itself lives in the facade crate (it drives
+//! the public `Analyzer` API); this crate only defines the
+//! [`driver::Oracle`] contract, which also lets tests inject broken
+//! oracles to prove the machinery catches failures (mutation smoke).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod driver;
+pub mod eval;
+pub mod gen;
+pub mod shrink;
+
+pub use ast::{Features, FuzzProgram};
+pub use driver::{
+    run, CaseFailure, CasePass, Counterexample, FailureKind, FuzzConfig, FuzzOutcome, Oracle,
+};
+pub use gen::{case_seed, generate_case, CasePlan, GeneratedCase};
+pub use shrink::shrink;

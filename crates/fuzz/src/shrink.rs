@@ -1,0 +1,487 @@
+//! Greedy structural shrinking of failing programs.
+//!
+//! The shrinker proposes progressively simpler variants of a failing
+//! [`FuzzProgram`] and keeps any variant on which the caller's predicate
+//! still reports the *same kind* of failure (the predicate re-parses and
+//! re-checks, so well-typedness is preserved dynamically rather than by
+//! construction — a shrink step that breaks typing changes the failure
+//! kind and is rejected). The result is a local minimum: no single edit
+//! from the catalog below keeps the failure alive.
+//!
+//! Edit catalog, applied in order, to a fixpoint or budget exhaustion:
+//!
+//! 1. drop a `function` definition nothing references;
+//! 2. drop a statement whose variable is unused downstream;
+//! 3. inline one arm of an `if`/`case` (tail or bound position);
+//! 4. replace a numeric subexpression by the constant `2`;
+//! 5. hoist a child over its parent operation (`mul (a, b)` → `a`);
+//! 6. replace a monadic call by `rnd 2`;
+//! 7. shrink a constant to `1`.
+
+use crate::ast::{Block, FnBody, FuzzProgram, MExpr, PExpr, Stmt};
+use std::collections::HashSet;
+
+/// Shrinks `program` while `still_fails` accepts the candidate, testing
+/// at most `budget` candidates. Returns the smallest accepted program.
+pub fn shrink(
+    program: &FuzzProgram,
+    still_fails: &mut dyn FnMut(&FuzzProgram) -> bool,
+    budget: usize,
+) -> FuzzProgram {
+    let mut cur = program.clone();
+    let mut tests = 0usize;
+    'outer: loop {
+        for cand in candidates(&cur) {
+            if tests >= budget {
+                break 'outer;
+            }
+            tests += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    cur
+}
+
+/// All single-step simplifications of `p`, most aggressive first.
+fn candidates(p: &FuzzProgram) -> Vec<FuzzProgram> {
+    let mut out = Vec::new();
+
+    // 1. Drop an unreferenced function.
+    for i in 0..p.fns.len() {
+        let name = &p.fns[i].name;
+        let referenced = p.fns.iter().enumerate().any(|(j, f)| j != i && fn_refs(f, name))
+            || block_refs(&p.main, name);
+        if !referenced {
+            let mut q = p.clone();
+            q.fns.remove(i);
+            out.push(q);
+        }
+    }
+
+    // 2. Drop a dead statement (per block, per index).
+    for target in 0.. {
+        let mut q = p.clone();
+        if !edit_nth_block(&mut q, target, &mut |b| drop_dead_stmt(b)) {
+            break;
+        }
+        out.push(q);
+    }
+
+    // 3. Inline one arm of a conditional.
+    for left in [true, false] {
+        for target in 0.. {
+            let mut q = p.clone();
+            if !edit_nth_block(&mut q, target, &mut |b| inline_ctrl(b, left)) {
+                break;
+            }
+            out.push(q);
+        }
+    }
+
+    // 4/5/7. Expression-level edits.
+    type PExprEdit<'a> = &'a dyn Fn(&PExpr) -> Option<PExpr>;
+    let pexpr_edits: [PExprEdit; 4] = [
+        &|e| num_like(e).then(|| PExpr::c(2)),
+        &|e| hoist_child(e, true),
+        &|e| hoist_child(e, false),
+        &|e| match e {
+            PExpr::Const(q) if *q != numfuzz_exact::Rational::one() => Some(PExpr::c(1)),
+            _ => None,
+        },
+    ];
+    for edit in pexpr_edits {
+        for target in 0.. {
+            let mut q = p.clone();
+            if !edit_nth_pexpr(&mut q, target, edit) {
+                break;
+            }
+            out.push(q);
+        }
+    }
+
+    // 6. Collapse monadic calls.
+    for target in 0.. {
+        let mut q = p.clone();
+        let applied = edit_nth_mexpr(&mut q, target, &|m| match m {
+            MExpr::CallM(..) => Some(MExpr::Rnd(PExpr::c(2))),
+            _ => None,
+        });
+        if !applied {
+            break;
+        }
+        out.push(q);
+    }
+
+    out
+}
+
+fn num_like(e: &PExpr) -> bool {
+    matches!(
+        e,
+        PExpr::Op1(..)
+            | PExpr::Op2(..)
+            | PExpr::OpPair(..)
+            | PExpr::Fst(_)
+            | PExpr::Snd(_)
+            | PExpr::Call(..)
+    )
+}
+
+fn hoist_child(e: &PExpr, first: bool) -> Option<PExpr> {
+    match e {
+        PExpr::Op2(_, a, b) => Some((*if first { a.clone() } else { b.clone() }).clone()),
+        PExpr::Op1(_, a) => first.then(|| (**a).clone()),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Name-reference scans
+// ---------------------------------------------------------------------
+
+fn fn_refs(f: &crate::ast::FnDef, name: &str) -> bool {
+    match &f.body {
+        FnBody::Pure(b) => b.stmts.iter().any(|s| stmt_refs(s, name)) || pexpr_refs(&b.tail, name),
+        FnBody::Monadic(b) => block_refs(b, name),
+    }
+}
+
+fn block_refs(b: &Block, name: &str) -> bool {
+    b.stmts.iter().any(|s| stmt_refs(s, name)) || mexpr_refs(&b.tail, name)
+}
+
+fn stmt_refs(s: &Stmt, name: &str) -> bool {
+    match s {
+        Stmt::Pure(_, e) => pexpr_refs(e, name),
+        Stmt::StoreM(_, m) | Stmt::Bind(_, m) => mexpr_refs(m, name),
+        Stmt::Unbox(_, p) => p == name,
+    }
+}
+
+fn mexpr_refs(m: &MExpr, name: &str) -> bool {
+    match m {
+        MExpr::Rnd(e) | MExpr::Ret(e) => pexpr_refs(e, name),
+        MExpr::CallM(f, args) => f == name || args.iter().any(|a| pexpr_refs(a, name)),
+        MExpr::StoredM(x) => x == name,
+        MExpr::If(c, a, b) => pexpr_refs(c, name) || block_refs(a, name) || block_refs(b, name),
+        MExpr::CaseSum(s, _, a, _, b) => {
+            pexpr_refs(s, name) || block_refs(a, name) || block_refs(b, name)
+        }
+    }
+}
+
+fn pexpr_refs(e: &PExpr, name: &str) -> bool {
+    match e {
+        PExpr::Var(x) | PExpr::OpPair(_, x) => x == name,
+        PExpr::Const(_) | PExpr::True | PExpr::False => false,
+        PExpr::Op1(_, a)
+        | PExpr::Fst(a)
+        | PExpr::Snd(a)
+        | PExpr::Inl(a)
+        | PExpr::Inr(a)
+        | PExpr::BoxC(_, a)
+        | PExpr::BoxInf(a)
+        | PExpr::IsPos(a) => pexpr_refs(a, name),
+        PExpr::Op2(_, a, b) | PExpr::PairT(a, b) | PExpr::PairW(a, b) | PExpr::IsGt(a, b) => {
+            pexpr_refs(a, name) || pexpr_refs(b, name)
+        }
+        PExpr::Call(f, args) => f == name || args.iter().any(|a| pexpr_refs(a, name)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block-level edits
+// ---------------------------------------------------------------------
+
+/// Removes the first statement of `b` whose variable is unused in the
+/// rest of the block.
+fn drop_dead_stmt(b: &mut Block) -> bool {
+    for i in 0..b.stmts.len() {
+        let var = match &b.stmts[i] {
+            Stmt::Pure(x, _) | Stmt::StoreM(x, _) | Stmt::Bind(x, _) | Stmt::Unbox(x, _) => {
+                x.clone()
+            }
+        };
+        let mut used = false;
+        for s in &b.stmts[i + 1..] {
+            used |= stmt_refs(s, &var);
+        }
+        used |= mexpr_refs(&b.tail, &var);
+        if !used {
+            b.stmts.remove(i);
+            return true;
+        }
+    }
+    false
+}
+
+/// Replaces the first conditional in `b` (tail or bound position) with
+/// its chosen arm, inlining the arm's statements. Case-bound variables
+/// are given the constant `2`.
+fn inline_ctrl(b: &mut Block, left: bool) -> bool {
+    // Tail position.
+    if matches!(b.tail, MExpr::If(..) | MExpr::CaseSum(..)) {
+        let taken = std::mem::replace(&mut b.tail, MExpr::Ret(PExpr::c(1)));
+        let (pre, arm) = split_ctrl(taken, left);
+        b.stmts.extend(pre);
+        b.stmts.extend(arm.stmts);
+        b.tail = arm.tail;
+        return true;
+    }
+    // Bound positions.
+    for i in 0..b.stmts.len() {
+        let is_ctrl = matches!(
+            &b.stmts[i],
+            Stmt::StoreM(_, MExpr::If(..) | MExpr::CaseSum(..))
+                | Stmt::Bind(_, MExpr::If(..) | MExpr::CaseSum(..))
+        );
+        if !is_ctrl {
+            continue;
+        }
+        let (x, m, bind) = match b.stmts.remove(i) {
+            Stmt::StoreM(x, m) => (x, m, false),
+            Stmt::Bind(x, m) => (x, m, true),
+            _ => unreachable!("matched above"),
+        };
+        let (pre, arm) = split_ctrl(m, left);
+        let mut insert = pre;
+        insert.extend(arm.stmts);
+        insert.push(if bind { Stmt::Bind(x, arm.tail) } else { Stmt::StoreM(x, arm.tail) });
+        b.stmts.splice(i..i, insert);
+        return true;
+    }
+    false
+}
+
+/// Splits a conditional into (statements to prepend, chosen arm block).
+fn split_ctrl(m: MExpr, left: bool) -> (Vec<Stmt>, Block) {
+    match m {
+        MExpr::If(_, a, b) => (Vec::new(), if left { *a } else { *b }),
+        MExpr::CaseSum(_, x, a, y, b) => {
+            let (var, arm) = if left { (x, *a) } else { (y, *b) };
+            (vec![Stmt::Pure(var, PExpr::c(2))], arm)
+        }
+        other => unreachable!("split_ctrl on {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Indexed traversals
+// ---------------------------------------------------------------------
+
+/// Applies `f` to the `target`-th block (in a fixed traversal order) on
+/// which it reports success; returns whether any block consumed the
+/// index.
+fn edit_nth_block(
+    p: &mut FuzzProgram,
+    target: usize,
+    f: &mut dyn FnMut(&mut Block) -> bool,
+) -> bool {
+    let mut seen = 0usize;
+    let mut blocks: Vec<&mut Block> = Vec::new();
+    for d in &mut p.fns {
+        if let FnBody::Monadic(b) = &mut d.body {
+            blocks.push(b);
+        }
+    }
+    blocks.push(&mut p.main);
+    // Breadth-first over nested arms.
+    let mut queue = blocks;
+    while let Some(b) = queue.pop() {
+        // Probe on a clone so unsuccessful blocks don't consume indexes.
+        let mut probe = b.clone();
+        if f(&mut probe) {
+            if seen == target {
+                *b = probe;
+                return true;
+            }
+            seen += 1;
+        }
+        for s in &mut b.stmts {
+            if let Stmt::StoreM(_, m) | Stmt::Bind(_, m) = s {
+                push_arm_blocks(m, &mut queue);
+            }
+        }
+        push_arm_blocks(&mut b.tail, &mut queue);
+    }
+    false
+}
+
+fn push_arm_blocks<'a>(m: &'a mut MExpr, queue: &mut Vec<&'a mut Block>) {
+    if let MExpr::If(_, a, b) | MExpr::CaseSum(_, _, a, _, b) = m {
+        queue.push(a);
+        queue.push(b);
+    }
+}
+
+/// Applies `edit` to the `target`-th applicable `PExpr` node.
+fn edit_nth_pexpr(
+    p: &mut FuzzProgram,
+    target: usize,
+    edit: &dyn Fn(&PExpr) -> Option<PExpr>,
+) -> bool {
+    let mut seen = 0usize;
+    let mut done = false;
+    visit_pexprs(p, &mut |e| {
+        if done {
+            return;
+        }
+        if let Some(repl) = edit(e) {
+            if seen == target {
+                *e = repl;
+                done = true;
+            }
+            seen += 1;
+        }
+    });
+    done
+}
+
+/// Applies `edit` to the `target`-th applicable `MExpr` node.
+fn edit_nth_mexpr(
+    p: &mut FuzzProgram,
+    target: usize,
+    edit: &dyn Fn(&MExpr) -> Option<MExpr>,
+) -> bool {
+    let mut seen = 0usize;
+    let mut done = false;
+    visit_mexprs(p, &mut |m| {
+        if done {
+            return;
+        }
+        if let Some(repl) = edit(m) {
+            if seen == target {
+                *m = repl;
+                done = true;
+            }
+            seen += 1;
+        }
+    });
+    done
+}
+
+fn visit_pexprs(p: &mut FuzzProgram, f: &mut dyn FnMut(&mut PExpr)) {
+    for d in &mut p.fns {
+        match &mut d.body {
+            FnBody::Pure(b) => {
+                for s in &mut b.stmts {
+                    visit_stmt_pexprs(s, f);
+                }
+                visit_pexpr(&mut b.tail, f);
+            }
+            FnBody::Monadic(b) => visit_block_pexprs(b, f),
+        }
+    }
+    visit_block_pexprs(&mut p.main, f);
+}
+
+fn visit_block_pexprs(b: &mut Block, f: &mut dyn FnMut(&mut PExpr)) {
+    for s in &mut b.stmts {
+        visit_stmt_pexprs(s, f);
+    }
+    visit_mexpr_pexprs(&mut b.tail, f);
+}
+
+fn visit_stmt_pexprs(s: &mut Stmt, f: &mut dyn FnMut(&mut PExpr)) {
+    match s {
+        Stmt::Pure(_, e) => visit_pexpr(e, f),
+        Stmt::StoreM(_, m) | Stmt::Bind(_, m) => visit_mexpr_pexprs(m, f),
+        Stmt::Unbox(..) => {}
+    }
+}
+
+fn visit_mexpr_pexprs(m: &mut MExpr, f: &mut dyn FnMut(&mut PExpr)) {
+    match m {
+        MExpr::Rnd(e) | MExpr::Ret(e) => visit_pexpr(e, f),
+        MExpr::CallM(_, args) => {
+            for a in args {
+                visit_pexpr(a, f);
+            }
+        }
+        MExpr::StoredM(_) => {}
+        MExpr::If(c, a, b) => {
+            visit_pexpr(c, f);
+            visit_block_pexprs(a, f);
+            visit_block_pexprs(b, f);
+        }
+        MExpr::CaseSum(s, _, a, _, b) => {
+            visit_pexpr(s, f);
+            visit_block_pexprs(a, f);
+            visit_block_pexprs(b, f);
+        }
+    }
+}
+
+fn visit_pexpr(e: &mut PExpr, f: &mut dyn FnMut(&mut PExpr)) {
+    f(e);
+    match e {
+        PExpr::Const(_) | PExpr::Var(_) | PExpr::OpPair(..) | PExpr::True | PExpr::False => {}
+        PExpr::Op1(_, a)
+        | PExpr::Fst(a)
+        | PExpr::Snd(a)
+        | PExpr::Inl(a)
+        | PExpr::Inr(a)
+        | PExpr::BoxC(_, a)
+        | PExpr::BoxInf(a)
+        | PExpr::IsPos(a) => visit_pexpr(a, f),
+        PExpr::Op2(_, a, b) | PExpr::PairT(a, b) | PExpr::PairW(a, b) | PExpr::IsGt(a, b) => {
+            visit_pexpr(a, f);
+            visit_pexpr(b, f);
+        }
+        PExpr::Call(_, args) => {
+            for a in args {
+                visit_pexpr(a, f);
+            }
+        }
+    }
+}
+
+fn visit_mexprs(p: &mut FuzzProgram, f: &mut dyn FnMut(&mut MExpr)) {
+    for d in &mut p.fns {
+        if let FnBody::Monadic(b) = &mut d.body {
+            visit_block_mexprs(b, f);
+        }
+    }
+    visit_block_mexprs(&mut p.main, f);
+}
+
+fn visit_block_mexprs(b: &mut Block, f: &mut dyn FnMut(&mut MExpr)) {
+    for s in &mut b.stmts {
+        if let Stmt::StoreM(_, m) | Stmt::Bind(_, m) = s {
+            visit_mexpr(m, f);
+        }
+    }
+    visit_mexpr(&mut b.tail, f);
+}
+
+fn visit_mexpr(m: &mut MExpr, f: &mut dyn FnMut(&mut MExpr)) {
+    f(m);
+    if let MExpr::If(_, a, b) | MExpr::CaseSum(_, _, a, _, b) = m {
+        visit_block_mexprs(a, f);
+        visit_block_mexprs(b, f);
+    }
+}
+
+/// The set of variable/function names a program mentions anywhere —
+/// useful for tests asserting shrink quality.
+pub fn mentioned_names(p: &FuzzProgram) -> HashSet<String> {
+    let mut names = HashSet::new();
+    let mut q = p.clone();
+    visit_pexprs(&mut q, &mut |e| match e {
+        PExpr::Var(x) | PExpr::OpPair(_, x) | PExpr::Call(x, _) => {
+            names.insert(x.clone());
+        }
+        _ => {}
+    });
+    visit_mexprs(&mut q, &mut |m| match m {
+        MExpr::CallM(x, _) | MExpr::StoredM(x) => {
+            names.insert(x.clone());
+        }
+        _ => {}
+    });
+    names
+}

@@ -1,0 +1,115 @@
+//! Faithful-rounding properties of `softfloat` against `exact`
+//! arithmetic, for **every** rounding mode and both real formats —
+//! previously only the round-to-nearest path was property-tested
+//! (against the host FPU, `props.rs`).
+//!
+//! For each `(format, mode)` pair and signed rationals `x` (negative,
+//! zero and positive) within the normal range:
+//!
+//! * **standard model** — `|round(x) − x| ≤ u·|x|` with `u` the Table 2
+//!   unit roundoff (`2^(1−p)` directed, `2^−p` nearest);
+//! * **fixed points** — exactly representable values round to
+//!   themselves under every mode;
+//! * **monotonicity** — `x ≤ y` implies `round(x) ≤ round(y)`;
+//! * **directedness** — RU rounds up, RD rounds down, RZ never grows
+//!   the magnitude, and negation swaps RU/RD (sign symmetry).
+
+use numfuzz_exact::Rational;
+use numfuzz_softfloat::{Format, Fp, RoundingMode};
+use proptest::prelude::*;
+
+const FORMATS: [Format; 2] = [Format::BINARY64, Format::BINARY32];
+
+/// Signed "normal range" rationals: magnitudes in roughly
+/// `[1e-6, 1e9]`, plus exact zero — representable territory for both
+/// binary32 and binary64 (no underflow/overflow in sight).
+fn signed_rational() -> impl Strategy<Value = Rational> {
+    (-1_000_000_000i64..1_000_000_000, 1i64..1_000_000).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
+fn as_rational(fp: &Fp) -> Rational {
+    fp.to_rational().expect("finite by construction")
+}
+
+proptest! {
+    /// `|round(x) - x| <= u|x|` for every mode and both formats; zero
+    /// rounds to zero exactly.
+    #[test]
+    fn faithful_within_unit_roundoff(q in signed_rational()) {
+        for format in FORMATS {
+            for mode in RoundingMode::ALL {
+                let r = as_rational(&Fp::round(&q, format, mode));
+                if q.is_zero() {
+                    prop_assert!(r.is_zero(), "round(0) must be exact ({format} {mode})");
+                    continue;
+                }
+                let err = r.sub(&q).abs();
+                let u = format.unit_roundoff(mode);
+                prop_assert!(
+                    err <= u.mul(&q.abs()),
+                    "{format} {mode}: |round({q}) - {q}| = {err} exceeds u|x|"
+                );
+            }
+        }
+    }
+
+    /// Exactly representable values are fixed points of every mode.
+    #[test]
+    fn representable_values_round_to_themselves(
+        frac in 0u64..(1u64 << 52),
+        e in -90i64..90,
+        neg in any::<bool>(),
+    ) {
+        for format in FORMATS {
+            let p = format.precision();
+            // A full-width significand in [2^(p-1), 2^p).
+            let m = (1u64 << (p - 1)) | (frac >> (53 - p));
+            let mut v = Rational::from_int(m as i64).mul(&Rational::pow2(e + 1 - p as i64));
+            if neg {
+                v = v.neg();
+            }
+            for mode in RoundingMode::ALL {
+                let r = as_rational(&Fp::round(&v, format, mode));
+                prop_assert!(r == v, "{format} {mode}: moved representable {v} to {r}");
+            }
+        }
+    }
+
+    /// Rounding is monotone in `x` for every mode and both formats.
+    #[test]
+    fn rounding_is_monotone(a in signed_rational(), b in signed_rational()) {
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        for format in FORMATS {
+            for mode in RoundingMode::ALL {
+                let rx = as_rational(&Fp::round(&x, format, mode));
+                let ry = as_rational(&Fp::round(&y, format, mode));
+                prop_assert!(rx <= ry, "{format} {mode}: round({x}) = {rx} > round({y}) = {ry}");
+            }
+        }
+    }
+
+    /// Directed modes point the right way, and negation swaps RU/RD
+    /// while RZ and RN are odd functions (IEEE sign symmetry).
+    #[test]
+    fn directed_modes_and_sign_symmetry(q in signed_rational()) {
+        for format in FORMATS {
+            let up = as_rational(&Fp::round(&q, format, RoundingMode::TowardPositive));
+            let dn = as_rational(&Fp::round(&q, format, RoundingMode::TowardNegative));
+            let rz = as_rational(&Fp::round(&q, format, RoundingMode::TowardZero));
+            let rn = as_rational(&Fp::round(&q, format, RoundingMode::NearestEven));
+            prop_assert!(dn <= q && q <= up, "{format}: [{dn}, {up}] must bracket {q}");
+            prop_assert!(rz.abs() <= q.abs(), "{format}: RZ grew the magnitude of {q}");
+            prop_assert!(rn == up || rn == dn, "{format}: RN must pick a neighbour of {q}");
+
+            let n = q.neg();
+            let n_up = as_rational(&Fp::round(&n, format, RoundingMode::TowardPositive));
+            let n_dn = as_rational(&Fp::round(&n, format, RoundingMode::TowardNegative));
+            let n_rz = as_rational(&Fp::round(&n, format, RoundingMode::TowardZero));
+            let n_rn = as_rational(&Fp::round(&n, format, RoundingMode::NearestEven));
+            prop_assert!(n_up == dn.neg(), "{format}: RU(-x) != -RD(x) at {q}");
+            prop_assert!(n_dn == up.neg(), "{format}: RD(-x) != -RU(x) at {q}");
+            prop_assert!(n_rz == rz.neg(), "{format}: RZ is not odd at {q}");
+            prop_assert!(n_rn == rn.neg(), "{format}: RN is not odd at {q}");
+        }
+    }
+}

@@ -823,19 +823,20 @@ impl Inputs {
             match bound.iter_mut().find(|(v, _)| store.var_name(*v) == name) {
                 Some(slot) => slot.1 = Some(value.clone()),
                 None => {
+                    let names = program.free_names();
+                    let note = if names.is_empty() {
+                        "the program is closed (no free variables)".to_string()
+                    } else {
+                        format!(
+                            "free variables: {}",
+                            names.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ")
+                        )
+                    };
                     return Err(Diagnostic::new(
                         ErrorCode::BadInput,
                         format!("input `{name}` names no free variable of the program"),
                     )
-                    .with_note(format!(
-                        "free variables: {}",
-                        program
-                            .free_names()
-                            .iter()
-                            .map(|(n, _)| n.as_str())
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    )))
+                    .with_note(note));
                 }
             }
         }

@@ -95,6 +95,7 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
         }
         "batch" => batch(rest),
         "bench" => bench(rest),
+        "fuzz" => fuzz(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -106,8 +107,63 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
 fn usage() -> String {
     "usage: numfuzz <check|bound|run> FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
      \x20      numfuzz batch DIR [--jobs N] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
-     \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE]"
+     \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE]\n\
+     \x20      numfuzz fuzz [--cases N] [--seed S] [--jobs N] [--repro PREFIX]"
         .to_string()
+}
+
+/// `numfuzz fuzz`: the generator-driven differential soundness fuzzer
+/// (see `docs/testing.md`). Deterministic per seed: the report is
+/// byte-identical for every `--jobs` value and across repeated runs.
+/// Exit 1 with a written reproducer on any counterexample.
+fn fuzz(rest: &[String]) -> Result<(), Failure> {
+    let mut cfg = numfuzz::fuzz::FuzzConfig::default();
+    let mut repro_prefix = "fuzz-reproducer".to_string();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--cases" => {
+                cfg.cases = value("--cases")
+                    .and_then(|v| v.parse().map_err(|e| format!("--cases: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")
+                    .and_then(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--jobs" => {
+                cfg.jobs = value("--jobs")
+                    .and_then(|v| v.parse().map_err(|e| format!("--jobs: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--repro" => repro_prefix = value("--repro").map_err(Failure::Usage)?,
+            other => return Err(Failure::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+
+    let outcome = numfuzz::fuzzing::fuzz_campaign(&cfg);
+    print!("{}", outcome.report);
+    if outcome.ok() {
+        return Ok(());
+    }
+    for cx in &outcome.counterexamples {
+        let path = format!("{repro_prefix}-{}.nf", cx.index);
+        std::fs::write(&path, &cx.shrunk).map_err(|e| Failure::Usage(format!("{path}: {e}")))?;
+        println!("reproducer written: {path} ({})", cx.failure.kind.name());
+        println!("--- detail (case {}) ---", cx.index);
+        println!("{}", cx.failure.detail);
+        println!("--- original (case {}) ---", cx.index);
+        println!("{}", cx.original);
+    }
+    Err(Failure::Batch(format!(
+        "{} of {} fuzz cases failed (seed {})",
+        outcome.counterexamples.len(),
+        cfg.cases,
+        cfg.seed
+    )))
 }
 
 /// `numfuzz batch DIR`: check and bound every `.nf` file under `DIR`

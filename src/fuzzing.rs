@@ -1,0 +1,128 @@
+//! The [`Analyzer`]-backed differential oracle behind `numfuzz fuzz`.
+//!
+//! The generator, shrinker and campaign driver live in
+//! [`numfuzz_fuzz`]; this module supplies the piece that must sit on the
+//! public API: for every generated case it drives the full production
+//! pipeline and cross-checks it against independent references.
+//!
+//! Per case, the oracle verifies that the program
+//!
+//! 1. **parses and lowers** (`Analyzer::parse` — the generator only
+//!    emits well-formed surface syntax);
+//! 2. **type-checks with a finite monadic grade** (`Analyzer::check` —
+//!    the generator's sensitivity discipline guarantees typability, so
+//!    any rejection is a checker or generator bug worth a reproducer);
+//! 3. **satisfies Corollary 4.20 rigorously** (`Analyzer::validate`:
+//!    ideal vs. floating-point run, exact rational enclosures, the
+//!    inferred grade as the bound);
+//! 4. **agrees with the reference evaluator** on the ideal result
+//!    (interpreter machine vs. the fuzz crate's structural evaluator);
+//! 5. **round-trips**: pretty-printing, re-parsing and re-checking
+//!    yields the identical root type and grade.
+
+use crate::{Analyzer, Inputs};
+use numfuzz_fuzz::{CaseFailure, CasePass, CasePlan, FailureKind, FuzzConfig, FuzzOutcome, Oracle};
+
+/// The production differential oracle (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnalyzerOracle;
+
+fn fail(kind: FailureKind, detail: impl Into<String>) -> CaseFailure {
+    CaseFailure { kind, detail: detail.into() }
+}
+
+impl Oracle for AnalyzerOracle {
+    fn run_case(
+        &self,
+        plan: &CasePlan,
+        src: &str,
+        expected_ideal: Option<&crate::exact::Rational>,
+    ) -> Result<CasePass, CaseFailure> {
+        let mut builder =
+            Analyzer::builder().signature(plan.instantiation).format(plan.format).mode(plan.mode);
+        if let Some(unit) = &plan.rnd_unit {
+            builder = builder.rounding_unit(unit.clone());
+        }
+        let analyzer = builder.build();
+        let name = format!("fuzz-case-{}", plan.index);
+
+        let program =
+            analyzer.parse_named(&name, src).map_err(|d| fail(FailureKind::Parse, d.render()))?;
+        let typed = analyzer.check(&program).map_err(|d| fail(FailureKind::Check, d.render()))?;
+        let grade = typed.grade().ok_or_else(|| {
+            fail(FailureKind::Check, format!("root type `{}` is not monadic", typed.ty()))
+        })?;
+        if grade.is_infinite() {
+            return Err(fail(
+                FailureKind::InfiniteGrade,
+                format!("inferred grade is `inf` (type `{}`)", typed.ty()),
+            ));
+        }
+
+        let report = analyzer
+            .validate(&program, &Inputs::none())
+            .map_err(|d| fail(FailureKind::Harness, d.render()))?;
+        if !report.holds() {
+            return Err(fail(
+                FailureKind::BoundViolation,
+                format!(
+                    "grade {} (bound {}) violated: ideal {:?}, fp {:?}, verdict {:?}",
+                    report.grade,
+                    report.bound.to_sci_string(6),
+                    report.ideal,
+                    report.fp,
+                    report.verdict
+                ),
+            ));
+        }
+
+        // Differential check against the independent reference
+        // evaluator (interval-free programs only).
+        if let Some(expected) = expected_ideal {
+            match report.ideal.as_point() {
+                Some(got) if got == expected => {}
+                got => {
+                    return Err(fail(
+                        FailureKind::IdealMismatch,
+                        format!(
+                            "interpreter ideal result {got:?} disagrees with the reference \
+                             evaluator's {expected}"
+                        ),
+                    ))
+                }
+            }
+        }
+
+        // pretty → re-parse → re-check must reproduce the exact type.
+        let pretty = program.pretty(u32::MAX);
+        let reparsed = analyzer.parse(&pretty).map_err(|d| {
+            fail(
+                FailureKind::RoundTrip,
+                format!("pretty-printed program failed to re-parse: {}\n---\n{pretty}", d.render()),
+            )
+        })?;
+        let rechecked = analyzer.check(&reparsed).map_err(|d| {
+            fail(
+                FailureKind::RoundTrip,
+                format!("pretty-printed program failed to re-check: {}\n---\n{pretty}", d.render()),
+            )
+        })?;
+        if rechecked.ty().to_string() != typed.ty().to_string() {
+            return Err(fail(
+                FailureKind::RoundTrip,
+                format!(
+                    "re-checked type `{}` differs from original `{}`",
+                    rechecked.ty(),
+                    typed.ty()
+                ),
+            ));
+        }
+
+        Ok(CasePass { ty: typed.ty().to_string(), vacuous: report.fp.is_none() })
+    }
+}
+
+/// Runs a fuzz campaign with the production oracle.
+pub fn fuzz_campaign(cfg: &FuzzConfig) -> FuzzOutcome {
+    numfuzz_fuzz::run(cfg, &AnalyzerOracle)
+}

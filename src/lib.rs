@@ -20,6 +20,7 @@
 //! | [`interp`] | ideal/FP semantics, §7 rounding extensions, error-soundness validation |
 //! | [`analyzers`] | interval & Taylor-form baselines, textbook bounds, IR→Λnum translation |
 //! | [`benchsuite`] | the Table 3/4/5 workloads |
+//! | [`fuzz`] | the soundness fuzzer: typed program generator, shrinker, campaign driver (oracle: [`fuzzing`]) |
 //!
 //! ## Quickstart
 //!
@@ -69,6 +70,7 @@
 
 mod analyzer;
 mod diag;
+pub mod fuzzing;
 mod program;
 
 pub use analyzer::{Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, ShardReport, Typed};
@@ -79,6 +81,7 @@ pub use numfuzz_analyzers as analyzers;
 pub use numfuzz_benchsuite as benchsuite;
 pub use numfuzz_core as core;
 pub use numfuzz_exact as exact;
+pub use numfuzz_fuzz as fuzz;
 pub use numfuzz_interp as interp;
 pub use numfuzz_metrics as metrics;
 pub use numfuzz_softfloat as softfloat;

@@ -1,0 +1,201 @@
+//! Contract tests for the `numfuzz fuzz` subsystem: per-seed
+//! determinism across job counts, genuine feature coverage, a clean run
+//! on the CI seed, and — via deliberately broken oracles — proof that
+//! the counterexample/shrinking machinery actually catches failures
+//! (mutation smoke).
+
+use numfuzz::fuzz::{
+    generate_case, run, CaseFailure, CasePass, CasePlan, FailureKind, FuzzConfig, Oracle,
+};
+use numfuzz::fuzzing::AnalyzerOracle;
+use numfuzz::prelude::*;
+use std::process::Command;
+
+fn cfg(cases: usize, seed: u64, jobs: usize) -> FuzzConfig {
+    FuzzConfig { cases, seed, jobs, shrink_budget: 300 }
+}
+
+#[test]
+fn fixed_seed_run_is_clean_and_covers_the_surface() {
+    let outcome = run(&cfg(200, 42, 2), &AnalyzerOracle);
+    assert!(outcome.ok(), "counterexamples on the CI seed:\n{}", outcome.report);
+    let report = &outcome.report;
+
+    // Both instantiations, both real formats, and at least two modes
+    // must be exercised (acceptance criteria of the fuzzer).
+    let count = |key: &str| -> usize {
+        report
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("report lacks `{key}=`:\n{report}"))
+            .parse()
+            .expect("numeric counter")
+    };
+    assert!(count("rp") > 0 && count("abs") > 0, "{report}");
+    assert!(count("binary64") > 0 && count("binary32") > 0, "{report}");
+    let modes_hit = ["ru", "rd", "rz", "rn"].iter().filter(|m| count(m) > 0).count();
+    assert!(modes_hit >= 2, "{report}");
+
+    // The full surface: conditionals, both pair metrics, sums, case,
+    // let-functions, boxes, monadic nesting, signed/zero constants.
+    for feature in [
+        "functions",
+        "conditionals",
+        "case-sum",
+        "tensor-pairs",
+        "cartesian-pairs",
+        "sums",
+        "boxes",
+        "sqrt",
+        "div",
+        "sub-or-neg",
+        "negative-consts",
+        "zero-consts",
+        "rnd",
+        "ret",
+        "bind",
+        "stored-monad",
+        "calls",
+        "comparisons",
+    ] {
+        assert!(count(feature) > 0, "feature `{feature}` never generated:\n{report}");
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_jobs_and_runs() {
+    let base = run(&cfg(120, 9001, 1), &AnalyzerOracle);
+    for jobs in [2, 4] {
+        let other = run(&cfg(120, 9001, jobs), &AnalyzerOracle);
+        assert_eq!(base.report, other.report, "jobs={jobs}");
+    }
+    let again = run(&cfg(120, 9001, 1), &AnalyzerOracle);
+    assert_eq!(base.report, again.report, "repeated run drifted");
+}
+
+#[test]
+fn different_seeds_generate_different_corpora() {
+    let a = generate_case(1, 0).program.render();
+    let b = generate_case(2, 0).program.render();
+    assert_ne!(a, b, "seed does not influence generation");
+    // And the same seed reproduces byte-identical programs.
+    assert_eq!(a, generate_case(1, 0).program.render());
+}
+
+/// An oracle broken on purpose: every program that mentions `sqrt` is
+/// reported as a bound violation. The driver must (a) surface the
+/// counterexample, (b) shrink it while keeping the defining feature,
+/// and (c) emit a reproducer that still parses and checks.
+struct SqrtHater;
+
+impl Oracle for SqrtHater {
+    fn run_case(
+        &self,
+        plan: &CasePlan,
+        src: &str,
+        expected: Option<&Rational>,
+    ) -> Result<CasePass, CaseFailure> {
+        // Run the real oracle first, then lie about sqrt-bearing
+        // programs — modelling a genuine validator bug on well-typed
+        // programs (so shrinking, which preserves the failure kind,
+        // also preserves well-typedness).
+        let pass = AnalyzerOracle.run_case(plan, src, expected)?;
+        if src.contains("sqrt") {
+            return Err(CaseFailure {
+                kind: FailureKind::BoundViolation,
+                detail: "injected failure: program uses sqrt".into(),
+            });
+        }
+        Ok(pass)
+    }
+}
+
+#[test]
+fn broken_oracle_is_caught_and_counterexamples_shrink() {
+    let outcome = run(&cfg(60, 42, 2), &SqrtHater);
+    assert!(
+        !outcome.ok(),
+        "a broken oracle produced a clean run — the fuzzer cannot catch anything:\n{}",
+        outcome.report
+    );
+    for cx in &outcome.counterexamples {
+        assert_eq!(cx.failure.kind, FailureKind::BoundViolation);
+        assert!(cx.shrunk.contains("sqrt"), "shrinking lost the failure trigger:\n{}", cx.shrunk);
+        assert!(
+            cx.shrunk.len() <= cx.original.len(),
+            "shrinking grew the program:\n{}\nvs\n{}",
+            cx.shrunk,
+            cx.original
+        );
+        // The reproducer is a self-contained, well-typed .nf program
+        // (sqrt only exists in the RP signature, so the default session
+        // applies).
+        let program = Program::parse(&cx.shrunk)
+            .unwrap_or_else(|d| panic!("reproducer does not parse: {}\n{}", d.render(), cx.shrunk));
+        Analyzer::new()
+            .check(&program)
+            .unwrap_or_else(|d| panic!("reproducer does not check: {}\n{}", d.render(), cx.shrunk));
+    }
+    // Shrinking should reach a genuinely small witness: the minimal
+    // sqrt-bearing program is a handful of lines.
+    let smallest = outcome
+        .counterexamples
+        .iter()
+        .map(|cx| cx.shrunk.lines().count())
+        .min()
+        .expect("at least one counterexample");
+    assert!(smallest <= 4, "greedy shrinking stalled (smallest witness: {smallest} lines)");
+}
+
+/// A second mutation: an oracle that never fails must yield a clean run
+/// with zero counterexamples — and one that always fails must flag every
+/// case (the driver neither invents nor swallows failures).
+struct AlwaysFail;
+
+impl Oracle for AlwaysFail {
+    fn run_case(
+        &self,
+        _plan: &CasePlan,
+        _src: &str,
+        _expected: Option<&Rational>,
+    ) -> Result<CasePass, CaseFailure> {
+        Err(CaseFailure { kind: FailureKind::Check, detail: "injected".into() })
+    }
+}
+
+#[test]
+fn driver_neither_invents_nor_swallows_failures() {
+    let bad = run(&cfg(10, 5, 1), &AlwaysFail);
+    assert_eq!(bad.counterexamples.len(), 10);
+    assert!(bad.report.contains("failed=10"), "{}", bad.report);
+}
+
+fn numfuzz_bin(args: &[&str], dir: &std::path::Path) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_numfuzz"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("numfuzz binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn cli_fuzz_is_deterministic_and_exits_zero() {
+    let dir = std::env::temp_dir().join(format!("numfuzz-fuzz-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let (first, stderr, code) = numfuzz_bin(&["fuzz", "--cases", "40", "--seed", "1"], &dir);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(first.starts_with("numfuzz fuzz: cases=40 seed=1"), "{first}");
+    assert!(first.contains("counterexamples: 0"), "{first}");
+    for jobs in ["2", "3"] {
+        let (out, _, code) =
+            numfuzz_bin(&["fuzz", "--cases", "40", "--seed", "1", "--jobs", jobs], &dir);
+        assert_eq!(code, Some(0));
+        assert_eq!(out, first, "jobs={jobs} changed the report");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,2 @@
+s = cube 2;
+rnd s

@@ -1,0 +1,2 @@
+s = add (1, 2);
+rnd s

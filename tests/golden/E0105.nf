@@ -1,0 +1,2 @@
+function f (x: num) : M[eps]num { s = mul (x, x); rnd s }
+f 2

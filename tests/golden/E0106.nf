@@ -1,0 +1,2 @@
+function f (x: num) : num { x }
+[[f]{eps}]{eps}

@@ -1,0 +1,2 @@
+function f (x: ![0]num) : num { let [x1] = x; x1 }
+f [1]{0}

@@ -1,0 +1,2 @@
+function f (c: bool) : num { if c then 1 else () }
+f true

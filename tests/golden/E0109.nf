@@ -1,0 +1,2 @@
+function f (xy: (num, num)) : M[0]num { s = mul xy; rnd s }
+f (1, 2)

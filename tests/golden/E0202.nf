@@ -1,0 +1,1 @@
+rnd 1

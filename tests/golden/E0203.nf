@@ -1,0 +1,2 @@
+s = div (1, 0);
+rnd s

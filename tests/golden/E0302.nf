@@ -1,0 +1,5 @@
+// IR kernel import: diff(x) = sub(x, 2) — subtraction is outside
+// the RP fragment, so the kernel-to-core translation must reject it.
+// (The runner builds this exact kernel programmatically; this file
+// documents the scenario for humans.)
+ret ()

@@ -1,22 +1,46 @@
-//! Property-based error soundness (the workspace's strongest end-to-end
-//! check): random straight-line kernels over `+ × ÷ √ fma` with positive
-//! constants become `Program`s, are type-checked by one `Analyzer`
-//! session, executed under ideal and floating-point semantics at random
-//! inputs, and the inferred grade bound is verified rigorously —
-//! Corollary 4.20 on arbitrary programs.
+//! Property-based error soundness, rebuilt on the full-surface fuzzer
+//! (the workspace's strongest end-to-end check):
+//!
+//! * `full_surface_soundness` drives the `numfuzz-fuzz` generator — the
+//!   same one behind `numfuzz fuzz` — through the complete differential
+//!   oracle on random seeds, so conditionals, pairs, sums,
+//!   `let`-functions, boxing, both instantiations, all formats and
+//!   rounding modes are under proptest, not just straight-line kernels;
+//! * the kernel-based properties below keep exercising the IR
+//!   translation path: Cor. 4.20 on random straight-line programs, grade
+//!   composition, production-vs-reference checker agreement, and
+//!   machine-vs-small-step agreement. The metric-free properties use
+//!   *signed* constants including zero (the RP metric itself is only
+//!   defined on one-signed data, so the Cor. 4.20 property keeps the
+//!   strictly positive corpus the paper's leading instantiation
+//!   interprets).
 
 use numfuzz::analyzers::{Expr, Kernel};
+use numfuzz::fuzz::generate_case;
+use numfuzz::fuzzing::AnalyzerOracle;
 use numfuzz::prelude::*;
 use proptest::prelude::*;
 
-/// Random positive "nice" rationals in roughly [1/8, 8].
+/// Random positive "nice" rationals in roughly [1/64, 64] — the RP
+/// instantiation interprets `num` as the strictly positive reals, so the
+/// soundness property (which evaluates the RP metric) stays positive.
 fn pos_const() -> impl Strategy<Value = Rational> {
     (1i64..64, 1i64..64).prop_map(|(n, d)| Rational::ratio(n, d))
 }
 
+/// Signed constants *including zero and negatives* for the metric-free
+/// properties (checker agreement, machine-vs-small-step): sign handling
+/// in `softfloat::arith` is only exercised when signs actually vary.
+fn signed_const() -> impl Strategy<Value = Rational> {
+    (-64i64..64, 1i64..64).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
 /// Random expressions over `nvars` inputs with bounded size.
-fn expr(nvars: usize) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![pos_const().prop_map(Expr::Const), (0..nvars).prop_map(Expr::Var),];
+fn expr_with(
+    consts: proptest::strategy::BoxedStrategy<Rational>,
+    nvars: usize,
+) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![consts.prop_map(Expr::Const), (0..nvars).prop_map(Expr::Var)];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
@@ -28,6 +52,10 @@ fn expr(nvars: usize) -> impl Strategy<Value = Expr> {
     })
 }
 
+fn expr(nvars: usize) -> impl Strategy<Value = Expr> {
+    expr_with(pos_const().boxed(), nvars)
+}
+
 /// Random input values in [1/2, 2] — positive and overflow-safe for the
 /// sizes generated here.
 fn input_vals(nvars: usize) -> impl Strategy<Value = Vec<Rational>> {
@@ -36,6 +64,27 @@ fn input_vals(nvars: usize) -> impl Strategy<Value = Vec<Rational>> {
 
 fn unit_range() -> RatInterval {
     RatInterval::new(Rational::ratio(1, 2), Rational::from_int(2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full surface under proptest: random seeds drive the typed
+    /// program generator and the complete differential oracle
+    /// (check → validate → reference-ideal cross-check → round-trip).
+    #[test]
+    fn full_surface_soundness(seed in 0u64..u64::MAX / 2, index in 0usize..8) {
+        use numfuzz::fuzz::Oracle;
+        let case = generate_case(seed, index);
+        let src = case.program.render();
+        let result = AnalyzerOracle.run_case(&case.plan, &src, case.expected_ideal.as_ref());
+        prop_assert!(
+            result.is_ok(),
+            "case (seed {seed}, index {index}, {}): {:?}\n---\n{src}",
+            case.plan.describe(),
+            result.err()
+        );
+    }
 }
 
 proptest! {
@@ -88,9 +137,9 @@ fn grade_of(analyzer: &Analyzer, k: &Kernel) -> Grade {
 }
 
 /// Random expressions without `sqrt` (kept rational so the substitution-
-/// based reference semantics applies).
+/// based reference semantics applies), over *signed* constants.
 fn expr_no_sqrt(nvars: usize) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![pos_const().prop_map(Expr::Const), (0..nvars).prop_map(Expr::Var),];
+    let leaf = prop_oneof![signed_const().prop_map(Expr::Const), (0..nvars).prop_map(Expr::Var)];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
@@ -106,9 +155,11 @@ proptest! {
 
     /// Differential oracle: the iterative production checker (behind
     /// `Analyzer::check`) and the recursive reference checker agree
-    /// exactly (environment and type) on random programs.
+    /// exactly (environment and type) on random programs — with signed
+    /// and zero constants (typing is metric-free, so the whole constant
+    /// range is fair game here).
     #[test]
-    fn production_checker_agrees_with_reference(e in expr(3)) {
+    fn production_checker_agrees_with_reference(e in expr_with(signed_const().boxed(), 3)) {
         let kernel = Kernel::new(
             "random",
             vec![("a", unit_range()), ("b", unit_range()), ("c", unit_range())],
@@ -131,7 +182,9 @@ proptest! {
     /// Cross-semantics agreement: the abstract machine (behind
     /// `Analyzer::run`) and the substitution-based small-step reference
     /// compute the same result on random (sqrt-free) programs, under both
-    /// the ideal and the FP semantics.
+    /// the ideal and the FP semantics. Signed and zero constants are in
+    /// range; programs that divide by zero fault identically in both
+    /// semantics and are skipped.
     #[test]
     fn machine_agrees_with_smallstep_on_random_programs(e in expr_no_sqrt(2), vals in input_vals(2)) {
         use numfuzz::core::Node;
@@ -152,7 +205,16 @@ proptest! {
         // ideal side, plain (non-faulting) mode rounding for the FP
         // side — exactly matching the small-step semantics below.
         let mut fp = ModeRounding { format: small_format, mode: RoundingMode::TowardNegative };
-        let exec = session.run_with_rounding(&program, &inputs, &mut fp).expect("machine evaluates");
+        let exec = match session.run_with_rounding(&program, &inputs, &mut fp) {
+            Ok(exec) => exec,
+            Err(d) if d.code == ErrorCode::EvalFailed => {
+                // Signed constants can divide by zero; both semantics
+                // fault on such programs, so there is nothing to compare.
+                prop_assume!(false);
+                unreachable!()
+            }
+            Err(d) => panic!("harness failure: {}", d.render()),
+        };
         for sem in [
             StepSemantics::Ideal,
             StepSemantics::Fp(small_format, RoundingMode::TowardNegative),

@@ -1,0 +1,847 @@
+//! Content-addressed result caching for the analysis pipeline.
+//!
+//! A resident analysis service (`numfuzz serve`) sees the same programs
+//! over and over; so does a batch run over a corpus with duplicated
+//! kernels. Every analysis outcome in this system — checking, bounding,
+//! validation — is a *pure function* of the hash-consed term, its free
+//! variables, and the analyzer configuration (signature, format, mode,
+//! rounding unit): inference (Fig. 10) consults nothing else, so a result
+//! computed once may be replayed for any structurally identical program
+//! under the same configuration. This module provides the two halves of
+//! that memoization:
+//!
+//! * [`fingerprint_term`] — a stable 128-bit *content* fingerprint of a
+//!   term DAG. Alpha-equivalent programs (same structure, different
+//!   internal [`VarId`] numbering or binder spellings) fingerprint
+//!   identically: variables are renumbered canonically in traversal
+//!   order, annotations are resolved out of the arena and hashed
+//!   structurally, and constants hash by canonical rational value. Two
+//!   deliberate exceptions, because they are visible in *results*:
+//!   `function` names (they appear in per-function reports) and the
+//!   free-variable interface (names and raw ids — inferred environments
+//!   mention them). The hash is FNV-1a/128 over a canonical byte
+//!   encoding — deterministic across processes and platforms (no
+//!   per-process seed), so keys are true content addresses. The
+//!   companion [`fingerprint_term_with_display`] additionally hashes
+//!   every binder spelling, which gates the replay of memoized
+//!   *diagnostics* (error messages quote names and source lines).
+//! * [`ResultCache`] — a byte-budgeted LRU table from [`CacheKey`]
+//!   (program fingerprint + configuration fingerprint) to any clonable
+//!   result, with hit/miss/insert/evict accounting ([`CacheStats`]).
+//!
+//! The facade crate wraps a `ResultCache` in an `Arc<Mutex<..>>` handle
+//! (`numfuzz::AnalysisCache`) shared by every session of a service, and
+//! threads it through `Analyzer::check_cached` / `bound_cached` and the
+//! sharded batch entry points.
+
+use crate::term::{Node, TermId, TermStore, VarId};
+use crate::ty::Ty;
+use crate::TyId;
+use std::collections::{BTreeMap, HashMap};
+
+/// FNV-1a offset basis for the 128-bit variant.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a prime for the 128-bit variant.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// An incremental FNV-1a/128 hasher over a canonical byte stream.
+///
+/// Deliberately *not* `std::hash::Hasher`: `DefaultHasher` is seeded per
+/// process, and content addresses must be stable across processes (a
+/// service restart must not invalidate a future persistent cache, and
+/// tests pin fingerprints). FNV is not collision-resistant against an
+/// adversary, but at 128 bits accidental collisions are negligible for a
+/// memoization table whose worst failure is a wrong-but-well-typed reply.
+#[derive(Clone, Copy, Debug)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV128_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Absorbs one byte (a node/type tag).
+    pub fn write_u8(&mut self, b: u8) {
+        self.write(&[b]);
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u128` (little-endian) — e.g. a child fingerprint.
+    pub fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The 128-bit digest.
+    pub fn finish128(&self) -> u128 {
+        self.state
+    }
+
+    /// The digest folded to 64 bits (for configuration keys).
+    pub fn finish64(&self) -> u64 {
+        (self.state as u64) ^ ((self.state >> 64) as u64)
+    }
+}
+
+// Tag bytes for the canonical term encoding. Annotation-bearing variants
+// get their own tags so `inl v : σ+τ` and `inr v : τ+σ` cannot collide.
+const TAG_VAR: u8 = 1;
+const TAG_UNIT: u8 = 2;
+const TAG_CONST: u8 = 3;
+const TAG_PAIR_W: u8 = 4;
+const TAG_PAIR_T: u8 = 5;
+const TAG_INL: u8 = 6;
+const TAG_INR: u8 = 7;
+const TAG_LAM: u8 = 8;
+const TAG_BOX: u8 = 9;
+const TAG_RND: u8 = 10;
+const TAG_RET: u8 = 11;
+const TAG_ERR: u8 = 12;
+const TAG_APP: u8 = 13;
+const TAG_PROJ1: u8 = 14;
+const TAG_PROJ2: u8 = 15;
+const TAG_LET_TENSOR: u8 = 16;
+const TAG_CASE: u8 = 17;
+const TAG_LET_BOX: u8 = 18;
+const TAG_LET_BIND: u8 = 19;
+const TAG_LET: u8 = 20;
+const TAG_LET_FUN: u8 = 21;
+const TAG_OP: u8 = 22;
+
+// Tags for the canonical type encoding.
+const TY_UNIT: u8 = 32;
+const TY_NUM: u8 = 33;
+const TY_TENSOR: u8 = 34;
+const TY_WITH: u8 = 35;
+const TY_SUM: u8 = 36;
+const TY_LOLLI: u8 = 37;
+const TY_BANG: u8 = 38;
+const TY_MONAD: u8 = 39;
+
+/// Computes the content fingerprint of a program: the term DAG under
+/// `root` plus its free-variable interface `free`, both resolved to
+/// canonical form (see the [module docs](self) for what "canonical"
+/// guarantees). Runs in `O(distinct nodes)`: shared subterms hash once.
+///
+/// Free variables contribute their *raw* ids and display names as well as
+/// their canonical numbers: a cached result (e.g. an inferred environment)
+/// mentions free variables by identity, so two programs may only share a
+/// cache entry when their input interfaces match exactly, not merely up
+/// to renaming. Bound variables, by contrast, never escape into results
+/// and hash canonically.
+///
+/// ```
+/// use numfuzz_core::cache::fingerprint_term;
+/// use numfuzz_core::{compile, Signature};
+///
+/// let sig = Signature::relative_precision();
+/// let a = compile("s = mul (2, 2); rnd s", &sig)?;
+/// let b = compile("s = mul (2, 2); rnd s", &sig)?;
+/// let c = compile("s = mul (2, 3); rnd s", &sig)?;
+/// assert_eq!(
+///     fingerprint_term(&a.store, a.root, &[]),
+///     fingerprint_term(&b.store, b.root, &[]),
+/// );
+/// assert_ne!(
+///     fingerprint_term(&a.store, a.root, &[]),
+///     fingerprint_term(&c.store, c.root, &[]),
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fingerprint_term(store: &TermStore, root: TermId, free: &[(VarId, Ty)]) -> u128 {
+    fingerprint_term_with_display(store, root, free).0
+}
+
+/// [`fingerprint_term`] plus a *display* fingerprint: a hash of every
+/// variable's display name in canonical traversal order.
+///
+/// The structural fingerprint decides whether two programs compute the
+/// same *results*; the display fingerprint decides whether they would
+/// render the same *diagnostics*. Error messages quote binder names and
+/// source snippets, so a memoized `Err` outcome may only be replayed for
+/// a program whose display fingerprint (and source text, which the
+/// caller mixes in) also matches — successful outcomes depend only on
+/// the structural half (plus `function` names, which are part of it).
+pub fn fingerprint_term_with_display(
+    store: &TermStore,
+    root: TermId,
+    free: &[(VarId, Ty)],
+) -> (u128, u128) {
+    let mut fp = Fingerprinter {
+        store,
+        terms: HashMap::new(),
+        tys: HashMap::new(),
+        vars: HashMap::new(),
+        next_var: 0,
+    };
+    // Free variables are numbered first, in interface order, so their
+    // canonical ids are independent of where they first occur in the body.
+    for (v, _) in free {
+        fp.canon_var(*v);
+    }
+    let root_hash = fp.hash_term(root);
+
+    let mut h = StableHasher::new();
+    h.write_u128(root_hash);
+    h.write_u64(free.len() as u64);
+    for (v, ty) in free {
+        h.write_u32(fp.canon_var(*v));
+        h.write_u32(v.0);
+        h.write_str(store.var_name(*v));
+        h.write_u128(hash_ty_tree(ty));
+    }
+
+    let mut names: Vec<(u32, VarId)> = fp.vars.iter().map(|(&v, &n)| (n, v)).collect();
+    names.sort_unstable();
+    let mut d = StableHasher::new();
+    d.write_u64(names.len() as u64);
+    for (_, v) in names {
+        d.write_str(store.var_name(v));
+    }
+    (h.finish128(), d.finish128())
+}
+
+/// The canonical structural hash of an owned [`Ty`] tree (annotations are
+/// shallow, so plain recursion is fine here).
+pub fn hash_ty_tree(ty: &Ty) -> u128 {
+    let mut h = StableHasher::new();
+    match ty {
+        Ty::Unit => h.write_u8(TY_UNIT),
+        Ty::Num => h.write_u8(TY_NUM),
+        Ty::Tensor(a, b) => {
+            h.write_u8(TY_TENSOR);
+            h.write_u128(hash_ty_tree(a));
+            h.write_u128(hash_ty_tree(b));
+        }
+        Ty::With(a, b) => {
+            h.write_u8(TY_WITH);
+            h.write_u128(hash_ty_tree(a));
+            h.write_u128(hash_ty_tree(b));
+        }
+        Ty::Sum(a, b) => {
+            h.write_u8(TY_SUM);
+            h.write_u128(hash_ty_tree(a));
+            h.write_u128(hash_ty_tree(b));
+        }
+        Ty::Lolli(a, b) => {
+            h.write_u8(TY_LOLLI);
+            h.write_u128(hash_ty_tree(a));
+            h.write_u128(hash_ty_tree(b));
+        }
+        Ty::Bang(s, t) => {
+            h.write_u8(TY_BANG);
+            // Grades are canonical linear expressions with a total display
+            // order, so their rendering is a faithful canonical form.
+            h.write_str(&s.to_string());
+            h.write_u128(hash_ty_tree(t));
+        }
+        Ty::Monad(u, t) => {
+            h.write_u8(TY_MONAD);
+            h.write_str(&u.to_string());
+            h.write_u128(hash_ty_tree(t));
+        }
+    }
+    h.finish128()
+}
+
+/// Memoized canonical hashing of one store's term DAG.
+struct Fingerprinter<'a> {
+    store: &'a TermStore,
+    terms: HashMap<TermId, u128>,
+    tys: HashMap<TyId, u128>,
+    /// Canonical variable numbering, assigned in deterministic traversal
+    /// order (free interface first, then binders as encountered).
+    vars: HashMap<VarId, u32>,
+    next_var: u32,
+}
+
+impl Fingerprinter<'_> {
+    fn canon_var(&mut self, v: VarId) -> u32 {
+        if let Some(&n) = self.vars.get(&v) {
+            return n;
+        }
+        let n = self.next_var;
+        self.next_var += 1;
+        self.vars.insert(v, n);
+        n
+    }
+
+    fn hash_ty(&mut self, id: TyId) -> u128 {
+        if let Some(&h) = self.tys.get(&id) {
+            return h;
+        }
+        let h = hash_ty_tree(&self.store.ty(id));
+        self.tys.insert(id, h);
+        h
+    }
+
+    /// Post-order DAG hash with an explicit stack: million-node let chains
+    /// must not overflow the call stack, and shared subterms hash once.
+    fn hash_term(&mut self, root: TermId) -> u128 {
+        enum Task {
+            Enter(TermId),
+            Exit(TermId),
+        }
+        let mut stack = vec![Task::Enter(root)];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Enter(id) => {
+                    if self.terms.contains_key(&id) {
+                        continue;
+                    }
+                    stack.push(Task::Exit(id));
+                    // Binders claim their canonical numbers on entry, so a
+                    // variable's number is assigned before any use of it is
+                    // visited. Children enter in reverse so they are
+                    // *visited* left-to-right (deterministic numbering).
+                    match *self.store.node(id) {
+                        Node::Var(v) => {
+                            self.canon_var(v);
+                        }
+                        Node::UnitVal | Node::Const(_) | Node::Err(..) => {}
+                        Node::PairW(a, b) | Node::PairT(a, b) | Node::App(a, b) => {
+                            stack.push(Task::Enter(b));
+                            stack.push(Task::Enter(a));
+                        }
+                        Node::Inl(v, _)
+                        | Node::Inr(v, _)
+                        | Node::BoxIntro(_, v)
+                        | Node::Rnd(v)
+                        | Node::Ret(v)
+                        | Node::Proj(_, v)
+                        | Node::Op(_, v) => stack.push(Task::Enter(v)),
+                        Node::Lam(x, _, body) => {
+                            self.canon_var(x);
+                            stack.push(Task::Enter(body));
+                        }
+                        Node::LetTensor(x, y, v, e) => {
+                            self.canon_var(x);
+                            self.canon_var(y);
+                            stack.push(Task::Enter(e));
+                            stack.push(Task::Enter(v));
+                        }
+                        Node::Case(v, x, e1, y, e2) => {
+                            self.canon_var(x);
+                            self.canon_var(y);
+                            stack.push(Task::Enter(e2));
+                            stack.push(Task::Enter(e1));
+                            stack.push(Task::Enter(v));
+                        }
+                        Node::LetBox(x, v, e) | Node::LetBind(x, v, e) | Node::Let(x, v, e) => {
+                            self.canon_var(x);
+                            stack.push(Task::Enter(e));
+                            stack.push(Task::Enter(v));
+                        }
+                        Node::LetFun(x, _, body, rest) => {
+                            self.canon_var(x);
+                            stack.push(Task::Enter(rest));
+                            stack.push(Task::Enter(body));
+                        }
+                    }
+                }
+                Task::Exit(id) => {
+                    if self.terms.contains_key(&id) {
+                        continue;
+                    }
+                    let h = self.hash_node(id);
+                    self.terms.insert(id, h);
+                }
+            }
+        }
+        self.terms[&root]
+    }
+
+    /// Hashes one node whose children (and binder variables) are already
+    /// processed.
+    fn hash_node(&mut self, id: TermId) -> u128 {
+        let mut h = StableHasher::new();
+        match *self.store.node(id) {
+            Node::Var(v) => {
+                h.write_u8(TAG_VAR);
+                h.write_u32(self.canon_var(v));
+            }
+            Node::UnitVal => h.write_u8(TAG_UNIT),
+            Node::Const(k) => {
+                h.write_u8(TAG_CONST);
+                // Rationals are kept canonical (reduced, sign-normalized),
+                // so the rendering is a canonical form.
+                h.write_str(&self.store.constant(k).to_string());
+            }
+            Node::PairW(a, b) => {
+                h.write_u8(TAG_PAIR_W);
+                h.write_u128(self.terms[&a]);
+                h.write_u128(self.terms[&b]);
+            }
+            Node::PairT(a, b) => {
+                h.write_u8(TAG_PAIR_T);
+                h.write_u128(self.terms[&a]);
+                h.write_u128(self.terms[&b]);
+            }
+            Node::Inl(v, ty) => {
+                h.write_u8(TAG_INL);
+                h.write_u128(self.terms[&v]);
+                h.write_u128(self.hash_ty(ty));
+            }
+            Node::Inr(v, ty) => {
+                h.write_u8(TAG_INR);
+                h.write_u128(self.terms[&v]);
+                h.write_u128(self.hash_ty(ty));
+            }
+            Node::Lam(x, ty, body) => {
+                h.write_u8(TAG_LAM);
+                h.write_u32(self.canon_var(x));
+                h.write_u128(self.hash_ty(ty));
+                h.write_u128(self.terms[&body]);
+            }
+            Node::BoxIntro(s, v) => {
+                h.write_u8(TAG_BOX);
+                h.write_str(&self.store.grade(s).to_string());
+                h.write_u128(self.terms[&v]);
+            }
+            Node::Rnd(v) => {
+                h.write_u8(TAG_RND);
+                h.write_u128(self.terms[&v]);
+            }
+            Node::Ret(v) => {
+                h.write_u8(TAG_RET);
+                h.write_u128(self.terms[&v]);
+            }
+            Node::Err(u, ty) => {
+                h.write_u8(TAG_ERR);
+                h.write_str(&self.store.grade(u).to_string());
+                h.write_u128(self.hash_ty(ty));
+            }
+            Node::App(a, b) => {
+                h.write_u8(TAG_APP);
+                h.write_u128(self.terms[&a]);
+                h.write_u128(self.terms[&b]);
+            }
+            Node::Proj(first, v) => {
+                h.write_u8(if first { TAG_PROJ1 } else { TAG_PROJ2 });
+                h.write_u128(self.terms[&v]);
+            }
+            Node::LetTensor(x, y, v, e) => {
+                h.write_u8(TAG_LET_TENSOR);
+                h.write_u32(self.canon_var(x));
+                h.write_u32(self.canon_var(y));
+                h.write_u128(self.terms[&v]);
+                h.write_u128(self.terms[&e]);
+            }
+            Node::Case(v, x, e1, y, e2) => {
+                h.write_u8(TAG_CASE);
+                h.write_u128(self.terms[&v]);
+                h.write_u32(self.canon_var(x));
+                h.write_u128(self.terms[&e1]);
+                h.write_u32(self.canon_var(y));
+                h.write_u128(self.terms[&e2]);
+            }
+            Node::LetBox(x, v, e) => {
+                h.write_u8(TAG_LET_BOX);
+                h.write_u32(self.canon_var(x));
+                h.write_u128(self.terms[&v]);
+                h.write_u128(self.terms[&e]);
+            }
+            Node::LetBind(x, v, e) => {
+                h.write_u8(TAG_LET_BIND);
+                h.write_u32(self.canon_var(x));
+                h.write_u128(self.terms[&v]);
+                h.write_u128(self.terms[&e]);
+            }
+            Node::Let(x, v, e) => {
+                h.write_u8(TAG_LET);
+                h.write_u32(self.canon_var(x));
+                h.write_u128(self.terms[&v]);
+                h.write_u128(self.terms[&e]);
+            }
+            Node::LetFun(x, declared, body, rest) => {
+                h.write_u8(TAG_LET_FUN);
+                h.write_u32(self.canon_var(x));
+                // Function names are *content*, not presentation: they
+                // appear in per-function reports (and therefore in
+                // check/bound output), so `function f` and `function g`
+                // may not share a cache entry.
+                h.write_str(self.store.var_name(x));
+                match declared {
+                    Some(ty) => {
+                        h.write_u8(1);
+                        h.write_u128(self.hash_ty(ty));
+                    }
+                    None => h.write_u8(0),
+                }
+                h.write_u128(self.terms[&body]);
+                h.write_u128(self.terms[&rest]);
+            }
+            Node::Op(op, v) => {
+                h.write_u8(TAG_OP);
+                h.write_str(self.store.op_name(op));
+                h.write_u128(self.terms[&v]);
+            }
+        }
+        h.finish128()
+    }
+}
+
+/// The address of one memoized result: *what* was analyzed
+/// ([`fingerprint_term`]) under *which* configuration (a caller-supplied
+/// fingerprint of signature, format, mode, rounding unit, and the
+/// operation performed — check vs. bound vs. validate).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Content fingerprint of the program.
+    pub program: u128,
+    /// Fingerprint of the analyzer configuration + operation kind.
+    pub config: u64,
+}
+
+/// Running counters of one [`ResultCache`]. All counters are cumulative
+/// over the cache's lifetime except `entries`/`bytes`, which are current.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values stored (including replacements).
+    pub insertions: u64,
+    /// Entries removed to respect the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate bytes currently resident (entry weights + overhead).
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub budget: usize,
+}
+
+/// Approximate in-memory size of a cached value, used to enforce the
+/// byte budget. Estimates only need to be consistent (the cache accounts
+/// removal with the weight it recorded at insert), not exact.
+pub trait CacheWeight {
+    /// Approximate heap footprint in bytes.
+    fn weight(&self) -> usize;
+}
+
+/// Fixed per-entry accounting overhead (key, recency index, map slots).
+const ENTRY_OVERHEAD: usize = 96;
+
+/// A byte-budgeted LRU map from [`CacheKey`] to a clonable analysis
+/// outcome.
+///
+/// Recency is tracked with a monotonically increasing sequence number and
+/// a `BTreeMap<seq, key>` index: `get` and `insert` are `O(log n)`, and
+/// eviction pops the smallest live sequence number. The structure is not
+/// internally synchronized — wrap it in a `Mutex` to share (the facade's
+/// `AnalysisCache` does).
+///
+/// ```
+/// use numfuzz_core::cache::{CacheKey, CacheWeight, ResultCache};
+///
+/// struct Blob(usize);
+/// impl CacheWeight for Blob {
+///     fn weight(&self) -> usize {
+///         self.0
+///     }
+/// }
+/// impl Clone for Blob {
+///     fn clone(&self) -> Self {
+///         Blob(self.0)
+///     }
+/// }
+///
+/// let key = |n| CacheKey { program: n, config: 0 };
+/// let mut cache = ResultCache::new(4096);
+/// assert!(cache.get(&key(1)).is_none()); // miss
+/// cache.insert(key(1), Blob(100));
+/// assert!(cache.get(&key(1)).is_some()); // hit
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct ResultCache<V> {
+    budget: usize,
+    map: HashMap<CacheKey, Entry<V>>,
+    recency: BTreeMap<u64, CacheKey>,
+    seq: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    weight: usize,
+    seq: u64,
+}
+
+impl<V: Clone + CacheWeight> ResultCache<V> {
+    /// An empty cache that will hold at most ~`budget_bytes` of entry
+    /// weight (plus fixed per-entry overhead).
+    pub fn new(budget_bytes: usize) -> Self {
+        ResultCache {
+            budget: budget_bytes,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            seq: 0,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a result, counting a hit or a miss and refreshing the
+    /// entry's recency on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<V> {
+        self.get_if(key, |_| true)
+    }
+
+    /// [`ResultCache::get`] with an admission guard: a resident entry the
+    /// guard rejects counts as a **miss** (the caller will recompute and
+    /// re-insert), not a hit. The facade uses this to refuse replaying a
+    /// memoized diagnostic for a program whose display fingerprint
+    /// differs — same analysis outcome, different rendering.
+    pub fn get_if(&mut self, key: &CacheKey, admit: impl FnOnce(&V) -> bool) -> Option<V> {
+        match self.map.get_mut(key) {
+            Some(entry) if admit(&entry.value) => {
+                self.hits += 1;
+                self.recency.remove(&entry.seq);
+                self.seq += 1;
+                entry.seq = self.seq;
+                self.recency.insert(self.seq, *key);
+                Some(entry.value.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a key is resident, *without* touching recency or counters
+    /// (for duplicate-scheduling decisions, not for reads).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Stores a result, replacing any previous entry for the key, then
+    /// evicts least-recently-used entries until the byte budget holds. A
+    /// value heavier than the whole budget is evicted immediately (the
+    /// insert is still counted).
+    pub fn insert(&mut self, key: CacheKey, value: V) {
+        let weight = value.weight() + ENTRY_OVERHEAD;
+        self.insertions += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.recency.remove(&old.seq);
+            self.bytes -= old.weight;
+        }
+        self.seq += 1;
+        self.bytes += weight;
+        self.map.insert(key, Entry { value, weight, seq: self.seq });
+        self.recency.insert(self.seq, key);
+        while self.bytes > self.budget {
+            let Some((_, victim)) = self.recency.pop_first() else { break };
+            let entry = self.map.remove(&victim).expect("recency index tracks the map");
+            self.bytes -= entry.weight;
+            self.evictions += 1;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            bytes: self.bytes,
+            budget: self.budget,
+        }
+    }
+
+    /// Drops every entry (counters other than `entries`/`bytes` are
+    /// preserved — they are lifetime totals).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, Signature};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Blob(&'static str, usize);
+    impl CacheWeight for Blob {
+        fn weight(&self) -> usize {
+            self.1
+        }
+    }
+
+    fn key(n: u128) -> CacheKey {
+        CacheKey { program: n, config: 7 }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Budget fits exactly two entries of weight 100 (+overhead each).
+        let mut cache = ResultCache::new(2 * (100 + ENTRY_OVERHEAD));
+        cache.insert(key(1), Blob("a", 100));
+        cache.insert(key(2), Blob("b", 100));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.get(&key(1)), Some(Blob("a", 100)));
+        cache.insert(key(3), Blob("c", 100));
+        assert!(cache.contains(&key(1)), "recently used survives");
+        assert!(!cache.contains(&key(2)), "LRU entry evicted");
+        assert!(cache.contains(&key(3)));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= stats.budget);
+    }
+
+    #[test]
+    fn oversized_value_does_not_stick() {
+        let mut cache = ResultCache::new(64);
+        cache.insert(key(1), Blob("huge", 1 << 20));
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn replacement_updates_bytes_exactly() {
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(key(1), Blob("a", 100));
+        let before = cache.stats().bytes;
+        cache.insert(key(1), Blob("a2", 300));
+        assert_eq!(cache.stats().bytes, before + 200);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut cache = ResultCache::new(1 << 20);
+        assert!(cache.get(&key(9)).is_none());
+        cache.insert(key(9), Blob("x", 10));
+        assert!(cache.get(&key(9)).is_some());
+        assert!(cache.get(&key(10)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        // Different config under the same program fingerprint is a
+        // different address.
+        assert!(cache.get(&CacheKey { program: 9, config: 8 }).is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_alpha_invariant_and_content_sensitive() {
+        let sig = Signature::relative_precision();
+        // Same structure, differently named binders: same fingerprint.
+        let a = compile("s = mul (2, 2); rnd s", &sig).unwrap();
+        let b = compile("t = mul (2, 2); rnd t", &sig).unwrap();
+        assert_eq!(
+            fingerprint_term(&a.store, a.root, &[]),
+            fingerprint_term(&b.store, b.root, &[])
+        );
+        // A different constant changes it.
+        let c = compile("s = mul (2, 3); rnd s", &sig).unwrap();
+        assert_ne!(
+            fingerprint_term(&a.store, a.root, &[]),
+            fingerprint_term(&c.store, c.root, &[])
+        );
+        // A different operation changes it.
+        let d = compile("s = div (2, 2); rnd s", &sig).unwrap();
+        assert_ne!(
+            fingerprint_term(&a.store, a.root, &[]),
+            fingerprint_term(&d.store, d.root, &[])
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_store_construction_order() {
+        // The same program compiled after unrelated programs shared the
+        // session arena must fingerprint identically: ids shift, content
+        // does not.
+        let sig = Signature::relative_precision();
+        let arena = crate::CoreArena::new();
+        let noise = crate::compile_in(arena.clone(), "rnd (|1, 2|)", &sig).unwrap();
+        let _ = noise;
+        let a = crate::compile_in(arena, "s = mul (2, 2); rnd s", &sig).unwrap();
+        let b = compile("s = mul (2, 2); rnd s", &sig).unwrap();
+        assert_eq!(
+            fingerprint_term(&a.store, a.root, &[]),
+            fingerprint_term(&b.store, b.root, &[])
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_annotations() {
+        let sig = Signature::relative_precision();
+        let a = compile("inl {num} ()", &sig).unwrap();
+        let b = compile("inl {unit} ()", &sig).unwrap();
+        assert_ne!(
+            fingerprint_term(&a.store, a.root, &[]),
+            fingerprint_term(&b.store, b.root, &[])
+        );
+    }
+
+    #[test]
+    fn stable_hasher_is_deterministic() {
+        let mut h1 = StableHasher::new();
+        h1.write_str("numfuzz");
+        h1.write_u32(42);
+        let mut h2 = StableHasher::new();
+        h2.write_str("numfuzz");
+        h2.write_u32(42);
+        assert_eq!(h1.finish128(), h2.finish128());
+        assert_eq!(h1.finish64(), h2.finish64());
+        // Length prefixing: ("ab","c") != ("a","bc").
+        let mut h3 = StableHasher::new();
+        h3.write_str("ab");
+        h3.write_str("c");
+        let mut h4 = StableHasher::new();
+        h4.write_str("a");
+        h4.write_str("bc");
+        assert_ne!(h3.finish128(), h4.finish128());
+    }
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod cache;
 mod check;
 mod env;
 mod grade;
@@ -62,6 +63,7 @@ mod ty;
 pub mod validate;
 
 pub use arena::{CoreArena, GradeId, TyId, TyNode};
+pub use cache::{CacheKey, CacheStats, CacheWeight, ResultCache};
 pub use check::{infer, infer_in, CheckError, CheckResult, FnReport, Inferred};
 pub use env::Env;
 pub use grade::{Grade, LinExpr, Sym};

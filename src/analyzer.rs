@@ -19,9 +19,11 @@
 use crate::diag::{Diagnostic, ErrorCode};
 use crate::program::Program;
 use numfuzz_analyzers::Kernel;
+use numfuzz_core::cache::{CacheKey, CacheStats, CacheWeight, ResultCache, StableHasher};
 use numfuzz_core::pool;
 use numfuzz_core::{
-    infer, infer_in, CoreArena, FnReport, Grade, Inferred, Instantiation, Signature, Ty, VarId,
+    cache, infer, infer_in, CoreArena, FnReport, Grade, Inferred, Instantiation, Signature, Ty,
+    VarId,
 };
 use numfuzz_exact::Rational;
 use numfuzz_interp::{
@@ -33,6 +35,7 @@ use numfuzz_metrics::rp::rp_to_rel_bound;
 use numfuzz_softfloat::{Format, RoundingMode};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A configured analysis session: signature, target format, rounding
@@ -56,6 +59,12 @@ pub struct Analyzer {
     jobs: usize,
     /// The session's shared type/grade interning arena.
     tys: CoreArena,
+    /// Optional content-addressed result cache (see [`AnalysisCache`]).
+    cache: Option<AnalysisCache>,
+    /// Stable fingerprint of everything that can influence a result:
+    /// signature, format, mode, rounding unit, sqrt precision. Computed
+    /// once at build time; the config half of every cache key.
+    config_fp: u64,
 }
 
 impl Default for Analyzer {
@@ -81,6 +90,7 @@ impl Analyzer {
             rnd_unit: None,
             sqrt_bits: 192,
             jobs: 1,
+            cache: None,
         }
     }
 
@@ -105,6 +115,34 @@ impl Analyzer {
     /// [`AnalyzerBuilder::jobs`]); 1 means serial.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The session's result cache, when one was configured
+    /// ([`AnalyzerBuilder::cache`]).
+    pub fn cache(&self) -> Option<&AnalysisCache> {
+        self.cache.as_ref()
+    }
+
+    /// Counters of the session's result cache, when one was configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(AnalysisCache::stats)
+    }
+
+    /// A new session with this session's exact configuration (and shared
+    /// result cache, if any) but a **fresh, private arena**. Workers of a
+    /// service use forked sessions so concurrent parsing never contends
+    /// on one arena lock, while the content-addressed cache still hits
+    /// across all of them.
+    pub fn fork_session(&self) -> Analyzer {
+        Analyzer { tys: CoreArena::new(), ..self.clone() }
+    }
+
+    /// The full cache address of one (program, operation) pair.
+    fn cache_key(&self, program: &Program, op: u8) -> CacheKey {
+        let mut h = StableHasher::new();
+        h.write_u64(self.config_fp);
+        h.write_u8(op);
+        CacheKey { program: program.fingerprint(), config: h.finish64() }
     }
 
     /// The rounding mode of [`Analyzer::run`] / [`Analyzer::validate`].
@@ -172,6 +210,53 @@ impl Analyzer {
         let result = infer(program.store(), &self.sig, program.root(), program.free())
             .map_err(|e| Diagnostic::from_check(&e, program.source(), program.name()))?;
         Ok(Typed { root: result.root, fns: result.fns })
+    }
+
+    /// [`Analyzer::check`] through the session's [`AnalysisCache`]: on a
+    /// content hit the memoized outcome is replayed (with the program's
+    /// own name re-attached to any diagnostic); on a miss the program is
+    /// checked and the outcome stored. Without a configured cache this
+    /// *is* [`Analyzer::check`]. Results are byte-identical to the
+    /// uncached path either way — memoization is sound because checking
+    /// is a pure function of the term content and the session
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::check`].
+    pub fn check_cached(&self, program: &Program) -> Result<Typed, Diagnostic> {
+        let Some(cache) = &self.cache else { return self.check(program) };
+        let key = self.cache_key(program, OP_CHECK);
+        let display = program.display_fingerprint();
+        if let Some(CachedResult::Check(hit, _)) = cache.get_admissible(&key, display) {
+            return localize(hit, program);
+        }
+        let result = self.check(program);
+        cache.insert(key, CachedResult::Check(strip_file(result.clone()), display));
+        result
+    }
+
+    /// [`Analyzer::check`] + [`Analyzer::bound`] through the session's
+    /// [`AnalysisCache`] (separately keyed from [`Analyzer::check_cached`],
+    /// so either entry point can hit independently). Without a configured
+    /// cache this just checks and bounds.
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::check`] and [`Analyzer::bound`].
+    pub fn bound_cached(&self, program: &Program) -> Result<ErrorBound, Diagnostic> {
+        let Some(cache) = &self.cache else {
+            let typed = self.check(program)?;
+            return self.bound(&typed);
+        };
+        let key = self.cache_key(program, OP_BOUND);
+        let display = program.display_fingerprint();
+        if let Some(CachedResult::Bound(hit, _)) = cache.get_admissible(&key, display) {
+            return localize(hit, program);
+        }
+        let result = self.check_cached(program).and_then(|typed| self.bound(&typed));
+        cache.insert(key, CachedResult::Bound(strip_file(result.clone()), display));
+        result
     }
 
     /// [`Analyzer::check`] resolving the program's interned annotations
@@ -265,6 +350,82 @@ impl Analyzer {
     pub fn check_batch_sharded(
         &self,
         programs: &[Program],
+        jobs: usize,
+    ) -> (Vec<Result<Typed, Diagnostic>>, Vec<ShardReport>) {
+        let refs: Vec<&Program> = programs.iter().collect();
+        match &self.cache {
+            None => self.check_batch_refs(&refs, jobs),
+            Some(cache) => self.check_batch_cached(&refs, jobs, cache),
+        }
+    }
+
+    /// The cached batch path: resolve hits up front, deduplicate the
+    /// misses by content fingerprint so each distinct program is analyzed
+    /// **once** per batch (even when the batch repeats it), shard only
+    /// the distinct misses, then fan results back out — localized to each
+    /// input's own name — in input order. Output is byte-identical to the
+    /// uncached path.
+    fn check_batch_cached(
+        &self,
+        programs: &[&Program],
+        jobs: usize,
+        cache: &AnalysisCache,
+    ) -> (Vec<Result<Typed, Diagnostic>>, Vec<ShardReport>) {
+        let mut results: Vec<Option<Result<Typed, Diagnostic>>> =
+            programs.iter().map(|_| None).collect();
+        // (key, display) -> position in `unique`; `pending` maps each
+        // unresolved input index to the unique program that will be
+        // analyzed for it. Deduplication includes the display fingerprint
+        // because a shared `Err` outcome quotes the owner's source —
+        // duplicates may only fan out a result whose rendering is theirs.
+        let mut owner: HashMap<(CacheKey, u128), usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        for (i, p) in programs.iter().enumerate() {
+            let key = self.cache_key(p, OP_CHECK);
+            let display = p.display_fingerprint();
+            if let Some(&u) = owner.get(&(key, display)) {
+                pending.push((i, u));
+                continue;
+            }
+            if let Some(CachedResult::Check(hit, _)) = cache.get_admissible(&key, display) {
+                results[i] = Some(localize(hit, p));
+            } else {
+                owner.insert((key, display), unique.len());
+                pending.push((i, unique.len()));
+                unique.push(i);
+            }
+        }
+
+        let to_check: Vec<&Program> = unique.iter().map(|&i| programs[i]).collect();
+        let (checked, shards) = if to_check.is_empty() {
+            (Vec::new(), vec![ShardReport { shard: 0, programs: 0, busy: Duration::ZERO }])
+        } else {
+            self.check_batch_refs(&to_check, jobs)
+        };
+        for (u, result) in checked.iter().enumerate() {
+            let p = programs[unique[u]];
+            let key = self.cache_key(p, OP_CHECK);
+            cache.insert(
+                key,
+                CachedResult::Check(strip_file(result.clone()), p.display_fingerprint()),
+            );
+        }
+        for (i, u) in pending {
+            results[i] = Some(localize(strip_file(checked[u].clone()), programs[i]));
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every input index is a hit, an owner, or a duplicate"))
+            .collect();
+        (results, shards)
+    }
+
+    /// The uncached sharded engine (see [`Analyzer::check_batch_parallel`]
+    /// for the arena-sharding strategy).
+    fn check_batch_refs(
+        &self,
+        programs: &[&Program],
         jobs: usize,
     ) -> (Vec<Result<Typed, Diagnostic>>, Vec<ShardReport>) {
         let jobs = pool::effective_jobs(jobs, programs.len());
@@ -579,6 +740,7 @@ pub struct AnalyzerBuilder {
     rnd_unit: Option<Rational>,
     sqrt_bits: u32,
     jobs: usize,
+    cache: Option<AnalysisCache>,
 }
 
 impl AnalyzerBuilder {
@@ -632,12 +794,30 @@ impl AnalyzerBuilder {
         self
     }
 
+    /// Attaches a (possibly shared) content-addressed result cache: every
+    /// check/bound entry point consults it, and the batch entry points
+    /// analyze repeated programs once. The handle is cheap to clone —
+    /// share one cache across the sessions of a service so content hits
+    /// regardless of which session computed the result.
+    pub fn cache(mut self, cache: AnalysisCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// [`AnalyzerBuilder::cache`] with a fresh, private cache of the given
+    /// byte budget.
+    pub fn cache_bytes(self, budget_bytes: usize) -> Self {
+        self.cache(AnalysisCache::with_budget(budget_bytes))
+    }
+
     /// Finishes the session.
     pub fn build(self) -> Analyzer {
         let sig = self.sig.unwrap_or_else(|| match self.instantiation {
             Instantiation::RelativePrecision => Signature::relative_precision(),
             Instantiation::AbsoluteError => Signature::absolute_error(),
         });
+        let config_fp =
+            config_fingerprint(&sig, self.format, self.mode, &self.rnd_unit, self.sqrt_bits);
         Analyzer {
             sig,
             format: self.format,
@@ -646,8 +826,191 @@ impl AnalyzerBuilder {
             sqrt_bits: self.sqrt_bits,
             jobs: self.jobs,
             tys: CoreArena::new(),
+            cache: self.cache,
+            config_fp,
         }
     }
+}
+
+/// The configuration half of a cache key: a stable hash of everything
+/// about a session that can influence a check/bound outcome. Parallelism
+/// (`jobs`) is deliberately excluded — it changes wall time, not results.
+fn config_fingerprint(
+    sig: &Signature,
+    format: Format,
+    mode: RoundingMode,
+    rnd_unit: &Option<Rational>,
+    sqrt_bits: u32,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u8(match sig.instantiation() {
+        Instantiation::RelativePrecision => 0,
+        Instantiation::AbsoluteError => 1,
+    });
+    h.write_str(&sig.rnd_grade().to_string());
+    h.write_u64(sig.ops().len() as u64);
+    for op in sig.ops() {
+        h.write_str(&op.name);
+        h.write_u128(cache::hash_ty_tree(&op.arg));
+        h.write_u128(cache::hash_ty_tree(&op.ret));
+    }
+    h.write_u32(format.precision());
+    h.write_u64(format.emax() as u64);
+    h.write_str(mode.name());
+    // The *effective* rounding unit, so an explicit override equal to the
+    // format default keys identically to the default.
+    h.write_str(&rnd_unit.clone().unwrap_or_else(|| format.unit_roundoff(mode)).to_string());
+    h.write_u32(sqrt_bits);
+    h.finish64()
+}
+
+/// Operation discriminators mixed into the config half of a cache key, so
+/// a check outcome and a bound outcome for the same program never alias.
+const OP_CHECK: u8 = 1;
+const OP_BOUND: u8 = 2;
+
+/// One memoized analysis outcome (the value type of [`AnalysisCache`]),
+/// tagged with the [`Program::display_fingerprint`] of the program that
+/// produced it. Cached diagnostics are stored with the `file` field
+/// stripped: the file name is presentation, not content, and is
+/// re-attached per program on retrieval so identical programs under
+/// different names share an entry yet still render their own paths.
+/// Everything *else* about a diagnostic (message, span, snippet) quotes
+/// binder spellings and source lines, so an `Err` outcome is only
+/// admissible for a program whose display fingerprint matches; `Ok`
+/// outcomes depend on the structural fingerprint alone.
+#[derive(Clone, Debug)]
+enum CachedResult {
+    Check(Result<Typed, Diagnostic>, u128),
+    Bound(Result<ErrorBound, Diagnostic>, u128),
+}
+
+impl CachedResult {
+    /// Whether this entry may be replayed for a program with the given
+    /// display fingerprint.
+    fn admissible_for(&self, display: u128) -> bool {
+        match self {
+            CachedResult::Check(Ok(_), _) | CachedResult::Bound(Ok(_), _) => true,
+            CachedResult::Check(Err(_), d) | CachedResult::Bound(Err(_), d) => *d == display,
+        }
+    }
+}
+
+/// Rough heap footprint of a [`Ty`] tree (per-node costs, not exact).
+fn ty_weight(ty: &Ty) -> usize {
+    match ty {
+        Ty::Unit | Ty::Num => 8,
+        Ty::Tensor(a, b) | Ty::With(a, b) | Ty::Sum(a, b) | Ty::Lolli(a, b) => {
+            16 + ty_weight(a) + ty_weight(b)
+        }
+        Ty::Bang(_, t) | Ty::Monad(_, t) => 48 + ty_weight(t),
+    }
+}
+
+fn diag_weight(d: &Diagnostic) -> usize {
+    64 + d.message.len()
+        + d.file.as_deref().map_or(0, str::len)
+        + d.snippet.as_deref().map_or(0, str::len)
+        + d.notes.iter().map(String::len).sum::<usize>()
+}
+
+impl CacheWeight for CachedResult {
+    fn weight(&self) -> usize {
+        match self {
+            CachedResult::Check(Ok(typed), _) => {
+                64 + ty_weight(typed.ty())
+                    + typed
+                        .functions()
+                        .iter()
+                        .map(|f| {
+                            48 + f.name.len() + ty_weight(&f.inferred) + ty_weight(&f.assigned)
+                        })
+                        .sum::<usize>()
+            }
+            CachedResult::Bound(Ok(bound), _) => 128 + bound.grade.to_string().len(),
+            CachedResult::Check(Err(d), _) | CachedResult::Bound(Err(d), _) => diag_weight(d),
+        }
+    }
+}
+
+/// A shareable, thread-safe, content-addressed cache of analysis results,
+/// built on [`ResultCache`] (byte-budgeted LRU with hit/miss accounting).
+///
+/// Keys are *content* addresses: [`Program::fingerprint`] (structural term
+/// hash — names don't matter, internal interned ids don't matter) plus the
+/// session's configuration fingerprint. Caching is sound because every
+/// cached outcome is a pure function of exactly those two inputs: Fig. 10
+/// inference reads nothing but the term, the signature, and the lattice
+/// (see `docs/paper-map.md`). Cloning the handle shares the underlying
+/// table — give one handle to many [`Analyzer`] sessions (even across
+/// threads) and content computed by any of them hits for all.
+///
+/// ```
+/// use numfuzz::prelude::*;
+///
+/// let cache = AnalysisCache::with_budget(16 << 20);
+/// let analyzer = Analyzer::builder().cache(cache.clone()).build();
+/// let program = analyzer.parse("rnd 1.5")?;
+/// analyzer.check_cached(&program)?; // miss: computed and stored
+/// analyzer.check_cached(&program)?; // hit: replayed
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// # Ok::<(), numfuzz::Diagnostic>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalysisCache {
+    inner: Arc<Mutex<ResultCache<CachedResult>>>,
+}
+
+impl AnalysisCache {
+    /// A fresh cache bounded by ~`budget_bytes` of resident results.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        AnalysisCache { inner: Arc::new(Mutex::new(ResultCache::new(budget_bytes))) }
+    }
+
+    /// Current counters (hits, misses, residency, evictions).
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// Drops every resident entry; cumulative counters are preserved.
+    pub fn clear(&self) {
+        self.lock().clear()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ResultCache<CachedResult>> {
+        // Cache operations never panic mid-mutation; a poisoned lock still
+        // guards a consistent table.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fetches an entry admissible for the given display fingerprint
+    /// (an inadmissible resident entry counts as a miss — see
+    /// [`CachedResult::admissible_for`]).
+    fn get_admissible(&self, key: &CacheKey, display: u128) -> Option<CachedResult> {
+        self.lock().get_if(key, |v| v.admissible_for(display))
+    }
+
+    fn insert(&self, key: CacheKey, value: CachedResult) {
+        self.lock().insert(key, value)
+    }
+}
+
+/// Re-attaches the presentation-only `file` field for `program` to a
+/// result replayed from the cache.
+fn localize<T>(result: Result<T, Diagnostic>, program: &Program) -> Result<T, Diagnostic> {
+    result.map_err(|mut d| {
+        d.file = program.name().map(String::from);
+        d
+    })
+}
+
+/// Strips the presentation-only `file` field before a result is stored.
+fn strip_file<T>(result: Result<T, Diagnostic>) -> Result<T, Diagnostic> {
+    result.map_err(|mut d| {
+        d.file = None;
+        d
+    })
 }
 
 /// Per-shard accounting from one [`Analyzer::check_batch_sharded`] pass:

@@ -9,24 +9,40 @@
 //!                                    semantics and verify the bound
 //! numfuzz batch DIR [options]        check + bound every .nf file under
 //!                                    DIR concurrently (ordered output)
+//! numfuzz serve [serve options]      resident NDJSON analysis service
+//!                                    with a content-addressed result
+//!                                    cache (see docs/serve.md)
+//! numfuzz client --connect HOST:PORT pipe NDJSON requests from stdin to
+//!                                    a serving `numfuzz serve --listen`
 //! numfuzz bench [bench options]      measure check+bound throughput over
 //!                                    the benchsuite corpus, emit JSON
 //!     --prec P       precision bits (default 53)
 //!     --emax E       maximum exponent (default 1023)
 //!     --mode M       ru | rd | rz | rn (default ru)
 //!     --abs          absolute-error instantiation (default: relative)
-//!     --jobs N       batch/bench: worker threads (0 = one per core;
-//!                    default: all cores for batch, 1 for bench)
+//!     --jobs N       batch/bench/serve: worker threads (0 = one per
+//!                    core; default: all cores for batch/serve, 1 for
+//!                    bench)
+//! serve options:
+//!     --listen ADDR  serve over TCP on ADDR (e.g. 127.0.0.1:7878; port 0
+//!                    picks a free port, printed to stderr). Default:
+//!                    stdin/stdout framing
+//!     --cache-bytes N  result-cache byte budget (default 64 MiB)
 //! bench options:
 //!     --iters N      corpus passes to time, best-of-N (default 5)
-//!     --out FILE     where to write the JSON report (default BENCH_core.json)
+//!     --out FILE     where to write the JSON report (default
+//!                    BENCH_core.json; relative paths resolve against the
+//!                    current directory, and the resolved path is printed)
 //!     --baseline F   a previous report; its nodes_per_sec is embedded and
 //!                    a speedup factor computed
+//!     --gate F       compare cold check+bound throughput against report F
+//!                    and exit 1 on regression beyond the tolerance
+//!     --tolerance P  allowed regression percentage for --gate (default 40)
 //! ```
 //!
 //! Exit codes: `0` success, `1` the program is ill-typed / violates its
-//! bound (a *program* error, printed as a spanned diagnostic), `2` usage
-//! or I/O error.
+//! bound (a *program* error, printed as a spanned diagnostic) — or, for
+//! `bench --gate`, a throughput regression, `2` usage or I/O error.
 
 use numfuzz::prelude::*;
 use std::process::ExitCode;
@@ -96,6 +112,8 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
         "batch" => batch(rest),
         "bench" => bench(rest),
         "fuzz" => fuzz(rest),
+        "serve" => serve(rest),
+        "client" => client(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -107,9 +125,93 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
 fn usage() -> String {
     "usage: numfuzz <check|bound|run> FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
      \x20      numfuzz batch DIR [--jobs N] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
-     \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE]\n\
+     \x20      numfuzz serve [--listen ADDR] [--jobs N] [--cache-bytes N] [--prec P] [--emax E] [--mode M] [--abs]\n\
+     \x20      numfuzz client --connect HOST:PORT [--retry SECONDS]\n\
+     \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE] [--gate FILE] [--tolerance P]\n\
      \x20      numfuzz fuzz [--cases N] [--seed S] [--jobs N] [--repro PREFIX]"
         .to_string()
+}
+
+/// `numfuzz serve`: the resident analysis service — NDJSON over stdio by
+/// default, over TCP with `--listen`. Every connection gets a forked
+/// session; all sessions share one content-addressed result cache, so
+/// repeated programs — within a connection, across connections, inside
+/// `batch` requests — are analyzed once. Protocol: `docs/serve.md`.
+fn serve(rest: &[String]) -> Result<(), Failure> {
+    let mut listen: Option<String> = None;
+    let mut cache_bytes: usize = 64 << 20;
+    let mut passthrough = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| Failure::Usage("--listen needs an address".to_string()))?,
+                )
+            }
+            "--cache-bytes" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| Failure::Usage("--cache-bytes needs a value".to_string()))?;
+                cache_bytes =
+                    v.parse().map_err(|e| Failure::Usage(format!("--cache-bytes: {e}")))?;
+            }
+            other => passthrough.push(other.to_string()),
+        }
+    }
+    let (opts, jobs) = parse_opts_with_jobs(&passthrough).map_err(Failure::Usage)?;
+    let jobs = jobs.unwrap_or(0); // serve defaults to one worker per core
+    let analyzer = Analyzer::builder()
+        .signature(opts.instantiation)
+        .format(opts.format)
+        .mode(opts.mode)
+        .cache(AnalysisCache::with_budget(cache_bytes))
+        .build();
+    let service = numfuzz::serve::Service::new(analyzer, jobs);
+    let result = match listen {
+        Some(addr) => numfuzz::serve::serve_tcp(&service, &addr),
+        None => numfuzz::serve::serve_stdio(&service),
+    };
+    result.map_err(|e| Failure::Usage(format!("serve: {e}")))
+}
+
+/// `numfuzz client`: pipe NDJSON request lines from stdin to a serving
+/// `numfuzz serve --listen`, one response line per request to stdout.
+/// Exits with the worst `exit` field seen in a response.
+fn client(rest: &[String]) -> Result<(), Failure> {
+    let mut connect: Option<String> = None;
+    let mut retry = 10.0f64;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => connect = Some(value("--connect").map_err(Failure::Usage)?),
+            "--retry" => {
+                retry = value("--retry")
+                    .and_then(|v| v.parse().map_err(|e| format!("--retry: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            other => return Err(Failure::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    let addr = connect.ok_or_else(|| Failure::Usage("client needs --connect HOST:PORT".into()))?;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    let worst = numfuzz::serve::client(
+        &addr,
+        std::time::Duration::from_secs_f64(retry),
+        &mut stdin.lock(),
+        &mut stdout,
+    )
+    .map_err(|e| Failure::Usage(format!("client: {e}")))?;
+    match worst {
+        0 => Ok(()),
+        1 => Err(Failure::Batch("a request failed with a program error".into())),
+        _ => Err(Failure::Usage("a request failed with a protocol/usage error".into())),
+    }
 }
 
 /// `numfuzz fuzz`: the generator-driven differential soundness fuzzer
@@ -244,18 +346,12 @@ fn parse_opts_with_jobs(rest: &[String]) -> Result<(Opts, Option<usize>), String
 /// One file of a [`batch`] run: `Ok((line, true))` for a checked program
 /// (its type and, when monadic, its eq. 8 bound), `Ok((diagnostic,
 /// false))` for a program error, `Err(message)` for an I/O failure.
+/// The rendering is shared with the `serve` protocol's `batch` op
+/// ([`numfuzz::serve::batch_entry`]).
 fn batch_one(analyzer: &mut Analyzer, path: &std::path::Path) -> Result<(String, bool), String> {
-    let shown = path.display();
+    let shown = path.display().to_string();
     let src = std::fs::read_to_string(path).map_err(|e| format!("{shown}: {e}"))?;
-    let checked =
-        analyzer.parse_named(&shown.to_string(), &src).and_then(|program| analyzer.check(&program));
-    Ok(match checked {
-        Ok(typed) => match analyzer.bound_of_ty(typed.ty()) {
-            Some(bound) => (format!("{shown}: {} — {bound}", typed.ty()), true),
-            None => (format!("{shown}: {}", typed.ty()), true),
-        },
-        Err(d) => (d.render(), false),
-    })
+    Ok(numfuzz::serve::batch_entry(analyzer, &shown, &src))
 }
 
 /// Recursively collects `.nf` files under `dir`.
@@ -286,6 +382,8 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     let mut jobs = 1usize;
     let mut out = "BENCH_core.json".to_string();
     let mut baseline: Option<String> = None;
+    let mut gate: Option<String> = None;
+    let mut tolerance = 40.0f64;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value =
@@ -303,13 +401,28 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
             }
             "--out" => out = value("--out").map_err(Failure::Usage)?,
             "--baseline" => baseline = Some(value("--baseline").map_err(Failure::Usage)?),
+            "--gate" => gate = Some(value("--gate").map_err(Failure::Usage)?),
+            "--tolerance" => {
+                tolerance = value("--tolerance")
+                    .and_then(|v| v.parse().map_err(|e| format!("--tolerance: {e}")))
+                    .map_err(Failure::Usage)?
+            }
             other => return Err(Failure::Usage(format!("unknown option `{other}`"))),
         }
     }
     if iters == 0 {
         return Err(Failure::Usage("--iters must be at least 1".into()));
     }
+    if !(0.0..100.0).contains(&tolerance) {
+        return Err(Failure::Usage("--tolerance must be in [0, 100)".into()));
+    }
     let jobs = if jobs == 0 { numfuzz::core::pool::default_jobs() } else { jobs };
+    // Relative --out paths resolve against the invocation directory, and
+    // the resolved path is printed below, so a CI gate and a local run
+    // always agree on where the report landed.
+    let out_path = std::env::current_dir()
+        .map(|cwd| cwd.join(&out))
+        .map_err(|e| Failure::Usage(format!("cannot resolve current directory: {e}")))?;
 
     // Everything below shares the session's interning arena, exactly as
     // a long-lived service would.
@@ -389,6 +502,48 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
         })
         .transpose()?;
 
+    // The cache measurement: the same corpus through a cache-enabled
+    // session — the resident-service profile (`numfuzz serve` answering a
+    // repeated corpus). The cold pass pays full analysis plus fingerprint
+    // and insert; warm passes replay memoized results, and must still be
+    // byte-identical to the serial pass.
+    let cache = AnalysisCache::with_budget(256 << 20);
+    let cached_analyzer = Analyzer::builder().cache(cache.clone()).build();
+    let t0 = std::time::Instant::now();
+    let mut cold_results: Vec<Result<Typed, Diagnostic>> = Vec::with_capacity(corpus.len());
+    for program in &corpus {
+        let typed = cached_analyzer.check_cached(program);
+        let _ = cached_analyzer.bound_cached(program);
+        cold_results.push(typed);
+    }
+    let cache_cold = t0.elapsed().as_secs_f64();
+    let mut cache_warm = f64::INFINITY;
+    let mut warm_results: Vec<Result<Typed, Diagnostic>> = Vec::new();
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        let mut pass = Vec::with_capacity(corpus.len());
+        for program in &corpus {
+            let typed = cached_analyzer.check_cached(program);
+            let _ = cached_analyzer.bound_cached(program);
+            pass.push(typed);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < cache_warm {
+            cache_warm = dt;
+        }
+        warm_results = pass;
+    }
+    for (label, results) in [("cold", &cold_results), ("warm", &warm_results)] {
+        let rendered: Vec<String> =
+            results.iter().map(|r| render_check(&cached_analyzer, r)).collect();
+        if rendered != serial_rendered {
+            return Err(Failure::Usage(format!(
+                "{label} cached results differ from uncached results (cache bug)"
+            )));
+        }
+    }
+    let cache_stats = cache.stats();
+
     let checks_per_sec = corpus.len() as f64 / best;
     let nodes_per_sec = total_nodes as f64 / best;
     // The speedup compares wall time for the identically constructed
@@ -443,9 +598,48 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
         }
         json.push_str("    ]\n  }");
     }
+    json.push_str(",\n  \"cache\": {\n");
+    json.push_str(&format!("    \"budget_bytes\": {},\n", cache_stats.budget));
+    json.push_str(&format!("    \"cold_pass_seconds\": {cache_cold:.6},\n"));
+    json.push_str(&format!("    \"warm_pass_seconds\": {cache_warm:.6},\n"));
+    json.push_str(&format!(
+        "    \"cold_checks_per_sec\": {:.2},\n",
+        corpus.len() as f64 / cache_cold
+    ));
+    json.push_str(&format!(
+        "    \"warm_checks_per_sec\": {:.2},\n",
+        corpus.len() as f64 / cache_warm
+    ));
+    json.push_str(&format!("    \"warm_speedup_vs_cold\": {:.2},\n", cache_cold / cache_warm));
+    json.push_str(&format!("    \"hits\": {},\n", cache_stats.hits));
+    json.push_str(&format!("    \"misses\": {},\n", cache_stats.misses));
+    json.push_str(&format!("    \"entries\": {},\n", cache_stats.entries));
+    json.push_str("    \"matches_serial\": true\n  }");
     json.push_str("\n}\n");
-    std::fs::write(&out, &json).map_err(|e| Failure::Usage(format!("{out}: {e}")))?;
+    std::fs::write(&out_path, &json)
+        .map_err(|e| Failure::Usage(format!("{}: {e}", out_path.display())))?;
     print!("{json}");
+    eprintln!("report written: {}", out_path.display());
+
+    // The CI regression gate: cold serial check+bound throughput must not
+    // fall more than the tolerance below the baseline report's.
+    if let Some(gate_path) = gate {
+        let text = std::fs::read_to_string(&gate_path)
+            .map_err(|e| Failure::Usage(format!("{gate_path}: {e}")))?;
+        let base = extract_json_number(&text, "checks_per_sec")
+            .ok_or_else(|| Failure::Usage(format!("{gate_path}: no `checks_per_sec` field")))?;
+        let floor = base * (1.0 - tolerance / 100.0);
+        eprintln!(
+            "gate: fresh {checks_per_sec:.2} checks/s vs baseline {base:.2} checks/s \
+             (floor {floor:.2} at {tolerance}% tolerance)"
+        );
+        if checks_per_sec < floor {
+            return Err(Failure::Batch(format!(
+                "throughput regression: {checks_per_sec:.2} checks/s is below the gate floor \
+                 {floor:.2} ({tolerance}% under baseline {base:.2} from {gate_path})"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -521,33 +715,20 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
 }
 
 /// `numfuzz check`: every function's inferred type, plus the program's.
+/// The output text is shared with the `serve` protocol's `check` op
+/// ([`numfuzz::serve::check_report`]), byte for byte.
 fn check(program: &Program, analyzer: &Analyzer) -> Result<(), Failure> {
     let typed = analyzer.check(program)?;
-    for f in typed.functions() {
-        println!("{} : {}", f.name, f.inferred);
-    }
-    println!("program : {}", typed.ty());
+    print!("{}", numfuzz::serve::check_report(&typed));
     Ok(())
 }
 
 /// `numfuzz bound`: the eq. (8) error bound for every function and for
-/// the program, in the session's format/mode.
+/// the program, in the session's format/mode. Output shared with the
+/// `serve` protocol's `bound` op ([`numfuzz::serve::bound_report`]).
 fn bound(program: &Program, analyzer: &Analyzer) -> Result<(), Failure> {
     let typed = analyzer.check(program)?;
-    let setting = format!("{} {}", analyzer.format(), analyzer.mode());
-    for f in typed.functions() {
-        match analyzer.bound_of_ty(&f.inferred) {
-            Some(b) => println!("{:<24} {}", f.name, b),
-            None => println!("{:<24} {} (no rounding-error bound)", f.name, f.inferred),
-        }
-    }
-    // Same lolli-walking rule as the per-function lines, so a file whose
-    // program value is a function reports consistently.
-    match analyzer.bound_of_ty(typed.ty()) {
-        Some(b) => println!("{:<24} {}", "program", b),
-        None => println!("{:<24} {} (no rounding-error bound)", "program", typed.ty()),
-    }
-    println!("({setting}, unit roundoff {})", analyzer.rounding_unit().to_sci_string(3));
+    print!("{}", numfuzz::serve::bound_report(analyzer, &typed));
     Ok(())
 }
 

@@ -7,9 +7,10 @@
 //! error — together with every substrate its evaluation depends on.
 //!
 //! This crate is the facade: the [`Program`]/[`Analyzer`] session API,
-//! the `numfuzz` CLI, the runnable examples, and the repo-level
-//! integration tests. The workspace crates remain available under their
-//! module names:
+//! the content-addressed [`AnalysisCache`], the resident analysis
+//! service ([`serve`], surfaced as `numfuzz serve`), the `numfuzz` CLI,
+//! the runnable examples, and the repo-level integration tests. The
+//! workspace crates remain available under their module names:
 //!
 //! | module | contents |
 //! |---|---|
@@ -72,9 +73,13 @@ mod analyzer;
 mod diag;
 pub mod fuzzing;
 mod program;
+pub mod serve;
 
-pub use analyzer::{Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, ShardReport, Typed};
+pub use analyzer::{
+    AnalysisCache, Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, ShardReport, Typed,
+};
 pub use diag::{Diagnostic, ErrorCode, Span};
+pub use numfuzz_core::cache::CacheStats;
 pub use program::Program;
 
 pub use numfuzz_analyzers as analyzers;
@@ -89,10 +94,11 @@ pub use numfuzz_softfloat as softfloat;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use crate::analyzer::{
-        Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, ShardReport, Typed,
+        AnalysisCache, Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, ShardReport, Typed,
     };
     pub use crate::diag::{Diagnostic, ErrorCode, Span};
     pub use crate::program::Program;
+    pub use numfuzz_core::cache::CacheStats;
     pub use numfuzz_core::{Grade, Instantiation, Signature, Ty};
     pub use numfuzz_exact::{RatInterval, Rational};
     pub use numfuzz_interp::{SoundnessReport, Value};

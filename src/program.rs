@@ -11,9 +11,10 @@ use crate::diag::Diagnostic;
 use numfuzz_analyzers::{kernel_to_core_in, Kernel};
 use numfuzz_benchsuite::Generated;
 use numfuzz_core::{
-    compile_in, pretty_term, CoreArena, Instantiation, Signature, TermId, TermStore, Ty, VarId,
+    cache, compile_in, pretty_term, CoreArena, Instantiation, Signature, TermId, TermStore, Ty,
+    VarId,
 };
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A lowered Λnum program, ready for analysis.
 #[derive(Clone, Debug)]
@@ -26,6 +27,9 @@ pub struct Program {
     store: TermStore,
     root: TermId,
     free: Vec<(VarId, Ty)>,
+    /// Lazily computed (content, display) fingerprints (see
+    /// [`Program::fingerprint`]).
+    fp: OnceLock<(u128, u128)>,
 }
 
 impl Program {
@@ -98,6 +102,7 @@ impl Program {
             store: lowered.store,
             root: lowered.root,
             free: Vec::new(),
+            fp: OnceLock::new(),
         })
     }
 
@@ -128,6 +133,7 @@ impl Program {
             store: ck.store,
             root: ck.root,
             free: ck.free,
+            fp: OnceLock::new(),
         })
     }
 
@@ -140,6 +146,7 @@ impl Program {
             store: g.store,
             root: g.root,
             free: g.free,
+            fp: OnceLock::new(),
         }
     }
 
@@ -156,6 +163,7 @@ impl Program {
             store,
             root,
             free,
+            fp: OnceLock::new(),
         }
     }
 
@@ -185,7 +193,58 @@ impl Program {
     /// tagged by the signature they were lowered against).
     pub fn with_instantiation(mut self, instantiation: Instantiation) -> Self {
         self.instantiation = instantiation;
+        // The tag participates in the content fingerprint.
+        self.fp = OnceLock::new();
         self
+    }
+
+    /// The program's 128-bit content fingerprint: a stable hash of the
+    /// term DAG, the free-variable interface, and the instantiation tag —
+    /// computed once and memoized. Structurally identical programs (even
+    /// parsed in different sessions, with different interned ids or
+    /// differently spelled non-`function` binders) fingerprint
+    /// identically; the program's *name* does not participate. `function`
+    /// names do — they appear in per-function reports, so they are
+    /// content. This is the content half of the [`crate::AnalysisCache`]
+    /// address.
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprints().0
+    }
+
+    /// The program's *display* fingerprint: every binder spelling (in
+    /// canonical order) plus the exact source text, when there is one.
+    /// Two programs with equal [`Program::fingerprint`]s compute the same
+    /// results, but only equal display fingerprints guarantee identical
+    /// *diagnostics* (error messages quote binder names, spans, and
+    /// source lines) — the [`crate::AnalysisCache`] replays a memoized
+    /// `Err` outcome only when both match.
+    pub fn display_fingerprint(&self) -> u128 {
+        self.fingerprints().1
+    }
+
+    fn fingerprints(&self) -> (u128, u128) {
+        *self.fp.get_or_init(|| {
+            let (term, names) =
+                cache::fingerprint_term_with_display(&self.store, self.root, &self.free);
+            let tag = match self.instantiation {
+                Instantiation::RelativePrecision => 0,
+                Instantiation::AbsoluteError => 1,
+            };
+            let mut h = cache::StableHasher::new();
+            h.write_u128(term);
+            h.write_u8(tag);
+            let mut d = cache::StableHasher::new();
+            d.write_u128(names);
+            d.write_u8(tag);
+            match &self.source {
+                Some(src) => {
+                    d.write_u8(1);
+                    d.write_str(src);
+                }
+                None => d.write_u8(0),
+            }
+            (h.finish128(), d.finish128())
+        })
     }
 
     /// The term arena.

@@ -1,0 +1,967 @@
+//! The resident analysis service behind `numfuzz serve` — and the small
+//! newline-delimited JSON (NDJSON) toolkit it is built on.
+//!
+//! A [`Service`] wraps a configured [`Analyzer`] whose
+//! [`AnalysisCache`](crate::AnalysisCache) is shared by every session the
+//! service forks: one session per connection (so concurrent parsing never
+//! contends on an arena lock) and one per batch worker (dispatched onto
+//! the scoped worker pool), all answering from one content-addressed
+//! result table. Requests and responses are single JSON objects, one per
+//! line; the wire grammar is documented in `docs/serve.md` and every
+//! example there is replayed against a live server by `tests/serve.rs`.
+//!
+//! The build environment has no crates.io access, so the JSON layer
+//! ([`Json`]) is hand-rolled: a strict recursive-descent parser and a
+//! compact writer with deterministic key order (insertion order — the
+//! server always emits the same bytes for the same request).
+//!
+//! Response payloads embed the *exact* stdout of the one-shot CLI: a
+//! `check` response's `output` field is byte-identical to what
+//! `numfuzz check FILE` prints, because both go through the same
+//! [`check_report`]/[`bound_report`]/[`batch_entry`] renderers.
+
+use crate::analyzer::{Analyzer, Typed};
+use crate::diag::Diagnostic;
+use numfuzz_core::pool;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+/// A JSON value. Objects preserve insertion order (the writer emits keys
+/// in that order, so server responses are deterministic byte streams).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers are emitted without a decimal point).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, anything
+    /// else after the document is an error).
+    ///
+    /// ```
+    /// use numfuzz::serve::Json;
+    ///
+    /// let v = Json::parse(r#"{"op":"check","n":2,"tags":["a","b"]}"#).unwrap();
+    /// assert_eq!(v.get("op").and_then(Json::as_str), Some("check"));
+    /// assert_eq!(v.get("n").and_then(Json::as_f64), Some(2.0));
+    /// assert!(Json::parse("{\"unterminated\":").is_err());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message with the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Writes the compact form (no whitespace) into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Convenience: an object from ordered pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: an integer value.
+    pub fn int(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Integers inside the interoperable 53-bit range print without a
+/// decimal point; other finite values print as Rust's shortest-roundtrip
+/// float. JSON has no representation for non-finite numbers (which can
+/// enter via an overflowing literal like `1e999` in a request `id`), so
+/// those emit `null` rather than invalid output.
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nesting depth limit: protocol messages are shallow, and a hostile
+/// `[[[[...` must not overflow the parser's stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!("unexpected `{}` at byte {}", other as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            // Surrogate pairs encode astral-plane chars.
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                if !(self.peek() == Some(b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u'))
+                                {
+                                    return Err("unpaired surrogate".to_string());
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(hi).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    if (c as u32) < 0x20 {
+                        return Err(format!("unescaped control character at byte {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits (after `\u`), leaving `pos` past
+    /// them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(digits)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared renderers (one-shot CLI and service emit identical bytes)
+// ---------------------------------------------------------------------
+
+/// The stdout of `numfuzz check FILE` for a checked program: one line per
+/// `function`, then the program's type. Trailing newline included.
+pub fn check_report(typed: &Typed) -> String {
+    let mut out = String::new();
+    for f in typed.functions() {
+        out.push_str(&format!("{} : {}\n", f.name, f.inferred));
+    }
+    out.push_str(&format!("program : {}\n", typed.ty()));
+    out
+}
+
+/// The stdout of `numfuzz bound FILE` for a checked program: the eq. (8)
+/// bound of every function and of the program, plus the session's
+/// format/mode setting line. Trailing newline included.
+pub fn bound_report(analyzer: &Analyzer, typed: &Typed) -> String {
+    let mut out = String::new();
+    let setting = format!("{} {}", analyzer.format(), analyzer.mode());
+    for f in typed.functions() {
+        match analyzer.bound_of_ty(&f.inferred) {
+            Some(b) => out.push_str(&format!("{:<24} {}\n", f.name, b)),
+            None => {
+                out.push_str(&format!("{:<24} {} (no rounding-error bound)\n", f.name, f.inferred))
+            }
+        }
+    }
+    match analyzer.bound_of_ty(typed.ty()) {
+        Some(b) => out.push_str(&format!("{:<24} {}\n", "program", b)),
+        None => {
+            out.push_str(&format!("{:<24} {} (no rounding-error bound)\n", "program", typed.ty()))
+        }
+    }
+    out.push_str(&format!(
+        "({setting}, unit roundoff {})\n",
+        analyzer.rounding_unit().to_sci_string(3)
+    ));
+    out
+}
+
+/// One entry of a batch — shared by `numfuzz batch` (per file) and the
+/// service's `batch` op (per request item): parse, check (through the
+/// session's cache when configured), and bound. Returns the output line
+/// (a `name: type — bound` summary, or the fully rendered diagnostic)
+/// and whether the program passed.
+pub fn batch_entry(analyzer: &Analyzer, name: &str, src: &str) -> (String, bool) {
+    match analyzer.parse_named(name, src).and_then(|program| analyzer.check_cached(&program)) {
+        Ok(typed) => match analyzer.bound_of_ty(typed.ty()) {
+            Some(bound) => (format!("{name}: {} — {bound}", typed.ty()), true),
+            None => (format!("{name}: {}", typed.ty()), true),
+        },
+        Err(d) => (d.render(), false),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------
+
+/// Exit-code conventions mirrored into error payloads: `1` means the
+/// *analyzed program* is at fault, `2` means the request is (same split
+/// as the CLI's exit codes).
+const EXIT_PROGRAM: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+
+/// One response: the JSON line to send back, and whether the server
+/// should shut down after sending it.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// The serialized response object (no trailing newline).
+    pub json: String,
+    /// `true` after a `shutdown` request.
+    pub shutdown: bool,
+}
+
+/// A resident analysis service: a base [`Analyzer`] (whose cache, if
+/// configured, is shared by everything the service does), a worker count
+/// for `batch` requests, and a request counter. See the
+/// [module docs](self) for the wire protocol.
+pub struct Service {
+    base: Analyzer,
+    jobs: usize,
+    requests: AtomicU64,
+}
+
+impl Service {
+    /// Wraps an analyzer. `jobs` is the worker count for `batch`
+    /// requests (0 = one per core).
+    pub fn new(analyzer: Analyzer, jobs: usize) -> Self {
+        Service { base: analyzer, jobs, requests: AtomicU64::new(0) }
+    }
+
+    /// The base analyzer (e.g. to read cache statistics).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.base
+    }
+
+    /// Handles one request line within `session` (a
+    /// [`Analyzer::fork_session`] of the base, so concurrent connections
+    /// never share an arena) and produces the response line.
+    pub fn handle_line(&self, session: &Analyzer, line: &str) -> Reply {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return proto_error(Json::Null, &format!("invalid JSON: {e}")),
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let Some(op) = request.get("op").and_then(Json::as_str) else {
+            return proto_error(id, "missing string field `op`");
+        };
+        match op {
+            "check" | "bound" => self.check_or_bound(session, id, op, &request),
+            "batch" => self.batch(id, &request),
+            "stats" => Reply { json: self.stats(id), shutdown: false },
+            "shutdown" => {
+                let response = Json::obj(vec![
+                    ("id", id),
+                    ("op", Json::str("shutdown")),
+                    ("ok", Json::Bool(true)),
+                ]);
+                Reply { json: response.to_string(), shutdown: true }
+            }
+            other => proto_error(id, &format!("unknown op `{other}`")),
+        }
+    }
+
+    fn check_or_bound(&self, session: &Analyzer, id: Json, op: &str, request: &Json) -> Reply {
+        let Some(src) = request.get("src").and_then(Json::as_str) else {
+            return proto_error(id, &format!("op `{op}` needs a string field `src`"));
+        };
+        let name = request.get("name").and_then(Json::as_str);
+        let parsed = match name {
+            Some(n) => session.parse_named(n, src),
+            None => session.parse(src),
+        };
+        let outcome = parsed.and_then(|program| {
+            let typed = session.check_cached(&program)?;
+            Ok(match op {
+                "check" => check_report(&typed),
+                _ => bound_report(session, &typed),
+            })
+        });
+        let response = match outcome {
+            Ok(output) => Json::obj(vec![
+                ("id", id),
+                ("op", Json::str(op)),
+                ("ok", Json::Bool(true)),
+                ("output", Json::str(output)),
+            ]),
+            Err(d) => Json::obj(vec![
+                ("id", id),
+                ("op", Json::str(op)),
+                ("ok", Json::Bool(false)),
+                ("error", diagnostic_json(&d)),
+                ("exit", Json::int(diagnostic_exit(&d) as u64)),
+            ]),
+        };
+        Reply { json: response.to_string(), shutdown: false }
+    }
+
+    fn batch(&self, id: Json, request: &Json) -> Reply {
+        let Some(items) = request.get("programs").and_then(Json::as_array) else {
+            return proto_error(id, "op `batch` needs an array field `programs`");
+        };
+        let mut jobs_items: Vec<(String, String)> = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let Some(src) = item.get("src").and_then(Json::as_str) else {
+                return proto_error(id, &format!("batch item {i} needs a string field `src`"));
+            };
+            let name = item
+                .get("name")
+                .and_then(Json::as_str)
+                .map(String::from)
+                .unwrap_or_else(|| format!("<batch-{i}>"));
+            jobs_items.push((name, src.to_string()));
+        }
+        // Dispatch onto the scoped worker pool: every worker is a forked
+        // session (own arena, shared content cache), exactly like
+        // `numfuzz batch` over a directory.
+        let (entries, _) = pool::ordered_map_with(
+            self.jobs,
+            &jobs_items,
+            |_worker| self.base.fork_session(),
+            |worker, _i, (name, src)| batch_entry(worker, name, src),
+        );
+        let ok_count = entries.iter().filter(|(_, ok)| *ok).count();
+        let failed = entries.len() - ok_count;
+        let results: Vec<Json> = jobs_items
+            .iter()
+            .zip(&entries)
+            .map(|((name, _), (line, ok))| {
+                Json::obj(vec![
+                    ("name", Json::str(name.clone())),
+                    ("ok", Json::Bool(*ok)),
+                    ("line", Json::str(line.clone())),
+                ])
+            })
+            .collect();
+        let response = Json::obj(vec![
+            ("id", id),
+            ("op", Json::str("batch")),
+            ("ok", Json::Bool(failed == 0)),
+            ("results", Json::Arr(results)),
+            (
+                "summary",
+                Json::str(format!("{} programs: {ok_count} ok, {failed} failed", entries.len())),
+            ),
+        ]);
+        Reply { json: response.to_string(), shutdown: false }
+    }
+
+    fn stats(&self, id: Json) -> String {
+        let mut fields = vec![
+            ("id", id),
+            ("op", Json::str("stats")),
+            ("ok", Json::Bool(true)),
+            ("requests", Json::int(self.requests.load(Ordering::Relaxed))),
+            ("jobs", Json::int(pool::effective_jobs(self.jobs, usize::MAX) as u64)),
+        ];
+        if let Some(stats) = self.base.cache_stats() {
+            fields.push((
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::int(stats.hits)),
+                    ("misses", Json::int(stats.misses)),
+                    ("insertions", Json::int(stats.insertions)),
+                    ("evictions", Json::int(stats.evictions)),
+                    ("entries", Json::int(stats.entries as u64)),
+                    ("bytes", Json::int(stats.bytes as u64)),
+                    ("budget", Json::int(stats.budget as u64)),
+                ]),
+            ));
+        }
+        Json::obj(fields).to_string()
+    }
+}
+
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    let mut fields = vec![
+        ("code", Json::str(d.code.as_str())),
+        ("message", Json::str(d.message.clone())),
+        ("rendered", Json::str(d.render())),
+    ];
+    if let Some(file) = &d.file {
+        fields.push(("file", Json::str(file.clone())));
+    }
+    if let Some(span) = d.span {
+        fields.push(("line", Json::int(span.line as u64)));
+        fields.push(("col", Json::int(span.col as u64)));
+    }
+    Json::obj(fields)
+}
+
+fn diagnostic_exit(d: &Diagnostic) -> u8 {
+    if d.code.is_program_error() {
+        EXIT_PROGRAM
+    } else {
+        EXIT_USAGE
+    }
+}
+
+fn proto_error(id: Json, message: &str) -> Reply {
+    let response = Json::obj(vec![
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        ("error", Json::obj(vec![("code", Json::str("EPROTO")), ("message", Json::str(message))])),
+        ("exit", Json::int(EXIT_USAGE as u64)),
+    ]);
+    Reply { json: response.to_string(), shutdown: false }
+}
+
+// ---------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------
+
+/// Serves NDJSON over stdin/stdout: one response line per request line,
+/// flushed immediately; returns after `shutdown` or end of input.
+///
+/// # Errors
+///
+/// Only I/O errors on the standard streams.
+pub fn serve_stdio(service: &Service) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    let session = service.analyzer().fork_session();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = service.handle_line(&session, &line);
+        stdout.write_all(reply.json.as_bytes())?;
+        stdout.write_all(b"\n")?;
+        stdout.flush()?;
+        if reply.shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves NDJSON over TCP: binds `addr` (port 0 picks a free port),
+/// prints `listening on HOST:PORT` to stderr, and answers each
+/// connection on its own thread with its own forked session — so
+/// concurrent connections analyze in parallel and share only the
+/// content-addressed cache. A `shutdown` request stops the accept loop
+/// once the current connections drain.
+///
+/// # Errors
+///
+/// Binding or accept-loop I/O errors.
+pub fn serve_tcp(service: &Service, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    eprintln!("numfuzz serve: listening on {local}");
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let (service, shutdown) = (&*service, &shutdown);
+            scope.spawn(move || {
+                let _ = serve_connection(service, stream, shutdown, local);
+            });
+        }
+    });
+    Ok(())
+}
+
+/// One TCP connection: read request lines, write response lines. On
+/// `shutdown`, raise the flag and poke the accept loop awake with a
+/// throwaway connection.
+fn serve_connection(
+    service: &Service,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let session = service.analyzer().fork_session();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = service.handle_line(&session, &line);
+        writer.write_all(reply.json.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if reply.shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            // A wildcard bind (0.0.0.0 / ::) is not a connectable
+            // destination everywhere — poke the accept loop via loopback.
+            let mut wake = local;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match local {
+                    SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            drop(TcpStream::connect(wake));
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// The client mode behind `numfuzz client`: connects to a serving
+/// `numfuzz serve --listen` (retrying for up to `retry` while the server
+/// starts), pipes request lines from `input` to the socket, and writes
+/// each response line to `output`.
+///
+/// Returns the worst `exit` value seen in a response (`0` when every
+/// response had `"ok":true`), so scripts can gate on analysis outcomes.
+///
+/// # Errors
+///
+/// Connection failure after retries, or I/O errors on either side.
+pub fn client(
+    addr: &str,
+    retry: Duration,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+) -> std::io::Result<u8> {
+    let deadline = Instant::now() + retry;
+    let stream = 'connect: loop {
+        // Try every resolved address each round: a hostname may resolve
+        // IPv6-first while the server is bound to the IPv4 address.
+        let resolved: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("cannot resolve `{addr}`: {e}"),
+                )
+            })?
+            .collect();
+        if resolved.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("`{addr}` resolves to no addresses"),
+            ));
+        }
+        let mut last_err = None;
+        for a in &resolved {
+            match TcpStream::connect(a) {
+                Ok(stream) => break 'connect stream,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(last_err.expect("at least one address was tried"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut worst = 0u8;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        output.write_all(response.as_bytes())?;
+        output.flush()?;
+        if let Ok(parsed) = Json::parse(response.trim_end()) {
+            if parsed.get("ok").and_then(Json::as_bool) == Some(false) {
+                let exit = parsed.get("exit").and_then(Json::as_f64).map(|e| e as u8).unwrap_or(1);
+                worst = worst.max(exit);
+            }
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalysisCache;
+
+    #[test]
+    fn json_roundtrip_and_escapes() {
+        let cases = [
+            r#"{"a":1,"b":[true,false,null],"c":"x\ny\"z\\"}"#,
+            r#"[1.5,-2,0.25,1e3]"#,
+            r#""Aé😀""#,
+            "[]",
+            "{}",
+        ];
+        for case in cases {
+            let v = Json::parse(case).unwrap_or_else(|e| panic!("{case}: {e}"));
+            let emitted = v.to_string();
+            let v2 = Json::parse(&emitted).unwrap_or_else(|e| panic!("{emitted}: {e}"));
+            assert_eq!(v, v2, "reparse of {emitted}");
+        }
+        assert_eq!(Json::parse("[1e3]").unwrap().to_string(), "[1000]");
+        assert_eq!(Json::Str("tab\there".into()).to_string(), "\"tab\\there\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_never_reach_the_wire() {
+        // An overflowing literal like 1e999 parses to infinity; echoing
+        // it back must still produce valid JSON.
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        let service = Service::new(Analyzer::new(), 1);
+        let session = service.analyzer().fork_session();
+        let r = service.handle_line(&session, r#"{"id":1e999,"op":"stats"}"#);
+        Json::parse(&r.json).expect("response with overflowed id is still valid JSON");
+        assert!(r.json.starts_with(r#"{"id":null"#), "{}", r.json);
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        for bad in ["{", "[1,", "\"open", "{\"a\"}", "nul", "1 2", "{\"a\":01x}", "[\u{1}]"] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed `{bad}`");
+        }
+        // Deep nesting is rejected, not a stack overflow.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn service_answers_check_and_counts_hits() {
+        let analyzer = Analyzer::builder().cache(AnalysisCache::with_budget(1 << 20)).build();
+        let service = Service::new(analyzer, 1);
+        let session = service.analyzer().fork_session();
+        let r1 = service.handle_line(&session, r#"{"id":1,"op":"check","src":"rnd 1.5"}"#);
+        let r2 = service.handle_line(&session, r#"{"id":2,"op":"check","src":"rnd 1.5"}"#);
+        assert!(!r1.shutdown);
+        let v1 = Json::parse(&r1.json).unwrap();
+        assert_eq!(v1.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v1.get("output").and_then(Json::as_str), Some("program : M[eps]num\n"));
+        assert_eq!(r1.json, r2.json.replace("\"id\":2", "\"id\":1"), "replayed result identical");
+        let stats = service.analyzer().cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn service_reports_errors_with_exit_codes() {
+        let service = Service::new(Analyzer::new(), 1);
+        let session = service.analyzer().fork_session();
+        // Ill-typed program: exit 1, E0102.
+        let r = service.handle_line(&session, r#"{"id":7,"op":"check","src":"2 3"}"#);
+        let v = Json::parse(&r.json).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("exit").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("error").unwrap().get("code").and_then(Json::as_str), Some("E0102"));
+        // Protocol misuse: exit 2, EPROTO.
+        for bad in ["not json", r#"{"op":"nope"}"#, r#"{"op":"check"}"#, r#"{"id":1}"#] {
+            let r = service.handle_line(&session, bad);
+            let v = Json::parse(&r.json).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{bad}");
+            assert_eq!(v.get("exit").and_then(Json::as_f64), Some(2.0), "{bad}");
+            assert_eq!(
+                v.get("error").unwrap().get("code").and_then(Json::as_str),
+                Some("EPROTO"),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn service_batch_matches_cli_lines() {
+        let service = Service::new(Analyzer::new(), 2);
+        let session = service.analyzer().fork_session();
+        let req = r#"{"id":3,"op":"batch","programs":[{"src":"rnd 1.5","name":"a.nf"},{"src":"2 3","name":"b.nf"},{"src":"rnd 1.5","name":"c.nf"}]}"#;
+        let r = service.handle_line(&session, req);
+        let v = Json::parse(&r.json).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "one program fails");
+        let results = v.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 3);
+        let (a, b) = (&results[0], &results[1]);
+        assert_eq!(a.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(a.get("line").and_then(Json::as_str).unwrap().starts_with("a.nf: M[eps]num"));
+        assert_eq!(b.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(b.get("line").and_then(Json::as_str).unwrap().starts_with("error[E0102]"));
+        assert_eq!(v.get("summary").and_then(Json::as_str), Some("3 programs: 2 ok, 1 failed"));
+    }
+}

@@ -1,0 +1,268 @@
+//! The content-addressed result cache, end to end: hit/miss accounting,
+//! key sensitivity to program content and analyzer configuration, LRU
+//! eviction under a byte budget, and — the soundness property — byte
+//! identity between cached and uncached analysis across job counts.
+
+use numfuzz::prelude::*;
+
+fn cached_analyzer(budget: usize) -> (Analyzer, AnalysisCache) {
+    let cache = AnalysisCache::with_budget(budget);
+    (Analyzer::builder().cache(cache.clone()).build(), cache)
+}
+
+#[test]
+fn hit_and_miss_accounting() {
+    let (analyzer, cache) = cached_analyzer(1 << 20);
+    let program = analyzer.parse("rnd 1.5").unwrap();
+
+    analyzer.check_cached(&program).unwrap();
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.insertions), (0, 1, 1));
+
+    analyzer.check_cached(&program).unwrap();
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (1, 1));
+
+    // bound is keyed separately: first call misses (and hits the stored
+    // check on its way), later calls hit directly.
+    analyzer.bound_cached(&program).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.misses, 2, "bound key is distinct from check key");
+    analyzer.bound_cached(&program).unwrap();
+    assert_eq!(cache.stats().hits, s.hits + 1);
+}
+
+#[test]
+fn content_addressing_ignores_names_and_binder_names() {
+    let (analyzer, cache) = cached_analyzer(1 << 20);
+    // Same content under different file names: one analysis.
+    let a = analyzer.parse_named("a.nf", "s = mul (2, 2); rnd s").unwrap();
+    let b = analyzer.parse_named("b.nf", "s = mul (2, 2); rnd s").unwrap();
+    // Alpha-renamed binder: still the same content address.
+    let c = analyzer.parse_named("c.nf", "t = mul (2, 2); rnd t").unwrap();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.fingerprint(), c.fingerprint());
+
+    analyzer.check_cached(&a).unwrap();
+    analyzer.check_cached(&b).unwrap();
+    analyzer.check_cached(&c).unwrap();
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (2, 1), "one analysis served all three");
+}
+
+#[test]
+fn function_names_are_content_not_presentation() {
+    // FnReport.name (and therefore check/bound output) carries the
+    // `function` binder's spelling — renamed functions may not share a
+    // cache entry.
+    let (analyzer, cache) = cached_analyzer(1 << 20);
+    let f = analyzer.parse("function f (x: num) : M[eps]num { rnd x }\nf 2").unwrap();
+    let g = analyzer.parse("function g (x: num) : M[eps]num { rnd x }\ng 2").unwrap();
+    assert_ne!(f.fingerprint(), g.fingerprint());
+    let tf = analyzer.check_cached(&f).unwrap();
+    let tg = analyzer.check_cached(&g).unwrap();
+    assert_eq!(tf.functions()[0].name, "f");
+    assert_eq!(tg.functions()[0].name, "g", "g must not replay f's report");
+    assert_eq!(cache.stats().hits, 0);
+    // But each replays itself.
+    assert_eq!(analyzer.check_cached(&g).unwrap().functions()[0].name, "g");
+    assert_eq!(cache.stats().hits, 1);
+}
+
+#[test]
+fn alpha_renamed_errors_render_their_own_source() {
+    // Structurally identical ill-typed programs whose *sources* differ
+    // (renamed let binder) share a structural fingerprint, but the
+    // diagnostic quotes the source — the Err outcome may not be
+    // replayed across them.
+    let (analyzer, cache) = cached_analyzer(1 << 20);
+    let a = analyzer.parse("s = mul (true, 2); rnd s").unwrap();
+    let b = analyzer.parse("t = mul (true, 2); rnd t").unwrap();
+    assert_eq!(a.fingerprint(), b.fingerprint(), "alpha-equivalent content");
+    assert_ne!(a.display_fingerprint(), b.display_fingerprint(), "different rendering");
+    let da = analyzer.check_cached(&a).unwrap_err();
+    let db = analyzer.check_cached(&b).unwrap_err();
+    assert!(da.snippet.as_deref().unwrap().contains("rnd s"), "{da:?}");
+    assert!(db.snippet.as_deref().unwrap().contains("rnd t"), "b must not replay a's snippet");
+    assert_eq!(cache.stats().hits, 0, "display mismatch is a miss, not a hit");
+    // Identical source still replays.
+    let b2 = analyzer.parse("t = mul (true, 2); rnd t").unwrap();
+    let db2 = analyzer.check_cached(&b2).unwrap_err();
+    assert_eq!(db2.snippet, db.snippet);
+    assert_eq!(cache.stats().hits, 1);
+
+    // The same guard holds inside a deduplicated batch: the duplicate of
+    // `a` fans out a's rendering, while `b` is analyzed separately.
+    let (analyzer, _) = cached_analyzer(1 << 20);
+    let batch = vec![
+        analyzer.parse("s = mul (true, 2); rnd s").unwrap(),
+        analyzer.parse("t = mul (true, 2); rnd t").unwrap(),
+        analyzer.parse("s = mul (true, 2); rnd s").unwrap(),
+    ];
+    for jobs in [1, 2] {
+        let (results, _) = analyzer.check_batch_sharded(&batch, jobs);
+        let snippets: Vec<&str> =
+            results.iter().map(|r| r.as_ref().unwrap_err().snippet.as_deref().unwrap()).collect();
+        assert!(snippets[0].contains("rnd s"), "jobs={jobs}");
+        assert!(snippets[1].contains("rnd t"), "jobs={jobs}: own source, not the owner's");
+        assert!(snippets[2].contains("rnd s"), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn cached_diagnostics_carry_each_programs_own_name() {
+    let (analyzer, cache) = cached_analyzer(1 << 20);
+    let a = analyzer.parse_named("first.nf", "2 3").unwrap();
+    let b = analyzer.parse_named("second.nf", "2 3").unwrap();
+    let da = analyzer.check_cached(&a).unwrap_err();
+    let db = analyzer.check_cached(&b).unwrap_err();
+    assert_eq!(cache.stats().hits, 1, "identical ill-typed program replays from cache");
+    assert_eq!(da.file.as_deref(), Some("first.nf"));
+    assert_eq!(db.file.as_deref(), Some("second.nf"), "replayed diagnostic is re-localized");
+    assert_eq!(da.code, db.code);
+    assert_eq!(da.message, db.message);
+}
+
+#[test]
+fn key_is_sensitive_to_rounding_mode_format_and_instantiation() {
+    let cache = AnalysisCache::with_budget(1 << 20);
+    let base = Analyzer::builder().cache(cache.clone()).build();
+    let rd = Analyzer::builder().mode(RoundingMode::TowardNegative).cache(cache.clone()).build();
+    let b32 = Analyzer::builder().format(Format::BINARY32).cache(cache.clone()).build();
+    let abs =
+        Analyzer::builder().signature(Instantiation::AbsoluteError).cache(cache.clone()).build();
+
+    let src = "rnd 1.5";
+    let program = base.parse(src).unwrap();
+    base.bound_cached(&program).unwrap();
+    let after_base = cache.stats();
+
+    // Same source under round-toward−∞: must miss, and the bound really
+    // differs (RN/RD halve vs. full unit roundoff is mode-specific).
+    rd.bound_cached(&rd.parse(src).unwrap()).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.hits, after_base.hits, "different mode may not hit");
+    assert!(s.misses > after_base.misses);
+
+    // Same source in binary32: must miss.
+    let before = cache.stats();
+    b32.bound_cached(&b32.parse(src).unwrap()).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.hits, before.hits, "different format may not hit");
+
+    // Same source under the absolute-error instantiation: must miss.
+    let before = cache.stats();
+    abs.bound_cached(&abs.parse(src).unwrap()).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.hits, before.hits, "different instantiation may not hit");
+
+    // And each configuration hits itself on replay.
+    let before = cache.stats();
+    rd.bound_cached(&rd.parse(src).unwrap()).unwrap();
+    b32.bound_cached(&b32.parse(src).unwrap()).unwrap();
+    assert_eq!(cache.stats().hits, before.hits + 2);
+}
+
+#[test]
+fn lru_eviction_under_a_tiny_budget() {
+    // A budget big enough for roughly one entry: every new program evicts
+    // the previous one.
+    let (analyzer, cache) = cached_analyzer(400);
+    let sources: Vec<String> = (1..=6).map(|i| format!("rnd {i}.5")).collect();
+    for src in &sources {
+        analyzer.check_cached(&analyzer.parse(src).unwrap()).unwrap();
+    }
+    let s = cache.stats();
+    assert_eq!(s.misses, 6);
+    assert!(s.evictions >= 5, "tiny budget must evict: {s:?}");
+    assert!(s.bytes <= s.budget, "residency respects the budget: {s:?}");
+    assert!(s.entries <= 2, "at most a couple of entries fit: {s:?}");
+
+    // The earliest program was evicted — checking it again misses.
+    let before = cache.stats();
+    analyzer.check_cached(&analyzer.parse(&sources[0]).unwrap()).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.hits, before.hits);
+    assert_eq!(s.misses, before.misses + 1);
+}
+
+/// Renders a batch outcome the way the CLI does, for byte comparison.
+fn render_all(analyzer: &Analyzer, results: &[Result<Typed, Diagnostic>]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| match r {
+            Ok(typed) => match analyzer.bound_of_ty(typed.ty()) {
+                Some(b) => format!("{} — {b}", typed.ty()),
+                None => typed.ty().to_string(),
+            },
+            Err(d) => d.render(),
+        })
+        .collect()
+}
+
+#[test]
+fn cached_and_uncached_batches_are_byte_identical_across_jobs() {
+    // A corpus with well-typed programs, ill-typed programs, and
+    // duplicates (same content, different names).
+    let sources = [
+        ("a.nf", "s = mul (2, 2); rnd s"),
+        ("bad1.nf", "2 3"),
+        ("b.nf", "function f (x: num) : M[eps]num { rnd x }\nf 2"),
+        ("dup-of-a.nf", "s = mul (2, 2); rnd s"),
+        ("bad2.nf", "2 3"),
+        ("c.nf", "rnd (|1, 2|)"),
+        ("dup-of-a-again.nf", "s = mul (2, 2); rnd s"),
+    ];
+    let plain = Analyzer::new();
+    let programs: Vec<Program> =
+        sources.iter().map(|(n, s)| plain.parse_named(n, s).unwrap()).collect();
+    let expected = render_all(&plain, &plain.check_all(&programs));
+    // Uncached diagnostics name each program's own file.
+    let uncached = plain.check_all(&programs);
+    assert_eq!(uncached[1].as_ref().unwrap_err().file.as_deref(), Some("bad1.nf"));
+    assert_eq!(uncached[4].as_ref().unwrap_err().file.as_deref(), Some("bad2.nf"));
+
+    for jobs in [1, 2, 4] {
+        let (analyzer, cache) = cached_analyzer(1 << 20);
+        let programs: Vec<Program> =
+            sources.iter().map(|(n, s)| analyzer.parse_named(n, s).unwrap()).collect();
+        // First batch: only distinct programs are analyzed.
+        let (results, _) = analyzer.check_batch_sharded(&programs, jobs);
+        assert_eq!(render_all(&analyzer, &results), expected, "cold cached batch, jobs={jobs}");
+        assert_eq!(
+            results[4].as_ref().unwrap_err().file.as_deref(),
+            Some("bad2.nf"),
+            "duplicate's diagnostic is re-localized, jobs={jobs}"
+        );
+        let s = cache.stats();
+        assert_eq!(s.insertions, 4, "4 distinct contents analyzed once each, jobs={jobs}");
+        // Second batch: everything replays.
+        let (replayed, _) = analyzer.check_batch_sharded(&programs, jobs);
+        assert_eq!(render_all(&analyzer, &replayed), expected, "warm cached batch, jobs={jobs}");
+        let s2 = cache.stats();
+        assert_eq!(s2.insertions, 4, "warm batch recomputes nothing, jobs={jobs}");
+        assert_eq!(s2.hits, s.hits + 7, "warm batch hits once per input, jobs={jobs}");
+    }
+}
+
+#[test]
+fn check_all_respects_session_cache_and_jobs_knob() {
+    let cache = AnalysisCache::with_budget(1 << 20);
+    let analyzer = Analyzer::builder().jobs(2).cache(cache.clone()).build();
+    let programs: Vec<Program> =
+        (0..8).map(|i| analyzer.parse(&format!("rnd {}.5", i % 2)).unwrap()).collect();
+    let results = analyzer.check_all(&programs);
+    assert!(results.iter().all(Result::is_ok));
+    let s = cache.stats();
+    assert_eq!(s.insertions, 2, "8 programs, 2 distinct contents");
+}
+
+#[test]
+fn uncached_entry_points_stay_uncached() {
+    let (analyzer, cache) = cached_analyzer(1 << 20);
+    let program = analyzer.parse("rnd 1.5").unwrap();
+    analyzer.check(&program).unwrap();
+    analyzer.check(&program).unwrap();
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.insertions), (0, 0, 0), "plain check bypasses the cache");
+}

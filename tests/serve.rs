@@ -1,0 +1,394 @@
+//! End-to-end tests of the resident analysis service: `numfuzz serve`
+//! driven over stdio and TCP, byte-identity with the one-shot CLI,
+//! cache-hit behavior across requests and connections, protocol errors,
+//! and the `docs/serve.md` wire-protocol examples replayed verbatim.
+
+use numfuzz::serve::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_numfuzz");
+
+/// A `numfuzz serve` child process on stdio framing, with line-oriented
+/// request/response helpers.
+struct StdioServer {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl StdioServer {
+    fn spawn(extra_args: &[&str]) -> Self {
+        let mut child = Command::new(BIN)
+            .arg("serve")
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn numfuzz serve");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        StdioServer { child, stdin, stdout }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut response = String::new();
+        self.stdout.read_line(&mut response).expect("read response");
+        assert!(response.ends_with('\n'), "responses are newline-terminated: {response:?}");
+        response.trim_end_matches('\n').to_string()
+    }
+
+    /// Sends `shutdown` and asserts the process exits successfully.
+    fn shutdown(mut self) {
+        let reply = self.request(r#"{"id":999,"op":"shutdown"}"#);
+        let v = Json::parse(&reply).expect("shutdown response parses");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let status = self.child.wait().expect("server exits after shutdown");
+        assert!(status.success(), "clean exit after shutdown: {status:?}");
+    }
+}
+
+fn parse(response: &str) -> Json {
+    Json::parse(response).unwrap_or_else(|e| panic!("bad response JSON: {e}\n{response}"))
+}
+
+/// Runs a one-shot CLI command, returning (stdout, success).
+fn cli(args: &[&str]) -> (String, bool) {
+    let out = Command::new(BIN).args(args).output().expect("run numfuzz");
+    (String::from_utf8(out.stdout).expect("utf-8 stdout"), out.status.success())
+}
+
+#[test]
+fn serve_output_is_byte_identical_to_one_shot_cli() {
+    let dir = std::env::temp_dir().join(format!("numfuzz-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("ma.nf");
+    let src = "function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }\nmulfp (2, 3)";
+    std::fs::write(&file, src).unwrap();
+    let path = file.to_str().unwrap();
+
+    let (check_stdout, ok) = cli(&["check", path]);
+    assert!(ok);
+    let (bound_stdout, ok) = cli(&["bound", path]);
+    assert!(ok);
+
+    let mut server = StdioServer::spawn(&[]);
+    for (op, expected) in [("check", &check_stdout), ("bound", &bound_stdout)] {
+        let request = Json::obj(vec![
+            ("id", Json::int(1)),
+            ("op", Json::str(op)),
+            ("src", Json::str(src)),
+            ("name", Json::str(path)),
+        ]);
+        let v = parse(&server.request(&request.to_string()));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{op}");
+        assert_eq!(
+            v.get("output").and_then(Json::as_str),
+            Some(expected.as_str()),
+            "serve `{op}` output must be byte-identical to the one-shot CLI"
+        );
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_batch_lines_match_cli_batch() {
+    let dir = std::env::temp_dir().join(format!("numfuzz-serve-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let entries = [("a.nf", "rnd 1.5"), ("bad.nf", "2 3"), ("dup.nf", "rnd 1.5")];
+    for (name, src) in entries {
+        std::fs::write(dir.join(name), src).unwrap();
+    }
+    let dir_arg = dir.to_str().unwrap();
+    let (batch_stdout, ok) = cli(&["batch", dir_arg, "--jobs", "2"]);
+    assert!(!ok, "bad.nf fails the batch");
+
+    // The serve `batch` op over the same (path, src) pairs, sorted like
+    // the CLI sorts files.
+    let mut names: Vec<String> =
+        entries.iter().map(|(n, _)| dir.join(n).to_str().unwrap().to_string()).collect();
+    names.sort();
+    let programs: Vec<Json> = names
+        .iter()
+        .map(|path| {
+            let src = std::fs::read_to_string(path).unwrap();
+            Json::obj(vec![("src", Json::str(src)), ("name", Json::str(path.clone()))])
+        })
+        .collect();
+    let request = Json::obj(vec![
+        ("id", Json::int(1)),
+        ("op", Json::str("batch")),
+        ("programs", Json::Arr(programs)),
+    ]);
+    let mut server = StdioServer::spawn(&["--jobs", "2"]);
+    let v = parse(&server.request(&request.to_string()));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    let results = v.get("results").and_then(Json::as_array).unwrap();
+    let serve_lines: Vec<&str> =
+        results.iter().map(|r| r.get("line").and_then(Json::as_str).unwrap()).collect();
+    let cli_lines: Vec<&str> = batch_stdout.lines().collect();
+    // CLI output ends with the summary line; everything before it is the
+    // per-file lines (diagnostics may span multiple lines).
+    let summary = *cli_lines.last().unwrap();
+    assert_eq!(
+        cli_lines[..cli_lines.len() - 1].join("\n"),
+        serve_lines.join("\n"),
+        "per-file batch lines must match the CLI byte for byte"
+    );
+    assert_eq!(v.get("summary").and_then(Json::as_str), Some(summary));
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repeated_requests_hit_the_cache_and_stats_report_it() {
+    let mut server = StdioServer::spawn(&[]);
+    let check = r#"{"id":1,"op":"check","src":"s = mul (3, 3); rnd s"}"#;
+    let r1 = server.request(check);
+    let r2 = server.request(check);
+    assert_eq!(r1, r2, "replayed response is byte-identical");
+    let stats = parse(&server.request(r#"{"id":2,"op":"stats"}"#));
+    let cache = stats.get("cache").expect("serve always runs with a cache");
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(cache.get("entries").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(stats.get("requests").and_then(Json::as_f64), Some(3.0));
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_answer_eproto_and_keep_serving() {
+    let mut server = StdioServer::spawn(&[]);
+    for (bad, why) in [
+        ("this is not json", "invalid JSON"),
+        (r#"{"id":1}"#, "missing op"),
+        (r#"{"id":1,"op":"frobnicate"}"#, "unknown op"),
+        (r#"{"id":1,"op":"check"}"#, "missing src"),
+        (r#"{"id":1,"op":"batch"}"#, "missing programs"),
+    ] {
+        let v = parse(&server.request(bad));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{why}");
+        assert_eq!(v.get("exit").and_then(Json::as_f64), Some(2.0), "{why}");
+        assert_eq!(
+            v.get("error").unwrap().get("code").and_then(Json::as_str),
+            Some("EPROTO"),
+            "{why}"
+        );
+    }
+    // Ill-typed programs are *program* errors, with the E0xxx payload.
+    let v = parse(&server.request(r#"{"id":9,"op":"check","src":"rnd y"}"#));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("exit").and_then(Json::as_f64), Some(1.0));
+    let error = v.get("error").unwrap();
+    assert_eq!(error.get("code").and_then(Json::as_str), Some("E0002"));
+    assert!(error.get("rendered").and_then(Json::as_str).unwrap().starts_with("error[E0002]"));
+    // The server is still alive and answering.
+    let v = parse(&server.request(r#"{"id":10,"op":"check","src":"rnd 1.5"}"#));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+}
+
+/// Spawns `serve --listen 127.0.0.1:0` and reads the bound address off
+/// stderr.
+fn spawn_tcp_server(extra_args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(extra_args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn numfuzz serve --listen");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("numfuzz serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn tcp_serve_answers_concurrent_connections_with_a_shared_cache() {
+    let (mut child, addr) = spawn_tcp_server(&[]);
+    // Two concurrent connections, each analyzing the same program many
+    // times; whichever connection computes it first, the other hits.
+    let workers: Vec<_> = (0..2)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(&addr).expect("connect");
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut outputs = Vec::new();
+                for i in 0..10 {
+                    let req =
+                        format!(r#"{{"id":{i},"op":"check","src":"s = mul ({w}, 7); rnd s"}}"#);
+                    writeln!(writer, "{req}").unwrap();
+                    let mut response = String::new();
+                    reader.read_line(&mut response).unwrap();
+                    let v = Json::parse(response.trim_end()).expect("response parses");
+                    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+                    outputs.push(v.get("output").and_then(Json::as_str).unwrap().to_string());
+                }
+                outputs
+            })
+        })
+        .collect();
+    for worker in workers {
+        let outputs = worker.join().expect("worker");
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "stable replies per connection");
+    }
+    // A third connection reads stats and shuts the server down: the two
+    // distinct programs were analyzed once each, everything else hit.
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"id":100,"op":"stats"}}"#).unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    let v = Json::parse(response.trim_end()).unwrap();
+    let cache = v.get("cache").unwrap();
+    assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(2.0), "{response}");
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(18.0), "{response}");
+    writeln!(writer, r#"{{"id":101,"op":"shutdown"}}"#).unwrap();
+    response.clear();
+    reader.read_line(&mut response).unwrap();
+    let status = wait_timeout(&mut child, Duration::from_secs(10));
+    assert!(status.success(), "server exits cleanly after shutdown: {status:?}");
+}
+
+#[test]
+fn wildcard_bind_still_shuts_down() {
+    // A shutdown self-wake against a 0.0.0.0 bind must reach the accept
+    // loop via loopback.
+    let mut child = Command::new(BIN)
+        .args(["serve", "--listen", "0.0.0.0:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn numfuzz serve");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line.trim().strip_prefix("numfuzz serve: listening on ").unwrap();
+    let port = addr.rsplit(':').next().unwrap();
+    let stream = TcpStream::connect(format!("127.0.0.1:{port}")).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"id":1,"op":"shutdown"}}"#).unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    let status = wait_timeout(&mut child, Duration::from_secs(10));
+    assert!(status.success(), "wildcard-bound server exits after shutdown: {status:?}");
+}
+
+#[test]
+fn client_mode_pipes_requests_and_propagates_exit_codes() {
+    let (mut child, addr) = spawn_tcp_server(&[]);
+    let run_client = |input: &str| {
+        let mut client = Command::new(BIN)
+            .args(["client", "--connect", &addr])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn numfuzz client");
+        client.stdin.take().unwrap().write_all(input.as_bytes()).unwrap();
+        let out = client.wait_with_output().expect("client exits");
+        (String::from_utf8(out.stdout).unwrap(), out.status.code().unwrap_or(-1))
+    };
+
+    let (stdout, code) = run_client(
+        "{\"id\":1,\"op\":\"check\",\"src\":\"rnd 1.5\"}\n{\"id\":2,\"op\":\"stats\"}\n",
+    );
+    assert_eq!(code, 0, "{stdout}");
+    assert_eq!(stdout.lines().count(), 2, "one response line per request");
+
+    // A program error propagates as exit 1.
+    let (stdout, code) = run_client("{\"id\":3,\"op\":\"check\",\"src\":\"2 3\"}\n");
+    assert_eq!(code, 1, "{stdout}");
+    // A protocol error propagates as exit 2.
+    let (stdout, code) = run_client("{\"id\":4,\"op\":\"frobnicate\"}\n");
+    assert_eq!(code, 2, "{stdout}");
+
+    let (_, code) = run_client("{\"id\":5,\"op\":\"shutdown\"}\n");
+    assert_eq!(code, 0);
+    let status = wait_timeout(&mut child, Duration::from_secs(10));
+    assert!(status.success());
+}
+
+fn wait_timeout(child: &mut Child, timeout: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if Instant::now() > deadline {
+            child.kill().ok();
+            panic!("server did not exit within {timeout:?}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Extracts the `>` request / `<` response pairs from every ```jsonl
+/// fence in `docs/serve.md`.
+fn doc_examples(md: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut lines = md.lines();
+    while let Some(line) = lines.next() {
+        if line.trim() != "```jsonl" {
+            continue;
+        }
+        let mut request: Option<String> = None;
+        for inner in lines.by_ref() {
+            let inner = inner.trim_end();
+            if inner.trim() == "```" {
+                break;
+            }
+            if let Some(req) = inner.strip_prefix("> ") {
+                assert!(request.is_none(), "request without a response in docs: {req}");
+                request = Some(req.to_string());
+            } else if let Some(resp) = inner.strip_prefix("< ") {
+                let req = request.take().expect("response without a request in docs");
+                pairs.push((req, resp.to_string()));
+            }
+        }
+        assert!(request.is_none(), "trailing unanswered request in docs");
+    }
+    pairs
+}
+
+#[test]
+fn docs_serve_examples_replay_verbatim() {
+    let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/serve.md"))
+        .expect("docs/serve.md exists");
+    let pairs = doc_examples(&md);
+    assert!(
+        pairs.len() >= 8,
+        "expected at least 8 request/response examples in docs/serve.md, found {}",
+        pairs.len()
+    );
+    // All examples run through one server, in document order, so the doc
+    // reads as a single honest session transcript (stats counters
+    // included). `--jobs 1` pins the machine-dependent `jobs` field.
+    let mut server = StdioServer::spawn(&["--jobs", "1"]);
+    for (request, expected) in pairs {
+        let response = server.request(&request);
+        assert_eq!(
+            response, expected,
+            "docs/serve.md example drifted from the live server\nrequest: {request}"
+        );
+    }
+    server.shutdown();
+}

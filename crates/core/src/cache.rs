@@ -513,6 +513,104 @@ impl Fingerprinter<'_> {
     }
 }
 
+/// Which analysis produced (or is requesting) a cached result.
+///
+/// The forward judgment (NumFuzz: one rounding-error bound on the output)
+/// and the backward judgment (Bean: one perturbation bound per input)
+/// disagree on *everything* observable — accepted programs, reported
+/// grades, diagnostics — so the mode is a mandatory component of every
+/// configuration fingerprint: a warm forward entry must be a **miss** for
+/// a backward request on the very same program, and vice versa.
+/// [`ConfigFingerprint`] writes the mode discriminant first so the two
+/// key spaces diverge at the first absorbed byte.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AnalysisMode {
+    /// NumFuzz forward rounding-error inference ([`crate::infer`]).
+    Forward,
+    /// Bean backward-error inference ([`crate::infer_backward`]).
+    Backward,
+}
+
+impl AnalysisMode {
+    /// The stable discriminant byte absorbed into fingerprints.
+    pub fn discriminant(self) -> u8 {
+        match self {
+            AnalysisMode::Forward => 1,
+            AnalysisMode::Backward => 2,
+        }
+    }
+
+    /// The protocol / CLI spelling (`"forward"` / `"backward"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnalysisMode::Forward => "forward",
+            AnalysisMode::Backward => "backward",
+        }
+    }
+}
+
+/// Builder for the configuration half of a [`CacheKey`]: the analysis
+/// mode plus whatever the caller's configuration contributes (signature,
+/// format, rounding unit, operation kind). Constructing one *requires* an
+/// [`AnalysisMode`], making it impossible to mint a config fingerprint
+/// that two analysis modes share.
+///
+/// ```
+/// use numfuzz_core::cache::{AnalysisMode, ConfigFingerprint};
+///
+/// let mut fwd = ConfigFingerprint::new(AnalysisMode::Forward);
+/// let mut bwd = ConfigFingerprint::new(AnalysisMode::Backward);
+/// for f in [&mut fwd, &mut bwd] {
+///     f.write_str("binary64");
+///     f.write_u8(1); // operation: check
+/// }
+/// assert_ne!(fwd.finish(), bwd.finish());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ConfigFingerprint {
+    hasher: StableHasher,
+}
+
+impl ConfigFingerprint {
+    /// Starts a configuration fingerprint for `mode` (absorbed first).
+    pub fn new(mode: AnalysisMode) -> Self {
+        let mut hasher = StableHasher::new();
+        hasher.write_u8(mode.discriminant());
+        ConfigFingerprint { hasher }
+    }
+
+    /// Absorbs one configuration byte (e.g. an operation discriminant).
+    pub fn write_u8(&mut self, b: u8) {
+        self.hasher.write_u8(b);
+    }
+
+    /// Absorbs a configuration integer.
+    pub fn write_u64(&mut self, v: u64) {
+        self.hasher.write_u64(v);
+    }
+
+    /// Absorbs a configuration integer.
+    pub fn write_u32(&mut self, v: u32) {
+        self.hasher.write_u32(v);
+    }
+
+    /// Absorbs a wide configuration digest (e.g. a hashed type tree).
+    pub fn write_u128(&mut self, v: u128) {
+        self.hasher.write_u128(v);
+    }
+
+    /// Absorbs a length-prefixed configuration string (format name,
+    /// rounding unit rendering, signature digest…).
+    pub fn write_str(&mut self, s: &str) {
+        self.hasher.write_str(s);
+    }
+
+    /// The 64-bit configuration fingerprint for [`CacheKey::config`].
+    pub fn finish(&self) -> u64 {
+        self.hasher.finish64()
+    }
+}
+
 /// The address of one memoized result: *what* was analyzed
 /// ([`fingerprint_term`]) under *which* configuration (a caller-supplied
 /// fingerprint of signature, format, mode, rounding unit, and the
@@ -823,6 +921,25 @@ mod tests {
             fingerprint_term(&a.store, a.root, &[]),
             fingerprint_term(&b.store, b.root, &[])
         );
+    }
+
+    #[test]
+    fn config_fingerprint_separates_analysis_modes() {
+        // Identical configuration payloads under different modes must
+        // produce different addresses — a warm forward entry can never
+        // answer a backward request.
+        let payload = |mode| {
+            let mut f = ConfigFingerprint::new(mode);
+            f.write_str("binary64");
+            f.write_str("nearest-even");
+            f.write_u8(1);
+            f.finish()
+        };
+        assert_ne!(payload(AnalysisMode::Forward), payload(AnalysisMode::Backward));
+        // And the fingerprint is deterministic per mode.
+        assert_eq!(payload(AnalysisMode::Forward), payload(AnalysisMode::Forward));
+        assert_eq!(AnalysisMode::Forward.as_str(), "forward");
+        assert_eq!(AnalysisMode::Backward.as_str(), "backward");
     }
 
     #[test]

@@ -248,7 +248,7 @@ pub fn infer_in(
 /// peak memory tracks the live frontier on trees while node *sharing*
 /// (which hash-consing and small-step substitution both create) still
 /// works: a shared child's result survives until its last parent takes it.
-fn count_parent_edges(store: &TermStore) -> Vec<u32> {
+pub(crate) fn count_parent_edges(store: &TermStore) -> Vec<u32> {
     let mut uses = vec![0u32; store.len()];
     let mut bump = |t: TermId| uses[t.0 as usize] = uses[t.0 as usize].saturating_add(1);
     for i in 0..store.len() {

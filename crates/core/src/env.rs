@@ -11,7 +11,7 @@
 //! Absent variables implicitly carry grade `0`; zero entries are not
 //! stored.
 
-use crate::grade::Grade;
+use crate::grade::{Coeffect, Grade};
 use crate::term::VarId;
 use std::collections::HashMap;
 
@@ -241,6 +241,124 @@ impl Env {
     }
 }
 
+/// A backward-error context Δ: a finite map from variables to
+/// [`Coeffect`]s, as manipulated by Bean's linear judgment.
+///
+/// Unlike [`Env`], *presence* matters independently of the grades: an
+/// entry records that the variable has been consumed (exactly once —
+/// [`BackwardEnv::merge_disjoint`] rejects overlap, which is how general
+/// contraction is caught), and a zero-error entry is still an entry.
+/// Entries are kept sorted by [`VarId`] so iteration order — and
+/// therefore every rendered report — is deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BackwardEnv {
+    /// Sorted by variable id; no duplicates.
+    entries: Vec<(VarId, Coeffect)>,
+}
+
+impl BackwardEnv {
+    /// The empty context.
+    pub fn empty() -> Self {
+        BackwardEnv::default()
+    }
+
+    /// The context consuming exactly `x`, at the identity coeffect.
+    pub fn consume(x: VarId) -> Self {
+        BackwardEnv { entries: vec![(x, Coeffect::var())] }
+    }
+
+    /// Number of consumed variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no variable is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The coeffect of `x`, if consumed.
+    pub fn get(&self, x: VarId) -> Option<&Coeffect> {
+        self.entries.binary_search_by_key(&x, |(v, _)| *v).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Removes `x`, returning its coeffect if it was consumed.
+    pub fn remove(&mut self, x: VarId) -> Option<Coeffect> {
+        match self.entries.binary_search_by_key(&x, |(v, _)| *v) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates in ascending [`VarId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VarId, &Coeffect)> {
+        self.entries.iter().map(|(v, c)| (v, c))
+    }
+
+    /// Linearity-enforcing union: both sides' consumptions, or the first
+    /// variable consumed by *both* (a duplicated use).
+    ///
+    /// # Errors
+    ///
+    /// The offending [`VarId`] on overlap.
+    pub fn merge_disjoint(self, other: Self) -> Result<Self, VarId> {
+        let (mut a, mut b) =
+            (self.entries.into_iter().peekable(), other.entries.into_iter().peekable());
+        let mut out = Vec::new();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((va, _)), Some((vb, _))) => match va.cmp(vb) {
+                    std::cmp::Ordering::Equal => return Err(*va),
+                    std::cmp::Ordering::Less => out.push(a.next().expect("peeked")),
+                    std::cmp::Ordering::Greater => out.push(b.next().expect("peeked")),
+                },
+                (Some(_), None) => out.push(a.next().expect("peeked")),
+                (None, Some(_)) => out.push(b.next().expect("peeked")),
+                (None, None) => return Ok(BackwardEnv { entries: out }),
+            }
+        }
+    }
+
+    /// Pointwise least upper bound of two contexts that must consume the
+    /// *same* variables (Bean's `case` branches).
+    ///
+    /// # Errors
+    ///
+    /// The first variable consumed by one side only.
+    pub fn sup_same_support(self, other: Self) -> Result<Self, VarId> {
+        let (mut a, mut b) =
+            (self.entries.into_iter().peekable(), other.entries.into_iter().peekable());
+        let mut out = Vec::new();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((va, _)), Some((vb, _))) => match va.cmp(vb) {
+                    std::cmp::Ordering::Equal => {
+                        let (v, ca) = a.next().expect("peeked");
+                        let (_, cb) = b.next().expect("peeked");
+                        out.push((v, ca.sup(&cb)));
+                    }
+                    std::cmp::Ordering::Less => return Err(*va),
+                    std::cmp::Ordering::Greater => return Err(*vb),
+                },
+                (Some((va, _)), None) => return Err(*va),
+                (None, Some((vb, _))) => return Err(*vb),
+                (None, None) => return Ok(BackwardEnv { entries: out }),
+            }
+        }
+    }
+
+    /// Applies a coeffect transformer to every entry (`charge`, `amplify`,
+    /// `seq` against one binder). `None` from the transformer (a
+    /// non-linear grade product) aborts the whole update.
+    pub fn try_update(self, f: impl Fn(&Coeffect) -> Option<Coeffect>) -> Option<Self> {
+        let mut entries = self.entries;
+        for (_, c) in entries.iter_mut() {
+            *c = f(c)?;
+        }
+        Some(BackwardEnv { entries })
+    }
+}
+
 impl PartialEq for Env {
     fn eq(&self, other: &Self) -> bool {
         self.len() == other.len()
@@ -336,5 +454,37 @@ mod tests {
         let a = Env::singleton(v(0), g(1)).add(Env::singleton(v(1), g(2)));
         let b = Env::singleton(v(1), g(2)).add(Env::singleton(v(0), g(1)));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backward_env_enforces_linearity() {
+        let a = BackwardEnv::consume(v(0)).merge_disjoint(BackwardEnv::consume(v(2))).unwrap();
+        let b = BackwardEnv::consume(v(1));
+        let merged = a.clone().merge_disjoint(b).unwrap();
+        assert_eq!(merged.len(), 3);
+        // Sorted iteration.
+        let order: Vec<u32> = merged.iter().map(|(x, _)| x.0).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        // Overlap is a duplicated use, reporting the offender.
+        assert_eq!(merged.clone().merge_disjoint(BackwardEnv::consume(v(2))), Err(v(2)));
+        // Same-support sup accepts equal supports and rejects others.
+        assert!(merged.clone().sup_same_support(merged.clone()).is_ok());
+        assert_eq!(merged.clone().sup_same_support(a).unwrap_err(), v(1));
+        // Removal reports presence.
+        let mut m = merged;
+        assert!(m.remove(v(1)).is_some());
+        assert!(m.remove(v(1)).is_none());
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn backward_env_updates_every_entry() {
+        let eps = Grade::symbol("eps");
+        let env = BackwardEnv::consume(v(0)).merge_disjoint(BackwardEnv::consume(v(1))).unwrap();
+        let charged = env.try_update(|c| c.charge(&eps)).unwrap();
+        for (_, c) in charged.iter() {
+            assert_eq!(c.err, eps);
+        }
+        assert!(BackwardEnv::empty().try_update(|c| c.charge(&eps)).unwrap().is_empty());
     }
 }

@@ -337,6 +337,86 @@ impl Grade {
     }
 }
 
+/// A backward-error coeffect: the grade pair Bean tracks for every
+/// variable of the (linear) context.
+///
+/// * `err` — the backward error already attributed to this input: the
+///   distance by which the input must be perturbed to absorb the rounding
+///   errors committed so far by the term consuming it.
+/// * `absorb` — the demand amplification: how much a *further* demand
+///   placed on the consuming term's result grows by the time it reaches
+///   this input. This is the inverse of the forward sensitivity along the
+///   consumption path (`sqrt` halves forward sensitivity, so pushing a
+///   result demand back through it doubles it), with `∞` marking paths
+///   through which no finite perturbation can realise a demand
+///   (comparisons, one-sided relative-precision additions).
+///
+/// A freshly consumed variable carries the identity coeffect `(0, 1)`.
+/// The paper convention `0 · ∞ = 0` means a zero demand stays zero even
+/// through an `∞`-absorbing path.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Coeffect {
+    /// Accumulated backward-error bound for the input.
+    pub err: Grade,
+    /// Amplification applied to future demands on the consumer's result.
+    pub absorb: Grade,
+}
+
+impl Coeffect {
+    /// The identity coeffect of a just-consumed variable: no error yet,
+    /// demands pass through unamplified.
+    pub fn var() -> Self {
+        Coeffect { err: Grade::zero(), absorb: Grade::one() }
+    }
+
+    /// The vacuous coeffect of a binder that carries no data (unit-typed):
+    /// demands on it neither exist nor propagate.
+    pub fn vacuous() -> Self {
+        Coeffect { err: Grade::zero(), absorb: Grade::zero() }
+    }
+
+    /// A rounding of grade `eps` happened at the consumer: the input must
+    /// additionally absorb `absorb · eps`.
+    ///
+    /// Returns `None` when the product is not representable (two genuinely
+    /// symbolic grades).
+    pub fn charge(&self, eps: &Grade) -> Option<Self> {
+        let charged = self.absorb.checked_mul(eps)?;
+        Some(Coeffect { err: self.err.add(&charged), absorb: self.absorb.clone() })
+    }
+
+    /// Pushes the demand through an operation whose backward amplification
+    /// is `factor` (e.g. `2` for `sqrt`, `∞` for a comparison).
+    pub fn amplify(&self, factor: &Grade) -> Option<Self> {
+        Some(Coeffect { err: self.err.clone(), absorb: self.absorb.checked_mul(factor)? })
+    }
+
+    /// Sequential composition: this coeffect describes a variable of a term
+    /// `e`, and `e`'s result is bound to a variable consumed at coeffect
+    /// `binder`. The binder's accumulated error is a demand on `e`'s
+    /// result (amplified on its way in), and future demands now traverse
+    /// both paths.
+    pub fn seq(&self, binder: &Coeffect) -> Option<Self> {
+        let inherited = self.absorb.checked_mul(&binder.err)?;
+        Some(Coeffect {
+            err: self.err.add(&inherited),
+            absorb: self.absorb.checked_mul(&binder.absorb)?,
+        })
+    }
+
+    /// Pointwise least upper bound (for merging `case` branches).
+    pub fn sup(&self, other: &Self) -> Self {
+        Coeffect { err: self.err.sup(&other.err), absorb: self.absorb.sup(&other.absorb) }
+    }
+
+    /// Componentwise sum (for a tensor eliminator's two binders: the
+    /// scrutinee pair carries both components' demands under the sum
+    /// metric).
+    pub fn join_add(&self, other: &Self) -> Self {
+        Coeffect { err: self.err.add(&other.err), absorb: self.absorb.add(&other.absorb) }
+    }
+}
+
 impl fmt::Display for Grade {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -484,5 +564,30 @@ mod tests {
     #[test]
     fn scale_zero_kills_infinity() {
         assert_eq!(Grade::infinite().scale(&Rational::zero()), Grade::zero());
+    }
+
+    #[test]
+    fn coeffect_algebra() {
+        let eps = Grade::symbol("eps");
+        // A fresh variable charged by one rounding owes exactly eps.
+        let co = Coeffect::var().charge(&eps).unwrap();
+        assert_eq!(co.err, eps);
+        assert_eq!(co.absorb, Grade::one());
+        // Amplify by 2 (a sqrt on the path), then round again: 3*eps.
+        let co = co.amplify(&c(2, 1)).unwrap().charge(&eps).unwrap();
+        assert_eq!(co.err.to_string(), "3*eps");
+        assert_eq!(co.absorb.to_string(), "2");
+        // Sequential composition inherits the binder's error through the
+        // producer's absorption and multiplies the amplifications.
+        let binder = Coeffect { err: eps.clone(), absorb: c(1, 2) };
+        let composed = co.seq(&binder).unwrap();
+        assert_eq!(composed.err.to_string(), "5*eps");
+        assert_eq!(composed.absorb.to_string(), "1");
+        // 0 · ∞ = 0: a zero demand survives an infinite absorber.
+        let inf = Coeffect::var().amplify(&Grade::infinite()).unwrap();
+        assert_eq!(inf.seq(&Coeffect::var()).unwrap().err, Grade::zero());
+        assert!(inf.charge(&eps).unwrap().err.is_infinite());
+        // The vacuous coeffect never accumulates anything.
+        assert_eq!(Coeffect::vacuous().charge(&eps).unwrap().err, Grade::zero());
     }
 }

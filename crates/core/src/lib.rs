@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+mod backward;
 pub mod cache;
 mod check;
 mod env;
@@ -63,10 +64,14 @@ mod ty;
 pub mod validate;
 
 pub use arena::{CoreArena, GradeId, TyId, TyNode};
-pub use cache::{CacheKey, CacheStats, CacheWeight, ResultCache};
+pub use backward::{
+    infer_backward, infer_backward_in, BackwardError, BackwardFnReport, BackwardInferred,
+    BackwardResult,
+};
+pub use cache::{AnalysisMode, CacheKey, CacheStats, CacheWeight, ConfigFingerprint, ResultCache};
 pub use check::{infer, infer_in, CheckError, CheckResult, FnReport, Inferred};
-pub use env::Env;
-pub use grade::{Grade, LinExpr, Sym};
+pub use env::{BackwardEnv, Env};
+pub use grade::{Coeffect, Grade, LinExpr, Sym};
 pub use lexer::SyntaxError;
 pub use lower::{compile, compile_in, lower_program, lower_program_in, Lowered};
 pub use parser::{parse_expr, parse_program, parse_ty, SExpr, SFnDef, SProgram};

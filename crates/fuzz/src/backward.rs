@@ -1,0 +1,620 @@
+//! The backward-stability *lens*: the reference evaluator behind
+//! `numfuzz fuzz --backward`.
+//!
+//! The backward type system claims, for a function `f` with linear
+//! parameters `x₁ … xₙ` graded `k₁ … kₙ`: for every input `x` there are
+//! perturbed inputs `x̃` with `f(x̃) = f̃(x)` **exactly** and
+//! `d(xᵢ, x̃ᵢ) ≤ kᵢ·u` for each input, where `f̃` is the floating-point
+//! run and `u` the per-`rnd` error unit. This module tests that claim
+//! constructively on a deterministic grid:
+//!
+//! 1. **forward pass** — run the fp semantics on a grid point `x`,
+//!    recording the worst error a single `rnd` actually committed (the
+//!    tightest sound instantiation of the `eps`/`delta` grade symbol);
+//! 2. **pull** — push the computed result backward through the term
+//!    along the canonical witness of each operation's non-expansiveness
+//!    proof (relative-precision `add` splits the demand proportionally
+//!    across both components; operations over a constant side demand the
+//!    constant at exactly its value and route the entire residual to the
+//!    variable side), producing a candidate `x̃`;
+//! 3. **certify** — re-evaluate the *ideal* semantics at `x̃` with exact
+//!    rationals and require equality with the fp result, then decide
+//!    `d(xᵢ, x̃ᵢ) ≤ kᵢ·u` rigorously with the metrics crate.
+//!
+//! The lens is deliberately partial: square roots (irrational fp
+//! results), comparisons, `case`, and higher-order values make it
+//! abstain ([`LensOutcome::Skipped`]) rather than guess. An abstention
+//! is never evidence; a certification failure on the canonical pull is a
+//! [`LensOutcome::Violation`] — a soundness counterexample worth a
+//! reproducer.
+
+use numfuzz_core::{Grade, Instantiation, Node, TermId, TermStore, Ty, VarId};
+use numfuzz_exact::Rational;
+use numfuzz_metrics::pointwise::abs_error;
+use numfuzz_metrics::rp::rp_within;
+use numfuzz_softfloat::{Format, Fp, RoundingMode};
+use std::collections::HashMap;
+
+/// What the lens concluded about one function definition.
+#[derive(Clone, Debug)]
+pub enum LensOutcome {
+    /// Witnesses were produced and certified on this many grid points.
+    Validated {
+        /// Number of certified grid points.
+        points: usize,
+    },
+    /// The lens abstained (unsupported construct, non-numeric
+    /// parameters, infinite grades, …).
+    Skipped {
+        /// Why (the last obstruction seen).
+        reason: String,
+    },
+    /// A grid point where the canonical pull produced no certified
+    /// witness within the typed bound.
+    Violation {
+        /// Human-readable evidence: grid point, parameter, distances.
+        detail: String,
+    },
+}
+
+/// An obstruction the lens refuses to reason past.
+struct Stuck(&'static str);
+
+/// A first-order value of the restricted fragment the lens evaluates.
+#[derive(Clone, Debug, PartialEq)]
+enum V {
+    Unit,
+    Num(Rational),
+    /// Tensor pair (sum metric).
+    Pair(Box<V>, Box<V>),
+    /// Cartesian pair (max metric).
+    WPair(Box<V>, Box<V>),
+}
+
+impl V {
+    fn num(self) -> Result<Rational, Stuck> {
+        match self {
+            V::Num(q) => Ok(q),
+            _ => Err(Stuck("non-numeric value where a number was needed")),
+        }
+    }
+}
+
+struct Lens<'a> {
+    store: &'a TermStore,
+    instantiation: Instantiation,
+    format: Format,
+    mode: RoundingMode,
+    /// Upper bound on the worst per-`rnd` error observed in the forward
+    /// pass: a relative-precision distance bound for RP, an absolute one
+    /// for ABS. The tightest sound value for the grade symbol.
+    unit: Rational,
+    /// `TermId → contains a free variable` memo (hash-consed DAG).
+    carriers: HashMap<TermId, bool>,
+}
+
+/// Validates one top-level function against its backward report.
+///
+/// `lam` is the function's λ-chain in `store`; `inputs` the typed
+/// per-parameter backward grades (from
+/// [`numfuzz_core::BackwardFnReport`]), which must cover every named
+/// numeric parameter by name.
+pub fn validate_backward_fn(
+    store: &TermStore,
+    lam: TermId,
+    inputs: &[(String, Grade)],
+    instantiation: Instantiation,
+    format: Format,
+    mode: RoundingMode,
+) -> LensOutcome {
+    // Collect the λ-chain's parameters and locate the body.
+    let mut params: Vec<(VarId, Ty)> = Vec::new();
+    let mut body = lam;
+    while let Node::Lam(x, ty, inner) = *store.node(body) {
+        params.push((x, store.ty(ty)));
+        body = inner;
+    }
+    if params.is_empty() {
+        return LensOutcome::Skipped { reason: "not a λ (partial-application alias)".into() };
+    }
+    // Pair each numeric parameter with its typed grade; anything other
+    // than `num`/`unit` parameters is out of the lens's fragment.
+    let mut graded: Vec<(VarId, Option<Rational>)> = Vec::new(); // None = unit param
+    for (x, ty) in &params {
+        match ty {
+            Ty::Unit => graded.push((*x, None)),
+            Ty::Num => {
+                let name = store.var_name(*x);
+                let Some((_, grade)) = inputs.iter().find(|(n, _)| n == name) else {
+                    return LensOutcome::Skipped {
+                        reason: format!("parameter `{name}` missing from the backward report"),
+                    };
+                };
+                if grade.is_infinite() {
+                    return LensOutcome::Skipped {
+                        reason: format!("parameter `{name}` has an infinite backward grade"),
+                    };
+                }
+                graded.push((*x, Some(Rational::zero()))); // coefficient filled per point
+            }
+            _ => return LensOutcome::Skipped { reason: "non-numeric parameter".into() },
+        }
+    }
+
+    let grid: Vec<Rational> = match instantiation {
+        // RP interprets `num` as R>0: stay strictly positive.
+        Instantiation::RelativePrecision => [(1, 1), (1, 3), (3, 2), (10, 7), (5, 1)]
+            .iter()
+            .map(|&(n, d)| Rational::ratio(n, d))
+            .collect(),
+        Instantiation::AbsoluteError => {
+            [(-7, 3), (0, 1), (1, 2), (4, 1)].iter().map(|&(n, d)| Rational::ratio(n, d)).collect()
+        }
+    };
+
+    let sym = match instantiation {
+        Instantiation::RelativePrecision => "eps",
+        Instantiation::AbsoluteError => "delta",
+    };
+
+    let mut validated = 0usize;
+    let mut last_skip = String::from("no grid point completed");
+    for (point, _) in grid.iter().enumerate() {
+        // Assign param i the grid value at offset (point + i) so the
+        // points are not all diagonal.
+        let mut env: HashMap<VarId, V> = HashMap::new();
+        let mut assigned: Vec<(VarId, Rational)> = Vec::new();
+        for (i, (x, g)) in graded.iter().enumerate() {
+            match g {
+                None => {
+                    env.insert(*x, V::Unit);
+                }
+                Some(_) => {
+                    let q = grid[(point + i) % grid.len()].clone();
+                    assigned.push((*x, q.clone()));
+                    env.insert(*x, V::Num(q));
+                }
+            }
+        }
+
+        let mut lens = Lens {
+            store,
+            instantiation,
+            format,
+            mode,
+            unit: Rational::zero(),
+            carriers: HashMap::new(),
+        };
+
+        // 1. Forward fp pass (records the per-`rnd` unit).
+        let result = match lens.eval(body, &env, true) {
+            Ok(v) => v,
+            Err(Stuck(why)) => {
+                last_skip = format!("fp pass: {why}");
+                continue;
+            }
+        };
+        // 2. Pull the result backward to a candidate witness.
+        let mut witness: HashMap<VarId, V> = HashMap::new();
+        if let Err(Stuck(why)) = lens.pull(body, &env, result.clone(), &mut witness) {
+            last_skip = format!("pull: {why}");
+            continue;
+        }
+        // 3a. Certify f(x̃) = f̃(x) by exact ideal re-evaluation.
+        let mut perturbed = env.clone();
+        for (x, v) in &witness {
+            perturbed.insert(*x, v.clone());
+        }
+        match lens.eval(body, &perturbed, false) {
+            Ok(ideal) if ideal == result => {}
+            Ok(ideal) => {
+                return LensOutcome::Violation {
+                    detail: format!(
+                        "grid point {point}: ideal run at the perturbed inputs gives {ideal:?}, \
+                         fp run gave {result:?}"
+                    ),
+                };
+            }
+            Err(Stuck(why)) => {
+                last_skip = format!("ideal re-evaluation: {why}");
+                continue;
+            }
+        }
+        // 3b. Certify the per-input distances against the typed grades.
+        let mut ok = true;
+        for (x, q) in &assigned {
+            let name = store.var_name(*x);
+            let grade = &inputs.iter().find(|(n, _)| n == name).expect("graded param").1;
+            let Some(alpha) = grade.eval(&|s| (s == sym).then(|| lens.unit.clone())) else {
+                last_skip = format!("grade of `{name}` mentions a foreign symbol");
+                ok = false;
+                break;
+            };
+            let tilde = match witness.get(x) {
+                Some(v) => match v.clone().num() {
+                    Ok(q) => q,
+                    Err(Stuck(why)) => {
+                        last_skip = format!("witness for `{name}`: {why}");
+                        ok = false;
+                        break;
+                    }
+                },
+                None => q.clone(), // never demanded: keep the original
+            };
+            let within = match instantiation {
+                Instantiation::RelativePrecision => {
+                    tilde == *q || rp_within(q, &tilde, &alpha).holds()
+                }
+                Instantiation::AbsoluteError => abs_error(q, &tilde) <= alpha,
+            };
+            if !within {
+                return LensOutcome::Violation {
+                    detail: format!(
+                        "grid point {point}: input `{name}` = {q} needs witness {tilde}, \
+                         beyond its typed backward bound {alpha} (unit {})",
+                        lens.unit
+                    ),
+                };
+            }
+        }
+        if ok {
+            validated += 1;
+        }
+    }
+
+    if validated > 0 {
+        LensOutcome::Validated { points: validated }
+    } else {
+        LensOutcome::Skipped { reason: last_skip }
+    }
+}
+
+impl Lens<'_> {
+    /// Evaluates the restricted fragment. `round = true` runs the fp
+    /// semantics (`rnd` rounds, and its committed error tightens
+    /// `self.unit`); `round = false` runs the ideal semantics (`rnd` is
+    /// the identity).
+    fn eval(&mut self, id: TermId, env: &HashMap<VarId, V>, round: bool) -> Result<V, Stuck> {
+        match *self.store.node(id) {
+            Node::Var(x) => env.get(&x).cloned().ok_or(Stuck("unbound variable")),
+            Node::UnitVal => Ok(V::Unit),
+            Node::Const(k) => Ok(V::Num(self.store.constant(k).clone())),
+            Node::PairT(a, b) => Ok(V::Pair(
+                Box::new(self.eval(a, env, round)?),
+                Box::new(self.eval(b, env, round)?),
+            )),
+            Node::PairW(a, b) => Ok(V::WPair(
+                Box::new(self.eval(a, env, round)?),
+                Box::new(self.eval(b, env, round)?),
+            )),
+            Node::BoxIntro(_, v) | Node::Ret(v) => self.eval(v, env, round),
+            Node::Rnd(v) => {
+                let q = self.eval(v, env, round)?.num()?;
+                if !round {
+                    return Ok(V::Num(q));
+                }
+                let rounded = Fp::round_to_rational(&q, self.format, self.mode);
+                self.observe_rnd(&q, &rounded)?;
+                Ok(V::Num(rounded))
+            }
+            Node::Let(x, e, f) | Node::LetBind(x, e, f) => {
+                let v = self.eval(e, env, round)?;
+                let mut inner = env.clone();
+                inner.insert(x, v);
+                self.eval(f, &inner, round)
+            }
+            Node::LetTensor(x, y, v, e) => {
+                let V::Pair(a, b) = self.eval(v, env, round)? else {
+                    return Err(Stuck("let-tensor of a non-tensor value"));
+                };
+                let mut inner = env.clone();
+                inner.insert(x, *a);
+                inner.insert(y, *b);
+                self.eval(e, &inner, round)
+            }
+            Node::Op(idx, arg) => {
+                let arg = self.eval(arg, env, round)?;
+                self.op(self.store.op_name(idx).to_string(), arg)
+            }
+            _ => Err(Stuck("construct outside the lens fragment")),
+        }
+    }
+
+    /// Applies an operation of the active instantiation exactly.
+    fn op(&self, name: String, arg: V) -> Result<V, Stuck> {
+        let pair = |arg: V| -> Result<(Rational, Rational), Stuck> {
+            match arg {
+                V::Pair(a, b) | V::WPair(a, b) => Ok((a.num()?, b.num()?)),
+                _ => Err(Stuck("operation over a non-pair value")),
+            }
+        };
+        match (self.instantiation, name.as_str()) {
+            (Instantiation::RelativePrecision, "add") => {
+                let (a, b) = pair(arg)?;
+                Ok(V::Num(a.add(&b)))
+            }
+            (Instantiation::RelativePrecision, "mul") => {
+                let (a, b) = pair(arg)?;
+                Ok(V::Num(a.mul(&b)))
+            }
+            (Instantiation::RelativePrecision, "div") => {
+                let (a, b) = pair(arg)?;
+                if b.is_zero() {
+                    return Err(Stuck("division by zero"));
+                }
+                Ok(V::Num(a.div(&b)))
+            }
+            (Instantiation::AbsoluteError, "add") => {
+                let (a, b) = pair(arg)?;
+                Ok(V::Num(a.add(&b)))
+            }
+            (Instantiation::AbsoluteError, "sub") => {
+                let (a, b) = pair(arg)?;
+                Ok(V::Num(a.sub(&b)))
+            }
+            (Instantiation::AbsoluteError, "neg") => Ok(V::Num(arg.num()?.neg())),
+            (Instantiation::AbsoluteError, "scale2") => {
+                Ok(V::Num(arg.num()?.mul(&Rational::from_int(2))))
+            }
+            (Instantiation::AbsoluteError, "half") => {
+                Ok(V::Num(arg.num()?.div(&Rational::from_int(2))))
+            }
+            _ => Err(Stuck("operation outside the lens fragment")),
+        }
+    }
+
+    /// Tightens `self.unit` with the error one `rnd` actually committed.
+    fn observe_rnd(&mut self, before: &Rational, after: &Rational) -> Result<(), Stuck> {
+        let err = match self.instantiation {
+            Instantiation::AbsoluteError => abs_error(before, after),
+            Instantiation::RelativePrecision => {
+                // A rational upper bound on RP(q, rnd q) = |ln(q̃/q)|:
+                // ln r ≤ r − 1 for r ≥ 1, and |ln r| ≤ 1/r − 1 for r ≤ 1.
+                if before.is_zero()
+                    || after.is_zero()
+                    || before.is_positive() != after.is_positive()
+                {
+                    return Err(Stuck("rounding left the relative-precision domain"));
+                }
+                let r = after.div(before).abs();
+                if r >= Rational::one() {
+                    r.sub(&Rational::one())
+                } else {
+                    r.recip().sub(&Rational::one())
+                }
+            }
+        };
+        if err > self.unit {
+            self.unit = err;
+        }
+        Ok(())
+    }
+
+    /// Whether the subterm mentions any variable (i.e. can carry
+    /// backward error). Constant subterms must be demanded at exactly
+    /// their own value.
+    fn has_carrier(&mut self, id: TermId) -> bool {
+        if let Some(&hit) = self.carriers.get(&id) {
+            return hit;
+        }
+        let hit = match *self.store.node(id) {
+            Node::Var(_) => true,
+            Node::UnitVal | Node::Const(_) | Node::Err(_, _) => false,
+            Node::PairT(a, b) | Node::PairW(a, b) | Node::App(a, b) => {
+                self.has_carrier(a) || self.has_carrier(b)
+            }
+            Node::Inl(v, _)
+            | Node::Inr(v, _)
+            | Node::BoxIntro(_, v)
+            | Node::Rnd(v)
+            | Node::Ret(v)
+            | Node::Proj(_, v)
+            | Node::Lam(_, _, v) => self.has_carrier(v),
+            Node::LetTensor(_, _, v, e)
+            | Node::LetBox(_, v, e)
+            | Node::LetBind(_, v, e)
+            | Node::Let(_, v, e)
+            | Node::LetFun(_, _, v, e) => self.has_carrier(v) || self.has_carrier(e),
+            Node::Case(v, _, l, _, r) => {
+                self.has_carrier(v) || self.has_carrier(l) || self.has_carrier(r)
+            }
+            Node::Op(_, v) => self.has_carrier(v),
+        };
+        self.carriers.insert(id, hit);
+        hit
+    }
+
+    /// Pushes a demanded result value backward through the term,
+    /// recording a demand for every variable it reaches. Linearity (the
+    /// backward checker ran first) guarantees each variable is demanded
+    /// at most once.
+    fn pull(
+        &mut self,
+        id: TermId,
+        env: &HashMap<VarId, V>,
+        demand: V,
+        out: &mut HashMap<VarId, V>,
+    ) -> Result<(), Stuck> {
+        match *self.store.node(id) {
+            Node::Var(x) => {
+                if out.insert(x, demand).is_some() {
+                    return Err(Stuck("variable demanded twice"));
+                }
+                Ok(())
+            }
+            Node::UnitVal => Ok(()),
+            Node::Const(k) => {
+                if demand == V::Num(self.store.constant(k).clone()) {
+                    Ok(())
+                } else {
+                    Err(Stuck("constant cannot absorb a perturbed demand"))
+                }
+            }
+            // `rnd` is the identity of the *ideal* semantics: the demand
+            // (already the rounded result) flows into the argument, and
+            // the inputs absorb the committed rounding error.
+            Node::Rnd(v) | Node::Ret(v) | Node::BoxIntro(_, v) => self.pull(v, env, demand, out),
+            Node::PairT(a, b) => {
+                let V::Pair(da, db) = demand else {
+                    return Err(Stuck("tensor pair demanded at a non-pair value"));
+                };
+                self.pull(a, env, *da, out)?;
+                self.pull(b, env, *db, out)
+            }
+            Node::PairW(a, b) => {
+                let V::WPair(da, db) = demand else {
+                    return Err(Stuck("cartesian pair demanded at a non-pair value"));
+                };
+                self.pull(a, env, *da, out)?;
+                self.pull(b, env, *db, out)
+            }
+            Node::Let(x, e, f) | Node::LetBind(x, e, f) => {
+                let bound = self.eval(e, env, true)?;
+                let mut inner = env.clone();
+                inner.insert(x, bound);
+                self.pull(f, &inner, demand, out)?;
+                match out.remove(&x) {
+                    Some(dx) => self.pull(e, env, dx, out),
+                    // Unit-typed (or checker-exempt) binder: demand the
+                    // subterm at exactly its own value.
+                    None => {
+                        let v = self.eval(e, env, true)?;
+                        self.pull(e, env, v, out)
+                    }
+                }
+            }
+            Node::LetTensor(x, y, v, e) => {
+                let V::Pair(a, b) = self.eval(v, env, true)? else {
+                    return Err(Stuck("let-tensor of a non-tensor value"));
+                };
+                let (fa, fb) = (*a.clone(), *b.clone());
+                let mut inner = env.clone();
+                inner.insert(x, *a);
+                inner.insert(y, *b);
+                self.pull(e, &inner, demand, out)?;
+                let dx = out.remove(&x).unwrap_or(fa);
+                let dy = out.remove(&y).unwrap_or(fb);
+                self.pull(v, env, V::Pair(Box::new(dx), Box::new(dy)), out)
+            }
+            Node::Op(idx, arg) => {
+                let d = demand.num()?;
+                let split = self.op_pull(self.store.op_name(idx).to_string(), arg, env, d)?;
+                self.pull(arg, env, split, out)
+            }
+            _ => Err(Stuck("construct outside the lens fragment")),
+        }
+    }
+
+    /// The canonical backward witness of one operation: turns a demand
+    /// on the result into a demand on the argument.
+    fn op_pull(
+        &mut self,
+        name: String,
+        arg: TermId,
+        env: &HashMap<VarId, V>,
+        d: Rational,
+    ) -> Result<V, Stuck> {
+        // Unary operations first: the demand maps through the exact
+        // inverse (all four are bijections on the rationals).
+        if matches!(
+            (self.instantiation, name.as_str()),
+            (Instantiation::AbsoluteError, "neg" | "scale2" | "half")
+        ) {
+            let v = match name.as_str() {
+                "neg" => d.neg(),
+                "scale2" => d.div(&Rational::from_int(2)),
+                _ => d.mul(&Rational::from_int(2)),
+            };
+            return Ok(V::Num(v));
+        }
+
+        // Binary operations: the split depends on which side can carry
+        // error. When the argument is literally a pair node we can route
+        // around constant components; otherwise (a variable holding a
+        // pair) any exact split works, and we use the default.
+        let (va, vb) = match self.eval(arg, env, true)? {
+            V::Pair(a, b) | V::WPair(a, b) => (a.num()?, b.num()?),
+            _ => return Err(Stuck("operation over a non-pair value")),
+        };
+        let (ca, cb) = match *self.store.node(arg) {
+            Node::PairT(a, b) | Node::PairW(a, b) => (self.has_carrier(a), self.has_carrier(b)),
+            _ => (true, true),
+        };
+        let wrap = |a: Rational, b: Rational| match self.instantiation {
+            // Only RP `add` takes a Cartesian pair.
+            Instantiation::RelativePrecision if name == "add" => {
+                V::WPair(Box::new(V::Num(a)), Box::new(V::Num(b)))
+            }
+            _ => V::Pair(Box::new(V::Num(a)), Box::new(V::Num(b))),
+        };
+        let exact = |got: &Rational, d: &Rational| -> Result<(), Stuck> {
+            if got == d {
+                Ok(())
+            } else {
+                Err(Stuck("constant operation demanded at a perturbed value"))
+            }
+        };
+        match (self.instantiation, name.as_str()) {
+            (Instantiation::RelativePrecision, "add") => {
+                // Both components of a Cartesian pair consume the same
+                // context, so both can absorb the same relative factor:
+                // the proportional split (a·d/s, b·d/s) keeps the RP
+                // distance at |ln(d/s)| on each.
+                let s = va.add(&vb);
+                if s.is_zero() {
+                    exact(&s, &d)?;
+                    return Ok(wrap(va, vb));
+                }
+                let scale = d.div(&s);
+                if !scale.is_positive() {
+                    return Err(Stuck("demand left the relative-precision domain"));
+                }
+                Ok(wrap(va.mul(&scale), vb.mul(&scale)))
+            }
+            (Instantiation::RelativePrecision, "mul") => {
+                if ca && !vb.is_zero() {
+                    Ok(wrap(d.div(&vb), vb))
+                } else if cb && !va.is_zero() {
+                    Ok(wrap(va.clone(), d.div(&va)))
+                } else {
+                    exact(&va.mul(&vb), &d)?;
+                    Ok(wrap(va, vb))
+                }
+            }
+            (Instantiation::RelativePrecision, "div") => {
+                if ca && !vb.is_zero() {
+                    Ok(wrap(d.mul(&vb), vb))
+                } else if cb && !va.is_zero() && !d.is_zero() {
+                    Ok(wrap(va.clone(), va.div(&d)))
+                } else {
+                    if vb.is_zero() {
+                        return Err(Stuck("division by zero"));
+                    }
+                    exact(&va.div(&vb), &d)?;
+                    Ok(wrap(va, vb))
+                }
+            }
+            (Instantiation::AbsoluteError, "add") => {
+                if ca {
+                    Ok(wrap(d.sub(&vb), vb))
+                } else if cb {
+                    Ok(wrap(va.clone(), d.sub(&va)))
+                } else {
+                    exact(&va.add(&vb), &d)?;
+                    Ok(wrap(va, vb))
+                }
+            }
+            (Instantiation::AbsoluteError, "sub") => {
+                if ca {
+                    Ok(wrap(d.add(&vb), vb))
+                } else if cb {
+                    Ok(wrap(va.clone(), va.sub(&d)))
+                } else {
+                    exact(&va.sub(&vb), &d)?;
+                    Ok(wrap(va, vb))
+                }
+            }
+            _ => Err(Stuck("operation outside the lens fragment")),
+        }
+    }
+}

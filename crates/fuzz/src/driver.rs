@@ -43,6 +43,9 @@ pub enum FailureKind {
     IdealMismatch,
     /// pretty → re-parse → re-check produced a different type/grade.
     RoundTrip,
+    /// The backward-stability lens could not certify a perturbed-input
+    /// witness within the typed per-input backward bound.
+    BackwardViolation,
 }
 
 impl FailureKind {
@@ -56,6 +59,7 @@ impl FailureKind {
             FailureKind::BoundViolation => "BOUND-VIOLATION",
             FailureKind::IdealMismatch => "ideal-mismatch",
             FailureKind::RoundTrip => "round-trip",
+            FailureKind::BackwardViolation => "BACKWARD-VIOLATION",
         }
     }
 }
@@ -67,6 +71,27 @@ pub struct CasePass {
     pub ty: String,
     /// Whether the fp run faulted to `err` (Cor. 7.5 holds vacuously).
     pub vacuous: bool,
+    /// Backward-mode facts (`None` unless the plan asked for them).
+    pub backward: Option<BackwardFacts>,
+}
+
+/// What the backward leg of the oracle observed on one passing case.
+/// Acceptance and rejection are both *facts* — the generator aims at the
+/// forward discipline, so programs that violate Bean's strict linearity
+/// are expected and merely counted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BackwardFacts {
+    /// The backward checker accepted the whole program.
+    pub accepted: bool,
+    /// The backward checker rejected it (linearity violation or a
+    /// forward-graded declaration the backward judgment cannot match).
+    pub rejected: bool,
+    /// Function definitions the lens certified on at least one grid point.
+    pub validated_fns: usize,
+    /// Function definitions the lens abstained on.
+    pub skipped_fns: usize,
+    /// Total certified grid points across validated functions.
+    pub grid_points: usize,
 }
 
 /// A failing case's facts.
@@ -107,11 +132,14 @@ pub struct FuzzConfig {
     pub jobs: usize,
     /// Maximum shrink-candidate evaluations per counterexample.
     pub shrink_budget: usize,
+    /// Also run the backward (Bean-style) analysis leg on every case
+    /// (`numfuzz fuzz --backward`).
+    pub backward: bool,
 }
 
 impl Default for FuzzConfig {
     fn default() -> Self {
-        FuzzConfig { cases: 200, seed: 42, jobs: 1, shrink_budget: 400 }
+        FuzzConfig { cases: 200, seed: 42, jobs: 1, shrink_budget: 400, backward: false }
     }
 }
 
@@ -147,7 +175,7 @@ impl FuzzOutcome {
 }
 
 enum Row {
-    Pass { plan: CasePlan, features: Features, vacuous: bool },
+    Pass { plan: CasePlan, features: Features, vacuous: bool, backward: Option<BackwardFacts> },
     Fail(Box<Counterexample>, CasePlan, Features),
 }
 
@@ -159,11 +187,14 @@ pub fn run(cfg: &FuzzConfig, oracle: &dyn Oracle) -> FuzzOutcome {
 }
 
 fn run_one(cfg: &FuzzConfig, oracle: &dyn Oracle, index: usize) -> Row {
-    let case = generate_case(cfg.seed, index);
+    let mut case = generate_case(cfg.seed, index);
+    case.plan.backward = cfg.backward;
     let src = case.program.render();
     let features = case.program.features();
     match oracle.run_case(&case.plan, &src, case.expected_ideal.as_ref()) {
-        Ok(pass) => Row::Pass { plan: case.plan, features, vacuous: pass.vacuous },
+        Ok(pass) => {
+            Row::Pass { plan: case.plan, features, vacuous: pass.vacuous, backward: pass.backward }
+        }
         Err(failure) => {
             let kind = failure.kind;
             let plan = case.plan.clone();
@@ -226,14 +257,24 @@ fn assemble(cfg: &FuzzConfig, rows: Vec<Row>) -> FuzzOutcome {
     let mut vacuous = 0usize;
     let mut failed = 0usize;
     let mut feat = FeatureTotals::default();
+    let mut bwd = BackwardFacts::default();
+    let mut bwd_accepted = 0usize;
+    let mut bwd_rejected = 0usize;
     let mut counterexamples = Vec::new();
 
     for row in rows {
         let (plan, features) = match &row {
-            Row::Pass { plan, features, vacuous: v } => {
+            Row::Pass { plan, features, vacuous: v, backward } => {
                 passed += 1;
                 if *v {
                     vacuous += 1;
+                }
+                if let Some(facts) = backward {
+                    bwd_accepted += facts.accepted as usize;
+                    bwd_rejected += facts.rejected as usize;
+                    bwd.validated_fns += facts.validated_fns;
+                    bwd.skipped_fns += facts.skipped_fns;
+                    bwd.grid_points += facts.grid_points;
                 }
                 (plan.clone(), *features)
             }
@@ -274,6 +315,14 @@ fn assemble(cfg: &FuzzConfig, rows: Vec<Row>) -> FuzzOutcome {
     out.push_str(&mline);
     out.push('\n');
     out.push_str(&feat.render());
+    if cfg.backward {
+        let _ = writeln!(
+            out,
+            "backward: accepted={bwd_accepted} rejected={bwd_rejected} validated-fns={} \
+             skipped-fns={} grid-points={}",
+            bwd.validated_fns, bwd.skipped_fns, bwd.grid_points
+        );
+    }
     let _ = writeln!(out, "outcomes: passed={passed} vacuous-fault={vacuous} failed={failed}");
     let _ = writeln!(out, "counterexamples: {}", counterexamples.len());
     for cx in &counterexamples {

@@ -54,6 +54,10 @@ pub struct CasePlan {
     /// absolute-error instantiation needs `u·M` for a range bound `M`,
     /// which the generator computes from the program's ideal run.
     pub rnd_unit: Option<Rational>,
+    /// Whether the oracle should also exercise the backward (Bean-style)
+    /// analysis mode on this case. The generator always plans forward
+    /// cases; the campaign driver flips this for `fuzz --backward` runs.
+    pub backward: bool,
 }
 
 impl CasePlan {
@@ -63,7 +67,8 @@ impl CasePlan {
             Instantiation::RelativePrecision => "rp",
             Instantiation::AbsoluteError => "abs",
         };
-        format!("{inst} {} {}", self.format, self.mode)
+        let tail = if self.backward { " backward" } else { "" };
+        format!("{inst} {} {}{tail}", self.format, self.mode)
     }
 }
 
@@ -148,7 +153,15 @@ pub fn generate_case(master_seed: u64, index: usize) -> GeneratedCase {
     };
 
     GeneratedCase {
-        plan: CasePlan { index, case_seed: seed, instantiation, format, mode, rnd_unit },
+        plan: CasePlan {
+            index,
+            case_seed: seed,
+            instantiation,
+            format,
+            mode,
+            rnd_unit,
+            backward: false,
+        },
         program,
         expected_ideal,
     }

@@ -15,6 +15,10 @@
 //! * [`eval`] — an independent reference evaluator for the ideal
 //!   semantics (exact rationals), differentially compared against the
 //!   interpreter;
+//! * [`backward`] — the backward-stability lens behind `fuzz
+//!   --backward`: for every accepted function it constructs perturbed
+//!   inputs `x̃` with `f(x̃) = f̃(x)` exactly and certifies the
+//!   per-input distances against the typed backward grades;
 //! * [`mod@shrink`] — a greedy structural shrinker that minimizes failing
 //!   programs while preserving the failure kind, producing re-parsable
 //!   `.nf` reproducers;
@@ -32,14 +36,17 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod backward;
 pub mod driver;
 pub mod eval;
 pub mod gen;
 pub mod shrink;
 
 pub use ast::{Features, FuzzProgram};
+pub use backward::{validate_backward_fn, LensOutcome};
 pub use driver::{
-    run, CaseFailure, CasePass, Counterexample, FailureKind, FuzzConfig, FuzzOutcome, Oracle,
+    run, BackwardFacts, CaseFailure, CasePass, Counterexample, FailureKind, FuzzConfig,
+    FuzzOutcome, Oracle,
 };
 pub use gen::{case_seed, generate_case, CasePlan, GeneratedCase};
 pub use shrink::shrink;

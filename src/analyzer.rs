@@ -19,11 +19,13 @@
 use crate::diag::{Diagnostic, ErrorCode};
 use crate::program::Program;
 use numfuzz_analyzers::Kernel;
-use numfuzz_core::cache::{CacheKey, CacheStats, CacheWeight, ResultCache, StableHasher};
+use numfuzz_core::cache::{
+    AnalysisMode, CacheKey, CacheStats, CacheWeight, ConfigFingerprint, ResultCache,
+};
 use numfuzz_core::pool;
 use numfuzz_core::{
-    cache, infer, infer_in, CoreArena, FnReport, Grade, Inferred, Instantiation, Signature, Ty,
-    VarId,
+    cache, infer, infer_backward, infer_backward_in, infer_in, BackwardFnReport, BackwardInferred,
+    CoreArena, FnReport, Grade, Inferred, Instantiation, Signature, Ty, VarId,
 };
 use numfuzz_exact::Rational;
 use numfuzz_interp::{
@@ -62,9 +64,15 @@ pub struct Analyzer {
     /// Optional content-addressed result cache (see [`AnalysisCache`]).
     cache: Option<AnalysisCache>,
     /// Stable fingerprint of everything that can influence a result:
-    /// signature, format, mode, rounding unit, sqrt precision. Computed
-    /// once at build time; the config half of every cache key.
+    /// signature, format, mode, rounding unit, sqrt precision — under the
+    /// **forward** analysis mode. Computed once at build time; the config
+    /// half of every forward cache key.
     config_fp: u64,
+    /// The same configuration fingerprinted under the **backward**
+    /// analysis mode. Forward and backward results can never replay each
+    /// other: the mode is the first byte of the fingerprint
+    /// ([`AnalysisMode`]).
+    config_fp_backward: u64,
 }
 
 impl Default for Analyzer {
@@ -137,12 +145,22 @@ impl Analyzer {
         Analyzer { tys: CoreArena::new(), ..self.clone() }
     }
 
-    /// The full cache address of one (program, operation) pair.
+    /// The full cache address of one (program, operation) pair. The
+    /// operation byte selects the analysis mode's configuration
+    /// fingerprint, so forward and backward entries live in disjoint key
+    /// spaces by construction.
     fn cache_key(&self, program: &Program, op: u8) -> CacheKey {
-        let mut h = StableHasher::new();
-        h.write_u64(self.config_fp);
+        let config_fp = match op {
+            OP_CHECK_BACKWARD | OP_BOUND_BACKWARD => self.config_fp_backward,
+            _ => self.config_fp,
+        };
+        let mut h = ConfigFingerprint::new(match op {
+            OP_CHECK_BACKWARD | OP_BOUND_BACKWARD => AnalysisMode::Backward,
+            _ => AnalysisMode::Forward,
+        });
+        h.write_u64(config_fp);
         h.write_u8(op);
-        CacheKey { program: program.fingerprint(), config: h.finish64() }
+        CacheKey { program: program.fingerprint(), config: h.finish() }
     }
 
     /// The rounding mode of [`Analyzer::run`] / [`Analyzer::validate`].
@@ -570,6 +588,309 @@ impl Analyzer {
         }
     }
 
+    /// Type-checks a program under the **backward-error** judgment (the
+    /// Bean discipline): every linear variable must be consumed exactly
+    /// once, and the result reports one backward-error grade *per input*
+    /// instead of one forward grade on the output. A grade `r` on input
+    /// `x` means the computed result is the *exact* ideal result of some
+    /// perturbed input `x̃` within distance `r` of `x`.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    ///
+    /// let analyzer = Analyzer::new();
+    /// let program = analyzer.parse(
+    ///     "function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }",
+    /// )?;
+    /// let typed = analyzer.check_backward(&program)?;
+    /// let f = typed.function("mulfp").unwrap();
+    /// assert_eq!(f.inputs[0].0, "xy");
+    /// assert_eq!(f.inputs[0].1.to_string(), "eps");
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`Diagnostic`]: the shape errors of [`Analyzer::check`],
+    /// plus the backward-only `E05xx` family — [`ErrorCode::UnusedLinear`],
+    /// [`ErrorCode::DuplicatedUse`], [`ErrorCode::BackwardIncompatible`],
+    /// [`ErrorCode::NoCarrier`], [`ErrorCode::BranchSupport`].
+    pub fn check_backward(&self, program: &Program) -> Result<BackwardTyped, Diagnostic> {
+        self.ensure_instantiation(program)?;
+        let result = infer_backward(program.store(), &self.sig, program.root(), program.free())
+            .map_err(|e| Diagnostic::from_backward(&e, program.source(), program.name()))?;
+        Ok(BackwardTyped { root: result.root, fns: result.fns })
+    }
+
+    /// [`Analyzer::check_backward`] resolving annotations against `tys`
+    /// (an id-compatible deep clone), the backward analogue of
+    /// [`Analyzer::check_in`] for the sharded batch path.
+    fn check_backward_in(
+        &self,
+        program: &Program,
+        tys: &CoreArena,
+    ) -> Result<BackwardTyped, Diagnostic> {
+        self.ensure_instantiation(program)?;
+        let result =
+            infer_backward_in(program.store(), tys, &self.sig, program.root(), program.free())
+                .map_err(|e| Diagnostic::from_backward(&e, program.source(), program.name()))?;
+        Ok(BackwardTyped { root: result.root, fns: result.fns })
+    }
+
+    /// [`Analyzer::check_backward`] through the session's
+    /// [`AnalysisCache`]. Backward entries are keyed under the backward
+    /// configuration fingerprint ([`AnalysisMode`]), so a warm forward
+    /// entry can never replay for a backward request or vice versa.
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::check_backward`].
+    pub fn check_backward_cached(&self, program: &Program) -> Result<BackwardTyped, Diagnostic> {
+        let Some(cache) = &self.cache else { return self.check_backward(program) };
+        let key = self.cache_key(program, OP_CHECK_BACKWARD);
+        let display = program.display_fingerprint();
+        if let Some(CachedResult::BackwardCheck(hit, _)) = cache.get_admissible(&key, display) {
+            return localize(hit, program);
+        }
+        let result = self.check_backward(program);
+        cache.insert(key, CachedResult::BackwardCheck(strip_file(result.clone()), display));
+        result
+    }
+
+    /// Numeric per-input backward-error bounds of a backward-checked
+    /// program, with the rounding symbol at [`Analyzer::rounding_unit`]:
+    /// the backward analogue of [`Analyzer::bound`]. Infinite grades stay
+    /// symbolic (`alpha: None`) — they mean "no finite backward bound for
+    /// this input", not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnresolvedGrade`] when a finite input grade mentions
+    /// symbols other than the rounding symbol.
+    pub fn bound_backward(&self, typed: &BackwardTyped) -> Result<BackwardBound, Diagnostic> {
+        let unit = self.rounding_unit();
+        let symbol = self.rnd_symbol();
+        let symbols = |s: &str| (s == symbol).then(|| unit.clone());
+        let root = self.backward_input_bounds(typed.inputs(), &symbols)?;
+        let fns = typed
+            .functions()
+            .iter()
+            .map(|f| {
+                Ok(FnBackwardBound {
+                    name: f.name.clone(),
+                    inputs: self.backward_input_bounds(&f.inputs, &symbols)?,
+                })
+            })
+            .collect::<Result<Vec<_>, Diagnostic>>()?;
+        Ok(BackwardBound { root, fns, instantiation: self.sig.instantiation() })
+    }
+
+    fn backward_input_bounds(
+        &self,
+        inputs: &[(String, Grade)],
+        symbols: &dyn Fn(&str) -> Option<Rational>,
+    ) -> Result<Vec<InputBackwardBound>, Diagnostic> {
+        inputs
+            .iter()
+            .map(|(name, grade)| {
+                if grade.is_infinite() {
+                    return Ok(InputBackwardBound {
+                        name: name.clone(),
+                        grade: grade.clone(),
+                        alpha: None,
+                        relative: None,
+                    });
+                }
+                let alpha = grade.eval(symbols).ok_or_else(|| {
+                    Diagnostic::new(
+                        ErrorCode::UnresolvedGrade,
+                        format!("grade `{grade}` has symbols without assigned values"),
+                    )
+                    .with_note(
+                        "only the rounding symbol is assigned when evaluating backward bounds",
+                    )
+                })?;
+                let relative = match self.sig.instantiation() {
+                    Instantiation::RelativePrecision => rp_to_rel_bound(&alpha),
+                    Instantiation::AbsoluteError => Some(alpha.clone()),
+                };
+                Ok(InputBackwardBound {
+                    name: name.clone(),
+                    grade: grade.clone(),
+                    alpha: Some(alpha),
+                    relative,
+                })
+            })
+            .collect()
+    }
+
+    /// [`Analyzer::check_backward`] + [`Analyzer::bound_backward`] through
+    /// the session's [`AnalysisCache`] (separately keyed from
+    /// [`Analyzer::check_backward_cached`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::check_backward`] and [`Analyzer::bound_backward`].
+    pub fn bound_backward_cached(&self, program: &Program) -> Result<BackwardBound, Diagnostic> {
+        let Some(cache) = &self.cache else {
+            let typed = self.check_backward(program)?;
+            return self.bound_backward(&typed);
+        };
+        let key = self.cache_key(program, OP_BOUND_BACKWARD);
+        let display = program.display_fingerprint();
+        if let Some(CachedResult::BackwardBound(hit, _)) = cache.get_admissible(&key, display) {
+            return localize(hit, program);
+        }
+        let result =
+            self.check_backward_cached(program).and_then(|typed| self.bound_backward(&typed));
+        cache.insert(key, CachedResult::BackwardBound(strip_file(result.clone()), display));
+        result
+    }
+
+    /// Backward-checks a batch of programs: [`Analyzer::check_all`] for
+    /// the backward judgment, on the session's configured worker count.
+    /// Output is identical for every job count.
+    pub fn check_all_backward(
+        &self,
+        programs: &[Program],
+    ) -> Vec<Result<BackwardTyped, Diagnostic>> {
+        self.check_backward_batch_parallel(programs, self.jobs)
+    }
+
+    /// [`Analyzer::check_all_backward`] with an explicit worker count
+    /// (`0` = one worker per available core). Shards contended arenas
+    /// exactly like [`Analyzer::check_batch_parallel`].
+    pub fn check_backward_batch_parallel(
+        &self,
+        programs: &[Program],
+        jobs: usize,
+    ) -> Vec<Result<BackwardTyped, Diagnostic>> {
+        self.check_backward_batch_sharded(programs, jobs).0
+    }
+
+    /// [`Analyzer::check_backward_batch_parallel`] plus per-shard
+    /// accounting — the backward analogue of
+    /// [`Analyzer::check_batch_sharded`].
+    pub fn check_backward_batch_sharded(
+        &self,
+        programs: &[Program],
+        jobs: usize,
+    ) -> (Vec<Result<BackwardTyped, Diagnostic>>, Vec<ShardReport>) {
+        let refs: Vec<&Program> = programs.iter().collect();
+        match &self.cache {
+            None => self.backward_batch_refs(&refs, jobs),
+            Some(cache) => self.backward_batch_cached(&refs, jobs, cache),
+        }
+    }
+
+    /// The cached backward batch path: the algorithm of
+    /// [`Analyzer::check_batch_cached`], keyed under
+    /// `OP_CHECK_BACKWARD`.
+    fn backward_batch_cached(
+        &self,
+        programs: &[&Program],
+        jobs: usize,
+        cache: &AnalysisCache,
+    ) -> (Vec<Result<BackwardTyped, Diagnostic>>, Vec<ShardReport>) {
+        let mut results: Vec<Option<Result<BackwardTyped, Diagnostic>>> =
+            programs.iter().map(|_| None).collect();
+        let mut owner: HashMap<(CacheKey, u128), usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        for (i, p) in programs.iter().enumerate() {
+            let key = self.cache_key(p, OP_CHECK_BACKWARD);
+            let display = p.display_fingerprint();
+            if let Some(&u) = owner.get(&(key, display)) {
+                pending.push((i, u));
+                continue;
+            }
+            if let Some(CachedResult::BackwardCheck(hit, _)) = cache.get_admissible(&key, display) {
+                results[i] = Some(localize(hit, p));
+            } else {
+                owner.insert((key, display), unique.len());
+                pending.push((i, unique.len()));
+                unique.push(i);
+            }
+        }
+
+        let to_check: Vec<&Program> = unique.iter().map(|&i| programs[i]).collect();
+        let (checked, shards) = if to_check.is_empty() {
+            (Vec::new(), vec![ShardReport { shard: 0, programs: 0, busy: Duration::ZERO }])
+        } else {
+            self.backward_batch_refs(&to_check, jobs)
+        };
+        for (u, result) in checked.iter().enumerate() {
+            let p = programs[unique[u]];
+            let key = self.cache_key(p, OP_CHECK_BACKWARD);
+            cache.insert(
+                key,
+                CachedResult::BackwardCheck(strip_file(result.clone()), p.display_fingerprint()),
+            );
+        }
+        for (i, u) in pending {
+            results[i] = Some(localize(strip_file(checked[u].clone()), programs[i]));
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every input index is a hit, an owner, or a duplicate"))
+            .collect();
+        (results, shards)
+    }
+
+    /// The uncached sharded backward engine (arena-sharding strategy of
+    /// [`Analyzer::check_batch_refs`]).
+    fn backward_batch_refs(
+        &self,
+        programs: &[&Program],
+        jobs: usize,
+    ) -> (Vec<Result<BackwardTyped, Diagnostic>>, Vec<ShardReport>) {
+        let jobs = pool::effective_jobs(jobs, programs.len());
+        if jobs <= 1 {
+            let t0 = Instant::now();
+            let results = programs.iter().map(|p| self.check_backward(p)).collect();
+            let report = ShardReport { shard: 0, programs: programs.len(), busy: t0.elapsed() };
+            return (results, vec![report]);
+        }
+
+        let mut uses: HashMap<usize, usize> = HashMap::new();
+        for p in programs {
+            *uses.entry(p.arena().token()).or_default() += 1;
+        }
+        let contended: HashSet<usize> =
+            uses.into_iter().filter(|&(_, n)| n > 1).map(|(t, _)| t).collect();
+
+        struct Shard {
+            clones: HashMap<usize, CoreArena>,
+            checked: usize,
+            busy: Duration,
+        }
+        let (results, shards) = pool::ordered_map_with(
+            jobs,
+            programs,
+            |_worker| Shard { clones: HashMap::new(), checked: 0, busy: Duration::ZERO },
+            |shard, _i, program| {
+                let t0 = Instant::now();
+                let token = program.arena().token();
+                let result = if contended.contains(&token) {
+                    let arena =
+                        shard.clones.entry(token).or_insert_with(|| program.arena().deep_clone());
+                    self.check_backward_in(program, arena)
+                } else {
+                    self.check_backward(program)
+                };
+                shard.checked += 1;
+                shard.busy += t0.elapsed();
+                result
+            },
+        );
+        let reports = shards
+            .into_iter()
+            .enumerate()
+            .map(|(shard, s)| ShardReport { shard, programs: s.checked, busy: s.busy })
+            .collect();
+        (results, reports)
+    }
+
     /// Runs both semantics: the ideal one (`rnd` = identity) and the
     /// floating-point one in this session's format/mode (§7.1 faulting
     /// semantics). When the program's type is `M[r]num`, the execution
@@ -816,8 +1137,22 @@ impl AnalyzerBuilder {
             Instantiation::RelativePrecision => Signature::relative_precision(),
             Instantiation::AbsoluteError => Signature::absolute_error(),
         });
-        let config_fp =
-            config_fingerprint(&sig, self.format, self.mode, &self.rnd_unit, self.sqrt_bits);
+        let config_fp = config_fingerprint(
+            AnalysisMode::Forward,
+            &sig,
+            self.format,
+            self.mode,
+            &self.rnd_unit,
+            self.sqrt_bits,
+        );
+        let config_fp_backward = config_fingerprint(
+            AnalysisMode::Backward,
+            &sig,
+            self.format,
+            self.mode,
+            &self.rnd_unit,
+            self.sqrt_bits,
+        );
         Analyzer {
             sig,
             format: self.format,
@@ -828,21 +1163,26 @@ impl AnalyzerBuilder {
             tys: CoreArena::new(),
             cache: self.cache,
             config_fp,
+            config_fp_backward,
         }
     }
 }
 
 /// The configuration half of a cache key: a stable hash of everything
-/// about a session that can influence a check/bound outcome. Parallelism
-/// (`jobs`) is deliberately excluded — it changes wall time, not results.
+/// about a session that can influence a check/bound outcome. The analysis
+/// mode is absorbed first ([`ConfigFingerprint`]), so forward and backward
+/// results for an otherwise identical configuration can never replay each
+/// other. Parallelism (`jobs`) is deliberately excluded — it changes wall
+/// time, not results.
 fn config_fingerprint(
+    analysis: AnalysisMode,
     sig: &Signature,
     format: Format,
     mode: RoundingMode,
     rnd_unit: &Option<Rational>,
     sqrt_bits: u32,
 ) -> u64 {
-    let mut h = StableHasher::new();
+    let mut h = ConfigFingerprint::new(analysis);
     h.write_u8(match sig.instantiation() {
         Instantiation::RelativePrecision => 0,
         Instantiation::AbsoluteError => 1,
@@ -861,13 +1201,17 @@ fn config_fingerprint(
     // format default keys identically to the default.
     h.write_str(&rnd_unit.clone().unwrap_or_else(|| format.unit_roundoff(mode)).to_string());
     h.write_u32(sqrt_bits);
-    h.finish64()
+    h.finish()
 }
 
 /// Operation discriminators mixed into the config half of a cache key, so
 /// a check outcome and a bound outcome for the same program never alias.
+/// Backward operations additionally key on the backward configuration
+/// fingerprint (see [`Analyzer::cache_key`]).
 const OP_CHECK: u8 = 1;
 const OP_BOUND: u8 = 2;
+const OP_CHECK_BACKWARD: u8 = 3;
+const OP_BOUND_BACKWARD: u8 = 4;
 
 /// One memoized analysis outcome (the value type of [`AnalysisCache`]),
 /// tagged with the [`Program::display_fingerprint`] of the program that
@@ -883,6 +1227,8 @@ const OP_BOUND: u8 = 2;
 enum CachedResult {
     Check(Result<Typed, Diagnostic>, u128),
     Bound(Result<ErrorBound, Diagnostic>, u128),
+    BackwardCheck(Result<BackwardTyped, Diagnostic>, u128),
+    BackwardBound(Result<BackwardBound, Diagnostic>, u128),
 }
 
 impl CachedResult {
@@ -890,8 +1236,14 @@ impl CachedResult {
     /// display fingerprint.
     fn admissible_for(&self, display: u128) -> bool {
         match self {
-            CachedResult::Check(Ok(_), _) | CachedResult::Bound(Ok(_), _) => true,
-            CachedResult::Check(Err(_), d) | CachedResult::Bound(Err(_), d) => *d == display,
+            CachedResult::Check(Ok(_), _)
+            | CachedResult::Bound(Ok(_), _)
+            | CachedResult::BackwardCheck(Ok(_), _)
+            | CachedResult::BackwardBound(Ok(_), _) => true,
+            CachedResult::Check(Err(_), d)
+            | CachedResult::Bound(Err(_), d)
+            | CachedResult::BackwardCheck(Err(_), d)
+            | CachedResult::BackwardBound(Err(_), d) => *d == display,
         }
     }
 }
@@ -928,9 +1280,34 @@ impl CacheWeight for CachedResult {
                         .sum::<usize>()
             }
             CachedResult::Bound(Ok(bound), _) => 128 + bound.grade.to_string().len(),
-            CachedResult::Check(Err(d), _) | CachedResult::Bound(Err(d), _) => diag_weight(d),
+            CachedResult::BackwardCheck(Ok(typed), _) => {
+                64 + ty_weight(typed.ty())
+                    + backward_inputs_weight(typed.inputs())
+                    + typed
+                        .functions()
+                        .iter()
+                        .map(|f| {
+                            48 + f.name.len()
+                                + ty_weight(&f.assigned)
+                                + backward_inputs_weight(&f.inputs)
+                        })
+                        .sum::<usize>()
+            }
+            CachedResult::BackwardBound(Ok(bound), _) => {
+                64 + (bound.root.len() + bound.fns.iter().map(|f| f.inputs.len()).sum::<usize>())
+                    * 128
+            }
+            CachedResult::Check(Err(d), _)
+            | CachedResult::Bound(Err(d), _)
+            | CachedResult::BackwardCheck(Err(d), _)
+            | CachedResult::BackwardBound(Err(d), _) => diag_weight(d),
         }
     }
+}
+
+/// Rough heap footprint of a per-input grade list.
+fn backward_inputs_weight(inputs: &[(String, Grade)]) -> usize {
+    inputs.iter().map(|(n, g)| 48 + n.len() + g.to_string().len()).sum()
 }
 
 /// A shareable, thread-safe, content-addressed cache of analysis results,
@@ -1068,6 +1445,91 @@ impl Typed {
     pub fn function(&self, name: &str) -> Option<&FnReport> {
         self.fns.iter().rev().find(|f| f.name == name)
     }
+}
+
+/// A successfully **backward**-checked program: the root judgment's
+/// per-input backward-error grades plus per-`function` reports, produced
+/// by [`Analyzer::check_backward`]. The backward analogue of [`Typed`].
+#[derive(Clone, Debug)]
+pub struct BackwardTyped {
+    root: BackwardInferred,
+    fns: Vec<BackwardFnReport>,
+}
+
+impl BackwardTyped {
+    /// The root term's type (same shapes as forward inference).
+    pub fn ty(&self) -> &Ty {
+        &self.root.ty
+    }
+
+    /// The root judgment (per-input grades and type).
+    pub fn root(&self) -> &BackwardInferred {
+        &self.root
+    }
+
+    /// Per-input backward-error grades of the root term, in binding
+    /// order: the computed result is the exact ideal result of inputs
+    /// perturbed within these distances.
+    pub fn inputs(&self) -> &[(String, Grade)] {
+        &self.root.inputs
+    }
+
+    /// One report per `function` definition, in source order.
+    pub fn functions(&self) -> &[BackwardFnReport] {
+        &self.fns
+    }
+
+    /// Looks up a function report by name (last definition wins).
+    pub fn function(&self, name: &str) -> Option<&BackwardFnReport> {
+        self.fns.iter().rev().find(|f| f.name == name)
+    }
+}
+
+/// Numeric per-input backward-error bounds of a whole program, produced
+/// by [`Analyzer::bound_backward`]: the backward analogue of
+/// [`ErrorBound`], with one bound per input instead of one on the output.
+#[derive(Clone, Debug)]
+pub struct BackwardBound {
+    /// Bounds for the root term's inputs, in binding order.
+    pub root: Vec<InputBackwardBound>,
+    /// Bounds for each `function` definition's parameters, in source
+    /// order.
+    pub fns: Vec<FnBackwardBound>,
+    /// Which metric the bounds are stated in.
+    pub instantiation: Instantiation,
+}
+
+impl BackwardBound {
+    /// Looks up a function's bounds by name (last definition wins).
+    pub fn function(&self, name: &str) -> Option<&FnBackwardBound> {
+        self.fns.iter().rev().find(|f| f.name == name)
+    }
+}
+
+/// Per-parameter backward bounds of one `function` definition.
+#[derive(Clone, Debug)]
+pub struct FnBackwardBound {
+    /// The function's name.
+    pub name: String,
+    /// One bound per named parameter, in parameter order.
+    pub inputs: Vec<InputBackwardBound>,
+}
+
+/// The backward-error bound on one input: how far the exhibited perturbed
+/// input x̃ may lie from the actual input x.
+#[derive(Clone, Debug)]
+pub struct InputBackwardBound {
+    /// The input's surface name.
+    pub name: String,
+    /// The exact symbolic grade (e.g. `2*eps`).
+    pub grade: Grade,
+    /// The grade with the rounding symbol substituted; `None` when the
+    /// grade is infinite (no finite backward bound for this input).
+    pub alpha: Option<Rational>,
+    /// For the RP instantiation, the relative perturbation bound
+    /// `e^α - 1` rounded up (eq. 8); for the absolute instantiation,
+    /// `alpha` itself. `None` when `alpha` is `None` or too large.
+    pub relative: Option<Rational>,
 }
 
 /// An eq. (8) rounding-error bound read off a checked type.

@@ -3,8 +3,12 @@
 //!
 //! ```text
 //! numfuzz check FILE [options]       type-check a Λnum program
+//!     --backward     backward-error mode: Bean's strictly linear
+//!                    judgment, one backward-error grade per input
 //! numfuzz bound FILE [options]       print the eq. (8) error bound of
-//!                                    every function (and the program)
+//!                                    every function (and the program);
+//!                                    with --backward, the numeric
+//!                                    per-input backward bounds
 //! numfuzz run   FILE [options]       run ideal + floating-point
 //!                                    semantics and verify the bound
 //! numfuzz batch DIR [options]        check + bound every .nf file under
@@ -98,15 +102,20 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
     let (cmd, rest) = args.split_first().ok_or_else(|| Failure::Usage("missing command".into()))?;
     match cmd.as_str() {
         "check" => {
-            let (program, analyzer) = load(rest)?;
-            check(&program, &analyzer)
+            let (program, analyzer, backward) = load(rest)?;
+            check(&program, &analyzer, backward)
         }
         "bound" => {
-            let (program, analyzer) = load(rest)?;
-            bound(&program, &analyzer)
+            let (program, analyzer, backward) = load(rest)?;
+            bound(&program, &analyzer, backward)
         }
         "run" => {
-            let (program, analyzer) = load(rest)?;
+            let (program, analyzer, backward) = load(rest)?;
+            if backward {
+                return Err(Failure::Usage(
+                    "`run` has no --backward mode (the backward judgment is static)".into(),
+                ));
+            }
             run(&program, &analyzer)
         }
         "batch" => batch(rest),
@@ -123,12 +132,13 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
 }
 
 fn usage() -> String {
-    "usage: numfuzz <check|bound|run> FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
-     \x20      numfuzz batch DIR [--jobs N] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
+    "usage: numfuzz <check|bound> FILE [--backward] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
+     \x20      numfuzz run FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
+     \x20      numfuzz batch DIR [--backward] [--jobs N] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
      \x20      numfuzz serve [--listen ADDR] [--jobs N] [--cache-bytes N] [--prec P] [--emax E] [--mode M] [--abs]\n\
      \x20      numfuzz client --connect HOST:PORT [--retry SECONDS]\n\
      \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE] [--gate FILE] [--tolerance P]\n\
-     \x20      numfuzz fuzz [--cases N] [--seed S] [--jobs N] [--repro PREFIX]"
+     \x20      numfuzz fuzz [--backward] [--cases N] [--seed S] [--jobs N] [--repro PREFIX]"
         .to_string()
 }
 
@@ -162,6 +172,11 @@ fn serve(rest: &[String]) -> Result<(), Failure> {
         }
     }
     let (opts, jobs) = parse_opts_with_jobs(&passthrough).map_err(Failure::Usage)?;
+    if opts.backward {
+        return Err(Failure::Usage(
+            "serve has no --backward flag; set \"mode\": \"backward\" per request instead".into(),
+        ));
+    }
     let jobs = jobs.unwrap_or(0); // serve defaults to one worker per core
     let analyzer = Analyzer::builder()
         .signature(opts.instantiation)
@@ -242,6 +257,7 @@ fn fuzz(rest: &[String]) -> Result<(), Failure> {
                     .map_err(Failure::Usage)?
             }
             "--repro" => repro_prefix = value("--repro").map_err(Failure::Usage)?,
+            "--backward" => cfg.backward = true,
             other => return Err(Failure::Usage(format!("unknown option `{other}`"))),
         }
     }
@@ -298,7 +314,7 @@ fn batch(rest: &[String]) -> Result<(), Failure> {
                 .mode(opts.mode)
                 .build()
         },
-        |analyzer, _i, path| batch_one(analyzer, path),
+        |analyzer, _i, path| batch_one(analyzer, path, opts.backward),
     );
 
     let mut ok = 0usize;
@@ -348,10 +364,18 @@ fn parse_opts_with_jobs(rest: &[String]) -> Result<(Opts, Option<usize>), String
 /// false))` for a program error, `Err(message)` for an I/O failure.
 /// The rendering is shared with the `serve` protocol's `batch` op
 /// ([`numfuzz::serve::batch_entry`]).
-fn batch_one(analyzer: &mut Analyzer, path: &std::path::Path) -> Result<(String, bool), String> {
+fn batch_one(
+    analyzer: &mut Analyzer,
+    path: &std::path::Path,
+    backward: bool,
+) -> Result<(String, bool), String> {
     let shown = path.display().to_string();
     let src = std::fs::read_to_string(path).map_err(|e| format!("{shown}: {e}"))?;
-    Ok(numfuzz::serve::batch_entry(analyzer, &shown, &src))
+    Ok(if backward {
+        numfuzz::serve::backward_batch_entry(analyzer, &shown, &src)
+    } else {
+        numfuzz::serve::batch_entry(analyzer, &shown, &src)
+    })
 }
 
 /// Recursively collects `.nf` files under `dir`.
@@ -544,6 +568,97 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     }
     let cache_stats = cache.stats();
 
+    // The backward-mode measurement: the same corpus through the Bean
+    // judgment (check_backward + bound_backward). Most forward corpus
+    // programs reuse variables and are *rejected* backward — rejections
+    // are part of the measured work and of the byte-identity comparison.
+    let mut bwd_best = f64::INFINITY;
+    let mut bwd_serial: Vec<Result<BackwardTyped, Diagnostic>> = Vec::new();
+    for timed in 0..=iters {
+        let t0 = std::time::Instant::now();
+        let mut pass = Vec::with_capacity(corpus.len());
+        for program in &corpus {
+            let typed = analyzer.check_backward(program);
+            if let Ok(t) = &typed {
+                let _ = analyzer.bound_backward(t);
+            }
+            pass.push(typed);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if timed > 0 && dt < bwd_best {
+            bwd_best = dt;
+        }
+        bwd_serial = pass;
+    }
+    let bwd_rendered: Vec<String> = bwd_serial.iter().map(render_backward).collect();
+
+    let bwd_parallel = (jobs > 1)
+        .then(|| {
+            let mut p_best = f64::INFINITY;
+            let mut p_results: Vec<Result<BackwardTyped, Diagnostic>> = Vec::new();
+            for _ in 0..iters {
+                let t0 = std::time::Instant::now();
+                let (results, _) = analyzer.check_backward_batch_sharded(&corpus, jobs);
+                for typed in results.iter().flatten() {
+                    let _ = analyzer.bound_backward(typed);
+                }
+                let dt = t0.elapsed().as_secs_f64();
+                if dt < p_best {
+                    p_best = dt;
+                }
+                p_results = results;
+            }
+            let rendered: Vec<String> = p_results.iter().map(render_backward).collect();
+            if rendered != bwd_rendered {
+                return Err(Failure::Usage(
+                    "parallel backward results differ from serial results (engine bug)".into(),
+                ));
+            }
+            Ok(p_best)
+        })
+        .transpose()?;
+
+    // Backward warm-cache profile, on its own cache so the counters are
+    // purely backward traffic (forward and backward keys are disjoint
+    // either way — the mode is part of the config fingerprint).
+    let bwd_cache = AnalysisCache::with_budget(256 << 20);
+    let bwd_cached_analyzer = Analyzer::builder().cache(bwd_cache.clone()).build();
+    let t0 = std::time::Instant::now();
+    let mut bwd_cold_results: Vec<Result<BackwardTyped, Diagnostic>> =
+        Vec::with_capacity(corpus.len());
+    for program in &corpus {
+        let typed = bwd_cached_analyzer.check_backward_cached(program);
+        let _ = bwd_cached_analyzer.bound_backward_cached(program);
+        bwd_cold_results.push(typed);
+    }
+    let bwd_cache_cold = t0.elapsed().as_secs_f64();
+    let mut bwd_cache_warm = f64::INFINITY;
+    let mut bwd_warm_results: Vec<Result<BackwardTyped, Diagnostic>> = Vec::new();
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        let mut pass = Vec::with_capacity(corpus.len());
+        for program in &corpus {
+            let typed = bwd_cached_analyzer.check_backward_cached(program);
+            let _ = bwd_cached_analyzer.bound_backward_cached(program);
+            pass.push(typed);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < bwd_cache_warm {
+            bwd_cache_warm = dt;
+        }
+        bwd_warm_results = pass;
+    }
+    for (label, results) in [("cold", &bwd_cold_results), ("warm", &bwd_warm_results)] {
+        let rendered: Vec<String> = results.iter().map(render_backward).collect();
+        if rendered != bwd_rendered {
+            return Err(Failure::Usage(format!(
+                "{label} cached backward results differ from uncached results (cache bug)"
+            )));
+        }
+    }
+    let bwd_cache_stats = bwd_cache.stats();
+    let bwd_ok = bwd_serial.iter().filter(|r| r.is_ok()).count();
+
     let checks_per_sec = corpus.len() as f64 / best;
     let nodes_per_sec = total_nodes as f64 / best;
     // The speedup compares wall time for the identically constructed
@@ -615,6 +730,31 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     json.push_str(&format!("    \"misses\": {},\n", cache_stats.misses));
     json.push_str(&format!("    \"entries\": {},\n", cache_stats.entries));
     json.push_str("    \"matches_serial\": true\n  }");
+    // The backward section comes after every top-level forward key:
+    // `extract_json_number` reads first occurrences, so gates/baselines
+    // keep comparing forward throughput.
+    json.push_str(",\n  \"backward\": {\n");
+    json.push_str(&format!("    \"programs_accepted\": {bwd_ok},\n"));
+    json.push_str(&format!("    \"best_pass_seconds\": {bwd_best:.6},\n"));
+    json.push_str(&format!("    \"checks_per_sec\": {:.2}", corpus.len() as f64 / bwd_best));
+    if let Some(p_best) = bwd_parallel {
+        json.push_str(",\n    \"parallel\": {\n");
+        json.push_str(&format!("      \"jobs\": {jobs},\n"));
+        json.push_str(&format!("      \"best_pass_seconds\": {p_best:.6},\n"));
+        json.push_str(&format!("      \"speedup_vs_serial\": {:.2},\n", bwd_best / p_best));
+        json.push_str("      \"matches_serial\": true\n    }");
+    }
+    json.push_str(",\n    \"cache\": {\n");
+    json.push_str(&format!("      \"cold_pass_seconds\": {bwd_cache_cold:.6},\n"));
+    json.push_str(&format!("      \"warm_pass_seconds\": {bwd_cache_warm:.6},\n"));
+    json.push_str(&format!(
+        "      \"warm_speedup_vs_cold\": {:.2},\n",
+        bwd_cache_cold / bwd_cache_warm
+    ));
+    json.push_str(&format!("      \"hits\": {},\n", bwd_cache_stats.hits));
+    json.push_str(&format!("      \"misses\": {},\n", bwd_cache_stats.misses));
+    json.push_str(&format!("      \"entries\": {},\n", bwd_cache_stats.entries));
+    json.push_str("      \"matches_serial\": true\n    }\n  }");
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json)
         .map_err(|e| Failure::Usage(format!("{}: {e}", out_path.display())))?;
@@ -656,6 +796,17 @@ fn render_check(analyzer: &Analyzer, result: &Result<Typed, Diagnostic>) -> Stri
     }
 }
 
+/// Renders one backward corpus result identically for the serial,
+/// parallel, and cached bench passes: the full backward check report, or
+/// the rendered diagnostic (backward rejections are expected for most of
+/// the forward corpus and compare byte-for-byte like any other output).
+fn render_backward(result: &Result<BackwardTyped, Diagnostic>) -> String {
+    match result {
+        Ok(typed) => numfuzz::serve::backward_check_report(typed),
+        Err(d) => d.render(),
+    }
+}
+
 /// Pulls `"key": <number>` out of a report produced by [`bench`] (the
 /// format is our own, so a full JSON parser is not needed).
 fn extract_json_number(text: &str, key: &str) -> Option<f64> {
@@ -666,8 +817,9 @@ fn extract_json_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Parses options, reads the file, and builds the session.
-fn load(rest: &[String]) -> Result<(Program, Analyzer), Failure> {
+/// Parses options, reads the file, and builds the session. The third
+/// element is the `--backward` flag.
+fn load(rest: &[String]) -> Result<(Program, Analyzer, bool), Failure> {
     let file = rest.first().ok_or_else(|| Failure::Usage("missing FILE argument".into()))?;
     let opts = parse_opts(&rest[1..]).map_err(Failure::Usage)?;
     let src = std::fs::read_to_string(file).map_err(|e| Failure::Usage(format!("{file}: {e}")))?;
@@ -677,13 +829,16 @@ fn load(rest: &[String]) -> Result<(Program, Analyzer), Failure> {
         .mode(opts.mode)
         .build();
     let program = analyzer.parse_named(file, &src)?;
-    Ok((program, analyzer))
+    Ok((program, analyzer, opts.backward))
 }
 
 struct Opts {
     format: Format,
     mode: RoundingMode,
     instantiation: Instantiation,
+    /// Backward-error analysis mode (`--backward`): Bean's strictly
+    /// linear judgment with per-input backward bounds.
+    backward: bool,
 }
 
 fn parse_opts(rest: &[String]) -> Result<Opts, String> {
@@ -691,6 +846,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
     let mut emax = 1023i64;
     let mut mode = RoundingMode::TowardPositive;
     let mut instantiation = Instantiation::RelativePrecision;
+    let mut backward = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value =
@@ -708,25 +864,40 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
                 }
             }
             "--abs" => instantiation = Instantiation::AbsoluteError,
+            "--backward" => backward = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    Ok(Opts { format: Format::new(prec, emax), mode, instantiation })
+    Ok(Opts { format: Format::new(prec, emax), mode, instantiation, backward })
 }
 
 /// `numfuzz check`: every function's inferred type, plus the program's.
 /// The output text is shared with the `serve` protocol's `check` op
-/// ([`numfuzz::serve::check_report`]), byte for byte.
-fn check(program: &Program, analyzer: &Analyzer) -> Result<(), Failure> {
+/// ([`numfuzz::serve::check_report`] — with `--backward`,
+/// [`numfuzz::serve::backward_check_report`]), byte for byte.
+fn check(program: &Program, analyzer: &Analyzer, backward: bool) -> Result<(), Failure> {
+    if backward {
+        let typed = analyzer.check_backward(program)?;
+        print!("{}", numfuzz::serve::backward_check_report(&typed));
+        return Ok(());
+    }
     let typed = analyzer.check(program)?;
     print!("{}", numfuzz::serve::check_report(&typed));
     Ok(())
 }
 
 /// `numfuzz bound`: the eq. (8) error bound for every function and for
-/// the program, in the session's format/mode. Output shared with the
-/// `serve` protocol's `bound` op ([`numfuzz::serve::bound_report`]).
-fn bound(program: &Program, analyzer: &Analyzer) -> Result<(), Failure> {
+/// the program, in the session's format/mode — with `--backward`, the
+/// numeric per-input backward bounds instead. Output shared with the
+/// `serve` protocol's `bound` op ([`numfuzz::serve::bound_report`] /
+/// [`numfuzz::serve::backward_bound_report`]).
+fn bound(program: &Program, analyzer: &Analyzer, backward: bool) -> Result<(), Failure> {
+    if backward {
+        let typed = analyzer.check_backward(program)?;
+        let bound = analyzer.bound_backward(&typed)?;
+        print!("{}", numfuzz::serve::backward_bound_report(analyzer, &bound));
+        return Ok(());
+    }
     let typed = analyzer.check(program)?;
     print!("{}", numfuzz::serve::bound_report(analyzer, &typed));
     Ok(())

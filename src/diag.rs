@@ -8,7 +8,7 @@
 //! replaces the `SyntaxError` / `CheckError` / `Box<dyn Error>` soup the
 //! pre-0.2 free functions exposed.
 
-use numfuzz_core::{CheckError, SyntaxError};
+use numfuzz_core::{BackwardError, CheckError, SyntaxError};
 use numfuzz_interp::{EvalError, SoundnessError};
 use std::fmt;
 
@@ -23,7 +23,8 @@ pub struct Span {
 
 /// Stable error codes, grouped by pipeline stage:
 /// `E00xx` syntax/lowering, `E01xx` type checking, `E02xx`
-/// evaluation/validation, `E03xx` API usage (inputs, translation).
+/// evaluation/validation, `E03xx` API usage (inputs, translation),
+/// `E05xx` backward-mode analysis (Bean's linearity discipline).
 ///
 /// # Catalog
 ///
@@ -48,6 +49,11 @@ pub struct Span {
 /// | `E0301` | [`ErrorCode::BadInput`] | inputs |
 /// | `E0302` | [`ErrorCode::Untranslatable`] | kernel import |
 /// | `E0303` | [`ErrorCode::SignatureMismatch`] | session misuse |
+/// | `E0501` | [`ErrorCode::UnusedLinear`] | backward check |
+/// | `E0502` | [`ErrorCode::DuplicatedUse`] | backward check |
+/// | `E0503` | [`ErrorCode::BackwardIncompatible`] | backward check |
+/// | `E0504` | [`ErrorCode::NoCarrier`] | backward check |
+/// | `E0505` | [`ErrorCode::BranchSupport`] | backward check |
 ///
 /// Every variant's documentation below carries a compiled example that
 /// actually triggers it (except `E0204`, which by the soundness theorem
@@ -284,6 +290,69 @@ pub enum ErrorCode {
     /// # Ok::<(), numfuzz::Diagnostic>(())
     /// ```
     SignatureMismatch,
+    /// `E0501` — backward mode: a linear binder is never consumed. Bean
+    /// rejects weakening on data — an unconsumed input would have no
+    /// backward error bound, breaking the per-input guarantee.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let err = analyzer.check_backward(&analyzer.parse("function f (x: num) : num { 2 }")?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::UnusedLinear);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
+    UnusedLinear,
+    /// `E0502` — backward mode: a linear variable is consumed more than
+    /// once. General contraction is exactly what backward error cannot
+    /// cross: two uses would each demand their own perturbation of the
+    /// same input.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let src = "function f (x: num) : M[eps]num { rnd (mul (x, x)) }";
+    /// let err = analyzer.check_backward(&analyzer.parse(src)?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::DuplicatedUse);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
+    DuplicatedUse,
+    /// `E0503` — backward mode: a construct with no backward-error
+    /// interpretation (`!`-introduction/elimination, Cartesian
+    /// projections, first-class function application, `err`).
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let err = analyzer.check_backward(&analyzer.parse("fst (|1, 2|)")?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::BackwardIncompatible);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
+    BackwardIncompatible,
+    /// `E0504` — backward mode: rounding error arises over a context with
+    /// no linear variable to carry it (e.g. `rnd` over constants) — the
+    /// committed error cannot be attributed to any input.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let err = analyzer.check_backward(&analyzer.parse("rnd 1.5")?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::NoCarrier);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
+    NoCarrier,
+    /// `E0505` — backward mode: `case` (or `if`) branches consume
+    /// different linear variables; either branch may run, so both must
+    /// consume the same context.
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    /// let analyzer = Analyzer::new();
+    /// let src = "function h (x: num) (y: num) : num { c = is_pos x; if c then y else 0 }";
+    /// let err = analyzer.check_backward(&analyzer.parse(src)?).unwrap_err();
+    /// assert_eq!(err.code, ErrorCode::BranchSupport);
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
+    BranchSupport,
 }
 
 impl ErrorCode {
@@ -309,6 +378,11 @@ impl ErrorCode {
             ErrorCode::BadInput => "E0301",
             ErrorCode::Untranslatable => "E0302",
             ErrorCode::SignatureMismatch => "E0303",
+            ErrorCode::UnusedLinear => "E0501",
+            ErrorCode::DuplicatedUse => "E0502",
+            ErrorCode::BackwardIncompatible => "E0503",
+            ErrorCode::NoCarrier => "E0504",
+            ErrorCode::BranchSupport => "E0505",
         }
     }
 
@@ -459,6 +533,38 @@ impl Diagnostic {
             CheckError::DeclaredMismatch { name, .. } => {
                 (ErrorCode::GradeMismatch, Some(name.clone()))
             }
+        };
+        let mut d = Diagnostic::new(code, err.to_string());
+        if let Some(f) = file {
+            d = d.with_file(f);
+        }
+        match needle {
+            Some(n) => d.locate(src, &n),
+            None => d,
+        }
+    }
+
+    pub(crate) fn from_backward(
+        err: &BackwardError,
+        src: Option<&str>,
+        file: Option<&str>,
+    ) -> Self {
+        let (code, needle): (ErrorCode, Option<String>) = match err {
+            BackwardError::UnboundVar(x) => (ErrorCode::UnboundName, Some(x.clone())),
+            BackwardError::UnknownOp(op) => (ErrorCode::UnknownOp, Some(op.clone())),
+            BackwardError::Expected { .. } => (ErrorCode::Shape, None),
+            BackwardError::ArgMismatch { .. } => (ErrorCode::ArgMismatch, None),
+            BackwardError::OpArgMismatch { op, .. } => (ErrorCode::OpArgMismatch, Some(op.clone())),
+            BackwardError::NonlinearGrade => (ErrorCode::NonlinearGrade, None),
+            BackwardError::BranchTypeMismatch { .. } => (ErrorCode::BranchMismatch, None),
+            BackwardError::DeclaredMismatch { name, .. } => {
+                (ErrorCode::GradeMismatch, Some(name.clone()))
+            }
+            BackwardError::UnusedLinear { var } => (ErrorCode::UnusedLinear, Some(var.clone())),
+            BackwardError::DuplicatedUse { var } => (ErrorCode::DuplicatedUse, Some(var.clone())),
+            BackwardError::Incompatible { .. } => (ErrorCode::BackwardIncompatible, None),
+            BackwardError::NoCarrier { site } => (ErrorCode::NoCarrier, Some((*site).to_string())),
+            BackwardError::BranchSupport { var } => (ErrorCode::BranchSupport, Some(var.clone())),
         };
         let mut d = Diagnostic::new(code, err.to_string());
         if let Some(f) = file {

@@ -21,7 +21,11 @@
 //!    yields the identical root type and grade.
 
 use crate::{Analyzer, Inputs};
-use numfuzz_fuzz::{CaseFailure, CasePass, CasePlan, FailureKind, FuzzConfig, FuzzOutcome, Oracle};
+use numfuzz_core::{Instantiation, Node, Signature, TermId, VarId};
+use numfuzz_fuzz::{
+    validate_backward_fn, BackwardFacts, CaseFailure, CasePass, CasePlan, FailureKind, FuzzConfig,
+    FuzzOutcome, LensOutcome, Oracle,
+};
 
 /// The production differential oracle (see module docs).
 #[derive(Clone, Copy, Debug, Default)]
@@ -118,8 +122,86 @@ impl Oracle for AnalyzerOracle {
             ));
         }
 
-        Ok(CasePass { ty: typed.ty().to_string(), vacuous: report.fp.is_none() })
+        // Backward leg (fuzz --backward): static acceptance/rejection
+        // are both facts; the lens certifies accepted functions and only
+        // an uncertifiable canonical witness is a failure.
+        let backward =
+            if plan.backward { Some(backward_leg(&analyzer, &program, plan, src)?) } else { None };
+
+        Ok(CasePass { ty: typed.ty().to_string(), vacuous: report.fp.is_none(), backward })
     }
+}
+
+/// Runs the backward analysis mode over one generated case.
+///
+/// The generator aims at the *forward* discipline, so Bean's strict
+/// linearity routinely rejects whole programs (duplicated uses, unused
+/// binders, forward-graded declarations) — those rejections are counted,
+/// not failed. For the differential teeth the leg re-lowers the source,
+/// strips the declared (forward-graded) function types, replaces the
+/// main expression with `()`, and backward-types the definitions alone;
+/// every function the judgment accepts is then handed to the
+/// backward-stability lens ([`numfuzz_fuzz::validate_backward_fn`]),
+/// which must exhibit perturbed inputs within the typed per-input
+/// bounds on a deterministic grid.
+fn backward_leg(
+    analyzer: &Analyzer,
+    program: &crate::Program,
+    plan: &CasePlan,
+    src: &str,
+) -> Result<BackwardFacts, CaseFailure> {
+    let mut facts = BackwardFacts::default();
+    match analyzer.check_backward(program) {
+        Ok(_) => facts.accepted = true,
+        Err(_) => facts.rejected = true,
+    }
+
+    let sig = match plan.instantiation {
+        Instantiation::RelativePrecision => Signature::relative_precision(),
+        Instantiation::AbsoluteError => Signature::absolute_error(),
+    };
+    let mut lowered = numfuzz_core::compile(src, &sig)
+        .map_err(|e| fail(FailureKind::Harness, format!("backward re-lowering failed: {e}")))?;
+    let mut spine: Vec<(VarId, TermId)> = Vec::new();
+    let mut cur = lowered.root;
+    while let Node::LetFun(v, _, lam, rest) = *lowered.store.node(cur) {
+        spine.push((v, lam));
+        cur = rest;
+    }
+    let mut rebuilt = lowered.store.unit();
+    for (v, lam) in spine.iter().rev() {
+        rebuilt = lowered.store.let_fun_at(*v, None, *lam, rebuilt);
+    }
+    let result = match numfuzz_core::infer_backward(&lowered.store, &sig, rebuilt, &[]) {
+        Ok(result) => result,
+        // Some definition is backward-untypeable on its own: a fact.
+        Err(_) => return Ok(facts),
+    };
+    for report in &result.fns {
+        let named = |v: &VarId| lowered.store.var_name(*v) == report.name;
+        let Some(&(_, lam)) = spine.iter().rev().find(|(v, _)| named(v)) else { continue };
+        match validate_backward_fn(
+            &lowered.store,
+            lam,
+            &report.inputs,
+            plan.instantiation,
+            plan.format,
+            plan.mode,
+        ) {
+            LensOutcome::Validated { points } => {
+                facts.validated_fns += 1;
+                facts.grid_points += points;
+            }
+            LensOutcome::Skipped { .. } => facts.skipped_fns += 1,
+            LensOutcome::Violation { detail } => {
+                return Err(fail(
+                    FailureKind::BackwardViolation,
+                    format!("function `{}` ({}): {detail}", report.name, plan.describe()),
+                ));
+            }
+        }
+    }
+    Ok(facts)
 }
 
 /// Runs a fuzz campaign with the production oracle.

@@ -76,7 +76,8 @@ mod program;
 pub mod serve;
 
 pub use analyzer::{
-    AnalysisCache, Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, ShardReport, Typed,
+    AnalysisCache, Analyzer, AnalyzerBuilder, BackwardBound, BackwardTyped, ErrorBound, Execution,
+    FnBackwardBound, InputBackwardBound, Inputs, ShardReport, Typed,
 };
 pub use diag::{Diagnostic, ErrorCode, Span};
 pub use numfuzz_core::cache::CacheStats;
@@ -94,7 +95,8 @@ pub use numfuzz_softfloat as softfloat;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use crate::analyzer::{
-        AnalysisCache, Analyzer, AnalyzerBuilder, ErrorBound, Execution, Inputs, ShardReport, Typed,
+        AnalysisCache, Analyzer, AnalyzerBuilder, BackwardBound, BackwardTyped, ErrorBound,
+        Execution, FnBackwardBound, InputBackwardBound, Inputs, ShardReport, Typed,
     };
     pub use crate::diag::{Diagnostic, ErrorCode, Span};
     pub use crate::program::Program;

@@ -18,11 +18,18 @@
 //! Response payloads embed the *exact* stdout of the one-shot CLI: a
 //! `check` response's `output` field is byte-identical to what
 //! `numfuzz check FILE` prints, because both go through the same
-//! [`check_report`]/[`bound_report`]/[`batch_entry`] renderers.
+//! [`check_report`]/[`bound_report`]/[`batch_entry`] renderers. The
+//! `check`/`bound`/`batch` ops accept an optional `mode` field
+//! (`"forward"`, the default, or `"backward"`) selecting the analysis;
+//! backward requests go through
+//! [`backward_check_report`]/[`backward_bound_report`]/
+//! [`backward_batch_entry`] and are cached under a disjoint key space
+//! (see [`AnalysisMode`]).
 
-use crate::analyzer::{Analyzer, Typed};
+use crate::analyzer::{Analyzer, BackwardBound, BackwardTyped, InputBackwardBound, Typed};
 use crate::diag::Diagnostic;
-use numfuzz_core::pool;
+use numfuzz_core::cache::AnalysisMode;
+use numfuzz_core::{pool, Grade, Instantiation};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -466,6 +473,96 @@ pub fn batch_entry(analyzer: &Analyzer, name: &str, src: &str) -> (String, bool)
     }
 }
 
+/// The bracketed per-input grade list appended to backward report lines:
+/// `" [x <= eps, y <= 2*eps]"`, or the empty string when there are no
+/// linear inputs.
+fn backward_grades_suffix(inputs: &[(String, Grade)]) -> String {
+    if inputs.is_empty() {
+        return String::new();
+    }
+    let list: Vec<String> = inputs.iter().map(|(n, g)| format!("{n} <= {g}")).collect();
+    format!(" [{}]", list.join(", "))
+}
+
+/// The stdout of `numfuzz check --backward FILE` for a backward-checked
+/// program: one line per `function` (its assigned type plus the
+/// per-parameter backward-error grades), then the program's type and the
+/// root's per-input grades. Trailing newline included.
+pub fn backward_check_report(typed: &BackwardTyped) -> String {
+    let mut out = String::new();
+    for f in typed.functions() {
+        out.push_str(&format!(
+            "{} : {}{}\n",
+            f.name,
+            f.assigned,
+            backward_grades_suffix(&f.inputs)
+        ));
+    }
+    out.push_str(&format!("program : {}{}\n", typed.ty(), backward_grades_suffix(typed.inputs())));
+    out
+}
+
+/// One input's numeric backward bound, e.g.
+/// `x <= 2*eps (relative error <= 4.44e-16)`; infinite grades render as a
+/// bare `x <= inf` (no finite backward bound exists for that input).
+fn backward_input_line(b: &InputBackwardBound, instantiation: Instantiation) -> String {
+    let kind = match instantiation {
+        Instantiation::RelativePrecision => "relative error",
+        Instantiation::AbsoluteError => "absolute error",
+    };
+    match (&b.alpha, &b.relative) {
+        (None, _) => format!("{} <= {}", b.name, b.grade),
+        (Some(_), Some(r)) => {
+            format!("{} <= {} ({kind} <= {})", b.name, b.grade, r.to_sci_string(3))
+        }
+        (Some(_), None) => format!("{} <= {} (no finite {kind} bound)", b.name, b.grade),
+    }
+}
+
+/// The stdout of `numfuzz bound --backward FILE`: the numeric per-input
+/// backward bound of every function and of the program, plus the
+/// session's format/mode setting line. Trailing newline included.
+pub fn backward_bound_report(analyzer: &Analyzer, bound: &BackwardBound) -> String {
+    let mut out = String::new();
+    let render = |inputs: &[InputBackwardBound]| -> String {
+        if inputs.is_empty() {
+            "(no linear inputs)".to_string()
+        } else {
+            inputs
+                .iter()
+                .map(|b| backward_input_line(b, bound.instantiation))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    };
+    for f in &bound.fns {
+        out.push_str(&format!("{:<24} {}\n", f.name, render(&f.inputs)));
+    }
+    out.push_str(&format!("{:<24} {}\n", "program", render(&bound.root)));
+    out.push_str(&format!(
+        "({} {}, unit roundoff {})\n",
+        analyzer.format(),
+        analyzer.mode(),
+        analyzer.rounding_unit().to_sci_string(3)
+    ));
+    out
+}
+
+/// The backward analogue of [`batch_entry`]: parse, backward-check
+/// (through the session's cache when configured), and summarize as
+/// `name: type [per-input grades]` — or the rendered diagnostic.
+pub fn backward_batch_entry(analyzer: &Analyzer, name: &str, src: &str) -> (String, bool) {
+    match analyzer
+        .parse_named(name, src)
+        .and_then(|program| analyzer.check_backward_cached(&program))
+    {
+        Ok(typed) => {
+            (format!("{name}: {}{}", typed.ty(), backward_grades_suffix(typed.inputs())), true)
+        }
+        Err(d) => (d.render(), false),
+    }
+}
+
 // ---------------------------------------------------------------------
 // The service
 // ---------------------------------------------------------------------
@@ -541,17 +638,27 @@ impl Service {
         let Some(src) = request.get("src").and_then(Json::as_str) else {
             return proto_error(id, &format!("op `{op}` needs a string field `src`"));
         };
+        let mode = match request_mode(request) {
+            Ok(mode) => mode,
+            Err(message) => return proto_error(id, &message),
+        };
         let name = request.get("name").and_then(Json::as_str);
         let parsed = match name {
             Some(n) => session.parse_named(n, src),
             None => session.parse(src),
         };
-        let outcome = parsed.and_then(|program| {
-            let typed = session.check_cached(&program)?;
-            Ok(match op {
-                "check" => check_report(&typed),
-                _ => bound_report(session, &typed),
-            })
+        let outcome = parsed.and_then(|program| match mode {
+            AnalysisMode::Forward => {
+                let typed = session.check_cached(&program)?;
+                Ok(match op {
+                    "check" => check_report(&typed),
+                    _ => bound_report(session, &typed),
+                })
+            }
+            AnalysisMode::Backward => Ok(match op {
+                "check" => backward_check_report(&session.check_backward_cached(&program)?),
+                _ => backward_bound_report(session, &session.bound_backward_cached(&program)?),
+            }),
         });
         let response = match outcome {
             Ok(output) => Json::obj(vec![
@@ -575,6 +682,10 @@ impl Service {
         let Some(items) = request.get("programs").and_then(Json::as_array) else {
             return proto_error(id, "op `batch` needs an array field `programs`");
         };
+        let mode = match request_mode(request) {
+            Ok(mode) => mode,
+            Err(message) => return proto_error(id, &message),
+        };
         let mut jobs_items: Vec<(String, String)> = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
             let Some(src) = item.get("src").and_then(Json::as_str) else {
@@ -594,7 +705,10 @@ impl Service {
             self.jobs,
             &jobs_items,
             |_worker| self.base.fork_session(),
-            |worker, _i, (name, src)| batch_entry(worker, name, src),
+            |worker, _i, (name, src)| match mode {
+                AnalysisMode::Forward => batch_entry(worker, name, src),
+                AnalysisMode::Backward => backward_batch_entry(worker, name, src),
+            },
         );
         let ok_count = entries.iter().filter(|(_, ok)| *ok).count();
         let failed = entries.len() - ok_count;
@@ -669,6 +783,20 @@ fn diagnostic_exit(d: &Diagnostic) -> u8 {
         EXIT_PROGRAM
     } else {
         EXIT_USAGE
+    }
+}
+
+/// Reads the optional `mode` field of a `check`/`bound`/`batch` request:
+/// absent means forward; anything but `"forward"`/`"backward"` is a
+/// protocol error.
+fn request_mode(request: &Json) -> Result<AnalysisMode, String> {
+    match request.get("mode") {
+        None => Ok(AnalysisMode::Forward),
+        Some(m) => match m.as_str() {
+            Some("forward") => Ok(AnalysisMode::Forward),
+            Some("backward") => Ok(AnalysisMode::Backward),
+            _ => Err("field `mode` must be \"forward\" or \"backward\"".to_string()),
+        },
     }
 }
 

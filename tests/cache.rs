@@ -258,6 +258,104 @@ fn check_all_respects_session_cache_and_jobs_knob() {
 }
 
 #[test]
+fn forward_and_backward_results_never_replay_each_other() {
+    // The analysis mode is part of the config fingerprint: a warm
+    // forward entry must miss for the backward judgment and vice versa,
+    // even for byte-identical programs under one session.
+    let (analyzer, cache) = cached_analyzer(1 << 20);
+    // A defs-only program both judgments accept (the backward checker
+    // rejects mains that round over constants — no linear carrier).
+    let src = "function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }";
+    let program = analyzer.parse(src).unwrap();
+
+    analyzer.check_cached(&program).unwrap();
+    let warm_forward = cache.stats();
+
+    let bwd = analyzer.check_backward_cached(&program).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.hits, warm_forward.hits, "backward check replayed a forward entry");
+    assert!(s.misses > warm_forward.misses);
+    let f = bwd.function("mulfp").expect("backward report for mulfp");
+    assert_eq!(f.inputs.len(), 1);
+    assert_eq!((f.inputs[0].0.as_str(), f.inputs[0].1.to_string().as_str()), ("xy", "eps"));
+
+    // Each mode hits itself on replay, and the replay is byte-identical.
+    let before = cache.stats();
+    analyzer.check_cached(&program).unwrap();
+    let replayed = analyzer.check_backward_cached(&program).unwrap();
+    assert_eq!(cache.stats().hits, before.hits + 2);
+    assert_eq!(format!("{replayed:?}"), format!("{bwd:?}"), "cached backward replay drifted");
+
+    // The other direction: warmed backward-first, the forward judgment
+    // must still miss.
+    let (analyzer, cache) = cached_analyzer(1 << 20);
+    let program = analyzer.parse(src).unwrap();
+    analyzer.check_backward_cached(&program).unwrap();
+    let warm_backward = cache.stats();
+    analyzer.check_cached(&program).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.hits, warm_backward.hits, "forward check replayed a backward entry");
+
+    // The bound op is mode-distinct too: its own entry misses, and the
+    // only replay is the warm backward-*check* entry it builds on (one
+    // hit) — never a forward entry.
+    let before = cache.stats();
+    let backward_bound = analyzer.bound_backward_cached(&program).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.hits, before.hits + 1, "backward bound replays only its mode's check entry");
+    assert!(s.misses > before.misses);
+    let alpha = backward_bound.function("mulfp").unwrap().inputs[0].alpha.as_ref();
+    assert!(alpha.is_some(), "eps resolves to the unit roundoff");
+    let before = cache.stats();
+    analyzer.bound_backward_cached(&program).unwrap();
+    assert_eq!(cache.stats().hits, before.hits + 1, "backward bound replays itself");
+}
+
+#[test]
+fn backward_batches_are_byte_identical_across_jobs_and_cache_state() {
+    let sources = [
+        ("ok.nf", "function f (x: num) : M[eps]num { rnd x }\nf 2"),
+        ("linear.nf", "function g (x: num) : M[eps]num { rnd (mul (x, x)) }\ng 2"),
+        ("dup.nf", "function f (x: num) : M[eps]num { rnd x }\nf 2"),
+        ("nocarrier.nf", "rnd 1.5"),
+    ];
+    let plain = Analyzer::new();
+    let programs: Vec<Program> =
+        sources.iter().map(|(n, s)| plain.parse_named(n, s).unwrap()).collect();
+    let render = |results: &[Result<BackwardTyped, Diagnostic>]| -> Vec<String> {
+        results
+            .iter()
+            .map(|r| match r {
+                Ok(t) => format!(
+                    "{} {:?}",
+                    t.ty(),
+                    t.functions()
+                        .iter()
+                        .map(|f| (f.name.clone(), f.inputs.clone()))
+                        .collect::<Vec<_>>()
+                ),
+                Err(d) => d.render(),
+            })
+            .collect()
+    };
+    let expected = render(&plain.check_all_backward(&programs));
+    assert!(expected[1].contains("E0502"), "{:?}", expected[1]);
+    assert!(expected[3].contains("E0504"), "{:?}", expected[3]);
+
+    for jobs in [1, 2, 4] {
+        let (analyzer, cache) = cached_analyzer(1 << 20);
+        let programs: Vec<Program> =
+            sources.iter().map(|(n, s)| analyzer.parse_named(n, s).unwrap()).collect();
+        let (cold, _) = analyzer.check_backward_batch_sharded(&programs, jobs);
+        assert_eq!(render(&cold), expected, "cold backward batch, jobs={jobs}");
+        assert_eq!(cache.stats().insertions, 3, "3 distinct contents, jobs={jobs}");
+        let (warm, _) = analyzer.check_backward_batch_sharded(&programs, jobs);
+        assert_eq!(render(&warm), expected, "warm backward batch, jobs={jobs}");
+        assert_eq!(cache.stats().insertions, 3, "warm batch recomputes nothing, jobs={jobs}");
+    }
+}
+
+#[test]
 fn uncached_entry_points_stay_uncached() {
     let (analyzer, cache) = cached_analyzer(1 << 20);
     let program = analyzer.parse("rnd 1.5").unwrap();

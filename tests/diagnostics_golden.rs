@@ -20,7 +20,7 @@ use numfuzz::prelude::*;
 use std::path::PathBuf;
 
 /// Every error code in the catalog, in `E0xxx` order.
-const ALL_CODES: [ErrorCode; 19] = [
+const ALL_CODES: [ErrorCode; 24] = [
     ErrorCode::Syntax,
     ErrorCode::UnboundName,
     ErrorCode::MisusedOp,
@@ -40,6 +40,11 @@ const ALL_CODES: [ErrorCode; 19] = [
     ErrorCode::BadInput,
     ErrorCode::Untranslatable,
     ErrorCode::SignatureMismatch,
+    ErrorCode::UnusedLinear,
+    ErrorCode::DuplicatedUse,
+    ErrorCode::BackwardIncompatible,
+    ErrorCode::NoCarrier,
+    ErrorCode::BranchSupport,
 ];
 
 fn golden_dir() -> PathBuf {
@@ -116,6 +121,16 @@ fn trigger(code: ErrorCode, name: &str, src: &str) -> Diagnostic {
             let program = parse(src).expect("parses under RP");
             let abs = Analyzer::builder().signature(Instantiation::AbsoluteError).build();
             abs.check(&program).expect_err("instantiations must match")
+        }
+        // Backward mode (Bean's strict linearity discipline): the same
+        // session, second judgment.
+        ErrorCode::UnusedLinear
+        | ErrorCode::DuplicatedUse
+        | ErrorCode::BackwardIncompatible
+        | ErrorCode::NoCarrier
+        | ErrorCode::BranchSupport => {
+            let program = parse(src).expect("scenario parses");
+            rp().check_backward(&program).expect_err("scenario violates the backward discipline")
         }
     }
 }

@@ -12,7 +12,16 @@ use numfuzz::prelude::*;
 use std::process::Command;
 
 fn cfg(cases: usize, seed: u64, jobs: usize) -> FuzzConfig {
-    FuzzConfig { cases, seed, jobs, shrink_budget: 300 }
+    FuzzConfig { cases, seed, jobs, shrink_budget: 300, backward: false }
+}
+
+fn counter(report: &str, key: &str) -> usize {
+    report
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("report lacks `{key}=`:\n{report}"))
+        .parse()
+        .expect("numeric counter")
 }
 
 #[test]
@@ -59,6 +68,42 @@ fn fixed_seed_run_is_clean_and_covers_the_surface() {
         "comparisons",
     ] {
         assert!(count(feature) > 0, "feature `{feature}` never generated:\n{report}");
+    }
+}
+
+#[test]
+fn backward_campaign_is_clean_and_actually_exercises_the_lens() {
+    let outcome = run(&FuzzConfig { backward: true, ..cfg(200, 42, 2) }, &AnalyzerOracle);
+    assert!(outcome.ok(), "backward counterexamples on the CI seed:\n{}", outcome.report);
+    let report = &outcome.report;
+    assert!(report.contains("backward: "), "{report}");
+
+    // The campaign must not be vacuous: some whole programs accepted,
+    // plenty rejected by strict linearity, and — the differential teeth —
+    // functions certified by the backward-stability lens on real grid
+    // points.
+    assert!(counter(report, "accepted") >= 1, "{report}");
+    assert!(counter(report, "rejected") >= 100, "{report}");
+    assert!(counter(report, "validated-fns") >= 1, "{report}");
+    assert!(counter(report, "skipped-fns") >= 1, "{report}");
+    assert!(counter(report, "grid-points") >= 4, "{report}");
+
+    // Forward campaigns are byte-for-byte unaffected by the new mode:
+    // no backward line, and the forward report on the same seed is
+    // reproduced verbatim inside the backward one minus that line.
+    let forward = run(&cfg(200, 42, 2), &AnalyzerOracle);
+    assert!(!forward.report.contains("backward: "), "{}", forward.report);
+    let stripped: String =
+        report.lines().filter(|l| !l.starts_with("backward: ")).map(|l| format!("{l}\n")).collect();
+    assert_eq!(stripped, forward.report, "backward mode perturbed the forward facts");
+}
+
+#[test]
+fn backward_report_is_byte_identical_across_jobs() {
+    let base = run(&FuzzConfig { backward: true, ..cfg(80, 7, 1) }, &AnalyzerOracle);
+    for jobs in [2, 4] {
+        let other = run(&FuzzConfig { backward: true, ..cfg(80, 7, jobs) }, &AnalyzerOracle);
+        assert_eq!(base.report, other.report, "jobs={jobs}");
     }
 }
 

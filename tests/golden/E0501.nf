@@ -1,0 +1,4 @@
+// Backward mode rejects weakening on data: the second parameter of
+// `drop` is never consumed, so it has no backward error bound.
+function drop (x: num) (y: num) : num { x }
+drop 1 2

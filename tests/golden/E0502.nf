@@ -1,0 +1,4 @@
+// General contraction is exactly what backward error cannot cross: each
+// use of the squared input would demand its own perturbation.
+function square (x: num) : M[eps]num { rnd (mul (x, x)) }
+square 3

@@ -1,0 +1,4 @@
+// Cartesian projection discards its other component, so it has no
+// backward-error interpretation (Bean's first-order fragment).
+function first (x: num) (y: num) : num { fst (|x, y|) }
+first 1 2

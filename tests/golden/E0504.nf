@@ -1,0 +1,3 @@
+// The rounding error over a constant expression has no linear variable
+// to flow back to: no input can absorb it.
+rnd 1.5

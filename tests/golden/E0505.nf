@@ -1,0 +1,7 @@
+// Either branch may run, so both must consume the same linear context;
+// the second parameter is consumed by the then-branch only.
+function pick (x: num) (y: num) : num {
+    c = is_pos x;
+    if c then y else 0
+}
+pick 1 2

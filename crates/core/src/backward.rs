@@ -42,6 +42,11 @@
 //! linear variable still reports a duplicated use.
 
 use crate::arena::{ArenaInner, GradeId, TyId, TyNode, NUM_ID as NUM, UNIT_ID as UNIT};
+use crate::cache::{
+    hash_ty_tree, node_fingerprints, scope_extend, BackwardFnEntry, BackwardJudgment,
+    BackwardParamEntry, JudgmentCache, JudgmentCounts, JudgmentEntry, NodeFingerprints,
+    StableHasher,
+};
 use crate::check::count_parent_edges;
 use crate::env::BackwardEnv;
 use crate::grade::{Coeffect, Grade};
@@ -244,10 +249,65 @@ pub fn infer_backward_in(
     root: TermId,
     free: &[(VarId, Ty)],
 ) -> Result<BackwardResult, BackwardError> {
+    infer_backward_inner(store, tys, sig, root, free, None).map(|(result, _)| result)
+}
+
+/// [`infer_backward_in`], with subterm-level judgment memoization against
+/// `cache` — the backward twin of [`crate::infer_memoized`], with the
+/// same key discipline, the same soundness contract (`config` must
+/// fingerprint mode and signature), and the same byte-identity guarantee
+/// against the unmemoized pass.
+///
+/// # Errors
+///
+/// Exactly as [`infer_backward`]; failed passes memoize nothing new
+/// beyond their successfully checked subtrees.
+pub fn infer_backward_memoized(
+    store: &TermStore,
+    tys: &crate::CoreArena,
+    sig: &Signature,
+    root: TermId,
+    free: &[(VarId, Ty)],
+    cache: &mut JudgmentCache,
+    config: u64,
+) -> Result<(BackwardResult, JudgmentCounts), BackwardError> {
+    infer_backward_inner(store, tys, sig, root, free, Some((cache, config)))
+}
+
+fn infer_backward_inner(
+    store: &TermStore,
+    tys: &crate::CoreArena,
+    sig: &Signature,
+    root: TermId,
+    free: &[(VarId, Ty)],
+    memo_cfg: Option<(&mut JudgmentCache, u64)>,
+) -> Result<(BackwardResult, JudgmentCounts), BackwardError> {
     assert!(
         tys.same_arena(store.tys()) || tys.len() >= store.tys().len(),
         "infer_backward_in: arena is not an id-compatible copy of the store's arena"
     );
+    // Fingerprint before taking the arena lock: fingerprinting resolves
+    // annotation types through the store's arena handle.
+    let (memo, seed) = match memo_cfg {
+        None => (None, 0),
+        Some((cache, config)) => {
+            let fps = node_fingerprints(store, root, free);
+            let mut seed = config;
+            for (v, t) in free {
+                let canon = fps.canon(*v).expect("free variable is canonicalized");
+                seed = scope_extend(seed, canon, hash_ty_tree(t));
+            }
+            let memo = Memo {
+                cache,
+                fps,
+                ty_fps: HashMap::new(),
+                fns_start: HashMap::new(),
+                fns_canon: Vec::new(),
+                recomputed: 0,
+            };
+            (Some(memo), seed)
+        }
+    };
     let mut arena = tys.inner();
     let rnd_grade_id = arena.intern_grade(sig.rnd_grade());
     let zero_grade_id = arena.intern_grade(&Grade::zero());
@@ -264,15 +324,30 @@ pub fn infer_backward_in(
         rnd_grade_id,
         zero_grade_id,
         arena,
+        memo,
     };
-    ck.run(root)?;
+    ck.run(root, seed)?;
+    let counts = match &ck.memo {
+        None => JudgmentCounts::default(),
+        Some(m) => {
+            let total = m.fps.reachable() as u64;
+            JudgmentCounts {
+                reused: total.saturating_sub(m.recomputed),
+                recomputed: m.recomputed,
+                total,
+            }
+        }
+    };
     let root_res = ck.results.remove(&root).expect("root inferred");
     let inputs =
         root_res.env.iter().map(|(v, c)| (store.var_name(*v).to_string(), c.err.clone())).collect();
-    Ok(BackwardResult {
-        root: BackwardInferred { inputs, ty: ck.arena.resolve(root_res.ty) },
-        fns: ck.fns,
-    })
+    Ok((
+        BackwardResult {
+            root: BackwardInferred { inputs, ty: ck.arena.resolve(root_res.ty) },
+            fns: ck.fns,
+        },
+        counts,
+    ))
 }
 
 /// One parameter of a function value: its binder, whether it carries data
@@ -315,12 +390,94 @@ struct BackwardChecker<'a> {
     ops: HashMap<u32, (TyId, TyId)>,
     rnd_grade_id: GradeId,
     zero_grade_id: GradeId,
+    /// Judgment memoization state ([`infer_backward_memoized`] only).
+    memo: Option<Memo<'a>>,
+}
+
+/// Per-pass memoization state (the backward twin of the forward
+/// checker's). Function reports need one extra structure: their
+/// parameter *names* are presentation (lambda binder names are not part
+/// of the content fingerprint), so a canonical mirror of `fns` is kept
+/// and memoized instead of the rendered reports.
+struct Memo<'a> {
+    cache: &'a mut JudgmentCache,
+    fps: NodeFingerprints,
+    /// `hash_ty_tree` of resolved types, memoized by interned id.
+    ty_fps: HashMap<TyId, u128>,
+    /// Where each in-flight (cache-missed) node's window into `fns` (and
+    /// `fns_canon`, kept parallel) starts; presence gates memoization.
+    fns_start: HashMap<TermId, usize>,
+    /// Canonical mirror of `fns`; a `None` marks a report that could not
+    /// be canonicalized, poisoning every window that contains it.
+    fns_canon: Vec<Option<BackwardFnEntry>>,
+    /// Judgments computed by this pass (cache misses and leaves).
+    recomputed: u64,
 }
 
 #[derive(Clone, Copy)]
 struct Frame {
     id: TermId,
     stage: u8,
+    /// Scope-chain fingerprint the node is checked under (0 when not
+    /// memoizing).
+    scope: u64,
+}
+
+/// Translates a memoized backward judgment into the replaying store's
+/// variables; `None` on any canonical number the store cannot resolve
+/// (a defensive miss).
+fn translate_backward(
+    fps: &NodeFingerprints,
+    store: &TermStore,
+    j: &BackwardJudgment,
+) -> Option<(BackwardEnv, Option<BFun>, Vec<BackwardFnReport>)> {
+    let mut entries = Vec::with_capacity(j.env.len());
+    for (canon, c) in &j.env {
+        entries.push((fps.var(*canon)?, c.clone()));
+    }
+    let fun = match &j.fun {
+        None => None,
+        Some(ps) => {
+            let mut params = Vec::with_capacity(ps.len());
+            for p in ps {
+                params.push(BParam {
+                    var: fps.var(p.var)?,
+                    named: p.named,
+                    demand: p.demand.clone(),
+                });
+            }
+            Some(BFun { params })
+        }
+    };
+    let mut reports = Vec::with_capacity(j.fns.len());
+    for e in &j.fns {
+        let mut inputs = Vec::with_capacity(e.inputs.len());
+        for (canon, g) in &e.inputs {
+            inputs.push((store.var_name(fps.var(*canon)?).to_string(), g.clone()));
+        }
+        reports.push(BackwardFnReport {
+            name: e.name.clone(),
+            assigned: e.assigned.clone(),
+            inputs,
+        });
+    }
+    Some((BackwardEnv::from_entries(entries), fun, reports))
+}
+
+/// Hashes a variable into a scope chain: by canonical number when
+/// fingerprinted (stable across stores), by raw id otherwise (cannot
+/// happen for program variables; still deterministic within one pass).
+fn write_var(h: &mut StableHasher, fps: &NodeFingerprints, v: VarId) {
+    match fps.canon(v) {
+        Some(c) => {
+            h.write_u8(1);
+            h.write_u32(c);
+        }
+        None => {
+            h.write_u8(2);
+            h.write_u32(v.0);
+        }
+    }
 }
 
 impl<'a> BackwardChecker<'a> {
@@ -342,8 +499,166 @@ impl<'a> BackwardChecker<'a> {
         }
     }
 
-    fn done(&mut self, id: TermId, env: BackwardEnv, ty: TyId, fun: Option<BFun>) {
+    fn done(&mut self, id: TermId, env: BackwardEnv, ty: TyId, fun: Option<BFun>, scope: u64) {
+        self.memoize(id, &env, ty, &fun, scope);
         self.results.insert(id, BJudgment { env, ty, fun });
+    }
+
+    /// Memoizes a freshly computed judgment, if this node cache-missed at
+    /// stage 0 and every part of it canonicalizes.
+    fn memoize(&mut self, id: TermId, env: &BackwardEnv, ty: TyId, fun: &Option<BFun>, scope: u64) {
+        let Some(memo) = self.memo.as_mut() else { return };
+        let Some(start) = memo.fns_start.remove(&id) else { return };
+        let Some(node_fp) = memo.fps.node(id) else { return };
+        let mut canon_env = Vec::with_capacity(env.len());
+        for (v, c) in env.iter() {
+            match memo.fps.canon(*v) {
+                Some(n) => canon_env.push((n, c.clone())),
+                None => return,
+            }
+        }
+        canon_env.sort_by_key(|(n, _)| *n);
+        let fun = match fun {
+            None => None,
+            Some(bf) => {
+                let mut params = Vec::with_capacity(bf.params.len());
+                for p in &bf.params {
+                    match memo.fps.canon(p.var) {
+                        Some(n) => params.push(BackwardParamEntry {
+                            var: n,
+                            named: p.named,
+                            demand: p.demand.clone(),
+                        }),
+                        None => return,
+                    }
+                }
+                Some(params)
+            }
+        };
+        let mut fns = Vec::with_capacity(memo.fns_canon.len() - start);
+        for entry in &memo.fns_canon[start..] {
+            match entry {
+                Some(e) => fns.push(e.clone()),
+                // A window containing a non-canonicalizable report is
+                // never memoized.
+                None => return,
+            }
+        }
+        let resolved = self.arena.resolve(ty);
+        memo.cache.insert(
+            node_fp,
+            scope,
+            JudgmentEntry::Backward(BackwardJudgment { env: canon_env, ty: resolved, fun, fns }),
+        );
+    }
+
+    /// Attempts to replay a memoized judgment for `id` under `scope`;
+    /// `true` on a hit. On a miss, registers the node's report window and
+    /// counts the upcoming computation.
+    fn try_replay(&mut self, id: TermId, scope: u64) -> bool {
+        let Some(memo) = self.memo.as_mut() else { return false };
+        if matches!(self.store.node(id), Node::Var(_) | Node::UnitVal | Node::Const(_)) {
+            memo.recomputed += 1;
+            return false;
+        }
+        let Some(node_fp) = memo.fps.node(id) else {
+            memo.recomputed += 1;
+            return false;
+        };
+        if let Some(JudgmentEntry::Backward(j)) = memo.cache.get(node_fp, scope) {
+            if let Some((env, fun, reports)) = translate_backward(&memo.fps, self.store, &j) {
+                let ty = self.arena.intern(&j.ty);
+                self.fns.extend(reports);
+                memo.fns_canon.extend(j.fns.iter().cloned().map(Some));
+                self.results.insert(id, BJudgment { env, ty, fun });
+                return true;
+            }
+        }
+        memo.fns_start.insert(id, self.fns.len());
+        memo.recomputed += 1;
+        false
+    }
+
+    /// The scope-chain fingerprint for a child checked under one more
+    /// binder `x : ty` (0 when not memoizing).
+    fn scope_child(&mut self, parent: u64, x: VarId, ty: TyId) -> u64 {
+        let Some(memo) = self.memo.as_mut() else { return 0 };
+        let Some(canon) = memo.fps.canon(x) else { return parent };
+        let ty_fp = match memo.ty_fps.get(&ty) {
+            Some(&fp) => fp,
+            None => {
+                let fp = hash_ty_tree(&self.arena.resolve(ty));
+                memo.ty_fps.insert(ty, fp);
+                fp
+            }
+        };
+        scope_extend(parent, canon, ty_fp)
+    }
+
+    /// Scope extension for a binder entering the duplicable function
+    /// context: uses of the binder replay the function's captured linear
+    /// context and parameter demands, so downstream judgments depend on
+    /// that content and it must be folded into the chain alongside the
+    /// binder's type.
+    fn scope_child_fn(
+        &mut self,
+        parent: u64,
+        x: VarId,
+        ty: TyId,
+        caps: &BackwardEnv,
+        fun: &Option<BFun>,
+    ) -> u64 {
+        let base = self.scope_child(parent, x, ty);
+        let Some(memo) = self.memo.as_mut() else { return 0 };
+        let mut h = StableHasher::new();
+        h.write_u64(base);
+        for (v, c) in caps.iter() {
+            write_var(&mut h, &memo.fps, *v);
+            h.write_str(&c.err.to_string());
+            h.write_str(&c.absorb.to_string());
+        }
+        match fun {
+            None => h.write_u8(0),
+            Some(bf) => {
+                h.write_u8(1);
+                for p in &bf.params {
+                    write_var(&mut h, &memo.fps, p.var);
+                    h.write_u8(p.named as u8);
+                    h.write_str(&p.demand.err.to_string());
+                    h.write_str(&p.demand.absorb.to_string());
+                }
+            }
+        }
+        h.finish64()
+    }
+
+    /// Mirrors a just-pushed function report into the canonical window
+    /// (`None` if a parameter cannot be canonicalized).
+    fn memo_fn_entry(&mut self, name_var: VarId, assigned: TyId, fun: &Option<BFun>) {
+        if self.memo.is_none() {
+            return;
+        }
+        let assigned = self.arena.resolve(assigned);
+        let memo = self.memo.as_mut().expect("checked above");
+        let mut inputs = Vec::new();
+        let mut canonical = true;
+        if let Some(bf) = fun {
+            for p in bf.params.iter().filter(|p| p.named) {
+                match memo.fps.canon(p.var) {
+                    Some(n) => inputs.push((n, p.demand.err.clone())),
+                    None => {
+                        canonical = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let entry = canonical.then(|| BackwardFnEntry {
+            name: self.store.var_name(name_var).to_string(),
+            assigned,
+            inputs,
+        });
+        memo.fns_canon.push(entry);
     }
 
     fn show(&self, ty: TyId) -> Ty {
@@ -410,11 +725,11 @@ impl<'a> BackwardChecker<'a> {
         }
     }
 
-    fn run(&mut self, root: TermId) -> Result<(), BackwardError> {
+    fn run(&mut self, root: TermId, seed: u64) -> Result<(), BackwardError> {
         let eps = self.sig.rnd_grade().clone();
-        let mut stack = vec![Frame { id: root, stage: 0 }];
-        while let Some(Frame { id, stage }) = stack.pop() {
-            if stage == 0 && self.results.contains_key(&id) {
+        let mut stack = vec![Frame { id: root, stage: 0, scope: seed }];
+        while let Some(Frame { id, stage, scope }) = stack.pop() {
+            if stage == 0 && (self.results.contains_key(&id) || self.try_replay(id, scope)) {
                 continue;
             }
             match (*self.store.node(id), stage) {
@@ -439,13 +754,13 @@ impl<'a> BackwardChecker<'a> {
                     let ty = self.var_ty(v)?;
                     if let Some((caps, fun)) = self.fn_sigs.get(&v) {
                         let (caps, fun) = (caps.clone(), fun.clone());
-                        self.done(id, caps, ty, fun);
+                        self.done(id, caps, ty, fun, scope);
                     } else {
-                        self.done(id, BackwardEnv::consume(v), ty, None);
+                        self.done(id, BackwardEnv::consume(v), ty, None, scope);
                     }
                 }
-                (Node::UnitVal, _) => self.done(id, BackwardEnv::empty(), UNIT, None),
-                (Node::Const(_), _) => self.done(id, BackwardEnv::empty(), NUM, None),
+                (Node::UnitVal, _) => self.done(id, BackwardEnv::empty(), UNIT, None, scope),
+                (Node::Const(_), _) => self.done(id, BackwardEnv::empty(), NUM, None, scope),
 
                 // ----- single-child nodes -----
                 (Node::Inl(v, _), 0)
@@ -453,18 +768,18 @@ impl<'a> BackwardChecker<'a> {
                 | (Node::Rnd(v), 0)
                 | (Node::Ret(v), 0)
                 | (Node::Op(_, v), 0) => {
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: v, stage: 0 });
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: v, stage: 0, scope });
                 }
                 (Node::Inl(v, rt), 1) => {
                     let r = self.take(v).expect("child done");
                     let ty = self.arena.mk(TyNode::Sum(r.ty, rt));
-                    self.done(id, r.env, ty, None);
+                    self.done(id, r.env, ty, None, scope);
                 }
                 (Node::Inr(v, lt), 1) => {
                     let r = self.take(v).expect("child done");
                     let ty = self.arena.mk(TyNode::Sum(lt, r.ty));
-                    self.done(id, r.env, ty, None);
+                    self.done(id, r.env, ty, None, scope);
                 }
                 (Node::Rnd(v), 1) => {
                     let r = self.take(v).expect("child done");
@@ -484,12 +799,12 @@ impl<'a> BackwardChecker<'a> {
                         .try_update(|c| c.charge(&eps))
                         .ok_or(BackwardError::NonlinearGrade)?;
                     let ty = self.arena.mk(TyNode::Monad(self.rnd_grade_id, NUM));
-                    self.done(id, env, ty, None);
+                    self.done(id, env, ty, None, scope);
                 }
                 (Node::Ret(v), 1) => {
                     let r = self.take(v).expect("child done");
                     let ty = self.arena.mk(TyNode::Monad(self.zero_grade_id, r.ty));
-                    self.done(id, r.env, ty, r.fun);
+                    self.done(id, r.env, ty, r.fun, scope);
                 }
                 (Node::Op(op_idx, v), 1) => {
                     let r = self.take(v).expect("child done");
@@ -519,14 +834,14 @@ impl<'a> BackwardChecker<'a> {
                             found: self.show(r.ty),
                         });
                     };
-                    self.done(id, env, ret, None);
+                    self.done(id, env, ret, None, scope);
                 }
 
                 // ----- pairs and application -----
                 (Node::PairW(a, b), 0) | (Node::PairT(a, b), 0) | (Node::App(a, b), 0) => {
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: a, stage: 0 });
-                    stack.push(Frame { id: b, stage: 0 });
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: a, stage: 0, scope });
+                    stack.push(Frame { id: b, stage: 0, scope });
                 }
                 (Node::PairW(a, b), 1) => {
                     let ra = self.take(a).expect("child done");
@@ -547,14 +862,14 @@ impl<'a> BackwardChecker<'a> {
                     };
                     let env = ea.merge_disjoint(eb).map_err(|v| self.dup(v))?;
                     let ty = self.arena.mk(TyNode::With(ra.ty, rb.ty));
-                    self.done(id, env, ty, None);
+                    self.done(id, env, ty, None, scope);
                 }
                 (Node::PairT(a, b), 1) => {
                     let ra = self.take(a).expect("child done");
                     let rb = self.take(b).expect("child done");
                     let env = ra.env.merge_disjoint(rb.env).map_err(|v| self.dup(v))?;
                     let ty = self.arena.mk(TyNode::Tensor(ra.ty, rb.ty));
-                    self.done(id, env, ty, None);
+                    self.done(id, env, ty, None, scope);
                 }
                 (Node::App(a, b), 1) => {
                     let ra = self.take(a).expect("child done");
@@ -591,14 +906,15 @@ impl<'a> BackwardChecker<'a> {
                     let shifted = self.compose(rb.env, &first.demand, "application")?;
                     let env = ra.env.merge_disjoint(shifted).map_err(|v| self.dup(v))?;
                     let fun = if params.is_empty() { None } else { Some(BFun { params }) };
-                    self.done(id, env, cod, fun);
+                    self.done(id, env, cod, fun, scope);
                 }
 
                 // ----- λ -----
                 (Node::Lam(x, ty_id, body), 0) => {
                     self.var_tys.insert(x, ty_id);
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: body, stage: 0 });
+                    let body_scope = self.scope_child(scope, x, ty_id);
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: body, stage: 0, scope: body_scope });
                 }
                 (Node::Lam(x, ty_id, body), 1) => {
                     let mut r = self.take(body).expect("child done");
@@ -613,19 +929,19 @@ impl<'a> BackwardChecker<'a> {
                         None => vec![param],
                     };
                     let ty = self.arena.mk(TyNode::Lolli(ty_id, r.ty));
-                    self.done(id, r.env, ty, Some(BFun { params }));
+                    self.done(id, r.env, ty, Some(BFun { params }), scope);
                 }
 
                 // ----- binders that need the scrutinee's type first -----
                 (Node::LetTensor(_, _, v, _), 0)
                 | (Node::Case(v, ..), 0)
                 | (Node::LetBind(_, v, _), 0) => {
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: v, stage: 0 });
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: v, stage: 0, scope });
                 }
                 (Node::Let(_, e, _), 0) | (Node::LetFun(_, _, e, _), 0) => {
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: e, stage: 0 });
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: e, stage: 0, scope });
                 }
 
                 (Node::LetTensor(x, y, v, e), 1) => {
@@ -634,8 +950,10 @@ impl<'a> BackwardChecker<'a> {
                         TyNode::Tensor(a, b) => {
                             self.var_tys.insert(x, a);
                             self.var_tys.insert(y, b);
-                            stack.push(Frame { id, stage: 2 });
-                            stack.push(Frame { id: e, stage: 0 });
+                            let inner = self.scope_child(scope, x, a);
+                            let inner = self.scope_child(inner, y, b);
+                            stack.push(Frame { id, stage: 2, scope });
+                            stack.push(Frame { id: e, stage: 0, scope: inner });
                         }
                         _ => {
                             return Err(BackwardError::Expected {
@@ -658,7 +976,7 @@ impl<'a> BackwardChecker<'a> {
                     // (sum metric on ⊗).
                     let shifted = self.compose(rv.env, &cx.join_add(&cy), "let-tensor")?;
                     let env = re.env.merge_disjoint(shifted).map_err(|v| self.dup(v))?;
-                    self.done(id, env, re.ty, re.fun);
+                    self.done(id, env, re.ty, re.fun, scope);
                 }
 
                 (Node::Case(v, x, e1, y, e2), 1) => {
@@ -667,9 +985,11 @@ impl<'a> BackwardChecker<'a> {
                         TyNode::Sum(a, b) => {
                             self.var_tys.insert(x, a);
                             self.var_tys.insert(y, b);
-                            stack.push(Frame { id, stage: 2 });
-                            stack.push(Frame { id: e1, stage: 0 });
-                            stack.push(Frame { id: e2, stage: 0 });
+                            let s1 = self.scope_child(scope, x, a);
+                            let s2 = self.scope_child(scope, y, b);
+                            stack.push(Frame { id, stage: 2, scope });
+                            stack.push(Frame { id: e1, stage: 0, scope: s1 });
+                            stack.push(Frame { id: e2, stage: 0, scope: s2 });
                         }
                         _ => {
                             return Err(BackwardError::Expected {
@@ -703,7 +1023,7 @@ impl<'a> BackwardChecker<'a> {
                         .map_err(|v| BackwardError::BranchSupport { var: self.name(v) })?;
                     let shifted = self.compose(rv.env, &c1.sup(&c2), "case")?;
                     let env = theta.merge_disjoint(shifted).map_err(|v| self.dup(v))?;
-                    self.done(id, env, ty, None);
+                    self.done(id, env, ty, None, scope);
                 }
 
                 (Node::LetBind(x, v, f), 1) => {
@@ -711,8 +1031,9 @@ impl<'a> BackwardChecker<'a> {
                     match self.arena.node(rv.ty) {
                         TyNode::Monad(_, inner) => {
                             self.var_tys.insert(x, inner);
-                            stack.push(Frame { id, stage: 2 });
-                            stack.push(Frame { id: f, stage: 0 });
+                            let body_scope = self.scope_child(scope, x, inner);
+                            stack.push(Frame { id, stage: 2, scope });
+                            stack.push(Frame { id: f, stage: 0, scope: body_scope });
                         }
                         _ => {
                             return Err(BackwardError::Expected {
@@ -746,21 +1067,28 @@ impl<'a> BackwardChecker<'a> {
                     let grade = self.arena.grade(r).add(self.arena.grade(q));
                     let gid = self.arena.intern_grade(&grade);
                     let ty = self.arena.mk(TyNode::Monad(gid, tau));
-                    self.done(id, env, ty, None);
+                    self.done(id, env, ty, None, scope);
                 }
 
                 (Node::Let(x, e, f), 1) => {
                     let re = self.results.get(&e).expect("bound term done");
-                    self.var_tys.insert(x, re.ty);
-                    if re.fun.is_some() {
-                        // A function alias: uses of `x` replay the
-                        // function's captures and demands (Bean's
-                        // duplicable context), so `x` itself is not a
-                        // tracked resource.
-                        self.fn_sigs.insert(x, (re.env.clone(), re.fun.clone()));
+                    let re_ty = re.ty;
+                    // A function alias: uses of `x` replay the function's
+                    // captures and demands (Bean's duplicable context), so
+                    // `x` itself is not a tracked resource — but the
+                    // replayed content is part of what the body's
+                    // judgments depend on, hence the richer scope hash.
+                    let alias = re.fun.as_ref().map(|_| (re.env.clone(), re.fun.clone()));
+                    self.var_tys.insert(x, re_ty);
+                    let body_scope = match &alias {
+                        Some((caps, fun)) => self.scope_child_fn(scope, x, re_ty, caps, fun),
+                        None => self.scope_child(scope, x, re_ty),
+                    };
+                    if let Some(sig) = alias {
+                        self.fn_sigs.insert(x, sig);
                     }
-                    stack.push(Frame { id, stage: 2 });
-                    stack.push(Frame { id: f, stage: 0 });
+                    stack.push(Frame { id, stage: 2, scope });
+                    stack.push(Frame { id: f, stage: 0, scope: body_scope });
                 }
                 (Node::Let(x, e, f), 2) => {
                     let re = self.take(e).expect("bound term done");
@@ -769,13 +1097,13 @@ impl<'a> BackwardChecker<'a> {
                         // Alias composition happened at the use sites; an
                         // unused alias simply drops (its captures are then
                         // reported unused at their own binders).
-                        self.done(id, rf.env, rf.ty, rf.fun);
+                        self.done(id, rf.env, rf.ty, rf.fun, scope);
                         continue;
                     }
                     let c = self.consume_binder(&mut rf.env, x, re.ty)?;
                     let shifted = self.compose(re.env, &c, "let")?;
                     let env = rf.env.merge_disjoint(shifted).map_err(|v| self.dup(v))?;
-                    self.done(id, env, rf.ty, rf.fun);
+                    self.done(id, env, rf.ty, rf.fun, scope);
                 }
 
                 (Node::LetFun(x, decl, body, rest), 1) => {
@@ -794,7 +1122,8 @@ impl<'a> BackwardChecker<'a> {
                             declared
                         }
                     };
-                    let inputs = match &rb.fun {
+                    let (rb_env, rb_fun) = (rb.env.clone(), rb.fun.clone());
+                    let inputs = match &rb_fun {
                         Some(bf) => bf
                             .params
                             .iter()
@@ -808,15 +1137,17 @@ impl<'a> BackwardChecker<'a> {
                         assigned: self.show(assigned),
                         inputs,
                     });
-                    self.fn_sigs.insert(x, (rb.env.clone(), rb.fun.clone()));
+                    self.memo_fn_entry(x, assigned, &rb_fun);
+                    let rest_scope = self.scope_child_fn(scope, x, assigned, &rb_env, &rb_fun);
+                    self.fn_sigs.insert(x, (rb_env, rb_fun));
                     self.var_tys.insert(x, assigned);
-                    stack.push(Frame { id, stage: 2 });
-                    stack.push(Frame { id: rest, stage: 0 });
+                    stack.push(Frame { id, stage: 2, scope });
+                    stack.push(Frame { id: rest, stage: 0, scope: rest_scope });
                 }
                 (Node::LetFun(_, _, body, rest), 2) => {
                     let _ = self.take(body);
                     let rr = self.take(rest).expect("rest done");
-                    self.done(id, rr.env, rr.ty, rr.fun);
+                    self.done(id, rr.env, rr.ty, rr.fun, scope);
                 }
 
                 (node, stage) => unreachable!("invalid backward state: {node:?} at stage {stage}"),

@@ -34,6 +34,8 @@
 //! threads it through `Analyzer::check_cached` / `bound_cached` and the
 //! sharded batch entry points.
 
+use crate::check::FnReport;
+use crate::grade::{Coeffect, Grade};
 use crate::term::{Node, TermId, TermStore, VarId};
 use crate::ty::Ty;
 use crate::TyId;
@@ -510,6 +512,274 @@ impl Fingerprinter<'_> {
             }
         }
         h.finish128()
+    }
+}
+
+/// Per-node content fingerprints of one store's reachable term DAG: the
+/// substrate of judgment-level memoization ([`JudgmentCache`]).
+///
+/// [`TermId`]s are store-local — every parse builds a fresh hash-consed
+/// store, so ids do not survive an edit. The per-subterm *content*
+/// fingerprints computed here do: they are exactly the hashes
+/// [`fingerprint_term`] computes for every node on the way to the root
+/// (alpha-invariant, annotation-resolving, process-stable), so a subterm
+/// untouched by an edit fingerprints identically in the re-parsed store
+/// and can address the same memoized judgment. The canonical variable
+/// numbering (free interface first, then binders in traversal order) is
+/// exposed in both directions: memoized environments store canonical
+/// numbers, and replaying them into a new store translates numbers back
+/// to that store's [`VarId`]s.
+#[derive(Debug)]
+pub struct NodeFingerprints {
+    terms: HashMap<TermId, u128>,
+    canon: HashMap<VarId, u32>,
+    uncanon: Vec<VarId>,
+}
+
+impl NodeFingerprints {
+    /// The content fingerprint of the subterm rooted at `id`, if `id` is
+    /// reachable from the fingerprinted root.
+    pub fn node(&self, id: TermId) -> Option<u128> {
+        self.terms.get(&id).copied()
+    }
+
+    /// The canonical number of a variable occurring in the program.
+    pub fn canon(&self, v: VarId) -> Option<u32> {
+        self.canon.get(&v).copied()
+    }
+
+    /// The store's [`VarId`] behind a canonical number (the inverse of
+    /// [`NodeFingerprints::canon`]).
+    pub fn var(&self, canon: u32) -> Option<VarId> {
+        self.uncanon.get(canon as usize).copied()
+    }
+
+    /// Number of distinct reachable nodes — the number of judgments a
+    /// from-scratch checking pass computes.
+    pub fn reachable(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// Fingerprints every node reachable from `root` (see
+/// [`NodeFingerprints`]). One `O(distinct nodes)` hashing pass, the
+/// incremental analogue of [`fingerprint_term`]: the root's fingerprint
+/// here equals the per-node hash that function folds into its result.
+pub fn node_fingerprints(
+    store: &TermStore,
+    root: TermId,
+    free: &[(VarId, Ty)],
+) -> NodeFingerprints {
+    let mut fp = Fingerprinter {
+        store,
+        terms: HashMap::new(),
+        tys: HashMap::new(),
+        vars: HashMap::new(),
+        next_var: 0,
+    };
+    for (v, _) in free {
+        fp.canon_var(*v);
+    }
+    let _ = fp.hash_term(root);
+    let mut uncanon = vec![VarId(0); fp.next_var as usize];
+    for (&v, &n) in &fp.vars {
+        uncanon[n as usize] = v;
+    }
+    NodeFingerprints { terms: fp.terms, canon: fp.vars, uncanon }
+}
+
+/// Extends a scope-chain fingerprint with one binder.
+///
+/// A judgment depends on its subterm *and* on the types its free
+/// variables carry, so the memo key pairs the subterm fingerprint with a
+/// hash of the whole scope chain: each binder in scope contributes its
+/// canonical number and the structural hash of its assigned type, in
+/// binding order, on top of the configuration fingerprint the chain was
+/// seeded with. Matching chains therefore assign every canonical
+/// variable the same type — which, together with a matching subterm
+/// fingerprint, makes the memoized judgment sound to replay (see
+/// `docs/paper-map.md`).
+pub fn scope_extend(parent: u64, canon_var: u32, ty_fp: u128) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(parent);
+    h.write_u32(canon_var);
+    h.write_u128(ty_fp);
+    h.finish64()
+}
+
+/// A memoized forward judgment for one subtree: everything
+/// [`crate::infer`] computes for it, in store- and arena-independent
+/// form.
+#[derive(Clone, Debug)]
+pub struct ForwardJudgment {
+    /// `(canonical variable, sensitivity)` entries of the minimal
+    /// environment, sorted by canonical number.
+    pub env: Vec<(u32, Grade)>,
+    /// The inferred type, resolved out of the arena (portable across
+    /// sessions and `deep_clone`d shards).
+    pub ty: Ty,
+    /// Function reports emitted while checking this subtree, in emission
+    /// order (function names are part of the content fingerprint, so they
+    /// replay verbatim).
+    pub fns: Vec<FnReport>,
+}
+
+/// One still-unapplied parameter of a memoized backward function value.
+#[derive(Clone, Debug)]
+pub struct BackwardParamEntry {
+    /// The parameter binder's canonical number.
+    pub var: u32,
+    /// Whether the parameter carries data (non-unit).
+    pub named: bool,
+    /// The demand its consumption places on an argument.
+    pub demand: Coeffect,
+}
+
+/// One memoized backward per-function report. Parameter *names* are
+/// presentation (not content), so inputs are stored by canonical number
+/// and renamed from the replaying store.
+#[derive(Clone, Debug)]
+pub struct BackwardFnEntry {
+    /// The function's name (content — part of the subterm fingerprint).
+    pub name: String,
+    /// The type assigned in the context.
+    pub assigned: Ty,
+    /// Per-parameter backward error bounds, by canonical number.
+    pub inputs: Vec<(u32, Grade)>,
+}
+
+/// A memoized backward judgment for one subtree: everything
+/// [`crate::infer_backward`] computes for it, in store- and
+/// arena-independent form.
+#[derive(Clone, Debug)]
+pub struct BackwardJudgment {
+    /// `(canonical variable, coeffect)` entries of the consumed context,
+    /// sorted by canonical number.
+    pub env: Vec<(u32, Coeffect)>,
+    /// The subtree's type, resolved out of the arena.
+    pub ty: Ty,
+    /// Parameter demands if the subtree is a (possibly partially
+    /// applied) function value.
+    pub fun: Option<Vec<BackwardParamEntry>>,
+    /// Per-function reports emitted while checking this subtree.
+    pub fns: Vec<BackwardFnEntry>,
+}
+
+/// One memoized judgment — the value type of a [`JudgmentCache`]. The
+/// scope chain is seeded with a mode-separated configuration fingerprint
+/// so forward and backward entries never share an address, but replay
+/// sites still match on the variant defensively (a mismatch is a miss).
+#[derive(Clone, Debug)]
+pub enum JudgmentEntry {
+    /// A [`crate::infer`] subtree judgment.
+    Forward(ForwardJudgment),
+    /// A [`crate::infer_backward`] subtree judgment.
+    Backward(BackwardJudgment),
+}
+
+fn ty_weight(t: &Ty) -> usize {
+    24 + match t {
+        Ty::Unit | Ty::Num => 0,
+        Ty::Tensor(a, b) | Ty::With(a, b) | Ty::Sum(a, b) | Ty::Lolli(a, b) => {
+            ty_weight(a) + ty_weight(b)
+        }
+        Ty::Bang(_, t) | Ty::Monad(_, t) => 32 + ty_weight(t),
+    }
+}
+
+impl CacheWeight for JudgmentEntry {
+    fn weight(&self) -> usize {
+        match self {
+            JudgmentEntry::Forward(j) => {
+                48 + 48 * j.env.len()
+                    + ty_weight(&j.ty)
+                    + j.fns
+                        .iter()
+                        .map(|f| {
+                            32 + f.name.len() + ty_weight(&f.inferred) + ty_weight(&f.assigned)
+                        })
+                        .sum::<usize>()
+            }
+            JudgmentEntry::Backward(j) => {
+                48 + 80 * j.env.len()
+                    + ty_weight(&j.ty)
+                    + j.fun.as_ref().map_or(0, |ps| 88 * ps.len())
+                    + j.fns
+                        .iter()
+                        .map(|f| 32 + f.name.len() + ty_weight(&f.assigned) + 48 * f.inputs.len())
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Reuse accounting for one memoized checking pass.
+///
+/// A replayed subtree judgment transitively stands in for every judgment
+/// beneath it, so `reused` counts *all* judgments a from-scratch pass
+/// would have computed that this pass did not (`total - recomputed`),
+/// not merely the direct cache hits.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct JudgmentCounts {
+    /// Judgments replayed from the memo table, directly or transitively.
+    pub reused: u64,
+    /// Judgments actually computed by this pass.
+    pub recomputed: u64,
+    /// Judgments a from-scratch pass computes (distinct reachable nodes).
+    pub total: u64,
+}
+
+impl JudgmentCounts {
+    /// `reused / total` in `[0, 1]` (1.0 for an empty program).
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.reused as f64 / self.total as f64
+        }
+    }
+}
+
+/// A byte-budgeted LRU table of subterm-level typing judgments, shared
+/// by [`crate::infer_memoized`] and [`crate::infer_backward_memoized`].
+///
+/// Keys are `(subterm content fingerprint, scope-chain fingerprint)`
+/// pairs — the chain is seeded with the caller's configuration
+/// fingerprint, so one table safely serves both analysis modes and any
+/// number of sessions. Values ([`JudgmentEntry`]) are store- and
+/// arena-independent, which is what makes the table correct under the
+/// sharded pool's `deep_clone`d arenas: a judgment memoized against one
+/// clone re-interns its types into whichever arena replays it.
+#[derive(Debug)]
+pub struct JudgmentCache {
+    inner: ResultCache<JudgmentEntry>,
+}
+
+impl JudgmentCache {
+    /// An empty cache holding at most ~`budget_bytes` of judgment weight.
+    pub fn new(budget_bytes: usize) -> Self {
+        JudgmentCache { inner: ResultCache::new(budget_bytes) }
+    }
+
+    /// Looks up the judgment memoized for a subterm under a scope chain.
+    pub fn get(&mut self, node: u128, scope: u64) -> Option<JudgmentEntry> {
+        self.inner.get(&CacheKey { program: node, config: scope })
+    }
+
+    /// Memoizes one judgment, evicting least-recently-used entries to
+    /// respect the byte budget.
+    pub fn insert(&mut self, node: u128, scope: u64, entry: JudgmentEntry) {
+        self.inner.insert(CacheKey { program: node, config: scope }, entry);
+    }
+
+    /// Current counters (same semantics as [`ResultCache::stats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Drops every entry, keeping lifetime counters.
+    pub fn clear(&mut self) {
+        self.inner.clear();
     }
 }
 

@@ -26,6 +26,10 @@
 //!   ordinary signature entry.
 
 use crate::arena::{ArenaInner, GradeId, TyId, TyNode, NUM_ID as NUM, UNIT_ID as UNIT};
+use crate::cache::{
+    hash_ty_tree, node_fingerprints, scope_extend, ForwardJudgment, JudgmentCache, JudgmentCounts,
+    JudgmentEntry, NodeFingerprints,
+};
 use crate::env::Env;
 use crate::grade::Grade;
 use crate::sig::Signature;
@@ -212,10 +216,74 @@ pub fn infer_in(
     root: TermId,
     free: &[(VarId, Ty)],
 ) -> Result<CheckResult, CheckError> {
+    infer_inner(store, tys, sig, root, free, None).map(|(result, _)| result)
+}
+
+/// [`infer_in`], with subterm-level judgment memoization against `cache`.
+///
+/// `config` must fingerprint everything beyond the term that can change
+/// a judgment — at minimum the analysis mode and the signature (see
+/// [`crate::ConfigFingerprint`]) — and the same value must be passed for
+/// a lookup to hit. On rechecking an edited program, only the spine from
+/// the edit to the root is recomputed; every untouched subtree judgment
+/// replays from the table, and the returned [`JudgmentCounts`] report
+/// the split. Cached values are store- and arena-independent, so one
+/// cache serves re-parsed programs and `deep_clone`d shard arenas alike.
+/// The result is byte-identical to [`infer_in`]'s — memoization is
+/// observable only in the counts.
+///
+/// # Errors
+///
+/// Exactly as [`infer`]; failed passes memoize nothing new beyond their
+/// successfully checked subtrees.
+pub fn infer_memoized(
+    store: &TermStore,
+    tys: &crate::CoreArena,
+    sig: &Signature,
+    root: TermId,
+    free: &[(VarId, Ty)],
+    cache: &mut JudgmentCache,
+    config: u64,
+) -> Result<(CheckResult, JudgmentCounts), CheckError> {
+    infer_inner(store, tys, sig, root, free, Some((cache, config)))
+}
+
+fn infer_inner(
+    store: &TermStore,
+    tys: &crate::CoreArena,
+    sig: &Signature,
+    root: TermId,
+    free: &[(VarId, Ty)],
+    memo_cfg: Option<(&mut JudgmentCache, u64)>,
+) -> Result<(CheckResult, JudgmentCounts), CheckError> {
     assert!(
         tys.same_arena(store.tys()) || tys.len() >= store.tys().len(),
         "infer_in: arena is not an id-compatible copy of the store's arena"
     );
+    // The scope-chain seed folds the free interface — each variable's
+    // canonical number and type — over the caller's config fingerprint,
+    // so a judgment replays only under an identical interface. Computed
+    // before the arena lock below: fingerprinting resolves annotation
+    // types through the store's arena handle.
+    let (memo, seed) = match memo_cfg {
+        None => (None, 0),
+        Some((cache, config)) => {
+            let fps = node_fingerprints(store, root, free);
+            let mut seed = config;
+            for (v, t) in free {
+                let canon = fps.canon(*v).expect("free variable is canonicalized");
+                seed = scope_extend(seed, canon, hash_ty_tree(t));
+            }
+            let memo = Memo {
+                cache,
+                fps,
+                ty_fps: HashMap::new(),
+                fns_start: HashMap::new(),
+                recomputed: 0,
+            };
+            (Some(memo), seed)
+        }
+    };
     // The whole pass holds the arena lock once instead of locking per
     // query; nothing below may call back through the `CoreArena` handle.
     let mut arena = tys.inner();
@@ -233,13 +301,28 @@ pub fn infer_in(
         rnd_grade_id,
         zero_grade_id,
         arena,
+        memo,
     };
-    ck.run(root)?;
+    ck.run(root, seed)?;
+    let counts = match &ck.memo {
+        None => JudgmentCounts::default(),
+        Some(m) => {
+            let total = m.fps.reachable() as u64;
+            JudgmentCounts {
+                reused: total.saturating_sub(m.recomputed),
+                recomputed: m.recomputed,
+                total,
+            }
+        }
+    };
     let root_res = ck.results.remove(&root).expect("root inferred");
-    Ok(CheckResult {
-        root: Inferred { env: root_res.env, ty: ck.arena.resolve(root_res.ty) },
-        fns: ck.fns,
-    })
+    Ok((
+        CheckResult {
+            root: Inferred { env: root_res.env, ty: ck.arena.resolve(root_res.ty) },
+            fns: ck.fns,
+        },
+        counts,
+    ))
 }
 
 /// How many parent edges reference each node, across the whole store.
@@ -298,12 +381,31 @@ struct Checker<'a> {
     ops: HashMap<u32, (TyId, TyId)>,
     rnd_grade_id: GradeId,
     zero_grade_id: GradeId,
+    /// Judgment memoization state ([`infer_memoized`] only).
+    memo: Option<Memo<'a>>,
+}
+
+/// Per-pass memoization state: the shared judgment table plus this
+/// store's node fingerprints and canonical-variable translation.
+struct Memo<'a> {
+    cache: &'a mut JudgmentCache,
+    fps: NodeFingerprints,
+    /// `hash_ty_tree` of resolved types, memoized by interned id.
+    ty_fps: HashMap<TyId, u128>,
+    /// Where each in-flight (cache-missed) node's window into `fns`
+    /// starts; presence gates memoization in `done`.
+    fns_start: HashMap<TermId, usize>,
+    /// Judgments computed by this pass (cache misses and leaves).
+    recomputed: u64,
 }
 
 #[derive(Clone, Copy)]
 struct Frame {
     id: TermId,
     stage: u8,
+    /// Scope-chain fingerprint the node is checked under (0 when not
+    /// memoizing).
+    scope: u64,
 }
 
 impl<'a> Checker<'a> {
@@ -327,8 +429,95 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn done(&mut self, id: TermId, env: Env, ty: TyId) {
+    fn done(&mut self, id: TermId, env: Env, ty: TyId, scope: u64) {
+        self.memoize(id, &env, ty, scope);
         self.results.insert(id, Judgment { env, ty });
+    }
+
+    /// Memoizes a freshly computed judgment, if this node cache-missed at
+    /// stage 0 (leaves never register and are never memoized — they are
+    /// cheaper to recompute than to look up).
+    fn memoize(&mut self, id: TermId, env: &Env, ty: TyId, scope: u64) {
+        let Some(memo) = self.memo.as_mut() else { return };
+        let Some(start) = memo.fns_start.remove(&id) else { return };
+        let Some(node_fp) = memo.fps.node(id) else { return };
+        let mut canon_env = Vec::with_capacity(env.len());
+        for (v, g) in env.iter() {
+            match memo.fps.canon(*v) {
+                Some(c) => canon_env.push((c, g.clone())),
+                // Unfingerprinted variable (cannot happen for a var that
+                // occurs in the program): skip memoization defensively.
+                None => return,
+            }
+        }
+        canon_env.sort_by_key(|(c, _)| *c);
+        let resolved = self.arena.resolve(ty);
+        memo.cache.insert(
+            node_fp,
+            scope,
+            JudgmentEntry::Forward(ForwardJudgment {
+                env: canon_env,
+                ty: resolved,
+                fns: self.fns[start..].to_vec(),
+            }),
+        );
+    }
+
+    /// Attempts to replay a memoized judgment for `id` under `scope`.
+    /// Returns `true` on a hit (result installed, subtree skipped). On a
+    /// miss, registers the node's function-report window and counts the
+    /// upcoming computation.
+    fn try_replay(&mut self, id: TermId, scope: u64) -> bool {
+        let Some(memo) = self.memo.as_mut() else { return false };
+        if matches!(
+            self.store.node(id),
+            Node::Var(_) | Node::UnitVal | Node::Const(_) | Node::Err(..)
+        ) {
+            memo.recomputed += 1;
+            return false;
+        }
+        let Some(node_fp) = memo.fps.node(id) else {
+            memo.recomputed += 1;
+            return false;
+        };
+        if let Some(JudgmentEntry::Forward(j)) = memo.cache.get(node_fp, scope) {
+            let mut entries = Vec::with_capacity(j.env.len());
+            let mut translated = true;
+            for (canon, g) in &j.env {
+                match memo.fps.var(*canon) {
+                    Some(v) => entries.push((v, g.clone())),
+                    None => {
+                        translated = false;
+                        break;
+                    }
+                }
+            }
+            if translated {
+                let ty = self.arena.intern(&j.ty);
+                self.fns.extend(j.fns.iter().cloned());
+                self.results.insert(id, Judgment { env: Env::from_entries(entries), ty });
+                return true;
+            }
+        }
+        memo.fns_start.insert(id, self.fns.len());
+        memo.recomputed += 1;
+        false
+    }
+
+    /// The scope-chain fingerprint for a child checked under one more
+    /// binder `x : ty` (0 when not memoizing).
+    fn scope_child(&mut self, parent: u64, x: VarId, ty: TyId) -> u64 {
+        let Some(memo) = self.memo.as_mut() else { return 0 };
+        let Some(canon) = memo.fps.canon(x) else { return parent };
+        let ty_fp = match memo.ty_fps.get(&ty) {
+            Some(&fp) => fp,
+            None => {
+                let fp = hash_ty_tree(&self.arena.resolve(ty));
+                memo.ty_fps.insert(ty, fp);
+                fp
+            }
+        };
+        scope_extend(parent, canon, ty_fp)
     }
 
     /// The positive stand-in for a zero scaling in (Let)/(+E) — the
@@ -354,23 +543,23 @@ impl<'a> Checker<'a> {
         Ok(entry)
     }
 
-    fn run(&mut self, root: TermId) -> Result<(), CheckError> {
-        let mut stack = vec![Frame { id: root, stage: 0 }];
-        while let Some(Frame { id, stage }) = stack.pop() {
-            if stage == 0 && self.results.contains_key(&id) {
+    fn run(&mut self, root: TermId, seed: u64) -> Result<(), CheckError> {
+        let mut stack = vec![Frame { id: root, stage: 0, scope: seed }];
+        while let Some(Frame { id, stage, scope }) = stack.pop() {
+            if stage == 0 && (self.results.contains_key(&id) || self.try_replay(id, scope)) {
                 continue;
             }
             match (*self.store.node(id), stage) {
                 // ----- leaves -----
                 (Node::Var(v), _) => {
                     let ty = self.var_ty(v)?;
-                    self.done(id, Env::singleton(v, Grade::one()), ty);
+                    self.done(id, Env::singleton(v, Grade::one()), ty, scope);
                 }
-                (Node::UnitVal, _) => self.done(id, Env::empty(), UNIT),
-                (Node::Const(_), _) => self.done(id, Env::empty(), NUM),
+                (Node::UnitVal, _) => self.done(id, Env::empty(), UNIT, scope),
+                (Node::Const(_), _) => self.done(id, Env::empty(), NUM, scope),
                 (Node::Err(g, t), _) => {
                     let ty = self.arena.mk(TyNode::Monad(g, t));
-                    self.done(id, Env::empty(), ty);
+                    self.done(id, Env::empty(), ty, scope);
                 }
 
                 // ----- single-child nodes -----
@@ -381,24 +570,24 @@ impl<'a> Checker<'a> {
                 | (Node::Ret(v), 0)
                 | (Node::Proj(_, v), 0)
                 | (Node::Op(_, v), 0) => {
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: v, stage: 0 });
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: v, stage: 0, scope });
                 }
                 (Node::Inl(v, rt), 1) => {
                     let r = self.take(v).expect("child done");
                     let ty = self.arena.mk(TyNode::Sum(r.ty, rt));
-                    self.done(id, r.env, ty);
+                    self.done(id, r.env, ty, scope);
                 }
                 (Node::Inr(v, lt), 1) => {
                     let r = self.take(v).expect("child done");
                     let ty = self.arena.mk(TyNode::Sum(lt, r.ty));
-                    self.done(id, r.env, ty);
+                    self.done(id, r.env, ty, scope);
                 }
                 (Node::BoxIntro(g, v), 1) => {
                     let r = self.take(v).expect("child done");
                     let env = r.env.scale(self.arena.grade(g)).ok_or(CheckError::NonlinearGrade)?;
                     let ty = self.arena.mk(TyNode::Bang(g, r.ty));
-                    self.done(id, env, ty);
+                    self.done(id, env, ty, scope);
                 }
                 (Node::Rnd(v), 1) => {
                     let r = self.take(v).expect("child done");
@@ -409,19 +598,19 @@ impl<'a> Checker<'a> {
                         });
                     }
                     let ty = self.arena.mk(TyNode::Monad(self.rnd_grade_id, NUM));
-                    self.done(id, r.env, ty);
+                    self.done(id, r.env, ty, scope);
                 }
                 (Node::Ret(v), 1) => {
                     let r = self.take(v).expect("child done");
                     let ty = self.arena.mk(TyNode::Monad(self.zero_grade_id, r.ty));
-                    self.done(id, r.env, ty);
+                    self.done(id, r.env, ty, scope);
                 }
                 (Node::Proj(first, v), 1) => {
                     let r = self.take(v).expect("child done");
                     match self.arena.node(r.ty) {
                         TyNode::With(a, b) => {
                             let ty = if first { a } else { b };
-                            self.done(id, r.env, ty);
+                            self.done(id, r.env, ty, scope);
                         }
                         _ => {
                             return Err(CheckError::Expected {
@@ -456,26 +645,26 @@ impl<'a> Checker<'a> {
                             found: self.show(r.ty),
                         });
                     };
-                    self.done(id, env, ret);
+                    self.done(id, env, ret, scope);
                 }
 
                 // ----- pairs and application: two independent children -----
                 (Node::PairW(a, b), 0) | (Node::PairT(a, b), 0) | (Node::App(a, b), 0) => {
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: a, stage: 0 });
-                    stack.push(Frame { id: b, stage: 0 });
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: a, stage: 0, scope });
+                    stack.push(Frame { id: b, stage: 0, scope });
                 }
                 (Node::PairW(a, b), 1) => {
                     let ra = self.take(a).expect("child done");
                     let rb = self.take(b).expect("child done");
                     let ty = self.arena.mk(TyNode::With(ra.ty, rb.ty));
-                    self.done(id, ra.env.sup(rb.env), ty);
+                    self.done(id, ra.env.sup(rb.env), ty, scope);
                 }
                 (Node::PairT(a, b), 1) => {
                     let ra = self.take(a).expect("child done");
                     let rb = self.take(b).expect("child done");
                     let ty = self.arena.mk(TyNode::Tensor(ra.ty, rb.ty));
-                    self.done(id, ra.env.add(rb.env), ty);
+                    self.done(id, ra.env.add(rb.env), ty, scope);
                 }
                 (Node::App(a, b), 1) => {
                     let ra = self.take(a).expect("child done");
@@ -488,7 +677,7 @@ impl<'a> Checker<'a> {
                                     found: self.show(rb.ty),
                                 });
                             }
-                            self.done(id, ra.env.add(rb.env), cod);
+                            self.done(id, ra.env.add(rb.env), cod, scope);
                         }
                         _ => {
                             return Err(CheckError::Expected {
@@ -502,8 +691,9 @@ impl<'a> Checker<'a> {
                 // ----- λ: register the parameter, then check the body -----
                 (Node::Lam(x, ty_id, body), 0) => {
                     self.var_tys.insert(x, ty_id);
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: body, stage: 0 });
+                    let body_scope = self.scope_child(scope, x, ty_id);
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: body, stage: 0, scope: body_scope });
                 }
                 (Node::Lam(x, ty_id, body), 1) => {
                     let mut r = self.take(body).expect("child done");
@@ -515,7 +705,7 @@ impl<'a> Checker<'a> {
                         });
                     }
                     let ty = self.arena.mk(TyNode::Lolli(ty_id, r.ty));
-                    self.done(id, r.env, ty);
+                    self.done(id, r.env, ty, scope);
                 }
 
                 // ----- binders that need the scrutinee's type first -----
@@ -523,12 +713,12 @@ impl<'a> Checker<'a> {
                 | (Node::Case(v, ..), 0)
                 | (Node::LetBox(_, v, _), 0)
                 | (Node::LetBind(_, v, _), 0) => {
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: v, stage: 0 });
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: v, stage: 0, scope });
                 }
                 (Node::Let(_, e, _), 0) | (Node::LetFun(_, _, e, _), 0) => {
-                    stack.push(Frame { id, stage: 1 });
-                    stack.push(Frame { id: e, stage: 0 });
+                    stack.push(Frame { id, stage: 1, scope });
+                    stack.push(Frame { id: e, stage: 0, scope });
                 }
 
                 (Node::LetTensor(x, y, v, e), 1) => {
@@ -537,8 +727,10 @@ impl<'a> Checker<'a> {
                         TyNode::Tensor(a, b) => {
                             self.var_tys.insert(x, a);
                             self.var_tys.insert(y, b);
-                            stack.push(Frame { id, stage: 2 });
-                            stack.push(Frame { id: e, stage: 0 });
+                            let inner = self.scope_child(scope, x, a);
+                            let inner = self.scope_child(inner, y, b);
+                            stack.push(Frame { id, stage: 2, scope });
+                            stack.push(Frame { id: e, stage: 0, scope: inner });
                         }
                         _ => {
                             return Err(CheckError::Expected {
@@ -555,7 +747,7 @@ impl<'a> Checker<'a> {
                     let sy = re.env.remove(y);
                     let s = sx.sup(&sy);
                     let scaled = rv.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
-                    self.done(id, re.env.add(scaled), re.ty);
+                    self.done(id, re.env.add(scaled), re.ty, scope);
                 }
 
                 (Node::Case(v, x, e1, y, e2), 1) => {
@@ -564,9 +756,11 @@ impl<'a> Checker<'a> {
                         TyNode::Sum(a, b) => {
                             self.var_tys.insert(x, a);
                             self.var_tys.insert(y, b);
-                            stack.push(Frame { id, stage: 2 });
-                            stack.push(Frame { id: e1, stage: 0 });
-                            stack.push(Frame { id: e2, stage: 0 });
+                            let s1 = self.scope_child(scope, x, a);
+                            let s2 = self.scope_child(scope, y, b);
+                            stack.push(Frame { id, stage: 2, scope });
+                            stack.push(Frame { id: e1, stage: 0, scope: s1 });
+                            stack.push(Frame { id: e2, stage: 0, scope: s2 });
                         }
                         _ => {
                             return Err(CheckError::Expected {
@@ -592,7 +786,7 @@ impl<'a> Checker<'a> {
                     })?;
                     let theta = r1.env.sup(r2.env);
                     let scaled = rv.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
-                    self.done(id, theta.add(scaled), ty);
+                    self.done(id, theta.add(scaled), ty, scope);
                 }
 
                 (Node::LetBox(x, v, e), 1) => {
@@ -600,8 +794,9 @@ impl<'a> Checker<'a> {
                     match self.arena.node(rv.ty) {
                         TyNode::Bang(_, inner) => {
                             self.var_tys.insert(x, inner);
-                            stack.push(Frame { id, stage: 2 });
-                            stack.push(Frame { id: e, stage: 0 });
+                            let body_scope = self.scope_child(scope, x, inner);
+                            stack.push(Frame { id, stage: 2, scope });
+                            stack.push(Frame { id: e, stage: 0, scope: body_scope });
                         }
                         _ => {
                             return Err(CheckError::Expected {
@@ -623,7 +818,7 @@ impl<'a> Checker<'a> {
                         var: self.store.var_name(x).to_string(),
                     })?;
                     let scaled = rv.env.scale(&t).ok_or(CheckError::NonlinearGrade)?;
-                    self.done(id, re.env.add(scaled), re.ty);
+                    self.done(id, re.env.add(scaled), re.ty, scope);
                 }
 
                 (Node::LetBind(x, v, f), 1) => {
@@ -631,8 +826,9 @@ impl<'a> Checker<'a> {
                     match self.arena.node(rv.ty) {
                         TyNode::Monad(_, inner) => {
                             self.var_tys.insert(x, inner);
-                            stack.push(Frame { id, stage: 2 });
-                            stack.push(Frame { id: f, stage: 0 });
+                            let body_scope = self.scope_child(scope, x, inner);
+                            stack.push(Frame { id, stage: 2, scope });
+                            stack.push(Frame { id: f, stage: 0, scope: body_scope });
                         }
                         _ => {
                             return Err(CheckError::Expected {
@@ -665,14 +861,15 @@ impl<'a> Checker<'a> {
                     let scaled = rv.env.scale(&s).ok_or(CheckError::NonlinearGrade)?;
                     let gid = self.arena.intern_grade(&grade);
                     let ty = self.arena.mk(TyNode::Monad(gid, tau));
-                    self.done(id, rf.env.add(scaled), ty);
+                    self.done(id, rf.env.add(scaled), ty, scope);
                 }
 
                 (Node::Let(x, e, f), 1) => {
-                    let re = self.results.get(&e).expect("bound term done");
-                    self.var_tys.insert(x, re.ty);
-                    stack.push(Frame { id, stage: 2 });
-                    stack.push(Frame { id: f, stage: 0 });
+                    let re_ty = self.results.get(&e).expect("bound term done").ty;
+                    self.var_tys.insert(x, re_ty);
+                    let body_scope = self.scope_child(scope, x, re_ty);
+                    stack.push(Frame { id, stage: 2, scope });
+                    stack.push(Frame { id: f, stage: 0, scope: body_scope });
                 }
                 (Node::Let(x, e, f), 2) => {
                     let re = self.take(e).expect("bound term done");
@@ -681,7 +878,7 @@ impl<'a> Checker<'a> {
                     // (Let) side condition s > 0.
                     let s_bar = if s.is_zero() { self.epsilon() } else { s };
                     let scaled = re.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
-                    self.done(id, rf.env.add(scaled), rf.ty);
+                    self.done(id, rf.env.add(scaled), rf.ty, scope);
                 }
 
                 (Node::LetFun(x, decl, body, rest), 1) => {
@@ -706,8 +903,9 @@ impl<'a> Checker<'a> {
                         assigned: self.show(assigned),
                     });
                     self.var_tys.insert(x, assigned);
-                    stack.push(Frame { id, stage: 2 });
-                    stack.push(Frame { id: rest, stage: 0 });
+                    let rest_scope = self.scope_child(scope, x, assigned);
+                    stack.push(Frame { id, stage: 2, scope });
+                    stack.push(Frame { id: rest, stage: 0, scope: rest_scope });
                 }
                 (Node::LetFun(x, _, body, rest), 2) => {
                     let rb = self.take(body).expect("function body done");
@@ -715,7 +913,7 @@ impl<'a> Checker<'a> {
                     let s = rr.env.remove(x);
                     let s_bar = if s.is_zero() { self.epsilon() } else { s };
                     let scaled = rb.env.scale(&s_bar).ok_or(CheckError::NonlinearGrade)?;
-                    self.done(id, rr.env.add(scaled), rr.ty);
+                    self.done(id, rr.env.add(scaled), rr.ty, scope);
                 }
 
                 (node, stage) => unreachable!("invalid checker state: {node:?} at stage {stage}"),

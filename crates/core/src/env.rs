@@ -227,6 +227,13 @@ impl Env {
         })
     }
 
+    /// Rebuilds an environment from raw entries (judgment-cache replay).
+    /// Zero grades are dropped to preserve the no-zeros invariant;
+    /// entries must not repeat a variable.
+    pub(crate) fn from_entries(entries: impl IntoIterator<Item = (VarId, Grade)>) -> Env {
+        Env::from_vec(entries.into_iter().filter(|(_, g)| !g.is_zero()).collect())
+    }
+
     /// Pointwise least upper bound `max(Γ, Δ)` (absent = 0).
     pub fn sup(self, other: Env) -> Env {
         self.merge(other, |a, b| a.sup(b))
@@ -345,6 +352,14 @@ impl BackwardEnv {
                 (None, None) => return Ok(BackwardEnv { entries: out }),
             }
         }
+    }
+
+    /// Rebuilds a context from raw entries (judgment-cache replay).
+    /// Entries are re-sorted; they must not repeat a variable.
+    pub(crate) fn from_entries(entries: impl IntoIterator<Item = (VarId, Coeffect)>) -> Self {
+        let mut entries: Vec<_> = entries.into_iter().collect();
+        entries.sort_by_key(|(v, _)| *v);
+        BackwardEnv { entries }
     }
 
     /// Applies a coeffect transformer to every entry (`charge`, `amplify`,

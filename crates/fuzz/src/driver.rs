@@ -46,6 +46,9 @@ pub enum FailureKind {
     /// The backward-stability lens could not certify a perturbed-input
     /// witness within the typed per-input backward bound.
     BackwardViolation,
+    /// The judgment-memoized incremental checker produced output that is
+    /// not byte-identical to the from-scratch checker on some edit.
+    IncrementalMismatch,
 }
 
 impl FailureKind {
@@ -60,6 +63,7 @@ impl FailureKind {
             FailureKind::IdealMismatch => "ideal-mismatch",
             FailureKind::RoundTrip => "round-trip",
             FailureKind::BackwardViolation => "BACKWARD-VIOLATION",
+            FailureKind::IncrementalMismatch => "INCREMENTAL-MISMATCH",
         }
     }
 }
@@ -73,6 +77,24 @@ pub struct CasePass {
     pub vacuous: bool,
     /// Backward-mode facts (`None` unless the plan asked for them).
     pub backward: Option<BackwardFacts>,
+    /// Incremental-mode facts (`None` unless the plan asked for them).
+    pub incremental: Option<IncrementalFacts>,
+}
+
+/// What the incremental leg of the oracle observed on one passing case:
+/// how many edit variants were driven through the memoized checker and
+/// how the judgment work split. Every variant was verified byte-identical
+/// to the from-scratch checker (a divergence is a
+/// [`FailureKind::IncrementalMismatch`], not a fact).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrementalFacts {
+    /// Edit variants (the original program plus constant mutations)
+    /// checked through both paths, forward and backward.
+    pub edits: usize,
+    /// Judgments replayed from the memo table across all variants.
+    pub reused: u64,
+    /// Judgments recomputed across all variants.
+    pub recomputed: u64,
 }
 
 /// What the backward leg of the oracle observed on one passing case.
@@ -135,11 +157,22 @@ pub struct FuzzConfig {
     /// Also run the backward (Bean-style) analysis leg on every case
     /// (`numfuzz fuzz --backward`).
     pub backward: bool,
+    /// Also drive an edit sequence through the judgment-memoized
+    /// incremental path on every case and assert byte-identity with the
+    /// from-scratch checker (`numfuzz fuzz --incremental`).
+    pub incremental: bool,
 }
 
 impl Default for FuzzConfig {
     fn default() -> Self {
-        FuzzConfig { cases: 200, seed: 42, jobs: 1, shrink_budget: 400, backward: false }
+        FuzzConfig {
+            cases: 200,
+            seed: 42,
+            jobs: 1,
+            shrink_budget: 400,
+            backward: false,
+            incremental: false,
+        }
     }
 }
 
@@ -175,7 +208,13 @@ impl FuzzOutcome {
 }
 
 enum Row {
-    Pass { plan: CasePlan, features: Features, vacuous: bool, backward: Option<BackwardFacts> },
+    Pass {
+        plan: CasePlan,
+        features: Features,
+        vacuous: bool,
+        backward: Option<BackwardFacts>,
+        incremental: Option<IncrementalFacts>,
+    },
     Fail(Box<Counterexample>, CasePlan, Features),
 }
 
@@ -189,12 +228,17 @@ pub fn run(cfg: &FuzzConfig, oracle: &dyn Oracle) -> FuzzOutcome {
 fn run_one(cfg: &FuzzConfig, oracle: &dyn Oracle, index: usize) -> Row {
     let mut case = generate_case(cfg.seed, index);
     case.plan.backward = cfg.backward;
+    case.plan.incremental = cfg.incremental;
     let src = case.program.render();
     let features = case.program.features();
     match oracle.run_case(&case.plan, &src, case.expected_ideal.as_ref()) {
-        Ok(pass) => {
-            Row::Pass { plan: case.plan, features, vacuous: pass.vacuous, backward: pass.backward }
-        }
+        Ok(pass) => Row::Pass {
+            plan: case.plan,
+            features,
+            vacuous: pass.vacuous,
+            backward: pass.backward,
+            incremental: pass.incremental,
+        },
         Err(failure) => {
             let kind = failure.kind;
             let plan = case.plan.clone();
@@ -260,11 +304,12 @@ fn assemble(cfg: &FuzzConfig, rows: Vec<Row>) -> FuzzOutcome {
     let mut bwd = BackwardFacts::default();
     let mut bwd_accepted = 0usize;
     let mut bwd_rejected = 0usize;
+    let mut inc = IncrementalFacts::default();
     let mut counterexamples = Vec::new();
 
     for row in rows {
         let (plan, features) = match &row {
-            Row::Pass { plan, features, vacuous: v, backward } => {
+            Row::Pass { plan, features, vacuous: v, backward, incremental } => {
                 passed += 1;
                 if *v {
                     vacuous += 1;
@@ -275,6 +320,11 @@ fn assemble(cfg: &FuzzConfig, rows: Vec<Row>) -> FuzzOutcome {
                     bwd.validated_fns += facts.validated_fns;
                     bwd.skipped_fns += facts.skipped_fns;
                     bwd.grid_points += facts.grid_points;
+                }
+                if let Some(facts) = incremental {
+                    inc.edits += facts.edits;
+                    inc.reused += facts.reused;
+                    inc.recomputed += facts.recomputed;
                 }
                 (plan.clone(), *features)
             }
@@ -321,6 +371,13 @@ fn assemble(cfg: &FuzzConfig, rows: Vec<Row>) -> FuzzOutcome {
             "backward: accepted={bwd_accepted} rejected={bwd_rejected} validated-fns={} \
              skipped-fns={} grid-points={}",
             bwd.validated_fns, bwd.skipped_fns, bwd.grid_points
+        );
+    }
+    if cfg.incremental {
+        let _ = writeln!(
+            out,
+            "incremental: edits={} reused={} recomputed={}",
+            inc.edits, inc.reused, inc.recomputed
         );
     }
     let _ = writeln!(out, "outcomes: passed={passed} vacuous-fault={vacuous} failed={failed}");

@@ -58,6 +58,10 @@ pub struct CasePlan {
     /// analysis mode on this case. The generator always plans forward
     /// cases; the campaign driver flips this for `fuzz --backward` runs.
     pub backward: bool,
+    /// Whether the oracle should drive an edit sequence through the
+    /// judgment-memoized incremental path and assert byte-identity with
+    /// the from-scratch checker (`fuzz --incremental`).
+    pub incremental: bool,
 }
 
 impl CasePlan {
@@ -68,7 +72,8 @@ impl CasePlan {
             Instantiation::AbsoluteError => "abs",
         };
         let tail = if self.backward { " backward" } else { "" };
-        format!("{inst} {} {}{tail}", self.format, self.mode)
+        let inc = if self.incremental { " incremental" } else { "" };
+        format!("{inst} {} {}{tail}{inc}", self.format, self.mode)
     }
 }
 
@@ -161,6 +166,7 @@ pub fn generate_case(master_seed: u64, index: usize) -> GeneratedCase {
             mode,
             rnd_unit,
             backward: false,
+            incremental: false,
         },
         program,
         expected_ideal,

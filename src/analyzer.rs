@@ -24,8 +24,9 @@ use numfuzz_core::cache::{
 };
 use numfuzz_core::pool;
 use numfuzz_core::{
-    cache, infer, infer_backward, infer_backward_in, infer_in, BackwardFnReport, BackwardInferred,
-    CoreArena, FnReport, Grade, Inferred, Instantiation, Signature, Ty, VarId,
+    cache, infer, infer_backward, infer_backward_in, infer_backward_memoized, infer_in,
+    infer_memoized, BackwardFnReport, BackwardInferred, CoreArena, FnReport, Grade, Inferred,
+    Instantiation, JudgmentCache, JudgmentCounts, Signature, Ty, VarId,
 };
 use numfuzz_exact::Rational;
 use numfuzz_interp::{
@@ -63,6 +64,10 @@ pub struct Analyzer {
     tys: CoreArena,
     /// Optional content-addressed result cache (see [`AnalysisCache`]).
     cache: Option<AnalysisCache>,
+    /// Optional judgment-level memo table (see [`JudgmentMemo`]): the
+    /// *subterm*-granular companion of [`AnalysisCache`], consulted by
+    /// the `*_incremental` entry points.
+    judgments: Option<JudgmentMemo>,
     /// Stable fingerprint of everything that can influence a result:
     /// signature, format, mode, rounding unit, sqrt precision — under the
     /// **forward** analysis mode. Computed once at build time; the config
@@ -99,6 +104,7 @@ impl Analyzer {
             sqrt_bits: 192,
             jobs: 1,
             cache: None,
+            judgments: None,
         }
     }
 
@@ -134,6 +140,18 @@ impl Analyzer {
     /// Counters of the session's result cache, when one was configured.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(AnalysisCache::stats)
+    }
+
+    /// The session's judgment-level memo table, when one was configured
+    /// ([`AnalyzerBuilder::judgment_cache`]).
+    pub fn judgment_cache(&self) -> Option<&JudgmentMemo> {
+        self.judgments.as_ref()
+    }
+
+    /// Counters of the session's judgment memo table, when one was
+    /// configured.
+    pub fn judgment_cache_stats(&self) -> Option<CacheStats> {
+        self.judgments.as_ref().map(JudgmentMemo::stats)
     }
 
     /// A new session with this session's exact configuration (and shared
@@ -252,6 +270,77 @@ impl Analyzer {
         let result = self.check(program);
         cache.insert(key, CachedResult::Check(strip_file(result.clone()), display));
         result
+    }
+
+    /// [`Analyzer::check`] through the session's [`JudgmentMemo`]: every
+    /// *subterm* judgment is keyed on its content fingerprint and scope
+    /// chain, so a recheck after an edit replays the untouched subtrees
+    /// and recomputes only the spine from the edited node to the root.
+    /// The returned [`JudgmentCounts`] say how much was replayed. Without
+    /// a configured judgment cache this is [`Analyzer::check`] with
+    /// all-recomputed counts. The outcome — success or diagnostic — is
+    /// byte-identical to the from-scratch path (enforced by the
+    /// edit-sequence fuzzer, `numfuzz fuzz --incremental`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::check`].
+    pub fn check_incremental(
+        &self,
+        program: &Program,
+    ) -> Result<(Typed, JudgmentCounts), Diagnostic> {
+        let Some(memo) = &self.judgments else {
+            let typed = self.check(program)?;
+            let total = program.store().len() as u64;
+            return Ok((typed, JudgmentCounts { reused: 0, recomputed: total, total }));
+        };
+        self.ensure_instantiation(program)?;
+        let mut cache = memo.lock();
+        let (result, counts) = infer_memoized(
+            program.store(),
+            program.arena(),
+            &self.sig,
+            program.root(),
+            program.free(),
+            &mut cache,
+            self.config_fp,
+        )
+        .map_err(|e| Diagnostic::from_check(&e, program.source(), program.name()))?;
+        Ok((Typed { root: result.root, fns: result.fns }, counts))
+    }
+
+    /// [`Analyzer::check_backward`] through the session's
+    /// [`JudgmentMemo`] — the backward twin of
+    /// [`Analyzer::check_incremental`]. Forward and backward judgments
+    /// share the table without aliasing: the analysis mode is the first
+    /// byte of the configuration fingerprint each scope chain is seeded
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// See [`Analyzer::check_backward`].
+    pub fn check_backward_incremental(
+        &self,
+        program: &Program,
+    ) -> Result<(BackwardTyped, JudgmentCounts), Diagnostic> {
+        let Some(memo) = &self.judgments else {
+            let typed = self.check_backward(program)?;
+            let total = program.store().len() as u64;
+            return Ok((typed, JudgmentCounts { reused: 0, recomputed: total, total }));
+        };
+        self.ensure_instantiation(program)?;
+        let mut cache = memo.lock();
+        let (result, counts) = infer_backward_memoized(
+            program.store(),
+            program.arena(),
+            &self.sig,
+            program.root(),
+            program.free(),
+            &mut cache,
+            self.config_fp_backward,
+        )
+        .map_err(|e| Diagnostic::from_backward(&e, program.source(), program.name()))?;
+        Ok((BackwardTyped { root: result.root, fns: result.fns }, counts))
     }
 
     /// [`Analyzer::check`] + [`Analyzer::bound`] through the session's
@@ -463,14 +552,23 @@ impl Analyzer {
         let contended: HashSet<usize> =
             uses.into_iter().filter(|&(_, n)| n > 1).map(|(t, _)| t).collect();
 
+        // The pool hands work out in slice order, so feed it the largest
+        // programs first: when a giant program sits late in the input, the
+        // worker that draws it would otherwise run long after the rest of
+        // the queue has drained (BENCH_core.json once showed a 24-vs-1
+        // shard split for exactly this reason). Results are scattered back
+        // to input positions, so the output stays byte-identical.
+        let order = largest_first(programs);
+        let scheduled: Vec<&Program> = order.iter().map(|&i| programs[i]).collect();
+
         struct Shard {
             clones: HashMap<usize, CoreArena>,
             checked: usize,
             busy: Duration,
         }
-        let (results, shards) = pool::ordered_map_with(
+        let (permuted, shards) = pool::ordered_map_with(
             jobs,
-            programs,
+            &scheduled,
             |_worker| Shard { clones: HashMap::new(), checked: 0, busy: Duration::ZERO },
             |shard, _i, program| {
                 let t0 = Instant::now();
@@ -487,6 +585,7 @@ impl Analyzer {
                 result
             },
         );
+        let results = scatter_back(order, permuted);
         let reports = shards
             .into_iter()
             .enumerate()
@@ -859,14 +958,19 @@ impl Analyzer {
         let contended: HashSet<usize> =
             uses.into_iter().filter(|&(_, n)| n > 1).map(|(t, _)| t).collect();
 
+        // Largest programs first, scattered back to input order — see
+        // `check_batch_refs`.
+        let order = largest_first(programs);
+        let scheduled: Vec<&Program> = order.iter().map(|&i| programs[i]).collect();
+
         struct Shard {
             clones: HashMap<usize, CoreArena>,
             checked: usize,
             busy: Duration,
         }
-        let (results, shards) = pool::ordered_map_with(
+        let (permuted, shards) = pool::ordered_map_with(
             jobs,
-            programs,
+            &scheduled,
             |_worker| Shard { clones: HashMap::new(), checked: 0, busy: Duration::ZERO },
             |shard, _i, program| {
                 let t0 = Instant::now();
@@ -883,6 +987,7 @@ impl Analyzer {
                 result
             },
         );
+        let results = scatter_back(order, permuted);
         let reports = shards
             .into_iter()
             .enumerate()
@@ -1062,6 +1167,7 @@ pub struct AnalyzerBuilder {
     sqrt_bits: u32,
     jobs: usize,
     cache: Option<AnalysisCache>,
+    judgments: Option<JudgmentMemo>,
 }
 
 impl AnalyzerBuilder {
@@ -1131,6 +1237,23 @@ impl AnalyzerBuilder {
         self.cache(AnalysisCache::with_budget(budget_bytes))
     }
 
+    /// Attaches a (possibly shared) judgment-level memo table: the
+    /// `*_incremental` entry points key every subterm judgment on content
+    /// and scope, so rechecks after edits replay the untouched subtrees.
+    /// The handle is cheap to clone — share one table across the forked
+    /// sessions of a service so judgments computed by any worker replay
+    /// for all of them.
+    pub fn judgment_cache(mut self, judgments: JudgmentMemo) -> Self {
+        self.judgments = Some(judgments);
+        self
+    }
+
+    /// [`AnalyzerBuilder::judgment_cache`] with a fresh, private table of
+    /// the given byte budget.
+    pub fn judgment_cache_bytes(self, budget_bytes: usize) -> Self {
+        self.judgment_cache(JudgmentMemo::with_budget(budget_bytes))
+    }
+
     /// Finishes the session.
     pub fn build(self) -> Analyzer {
         let sig = self.sig.unwrap_or_else(|| match self.instantiation {
@@ -1162,6 +1285,7 @@ impl AnalyzerBuilder {
             jobs: self.jobs,
             tys: CoreArena::new(),
             cache: self.cache,
+            judgments: self.judgments,
             config_fp,
             config_fp_backward,
         }
@@ -1371,6 +1495,77 @@ impl AnalysisCache {
     fn insert(&self, key: CacheKey, value: CachedResult) {
         self.lock().insert(key, value)
     }
+}
+
+/// A shareable, thread-safe judgment-level memo table: the handle an
+/// [`Analyzer`] session (and every [`Analyzer::fork_session`] of it)
+/// consults from the `*_incremental` entry points.
+///
+/// Where [`AnalysisCache`] memoizes whole-program outcomes, this table
+/// memoizes one entry per *subterm* judgment, keyed on the subterm's
+/// content fingerprint and its scope-chain fingerprint (see
+/// [`numfuzz_core::JudgmentCache`]). After an edit, the spine from the
+/// edited node to the root misses and everything else replays:
+///
+/// ```
+/// use numfuzz::prelude::*;
+///
+/// let analyzer = Analyzer::builder().judgment_cache_bytes(16 << 20).build();
+/// let v1 = analyzer.parse("s = mul (2, 3); rnd s")?;
+/// let (_, cold) = analyzer.check_incremental(&v1)?;
+/// assert_eq!(cold.reused, 0);
+/// let v2 = analyzer.parse("s = mul (2, 4); rnd s")?; // one leaf edited
+/// let (_, warm) = analyzer.check_incremental(&v2)?;
+/// assert!(warm.reused > 0);
+/// # Ok::<(), numfuzz::Diagnostic>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct JudgmentMemo {
+    inner: Arc<Mutex<JudgmentCache>>,
+}
+
+impl JudgmentMemo {
+    /// A fresh table bounded by ~`budget_bytes` of resident judgments.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        JudgmentMemo { inner: Arc::new(Mutex::new(JudgmentCache::new(budget_bytes))) }
+    }
+
+    /// Current counters (hits, misses, residency, evictions) across every
+    /// session sharing this handle.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// Drops every resident judgment; cumulative counters are preserved.
+    pub fn clear(&self) {
+        self.lock().clear()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JudgmentCache> {
+        // Judgment-cache operations never panic mid-mutation; a poisoned
+        // lock still guards a consistent table.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The longest-job-first schedule for a batch: input indices sorted by
+/// descending node count (stable, so equal-sized programs keep input
+/// order). Feeding the pool this order bounds the tail a late giant
+/// program adds to one worker's shard.
+fn largest_first(programs: &[&Program]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..programs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(programs[i].store().len()));
+    order
+}
+
+/// Undoes [`largest_first`]: `permuted[k]` was computed for input index
+/// `order[k]`, so scatter each result back to its input position.
+fn scatter_back<T>(order: Vec<usize>, permuted: Vec<T>) -> Vec<T> {
+    let mut results: Vec<Option<T>> = order.iter().map(|_| None).collect();
+    for (slot, result) in order.into_iter().zip(permuted) {
+        results[slot] = Some(result);
+    }
+    results.into_iter().map(|r| r.expect("schedule is a permutation")).collect()
 }
 
 /// Re-attaches the presentation-only `file` field for `program` to a

@@ -13,6 +13,14 @@
 //!                                    semantics and verify the bound
 //! numfuzz batch DIR [options]        check + bound every .nf file under
 //!                                    DIR concurrently (ordered output)
+//! numfuzz watch FILE [options]       live re-check: poll FILE and, on
+//!                                    every change, re-type it through a
+//!                                    session-persistent judgment cache,
+//!                                    printing diagnostics / eq. (8)
+//!                                    bounds plus reused/recomputed
+//!                                    judgment counts
+//!     --poll-ms N    poll interval in milliseconds (default 100)
+//!     --iterations N stop after N rechecks (default 0 = watch forever)
 //! numfuzz serve [serve options]      resident NDJSON analysis service
 //!                                    with a content-addressed result
 //!                                    cache (see docs/serve.md)
@@ -42,6 +50,9 @@
 //!     --gate F       compare cold check+bound throughput against report F
 //!                    and exit 1 on regression beyond the tolerance
 //!     --tolerance P  allowed regression percentage for --gate (default 40)
+//!     --gate-incremental R  exit 1 unless this run's single-leaf-edit
+//!                    recheck replayed at least ratio R of its judgments
+//!                    (machine-independent, so no baseline file is needed)
 //! ```
 //!
 //! Exit codes: `0` success, `1` the program is ill-typed / violates its
@@ -119,6 +130,7 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
             run(&program, &analyzer)
         }
         "batch" => batch(rest),
+        "watch" => watch(rest),
         "bench" => bench(rest),
         "fuzz" => fuzz(rest),
         "serve" => serve(rest),
@@ -135,10 +147,11 @@ fn usage() -> String {
     "usage: numfuzz <check|bound> FILE [--backward] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
      \x20      numfuzz run FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
      \x20      numfuzz batch DIR [--backward] [--jobs N] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
+     \x20      numfuzz watch FILE [--poll-ms N] [--iterations N] [--backward] [--prec P] [--emax E] [--mode M] [--abs]\n\
      \x20      numfuzz serve [--listen ADDR] [--jobs N] [--cache-bytes N] [--prec P] [--emax E] [--mode M] [--abs]\n\
      \x20      numfuzz client --connect HOST:PORT [--retry SECONDS]\n\
-     \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE] [--gate FILE] [--tolerance P]\n\
-     \x20      numfuzz fuzz [--backward] [--cases N] [--seed S] [--jobs N] [--repro PREFIX]"
+     \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE] [--gate FILE] [--tolerance P] [--gate-incremental R]\n\
+     \x20      numfuzz fuzz [--backward] [--incremental] [--cases N] [--seed S] [--jobs N] [--repro PREFIX]"
         .to_string()
 }
 
@@ -183,6 +196,11 @@ fn serve(rest: &[String]) -> Result<(), Failure> {
         .format(opts.format)
         .mode(opts.mode)
         .cache(AnalysisCache::with_budget(cache_bytes))
+        // The judgment-level cache behind the `edit` op: sub-term results
+        // persist across requests and connections, so an edited program
+        // only recomputes the spine from the edit to the root. Same byte
+        // budget as the whole-program cache.
+        .judgment_cache_bytes(cache_bytes)
         .build();
     let service = numfuzz::serve::Service::new(analyzer, jobs);
     let result = match listen {
@@ -258,6 +276,7 @@ fn fuzz(rest: &[String]) -> Result<(), Failure> {
             }
             "--repro" => repro_prefix = value("--repro").map_err(Failure::Usage)?,
             "--backward" => cfg.backward = true,
+            "--incremental" => cfg.incremental = true,
             other => return Err(Failure::Usage(format!("unknown option `{other}`"))),
         }
     }
@@ -342,6 +361,132 @@ fn batch(rest: &[String]) -> Result<(), Failure> {
     Ok(())
 }
 
+/// `numfuzz watch FILE`: the live-recheck surface over the incremental
+/// analysis path. The file is polled (`--poll-ms`); whenever its content
+/// changes — including the initial read — it is re-parsed and re-typed
+/// through a session-persistent judgment cache, so each recheck only
+/// recomputes the judgments on the spine from the edited sub-term to the
+/// root. Every recheck prints the same report `numfuzz check` + `bound`
+/// would (or the spanned E0xxx diagnostic) plus one `judgments:` line
+/// with the reuse split. `--iterations N` stops after N rechecks (for
+/// scripted use); the default 0 watches until interrupted.
+fn watch(rest: &[String]) -> Result<(), Failure> {
+    let file = rest.first().ok_or_else(|| Failure::Usage("missing FILE argument".into()))?;
+    let mut poll_ms = 100u64;
+    let mut iterations = 0u64;
+    let mut passthrough = Vec::new();
+    let mut it = rest[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--poll-ms" => {
+                poll_ms = value("--poll-ms")
+                    .and_then(|v| v.parse().map_err(|e| format!("--poll-ms: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--iterations" => {
+                iterations = value("--iterations")
+                    .and_then(|v| v.parse().map_err(|e| format!("--iterations: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            other => passthrough.push(other.to_string()),
+        }
+    }
+    let opts = parse_opts(&passthrough).map_err(Failure::Usage)?;
+    let analyzer = Analyzer::builder()
+        .signature(opts.instantiation)
+        .format(opts.format)
+        .mode(opts.mode)
+        .judgment_cache_bytes(64 << 20)
+        .build();
+
+    use std::io::Write as _;
+    let mut last_src: Option<String> = None;
+    let mut last_stamp: Option<(std::time::SystemTime, u64)> = None;
+    let mut rechecks = 0u64;
+    loop {
+        // Stat first so an unchanged file costs one metadata read per
+        // poll, not a full content read. A changed stamp falls through to
+        // the content comparison, which is what actually triggers work
+        // (editors rewrite files without changing a byte all the time);
+        // a stat error (the file briefly missing mid-save) just waits.
+        let stamp =
+            std::fs::metadata(file).ok().and_then(|m| m.modified().ok().map(|t| (t, m.len())));
+        if stamp.is_some() && stamp == last_stamp {
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+            continue;
+        }
+        last_stamp = stamp;
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(e) => {
+                if last_src.is_none() {
+                    return Err(Failure::Usage(format!("{file}: {e}")));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+                continue;
+            }
+        };
+        if last_src.as_deref() != Some(src.as_str()) {
+            last_src = Some(src.clone());
+            rechecks += 1;
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "--- {file} (recheck {rechecks}) ---");
+            let report = watch_recheck(&analyzer, file, &src, opts.backward);
+            let _ = write!(out, "{report}");
+            let _ = out.flush();
+            if iterations > 0 && rechecks >= iterations {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+}
+
+/// One `watch` recheck: parse + incremental check (+ bound), rendered
+/// with the same report functions as `check`/`bound`/`serve`, followed by
+/// the judgment reuse split. Program errors render as their spanned
+/// diagnostic; the watch loop keeps running either way.
+fn watch_recheck(analyzer: &Analyzer, file: &str, src: &str, backward: bool) -> String {
+    let program = match analyzer.parse_named(file, src) {
+        Ok(p) => p,
+        Err(d) => return format!("{}\n", d.render()),
+    };
+    if backward {
+        match analyzer.check_backward_incremental(&program) {
+            Ok((typed, counts)) => {
+                let mut report = numfuzz::serve::backward_check_report(&typed);
+                if let Ok(bound) = analyzer.bound_backward(&typed) {
+                    report.push_str(&numfuzz::serve::backward_bound_report(analyzer, &bound));
+                }
+                report.push_str(&judgment_line(&counts));
+                report
+            }
+            Err(d) => format!("{}\n", d.render()),
+        }
+    } else {
+        match analyzer.check_incremental(&program) {
+            Ok((typed, counts)) => {
+                let mut report = numfuzz::serve::check_report(&typed);
+                report.push_str(&numfuzz::serve::bound_report(analyzer, &typed));
+                report.push_str(&judgment_line(&counts));
+                report
+            }
+            Err(d) => format!("{}\n", d.render()),
+        }
+    }
+}
+
+/// The `watch` reuse summary line.
+fn judgment_line(counts: &numfuzz::JudgmentCounts) -> String {
+    format!(
+        "judgments: {} reused, {} recomputed of {}\n",
+        counts.reused, counts.recomputed, counts.total
+    )
+}
+
 /// [`parse_opts`] plus the batch/bench `--jobs N` knob (`None` when the
 /// flag is absent, so each command picks its own default).
 fn parse_opts_with_jobs(rest: &[String]) -> Result<(Opts, Option<usize>), String> {
@@ -408,6 +553,7 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     let mut baseline: Option<String> = None;
     let mut gate: Option<String> = None;
     let mut tolerance = 40.0f64;
+    let mut gate_incremental: Option<f64> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value =
@@ -431,6 +577,13 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
                     .and_then(|v| v.parse().map_err(|e| format!("--tolerance: {e}")))
                     .map_err(Failure::Usage)?
             }
+            "--gate-incremental" => {
+                gate_incremental = Some(
+                    value("--gate-incremental")
+                        .and_then(|v| v.parse().map_err(|e| format!("--gate-incremental: {e}")))
+                        .map_err(Failure::Usage)?,
+                )
+            }
             other => return Err(Failure::Usage(format!("unknown option `{other}`"))),
         }
     }
@@ -439,6 +592,9 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     }
     if !(0.0..100.0).contains(&tolerance) {
         return Err(Failure::Usage("--tolerance must be in [0, 100)".into()));
+    }
+    if gate_incremental.is_some_and(|r| !(0.0..=1.0).contains(&r)) {
+        return Err(Failure::Usage("--gate-incremental must be a ratio in [0, 1]".into()));
     }
     let jobs = if jobs == 0 { numfuzz::core::pool::default_jobs() } else { jobs };
     // Relative --out paths resolve against the invocation directory, and
@@ -659,6 +815,84 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     let bwd_cache_stats = bwd_cache.stats();
     let bwd_ok = bwd_serial.iter().filter(|r| r.is_ok()).count();
 
+    // The incremental measurement: the `numfuzz watch` / serve-`edit`
+    // profile — one session keeps its judgment cache while a program is
+    // edited one leaf at a time. Programs reach this section as source
+    // text (parsed corpus programs keep theirs, closed generated programs
+    // pretty-print), so the single-leaf edit is textual: the first
+    // standalone numeric literal is bumped by one, which changes exactly
+    // one `Const` leaf of the lowered term. Programs with a free-variable
+    // interface (no surface syntax for one) or whose pretty roundtrip
+    // lowers differently are skipped and counted.
+    const INC_BUDGET: usize = 256 << 20;
+    let inc_analyzer = Analyzer::builder().judgment_cache_bytes(INC_BUDGET).build();
+    let mut inc_pairs: Vec<(Program, Program)> = Vec::new();
+    let mut inc_skipped = 0usize;
+    for (program, expect) in corpus.iter().zip(&serial_rendered) {
+        let src = match program.source() {
+            Some(s) => s.to_string(),
+            None => program.pretty(u32::MAX),
+        };
+        let Some(edited_src) = bump_first_literal(&src) else {
+            inc_skipped += 1;
+            continue;
+        };
+        let roundtrip = inc_analyzer
+            .parse(&src)
+            .ok()
+            .filter(|p| render_check(&inc_analyzer, &inc_analyzer.check(p)) == *expect);
+        match (roundtrip, inc_analyzer.parse(&edited_src)) {
+            (Some(orig), Ok(edited)) => inc_pairs.push((orig, edited)),
+            _ => inc_skipped += 1,
+        }
+    }
+
+    // Cold pass: every judgment is a miss; this also populates the cache
+    // the edited rechecks replay from, exactly like a watch session's
+    // first check.
+    let t0 = std::time::Instant::now();
+    for (orig, _) in &inc_pairs {
+        let _ = inc_analyzer.check_incremental(orig)?;
+    }
+    let inc_cold_seconds = t0.elapsed().as_secs_f64();
+
+    // The edited programs from scratch (the non-incremental cost of the
+    // same recheck)...
+    let t0 = std::time::Instant::now();
+    let inc_scratch: Vec<Result<Typed, Diagnostic>> =
+        inc_pairs.iter().map(|(_, edited)| inc_analyzer.check(edited)).collect();
+    let inc_scratch_seconds = t0.elapsed().as_secs_f64();
+
+    // ...and through the judgment cache. Each program is rechecked once —
+    // a second pass would replay itself at 100% and say nothing.
+    let mut inc_reused = 0u64;
+    let mut inc_recomputed = 0u64;
+    let mut inc_total = 0u64;
+    let t0 = std::time::Instant::now();
+    let mut inc_results: Vec<Result<Typed, Diagnostic>> = Vec::with_capacity(inc_pairs.len());
+    for (_, edited) in &inc_pairs {
+        match inc_analyzer.check_incremental(edited) {
+            Ok((typed, counts)) => {
+                inc_reused += counts.reused;
+                inc_recomputed += counts.recomputed;
+                inc_total += counts.total;
+                inc_results.push(Ok(typed));
+            }
+            Err(d) => inc_results.push(Err(d)),
+        }
+    }
+    let inc_edit_seconds = t0.elapsed().as_secs_f64();
+    let scratch_rendered: Vec<String> =
+        inc_scratch.iter().map(|r| render_check(&inc_analyzer, r)).collect();
+    let inc_rendered: Vec<String> =
+        inc_results.iter().map(|r| render_check(&inc_analyzer, r)).collect();
+    if inc_rendered != scratch_rendered {
+        return Err(Failure::Usage(
+            "incremental edited results differ from from-scratch results (memoization bug)".into(),
+        ));
+    }
+    let reuse_ratio = if inc_total > 0 { inc_reused as f64 / inc_total as f64 } else { 1.0 };
+
     let checks_per_sec = corpus.len() as f64 / best;
     let nodes_per_sec = total_nodes as f64 / best;
     // The speedup compares wall time for the identically constructed
@@ -686,6 +920,15 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     json.push_str(&format!("  \"best_pass_seconds\": {best:.6},\n"));
     json.push_str(&format!("  \"checks_per_sec\": {checks_per_sec:.2},\n"));
     json.push_str(&format!("  \"nodes_per_sec\": {nodes_per_sec:.2}"));
+    // What the baseline fields measure, recorded in the report itself so
+    // a reader of a committed BENCH_core.json needs no CLI archaeology.
+    json.push_str(
+        ",\n  \"baseline_note\": \"baseline_best_pass_seconds is the --baseline report's \
+         top-level best_pass_seconds (cold serial check+bound wall time over the identically \
+         constructed corpus, best of N passes), copied verbatim; speedup divides it by this \
+         run's best_pass_seconds and is only meaningful when both reports come from the same \
+         machine\"",
+    );
     if let Some(base) = baseline_seconds {
         json.push_str(&format!(",\n  \"baseline_best_pass_seconds\": {base:.6}"));
         json.push_str(&format!(",\n  \"speedup\": {:.2}", base / best));
@@ -730,6 +973,30 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     json.push_str(&format!("    \"misses\": {},\n", cache_stats.misses));
     json.push_str(&format!("    \"entries\": {},\n", cache_stats.entries));
     json.push_str("    \"matches_serial\": true\n  }");
+    // The incremental section: the single-leaf-edit recheck profile. Like
+    // every section, it comes after the top-level forward keys so
+    // `extract_json_number`'s first-occurrence reads keep finding them.
+    json.push_str(",\n  \"incremental\": {\n");
+    json.push_str(
+        "    \"harness\": \"cold check_incremental over the source-roundtrippable corpus, then \
+         one single-leaf edit per program (first numeric literal bumped) rechecked from scratch \
+         vs. through the session's judgment cache\",\n",
+    );
+    json.push_str(&format!("    \"budget_bytes\": {INC_BUDGET},\n"));
+    json.push_str(&format!("    \"programs\": {},\n", inc_pairs.len()));
+    json.push_str(&format!("    \"skipped_no_source_roundtrip\": {inc_skipped},\n"));
+    json.push_str(&format!("    \"cold_pass_seconds\": {inc_cold_seconds:.6},\n"));
+    json.push_str(&format!("    \"scratch_edit_pass_seconds\": {inc_scratch_seconds:.6},\n"));
+    json.push_str(&format!("    \"incremental_edit_pass_seconds\": {inc_edit_seconds:.6},\n"));
+    json.push_str(&format!(
+        "    \"edit_speedup_vs_scratch\": {:.2},\n",
+        inc_scratch_seconds / inc_edit_seconds
+    ));
+    json.push_str(&format!("    \"reused\": {inc_reused},\n"));
+    json.push_str(&format!("    \"recomputed\": {inc_recomputed},\n"));
+    json.push_str(&format!("    \"total\": {inc_total},\n"));
+    json.push_str(&format!("    \"reuse_ratio\": {reuse_ratio:.4},\n"));
+    json.push_str("    \"matches_scratch\": true\n  }");
     // The backward section comes after every top-level forward key:
     // `extract_json_number` reads first occurrences, so gates/baselines
     // keep comparing forward throughput.
@@ -780,7 +1047,65 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
             )));
         }
     }
+
+    // The incremental gate compares this run against itself (a reuse
+    // ratio, not a wall time), so it needs no baseline file and is
+    // machine-independent.
+    if let Some(min_ratio) = gate_incremental {
+        eprintln!("gate-incremental: reuse ratio {reuse_ratio:.4} (floor {min_ratio})");
+        if reuse_ratio < min_ratio {
+            return Err(Failure::Batch(format!(
+                "incremental reuse regression: the single-leaf-edit recheck replayed only \
+                 {reuse_ratio:.4} of its judgments (floor {min_ratio})"
+            )));
+        }
+    }
     Ok(())
+}
+
+/// The bench's single-leaf edit: bumps the first standalone integer
+/// digit run in `src` by one (`14.643` → `15.643`) — never a digit
+/// inside an identifier or a fraction part, and never a constant inside
+/// a `[...]` type/grade annotation or a `{grade}` application (those
+/// change declared interfaces, not a term leaf). The edit therefore
+/// changes exactly one `Const` leaf of the lowered term and stays
+/// parseable.
+fn bump_first_literal(src: &str) -> Option<String> {
+    let bytes = src.as_bytes();
+    let mut bracket_depth = 0usize;
+    let mut prev_glyph = ' ';
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '[' => bracket_depth += 1,
+            ']' => bracket_depth = bracket_depth.saturating_sub(1),
+            _ if c.is_ascii_digit() => {
+                let standalone = i == 0 || {
+                    let p = bytes[i - 1] as char;
+                    !(p.is_ascii_alphanumeric() || p == '_' || p == '.')
+                };
+                // A `{` immediately before the literal is a grade
+                // application (`u [x]{2.0}`), not a function body.
+                let in_annotation = bracket_depth > 0 || prev_glyph == '{';
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if standalone && !in_annotation && i - start <= 12 {
+                    let bumped = src[start..i].parse::<u64>().ok()? + 1;
+                    return Some(format!("{}{bumped}{}", &src[..start], &src[i..]));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if !c.is_whitespace() {
+            prev_glyph = c;
+        }
+        i += 1;
+    }
+    None
 }
 
 /// Renders one corpus result the same way for the serial and parallel

@@ -24,7 +24,7 @@ use crate::{Analyzer, Inputs};
 use numfuzz_core::{Instantiation, Node, Signature, TermId, VarId};
 use numfuzz_fuzz::{
     validate_backward_fn, BackwardFacts, CaseFailure, CasePass, CasePlan, FailureKind, FuzzConfig,
-    FuzzOutcome, LensOutcome, Oracle,
+    FuzzOutcome, IncrementalFacts, LensOutcome, Oracle,
 };
 
 /// The production differential oracle (see module docs).
@@ -128,7 +128,17 @@ impl Oracle for AnalyzerOracle {
         let backward =
             if plan.backward { Some(backward_leg(&analyzer, &program, plan, src)?) } else { None };
 
-        Ok(CasePass { ty: typed.ty().to_string(), vacuous: report.fp.is_none(), backward })
+        // Incremental leg (fuzz --incremental): an edit sequence through
+        // the judgment-memoized path must stay byte-identical to the
+        // from-scratch checker, forward and backward.
+        let incremental = if plan.incremental { Some(incremental_leg(plan, src)?) } else { None };
+
+        Ok(CasePass {
+            ty: typed.ty().to_string(),
+            vacuous: report.fp.is_none(),
+            backward,
+            incremental,
+        })
     }
 }
 
@@ -202,6 +212,146 @@ fn backward_leg(
         }
     }
     Ok(facts)
+}
+
+/// Runs the incremental analysis mode over one generated case: the
+/// original program plus a deterministic sequence of single-constant
+/// edits, each checked from scratch *and* through a session-persistent
+/// judgment cache ([`Analyzer::check_incremental`]). Outputs must match
+/// byte for byte on every variant — forward reports, backward reports,
+/// and diagnostics alike. The edits replay a `numfuzz watch` session:
+/// the cache carries over from variant to variant, so later variants
+/// exercise genuine cross-edit replay, not just cold insertion.
+fn incremental_leg(plan: &CasePlan, src: &str) -> Result<IncrementalFacts, CaseFailure> {
+    let mut builder =
+        Analyzer::builder().signature(plan.instantiation).format(plan.format).mode(plan.mode);
+    if let Some(unit) = &plan.rnd_unit {
+        builder = builder.rounding_unit(unit.clone());
+    }
+    let analyzer = builder.judgment_cache_bytes(8 << 20).build();
+
+    let mut variants = vec![src.to_string()];
+    variants.extend(constant_mutations(src, plan.case_seed, 3));
+    let mut facts = IncrementalFacts::default();
+    for (n, variant) in variants.iter().enumerate() {
+        // Constant mutations keep the surface syntax well-formed by
+        // construction; a parse failure would be a mutator bug, and
+        // parsing happens before any memoization anyway.
+        let program = match analyzer.parse_named(&format!("fuzz-edit-{n}"), variant) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let mismatch = |leg: &str, plain: &str, memo: &str| {
+            fail(
+                FailureKind::IncrementalMismatch,
+                format!(
+                    "{leg} output diverged on edit {n} ({}):\n--- from scratch ---\n{plain}\n\
+                     --- incremental ---\n{memo}\n--- program ---\n{variant}",
+                    plan.describe()
+                ),
+            )
+        };
+
+        let plain = analyzer.check(&program).map(|t| crate::serve::check_report(&t));
+        let memo = analyzer.check_incremental(&program);
+        match (&plain, &memo) {
+            (Ok(p), Ok((t, counts))) => {
+                let m = crate::serve::check_report(t);
+                if *p != m {
+                    return Err(mismatch("forward", p, &m));
+                }
+                facts.reused += counts.reused;
+                facts.recomputed += counts.recomputed;
+            }
+            (Err(dp), Err(dm)) => {
+                if dp.render() != dm.render() {
+                    return Err(mismatch("forward", &dp.render(), &dm.render()));
+                }
+            }
+            _ => {
+                let p = match &plain {
+                    Ok(s) => s.clone(),
+                    Err(d) => d.render(),
+                };
+                return Err(mismatch("forward", &p, "opposite outcome"));
+            }
+        }
+
+        let plain =
+            analyzer.check_backward(&program).map(|t| crate::serve::backward_check_report(&t));
+        let memo = analyzer.check_backward_incremental(&program);
+        match (&plain, &memo) {
+            (Ok(p), Ok((t, counts))) => {
+                let m = crate::serve::backward_check_report(t);
+                if *p != m {
+                    return Err(mismatch("backward", p, &m));
+                }
+                facts.reused += counts.reused;
+                facts.recomputed += counts.recomputed;
+            }
+            (Err(dp), Err(dm)) => {
+                if dp.render() != dm.render() {
+                    return Err(mismatch("backward", &dp.render(), &dm.render()));
+                }
+            }
+            _ => {
+                let p = match &plain {
+                    Ok(s) => s.clone(),
+                    Err(d) => d.render(),
+                };
+                return Err(mismatch("backward", &p, "opposite outcome"));
+            }
+        }
+        facts.edits += 1;
+    }
+    Ok(facts)
+}
+
+/// Deterministic single-constant edits of a rendered program: each pick
+/// bumps one standalone integer digit run (never a digit inside an
+/// identifier), so the variant stays parseable and differs from the
+/// original in exactly one `Const` leaf (or one annotation constant).
+fn constant_mutations(src: &str, seed: u64, count: usize) -> Vec<String> {
+    let runs = literal_runs(src);
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let pick = (seed.wrapping_add(i as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 32) as usize
+            % runs.len();
+        let (start, end) = runs[pick];
+        if let Ok(v) = src[start..end].parse::<u64>() {
+            out.push(format!("{}{}{}", &src[..start], v + 1, &src[end..]));
+        }
+    }
+    out
+}
+
+/// Byte ranges of standalone integer digit runs in `src` (bounded length,
+/// not preceded by an identifier character or `.`).
+fn literal_runs(src: &str) -> Vec<(usize, usize)> {
+    let bytes = src.as_bytes();
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let standalone = i == 0 || {
+                let p = bytes[i - 1] as char;
+                !(p.is_ascii_alphanumeric() || p == '_' || p == '.')
+            };
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if standalone && i - start <= 12 {
+                runs.push((start, i));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    runs
 }
 
 /// Runs a fuzz campaign with the production oracle.

@@ -77,10 +77,11 @@ pub mod serve;
 
 pub use analyzer::{
     AnalysisCache, Analyzer, AnalyzerBuilder, BackwardBound, BackwardTyped, ErrorBound, Execution,
-    FnBackwardBound, InputBackwardBound, Inputs, ShardReport, Typed,
+    FnBackwardBound, InputBackwardBound, Inputs, JudgmentMemo, ShardReport, Typed,
 };
 pub use diag::{Diagnostic, ErrorCode, Span};
 pub use numfuzz_core::cache::CacheStats;
+pub use numfuzz_core::JudgmentCounts;
 pub use program::Program;
 
 pub use numfuzz_analyzers as analyzers;
@@ -96,12 +97,12 @@ pub use numfuzz_softfloat as softfloat;
 pub mod prelude {
     pub use crate::analyzer::{
         AnalysisCache, Analyzer, AnalyzerBuilder, BackwardBound, BackwardTyped, ErrorBound,
-        Execution, FnBackwardBound, InputBackwardBound, Inputs, ShardReport, Typed,
+        Execution, FnBackwardBound, InputBackwardBound, Inputs, JudgmentMemo, ShardReport, Typed,
     };
     pub use crate::diag::{Diagnostic, ErrorCode, Span};
     pub use crate::program::Program;
     pub use numfuzz_core::cache::CacheStats;
-    pub use numfuzz_core::{Grade, Instantiation, Signature, Ty};
+    pub use numfuzz_core::{Grade, Instantiation, JudgmentCounts, Signature, Ty};
     pub use numfuzz_exact::{RatInterval, Rational};
     pub use numfuzz_interp::{SoundnessReport, Value};
     pub use numfuzz_metrics::{NumMetric, Within};

@@ -25,6 +25,13 @@
 //! [`backward_check_report`]/[`backward_bound_report`]/
 //! [`backward_batch_entry`] and are cached under a disjoint key space
 //! (see [`AnalysisMode`]).
+//!
+//! The `edit` op is the incremental variant of `check`: it rechecks
+//! through the analyzer's judgment-level memo table
+//! ([`crate::JudgmentMemo`]) and reports `reused`/`recomputed`/`total`
+//! judgment counts alongside the usual `output` — which stays
+//! byte-identical to a `check` of the same source. `numfuzz watch` is
+//! built on the same entry points.
 
 use crate::analyzer::{Analyzer, BackwardBound, BackwardTyped, InputBackwardBound, Typed};
 use crate::diag::Diagnostic;
@@ -620,6 +627,7 @@ impl Service {
         };
         match op {
             "check" | "bound" => self.check_or_bound(session, id, op, &request),
+            "edit" => self.edit(session, id, &request),
             "batch" => self.batch(id, &request),
             "stats" => Reply { json: self.stats(id), shutdown: false },
             "shutdown" => {
@@ -670,6 +678,57 @@ impl Service {
             Err(d) => Json::obj(vec![
                 ("id", id),
                 ("op", Json::str(op)),
+                ("ok", Json::Bool(false)),
+                ("error", diagnostic_json(&d)),
+                ("exit", Json::int(diagnostic_exit(&d) as u64)),
+            ]),
+        };
+        Reply { json: response.to_string(), shutdown: false }
+    }
+
+    /// The `edit` op: recheck a (typically just-edited) program through
+    /// the session's judgment-level memo table and report how much of the
+    /// previous check replayed. The `output` field is byte-identical to a
+    /// `check` response for the same source — incrementality changes
+    /// counts, never results. Requires the service's analyzer to carry a
+    /// [`crate::JudgmentMemo`] for judgments to actually replay; without
+    /// one the op still answers, with everything recomputed.
+    fn edit(&self, session: &Analyzer, id: Json, request: &Json) -> Reply {
+        let Some(src) = request.get("src").and_then(Json::as_str) else {
+            return proto_error(id, "op `edit` needs a string field `src`");
+        };
+        let mode = match request_mode(request) {
+            Ok(mode) => mode,
+            Err(message) => return proto_error(id, &message),
+        };
+        let name = request.get("name").and_then(Json::as_str);
+        let parsed = match name {
+            Some(n) => session.parse_named(n, src),
+            None => session.parse(src),
+        };
+        let outcome = parsed.and_then(|program| match mode {
+            AnalysisMode::Forward => {
+                let (typed, counts) = session.check_incremental(&program)?;
+                Ok((check_report(&typed), counts))
+            }
+            AnalysisMode::Backward => {
+                let (typed, counts) = session.check_backward_incremental(&program)?;
+                Ok((backward_check_report(&typed), counts))
+            }
+        });
+        let response = match outcome {
+            Ok((output, counts)) => Json::obj(vec![
+                ("id", id),
+                ("op", Json::str("edit")),
+                ("ok", Json::Bool(true)),
+                ("output", Json::str(output)),
+                ("reused", Json::int(counts.reused)),
+                ("recomputed", Json::int(counts.recomputed)),
+                ("total", Json::int(counts.total)),
+            ]),
+            Err(d) => Json::obj(vec![
+                ("id", id),
+                ("op", Json::str("edit")),
                 ("ok", Json::Bool(false)),
                 ("error", diagnostic_json(&d)),
                 ("exit", Json::int(diagnostic_exit(&d) as u64)),
@@ -747,6 +806,20 @@ impl Service {
         if let Some(stats) = self.base.cache_stats() {
             fields.push((
                 "cache",
+                Json::obj(vec![
+                    ("hits", Json::int(stats.hits)),
+                    ("misses", Json::int(stats.misses)),
+                    ("insertions", Json::int(stats.insertions)),
+                    ("evictions", Json::int(stats.evictions)),
+                    ("entries", Json::int(stats.entries as u64)),
+                    ("bytes", Json::int(stats.bytes as u64)),
+                    ("budget", Json::int(stats.budget as u64)),
+                ]),
+            ));
+        }
+        if let Some(stats) = self.base.judgment_cache_stats() {
+            fields.push((
+                "judgments",
                 Json::obj(vec![
                     ("hits", Json::int(stats.hits)),
                     ("misses", Json::int(stats.misses)),
@@ -1073,6 +1146,42 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn service_edit_reports_reuse_counts() {
+        let analyzer = Analyzer::builder().judgment_cache_bytes(1 << 20).build();
+        let service = Service::new(analyzer, 1);
+        let session = service.analyzer().fork_session();
+        let r1 =
+            service.handle_line(&session, r#"{"id":1,"op":"edit","src":"s = mul (2, 3); rnd s"}"#);
+        let v1 = Json::parse(&r1.json).unwrap();
+        assert_eq!(v1.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v1.get("reused").and_then(Json::as_f64), Some(0.0), "{}", r1.json);
+        // One leaf edited: the helper subterms replay, and the output is
+        // what a plain `check` of the edited source prints.
+        let r2 =
+            service.handle_line(&session, r#"{"id":2,"op":"edit","src":"s = mul (2, 4); rnd s"}"#);
+        let v2 = Json::parse(&r2.json).unwrap();
+        assert_eq!(v2.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(v2.get("reused").and_then(Json::as_f64).unwrap() > 0.0, "{}", r2.json);
+        assert_eq!(v2.get("output").and_then(Json::as_str), Some("program : M[eps]num\n"));
+        let c =
+            service.handle_line(&session, r#"{"id":3,"op":"check","src":"s = mul (2, 4); rnd s"}"#);
+        let vc = Json::parse(&c.json).unwrap();
+        assert_eq!(
+            v2.get("output").and_then(Json::as_str),
+            vc.get("output").and_then(Json::as_str),
+            "edit output diverged from check"
+        );
+        // Backward mode answers through the same table without aliasing.
+        let rb = service.handle_line(
+            &session,
+            r#"{"id":4,"op":"edit","mode":"backward","src":"function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }"}"#,
+        );
+        let vb = Json::parse(&rb.json).unwrap();
+        assert_eq!(vb.get("ok").and_then(Json::as_bool), Some(true), "{}", rb.json);
+        assert_eq!(vb.get("reused").and_then(Json::as_f64), Some(0.0), "{}", rb.json);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use numfuzz::prelude::*;
 use std::process::Command;
 
 fn cfg(cases: usize, seed: u64, jobs: usize) -> FuzzConfig {
-    FuzzConfig { cases, seed, jobs, shrink_budget: 300, backward: false }
+    FuzzConfig { cases, seed, jobs, shrink_budget: 300, backward: false, incremental: false }
 }
 
 fn counter(report: &str, key: &str) -> usize {

@@ -1,0 +1,10 @@
+function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+function sqrtfp (x: ![1/2]num) : M[eps]num { s = sqrt x; rnd s }
+function hypot (x: num) (y: num) : M[5/2*eps]num {
+    let a = mulfp (x, x);
+    let b = mulfp (y, y);
+    let c = addfp (| a, b |);
+    sqrtfp [c]{1/2}
+}
+hypot 3.7 0.51

@@ -1,0 +1,9 @@
+function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+function sqrtfp (x: ![1/2]num) : M[eps]num { s = sqrt x; rnd s }
+function i4 (x: num) (y: num) : M[2*eps]num {
+    let m = mulfp (y, y);
+    let s = addfp (| x, m |);
+    sqrtfp [s]{1/2}
+}
+i4 777 0.3

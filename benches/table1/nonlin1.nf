@@ -1,0 +1,8 @@
+function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+function divfp (xy: (num, num)) : M[eps]num { s = div xy; rnd s }
+function nonlin1 (z: ![2]num) : M[2*eps]num {
+    let [z1] = z;
+    let s = addfp (| z1, 1 |);
+    divfp (z1, s)
+}
+nonlin1 [0.1]{2}

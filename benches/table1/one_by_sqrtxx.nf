@@ -1,0 +1,9 @@
+function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+function divfp (xy: (num, num)) : M[eps]num { s = div xy; rnd s }
+function sqrtfp (x: ![1/2]num) : M[eps]num { s = sqrt x; rnd s }
+function one_by_sqrtxx (x: num) : M[5/2*eps]num {
+    let a = mulfp (x, x);
+    let s = sqrtfp [a]{1/2};
+    divfp (1, s)
+}
+one_by_sqrtxx 33.3

@@ -1,0 +1,14 @@
+function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+function divfp (xy: (num, num)) : M[eps]num { s = div xy; rnd s }
+function predatorPrey (x: ![4]num) : M[7*eps]num {
+    let [x1] = x;
+    let n1 = mulfp (4.0, x1);
+    let n = mulfp (n1, x1);
+    let r1 = divfp (x1, 1.11);
+    let r2 = divfp (x1, 1.11);
+    let rr = mulfp (r1, r2);
+    let d = addfp (| 1.0, rr |);
+    divfp (n, d)
+}
+predatorPrey [0.35]{4}

@@ -1,0 +1,11 @@
+function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+function divfp (xy: (num, num)) : M[eps]num { s = div xy; rnd s }
+function sqrtfp (x: ![1/2]num) : M[eps]num { s = sqrt x; rnd s }
+function sqrt_add (x: num) : M[9/2*eps]num {
+    let a = addfp (| x, 1 |);
+    let sa = sqrtfp [a]{1/2};
+    let sx = sqrtfp [x]{1/2};
+    let d = addfp (| sa, sx |);
+    divfp (1, d)
+}
+sqrt_add 42

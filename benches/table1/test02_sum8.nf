@@ -1,0 +1,11 @@
+function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+function test02_sum8 (x0: num) (x1: num) (x2: num) (x3: num) (x4: num) (x5: num) (x6: num) (x7: num) : M[7*eps]num {
+    let s1 = addfp (| x0, x1 |);
+    let s2 = addfp (| s1, x2 |);
+    let s3 = addfp (| s2, x3 |);
+    let s4 = addfp (| s3, x4 |);
+    let s5 = addfp (| s4, x5 |);
+    let s6 = addfp (| s5, x6 |);
+    addfp (| s6, x7 |)
+}
+test02_sum8 0.1 2 3 4 5 6 7 1000

@@ -1,0 +1,11 @@
+function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+function divfp (xy: (num, num)) : M[eps]num { s = div xy; rnd s }
+function verhulst (x: ![2]num) : M[4*eps]num {
+    let [x1] = x;
+    let n = mulfp (4.0, x1);
+    let d1 = divfp (x1, 1.11);
+    let d = addfp (| 1.0, d1 |);
+    divfp (n, d)
+}
+verhulst [0.27]{2}

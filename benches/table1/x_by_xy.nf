@@ -1,0 +1,8 @@
+function addfp (xy: <num, num>) : M[eps]num { s = add xy; rnd s }
+function divfp (xy: (num, num)) : M[eps]num { s = div xy; rnd s }
+function x_by_xy (x: ![2]num) (y: num) : M[2*eps]num {
+    let [x1] = x;
+    let s = addfp (| x1, y |);
+    divfp (x1, s)
+}
+x_by_xy [0.1]{2} 1000

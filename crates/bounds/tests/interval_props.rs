@@ -1,0 +1,163 @@
+//! Property tests for the independent interval/Taylor bound engine.
+//!
+//! Three invariants the engine's soundness rests on:
+//!
+//! * **Containment** — the ideal enclosure contains the exact value
+//!   (computed independently with `numfuzz_exact` rationals), and the
+//!   enclosure pair passes the same corner-sup containment check the
+//!   fuzz oracle runs (`oracle_bound` absorbs the enclosure slop by the
+//!   triangle inequality);
+//! * **Outward monotonicity under refinement** — a narrower input box
+//!   yields enclosures inside the wider box's, and never a larger error
+//!   term (outward rounding only ever widens);
+//! * **Round-trip invariance** — pretty-printing the lowered term and
+//!   re-compiling it changes nothing: same bound, same enclosures.
+
+use numfuzz_bounds::{analyze, analyze_fn, BoundConfig};
+use numfuzz_core::{compile, pretty_term, Instantiation, Signature};
+use numfuzz_exact::{RatInterval, Rational};
+use numfuzz_metrics::{NumMetric, Within};
+use numfuzz_softfloat::{Format, RoundingMode};
+use proptest::prelude::*;
+
+fn rp_cfg() -> BoundConfig {
+    BoundConfig::new(
+        Instantiation::RelativePrecision,
+        Format::BINARY64,
+        RoundingMode::TowardPositive,
+    )
+}
+
+fn abs_cfg() -> BoundConfig {
+    BoundConfig::new(Instantiation::AbsoluteError, Format::BINARY64, RoundingMode::NearestEven)
+}
+
+fn sig_for(cfg: &BoundConfig) -> Signature {
+    match cfg.instantiation {
+        Instantiation::RelativePrecision => Signature::relative_precision(),
+        Instantiation::AbsoluteError => Signature::absolute_error(),
+    }
+}
+
+/// One closed straight-line program per template, with its exact ideal
+/// value (or, for `sqrt`, the radicand to compare squares against).
+fn template(idx: usize, x: i64, y: i64) -> (String, Option<Rational>, Option<Rational>) {
+    let (xq, yq) = (Rational::from_int(x), Rational::from_int(y));
+    match idx {
+        0 => (
+            format!("let a = rnd {x}; let b = rnd {y}; s = mul (a, b); rnd s"),
+            Some(xq.mul(&yq)),
+            None,
+        ),
+        1 => (
+            format!("let a = rnd {x}; let b = rnd {y}; s = add (| a, b |); rnd s"),
+            Some(xq.add(&yq)),
+            None,
+        ),
+        2 => (
+            format!("let a = rnd {x}; let b = rnd {y}; s = div (a, b); rnd s"),
+            Some(xq.div(&yq)),
+            None,
+        ),
+        _ => (format!("let a = rnd {x}; s = sqrt [a]{{1/2}}; rnd s"), None, Some(xq)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ideal enclosure contains the independently computed exact
+    /// value, and the (ideal, fp) pair passes the fuzz oracle's
+    /// corner-sup containment check at `oracle_bound`.
+    #[test]
+    fn ideal_encloses_the_exact_value(idx in 0usize..4, x in 1i64..10_000, y in 1i64..10_000) {
+        let cfg = rp_cfg();
+        let (src, exact, radicand) = template(idx, x, y);
+        let lowered = compile(&src, &sig_for(&cfg)).expect("template compiles");
+        let b = analyze(&lowered.store, lowered.root, &cfg).expect("template is in-fragment");
+        if let Some(v) = &exact {
+            prop_assert!(b.ideal().contains(v), "exact {v} outside ideal {:?}", b.ideal());
+        }
+        if let Some(r) = &radicand {
+            // sqrt is irrational in general: check lo² ≤ r ≤ hi².
+            let lo2 = b.ideal().lo().mul(b.ideal().lo());
+            let hi2 = b.ideal().hi().mul(b.ideal().hi());
+            prop_assert!(&lo2 <= r && r <= &hi2);
+        }
+        let oracle = b.oracle_bound().expect("positive point inputs have defined slop");
+        prop_assert!(b.bound() <= &oracle);
+        prop_assert_eq!(
+            NumMetric::RelativePrecision.within(b.ideal(), b.fp(), &oracle),
+            Within::Yes
+        );
+    }
+
+    /// Refining the input box refines the output: narrower ideal and fp
+    /// enclosures, and never a larger error term. Checked on the RP
+    /// fragment (div chains — the error term is range-independent, so
+    /// equality is the expected case) …
+    #[test]
+    fn rp_enclosures_monotone_under_refinement(lo in 1i64..100, width in 4i64..100) {
+        let cfg = rp_cfg();
+        let src = "function f (x: num) (y: num) : M[3*eps]num {\n\
+                   \x20 let a = rnd x; let b = rnd y; s = div (a, b); rnd s\n\
+                   }\n\
+                   f 1 1";
+        let lowered = compile(src, &sig_for(&cfg)).expect("compiles");
+        let wide = RatInterval::new(Rational::from_int(lo), Rational::from_int(lo + width));
+        let refined = RatInterval::new(
+            Rational::from_int(lo + width / 4),
+            Rational::from_int(lo + width / 2),
+        );
+        let bw = analyze_fn(&lowered.store, lowered.root, &cfg, "f", &[wide.clone(), wide])
+            .expect("wide box bounds");
+        let bn = analyze_fn(&lowered.store, lowered.root, &cfg, "f", &[refined.clone(), refined])
+            .expect("refined box bounds");
+        prop_assert!(bw.ideal().contains_interval(bn.ideal()));
+        prop_assert!(bw.fp().contains_interval(bn.fp()));
+        prop_assert!(bn.bound() <= bw.bound());
+    }
+
+    /// … and on the ABS fragment, where the per-`rnd` charge scales with
+    /// the running magnitude, so a narrower box must give a strictly
+    /// smaller or equal error term too.
+    #[test]
+    fn abs_error_term_monotone_under_refinement(lo in 1i64..100, width in 4i64..100) {
+        let cfg = abs_cfg();
+        let src = "function f (x: num) (y: num) : M[delta]num {\n\
+                   \x20 let a = rnd x; let b = rnd y; s = add (a, b); rnd s\n\
+                   }\n\
+                   f 1 1";
+        let lowered = compile(src, &sig_for(&cfg)).expect("compiles");
+        let wide = RatInterval::new(Rational::from_int(lo), Rational::from_int(lo + width));
+        let refined = RatInterval::new(
+            Rational::from_int(lo + width / 4),
+            Rational::from_int(lo + width / 2),
+        );
+        let bw = analyze_fn(&lowered.store, lowered.root, &cfg, "f", &[wide.clone(), wide])
+            .expect("wide box bounds");
+        let bn = analyze_fn(&lowered.store, lowered.root, &cfg, "f", &[refined.clone(), refined])
+            .expect("refined box bounds");
+        prop_assert!(bw.ideal().contains_interval(bn.ideal()));
+        prop_assert!(bw.fp().contains_interval(bn.fp()));
+        prop_assert!(bn.bound() <= bw.bound());
+    }
+
+    /// Pretty-printing the lowered term and re-compiling it is invisible
+    /// to the engine: identical bound and identical enclosures.
+    #[test]
+    fn bound_invariant_under_pretty_reparse(idx in 0usize..4, x in 1i64..10_000, y in 1i64..10_000) {
+        let cfg = rp_cfg();
+        let (src, _, _) = template(idx, x, y);
+        let sig = sig_for(&cfg);
+        let lowered = compile(&src, &sig).expect("template compiles");
+        let b1 = analyze(&lowered.store, lowered.root, &cfg).expect("bounded");
+        let pretty = pretty_term(&lowered.store, lowered.root, u32::MAX);
+        let relowered = compile(&pretty, &sig)
+            .unwrap_or_else(|e| panic!("pretty round-trip failed to compile: {e:?}\n---\n{pretty}"));
+        let b2 = analyze(&relowered.store, relowered.root, &cfg).expect("bounded after round-trip");
+        prop_assert_eq!(b1.bound(), b2.bound());
+        prop_assert_eq!(b1.ideal(), b2.ideal());
+        prop_assert_eq!(b1.fp(), b2.fp());
+    }
+}

@@ -43,6 +43,9 @@ pub enum FailureKind {
     IdealMismatch,
     /// pretty → re-parse → re-check produced a different type/grade.
     RoundTrip,
+    /// The true error escaped the independent interval engine's bound
+    /// (the engines-agree differential oracle).
+    IntervalViolation,
     /// The backward-stability lens could not certify a perturbed-input
     /// witness within the typed per-input backward bound.
     BackwardViolation,
@@ -62,6 +65,7 @@ impl FailureKind {
             FailureKind::BoundViolation => "BOUND-VIOLATION",
             FailureKind::IdealMismatch => "ideal-mismatch",
             FailureKind::RoundTrip => "round-trip",
+            FailureKind::IntervalViolation => "INTERVAL-VIOLATION",
             FailureKind::BackwardViolation => "BACKWARD-VIOLATION",
             FailureKind::IncrementalMismatch => "INCREMENTAL-MISMATCH",
         }
@@ -75,10 +79,29 @@ pub struct CasePass {
     pub ty: String,
     /// Whether the fp run faulted to `err` (Cor. 7.5 holds vacuously).
     pub vacuous: bool,
+    /// Engines-agree facts (the interval leg runs on every case).
+    pub interval: IntervalFacts,
     /// Backward-mode facts (`None` unless the plan asked for them).
     pub backward: Option<BackwardFacts>,
     /// Incremental-mode facts (`None` unless the plan asked for them).
     pub incremental: Option<IncrementalFacts>,
+}
+
+/// What the engines-agree leg of the oracle observed on one passing
+/// case. The independent interval engine *abstains* on programs outside
+/// its fragment (non-robust branches, sign-indefinite RP sums); an
+/// abstention is a fact (`checked: false`), while the true error
+/// escaping a produced bound is a [`FailureKind::IntervalViolation`],
+/// never a fact. Tighter-engine counts compare the two raw metric
+/// bounds strictly — a tie counts for neither.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IntervalFacts {
+    /// The interval engine produced a bound and the containment check ran.
+    pub checked: bool,
+    /// The typed grade was strictly below the interval bound.
+    pub tighter_typed: bool,
+    /// The interval bound was strictly below the typed grade.
+    pub tighter_interval: bool,
 }
 
 /// What the incremental leg of the oracle observed on one passing case:
@@ -212,6 +235,7 @@ enum Row {
         plan: CasePlan,
         features: Features,
         vacuous: bool,
+        interval: IntervalFacts,
         backward: Option<BackwardFacts>,
         incremental: Option<IncrementalFacts>,
     },
@@ -236,6 +260,7 @@ fn run_one(cfg: &FuzzConfig, oracle: &dyn Oracle, index: usize) -> Row {
             plan: case.plan,
             features,
             vacuous: pass.vacuous,
+            interval: pass.interval,
             backward: pass.backward,
             incremental: pass.incremental,
         },
@@ -301,6 +326,9 @@ fn assemble(cfg: &FuzzConfig, rows: Vec<Row>) -> FuzzOutcome {
     let mut vacuous = 0usize;
     let mut failed = 0usize;
     let mut feat = FeatureTotals::default();
+    let mut interval_checked = 0usize;
+    let mut tighter_typed = 0usize;
+    let mut tighter_interval = 0usize;
     let mut bwd = BackwardFacts::default();
     let mut bwd_accepted = 0usize;
     let mut bwd_rejected = 0usize;
@@ -309,11 +337,14 @@ fn assemble(cfg: &FuzzConfig, rows: Vec<Row>) -> FuzzOutcome {
 
     for row in rows {
         let (plan, features) = match &row {
-            Row::Pass { plan, features, vacuous: v, backward, incremental } => {
+            Row::Pass { plan, features, vacuous: v, interval, backward, incremental } => {
                 passed += 1;
                 if *v {
                     vacuous += 1;
                 }
+                interval_checked += interval.checked as usize;
+                tighter_typed += interval.tighter_typed as usize;
+                tighter_interval += interval.tighter_interval as usize;
                 if let Some(facts) = backward {
                     bwd_accepted += facts.accepted as usize;
                     bwd_rejected += facts.rejected as usize;
@@ -365,6 +396,14 @@ fn assemble(cfg: &FuzzConfig, rows: Vec<Row>) -> FuzzOutcome {
     out.push_str(&mline);
     out.push('\n');
     out.push_str(&feat.render());
+    // The engines-agree leg runs unconditionally (no flag), so its line
+    // is always present — keeping the backward/forward report-identity
+    // contract intact.
+    let _ = writeln!(
+        out,
+        "interval: interval_checked={interval_checked} tighter_typed={tighter_typed} \
+         tighter_interval={tighter_interval}"
+    );
     if cfg.backward {
         let _ = writeln!(
             out,

@@ -46,7 +46,7 @@ pub use ast::{Features, FuzzProgram};
 pub use backward::{validate_backward_fn, LensOutcome};
 pub use driver::{
     run, BackwardFacts, CaseFailure, CasePass, Counterexample, FailureKind, FuzzConfig,
-    FuzzOutcome, IncrementalFacts, Oracle,
+    FuzzOutcome, IncrementalFacts, IntervalFacts, Oracle,
 };
 pub use gen::{case_seed, generate_case, CasePlan, GeneratedCase};
 pub use shrink::shrink;

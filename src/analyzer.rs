@@ -19,6 +19,7 @@
 use crate::diag::{Diagnostic, ErrorCode};
 use crate::program::Program;
 use numfuzz_analyzers::Kernel;
+use numfuzz_bounds::{BoundConfig, IntervalBound};
 use numfuzz_core::cache::{
     AnalysisMode, CacheKey, CacheStats, CacheWeight, ConfigFingerprint, ResultCache,
 };
@@ -28,7 +29,7 @@ use numfuzz_core::{
     infer_memoized, BackwardFnReport, BackwardInferred, CoreArena, FnReport, Grade, Inferred,
     Instantiation, JudgmentCache, JudgmentCounts, Signature, Ty, VarId,
 };
-use numfuzz_exact::Rational;
+use numfuzz_exact::{RatInterval, Rational};
 use numfuzz_interp::{
     eval, report_for,
     rounding::{CheckedRounding, IdentityRounding},
@@ -685,6 +686,79 @@ impl Analyzer {
                 }
             }
         }
+    }
+
+    /// The interval-engine configuration mirroring this session's
+    /// machine model (instantiation, format, mode, `sqrt` precision).
+    fn interval_config(&self) -> BoundConfig {
+        BoundConfig {
+            instantiation: self.sig.instantiation(),
+            format: self.format,
+            mode: self.mode,
+            sqrt_bits: self.sqrt_bits,
+        }
+    }
+
+    fn interval_diag(program: &Program, e: numfuzz_bounds::BoundError) -> Diagnostic {
+        let d = Diagnostic::new(ErrorCode::EvalFailed, e.to_string());
+        match program.name() {
+            Some(name) => d.with_file(name),
+            None => d,
+        }
+    }
+
+    /// Bounds a closed program's roundoff error with the **independent
+    /// interval/Taylor engine** (`numfuzz-bounds`) — no part of the
+    /// graded typing judgment is consulted, which is what makes the
+    /// result a meaningful cross-check of [`Analyzer::bound`] (the
+    /// engines-agree oracle of `numfuzz fuzz`, and the second column of
+    /// the `numfuzz table1` comparison).
+    ///
+    /// ```
+    /// use numfuzz::prelude::*;
+    ///
+    /// let analyzer = Analyzer::new(); // binary64, round toward +∞
+    /// let program = analyzer.parse("rnd 1.5")?;
+    /// let b = analyzer.bound_interval(&program)?;
+    /// // One rounding step: exactly one unit roundoff, same as the
+    /// // typed grade `eps`.
+    /// assert_eq!(b.bound(), &Format::BINARY64.unit_roundoff(RoundingMode::TowardPositive));
+    /// # Ok::<(), numfuzz::Diagnostic>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::EvalFailed`] when the program is outside the
+    /// engine's fragment (non-robust branch, sign-indefinite RP sum,
+    /// rounding fault, open term).
+    pub fn bound_interval(&self, program: &Program) -> Result<IntervalBound, Diagnostic> {
+        numfuzz_bounds::analyze(program.store(), program.root(), &self.interval_config())
+            .map_err(|e| Self::interval_diag(program, e))
+    }
+
+    /// Range-parameterized interval bound of a named top-level
+    /// `function`: applies it to one input enclosure per curried `num`
+    /// parameter and bounds the roundoff over the whole box — how the
+    /// Table 1 comparison runs each benchmark over `[0.1, 1000]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::EvalFailed`] as for [`Analyzer::bound_interval`],
+    /// or when no top-level function named `fname` exists.
+    pub fn bound_interval_fn(
+        &self,
+        program: &Program,
+        fname: &str,
+        ranges: &[RatInterval],
+    ) -> Result<IntervalBound, Diagnostic> {
+        numfuzz_bounds::analyze_fn(
+            program.store(),
+            program.root(),
+            &self.interval_config(),
+            fname,
+            ranges,
+        )
+        .map_err(|e| Self::interval_diag(program, e))
     }
 
     /// Type-checks a program under the **backward-error** judgment (the

@@ -26,6 +26,15 @@
 //!                                    cache (see docs/serve.md)
 //! numfuzz client --connect HOST:PORT pipe NDJSON requests from stdin to
 //!                                    a serving `numfuzz serve --listen`
+//! numfuzz table1 [--dir DIR]         differential bound verification over
+//!                                    the committed Table 1 corpus
+//!                                    (benches/table1/*.nf): bound every
+//!                                    benchmark with BOTH the typing
+//!                                    judgment and the independent
+//!                                    interval engine, check the true
+//!                                    error at the sample point against
+//!                                    both, and print a tightness +
+//!                                    wall-time comparison table
 //! numfuzz bench [bench options]      measure check+bound throughput over
 //!                                    the benchsuite corpus, emit JSON
 //!     --prec P       precision bits (default 53)
@@ -130,6 +139,7 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
             run(&program, &analyzer)
         }
         "batch" => batch(rest),
+        "table1" => table1(rest),
         "watch" => watch(rest),
         "bench" => bench(rest),
         "fuzz" => fuzz(rest),
@@ -151,6 +161,7 @@ fn usage() -> String {
      \x20      numfuzz serve [--listen ADDR] [--jobs N] [--cache-bytes N] [--prec P] [--emax E] [--mode M] [--abs]\n\
      \x20      numfuzz client --connect HOST:PORT [--retry SECONDS]\n\
      \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE] [--gate FILE] [--tolerance P] [--gate-incremental R]\n\
+     \x20      numfuzz table1 [--dir DIR] [--prec P] [--emax E] [--mode ru|rd|rz|rn]\n\
      \x20      numfuzz fuzz [--backward] [--incremental] [--cases N] [--seed S] [--jobs N] [--repro PREFIX]"
         .to_string()
 }
@@ -539,6 +550,222 @@ fn collect_nf_files(
     Ok(())
 }
 
+/// `numfuzz table1`: differential bound verification over the committed
+/// Table 1 corpus (`benches/table1/*.nf`).
+///
+/// Every benchmark is bounded by **both** engines — the graded typing
+/// judgment (`check` + eq. (8)) and the independent interval/Taylor
+/// engine ([`Analyzer::bound_interval_fn`], ranged over `[0.1, 1000]`
+/// per input as in Section 6.2) — and the committed sample application
+/// is executed under both semantics to confirm the true rounding error
+/// lies below both bounds. One row per benchmark: the symbolic grade,
+/// both eq. (8) relative bounds, which engine was tighter, the
+/// sample-point soundness verdict, and per-engine wall time.
+fn table1(rest: &[String]) -> Result<(), Failure> {
+    let mut dir: Option<String> = None;
+    let mut passthrough = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--dir" {
+            dir = Some(
+                it.next().cloned().ok_or_else(|| Failure::Usage("--dir needs a value".into()))?,
+            );
+        } else {
+            passthrough.push(flag.clone());
+        }
+    }
+    let opts = parse_opts(&passthrough).map_err(Failure::Usage)?;
+    if opts.backward || opts.instantiation == Instantiation::AbsoluteError {
+        return Err(Failure::Usage(
+            "the Table 1 corpus is forward relative-precision (no --abs / --backward)".into(),
+        ));
+    }
+    // Corpus resolution: explicit --dir, else `benches/table1` relative to
+    // the current directory, else the copy committed next to the crate
+    // (so `cargo run -- table1` works from anywhere).
+    let dir = match dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => {
+            let local = std::path::Path::new("benches/table1");
+            if local.is_dir() {
+                local.to_path_buf()
+            } else {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("benches/table1")
+            }
+        }
+    };
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    collect_nf_files(&dir, &mut files)
+        .map_err(|e| Failure::Usage(format!("{}: {e}", dir.display())))?;
+    if files.is_empty() {
+        return Err(Failure::Usage(format!("no .nf files under `{}`", dir.display())));
+    }
+    files.sort();
+
+    let analyzer = Analyzer::builder()
+        .signature(opts.instantiation)
+        .format(opts.format)
+        .mode(opts.mode)
+        .build();
+    // Section 6.2 runs every benchmark over this input box.
+    let std_range = RatInterval::new(Rational::ratio(1, 10), Rational::ratio(1000, 1));
+
+    println!(
+        "numfuzz table1: differential bound verification ({} benchmarks, {}, {}, inputs in [0.1, 1000])",
+        files.len(),
+        opts.format,
+        opts.mode,
+    );
+    println!(
+        "{:<14} {:<9} {:>10} {:>10}  {:<8} {:<6} {:>10} {:>12}",
+        "benchmark", "grade", "typed", "interval", "tighter", "sound", "typed-ms", "interval-ms"
+    );
+
+    let mut failed = 0usize;
+    let mut tighter_typed = 0usize;
+    let mut tighter_interval = 0usize;
+    let mut ties = 0usize;
+    let mut sound = 0usize;
+    for path in &files {
+        let stem = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| Failure::Usage(format!("{}: {e}", path.display())))?;
+        match table1_row(&analyzer, &stem, &src, &std_range) {
+            Ok(row) => {
+                match row.tighter {
+                    std::cmp::Ordering::Less => tighter_typed += 1,
+                    std::cmp::Ordering::Greater => tighter_interval += 1,
+                    std::cmp::Ordering::Equal => ties += 1,
+                }
+                if row.sound {
+                    sound += 1;
+                } else {
+                    failed += 1;
+                }
+                let tighter = match row.tighter {
+                    std::cmp::Ordering::Less => "typed",
+                    std::cmp::Ordering::Greater => "interval",
+                    std::cmp::Ordering::Equal => "tie",
+                };
+                println!(
+                    "{:<14} {:<9} {:>10} {:>10}  {:<8} {:<6} {:>10} {:>12}",
+                    stem,
+                    row.grade,
+                    row.typed_rel,
+                    row.interval_rel,
+                    tighter,
+                    if row.sound { "ok" } else { "FAIL" },
+                    format!("{:.2}", row.typed_ms),
+                    format!("{:.2}", row.interval_ms),
+                );
+            }
+            Err(d) => {
+                failed += 1;
+                println!("{}", d.render());
+            }
+        }
+    }
+    println!(
+        "table1: {} benchmarks, interval tighter on {tighter_interval}, typed tighter on \
+         {tighter_typed}, ties {ties}; sample points sound on {sound}/{}",
+        files.len(),
+        files.len(),
+    );
+    if failed > 0 {
+        return Err(Failure::Batch(format!(
+            "{failed} of {} Table 1 benchmarks failed differential verification",
+            files.len()
+        )));
+    }
+    Ok(())
+}
+
+/// One [`table1`] benchmark row.
+struct Table1Row {
+    /// The symbolic typed grade (e.g. `5/2*eps`).
+    grade: String,
+    /// The typing judgment's eq. (8) relative bound.
+    typed_rel: String,
+    /// The interval engine's eq. (8) relative bound over the input box.
+    interval_rel: String,
+    /// Raw metric-bound comparison: `Less` = typed tighter, `Greater` =
+    /// interval tighter.
+    tighter: std::cmp::Ordering,
+    /// Did the sample point's true error stay below **both** bounds?
+    sound: bool,
+    typed_ms: f64,
+    interval_ms: f64,
+}
+
+/// Runs both engines over one Table 1 benchmark: the typed bound from the
+/// judgment, the ranged interval bound of the principal function (named
+/// by the file stem), and the sample-point soundness check against both.
+fn table1_row(
+    analyzer: &Analyzer,
+    stem: &str,
+    src: &str,
+    std_range: &RatInterval,
+) -> Result<Table1Row, Diagnostic> {
+    let program = analyzer.parse_named(stem, src)?;
+
+    // Typed leg: check + eq. (8) bound of the root monadic type.
+    let t0 = std::time::Instant::now();
+    let typed = analyzer.check(&program)?;
+    let bound = analyzer.bound(&typed)?;
+    let typed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Interval leg: the principal function, one `[0.1, 1000]` enclosure
+    // per curried parameter.
+    let fn_report = typed.function(stem).ok_or_else(|| {
+        Diagnostic::new(
+            ErrorCode::EvalFailed,
+            format!("no top-level function `{stem}` (Table 1 files are named after them)"),
+        )
+    })?;
+    let mut arity = 0usize;
+    let mut ty = &fn_report.assigned;
+    while let Ty::Lolli(_, cod) = ty {
+        arity += 1;
+        ty = &**cod;
+    }
+    let ranges = vec![std_range.clone(); arity];
+    let t1 = std::time::Instant::now();
+    let ranged = analyzer.bound_interval_fn(&program, stem, &ranges)?;
+    let interval_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    // Sample-point differential check: the committed application at the
+    // bottom of each file, under both semantics, against both bounds.
+    let report = analyzer.validate(&program, &Inputs::none())?;
+    let point = analyzer.bound_interval(&program)?;
+    let interval_holds = match &report.fp {
+        None => true, // faulted to err: vacuous, as in Cor. 7.5
+        Some(fp) => {
+            let oracle = point.oracle_bound().map_err(|e| {
+                Diagnostic::new(ErrorCode::EvalFailed, e.to_string()).with_file(stem)
+            })?;
+            numfuzz::interp::metric_for(analyzer.signature().instantiation()).within(
+                &report.ideal,
+                fp,
+                &oracle,
+            ) == Within::Yes
+        }
+    };
+
+    let rel = |alpha: &Rational| match numfuzz::metrics::rp::rp_to_rel_bound(alpha) {
+        Some(r) => r.to_sci_string(3),
+        None => "inf".to_string(),
+    };
+    Ok(Table1Row {
+        grade: bound.grade.to_string(),
+        typed_rel: rel(&bound.alpha),
+        interval_rel: rel(ranged.bound()),
+        tighter: bound.alpha.cmp(ranged.bound()),
+        sound: report.holds() && interval_holds,
+        typed_ms,
+        interval_ms,
+    })
+}
+
 /// `numfuzz bench`: check+bound throughput over the benchsuite corpus.
 ///
 /// The corpus mixes the paper's Table 3 kernels (via the IR translation),
@@ -893,6 +1120,53 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     }
     let reuse_ratio = if inc_total > 0 { inc_reused as f64 / inc_total as f64 } else { 1.0 };
 
+    // The bounds measurement: the committed Table 1 corpus through both
+    // engines — the same differential surface as `numfuzz table1`. The
+    // tightness/soundness counts are exact rational comparisons, so they
+    // are machine-independent and gated as exact equalities below; the
+    // pass times ride along as context. A benchmark failing the
+    // differential check fails the bench outright, gate file or not.
+    let bounds_dir = {
+        let local = std::path::Path::new("benches/table1");
+        if local.is_dir() {
+            local.to_path_buf()
+        } else {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("benches/table1")
+        }
+    };
+    let mut bounds_files: Vec<std::path::PathBuf> = Vec::new();
+    collect_nf_files(&bounds_dir, &mut bounds_files)
+        .map_err(|e| Failure::Usage(format!("{}: {e}", bounds_dir.display())))?;
+    bounds_files.sort();
+    // The corpus is the paper's relative-precision Table 1; like the rest
+    // of the bench it runs under the default session (binary64, RP).
+    let bounds_analyzer = Analyzer::new();
+    let bounds_range = RatInterval::new(Rational::ratio(1, 10), Rational::ratio(1000, 1));
+    let mut bounds_typed_seconds = 0.0f64;
+    let mut bounds_interval_seconds = 0.0f64;
+    let mut bounds_tighter_typed = 0usize;
+    let mut bounds_tighter_interval = 0usize;
+    let mut bounds_ties = 0usize;
+    for path in &bounds_files {
+        let stem = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| Failure::Usage(format!("{}: {e}", path.display())))?;
+        let row = table1_row(&bounds_analyzer, &stem, &src, &bounds_range)
+            .map_err(|d| Failure::Batch(format!("bounds: {stem}: {d}")))?;
+        if !row.sound {
+            return Err(Failure::Batch(format!(
+                "bounds: {stem}: sample-point error exceeds an engine's bound"
+            )));
+        }
+        bounds_typed_seconds += row.typed_ms / 1e3;
+        bounds_interval_seconds += row.interval_ms / 1e3;
+        match row.tighter {
+            std::cmp::Ordering::Less => bounds_tighter_typed += 1,
+            std::cmp::Ordering::Greater => bounds_tighter_interval += 1,
+            std::cmp::Ordering::Equal => bounds_ties += 1,
+        }
+    }
+
     let checks_per_sec = corpus.len() as f64 / best;
     let nodes_per_sec = total_nodes as f64 / best;
     // The speedup compares wall time for the identically constructed
@@ -1022,6 +1296,24 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     json.push_str(&format!("      \"misses\": {},\n", bwd_cache_stats.misses));
     json.push_str(&format!("      \"entries\": {},\n", bwd_cache_stats.entries));
     json.push_str("      \"matches_serial\": true\n    }\n  }");
+    // The bounds section: the Table 1 differential corpus through both
+    // engines. Like every section, it comes after the top-level forward
+    // keys so first-occurrence reads keep finding them; its own keys are
+    // unique so the gate can read them the same way.
+    json.push_str(",\n  \"bounds\": {\n");
+    json.push_str(
+        "    \"harness\": \"the committed Table 1 corpus (benches/table1/*.nf) bounded by both \
+         the graded judgment (eq. 8) and the independent interval engine over [0.1, 1000] \
+         inputs; tightness counts are exact rational comparisons, and every sample point's \
+         true error was verified below both bounds\",\n",
+    );
+    json.push_str(&format!("    \"benchmarks\": {},\n", bounds_files.len()));
+    json.push_str(&format!("    \"typed_pass_seconds\": {bounds_typed_seconds:.6},\n"));
+    json.push_str(&format!("    \"interval_pass_seconds\": {bounds_interval_seconds:.6},\n"));
+    json.push_str(&format!("    \"tighter_typed\": {bounds_tighter_typed},\n"));
+    json.push_str(&format!("    \"tighter_interval\": {bounds_tighter_interval},\n"));
+    json.push_str(&format!("    \"ties\": {bounds_ties},\n"));
+    json.push_str(&format!("    \"sound\": {}\n  }}", bounds_files.len()));
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json)
         .map_err(|e| Failure::Usage(format!("{}: {e}", out_path.display())))?;
@@ -1045,6 +1337,30 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
                 "throughput regression: {checks_per_sec:.2} checks/s is below the gate floor \
                  {floor:.2} ({tolerance}% under baseline {base:.2} from {gate_path})"
             )));
+        }
+        // The bounds gate is exact, not a tolerance band: tightness counts
+        // are deterministic rational comparisons, so any drift means an
+        // engine changed its answer. Older baselines without the section
+        // skip the check (the next regenerated report carries it).
+        let bounds_gate = [
+            ("tighter_typed", bounds_tighter_typed),
+            ("tighter_interval", bounds_tighter_interval),
+            ("ties", bounds_ties),
+        ];
+        if bounds_gate.iter().all(|(key, _)| extract_json_number(&text, key).is_some()) {
+            for (key, fresh) in bounds_gate {
+                let base = extract_json_number(&text, key).unwrap_or_default();
+                eprintln!("gate-bounds: {key} fresh {fresh} vs baseline {base}");
+                if base != fresh as f64 {
+                    return Err(Failure::Batch(format!(
+                        "bounds drift: `{key}` is {fresh}, baseline {gate_path} has {base} \
+                         (an engine changed its Table 1 answer; regenerate the baseline if \
+                         intended)"
+                    )));
+                }
+            }
+        } else {
+            eprintln!("gate-bounds: baseline {gate_path} has no bounds section, skipping");
         }
     }
 

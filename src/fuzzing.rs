@@ -24,7 +24,7 @@ use crate::{Analyzer, Inputs};
 use numfuzz_core::{Instantiation, Node, Signature, TermId, VarId};
 use numfuzz_fuzz::{
     validate_backward_fn, BackwardFacts, CaseFailure, CasePass, CasePlan, FailureKind, FuzzConfig,
-    FuzzOutcome, IncrementalFacts, LensOutcome, Oracle,
+    FuzzOutcome, IncrementalFacts, IntervalFacts, LensOutcome, Oracle,
 };
 
 /// The production differential oracle (see module docs).
@@ -122,6 +122,45 @@ impl Oracle for AnalyzerOracle {
             ));
         }
 
+        // Engines-agree leg (always on, no flag): the independent
+        // interval engine must also bound the true error. The engine
+        // deliberately ignores the plan's rounding-unit override and the
+        // typing judgment — that independence is what gives the check
+        // teeth. An abstention (program outside the engine's fragment, a
+        // rounding fault, undefined enclosure slop) is a *fact*; a
+        // produced bound that the true error escapes is a counterexample.
+        let mut interval = IntervalFacts::default();
+        if let Ok(ib) = analyzer.bound_interval(&program) {
+            if let Ok(oracle_bound) = ib.oracle_bound() {
+                interval.checked = true;
+                if let Some(fp) = &report.fp {
+                    let verdict = crate::interp::metric_for(plan.instantiation).within(
+                        &report.ideal,
+                        fp,
+                        &oracle_bound,
+                    );
+                    if verdict != crate::metrics::Within::Yes {
+                        return Err(fail(
+                            FailureKind::IntervalViolation,
+                            format!(
+                                "interval bound {} (containment bound {}) escaped: ideal {:?}, \
+                                 fp {:?}, verdict {verdict:?} (typed bound {})",
+                                ib.bound().to_sci_string(6),
+                                oracle_bound.to_sci_string(6),
+                                report.ideal,
+                                fp,
+                                report.bound.to_sci_string(6),
+                            ),
+                        ));
+                    }
+                }
+                // Raw (slop-free) bounds are the comparable numbers; a
+                // tie counts for neither engine.
+                interval.tighter_typed = &report.bound < ib.bound();
+                interval.tighter_interval = ib.bound() < &report.bound;
+            }
+        }
+
         // Backward leg (fuzz --backward): static acceptance/rejection
         // are both facts; the lens certifies accepted functions and only
         // an uncertifiable canonical witness is a failure.
@@ -136,6 +175,7 @@ impl Oracle for AnalyzerOracle {
         Ok(CasePass {
             ty: typed.ty().to_string(),
             vacuous: report.fp.is_none(),
+            interval,
             backward,
             incremental,
         })

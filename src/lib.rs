@@ -86,6 +86,7 @@ pub use program::Program;
 
 pub use numfuzz_analyzers as analyzers;
 pub use numfuzz_benchsuite as benchsuite;
+pub use numfuzz_bounds as bounds;
 pub use numfuzz_core as core;
 pub use numfuzz_exact as exact;
 pub use numfuzz_fuzz as fuzz;
@@ -101,6 +102,7 @@ pub mod prelude {
     };
     pub use crate::diag::{Diagnostic, ErrorCode, Span};
     pub use crate::program::Program;
+    pub use numfuzz_bounds::{BoundError, IntervalBound};
     pub use numfuzz_core::cache::CacheStats;
     pub use numfuzz_core::{Grade, Instantiation, JudgmentCounts, Signature, Ty};
     pub use numfuzz_exact::{RatInterval, Rational};

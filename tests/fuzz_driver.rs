@@ -47,28 +47,51 @@ fn fixed_seed_run_is_clean_and_covers_the_surface() {
 
     // The full surface: conditionals, both pair metrics, sums, case,
     // let-functions, boxes, monadic nesting, signed/zero constants.
-    for feature in [
-        "functions",
-        "conditionals",
-        "case-sum",
-        "tensor-pairs",
-        "cartesian-pairs",
-        "sums",
-        "boxes",
-        "sqrt",
-        "div",
-        "sub-or-neg",
-        "negative-consts",
-        "zero-consts",
-        "rnd",
-        "ret",
-        "bind",
-        "stored-monad",
-        "calls",
-        "comparisons",
+    // Per-feature floors at roughly half the seed-42 empirical counts,
+    // so a generator regression that quietly starves one feature fails
+    // loudly instead of scraping by at 1 occurrence.
+    for (feature, floor) in [
+        ("functions", 73),
+        ("conditionals", 64),
+        ("case-sum", 34),
+        ("tensor-pairs", 98),
+        ("cartesian-pairs", 67),
+        ("sums", 42),
+        ("boxes", 37),
+        ("sqrt", 56),
+        ("div", 60),
+        ("sub-or-neg", 24),
+        ("negative-consts", 26),
+        ("zero-consts", 22),
+        ("rnd", 97),
+        ("ret", 67),
+        ("bind", 88),
+        ("stored-monad", 31),
+        ("calls", 44),
+        ("comparisons", 24),
     ] {
-        assert!(count(feature) > 0, "feature `{feature}` never generated:\n{report}");
+        assert!(
+            count(feature) >= floor,
+            "feature `{feature}` starved: {} < floor {floor}:\n{report}",
+            count(feature)
+        );
     }
+
+    // The engines-agree oracle must have real coverage: the independent
+    // interval engine produced (and checked) a bound on at least 90% of
+    // the accepted cases, and was strictly tighter than the typed grade
+    // on a meaningful share of them.
+    let passed = count("passed");
+    let checked = count("interval_checked");
+    assert!(
+        checked * 10 >= passed * 9,
+        "interval engine abstained too often: {checked}/{passed} checked:\n{report}"
+    );
+    assert!(count("tighter_interval") >= 1, "{report}");
+    assert!(
+        count("tighter_typed") + count("tighter_interval") <= checked,
+        "tighter counts exceed checked cases:\n{report}"
+    );
 }
 
 #[test]
@@ -190,6 +213,86 @@ fn broken_oracle_is_caught_and_counterexamples_shrink() {
         .min()
         .expect("at least one counterexample");
     assert!(smallest <= 4, "greedy shrinking stalled (smallest witness: {smallest} lines)");
+}
+
+/// Mutation smoke for the engines-agree oracle: an interval engine that
+/// has lost its soundness — it claims bounds 2^20 times tighter than the
+/// real engine's — must be caught as `INTERVAL-VIOLATION`
+/// counterexamples. This is the differential analogue of `SqrtHater`:
+/// the real oracle runs first (so every counterexample is a well-typed,
+/// forward-sound program), then the maimed engine re-runs the
+/// containment check with its slashed bound.
+struct UnsoundIntervalEngine;
+
+impl Oracle for UnsoundIntervalEngine {
+    fn run_case(
+        &self,
+        plan: &CasePlan,
+        src: &str,
+        expected: Option<&Rational>,
+    ) -> Result<CasePass, CaseFailure> {
+        let pass = AnalyzerOracle.run_case(plan, src, expected)?;
+        let mut builder =
+            Analyzer::builder().signature(plan.instantiation).format(plan.format).mode(plan.mode);
+        if let Some(unit) = &plan.rnd_unit {
+            builder = builder.rounding_unit(unit.clone());
+        }
+        let analyzer = builder.build();
+        let program = analyzer.parse(src).expect("the real oracle already parsed this");
+        let report = analyzer
+            .validate(&program, &Inputs::none())
+            .expect("the real oracle already validated");
+        if let (Ok(ib), Some(fp)) = (analyzer.bound_interval(&program), &report.fp) {
+            if let Ok(bound) = ib.oracle_bound() {
+                let slashed = bound.div(&Rational::pow2(20));
+                let verdict = numfuzz::interp::metric_for(plan.instantiation).within(
+                    &report.ideal,
+                    fp,
+                    &slashed,
+                );
+                if verdict != Within::Yes {
+                    return Err(CaseFailure {
+                        kind: FailureKind::IntervalViolation,
+                        detail: format!(
+                            "injected failure: bound {} slashed to {} no longer contains \
+                             the true error",
+                            bound.to_sci_string(6),
+                            slashed.to_sci_string(6)
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(pass)
+    }
+}
+
+#[test]
+fn unsound_interval_engine_is_caught() {
+    let outcome = run(&cfg(60, 42, 2), &UnsoundIntervalEngine);
+    assert!(
+        !outcome.ok(),
+        "an unsound interval engine survived the engines-agree oracle:\n{}",
+        outcome.report
+    );
+    assert!(outcome.report.contains("INTERVAL-VIOLATION"), "{}", outcome.report);
+    for cx in &outcome.counterexamples {
+        assert_eq!(cx.failure.kind, FailureKind::IntervalViolation, "{}", cx.failure.detail);
+        // Reproducers are well-typed under the plan's instantiation (the
+        // real oracle accepted them before the maimed engine lied).
+        let inst = if cx.plan.starts_with("abs") {
+            Instantiation::AbsoluteError
+        } else {
+            Instantiation::RelativePrecision
+        };
+        let analyzer = Analyzer::builder().signature(inst).build();
+        let program = analyzer
+            .parse(&cx.shrunk)
+            .unwrap_or_else(|d| panic!("reproducer does not parse: {}\n{}", d.render(), cx.shrunk));
+        analyzer
+            .check(&program)
+            .unwrap_or_else(|d| panic!("reproducer does not check: {}\n{}", d.render(), cx.shrunk));
+    }
 }
 
 /// A second mutation: an oracle that never fails must yield a clean run

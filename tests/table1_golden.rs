@@ -1,0 +1,76 @@
+//! Golden-file test for the `numfuzz table1` differential comparison
+//! table: everything except wall times is deterministic (grades, both
+//! engines' bounds, tightness verdicts, soundness verdicts), so the
+//! whole report is pinned with the timing columns masked.
+//!
+//! Regenerate after an intentional change with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test table1_golden
+//! ```
+
+use std::process::Command;
+
+/// Masks the wall-time columns: any whitespace-delimited token that is a
+/// plain decimal number (digits and one dot — the `{:.2}` millisecond
+/// fields) becomes `<ms>`. Scientific-notation bounds (`5.55e-16`),
+/// grades (`5/2*eps`) and bracketed ranges (`[0.1,`) all contain other
+/// characters and pass through untouched. Rows are re-joined with single
+/// spaces so column padding never drifts the golden.
+fn canonicalize(out: &str) -> String {
+    out.lines()
+        .map(|line| {
+            line.split_whitespace()
+                .map(|tok| {
+                    let timing = tok.contains('.')
+                        && tok.chars().all(|c| c.is_ascii_digit() || c == '.')
+                        && tok.parse::<f64>().is_ok();
+                    if timing {
+                        "<ms>"
+                    } else {
+                        tok
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn table1_output_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_numfuzz"))
+        .arg("table1")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("numfuzz table1 runs");
+    assert!(
+        out.status.success(),
+        "numfuzz table1 failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let got = canonicalize(&String::from_utf8_lossy(&out.stdout));
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("table1.expected");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{got}\n"))
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(run `UPDATE_GOLDEN=1 cargo test --test table1_golden` to create)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        expected.trim_end(),
+        "table1 output drifted (if intentional: UPDATE_GOLDEN=1 cargo test --test table1_golden)"
+    );
+}

@@ -20,9 +20,10 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The machine's available parallelism, or 1 when it cannot be queried.
 pub fn default_jobs() -> usize {
@@ -111,6 +112,151 @@ where
     (results, states.into_iter().map(|(_, state)| state).collect())
 }
 
+// ---------------------------------------------------------------------
+// Resident task pool
+// ---------------------------------------------------------------------
+
+/// One unit of work submitted to a [`TaskPool`], run with `&mut` access
+/// to the claiming worker's state.
+type Task<S> = Box<dyn FnOnce(&mut S) + Send + 'static>;
+
+struct TaskQueue<S> {
+    tasks: VecDeque<Task<S>>,
+    closed: bool,
+}
+
+struct PoolShared<S> {
+    queue: Mutex<TaskQueue<S>>,
+    ready: Condvar,
+}
+
+impl<S> PoolShared<S> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, TaskQueue<S>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A resident worker pool: `jobs` threads that live for the pool's
+/// lifetime, pulling boxed tasks from one shared queue.
+///
+/// Where [`ordered_map_with`] is a scoped fan-out over a slice that is
+/// fully known up front, a `TaskPool` serves workloads where tasks
+/// *arrive over time* — a network event loop dispatching requests, for
+/// example. Each worker carries per-worker state built once by `init`
+/// (the service layer uses this for per-worker analyzer sessions, so
+/// concurrent tasks never contend on one arena lock).
+///
+/// Tasks are expected to catch their own panics (they have no caller to
+/// propagate to). As a last resort the worker catches an escaped panic,
+/// drops its possibly-inconsistent state, and rebuilds it with `init` —
+/// a panicking task must cost one worker state, never a worker thread.
+///
+/// Dropping the pool closes the queue, wakes every worker, and joins
+/// them; tasks already queued still run to completion first.
+///
+/// ```
+/// use numfuzz_core::pool::TaskPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let done = Arc::new(AtomicUsize::new(0));
+/// let pool = TaskPool::new(2, |_worker| 0u64);
+/// for _ in 0..10 {
+///     let done = Arc::clone(&done);
+///     pool.submit(move |count| {
+///         *count += 1;
+///         done.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// drop(pool); // close + drain + join
+/// assert_eq!(done.load(Ordering::SeqCst), 10);
+/// ```
+pub struct TaskPool<S> {
+    shared: Arc<PoolShared<S>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<S: Send + 'static> TaskPool<S> {
+    /// Spawns `jobs` resident workers (`0` = one per core), each with its
+    /// own state from `init(worker_index)`.
+    pub fn new<I>(jobs: usize, init: I) -> Self
+    where
+        I: Fn(usize) -> S + Send + Sync + 'static,
+    {
+        let jobs = effective_jobs(jobs, usize::MAX);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(TaskQueue { tasks: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        });
+        let init = Arc::new(init);
+        let workers = (0..jobs)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                let init = Arc::clone(&init);
+                std::thread::spawn(move || {
+                    let mut state = init(worker);
+                    loop {
+                        let task = {
+                            let mut queue = shared.lock();
+                            loop {
+                                if let Some(task) = queue.tasks.pop_front() {
+                                    break Some(task);
+                                }
+                                if queue.closed {
+                                    break None;
+                                }
+                                queue = shared.ready.wait(queue).unwrap_or_else(|e| e.into_inner());
+                            }
+                        };
+                        let Some(task) = task else { break };
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                task(&mut state)
+                            }));
+                        if outcome.is_err() {
+                            // The task unwound mid-mutation: its worker
+                            // state is suspect. Rebuild, keep serving.
+                            state = init(worker);
+                        }
+                    }
+                })
+            })
+            .collect();
+        TaskPool { shared, workers }
+    }
+
+    /// The number of resident workers.
+    pub fn jobs(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues one task; some idle worker picks it up.
+    pub fn submit(&self, task: impl FnOnce(&mut S) + Send + 'static) {
+        {
+            let mut queue = self.shared.lock();
+            queue.tasks.push_back(Box::new(task));
+        }
+        self.shared.ready.notify_one();
+    }
+
+    /// Tasks queued and not yet claimed by a worker (claimed-but-running
+    /// tasks are not counted — this is the backlog, not the in-flight
+    /// set).
+    pub fn backlog(&self) -> usize {
+        self.shared.lock().tasks.len()
+    }
+}
+
+impl<S> Drop for TaskPool<S> {
+    fn drop(&mut self) {
+        self.shared.lock().closed = true;
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +341,47 @@ mod tests {
                 assert!(caught.is_err(), "panic at item {panic_at} with jobs={jobs} was swallowed");
             }
         }
+    }
+
+    #[test]
+    fn task_pool_runs_every_task_and_drains_on_drop() {
+        use std::sync::atomic::AtomicU64;
+        let sum = Arc::new(AtomicU64::new(0));
+        let pool = TaskPool::new(3, |_w| ());
+        for i in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            pool.submit(move |()| {
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(sum.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn task_pool_survives_a_panicking_task_and_rebuilds_state() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::mpsc;
+        let inits = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let inits = Arc::clone(&inits);
+            TaskPool::new(1, move |_w| {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0u64
+            })
+        };
+        let (tx, rx) = mpsc::channel();
+        pool.submit(|state| *state += 1);
+        pool.submit(|_state| panic!("task panic must not kill the worker"));
+        let probe = tx.clone();
+        pool.submit(move |state| {
+            // The panicking task forced a state rebuild, so the first
+            // task's increment is gone.
+            probe.send(*state).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(0));
+        assert_eq!(inits.load(Ordering::SeqCst), 2, "state rebuilt once after the panic");
+        drop(pool);
     }
 
     #[test]

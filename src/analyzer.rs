@@ -164,6 +164,19 @@ impl Analyzer {
         Analyzer { tys: CoreArena::new(), ..self.clone() }
     }
 
+    /// The session's configuration fingerprint under `mode`: a stable
+    /// digest of signature, format, rounding mode, rounding unit, and
+    /// sqrt precision — the config half of every cache key this session
+    /// mints. Public so service layers can address their own
+    /// content-keyed tables (e.g. the persistent reply cache of
+    /// `numfuzz serve`) consistently with the analysis cache.
+    pub fn config_fingerprint(&self, mode: AnalysisMode) -> u64 {
+        match mode {
+            AnalysisMode::Forward => self.config_fp,
+            AnalysisMode::Backward => self.config_fp_backward,
+        }
+    }
+
     /// The full cache address of one (program, operation) pair. The
     /// operation byte selects the analysis mode's configuration
     /// fingerprint, so forward and backward entries live in disjoint key

@@ -26,6 +26,10 @@
 //!                                    cache (see docs/serve.md)
 //! numfuzz client --connect HOST:PORT pipe NDJSON requests from stdin to
 //!                                    a serving `numfuzz serve --listen`
+//! numfuzz loadgen [loadgen options]  deterministic mixed-traffic load
+//!                                    harness against a serve event loop
+//!                                    (self-spawned unless --connect),
+//!                                    emits BENCH_serve.json
 //! numfuzz table1 [--dir DIR]         differential bound verification over
 //!                                    the committed Table 1 corpus
 //!                                    (benches/table1/*.nf): bound every
@@ -49,6 +53,26 @@
 //!                    picks a free port, printed to stderr). Default:
 //!                    stdin/stdout framing
 //!     --cache-bytes N  result-cache byte budget (default 64 MiB)
+//!     --cache-file F   persist the reply cache to F (atomic rename) at
+//!                      shutdown and restore it at startup, so a restarted
+//!                      server answers repeated programs from the snapshot
+//!                      without re-analysis
+//!     --idle-ms N    close a TCP connection after N ms without traffic
+//!                    (default 300000)
+//!     --max-pending N  per-tenant admission limit: requests in flight
+//!                    before new ones are rejected with EBUSY (default 64)
+//! loadgen options:
+//!     --connect HOST:PORT  drive an already-running server (default:
+//!                    spawn an in-process server on a loopback port)
+//!     --connections N  concurrent connections (default 4)
+//!     --requests M   requests per connection (default 25)
+//!     --seed S       stream seed; same seed, same byte-identical request
+//!                    stream (default 42)
+//!     --out FILE     JSON report path (default BENCH_serve.json)
+//!     --gate F       compare requests_per_sec against report F and exit 1
+//!                    on regression beyond the tolerance
+//!     --tolerance P  allowed regression percentage for --gate (default 75
+//!                    — latency-bound, noisy on small containers)
 //! bench options:
 //!     --iters N      corpus passes to time, best-of-N (default 5)
 //!     --out FILE     where to write the JSON report (default
@@ -145,6 +169,7 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
         "fuzz" => fuzz(rest),
         "serve" => serve(rest),
         "client" => client(rest),
+        "loadgen" => loadgen(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -158,8 +183,9 @@ fn usage() -> String {
      \x20      numfuzz run FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
      \x20      numfuzz batch DIR [--backward] [--jobs N] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
      \x20      numfuzz watch FILE [--poll-ms N] [--iterations N] [--backward] [--prec P] [--emax E] [--mode M] [--abs]\n\
-     \x20      numfuzz serve [--listen ADDR] [--jobs N] [--cache-bytes N] [--prec P] [--emax E] [--mode M] [--abs]\n\
+     \x20      numfuzz serve [--listen ADDR] [--jobs N] [--cache-bytes N] [--cache-file F] [--idle-ms N] [--max-pending N] [--prec P] [--emax E] [--mode M] [--abs]\n\
      \x20      numfuzz client --connect HOST:PORT [--retry SECONDS]\n\
+     \x20      numfuzz loadgen [--connect HOST:PORT] [--connections N] [--requests M] [--seed S] [--jobs N] [--out FILE] [--gate FILE] [--tolerance P]\n\
      \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE] [--gate FILE] [--tolerance P] [--gate-incremental R]\n\
      \x20      numfuzz table1 [--dir DIR] [--prec P] [--emax E] [--mode ru|rd|rz|rn]\n\
      \x20      numfuzz fuzz [--backward] [--incremental] [--cases N] [--seed S] [--jobs N] [--repro PREFIX]"
@@ -174,23 +200,36 @@ fn usage() -> String {
 fn serve(rest: &[String]) -> Result<(), Failure> {
     let mut listen: Option<String> = None;
     let mut cache_bytes: usize = 64 << 20;
+    let mut config = numfuzz::serve::ServeConfig::default();
     let mut passthrough = Vec::new();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| Failure::Usage(format!("{name} needs a value")))
+        };
         match flag.as_str() {
-            "--listen" => {
-                listen = Some(
-                    it.next()
-                        .cloned()
-                        .ok_or_else(|| Failure::Usage("--listen needs an address".to_string()))?,
-                )
-            }
+            "--listen" => listen = Some(value("--listen")?),
             "--cache-bytes" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| Failure::Usage("--cache-bytes needs a value".to_string()))?;
-                cache_bytes =
-                    v.parse().map_err(|e| Failure::Usage(format!("--cache-bytes: {e}")))?;
+                cache_bytes = value("--cache-bytes")?
+                    .parse()
+                    .map_err(|e| Failure::Usage(format!("--cache-bytes: {e}")))?;
+            }
+            "--cache-file" => {
+                config.cache_file = Some(std::path::PathBuf::from(value("--cache-file")?));
+            }
+            "--idle-ms" => {
+                let ms: u64 = value("--idle-ms")?
+                    .parse()
+                    .map_err(|e| Failure::Usage(format!("--idle-ms: {e}")))?;
+                config.idle_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--max-pending" => {
+                config.max_pending = value("--max-pending")?
+                    .parse()
+                    .map_err(|e| Failure::Usage(format!("--max-pending: {e}")))?;
+                if config.max_pending == 0 {
+                    return Err(Failure::Usage("--max-pending must be at least 1".into()));
+                }
             }
             other => passthrough.push(other.to_string()),
         }
@@ -202,6 +241,10 @@ fn serve(rest: &[String]) -> Result<(), Failure> {
         ));
     }
     let jobs = jobs.unwrap_or(0); // serve defaults to one worker per core
+    config.persist_budget = cache_bytes;
+    // Test-only fault-injection ops (docs/serve.md): environment-gated so
+    // no production request stream can trip them by accident.
+    config.debug_ops = std::env::var("NUMFUZZ_SERVE_DEBUG_OPS").as_deref() == Ok("1");
     let analyzer = Analyzer::builder()
         .signature(opts.instantiation)
         .format(opts.format)
@@ -213,7 +256,7 @@ fn serve(rest: &[String]) -> Result<(), Failure> {
         // budget as the whole-program cache.
         .judgment_cache_bytes(cache_bytes)
         .build();
-    let service = numfuzz::serve::Service::new(analyzer, jobs);
+    let service = std::sync::Arc::new(numfuzz::serve::Service::with_config(analyzer, jobs, config));
     let result = match listen {
         Some(addr) => numfuzz::serve::serve_tcp(&service, &addr),
         None => numfuzz::serve::serve_stdio(&service),
@@ -255,6 +298,158 @@ fn client(rest: &[String]) -> Result<(), Failure> {
         0 => Ok(()),
         1 => Err(Failure::Batch("a request failed with a program error".into())),
         _ => Err(Failure::Usage("a request failed with a protocol/usage error".into())),
+    }
+}
+
+/// `numfuzz loadgen`: the deterministic mixed-traffic harness behind
+/// `BENCH_serve.json`. Without `--connect` it spawns an in-process serve
+/// event loop on a loopback port, drives it, and shuts it down; the
+/// committed report is gated in CI like `BENCH_core.json` (throughput
+/// tolerance band, plus hard zero-tolerance on dropped connections and
+/// verdict flips).
+fn loadgen(rest: &[String]) -> Result<(), Failure> {
+    let mut connect: Option<String> = None;
+    let mut connections = 4usize;
+    let mut requests = 25usize;
+    let mut seed = 42u64;
+    let mut jobs = 0usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut gate: Option<String> = None;
+    let mut tolerance = 75.0f64;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => connect = Some(value("--connect").map_err(Failure::Usage)?),
+            "--connections" => {
+                connections = value("--connections")
+                    .and_then(|v| v.parse().map_err(|e| format!("--connections: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--requests" => {
+                requests = value("--requests")
+                    .and_then(|v| v.parse().map_err(|e| format!("--requests: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .and_then(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .and_then(|v| v.parse().map_err(|e| format!("--jobs: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--out" => out = value("--out").map_err(Failure::Usage)?,
+            "--gate" => gate = Some(value("--gate").map_err(Failure::Usage)?),
+            "--tolerance" => {
+                tolerance = value("--tolerance")
+                    .and_then(|v| v.parse().map_err(|e| format!("--tolerance: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            other => return Err(Failure::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    if connections == 0 || requests == 0 {
+        return Err(Failure::Usage("--connections and --requests must be at least 1".into()));
+    }
+    if !(0.0..100.0).contains(&tolerance) {
+        return Err(Failure::Usage("--tolerance must be in [0, 100)".into()));
+    }
+    let out_path = std::env::current_dir()
+        .map(|cwd| cwd.join(&out))
+        .map_err(|e| Failure::Usage(format!("cannot resolve current directory: {e}")))?;
+
+    let report = match connect {
+        Some(addr) => numfuzz::loadgen::run(&addr, connections, requests, seed),
+        None => {
+            // Self-spawned server: the same construction as `numfuzz
+            // serve`, on an ephemeral loopback port, torn down with a
+            // shutdown request once the run completes (success or not).
+            let analyzer = Analyzer::builder()
+                .cache(AnalysisCache::with_budget(64 << 20))
+                .judgment_cache_bytes(64 << 20)
+                .build();
+            let service = std::sync::Arc::new(numfuzz::serve::Service::new(analyzer, jobs));
+            let listener = std::net::TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| Failure::Usage(format!("loadgen: cannot bind loopback: {e}")))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| Failure::Usage(format!("loadgen: {e}")))?
+                .to_string();
+            let server = {
+                let service = std::sync::Arc::clone(&service);
+                std::thread::spawn(move || numfuzz::serve::serve_listener(&service, listener))
+            };
+            let result = numfuzz::loadgen::run(&addr, connections, requests, seed);
+            loadgen_shutdown(&addr);
+            let _ = server.join();
+            result
+        }
+    }
+    .map_err(|e| Failure::Usage(format!("loadgen: {e}")))?;
+
+    let json = report.to_json();
+    std::fs::write(&out_path, &json)
+        .map_err(|e| Failure::Usage(format!("{}: {e}", out_path.display())))?;
+    print!("{json}");
+    eprintln!("report written: {}", out_path.display());
+    eprintln!(
+        "loadgen: {} requests over {} connections: p50 {:.2} ms, p99 {:.2} ms, \
+         {:.0} req/s, {} dropped",
+        report.total_requests,
+        report.connections,
+        report.p50_ms,
+        report.p99_ms,
+        report.requests_per_sec,
+        report.dropped_connections
+    );
+    // Correctness is never inside the tolerance band: a dropped
+    // connection or a verdict flip fails the run outright.
+    if report.dropped_connections > 0 {
+        return Err(Failure::Batch(format!(
+            "{} connection(s) dropped mid-stream",
+            report.dropped_connections
+        )));
+    }
+    if report.unexpected_errors > 0 {
+        return Err(Failure::Batch(format!(
+            "{} response(s) did not match the deterministic stream's expectation",
+            report.unexpected_errors
+        )));
+    }
+    if let Some(gate_path) = gate {
+        let text = std::fs::read_to_string(&gate_path)
+            .map_err(|e| Failure::Usage(format!("{gate_path}: {e}")))?;
+        let base = extract_json_number(&text, "requests_per_sec")
+            .ok_or_else(|| Failure::Usage(format!("{gate_path}: no `requests_per_sec` field")))?;
+        let floor = base * (1.0 - tolerance / 100.0);
+        eprintln!(
+            "gate: fresh {:.2} req/s vs baseline {base:.2} req/s \
+             (floor {floor:.2} at {tolerance}% tolerance)",
+            report.requests_per_sec
+        );
+        if report.requests_per_sec < floor {
+            return Err(Failure::Batch(format!(
+                "serve throughput regression: {:.2} req/s is below the gate floor {floor:.2} \
+                 ({tolerance}% under baseline {base:.2} from {gate_path})",
+                report.requests_per_sec
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Asks the self-spawned loadgen server to exit: one shutdown request,
+/// one response line, best-effort.
+fn loadgen_shutdown(addr: &str) {
+    use std::io::{BufRead, BufReader, Write};
+    if let Ok(mut stream) = std::net::TcpStream::connect(addr) {
+        let _ = stream.write_all(b"{\"id\":0,\"op\":\"shutdown\"}\n");
+        let mut line = String::new();
+        let _ = BufReader::new(stream).read_line(&mut line);
     }
 }
 
@@ -414,21 +609,19 @@ fn watch(rest: &[String]) -> Result<(), Failure> {
 
     use std::io::Write as _;
     let mut last_src: Option<String> = None;
-    let mut last_stamp: Option<(std::time::SystemTime, u64)> = None;
+    let mut last_stamp: Option<(std::time::SystemTime, u64, u64)> = None;
     let mut rechecks = 0u64;
     loop {
-        // Stat first so an unchanged file costs one metadata read per
-        // poll, not a full content read. A changed stamp falls through to
-        // the content comparison, which is what actually triggers work
-        // (editors rewrite files without changing a byte all the time);
-        // a stat error (the file briefly missing mid-save) just waits.
-        let stamp =
-            std::fs::metadata(file).ok().and_then(|m| m.modified().ok().map(|t| (t, m.len())));
-        if stamp.is_some() && stamp == last_stamp {
-            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
-            continue;
-        }
-        last_stamp = stamp;
+        // The change key is (mtime, length, content hash) — mtime alone
+        // misses a rewrite that lands within the filesystem's timestamp
+        // granularity (editor save-then-format flows do this routinely),
+        // and an atomic rename-over even preserves the old mtime. Hashing
+        // costs one content read per poll, which is what a poll costs
+        // anyway once stat alone cannot be trusted. A changed stamp falls
+        // through to the content comparison, which is what actually
+        // triggers work (editors rewrite files without changing a byte
+        // all the time); a read error (the file briefly missing
+        // mid-save) just waits.
         let src = match std::fs::read_to_string(file) {
             Ok(src) => src,
             Err(e) => {
@@ -439,6 +632,18 @@ fn watch(rest: &[String]) -> Result<(), Failure> {
                 continue;
             }
         };
+        let stamp = {
+            let mut h = numfuzz::core::cache::StableHasher::new();
+            h.write_str(&src);
+            std::fs::metadata(file)
+                .ok()
+                .and_then(|m| m.modified().ok().map(|t| (t, m.len(), h.finish64())))
+        };
+        if stamp.is_some() && stamp == last_stamp {
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+            continue;
+        }
+        last_stamp = stamp;
         if last_src.as_deref() != Some(src.as_str()) {
             last_src = Some(src.clone());
             rechecks += 1;

@@ -72,6 +72,7 @@
 mod analyzer;
 mod diag;
 pub mod fuzzing;
+pub mod loadgen;
 mod program;
 pub mod serve;
 

@@ -1,0 +1,432 @@
+//! The load-generation harness behind `numfuzz loadgen`: deterministic
+//! mixed traffic (check / bound / edit / batch, with a sprinkling of
+//! deliberately ill-typed programs) driven over N concurrent NDJSON
+//! connections against a live `numfuzz serve` event loop, with per-
+//! request latency recording.
+//!
+//! Determinism matters more than realism here: the request stream is a
+//! pure function of `(seed, connection index)` ([`request_stream`]), so
+//! a benchmark run is reproducible and a regression gate compares like
+//! with like. Program sources draw constants from a small pool, which
+//! gives the server's content-addressed caches a realistic mix of hits
+//! and misses rather than all-unique or all-identical traffic.
+//!
+//! [`run`] returns a [`LoadgenReport`]; its [`LoadgenReport::to_json`]
+//! rendering is the committed `BENCH_serve.json` format, gated in CI the
+//! same way `BENCH_core.json` is (see `numfuzz loadgen --gate`).
+
+use crate::serve::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A small xorshift64 generator: deterministic, seedable, and good
+/// enough to mix op choices and constant pools (nothing here is
+/// cryptographic or statistical).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        // Spread the seed bits and keep the state nonzero (an all-zero
+        // xorshift state is a fixed point).
+        XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// One generated request: the NDJSON line to send and how to judge the
+/// response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenRequest {
+    /// The serialized request object (no trailing newline).
+    pub line: String,
+    /// Which op the request carries (`check` / `bound` / `edit` /
+    /// `batch`), for the report's op mix.
+    pub op: String,
+    /// `true` when the program is deliberately ill-typed: the correct
+    /// response is `"ok":false` with `exit` 1, and anything else counts
+    /// as an unexpected error.
+    pub expect_program_error: bool,
+}
+
+/// The well-typed program templates traffic draws from, parameterized by
+/// a small constant `k` so repeats land in the server's caches at a
+/// realistic rate.
+fn program_source(template: u64, k: u64) -> String {
+    match template % 3 {
+        0 => format!("rnd {k}.5"),
+        1 => format!("s = mul ({k}, 3); rnd s"),
+        _ => format!("t = mul (2, {k}); u = mul (t, 3); rnd u"),
+    }
+}
+
+/// The deterministic request stream of one connection: a pure function
+/// of `(seed, connection, requests)` — same inputs, byte-identical
+/// stream. Roughly 40% `check`, 20% `bound`, 20% `edit`, 13% `batch`,
+/// and 7% deliberately ill-typed `check`s; every request is tagged with
+/// a `tenant` (three tenants round-robin over connections) and a unique
+/// `name`.
+pub fn request_stream(seed: u64, connection: usize, requests: usize) -> Vec<GenRequest> {
+    let mut rng = XorShift::new(
+        seed ^ (connection as u64).wrapping_add(1).wrapping_mul(0xA076_1D64_78BD_642F),
+    );
+    let tenant = format!("tenant-{}", connection % 3);
+    let mut out = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let roll = rng.next() % 100;
+        let k = rng.next() % 16;
+        let template = rng.next();
+        let name = format!("gen-{connection}-{i}.nf");
+        let id = Json::int(i as u64);
+        let (op, fields, expect_program_error) = if roll < 40 {
+            let src = program_source(template, k);
+            ("check", vec![("src", Json::str(src))], false)
+        } else if roll < 60 {
+            let src = program_source(template, k);
+            ("bound", vec![("src", Json::str(src))], false)
+        } else if roll < 80 {
+            // Edits hit the judgment memo: the same shape with a varied
+            // leaf, the serve-side `edit` op's intended traffic.
+            let j = rng.next() % 8;
+            let src = format!("s = mul ({k}, {j}); rnd s");
+            ("edit", vec![("src", Json::str(src))], false)
+        } else if roll < 93 {
+            let items: Vec<Json> = (0..3)
+                .map(|b| {
+                    Json::obj(vec![
+                        ("name", Json::str(format!("gen-{connection}-{i}-{b}.nf"))),
+                        ("src", Json::str(program_source(template.wrapping_add(b), k + b))),
+                    ])
+                })
+                .collect();
+            ("batch", vec![("programs", Json::Arr(items))], false)
+        } else {
+            // An application of a number to a number: ill-typed (E0102),
+            // a program error the server must answer with exit 1.
+            ("check", vec![("src", Json::str(format!("{k} {}", k + 2)))], true)
+        };
+        let mut obj =
+            vec![("id", id), ("op", Json::str(op)), ("tenant", Json::str(tenant.clone()))];
+        if op != "batch" {
+            obj.push(("name", Json::str(name)));
+        }
+        obj.extend(fields);
+        out.push(GenRequest {
+            line: Json::obj(obj).to_string(),
+            op: op.to_string(),
+            expect_program_error,
+        });
+    }
+    out
+}
+
+/// What one `loadgen` run measured. [`to_json`](Self::to_json) renders
+/// the committed `BENCH_serve.json` format.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Concurrent connections driven.
+    pub connections: usize,
+    /// Requests sent per connection.
+    pub requests_per_connection: usize,
+    /// The deterministic stream seed.
+    pub seed: u64,
+    /// Requests that completed with a response (any kind).
+    pub total_requests: usize,
+    /// Connections that failed to connect, were cut mid-stream, or
+    /// panicked their driver thread. The CI gate requires zero.
+    pub dropped_connections: usize,
+    /// Responses that were not what the stream expected: transport
+    /// garbage, protocol errors, or a verdict flip (an ill-typed program
+    /// accepted, a well-typed one rejected). The CI gate requires zero.
+    pub unexpected_errors: usize,
+    /// Deliberately ill-typed programs correctly rejected with exit 1.
+    pub expected_program_errors: usize,
+    /// `check` requests sent.
+    pub ops_check: usize,
+    /// `bound` requests sent.
+    pub ops_bound: usize,
+    /// `edit` requests sent.
+    pub ops_edit: usize,
+    /// `batch` requests sent.
+    pub ops_batch: usize,
+    /// Median request-to-response latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Wall time of the whole run.
+    pub wall_seconds: f64,
+    /// Completed requests per wall-clock second, all connections
+    /// combined.
+    pub requests_per_sec: f64,
+}
+
+impl LoadgenReport {
+    /// The `BENCH_serve.json` rendering: stable key order, throughput
+    /// and latency keys readable by the same first-occurrence scan the
+    /// `bench --gate` machinery uses.
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(
+            "  \"harness\": \"numfuzz loadgen: N connections x M deterministic mixed \
+             check/bound/edit/batch requests against a live serve event loop\",\n",
+        );
+        json.push_str("  \"schema\": \"numfuzz-loadgen-v1\",\n");
+        json.push_str(&format!("  \"connections\": {},\n", self.connections));
+        json.push_str(&format!(
+            "  \"requests_per_connection\": {},\n",
+            self.requests_per_connection
+        ));
+        json.push_str(&format!("  \"seed\": {},\n", self.seed));
+        json.push_str(&format!("  \"total_requests\": {},\n", self.total_requests));
+        json.push_str(&format!("  \"dropped_connections\": {},\n", self.dropped_connections));
+        json.push_str(&format!("  \"unexpected_errors\": {},\n", self.unexpected_errors));
+        json.push_str(&format!(
+            "  \"expected_program_errors\": {},\n",
+            self.expected_program_errors
+        ));
+        json.push_str(&format!(
+            "  \"ops\": {{\"check\": {}, \"bound\": {}, \"edit\": {}, \"batch\": {}}},\n",
+            self.ops_check, self.ops_bound, self.ops_edit, self.ops_batch
+        ));
+        json.push_str(&format!(
+            "  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n",
+            self.p50_ms, self.p99_ms, self.mean_ms
+        ));
+        json.push_str(&format!("  \"wall_seconds\": {:.6},\n", self.wall_seconds));
+        json.push_str(&format!("  \"requests_per_sec\": {:.2}\n", self.requests_per_sec));
+        json.push_str("}\n");
+        json
+    }
+}
+
+/// What one connection's driver thread brings home.
+struct ConnOutcome {
+    latencies_us: Vec<u64>,
+    unexpected: usize,
+    expected_errors: usize,
+    ops: [usize; 4],
+}
+
+fn connect_retry(addr: &str, patience: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Drives one connection's deterministic stream serially (send, await
+/// the response, measure): latency numbers then mean what they say —
+/// queueing inside the server, not inside the client.
+fn drive_connection(
+    addr: &str,
+    seed: u64,
+    connection: usize,
+    requests: usize,
+) -> std::io::Result<ConnOutcome> {
+    let stream = connect_retry(addr, Duration::from_secs(10))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut outcome = ConnOutcome {
+        latencies_us: Vec::with_capacity(requests),
+        unexpected: 0,
+        expected_errors: 0,
+        ops: [0; 4],
+    };
+    for request in request_stream(seed, connection, requests) {
+        match request.op.as_str() {
+            "check" => outcome.ops[0] += 1,
+            "bound" => outcome.ops[1] += 1,
+            "edit" => outcome.ops[2] += 1,
+            _ => outcome.ops[3] += 1,
+        }
+        let t0 = Instant::now();
+        writer.write_all(request.line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-stream",
+            ));
+        }
+        outcome.latencies_us.push(t0.elapsed().as_micros() as u64);
+        match Json::parse(response.trim_end()) {
+            Ok(v) => {
+                let ok = v.get("ok").and_then(Json::as_bool) == Some(true);
+                let exit = v.get("exit").and_then(Json::as_f64).unwrap_or(0.0);
+                match (ok, request.expect_program_error) {
+                    (true, false) => {}
+                    (false, true) if exit == 1.0 => outcome.expected_errors += 1,
+                    _ => outcome.unexpected += 1,
+                }
+            }
+            Err(_) => outcome.unexpected += 1,
+        }
+    }
+    Ok(outcome)
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+/// Runs the harness against a serving `addr`: `connections` driver
+/// threads, each sending its deterministic `requests`-long stream
+/// serially and measuring per-request latency. Never fails outright on
+/// a bad connection — that is what
+/// [`dropped_connections`](LoadgenReport::dropped_connections) reports
+/// (and what the CI gate refuses).
+///
+/// # Errors
+///
+/// None today (connection failures are counted, not raised); the
+/// `Result` leaves room for harness-level I/O failures.
+pub fn run(
+    addr: &str,
+    connections: usize,
+    requests: usize,
+    seed: u64,
+) -> std::io::Result<LoadgenReport> {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|connection| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || drive_connection(&addr, seed, connection, requests))
+        })
+        .collect();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(connections * requests);
+    let mut dropped = 0usize;
+    let mut unexpected = 0usize;
+    let mut expected_errors = 0usize;
+    let mut ops = [0usize; 4];
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(outcome)) => {
+                latencies_us.extend(outcome.latencies_us);
+                unexpected += outcome.unexpected;
+                expected_errors += outcome.expected_errors;
+                for (total, n) in ops.iter_mut().zip(outcome.ops) {
+                    *total += n;
+                }
+            }
+            Ok(Err(_)) | Err(_) => dropped += 1,
+        }
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+    let total_requests = latencies_us.len();
+    let mean_ms = if total_requests == 0 {
+        0.0
+    } else {
+        latencies_us.iter().sum::<u64>() as f64 / total_requests as f64 / 1e3
+    };
+    Ok(LoadgenReport {
+        connections,
+        requests_per_connection: requests,
+        seed,
+        total_requests,
+        dropped_connections: dropped,
+        unexpected_errors: unexpected,
+        expected_program_errors: expected_errors,
+        ops_check: ops[0],
+        ops_bound: ops[1],
+        ops_edit: ops[2],
+        ops_batch: ops[3],
+        p50_ms: percentile(&latencies_us, 0.50),
+        p99_ms: percentile(&latencies_us, 0.99),
+        mean_ms,
+        wall_seconds,
+        requests_per_sec: if wall_seconds > 0.0 {
+            total_requests as f64 / wall_seconds
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_stream_is_deterministic_per_seed_and_connection() {
+        let a = request_stream(42, 0, 50);
+        let b = request_stream(42, 0, 50);
+        assert_eq!(a, b, "same (seed, connection) must replay byte-identically");
+        let other_conn = request_stream(42, 1, 50);
+        assert_ne!(a, other_conn, "connections must not send identical streams");
+        let other_seed = request_stream(43, 0, 50);
+        assert_ne!(a, other_seed, "seeds must change the stream");
+    }
+
+    #[test]
+    fn request_stream_mixes_ops_and_every_line_is_valid_json() {
+        let stream = request_stream(7, 2, 200);
+        let mut seen = std::collections::BTreeMap::new();
+        let mut errors = 0;
+        for request in &stream {
+            let v = Json::parse(&request.line).expect("generated line is valid JSON");
+            assert_eq!(v.get("op").and_then(Json::as_str), Some(request.op.as_str()));
+            assert!(v.get("tenant").and_then(Json::as_str).is_some());
+            *seen.entry(request.op.clone()).or_insert(0usize) += 1;
+            errors += usize::from(request.expect_program_error);
+        }
+        for op in ["check", "bound", "edit", "batch"] {
+            assert!(seen.get(op).copied().unwrap_or(0) > 0, "no `{op}` in a 200-request stream");
+        }
+        assert!(errors > 0, "the stream must include deliberate program errors");
+    }
+
+    #[test]
+    fn percentile_and_report_render() {
+        let us: Vec<u64> = (1..=100).map(|v| v * 1000).collect();
+        assert_eq!(percentile(&us, 0.50), 51.0); // nearest-rank: round(99 * 0.5) = 50 → 51 ms
+        assert_eq!(percentile(&us, 0.99), 99.0);
+        let report = LoadgenReport {
+            connections: 2,
+            requests_per_connection: 5,
+            seed: 1,
+            total_requests: 10,
+            dropped_connections: 0,
+            unexpected_errors: 0,
+            expected_program_errors: 1,
+            ops_check: 4,
+            ops_bound: 2,
+            ops_edit: 2,
+            ops_batch: 2,
+            p50_ms: 1.5,
+            p99_ms: 3.0,
+            mean_ms: 1.7,
+            wall_seconds: 0.5,
+            requests_per_sec: 20.0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"requests_per_sec\": 20.00"));
+        assert!(json.contains("\"p99\": 3.000"));
+        assert!(json.contains("\"dropped_connections\": 0"));
+    }
+}

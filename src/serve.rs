@@ -32,14 +32,36 @@
 //! judgment counts alongside the usual `output` — which stays
 //! byte-identical to a `check` of the same source. `numfuzz watch` is
 //! built on the same entry points.
+//!
+//! The TCP transport is a nonblocking event loop ([`serve_listener`]):
+//! one thread owns every socket, requests pipeline per connection
+//! (responses always in request order), analysis runs on a resident
+//! [`pool::TaskPool`] of forked sessions, and each request's `tenant`
+//! is held to a bounded admission budget — over-budget requests get an
+//! immediate `EBUSY` backpressure reply instead of queueing without
+//! bound. Every transport routes requests through a panic firewall
+//! ([`Service::handle_guarded`]): a panicking handler is logged,
+//! answered with a well-formed `EPANIC` reply, and the server keeps
+//! serving. A [`ServeConfig::cache_file`] adds a disk-persisted reply
+//! cache (content-addressed by the structural program fingerprint;
+//! snapshot written on shutdown, restored — corruption-tolerantly — on
+//! the next start). The `metrics` op reports per-op counters, queue
+//! depth, admission rejections, and cache hit rates.
 
 use crate::analyzer::{Analyzer, BackwardBound, BackwardTyped, InputBackwardBound, Typed};
 use crate::diag::Diagnostic;
-use numfuzz_core::cache::AnalysisMode;
+use crate::program::Program;
+use numfuzz_core::cache::{
+    persist_atomically, AnalysisMode, CacheKey, ConfigFingerprint, ResultCache,
+};
 use numfuzz_core::{pool, Grade, Instantiation};
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
@@ -590,26 +612,197 @@ pub struct Reply {
     pub shutdown: bool,
 }
 
+/// Tunables for the resident transports. `Default` matches the
+/// historical service behavior closely enough that the pinned wire
+/// transcripts keep passing: no persistence, no debug ops, a generous
+/// admission budget, a five-minute idle deadline.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Close a TCP connection after this long with no traffic and
+    /// nothing in flight (the event-loop replacement for per-socket
+    /// read/write timeouts — the loop never blocks on one socket, so a
+    /// stalled client can only hold its own connection, and only until
+    /// this deadline).
+    pub idle_timeout: Duration,
+    /// Per-tenant admission budget: how many of a tenant's requests may
+    /// be in flight at once. One more is refused with an `EBUSY` reply
+    /// until a slot drains.
+    pub max_pending: usize,
+    /// Snapshot file for the persistent reply cache. `None` disables
+    /// persistence entirely: no disk I/O, and no extra `stats` section.
+    pub cache_file: Option<PathBuf>,
+    /// Byte budget of the persistent reply cache.
+    pub persist_budget: usize,
+    /// Enable the test-only `debug-panic` / `debug-sleep` ops
+    /// (`NUMFUZZ_SERVE_DEBUG_OPS=1` in the CLI).
+    pub debug_ops: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            idle_timeout: Duration::from_secs(300),
+            max_pending: 64,
+            cache_file: None,
+            persist_budget: 64 << 20,
+            debug_ops: false,
+        }
+    }
+}
+
+/// Service counters behind the `metrics` op. All relaxed atomics: these
+/// are operational telemetry, not synchronization.
+#[derive(Default)]
+struct Metrics {
+    op_check: AtomicU64,
+    op_bound: AtomicU64,
+    op_batch: AtomicU64,
+    op_edit: AtomicU64,
+    op_stats: AtomicU64,
+    op_metrics: AtomicU64,
+    op_shutdown: AtomicU64,
+    proto_errors: AtomicU64,
+    panics: AtomicU64,
+    admission_rejected: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    idle_closed: AtomicU64,
+    persist_hits: AtomicU64,
+    persist_misses: AtomicU64,
+    persist_restored: AtomicU64,
+}
+
+impl Metrics {
+    fn enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The disk-persisted reply cache: rendered response *tails* (the bytes
+/// after the leading `"id"` field, which is the only request-specific
+/// part of a `check`/`bound` response) keyed by content — see
+/// [`Service::persist_key`] for the derivation and `docs/serve.md` for
+/// the on-disk snapshot format.
+struct ReplyCache {
+    entries: Mutex<ResultCache<String>>,
+    path: PathBuf,
+}
+
+impl ReplyCache {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ResultCache<String>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Serve-side logging that cannot take the server down: `eprintln!`
+/// panics when stderr is closed (a supervisor that stopped reading the
+/// pipe, a detached terminal), and a panic inside the panic *handler*
+/// would lose the reply it was about to send. Log lines are best-effort
+/// by design.
+fn log_line(args: std::fmt::Arguments<'_>) {
+    let _ = std::io::stderr().lock().write_fmt(format_args!("{args}\n"));
+}
+
+macro_rules! serve_log {
+    ($($arg:tt)*) => { log_line(format_args!($($arg)*)) };
+}
+
 /// A resident analysis service: a base [`Analyzer`] (whose cache, if
 /// configured, is shared by everything the service does), a worker count
-/// for `batch` requests, and a request counter. See the
+/// for `batch` requests, service tunables ([`ServeConfig`]), telemetry,
+/// and — when configured — the persistent reply cache. See the
 /// [module docs](self) for the wire protocol.
 pub struct Service {
     base: Analyzer,
     jobs: usize,
     requests: AtomicU64,
+    config: ServeConfig,
+    metrics: Metrics,
+    persist: Option<ReplyCache>,
 }
 
 impl Service {
-    /// Wraps an analyzer. `jobs` is the worker count for `batch`
-    /// requests (0 = one per core).
+    /// Wraps an analyzer with default tunables. `jobs` is the worker
+    /// count for `batch` requests and the TCP worker pool (0 = one per
+    /// core).
     pub fn new(analyzer: Analyzer, jobs: usize) -> Self {
-        Service { base: analyzer, jobs, requests: AtomicU64::new(0) }
+        Service::with_config(analyzer, jobs, ServeConfig::default())
+    }
+
+    /// Wraps an analyzer with explicit tunables. When
+    /// `config.cache_file` is set, a previous snapshot at that path is
+    /// restored immediately; a corrupt or truncated snapshot degrades to
+    /// whatever intact prefix it still has (one stderr note, never a
+    /// refusal to start).
+    pub fn with_config(analyzer: Analyzer, jobs: usize, config: ServeConfig) -> Self {
+        let metrics = Metrics::default();
+        let persist = config.cache_file.as_ref().map(|path| {
+            let mut entries = ResultCache::new(config.persist_budget);
+            if let Ok(bytes) = std::fs::read(path) {
+                let load = entries.restore(&bytes);
+                metrics.persist_restored.store(load.restored as u64, Ordering::Relaxed);
+                if load.truncated {
+                    serve_log!(
+                        "numfuzz serve: cache snapshot {} is damaged; restored {} intact entries and moving on",
+                        path.display(),
+                        load.restored
+                    );
+                }
+            }
+            ReplyCache { entries: Mutex::new(entries), path: path.clone() }
+        });
+        Service { base: analyzer, jobs, requests: AtomicU64::new(0), config, metrics, persist }
     }
 
     /// The base analyzer (e.g. to read cache statistics).
     pub fn analyzer(&self) -> &Analyzer {
         &self.base
+    }
+
+    /// The service tunables this instance runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Writes the persistent reply cache back to its snapshot file, via
+    /// a temp file and an atomic rename. A no-op without a cache file.
+    /// Errors are reported on stderr and swallowed: failing to persist
+    /// must not turn a clean shutdown into a failure.
+    pub fn persist_now(&self) {
+        let Some(pc) = &self.persist else { return };
+        let bytes = pc.lock().snapshot();
+        if let Err(e) = persist_atomically(&pc.path, &bytes) {
+            serve_log!("numfuzz serve: could not persist cache to {}: {e}", pc.path.display());
+        }
+    }
+
+    /// The content address of one `check`/`bound` reply in the
+    /// persistent cache. The `program` half is the structural (alpha-
+    /// invariant) fingerprint; the `config` half folds the analysis
+    /// mode's session configuration, the op, the display fingerprint
+    /// (rendered types and diagnostics quote concrete source names), and
+    /// the request's `name` (diagnostics embed it as the file).
+    fn persist_key(
+        &self,
+        session: &Analyzer,
+        program: &Program,
+        op: &str,
+        mode: AnalysisMode,
+        name: Option<&str>,
+    ) -> CacheKey {
+        let mut config = ConfigFingerprint::new(mode);
+        config.write_u64(session.config_fingerprint(mode));
+        config.write_u8(if op == "check" { 1 } else { 2 });
+        config.write_u128(program.display_fingerprint());
+        config.write_str(name.unwrap_or(""));
+        CacheKey { program: program.fingerprint(), config: config.finish() }
     }
 
     /// Handles one request line within `session` (a
@@ -619,18 +812,41 @@ impl Service {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let request = match Json::parse(line) {
             Ok(v) => v,
-            Err(e) => return proto_error(Json::Null, &format!("invalid JSON: {e}")),
+            Err(e) => {
+                self.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
+                return proto_error(Json::Null, &format!("invalid JSON: {e}"));
+            }
         };
         let id = request.get("id").cloned().unwrap_or(Json::Null);
         let Some(op) = request.get("op").and_then(Json::as_str) else {
+            self.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
             return proto_error(id, "missing string field `op`");
         };
         match op {
-            "check" | "bound" => self.check_or_bound(session, id, op, &request),
-            "edit" => self.edit(session, id, &request),
-            "batch" => self.batch(id, &request),
-            "stats" => Reply { json: self.stats(id), shutdown: false },
+            "check" | "bound" => {
+                let counter =
+                    if op == "check" { &self.metrics.op_check } else { &self.metrics.op_bound };
+                counter.fetch_add(1, Ordering::Relaxed);
+                self.check_or_bound(session, id, op, &request)
+            }
+            "edit" => {
+                self.metrics.op_edit.fetch_add(1, Ordering::Relaxed);
+                self.edit(session, id, &request)
+            }
+            "batch" => {
+                self.metrics.op_batch.fetch_add(1, Ordering::Relaxed);
+                self.batch(id, &request)
+            }
+            "stats" => {
+                self.metrics.op_stats.fetch_add(1, Ordering::Relaxed);
+                Reply { json: self.stats(id), shutdown: false }
+            }
+            "metrics" => {
+                self.metrics.op_metrics.fetch_add(1, Ordering::Relaxed);
+                Reply { json: self.metrics_report(id), shutdown: false }
+            }
             "shutdown" => {
+                self.metrics.op_shutdown.fetch_add(1, Ordering::Relaxed);
                 let response = Json::obj(vec![
                     ("id", id),
                     ("op", Json::str("shutdown")),
@@ -638,7 +854,71 @@ impl Service {
                 ]);
                 Reply { json: response.to_string(), shutdown: true }
             }
-            other => proto_error(id, &format!("unknown op `{other}`")),
+            // Test-only fault injection, off unless explicitly enabled:
+            // `debug-panic` exercises the panic firewall, `debug-sleep`
+            // occupies a worker so admission control can be observed.
+            "debug-panic" if self.config.debug_ops => {
+                panic!("debug-panic op requested")
+            }
+            "debug-sleep" if self.config.debug_ops => {
+                let ms =
+                    request.get("ms").and_then(Json::as_f64).unwrap_or(0.0).clamp(0.0, 60_000.0);
+                std::thread::sleep(Duration::from_millis(ms as u64));
+                let response = Json::obj(vec![
+                    ("id", id),
+                    ("op", Json::str("debug-sleep")),
+                    ("ok", Json::Bool(true)),
+                ]);
+                Reply { json: response.to_string(), shutdown: false }
+            }
+            other => {
+                self.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
+                proto_error(id, &format!("unknown op `{other}`"))
+            }
+        }
+    }
+
+    /// [`handle_line`](Self::handle_line) behind the panic firewall
+    /// every transport uses: a panicking handler is caught, logged as
+    /// one stderr line, counted, and answered with a well-formed
+    /// `EPANIC` reply — the server keeps serving. The session is rebuilt
+    /// afterwards (its arena may have been mid-mutation when the panic
+    /// unwound through it).
+    pub fn handle_guarded(&self, session: &mut Analyzer, line: &str) -> Reply {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| self.handle_line(session, line)));
+        match result {
+            Ok(reply) => reply,
+            Err(payload) => {
+                self.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                serve_log!(
+                    "numfuzz serve: request handler panicked: {}",
+                    panic_message(payload.as_ref())
+                );
+                *session = self.base.fork_session();
+                let id = Json::parse(line)
+                    .ok()
+                    .and_then(|request| request.get("id").cloned())
+                    .unwrap_or(Json::Null);
+                let response = Json::obj(vec![
+                    ("id", id),
+                    ("ok", Json::Bool(false)),
+                    (
+                        "error",
+                        Json::obj(vec![
+                            ("code", Json::str("EPANIC")),
+                            (
+                                "message",
+                                Json::str(
+                                    "internal error: the request handler panicked; \
+                                     the server is still serving",
+                                ),
+                            ),
+                        ]),
+                    ),
+                    ("exit", Json::int(EXIT_USAGE as u64)),
+                ]);
+                Reply { json: response.to_string(), shutdown: false }
+            }
         }
     }
 
@@ -655,6 +935,20 @@ impl Service {
             Some(n) => session.parse_named(n, src),
             None => session.parse(src),
         };
+        // Persistent reply cache: any parseable program addresses a
+        // rendered reply tail; a hit replays the stored bytes under the
+        // request's own `id` without touching the analyzer at all.
+        let key = match (&self.persist, &parsed) {
+            (Some(_), Ok(program)) => Some(self.persist_key(session, program, op, mode, name)),
+            _ => None,
+        };
+        if let (Some(pc), Some(key)) = (&self.persist, key) {
+            if let Some(tail) = pc.lock().get(&key) {
+                self.metrics.persist_hits.fetch_add(1, Ordering::Relaxed);
+                return Reply { json: splice_id(&id, &tail), shutdown: false };
+            }
+            self.metrics.persist_misses.fetch_add(1, Ordering::Relaxed);
+        }
         let outcome = parsed.and_then(|program| match mode {
             AnalysisMode::Forward => {
                 let typed = session.check_cached(&program)?;
@@ -683,6 +977,9 @@ impl Service {
                 ("exit", Json::int(diagnostic_exit(&d) as u64)),
             ]),
         };
+        if let (Some(pc), Some(key)) = (&self.persist, key) {
+            pc.lock().insert(key, response_tail(&response));
+        }
         Reply { json: response.to_string(), shutdown: false }
     }
 
@@ -831,7 +1128,138 @@ impl Service {
                 ]),
             ));
         }
+        if let Some(pc) = &self.persist {
+            let s = pc.lock().stats();
+            fields.push((
+                "persistent",
+                Json::obj(vec![
+                    ("restored", Json::int(self.metrics.persist_restored.load(Ordering::Relaxed))),
+                    ("hits", Json::int(self.metrics.persist_hits.load(Ordering::Relaxed))),
+                    ("misses", Json::int(self.metrics.persist_misses.load(Ordering::Relaxed))),
+                    ("entries", Json::int(s.entries as u64)),
+                    ("bytes", Json::int(s.bytes as u64)),
+                ]),
+            ));
+        }
         Json::obj(fields).to_string()
+    }
+
+    /// The `metrics` op: per-op counters, queue depth/peak, admission
+    /// budget and rejections, connection lifecycle counts, and cache hit
+    /// rates. The `persistent` section appears only when a cache file is
+    /// configured (so the pinned transcripts, which run without one,
+    /// stay stable).
+    fn metrics_report(&self, id: Json) -> String {
+        let m = &self.metrics;
+        let get = |c: &AtomicU64| Json::int(c.load(Ordering::Relaxed));
+        let mut fields = vec![
+            ("id", id),
+            ("op", Json::str("metrics")),
+            ("ok", Json::Bool(true)),
+            ("requests", Json::int(self.requests.load(Ordering::Relaxed))),
+            (
+                "ops",
+                Json::obj(vec![
+                    ("check", get(&m.op_check)),
+                    ("bound", get(&m.op_bound)),
+                    ("batch", get(&m.op_batch)),
+                    ("edit", get(&m.op_edit)),
+                    ("stats", get(&m.op_stats)),
+                    ("metrics", get(&m.op_metrics)),
+                    ("shutdown", get(&m.op_shutdown)),
+                    ("proto_errors", get(&m.proto_errors)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj(vec![("depth", get(&m.queue_depth)), ("peak", get(&m.queue_peak))]),
+            ),
+            (
+                "admission",
+                Json::obj(vec![
+                    ("max_pending", Json::int(self.config.max_pending as u64)),
+                    ("rejected", get(&m.admission_rejected)),
+                ]),
+            ),
+            (
+                "connections",
+                Json::obj(vec![
+                    ("accepted", get(&m.accepted)),
+                    ("closed", get(&m.closed)),
+                    ("idle_closed", get(&m.idle_closed)),
+                    ("panics_caught", get(&m.panics)),
+                ]),
+            ),
+        ];
+        if let Some(stats) = self.base.cache_stats() {
+            fields.push(("cache", hit_rate_json(stats.hits, stats.misses)));
+        }
+        if let Some(stats) = self.base.judgment_cache_stats() {
+            fields.push(("judgments", hit_rate_json(stats.hits, stats.misses)));
+        }
+        if let Some(pc) = &self.persist {
+            let entries = pc.lock().stats().entries;
+            fields.push((
+                "persistent",
+                Json::obj(vec![
+                    ("restored", get(&m.persist_restored)),
+                    ("hits", get(&m.persist_hits)),
+                    ("misses", get(&m.persist_misses)),
+                    ("entries", Json::int(entries as u64)),
+                ]),
+            ));
+        }
+        Json::obj(fields).to_string()
+    }
+}
+
+/// `{"hits":H,"misses":M,"hit_rate":R}` with the rate rounded to four
+/// decimals (deterministic bytes; `0` for an untouched cache).
+fn hit_rate_json(hits: u64, misses: u64) -> Json {
+    let total = hits + misses;
+    let rate = if total == 0 { 0.0 } else { (hits as f64 / total as f64 * 1e4).round() / 1e4 };
+    Json::obj(vec![
+        ("hits", Json::int(hits)),
+        ("misses", Json::int(misses)),
+        ("hit_rate", Json::Num(rate)),
+    ])
+}
+
+/// The reply bytes after the leading `"id"` field — everything about a
+/// response except its one request-specific part. The renderers always
+/// emit `id` first, so `{"id":` + id + tail reassembles the exact line.
+fn response_tail(response: &Json) -> String {
+    let Json::Obj(fields) = response else { unreachable!("responses are objects") };
+    let mut out = String::new();
+    for (k, v) in &fields[1..] {
+        out.push(',');
+        write_escaped(k, &mut out);
+        out.push(':');
+        v.write(&mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Reassembles a full response line from a request `id` and a cached
+/// tail (see [`response_tail`]).
+fn splice_id(id: &Json, tail: &str) -> String {
+    let mut out = String::with_capacity(8 + tail.len());
+    out.push_str("{\"id\":");
+    id.write(&mut out);
+    out.push_str(tail);
+    out
+}
+
+/// The panic payload as text (covers the two payload types `panic!`
+/// produces).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -888,7 +1316,8 @@ fn proto_error(id: Json, message: &str) -> Reply {
 // ---------------------------------------------------------------------
 
 /// Serves NDJSON over stdin/stdout: one response line per request line,
-/// flushed immediately; returns after `shutdown` or end of input.
+/// flushed immediately; returns after `shutdown` or end of input. The
+/// persistent reply cache (if configured) is snapshotted on the way out.
 ///
 /// # Errors
 ///
@@ -896,13 +1325,13 @@ fn proto_error(id: Json, message: &str) -> Reply {
 pub fn serve_stdio(service: &Service) -> std::io::Result<()> {
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
-    let session = service.analyzer().fork_session();
+    let mut session = service.analyzer().fork_session();
     for line in stdin.lock().lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let reply = service.handle_line(&session, &line);
+        let reply = service.handle_guarded(&mut session, &line);
         stdout.write_all(reply.json.as_bytes())?;
         stdout.write_all(b"\n")?;
         stdout.flush()?;
@@ -910,76 +1339,335 @@ pub fn serve_stdio(service: &Service) -> std::io::Result<()> {
             break;
         }
     }
+    service.persist_now();
     Ok(())
+}
+
+/// Cap on one buffered request line (and thus on the inbox of a client
+/// that never sends a newline): past this the connection is dropped
+/// rather than buffered without bound.
+const MAX_REQUEST_BYTES: usize = 64 << 20;
+
+/// How long a shutdown drain may take before the loop exits with
+/// responses still unflushed (a client that stopped reading must not be
+/// able to keep the server alive).
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+
+/// One pipelined TCP connection in the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed bytes read so far (at most one partial line after each
+    /// tick).
+    inbox: Vec<u8>,
+    /// Response bytes accepted for writing but not yet taken by the
+    /// socket.
+    outbox: Vec<u8>,
+    /// Sequence number the next request line will get.
+    next_seq: u64,
+    /// Sequence number whose reply must be written next — responses go
+    /// out strictly in request order, so pipelining never reorders.
+    next_write: u64,
+    /// Completed replies waiting for their turn in the write order.
+    ready: BTreeMap<u64, Reply>,
+    /// This connection's requests currently dispatched to the pool.
+    in_flight: usize,
+    last_activity: Instant,
+    /// Peer half-closed its write side — serve what's pending, then
+    /// close.
+    eof: bool,
+    /// Unrecoverable socket error — drop as soon as noticed.
+    dead: bool,
+}
+
+/// One finished request coming back from the worker pool.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    tenant: String,
+    reply: Reply,
 }
 
 /// Serves NDJSON over TCP: binds `addr` (port 0 picks a free port),
-/// prints `listening on HOST:PORT` to stderr, and answers each
-/// connection on its own thread with its own forked session — so
-/// concurrent connections analyze in parallel and share only the
-/// content-addressed cache. A `shutdown` request stops the accept loop
-/// once the current connections drain.
+/// prints `listening on HOST:PORT` to stderr, and runs the event loop —
+/// see [`serve_listener`].
 ///
 /// # Errors
 ///
-/// Binding or accept-loop I/O errors.
-pub fn serve_tcp(service: &Service, addr: &str) -> std::io::Result<()> {
+/// Binding or socket-configuration I/O errors.
+pub fn serve_tcp(service: &Arc<Service>, addr: &str) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
-    let local = listener.local_addr()?;
-    eprintln!("numfuzz serve: listening on {local}");
-    let shutdown = AtomicBool::new(false);
-    std::thread::scope(|scope| {
-        for stream in listener.incoming() {
-            if shutdown.load(Ordering::SeqCst) {
+    serve_log!("numfuzz serve: listening on {}", listener.local_addr()?);
+    serve_listener(service, listener)
+}
+
+/// The nonblocking event loop behind `numfuzz serve --listen`, exposed
+/// separately so `numfuzz loadgen` can drive an in-process server on an
+/// ephemeral port. One thread owns every socket; analysis runs on a
+/// resident [`pool::TaskPool`] of forked sessions (one per worker,
+/// sharing the content-addressed caches).
+///
+/// Each tick the loop: accepts whatever connections are waiting; drains
+/// worker completions into per-connection reorder buffers; reads
+/// available bytes, splitting complete lines and either dispatching
+/// them to the pool or — when the line's `tenant` (default `"default"`)
+/// already has [`ServeConfig::max_pending`] requests outstanding —
+/// answering immediately with an `EBUSY` backpressure reply; promotes
+/// completed replies to the write queue strictly in request order;
+/// flushes what the sockets will take; and closes connections that
+/// errored, half-closed and drained, or sat idle past
+/// [`ServeConfig::idle_timeout`]. When a tick makes no progress at all,
+/// the loop parks on the completion channel for a millisecond instead
+/// of spinning.
+///
+/// A `shutdown` reply (from any connection) stops accepting and
+/// reading; in-flight work drains, buffered responses flush (bounded by
+/// a drain deadline so a non-reading client cannot pin the process),
+/// the persistent cache is snapshotted, and the loop returns. No
+/// self-connection wake-up is needed — the loop never blocks in
+/// `accept`.
+///
+/// # Errors
+///
+/// Only listener configuration failures; per-connection I/O errors
+/// close that connection and are not fatal to the loop.
+pub fn serve_listener(service: &Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let (tx, rx) = mpsc::channel::<Completion>();
+    let pool = {
+        let base = Arc::clone(service);
+        pool::TaskPool::new(service.jobs, move |_worker| base.analyzer().fork_session())
+    };
+    let metrics = &service.metrics;
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut tenants: HashMap<String, usize> = HashMap::new();
+    let mut next_conn_id: u64 = 0;
+    let mut in_flight_total: usize = 0;
+    let mut shutting_down = false;
+    let mut drain_deadline: Option<Instant> = None;
+    let mut stashed: Option<Completion> = None;
+
+    loop {
+        let mut progress = false;
+
+        // New connections (none once a shutdown is draining).
+        if !shutting_down {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                        conns.insert(
+                            next_conn_id,
+                            Conn {
+                                stream,
+                                inbox: Vec::new(),
+                                outbox: Vec::new(),
+                                next_seq: 0,
+                                next_write: 0,
+                                ready: BTreeMap::new(),
+                                in_flight: 0,
+                                last_activity: Instant::now(),
+                                eof: false,
+                                dead: false,
+                            },
+                        );
+                        next_conn_id += 1;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    // Transient accept failures (peer reset before
+                    // accept, fd pressure): try again next tick.
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Worker completions → per-connection reorder buffers.
+        while let Some(done) = stashed.take().or_else(|| rx.try_recv().ok()) {
+            progress = true;
+            in_flight_total -= 1;
+            metrics.dequeue();
+            if let Some(count) = tenants.get_mut(&done.tenant) {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    tenants.remove(&done.tenant);
+                }
+            }
+            if done.reply.shutdown {
+                shutting_down = true;
+            }
+            if let Some(conn) = conns.get_mut(&done.conn) {
+                conn.in_flight -= 1;
+                conn.ready.insert(done.seq, done.reply);
+                conn.last_activity = Instant::now();
+            }
+        }
+
+        // Read, split complete lines, admit or dispatch.
+        if !shutting_down {
+            for (&conn_id, conn) in conns.iter_mut() {
+                if conn.eof || conn.dead {
+                    continue;
+                }
+                let mut chunk = [0u8; 16 * 1024];
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            conn.eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.inbox.extend_from_slice(&chunk[..n]);
+                            conn.last_activity = Instant::now();
+                            progress = true;
+                            if conn.inbox.len() > MAX_REQUEST_BYTES {
+                                conn.dead = true;
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            conn.dead = true;
+                            break;
+                        }
+                    }
+                }
+                while let Some(nl) = conn.inbox.iter().position(|&b| b == b'\n') {
+                    let line_bytes: Vec<u8> = conn.inbox.drain(..=nl).collect();
+                    let text = String::from_utf8_lossy(&line_bytes[..nl]);
+                    let line = text.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    let request = Json::parse(line).ok();
+                    let tenant = request
+                        .as_ref()
+                        .and_then(|r| r.get("tenant").and_then(Json::as_str))
+                        .unwrap_or("default")
+                        .to_string();
+                    let pending = tenants.get(&tenant).copied().unwrap_or(0);
+                    if pending >= service.config.max_pending {
+                        metrics.admission_rejected.fetch_add(1, Ordering::Relaxed);
+                        let id = request
+                            .as_ref()
+                            .and_then(|r| r.get("id").cloned())
+                            .unwrap_or(Json::Null);
+                        let reply = admission_reject(id, &tenant, service.config.max_pending);
+                        conn.ready.insert(seq, reply);
+                        continue;
+                    }
+                    *tenants.entry(tenant.clone()).or_insert(0) += 1;
+                    conn.in_flight += 1;
+                    in_flight_total += 1;
+                    metrics.enqueue();
+                    let job_service = Arc::clone(service);
+                    let job_tx = tx.clone();
+                    let line = line.to_string();
+                    pool.submit(move |session| {
+                        let reply = job_service.handle_guarded(session, &line);
+                        let _ = job_tx.send(Completion { conn: conn_id, seq, tenant, reply });
+                    });
+                }
+            }
+        }
+
+        // Promote in-order replies, then write what the sockets accept.
+        for conn in conns.values_mut() {
+            while let Some(reply) = conn.ready.remove(&conn.next_write) {
+                conn.next_write += 1;
+                conn.outbox.extend_from_slice(reply.json.as_bytes());
+                conn.outbox.push(b'\n');
+                progress = true;
+            }
+            while !conn.outbox.is_empty() && !conn.dead {
+                match conn.stream.write(&conn.outbox) {
+                    Ok(0) => conn.dead = true,
+                    Ok(n) => {
+                        conn.outbox.drain(..n);
+                        conn.last_activity = Instant::now();
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => conn.dead = true,
+                }
+            }
+        }
+
+        // Reap dead, drained-after-EOF, and idle connections.
+        let idle_timeout = service.config.idle_timeout;
+        conns.retain(|_, conn| {
+            let drained = conn.in_flight == 0 && conn.ready.is_empty() && conn.outbox.is_empty();
+            if conn.dead || (conn.eof && drained) {
+                metrics.closed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if drained && conn.last_activity.elapsed() >= idle_timeout {
+                metrics.idle_closed.fetch_add(1, Ordering::Relaxed);
+                metrics.closed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            true
+        });
+
+        if shutting_down {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_DRAIN);
+            let flushed = in_flight_total == 0
+                && conns.values().all(|c| c.ready.is_empty() && c.outbox.is_empty());
+            if flushed || Instant::now() >= deadline {
                 break;
             }
-            let Ok(stream) = stream else { continue };
-            let (service, shutdown) = (&*service, &shutdown);
-            scope.spawn(move || {
-                let _ = serve_connection(service, stream, shutdown, local);
-            });
         }
-    });
+
+        if !progress {
+            // Nothing happened: park on the completion channel rather
+            // than spinning. Completions wake the loop instantly; new
+            // socket bytes wait at most one park interval.
+            let park = if conns.is_empty() && !shutting_down {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(1)
+            };
+            if let Ok(done) = rx.recv_timeout(park) {
+                stashed = Some(done);
+            }
+        }
+    }
+
+    drop(pool);
+    service.persist_now();
     Ok(())
 }
 
-/// One TCP connection: read request lines, write response lines. On
-/// `shutdown`, raise the flag and poke the accept loop awake with a
-/// throwaway connection.
-fn serve_connection(
-    service: &Service,
-    stream: TcpStream,
-    shutdown: &AtomicBool,
-    local: SocketAddr,
-) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    let session = service.analyzer().fork_session();
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = service.handle_line(&session, &line);
-        writer.write_all(reply.json.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if reply.shutdown {
-            shutdown.store(true, Ordering::SeqCst);
-            // A wildcard bind (0.0.0.0 / ::) is not a connectable
-            // destination everywhere — poke the accept loop via loopback.
-            let mut wake = local;
-            if wake.ip().is_unspecified() {
-                wake.set_ip(match local {
-                    SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
-                    SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
-                });
-            }
-            drop(TcpStream::connect(wake));
-            break;
-        }
-    }
-    Ok(())
+/// The backpressure reply for a request refused at admission: its
+/// tenant already has the configured maximum number of requests in
+/// flight. `EBUSY`, exit 2 — the program was never looked at.
+fn admission_reject(id: Json, tenant: &str, max_pending: usize) -> Reply {
+    let response = Json::obj(vec![
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("code", Json::str("EBUSY")),
+                (
+                    "message",
+                    Json::str(format!(
+                        "tenant `{tenant}` already has {max_pending} requests pending; \
+                         try again when responses drain"
+                    )),
+                ),
+            ]),
+        ),
+        ("exit", Json::int(EXIT_USAGE as u64)),
+    ]);
+    Reply { json: response.to_string(), shutdown: false }
 }
 
 /// The client mode behind `numfuzz client`: connects to a serving
@@ -1182,6 +1870,107 @@ mod tests {
         let vb = Json::parse(&rb.json).unwrap();
         assert_eq!(vb.get("ok").and_then(Json::as_bool), Some(true), "{}", rb.json);
         assert_eq!(vb.get("reused").and_then(Json::as_f64), Some(0.0), "{}", rb.json);
+    }
+
+    #[test]
+    fn response_tail_splices_back_byte_identically() {
+        let service = Service::new(Analyzer::new(), 1);
+        let session = service.analyzer().fork_session();
+        for req in [
+            r#"{"id":9,"op":"check","src":"rnd 1.5"}"#,
+            r#"{"id":"x","op":"bound","src":"rnd 1.5","name":"a.nf"}"#,
+            r#"{"id":null,"op":"check","src":"2 3"}"#,
+        ] {
+            let reply = service.handle_line(&session, req);
+            let response = Json::parse(&reply.json).unwrap();
+            let id = response.get("id").cloned().unwrap_or(Json::Null);
+            assert_eq!(splice_id(&id, &response_tail(&response)), reply.json, "{req}");
+        }
+    }
+
+    #[test]
+    fn handle_guarded_catches_panics_and_keeps_serving() {
+        let config = ServeConfig { debug_ops: true, ..ServeConfig::default() };
+        let service = Service::with_config(Analyzer::new(), 1, config);
+        let mut session = service.analyzer().fork_session();
+        let r = service.handle_guarded(&mut session, r#"{"id":5,"op":"debug-panic"}"#);
+        let v = Json::parse(&r.json).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").unwrap().get("code").and_then(Json::as_str), Some("EPANIC"));
+        assert_eq!(v.get("exit").and_then(Json::as_f64), Some(2.0));
+        assert!(!r.shutdown);
+        // The rebuilt session still answers.
+        let ok = service.handle_guarded(&mut session, r#"{"id":6,"op":"check","src":"rnd 1.5"}"#);
+        let v = Json::parse(&ok.json).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        // And the metrics op saw the panic.
+        let m = service.handle_guarded(&mut session, r#"{"id":7,"op":"metrics"}"#);
+        let v = Json::parse(&m.json).unwrap();
+        let conns = v.get("connections").unwrap();
+        assert_eq!(conns.get("panics_caught").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn debug_ops_stay_off_by_default() {
+        let service = Service::new(Analyzer::new(), 1);
+        let mut session = service.analyzer().fork_session();
+        for op in ["debug-panic", "debug-sleep"] {
+            let line = format!(r#"{{"id":1,"op":"{op}"}}"#);
+            let r = service.handle_guarded(&mut session, &line);
+            let v = Json::parse(&r.json).unwrap();
+            assert_eq!(
+                v.get("error").unwrap().get("code").and_then(Json::as_str),
+                Some("EPROTO"),
+                "{op} must be an unknown op unless explicitly enabled"
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_reply_cache_round_trips_across_service_instances() {
+        let dir = std::env::temp_dir().join(format!("numfuzz-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit-replies.bin");
+        let _ = std::fs::remove_file(&path);
+        let config = ServeConfig { cache_file: Some(path.clone()), ..ServeConfig::default() };
+        let req = r#"{"id":1,"op":"check","src":"s = mul (2, 3); rnd s","name":"p.nf"}"#;
+
+        let first = {
+            let service = Service::with_config(Analyzer::new(), 1, config.clone());
+            let session = service.analyzer().fork_session();
+            let r1 = service.handle_line(&session, req);
+            // Same session, second ask: answered from the reply cache.
+            let r2 = service.handle_line(&session, req);
+            assert_eq!(r1.json, r2.json);
+            assert_eq!(service.metrics.persist_hits.load(Ordering::Relaxed), 1);
+            service.persist_now();
+            r1.json
+        };
+
+        // A fresh service over a fresh analyzer: the snapshot answers
+        // without any analysis (the analysis cache is never consulted).
+        let analyzer = Analyzer::builder().cache(AnalysisCache::with_budget(1 << 20)).build();
+        let service = Service::with_config(analyzer, 1, config.clone());
+        assert_eq!(service.metrics.persist_restored.load(Ordering::Relaxed), 1);
+        let session = service.analyzer().fork_session();
+        let r = service.handle_line(&session, req);
+        assert_eq!(r.json, first, "restored reply is byte-identical");
+        assert_eq!(service.metrics.persist_hits.load(Ordering::Relaxed), 1);
+        let stats = service.analyzer().cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "no re-analysis on a warm hit");
+
+        // A different id replays the same tail under the new id.
+        let r9 = service.handle_line(&session, &req.replace(r#""id":1"#, r#""id":9"#));
+        assert_eq!(r9.json, first.replace(r#""id":1"#, r#""id":9"#));
+
+        // Corruption tolerance: garbage snapshot, service still starts.
+        std::fs::write(&path, b"not a snapshot").unwrap();
+        let service = Service::with_config(Analyzer::new(), 1, config);
+        assert_eq!(service.metrics.persist_restored.load(Ordering::Relaxed), 0);
+        let r = service.handle_line(&service.analyzer().fork_session(), req);
+        assert_eq!(r.json, first, "recomputed reply matches the original bytes");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

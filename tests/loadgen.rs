@@ -1,0 +1,104 @@
+//! End-to-end tests of `numfuzz loadgen`: the self-spawned server run,
+//! the deterministic request mix, the hard zero-drop/zero-flip
+//! invariants, and the `--gate` regression check in both directions.
+
+use numfuzz::serve::Json;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_numfuzz");
+
+fn run_loadgen(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(BIN).arg("loadgen").args(args).output().expect("run numfuzz loadgen");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn loadgen_completes_all_requests_with_zero_drops_and_writes_the_report() {
+    let dir = std::env::temp_dir().join(format!("numfuzz-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("report.json");
+    let out_arg = out.to_str().unwrap();
+
+    let args =
+        ["--connections", "3", "--requests", "12", "--seed", "7", "--jobs", "2", "--out", out_arg];
+    let (stdout, stderr, code) = run_loadgen(&args);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    let report = Json::parse(stdout.trim()).expect("stdout is the JSON report");
+    assert_eq!(report.get("schema").and_then(Json::as_str), Some("numfuzz-loadgen-v1"));
+    assert_eq!(report.get("total_requests").and_then(Json::as_f64), Some(36.0));
+    assert_eq!(report.get("dropped_connections").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(report.get("unexpected_errors").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), stdout, "--out mirrors stdout");
+
+    // The op mix is a pure function of (seed, connections, requests): a
+    // second run distributes work identically even though latencies
+    // differ.
+    let (stdout2, _, code) = run_loadgen(&args);
+    assert_eq!(code, 0);
+    let report2 = Json::parse(stdout2.trim()).unwrap();
+    for key in ["ops", "total_requests", "expected_program_errors"] {
+        assert_eq!(
+            report.get(key).map(Json::to_string),
+            report2.get(key).map(Json::to_string),
+            "`{key}` must be identical across runs of the same seed"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loadgen_gate_passes_against_itself_and_fails_an_impossible_baseline() {
+    let dir = std::env::temp_dir().join(format!("numfuzz-loadgen-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    let fresh = dir.join("fresh.json");
+
+    let (stdout, stderr, code) = run_loadgen(&[
+        "--connections",
+        "2",
+        "--requests",
+        "8",
+        "--out",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+
+    // Gating a fresh run against its own machine's baseline passes at
+    // any sane tolerance.
+    let (_, stderr, code) = run_loadgen(&[
+        "--connections",
+        "2",
+        "--requests",
+        "8",
+        "--out",
+        fresh.to_str().unwrap(),
+        "--gate",
+        baseline.to_str().unwrap(),
+        "--tolerance",
+        "99",
+    ]);
+    assert_eq!(code, 0, "stderr:\n{stderr}");
+    assert!(stderr.contains("gate: fresh"), "the gate comparison is reported: {stderr}");
+
+    // A baseline no machine can reach must fail the gate with exit 1.
+    std::fs::write(&baseline, "{\"requests_per_sec\": 999999999999.0}\n").unwrap();
+    let (_, stderr, code) = run_loadgen(&[
+        "--connections",
+        "2",
+        "--requests",
+        "8",
+        "--out",
+        fresh.to_str().unwrap(),
+        "--gate",
+        baseline.to_str().unwrap(),
+        "--tolerance",
+        "10",
+    ]);
+    assert_eq!(code, 1, "a throughput regression is a gate failure: {stderr}");
+    assert!(stderr.contains("serve throughput regression"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -197,9 +197,17 @@ fn protocol_errors_answer_eproto_and_keep_serving() {
 /// Spawns `serve --listen 127.0.0.1:0` and reads the bound address off
 /// stderr.
 fn spawn_tcp_server(extra_args: &[&str]) -> (Child, String) {
+    spawn_tcp_server_env(extra_args, &[])
+}
+
+/// Like [`spawn_tcp_server`], with extra environment variables (the
+/// fault-injection tests gate `debug-panic`/`debug-sleep` on
+/// `NUMFUZZ_SERVE_DEBUG_OPS=1`).
+fn spawn_tcp_server_env(extra_args: &[&str], envs: &[(&str, &str)]) -> (Child, String) {
     let mut child = Command::new(BIN)
         .args(["serve", "--listen", "127.0.0.1:0"])
         .args(extra_args)
+        .envs(envs.iter().copied())
         .stdin(Stdio::null())
         .stdout(Stdio::null())
         .stderr(Stdio::piped())
@@ -325,6 +333,206 @@ fn client_mode_pipes_requests_and_propagates_exit_codes() {
     assert_eq!(code, 0);
     let status = wait_timeout(&mut child, Duration::from_secs(10));
     assert!(status.success());
+}
+
+/// One request/response exchange over an existing TCP connection pair.
+fn tcp_request(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    writeln!(writer, "{line}").expect("write request");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    parse(response.trim_end())
+}
+
+fn tcp_connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+#[test]
+fn pipelined_requests_answer_in_request_order() {
+    let (mut child, addr) = spawn_tcp_server(&["--jobs", "2"]);
+    let (mut writer, mut reader) = tcp_connect(&addr);
+    // All three requests land in one write: the server dispatches them
+    // concurrently but must reply strictly in request order.
+    let burst = concat!(
+        r#"{"id":1,"op":"check","src":"s = mul (11, 3); rnd s"}"#,
+        "\n",
+        r#"{"id":2,"op":"check","src":"s = mul (12, 3); rnd s"}"#,
+        "\n",
+        r#"{"id":3,"op":"check","src":"s = mul (13, 3); rnd s"}"#,
+        "\n",
+    );
+    writer.write_all(burst.as_bytes()).unwrap();
+    for expected_id in 1..=3 {
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let v = parse(response.trim_end());
+        assert_eq!(
+            v.get("id").and_then(Json::as_f64),
+            Some(f64::from(expected_id)),
+            "pipelined replies must come back in request order"
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    let v = tcp_request(&mut writer, &mut reader, r#"{"id":4,"op":"shutdown"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    let status = wait_timeout(&mut child, Duration::from_secs(10));
+    assert!(status.success());
+}
+
+#[test]
+fn idle_connections_are_closed_and_the_server_keeps_serving() {
+    let (mut child, addr) = spawn_tcp_server(&["--idle-ms", "250"]);
+    // A slow client: half a request, then silence. The idle deadline
+    // must close the connection rather than hold its buffer forever.
+    let (mut slow, mut slow_reader) = tcp_connect(&addr);
+    slow.write_all(br#"{"id":1,"op":"check","#).unwrap();
+    slow.flush().unwrap();
+    let mut buf = String::new();
+    let n = slow_reader.read_line(&mut buf).expect("read until server closes");
+    assert_eq!(n, 0, "idle connection gets EOF, not a response: {buf:?}");
+    // The server is unharmed: a live connection still gets answers.
+    let (mut writer, mut reader) = tcp_connect(&addr);
+    let v = tcp_request(&mut writer, &mut reader, r#"{"id":2,"op":"metrics"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    let idle_closed = v
+        .get("connections")
+        .and_then(|c| c.get("idle_closed"))
+        .and_then(Json::as_f64)
+        .expect("metrics reports idle_closed");
+    assert!(idle_closed >= 1.0, "the slow client was reaped on the idle deadline");
+    let v = tcp_request(&mut writer, &mut reader, r#"{"id":3,"op":"shutdown"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    let status = wait_timeout(&mut child, Duration::from_secs(10));
+    assert!(status.success());
+}
+
+#[test]
+fn handler_panic_answers_epanic_and_the_server_survives() {
+    let (mut child, addr) = spawn_tcp_server_env(&[], &[("NUMFUZZ_SERVE_DEBUG_OPS", "1")]);
+    let (mut writer, mut reader) = tcp_connect(&addr);
+    let v = tcp_request(&mut writer, &mut reader, r#"{"id":1,"op":"debug-panic"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("exit").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(
+        v.get("error").unwrap().get("code").and_then(Json::as_str),
+        Some("EPANIC"),
+        "a handler panic must answer a well-formed error reply"
+    );
+    // The same connection keeps working — the worker rebuilt its session.
+    let v = tcp_request(
+        &mut writer,
+        &mut reader,
+        r#"{"id":2,"op":"check","src":"s = mul (3, 3); rnd s"}"#,
+    );
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    let v = tcp_request(&mut writer, &mut reader, r#"{"id":3,"op":"metrics"}"#);
+    assert_eq!(
+        v.get("connections").and_then(|c| c.get("panics_caught")).and_then(Json::as_f64),
+        Some(1.0),
+        "the panic is counted, not swallowed"
+    );
+    let v = tcp_request(&mut writer, &mut reader, r#"{"id":4,"op":"shutdown"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    let status = wait_timeout(&mut child, Duration::from_secs(10));
+    assert!(status.success(), "server exits cleanly after surviving a panic");
+}
+
+#[test]
+fn per_tenant_admission_rejects_with_ebusy_and_does_not_hang() {
+    let (mut child, addr) = spawn_tcp_server_env(
+        &["--jobs", "1", "--max-pending", "1"],
+        &[("NUMFUZZ_SERVE_DEBUG_OPS", "1")],
+    );
+    let (mut writer, mut reader) = tcp_connect(&addr);
+    // One write carries both requests, so the slow one is still in
+    // flight when the second is admitted — which the tenant's limit of 1
+    // must refuse. Replies stay in request order: the sleep's reply
+    // first, then the (immediately computed) rejection.
+    let burst = concat!(
+        r#"{"id":1,"op":"debug-sleep","ms":700,"tenant":"acme"}"#,
+        "\n",
+        r#"{"id":2,"op":"check","src":"rnd 1.5","tenant":"acme"}"#,
+        "\n",
+    );
+    let t0 = Instant::now();
+    writer.write_all(burst.as_bytes()).unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    let v = parse(response.trim_end());
+    assert_eq!(v.get("id").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    response.clear();
+    reader.read_line(&mut response).unwrap();
+    let v = parse(response.trim_end());
+    assert_eq!(v.get("id").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("exit").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(
+        v.get("error").unwrap().get("code").and_then(Json::as_str),
+        Some("EBUSY"),
+        "over-limit tenant traffic is rejected, not queued: {response}"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(10), "backpressure must answer promptly, not hang");
+    // Another tenant was never over its own limit.
+    let v = tcp_request(
+        &mut writer,
+        &mut reader,
+        r#"{"id":3,"op":"check","src":"rnd 1.5","tenant":"other"}"#,
+    );
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    let v = tcp_request(&mut writer, &mut reader, r#"{"id":4,"op":"metrics"}"#);
+    assert_eq!(
+        v.get("admission").and_then(|a| a.get("rejected")).and_then(Json::as_f64),
+        Some(1.0)
+    );
+    let v = tcp_request(&mut writer, &mut reader, r#"{"id":5,"op":"shutdown"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    let status = wait_timeout(&mut child, Duration::from_secs(10));
+    assert!(status.success());
+}
+
+#[test]
+fn cache_file_persists_replies_across_server_restarts() {
+    let dir = std::env::temp_dir().join(format!("numfuzz-serve-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_file = dir.join("replies.snapshot");
+    let cache_arg = cache_file.to_str().unwrap();
+    let check = r#"{"id":1,"op":"check","src":"s = mul (41, 3); rnd s"}"#;
+
+    // First life: analyze once, shut down cleanly (which persists).
+    let mut server = StdioServer::spawn(&["--cache-file", cache_arg]);
+    let first = server.request(check);
+    assert_eq!(parse(&first).get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+    assert!(cache_file.exists(), "shutdown writes the snapshot");
+
+    // Second life: the same request is answered byte-identically from
+    // the restored snapshot, with zero analysis-cache traffic.
+    let mut server = StdioServer::spawn(&["--cache-file", cache_arg]);
+    let replayed = server.request(check);
+    assert_eq!(replayed, first, "restored reply is byte-identical");
+    let stats = parse(&server.request(r#"{"id":2,"op":"stats"}"#));
+    let persistent = stats.get("persistent").expect("--cache-file adds a persistent section");
+    assert!(persistent.get("restored").and_then(Json::as_f64).unwrap() >= 1.0);
+    assert_eq!(persistent.get("hits").and_then(Json::as_f64), Some(1.0));
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(
+        (cache.get("hits").and_then(Json::as_f64), cache.get("misses").and_then(Json::as_f64)),
+        (Some(0.0), Some(0.0)),
+        "a warm persistent hit does not re-analyze: {stats}"
+    );
+    server.shutdown();
+
+    // Third life: a corrupted snapshot must not kill the server.
+    std::fs::write(&cache_file, b"NFZSNAP1 this is not a snapshot").unwrap();
+    let mut server = StdioServer::spawn(&["--cache-file", cache_arg]);
+    let recomputed = server.request(check);
+    assert_eq!(recomputed, first, "recomputed reply still matches");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 fn wait_timeout(child: &mut Child, timeout: Duration) -> std::process::ExitStatus {

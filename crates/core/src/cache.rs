@@ -1152,10 +1152,40 @@ impl<V: Clone + CacheWeight + SnapshotValue> ResultCache<V> {
     /// payload · checksum (u64 LE)`. All integers little-endian; the
     /// checksum covers key and payload.
     pub fn snapshot(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.bytes);
-        out.extend_from_slice(SNAPSHOT_MAGIC);
+        self.snapshot_within(usize::MAX)
+    }
+
+    /// [`ResultCache::snapshot`] compacted to at most `cap` bytes of
+    /// output: entries are dropped LRU-first (the same order live
+    /// eviction would use) until the remaining records — measured by
+    /// their actual encoded size, not the in-memory weight estimate —
+    /// fit. The kept set is still written oldest recency first, so a
+    /// restore reproduces its LRU order. A snapshot file therefore never
+    /// exceeds the cap however large the in-memory cache has grown.
+    pub fn snapshot_within(&self, cap: usize) -> Vec<u8> {
+        // Record sizes, newest first, to find how many newest entries fit.
+        const RECORD_FIXED: usize = 16 + 8 + 4 + 8;
+        let mut sizes: Vec<usize> = Vec::with_capacity(self.map.len());
         let mut payload = Vec::new();
-        for key in self.recency.values() {
+        for key in self.recency.values().rev() {
+            payload.clear();
+            self.map[key].value.encode(&mut payload);
+            sizes.push(RECORD_FIXED + payload.len());
+        }
+        let mut remaining = cap.saturating_sub(SNAPSHOT_MAGIC.len());
+        let mut keep = 0usize;
+        for size in &sizes {
+            match remaining.checked_sub(*size) {
+                Some(r) => {
+                    remaining = r;
+                    keep += 1;
+                }
+                None => break,
+            }
+        }
+        let mut out = Vec::with_capacity(64 + self.bytes.min(cap));
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        for key in self.recency.values().skip(self.map.len() - keep) {
             let entry = &self.map[key];
             payload.clear();
             entry.value.encode(&mut payload);
@@ -1409,6 +1439,39 @@ mod tests {
         assert!(tight.get(&key(2)).is_none(), "oldest entry dropped under a tight budget");
         assert!(tight.get(&key(1)).is_some(), "most recent entry kept");
         assert_eq!(tight.stats().evictions, 0, "budget-dropped restores are not evictions");
+    }
+
+    #[test]
+    fn snapshot_within_compacts_lru_first_and_round_trips() {
+        let mut cache: ResultCache<String> = ResultCache::new(1 << 16);
+        cache.insert(key(1), "one".to_string());
+        cache.insert(key(2), "two".to_string());
+        cache.insert(key(3), "three".to_string());
+        // Touch key 1 so the recency order is 2 < 3 < 1.
+        assert!(cache.get(&key(1)).is_some());
+
+        // An uncapped snapshot and a cap-sized one are identical.
+        let full = cache.snapshot();
+        assert_eq!(cache.snapshot_within(full.len()), full);
+        assert_eq!(cache.snapshot_within(usize::MAX), full);
+
+        // One byte under full: the LRU entry (key 2) is compacted away,
+        // the cap is honored, and the survivors round-trip in order.
+        let capped = cache.snapshot_within(full.len() - 1);
+        assert!(capped.len() < full.len());
+        let mut restored: ResultCache<String> = ResultCache::new(1 << 16);
+        let load = restored.restore(&capped);
+        assert_eq!(load, SnapshotLoad { restored: 2, truncated: false });
+        assert!(restored.get(&key(2)).is_none(), "LRU entry dropped at the cap");
+        assert_eq!(restored.get(&key(3)).as_deref(), Some("three"));
+        assert_eq!(restored.get(&key(1)).as_deref(), Some("one"));
+
+        // A cap too small for any record still writes a valid, empty
+        // snapshot (magic only).
+        let empty = cache.snapshot_within(SNAPSHOT_MAGIC.len());
+        assert_eq!(empty, SNAPSHOT_MAGIC.to_vec());
+        let mut fresh: ResultCache<String> = ResultCache::new(1 << 16);
+        assert_eq!(fresh.restore(&empty), SnapshotLoad::default());
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod lower;
 pub mod parser;
 pub mod pool;
 mod pretty;
+pub mod rewrite;
 mod sig;
 mod term;
 mod ty;

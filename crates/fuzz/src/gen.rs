@@ -111,6 +111,19 @@ pub fn abs_rnd_unit(format: Format, mode: RoundingMode, max_abs: &Rational) -> R
     format.unit_roundoff(mode).mul(&m)
 }
 
+/// The relative-precision format palette the generator draws from: the
+/// two IEEE formats plus the two small formats. Shared with
+/// `numfuzz optimize --precision-search`, so the precision search and the
+/// fuzzer exercise exactly the same formats.
+pub fn rp_format_palette() -> [(&'static str, Format); 4] {
+    [
+        ("binary64", Format::BINARY64),
+        ("binary32", Format::BINARY32),
+        ("p9e60", Format::new(9, 60)),
+        ("p6e30", Format::new(6, 30)),
+    ]
+}
+
 /// Generates case `index` of a run seeded with `master_seed`.
 pub fn generate_case(master_seed: u64, index: usize) -> GeneratedCase {
     let seed = case_seed(master_seed, index);
@@ -122,12 +135,15 @@ pub fn generate_case(master_seed: u64, index: usize) -> GeneratedCase {
         Instantiation::AbsoluteError
     };
     let format = match instantiation {
-        Instantiation::RelativePrecision => match rng.gen_range(0u32..7) {
-            0..=2 => Format::BINARY64,
-            3..=4 => Format::BINARY32,
-            5 => Format::new(9, 60),
-            _ => Format::new(6, 30),
-        },
+        Instantiation::RelativePrecision => {
+            let palette = rp_format_palette();
+            match rng.gen_range(0u32..7) {
+                0..=2 => palette[0].1,
+                3..=4 => palette[1].1,
+                5 => palette[2].1,
+                _ => palette[3].1,
+            }
+        }
         // Keep ABS to the two real formats: its rounding unit `u·M` is
         // derived from a magnitude bound that assumes `u` is small.
         Instantiation::AbsoluteError => {

@@ -48,5 +48,5 @@ pub use driver::{
     run, BackwardFacts, CaseFailure, CasePass, Counterexample, FailureKind, FuzzConfig,
     FuzzOutcome, IncrementalFacts, IntervalFacts, Oracle,
 };
-pub use gen::{case_seed, generate_case, CasePlan, GeneratedCase};
+pub use gen::{case_seed, generate_case, rp_format_palette, CasePlan, GeneratedCase};
 pub use shrink::shrink;

@@ -1241,6 +1241,23 @@ impl Analyzer {
         )
         .map_err(|e| Diagnostic::from_soundness(&e, program.source(), program.name()))
     }
+
+    /// Runs the sound rewrite + precision optimizer over `program`; see
+    /// [`crate::optimize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] when the program falls outside the
+    /// optimizable fragment (first-order add/mul/div/sqrt with a
+    /// constant-argument trailing application) or when the session is
+    /// not the relative-precision instantiation.
+    pub fn optimize(
+        &self,
+        program: &Program,
+        cfg: &crate::optimize::OptimizeConfig,
+    ) -> Result<crate::optimize::OptimizeOutcome, Diagnostic> {
+        crate::optimize::optimize(self, program, cfg)
+    }
 }
 
 /// Builder for [`Analyzer`]; see [`Analyzer::builder`].

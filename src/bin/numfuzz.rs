@@ -39,6 +39,21 @@
 //!                                    error at the sample point against
 //!                                    both, and print a tightness +
 //!                                    wall-time comparison table
+//! numfuzz optimize FILE [opts]       search sound algebraic rewrites (and,
+//!                                    with --precision-search, per-program
+//!                                    precision assignments) minimizing the
+//!                                    typed error bound under an op-count
+//!                                    cost model; every candidate re-checks
+//!                                    through the full pipeline (type check,
+//!                                    eq. 8 bound, interval cross-check,
+//!                                    exact-oracle spot validation)
+//!     --budget N     rewrite candidates to evaluate (default 192)
+//!     --seed S       candidate-shuffle seed (default 42)
+//!     --precision-search  also rank the fuzzer's format palette
+//!     --target-rel R relative-error target for the precision search
+//!                    (a rational like 1/100000; default: the original
+//!                    program's bound at the session format)
+//!     --out FILE     write the rewritten .nf program to FILE
 //! numfuzz bench [bench options]      measure check+bound throughput over
 //!                                    the benchsuite corpus, emit JSON
 //!     --prec P       precision bits (default 53)
@@ -57,6 +72,9 @@
 //!                      shutdown and restore it at startup, so a restarted
 //!                      server answers repeated programs from the snapshot
 //!                      without re-analysis
+//!     --cache-file-cap N  compact the snapshot to at most N bytes at
+//!                      write time, dropping least-recently-used replies
+//!                      first (default 8 MiB)
 //!     --idle-ms N    close a TCP connection after N ms without traffic
 //!                    (default 300000)
 //!     --max-pending N  per-tenant admission limit: requests in flight
@@ -163,6 +181,7 @@ fn dispatch(args: &[String]) -> Result<(), Failure> {
             run(&program, &analyzer)
         }
         "batch" => batch(rest),
+        "optimize" => optimize(rest),
         "table1" => table1(rest),
         "watch" => watch(rest),
         "bench" => bench(rest),
@@ -183,10 +202,11 @@ fn usage() -> String {
      \x20      numfuzz run FILE [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
      \x20      numfuzz batch DIR [--backward] [--jobs N] [--prec P] [--emax E] [--mode ru|rd|rz|rn] [--abs]\n\
      \x20      numfuzz watch FILE [--poll-ms N] [--iterations N] [--backward] [--prec P] [--emax E] [--mode M] [--abs]\n\
-     \x20      numfuzz serve [--listen ADDR] [--jobs N] [--cache-bytes N] [--cache-file F] [--idle-ms N] [--max-pending N] [--prec P] [--emax E] [--mode M] [--abs]\n\
+     \x20      numfuzz serve [--listen ADDR] [--jobs N] [--cache-bytes N] [--cache-file F] [--cache-file-cap N] [--idle-ms N] [--max-pending N] [--prec P] [--emax E] [--mode M] [--abs]\n\
      \x20      numfuzz client --connect HOST:PORT [--retry SECONDS]\n\
      \x20      numfuzz loadgen [--connect HOST:PORT] [--connections N] [--requests M] [--seed S] [--jobs N] [--out FILE] [--gate FILE] [--tolerance P]\n\
      \x20      numfuzz bench [--iters N] [--jobs N] [--out FILE] [--baseline FILE] [--gate FILE] [--tolerance P] [--gate-incremental R]\n\
+     \x20      numfuzz optimize FILE [--budget N] [--seed S] [--jobs J] [--precision-search] [--target-rel R] [--out FILE] [--prec P] [--emax E] [--mode M]\n\
      \x20      numfuzz table1 [--dir DIR] [--prec P] [--emax E] [--mode ru|rd|rz|rn]\n\
      \x20      numfuzz fuzz [--backward] [--incremental] [--cases N] [--seed S] [--jobs N] [--repro PREFIX]"
         .to_string()
@@ -216,6 +236,11 @@ fn serve(rest: &[String]) -> Result<(), Failure> {
             }
             "--cache-file" => {
                 config.cache_file = Some(std::path::PathBuf::from(value("--cache-file")?));
+            }
+            "--cache-file-cap" => {
+                config.cache_file_cap = value("--cache-file-cap")?
+                    .parse()
+                    .map_err(|e| Failure::Usage(format!("--cache-file-cap: {e}")))?;
             }
             "--idle-ms" => {
                 let ms: u64 = value("--idle-ms")?
@@ -507,6 +532,91 @@ fn fuzz(rest: &[String]) -> Result<(), Failure> {
         cfg.cases,
         cfg.seed
     )))
+}
+
+/// `numfuzz optimize FILE`: the sound rewrite + precision optimizer
+/// (see `docs/optimize.md`). The report on stdout is deterministic —
+/// byte-identical across repeated runs and every `--jobs` value — so it
+/// can be golden-pinned; wall time goes to stderr.
+fn optimize(rest: &[String]) -> Result<(), Failure> {
+    let file = rest.first().ok_or_else(|| Failure::Usage("missing FILE argument".into()))?;
+    let mut cfg = numfuzz::optimize::OptimizeConfig::default();
+    let mut out: Option<String> = None;
+    let mut passthrough = Vec::new();
+    let mut it = rest[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--budget" => {
+                cfg.budget = value("--budget")
+                    .and_then(|v| v.parse().map_err(|e| format!("--budget: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")
+                    .and_then(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--jobs" => {
+                cfg.jobs = value("--jobs")
+                    .and_then(|v| v.parse().map_err(|e| format!("--jobs: {e}")))
+                    .map_err(Failure::Usage)?
+            }
+            "--precision-search" => cfg.precision_search = true,
+            "--target-rel" => {
+                let v = value("--target-rel").map_err(Failure::Usage)?;
+                cfg.target_rel = Some(parse_rational(&v).ok_or_else(|| {
+                    Failure::Usage(format!(
+                        "--target-rel: `{v}` is not a rational (n/d or decimal)"
+                    ))
+                })?);
+            }
+            "--out" => out = Some(value("--out").map_err(Failure::Usage)?),
+            other => passthrough.push(other.to_string()),
+        }
+    }
+    let opts = parse_opts(&passthrough).map_err(Failure::Usage)?;
+    if opts.backward || opts.instantiation == Instantiation::AbsoluteError {
+        return Err(Failure::Usage(
+            "optimize works on the forward relative-precision instantiation (no --abs / --backward)".into(),
+        ));
+    }
+    let src = std::fs::read_to_string(file).map_err(|e| Failure::Usage(format!("{file}: {e}")))?;
+    let analyzer = Analyzer::builder()
+        .signature(opts.instantiation)
+        .format(opts.format)
+        .mode(opts.mode)
+        .build();
+    let program = analyzer.parse_named(file, &src)?;
+    let t0 = std::time::Instant::now();
+    let outcome = analyzer.optimize(&program, &cfg)?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    print!("{}", outcome.report);
+    eprintln!(
+        "optimize: {} candidates in {:.2}s ({:.1} candidates/s)",
+        outcome.evaluated,
+        elapsed,
+        if elapsed > 0.0 { outcome.evaluated as f64 / elapsed } else { 0.0 }
+    );
+    if let Some(out) = out {
+        std::fs::write(&out, &outcome.rewritten)
+            .map_err(|e| Failure::Usage(format!("{out}: {e}")))?;
+        eprintln!("rewritten program written: {out}");
+    }
+    Ok(())
+}
+
+/// Parses `n/d`, an integer, or a decimal into an exact [`Rational`].
+fn parse_rational(s: &str) -> Option<Rational> {
+    if let Some((n, d)) = s.split_once('/') {
+        let d: i64 = d.trim().parse().ok()?;
+        if d == 0 {
+            return None;
+        }
+        return Some(Rational::ratio(n.trim().parse().ok()?, d));
+    }
+    Rational::from_decimal_str(s.trim()).ok()
 }
 
 /// `numfuzz batch DIR`: check and bound every `.nf` file under `DIR`
@@ -1372,6 +1482,46 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
         }
     }
 
+    // The optimize measurement: the rewrite optimizer over the same Table
+    // 1 corpus, small fixed budget. The bound columns are exact eps
+    // multiples (deterministic rational arithmetic), so the gate below
+    // holds them to zero tolerance: an optimized bound above its
+    // committed value means the optimizer lost a rewrite it used to
+    // find. Throughput (candidates/sec) rides along as context.
+    let opt_analyzer = Analyzer::new();
+    let opt_cfg = numfuzz::optimize::OptimizeConfig {
+        budget: 64,
+        ..numfuzz::optimize::OptimizeConfig::default()
+    };
+    let opt_u = opt_analyzer.format().unit_roundoff(opt_analyzer.mode());
+    let mut opt_rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut opt_improved = 0usize;
+    let mut opt_candidates = 0usize;
+    let mut opt_seconds = 0.0f64;
+    let mut opt_ratio_sum = 0.0f64;
+    for path in &bounds_files {
+        let stem = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| Failure::Usage(format!("{}: {e}", path.display())))?;
+        let program = opt_analyzer.parse_named(&stem, &src)?;
+        let t0 = std::time::Instant::now();
+        let outcome = opt_analyzer
+            .optimize(&program, &opt_cfg)
+            .map_err(|d| Failure::Batch(format!("optimize: {stem}: {d}")))?;
+        opt_seconds += t0.elapsed().as_secs_f64();
+        opt_candidates += outcome.evaluated;
+        if outcome.improved {
+            opt_improved += 1;
+        }
+        let eps_of = |alpha: &Rational| alpha.div(&opt_u).to_f64();
+        let (orig_eps, opt_eps) = (eps_of(&outcome.original.alpha), eps_of(&outcome.best.alpha));
+        opt_ratio_sum += opt_eps / orig_eps;
+        opt_rows.push((stem, orig_eps, opt_eps));
+    }
+    let opt_mean_ratio =
+        if opt_rows.is_empty() { 1.0 } else { opt_ratio_sum / opt_rows.len() as f64 };
+    let opt_cps = if opt_seconds > 0.0 { opt_candidates as f64 / opt_seconds } else { 0.0 };
+
     let checks_per_sec = corpus.len() as f64 / best;
     let nodes_per_sec = total_nodes as f64 / best;
     // The speedup compares wall time for the identically constructed
@@ -1519,6 +1669,29 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
     json.push_str(&format!("    \"tighter_interval\": {bounds_tighter_interval},\n"));
     json.push_str(&format!("    \"ties\": {bounds_ties},\n"));
     json.push_str(&format!("    \"sound\": {}\n  }}", bounds_files.len()));
+    // The optimize section: exact eps-multiple bounds per benchmark
+    // (original and optimized), gated to zero tolerance below; the
+    // throughput keys are context only. Keys are `<stem>_orig_eps` /
+    // `<stem>_opt_eps` — unique across the whole report, so the gate's
+    // first-occurrence reads are unambiguous.
+    json.push_str(",\n  \"optimize\": {\n");
+    json.push_str(
+        "    \"harness\": \"numfuzz optimize over the committed Table 1 corpus, budget 64, \
+         default seed; bounds are exact eps multiples of the typed grade, so the gate allows \
+         zero regression above committed values\",\n",
+    );
+    json.push_str(&format!("    \"budget\": {},\n", opt_cfg.budget));
+    json.push_str(&format!("    \"benchmarks\": {},\n", opt_rows.len()));
+    json.push_str(&format!("    \"improved_benchmarks\": {opt_improved},\n"));
+    json.push_str(&format!("    \"mean_bound_ratio\": {opt_mean_ratio:.4},\n"));
+    json.push_str(&format!("    \"candidates_evaluated\": {opt_candidates},\n"));
+    json.push_str(&format!("    \"optimize_pass_seconds\": {opt_seconds:.6},\n"));
+    json.push_str(&format!("    \"candidates_per_sec\": {opt_cps:.2}"));
+    for (stem, orig_eps, opt_eps) in &opt_rows {
+        json.push_str(&format!(",\n    \"{stem}_orig_eps\": {orig_eps}"));
+        json.push_str(&format!(",\n    \"{stem}_opt_eps\": {opt_eps}"));
+    }
+    json.push_str("\n  }");
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json)
         .map_err(|e| Failure::Usage(format!("{}: {e}", out_path.display())))?;
@@ -1566,6 +1739,34 @@ fn bench(rest: &[String]) -> Result<(), Failure> {
             }
         } else {
             eprintln!("gate-bounds: baseline {gate_path} has no bounds section, skipping");
+        }
+        // The optimize gate is zero-tolerance: optimized bounds are exact
+        // eps multiples, so a fresh value above the committed one means a
+        // rewrite the optimizer used to certify no longer wins. Fresh
+        // values *below* committed are improvements and pass (regenerate
+        // the baseline to lock them in). Baselines predating the section
+        // skip the check.
+        if opt_rows
+            .iter()
+            .any(|(stem, _, _)| extract_json_number(&text, &format!("{stem}_opt_eps")).is_some())
+        {
+            for (stem, _, fresh) in &opt_rows {
+                let key = format!("{stem}_opt_eps");
+                let Some(committed) = extract_json_number(&text, &key) else {
+                    eprintln!("gate-optimize: baseline {gate_path} has no `{key}`, skipping");
+                    continue;
+                };
+                eprintln!("gate-optimize: {key} fresh {fresh} vs committed {committed}");
+                if *fresh > committed {
+                    return Err(Failure::Batch(format!(
+                        "optimization regression: `{stem}` optimizes to {fresh}*eps, above its \
+                         committed {committed}*eps in {gate_path} (zero tolerance: the optimizer \
+                         lost a certified rewrite)"
+                    )));
+                }
+            }
+        } else {
+            eprintln!("gate-optimize: baseline {gate_path} has no optimize section, skipping");
         }
     }
 

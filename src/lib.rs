@@ -73,6 +73,7 @@ mod analyzer;
 mod diag;
 pub mod fuzzing;
 pub mod loadgen;
+pub mod optimize;
 mod program;
 pub mod serve;
 

@@ -633,6 +633,12 @@ pub struct ServeConfig {
     pub cache_file: Option<PathBuf>,
     /// Byte budget of the persistent reply cache.
     pub persist_budget: usize,
+    /// Size cap for the on-disk snapshot itself. The in-memory reply
+    /// cache may carry `persist_budget` bytes, but the file written at
+    /// shutdown is compacted to at most this many bytes by dropping
+    /// LRU entries at snapshot-write time, so a long-lived server's
+    /// snapshot cannot grow without bound.
+    pub cache_file_cap: usize,
     /// Enable the test-only `debug-panic` / `debug-sleep` ops
     /// (`NUMFUZZ_SERVE_DEBUG_OPS=1` in the CLI).
     pub debug_ops: bool,
@@ -645,6 +651,7 @@ impl Default for ServeConfig {
             max_pending: 64,
             cache_file: None,
             persist_budget: 64 << 20,
+            cache_file_cap: 8 << 20,
             debug_ops: false,
         }
     }
@@ -656,6 +663,7 @@ impl Default for ServeConfig {
 struct Metrics {
     op_check: AtomicU64,
     op_bound: AtomicU64,
+    op_optimize: AtomicU64,
     op_batch: AtomicU64,
     op_edit: AtomicU64,
     op_stats: AtomicU64,
@@ -777,7 +785,7 @@ impl Service {
     /// must not turn a clean shutdown into a failure.
     pub fn persist_now(&self) {
         let Some(pc) = &self.persist else { return };
-        let bytes = pc.lock().snapshot();
+        let bytes = pc.lock().snapshot_within(self.config.cache_file_cap);
         if let Err(e) = persist_atomically(&pc.path, &bytes) {
             serve_log!("numfuzz serve: could not persist cache to {}: {e}", pc.path.display());
         }
@@ -832,6 +840,10 @@ impl Service {
             "edit" => {
                 self.metrics.op_edit.fetch_add(1, Ordering::Relaxed);
                 self.edit(session, id, &request)
+            }
+            "optimize" => {
+                self.metrics.op_optimize.fetch_add(1, Ordering::Relaxed);
+                self.optimize_op(session, id, &request)
             }
             "batch" => {
                 self.metrics.op_batch.fetch_add(1, Ordering::Relaxed);
@@ -920,6 +932,50 @@ impl Service {
                 Reply { json: response.to_string(), shutdown: false }
             }
         }
+    }
+
+    /// The `optimize` op: the `numfuzz optimize` pipeline over `src`,
+    /// answering with the deterministic report (and the rewritten
+    /// program in its own field). Optional fields: `name`, `budget`,
+    /// `seed`, `precision` (bool).
+    fn optimize_op(&self, session: &Analyzer, id: Json, request: &Json) -> Reply {
+        let Some(src) = request.get("src").and_then(Json::as_str) else {
+            return proto_error(id, "op `optimize` needs a string field `src`");
+        };
+        let mut cfg = crate::optimize::OptimizeConfig::default();
+        if let Some(b) = request.get("budget").and_then(Json::as_f64) {
+            cfg.budget = b.max(0.0) as usize;
+        }
+        if let Some(s) = request.get("seed").and_then(Json::as_f64) {
+            cfg.seed = s.max(0.0) as u64;
+        }
+        if let Some(Json::Bool(p)) = request.get("precision") {
+            cfg.precision_search = *p;
+        }
+        let name = request.get("name").and_then(Json::as_str);
+        let parsed = match name {
+            Some(n) => session.parse_named(n, src),
+            None => session.parse(src),
+        };
+        let outcome = parsed.and_then(|program| session.optimize(&program, &cfg));
+        let response = match outcome {
+            Ok(o) => Json::obj(vec![
+                ("id", id),
+                ("op", Json::str("optimize")),
+                ("ok", Json::Bool(true)),
+                ("improved", Json::Bool(o.improved)),
+                ("output", Json::str(o.report)),
+                ("rewritten", Json::str(o.rewritten)),
+            ]),
+            Err(d) => Json::obj(vec![
+                ("id", id),
+                ("op", Json::str("optimize")),
+                ("ok", Json::Bool(false)),
+                ("error", diagnostic_json(&d)),
+                ("exit", Json::int(diagnostic_exit(&d) as u64)),
+            ]),
+        };
+        Reply { json: response.to_string(), shutdown: false }
     }
 
     fn check_or_bound(&self, session: &Analyzer, id: Json, op: &str, request: &Json) -> Reply {
@@ -1162,6 +1218,7 @@ impl Service {
                 Json::obj(vec![
                     ("check", get(&m.op_check)),
                     ("bound", get(&m.op_bound)),
+                    ("optimize", get(&m.op_optimize)),
                     ("batch", get(&m.op_batch)),
                     ("edit", get(&m.op_edit)),
                     ("stats", get(&m.op_stats)),
@@ -1970,6 +2027,53 @@ mod tests {
         assert_eq!(service.metrics.persist_restored.load(Ordering::Relaxed), 0);
         let r = service.handle_line(&service.analyzer().fork_session(), req);
         assert_eq!(r.json, first, "recomputed reply matches the original bytes");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persistent_cache_snapshot_respects_size_cap() {
+        let dir = std::env::temp_dir().join(format!("numfuzz-persist-cap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("capped-replies.bin");
+        let _ = std::fs::remove_file(&path);
+        // A cap far below what three replies need: the snapshot must
+        // compact down to whatever newest suffix fits.
+        let cap = 220usize;
+        let config = ServeConfig {
+            cache_file: Some(path.clone()),
+            cache_file_cap: cap,
+            ..ServeConfig::default()
+        };
+        let req = |i: u64| {
+            format!(
+                r#"{{"id":{i},"op":"bound","src":"s = mul ({i}.5, 3); rnd s","name":"p{i}.nf"}}"#
+            )
+        };
+
+        let newest = {
+            let service = Service::with_config(Analyzer::new(), 1, config.clone());
+            let session = service.analyzer().fork_session();
+            for i in 1..=3 {
+                let _ = service.handle_line(&session, &req(i));
+            }
+            service.persist_now();
+            service.handle_line(&session, &req(3)).json
+        };
+        let written = std::fs::metadata(&path).unwrap().len() as usize;
+        assert!(written <= cap, "snapshot is {written} bytes, cap is {cap}");
+        assert!(written > 8, "something beyond the magic survived the cap");
+
+        // The restored service still answers the newest program from the
+        // snapshot (LRU entries were the ones compacted away).
+        let service = Service::with_config(Analyzer::new(), 1, config);
+        let restored = service.metrics.persist_restored.load(Ordering::Relaxed);
+        assert!(
+            (1..3).contains(&restored),
+            "a capped snapshot keeps a strict, non-empty suffix (got {restored})"
+        );
+        let session = service.analyzer().fork_session();
+        assert_eq!(service.handle_line(&session, &req(3)).json, newest);
+        assert_eq!(service.metrics.persist_hits.load(Ordering::Relaxed), 1);
         let _ = std::fs::remove_file(&path);
     }
 

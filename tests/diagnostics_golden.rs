@@ -179,14 +179,22 @@ fn every_error_code_has_a_golden_rendering() {
 #[test]
 fn golden_directory_has_no_orphans() {
     // Every golden file must correspond to a cataloged code — stale
-    // files would silently stop being checked. `table1` is the one
-    // non-diagnostic golden (the `numfuzz table1` report, pinned by
-    // tests/table1_golden.rs).
+    // files would silently stop being checked. The non-diagnostic
+    // goldens are `table1` (the `numfuzz table1` report, pinned by
+    // tests/table1_golden.rs) and the `optimize_*` reports (pinned by
+    // tests/optimize_golden.rs).
     let mut known: Vec<String> = ALL_CODES.iter().map(|c| c.to_string()).collect();
     known.push("table1".to_string());
     for entry in std::fs::read_dir(golden_dir()).expect("golden dir exists") {
         let path = entry.expect("dir entry").path();
         let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default().to_string();
+        if let Some(bench) = stem.strip_prefix("optimize_") {
+            let nf = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("benches/table1")
+                .join(format!("{bench}.nf"));
+            assert!(nf.exists(), "orphan optimize golden (no such benchmark): {}", path.display());
+            continue;
+        }
         assert!(
             known.contains(&stem),
             "orphan golden file (no such error code): {}",

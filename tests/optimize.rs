@@ -1,0 +1,152 @@
+//! Library-level tests for the `optimize` search: determinism across
+//! worker counts and repeated runs, a mutation smoke test proving the
+//! oracle leg rejects a deliberately unsound rewrite rule, and
+//! candidate-count / rule-coverage floors over the benchmarks the
+//! optimizer improves.
+//!
+//! Budgets are kept small (the beam converges on these programs within a
+//! handful of candidates) so the suite stays fast in debug builds.
+
+use numfuzz::optimize::OptimizeConfig;
+use numfuzz::prelude::*;
+
+/// `eps` multiple as a numerator/denominator pair.
+type Eps = (i64, i64);
+
+/// The Table 1 programs the optimizer strictly improves, with their
+/// expected `eps` multiples before and after (as numerator/denominator
+/// pairs: one_by_sqrtxx improves 5/2*eps -> eps).
+const IMPROVED: [(&str, Eps, Eps); 3] = [
+    ("verhulst", (4, 1), (3, 1)),
+    ("predatorPrey", (7, 1), (4, 1)),
+    ("one_by_sqrtxx", (5, 2), (1, 1)),
+];
+
+fn bench_path(stem: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("benches")
+        .join("table1")
+        .join(format!("{stem}.nf"))
+}
+
+fn load(analyzer: &Analyzer, stem: &str) -> Program {
+    let path = bench_path(stem);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    analyzer.parse_named(&path.display().to_string(), &src).expect("benchmark parses")
+}
+
+fn small_budget() -> OptimizeConfig {
+    OptimizeConfig { budget: 16, ..OptimizeConfig::default() }
+}
+
+/// The report and the rewritten program must be byte-identical whatever
+/// the worker count, and across repeated runs of the same configuration:
+/// candidate order is seeded, results are collected in input order, and
+/// selection breaks ties lexicographically.
+#[test]
+fn optimize_is_deterministic_across_jobs_and_repeats() {
+    let analyzer = Analyzer::new();
+    let program = load(&analyzer, "predatorPrey");
+
+    let baseline = analyzer.optimize(&program, &small_budget()).expect("optimize succeeds");
+    assert!(baseline.improved, "predatorPrey should improve at this budget");
+
+    for jobs in [1usize, 2, 4, 4] {
+        let cfg = OptimizeConfig { jobs, ..small_budget() };
+        let outcome = analyzer.optimize(&program, &cfg).expect("optimize succeeds");
+        assert_eq!(outcome.report, baseline.report, "report drifted at --jobs {jobs}");
+        assert_eq!(
+            outcome.rewritten, baseline.rewritten,
+            "rewritten program drifted at --jobs {jobs}"
+        );
+    }
+}
+
+/// Mutation smoke: with the deliberately unsound `swap_div` rule mixed
+/// in, the certification pipeline must reject its candidates at the
+/// exact-oracle leg (swapping a division's operands preserves types and
+/// bounds but changes the ideal value), and the winner must be exactly
+/// the winner of the sound-rules-only search.
+#[test]
+fn unsound_rewrite_is_rejected_by_the_oracle() {
+    let analyzer = Analyzer::new();
+    let program = load(&analyzer, "verhulst");
+
+    let sound = analyzer.optimize(&program, &small_budget()).expect("optimize succeeds");
+    let mutated_cfg = OptimizeConfig { unsound_rule_for_tests: true, ..small_budget() };
+    let mutated = analyzer.optimize(&program, &mutated_cfg).expect("optimize succeeds");
+
+    let swap = mutated
+        .rule_counts
+        .iter()
+        .find(|rc| rc.rule == "swap_div_unsound")
+        .expect("the unsound rule participated in the search");
+    assert!(swap.generated > 0, "the unsound rule generated no candidates");
+    assert_eq!(swap.certified, 0, "an unsound candidate was certified");
+    assert!(
+        mutated.rejected_oracle > 0,
+        "unsound candidates must be rejected by the exact-value oracle, \
+         got rejections: check {} / interval {} / oracle {}",
+        mutated.rejected_check,
+        mutated.rejected_interval,
+        mutated.rejected_oracle,
+    );
+    assert_eq!(mutated.best.alpha, sound.best.alpha, "the unsound rule changed the winning bound");
+    assert_eq!(mutated.rewritten, sound.rewritten, "the unsound rule changed the emitted program");
+}
+
+/// Coverage floors over the improving benchmarks: the search must keep
+/// evaluating a minimum number of candidates, certifying a minimum
+/// share, exercising the load-bearing rewrite rules, and every emitted
+/// winner must re-check through the facade with a bound no worse than
+/// the original file's.
+#[test]
+fn optimizer_candidate_and_coverage_floors() {
+    let analyzer = Analyzer::new();
+    let unit = analyzer.format().unit_roundoff(analyzer.mode());
+
+    let mut evaluated = 0usize;
+    let mut certified = 0usize;
+    let mut rules_used: Vec<&'static str> = Vec::new();
+
+    for (stem, (on, od), (bn, bd)) in IMPROVED {
+        let program = load(&analyzer, stem);
+        let outcome = analyzer.optimize(&program, &small_budget()).expect("optimize succeeds");
+        assert!(outcome.improved, "{stem} should strictly improve");
+
+        let orig = Rational::ratio(on, od).mul(&unit);
+        let opt = Rational::ratio(bn, bd).mul(&unit);
+        assert_eq!(outcome.original.alpha, orig, "{stem}: original bound drifted");
+        assert_eq!(outcome.best.alpha, opt, "{stem}: optimized bound drifted");
+
+        // Acceptance criterion: the emitted program re-checks through
+        // the full facade with a bound <= the original file's bound.
+        let rewritten = analyzer
+            .parse_named(&format!("{stem}.optimized"), &outcome.rewritten)
+            .expect("rewritten program parses");
+        let typed = analyzer.check(&rewritten).expect("rewritten program type-checks");
+        let bound = analyzer.bound(&typed).expect("rewritten program has a bound");
+        assert!(
+            bound.alpha <= outcome.original.alpha,
+            "{stem}: emitted program's re-checked bound regressed"
+        );
+        assert_eq!(bound.alpha, outcome.best.alpha, "{stem}: report and re-checked bound disagree");
+
+        evaluated += outcome.evaluated;
+        certified += outcome.certified;
+        for rc in &outcome.rule_counts {
+            if rc.generated > 0 && !rules_used.contains(&rc.rule) {
+                rules_used.push(rc.rule);
+            }
+        }
+    }
+
+    assert!(evaluated >= 10, "candidate floor: evaluated {evaluated} < 10");
+    assert!(certified >= 7, "certification floor: certified {certified} < 7");
+    for rule in ["rationalize", "div_through", "sqrt_square", "commute"] {
+        assert!(
+            rules_used.contains(&rule),
+            "rule `{rule}` never generated a candidate (used: {rules_used:?})"
+        );
+    }
+}

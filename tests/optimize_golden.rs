@@ -1,0 +1,67 @@
+//! Golden-file tests for `numfuzz optimize`: the report on stdout is
+//! fully deterministic (candidate order is seeded, selection is
+//! lexicographic, and wall times go to stderr), so it is pinned byte for
+//! byte — no masking. The three pinned benchmarks are the Table 1
+//! programs the optimizer strictly improves, so the goldens also lock in
+//! the improvements themselves.
+//!
+//! Regenerate after an intentional change with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test optimize_golden
+//! ```
+
+use std::process::Command;
+
+fn run_optimize(bench: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_numfuzz"))
+        .args(["optimize", &format!("benches/table1/{bench}.nf")])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("numfuzz optimize runs");
+    assert!(
+        out.status.success(),
+        "numfuzz optimize {bench} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn check_golden(bench: &str) {
+    let got = run_optimize(bench);
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("optimize_{bench}.expected"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(run `UPDATE_GOLDEN=1 cargo test --test optimize_golden` to create)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, expected,
+        "optimize {bench} output drifted (if intentional: \
+         UPDATE_GOLDEN=1 cargo test --test optimize_golden)"
+    );
+}
+
+#[test]
+fn optimize_verhulst_matches_golden() {
+    check_golden("verhulst");
+}
+
+#[test]
+fn optimize_predator_prey_matches_golden() {
+    check_golden("predatorPrey");
+}
+
+#[test]
+fn optimize_one_by_sqrtxx_matches_golden() {
+    check_golden("one_by_sqrtxx");
+}
